@@ -1,0 +1,18 @@
+//! Developer utility: prints static/dynamic size statistics for every
+//! benchmark in the suite.
+//!
+//! Run with: `cargo run -p glaive-bench-suite --release --example stats`
+
+fn main() {
+    for b in glaive_bench_suite::suite(7) {
+        let r = glaive_sim::run(b.program(), &b.init_mem, &b.exec_config());
+        println!(
+            "{:15} static={:5} dyn={:8} out={:3} status={:?}",
+            b.name,
+            b.program().len(),
+            r.dyn_instrs,
+            r.output.len(),
+            r.status
+        );
+    }
+}

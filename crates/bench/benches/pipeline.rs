@@ -1,0 +1,32 @@
+//! Criterion bench: pipeline component costs — golden simulation, bit-level
+//! CDFG construction (Fig. 3's graph extraction), and Table-I feature
+//! matrix extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glaive_cdfg::{Cdfg, CdfgConfig};
+use glaive_sim::{run, ExecConfig};
+
+fn pipeline(c: &mut Criterion) {
+    let bench = glaive_bench_suite::control::dijkstra::build(7);
+    let cfg = CdfgConfig { bit_stride: 8 };
+
+    c.bench_function("golden_run_dijkstra", |b| {
+        b.iter(|| {
+            std::hint::black_box(run(
+                bench.program(),
+                &bench.init_mem,
+                &ExecConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("cdfg_build_dijkstra", |b| {
+        b.iter(|| std::hint::black_box(Cdfg::build(bench.program(), &cfg)))
+    });
+    let graph = Cdfg::build(bench.program(), &cfg);
+    c.bench_function("feature_matrix_dijkstra", |b| {
+        b.iter(|| std::hint::black_box(graph.feature_matrix()))
+    });
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

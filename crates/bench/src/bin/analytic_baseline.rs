@@ -1,0 +1,44 @@
+//! Extension experiment: the Trident/CIAP-style analytical model (paper
+//! §I, §VI — "analytical models are inaccurate") evaluated with the same
+//! metrics as the learned estimators.
+//!
+//! The analytical model needs no fault injections and no training, so it is
+//! essentially free — this binary quantifies what that costs in accuracy:
+//! compare its program-vulnerability error and top-K coverage against the
+//! GLAIVE/MLP/RF/SVM columns printed by `fig5a_pv_error` / `fig4_coverage`.
+
+use glaive::analytic::AnalyticModel;
+use glaive::experiments::paper_budgets;
+use glaive::metrics;
+
+fn main() {
+    let (suite, _) = glaive_bench::standard_suite();
+    let ks = paper_budgets();
+    println!("# Analytical-model baseline (no FI, no training)");
+    println!("benchmark\tcategory\tpv_error\tmean_topK_coverage");
+    let mut pve_sum = 0.0;
+    let mut cov_sum = 0.0;
+    for d in &suite {
+        let model = AnalyticModel::for_bench(d);
+        let pve = metrics::program_vulnerability_error(model.tuples(), d);
+        let cov: f64 = ks
+            .iter()
+            .map(|&k| metrics::top_k_coverage(model.tuples(), d, k))
+            .sum::<f64>()
+            / ks.len() as f64;
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}",
+            d.bench.name,
+            d.bench.category.tag(),
+            pve,
+            cov
+        );
+        pve_sum += pve;
+        cov_sum += cov;
+    }
+    println!(
+        "# averages: pv_error={:.3} coverage={:.3} (compare with fig5a/fig4 outputs)",
+        pve_sum / suite.len() as f64,
+        cov_sum / suite.len() as f64
+    );
+}

@@ -1,0 +1,83 @@
+//! Shared plumbing for the experiment binaries and Criterion benches that
+//! regenerate every table and figure of the paper's evaluation (§V).
+//!
+//! Each binary prints one table/figure as TSV to stdout. Pass `--quick`
+//! (or set `GLAIVE_QUICK=1`) to run with the subsampled test configuration
+//! instead of the full experiment configuration — useful for smoke tests.
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Fig. 2 (vulnerability distributions) | `fig2_distribution` |
+//! | Table II (dataset sizes) | `table2_datasets` |
+//! | Table III (accuracy) | `table3_accuracy` |
+//! | Fig. 4 (top-K coverage) | `fig4_coverage` |
+//! | Fig. 5a (program vulnerability error) | `fig5a_pv_error` |
+//! | Fig. 5b (speedup over FI) | `fig5b_speedup` |
+//! | DESIGN.md ablations | `ablations` |
+
+use std::time::Instant;
+
+use glaive::experiments::Evaluation;
+use glaive::{prepare_suite, PipelineConfig};
+
+/// The seed every experiment binary uses for benchmark inputs, so tables
+/// printed by different binaries refer to the same programs and campaigns.
+pub const EXPERIMENT_SEED: u64 = 7;
+
+/// Returns `true` if `--quick` was passed or `GLAIVE_QUICK` is set.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("GLAIVE_QUICK").is_ok()
+}
+
+/// The pipeline configuration for this invocation (full or quick).
+pub fn experiment_config() -> PipelineConfig {
+    if quick_requested() {
+        PipelineConfig::quick_test()
+    } else {
+        PipelineConfig::default()
+    }
+}
+
+/// Prepares the 12-benchmark suite and trains all round-robin model sets,
+/// logging progress to stderr.
+pub fn standard_evaluation() -> (Evaluation, PipelineConfig) {
+    let config = experiment_config();
+    eprintln!(
+        "preparing suite (seed {EXPERIMENT_SEED}, bit stride {}, {} instances/site)...",
+        config.bit_stride, config.instances_per_site
+    );
+    let t = Instant::now();
+    let suite = prepare_suite(EXPERIMENT_SEED, &config);
+    eprintln!(
+        "suite prepared in {:.1}s; training models...",
+        t.elapsed().as_secs_f64()
+    );
+    let t = Instant::now();
+    let eval = Evaluation::new(suite, &config);
+    eprintln!("models trained in {:.1}s", t.elapsed().as_secs_f64());
+    (eval, config)
+}
+
+/// Prepares the suite only (no model training), for data-statistics
+/// binaries.
+pub fn standard_suite() -> (Vec<glaive::BenchData>, PipelineConfig) {
+    let config = experiment_config();
+    let t = Instant::now();
+    let suite = prepare_suite(EXPERIMENT_SEED, &config);
+    eprintln!("suite prepared in {:.1}s", t.elapsed().as_secs_f64());
+    (suite, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_env_is_detected() {
+        // Uses the env-var path (args can't be faked portably in a test).
+        std::env::set_var("GLAIVE_QUICK", "1");
+        assert!(quick_requested());
+        assert_eq!(experiment_config(), PipelineConfig::quick_test());
+        std::env::remove_var("GLAIVE_QUICK");
+    }
+}

@@ -1,0 +1,359 @@
+//! Subcommand implementations for the `glaive` CLI.
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use glaive::{prepare_benchmark, train_models, PipelineConfig};
+use glaive_bench_suite::{suite, Benchmark};
+use glaive_cdfg::{Cdfg, CdfgConfig};
+use glaive_faultsim::{Campaign, CampaignConfig, VulnTuple};
+use glaive_gnn::GraphSage;
+use glaive_sim::{run, Outcome};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  glaive-cli list
+  glaive-cli disasm   <benchmark>
+  glaive-cli campaign <benchmark> [--seed N] [--stride N] [--instances N] [--top N]
+  glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
+  glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
+  glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
+
+benchmarks: dijkstra astar streamcluster jmeint sobel inversek2j
+            blackscholes swaptions fft radix ctaes lu";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Simple flag parser: `--name value` pairs after the positional args.
+struct Flags {
+    seed: u64,
+    stride: usize,
+    instances: usize,
+    top: usize,
+    dot: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
+    let mut flags = Flags {
+        seed: 7,
+        stride: 8,
+        instances: 2,
+        top: 15,
+        dot: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| -> Result<u64, Box<dyn Error>> {
+            it.next()
+                .ok_or_else(|| format!("flag {a} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for {a}: {e}").into())
+        };
+        match a.as_str() {
+            "--dot" => flags.dot = true,
+            "--seed" => flags.seed = value(&mut it)?,
+            "--stride" => flags.stride = value(&mut it)? as usize,
+            "--instances" => flags.instances = value(&mut it)? as usize,
+            "--top" => flags.top = value(&mut it)? as usize,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    Ok(flags)
+}
+
+fn find_benchmark(name: &str, seed: u64) -> Result<Benchmark, Box<dyn Error>> {
+    suite(seed)
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `glaive-cli list`)").into())
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("disasm") => {
+            let name = args.get(1).ok_or("disasm needs a benchmark name")?;
+            cmd_disasm(name, &parse_flags(&args[2..])?)
+        }
+        Some("campaign") => {
+            let name = args.get(1).ok_or("campaign needs a benchmark name")?;
+            cmd_campaign(name, &parse_flags(&args[2..])?)
+        }
+        Some("graph") => {
+            let name = args.get(1).ok_or("graph needs a benchmark name")?;
+            cmd_graph(name, &parse_flags(&args[2..])?)
+        }
+        Some("train") => {
+            let out = args.get(1).ok_or("train needs an output path")?;
+            let names = args.get(2).ok_or("train needs a benchmark list")?;
+            cmd_train(out, names, &parse_flags(&args[3..])?)
+        }
+        Some("apply") => {
+            let model = args.get(1).ok_or("apply needs a model path")?;
+            let name = args.get(2).ok_or("apply needs a benchmark name")?;
+            cmd_apply(model, name, &parse_flags(&args[3..])?)
+        }
+        Some(other) => Err(format!("unknown command `{other}`").into()),
+        None => Err("no command given".into()),
+    }
+}
+
+fn cmd_list() -> CliResult {
+    println!(
+        "{:<14} {:<8} {:<6} {:>8} {:>10} {:>8}",
+        "benchmark", "category", "split", "instrs", "dyn", "outputs"
+    );
+    for b in suite(7) {
+        let r = run(b.program(), &b.init_mem, &b.exec_config());
+        println!(
+            "{:<14} {:<8} {:<6} {:>8} {:>10} {:>8}",
+            b.name,
+            match b.category {
+                glaive_bench_suite::Category::Control => "control",
+                glaive_bench_suite::Category::Data => "data",
+            },
+            match b.split {
+                glaive_bench_suite::Split::TrainTest => "TT",
+                glaive_bench_suite::Split::Validation => "V",
+            },
+            b.program().len(),
+            r.dyn_instrs,
+            r.output.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(name: &str, flags: &Flags) -> CliResult {
+    let b = find_benchmark(name, flags.seed)?;
+    print!("{}", b.program().disassemble());
+    Ok(())
+}
+
+fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
+    let b = find_benchmark(name, flags.seed)?;
+    let config = CampaignConfig {
+        bit_stride: flags.stride,
+        instances_per_site: flags.instances,
+        ..CampaignConfig::default()
+    };
+    let truth = Campaign::new(b.program(), &b.init_mem, config).run();
+    println!(
+        "{}: {} injections ({} statically predicted) over {} instructions",
+        name,
+        truth.total_injections(),
+        truth.predicted_injections(),
+        truth.instructions_covered()
+    );
+    let pv = truth.program_vulnerability();
+    println!(
+        "program vulnerability: crash={:.3} sdc={:.3} masked={:.3}\n",
+        pv.crash, pv.sdc, pv.masked
+    );
+    let mut ivs = truth.instruction_vulnerability();
+    ivs.sort_by(|a, b| b.tuple.ranking_key().total_cmp(&a.tuple.ranking_key()));
+    println!("most vulnerable instructions:");
+    println!(
+        "{:<6} {:>6} {:>6} {:>7}  instruction",
+        "pc", "crash", "sdc", "masked"
+    );
+    for iv in ivs.iter().take(flags.top) {
+        println!(
+            "{:<6} {:>6.3} {:>6.3} {:>7.3}  {}",
+            iv.pc,
+            iv.tuple.crash,
+            iv.tuple.sdc,
+            iv.tuple.masked,
+            b.program().instrs()[iv.pc]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_graph(name: &str, flags: &Flags) -> CliResult {
+    let b = find_benchmark(name, flags.seed)?;
+    if flags.dot {
+        print!("{}", glaive_cdfg::instruction_dot(b.program()));
+        return Ok(());
+    }
+    let g = Cdfg::build(
+        b.program(),
+        &CdfgConfig {
+            bit_stride: flags.stride,
+        },
+    );
+    let stats = g.edge_stats();
+    println!("{name}: bit-level CDFG at stride {}", flags.stride);
+    println!("  nodes:          {}", g.node_count());
+    println!("  edges (dedup):  {}", g.edge_count());
+    println!("  intra-operand:  {}", stats.intra);
+    println!("  data (D_D):     {}", stats.data);
+    println!("  control (D_C):  {}", stats.control);
+    println!("  memory (D_M):   {}", stats.memory);
+    let max_in = (0..g.node_count() as u32)
+        .map(|v| g.preds(v).len())
+        .max()
+        .unwrap_or(0);
+    let isolated = (0..g.node_count() as u32)
+        .filter(|&v| g.preds(v).is_empty() && g.succs(v).is_empty())
+        .count();
+    println!("  max in-degree:  {max_in}");
+    println!("  isolated nodes: {isolated}");
+    Ok(())
+}
+
+fn pipeline_config(flags: &Flags) -> PipelineConfig {
+    PipelineConfig {
+        bit_stride: flags.stride,
+        instances_per_site: flags.instances,
+        ..PipelineConfig::default()
+    }
+}
+
+fn cmd_train(out: &str, names: &str, flags: &Flags) -> CliResult {
+    let config = pipeline_config(flags);
+    let mut train = Vec::new();
+    for name in names.split(',') {
+        eprintln!("preparing {name} (FI campaign)...");
+        train.push(prepare_benchmark(
+            find_benchmark(name.trim(), flags.seed)?,
+            &config,
+        ));
+    }
+    let refs: Vec<&_> = train.iter().collect();
+    eprintln!("training GLAIVE on {} benchmarks...", refs.len());
+    let models = train_models(&refs, &config);
+    let bytes = models.glaive_model().to_bytes();
+    std::fs::write(out, &bytes)?;
+    println!("saved GLAIVE model to {out} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn cmd_apply(model_path: &str, name: &str, flags: &Flags) -> CliResult {
+    let bytes = std::fs::read(model_path)?;
+    let model = GraphSage::from_bytes(&bytes)?;
+    let b = find_benchmark(name, flags.seed)?;
+    // Estimation needs only the graph — no fault injection.
+    let g = Cdfg::build(
+        b.program(),
+        &CdfgConfig {
+            bit_stride: flags.stride,
+        },
+    );
+    let features = glaive_nn_matrix(&g);
+    let preds: Vec<Vec<u32>> = (0..g.node_count() as u32)
+        .map(|v| g.preds(v).to_vec())
+        .collect();
+    let probs = model.predict_proba(&features, &preds);
+
+    // Aggregate the bit distribution per instruction (paper §III-D).
+    let n = b.program().len();
+    let mut sums = vec![[0.0f64; 3]; n];
+    let mut counts = vec![0u64; n];
+    for (id, node) in g.nodes().iter().enumerate() {
+        for (acc, &p) in sums[node.pc].iter_mut().zip(probs.row(id)) {
+            *acc += p as f64;
+        }
+        counts[node.pc] += 1;
+    }
+    let mut ranked: Vec<(usize, VulnTuple)> = sums
+        .into_iter()
+        .zip(counts)
+        .enumerate()
+        .filter(|(_, (_, c))| *c > 0)
+        .map(|(pc, (s, c))| {
+            (
+                pc,
+                VulnTuple {
+                    crash: s[Outcome::Crash.label()] / c as f64,
+                    sdc: s[Outcome::Sdc.label()] / c as f64,
+                    masked: s[Outcome::Masked.label()] / c as f64,
+                },
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.ranking_key().total_cmp(&a.1.ranking_key()));
+
+    println!("{name}: estimated most vulnerable instructions (no FI run)");
+    println!(
+        "{:<6} {:>6} {:>6} {:>7}  instruction",
+        "pc", "crash", "sdc", "masked"
+    );
+    let mut buf = String::new();
+    for &(pc, t) in ranked.iter().take(flags.top) {
+        writeln!(
+            buf,
+            "{:<6} {:>6.3} {:>6.3} {:>7.3}  {}",
+            pc,
+            t.crash,
+            t.sdc,
+            t.masked,
+            b.program().instrs()[pc]
+        )?;
+    }
+    print!("{buf}");
+    Ok(())
+}
+
+/// Builds the node feature matrix of a graph as an owned `Matrix`.
+fn glaive_nn_matrix(g: &Cdfg) -> glaive_nn::Matrix {
+    glaive_nn::Matrix::from_vec(g.node_count(), glaive_cdfg::FEATURE_DIM, g.feature_matrix())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_positional_args_are_errors() {
+        assert!(dispatch(&argv(&["disasm"])).is_err());
+        assert!(dispatch(&argv(&["campaign"])).is_err());
+        assert!(dispatch(&argv(&["train", "out.model"])).is_err());
+        assert!(dispatch(&argv(&["apply", "model.bin"])).is_err());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        assert!(dispatch(&argv(&["disasm", "nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let f =
+            parse_flags(&argv(&["--seed", "3", "--stride", "32", "--top", "4"])).expect("parses");
+        assert_eq!(f.seed, 3);
+        assert_eq!(f.stride, 32);
+        assert_eq!(f.top, 4);
+        assert!(parse_flags(&argv(&["--bogus", "1"])).is_err());
+        assert!(parse_flags(&argv(&["--seed"])).is_err());
+        assert!(parse_flags(&argv(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn inspection_commands_succeed() {
+        dispatch(&argv(&["list"])).expect("list");
+        dispatch(&argv(&["disasm", "lu"])).expect("disasm");
+        dispatch(&argv(&["graph", "lu", "--stride", "32"])).expect("graph");
+    }
+
+    #[test]
+    fn apply_rejects_bad_model_files() {
+        let path = std::env::temp_dir().join("glaive-cli-bad.model");
+        std::fs::write(&path, b"definitely not a model").expect("write");
+        let err = dispatch(&argv(&["apply", path.to_str().expect("utf8"), "lu"]));
+        assert!(err.is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

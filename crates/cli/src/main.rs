@@ -1,0 +1,29 @@
+//! `glaive-cli` — command-line interface to the GLAIVE pipeline.
+//!
+//! ```text
+//! glaive-cli list                          benchmarks and their statistics
+//! glaive-cli disasm <bench>                disassemble a benchmark
+//! glaive-cli campaign <bench> [opts]       run an FI campaign, print FI table
+//! glaive-cli graph <bench> [opts]          bit-level CDFG statistics
+//! glaive-cli train <out.model> <b1,b2,..>  train GLAIVE, save the model
+//! glaive-cli apply <model> <bench> [opts]  estimate with a saved model
+//!
+//! options: --seed N   --stride N   --instances N   --top N
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

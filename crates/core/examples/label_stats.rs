@@ -1,0 +1,30 @@
+//! Developer utility: prints the FI bit-label class balance of every
+//! benchmark (Masked/SDC/Crash fractions and the majority-class baseline
+//! accuracy a trivial classifier would achieve).
+//!
+//! Run with: `cargo run -p glaive --release --example label_stats`
+
+use glaive::*;
+fn main() {
+    let config = PipelineConfig::default();
+    for b in glaive_bench_suite::suite(7) {
+        let d = prepare_benchmark(b, &config);
+        let mut c = [0usize; 3];
+        for (i, &m) in d.mask.iter().enumerate() {
+            if m {
+                c[d.labels[i]] += 1;
+            }
+        }
+        let total: usize = c.iter().sum();
+        let maj = *c.iter().max().unwrap() as f64 / total as f64;
+        println!(
+            "{:14} total={:6} masked={:.2} sdc={:.2} crash={:.2} majority={:.3}",
+            d.bench.name,
+            total,
+            c[0] as f64 / total as f64,
+            c[1] as f64 / total as f64,
+            c[2] as f64 / total as f64,
+            maj
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! An analytical error-propagation model in the spirit of Trident (Li et
+//! al., DSN 2018) and CIAP (Cong & Gururaj, ICCAD 2011) — the class of
+//! fast-but-inaccurate estimators the paper positions GLAIVE against
+//! (§I, §VI).
+//!
+//! The model needs no fault injection and no learning. For each instruction
+//! it combines three static/profile ingredients:
+//!
+//! * **Crash exposure** — the fraction of operand bits whose flip makes an
+//!   address leave the data memory (memory operands) or redirects control
+//!   (it approximates the division-trap and addressing behaviour of the
+//!   simulator analytically).
+//! * **Propagation to output** — a fixpoint over the def-use graph: the
+//!   probability that a corrupted value survives each consumer's
+//!   *derating* (logical masking of `and`/`or`, shift truncation,
+//!   comparison collapsing, …) and eventually reaches an `out` instruction.
+//! * **Execution weight** — instructions that never execute cannot fail.
+//!
+//! The result is an instruction vulnerability tuple ⟨crash, sdc, masked⟩
+//! directly comparable with the learned estimators — and, as the paper
+//! argues for analytical models generally, visibly less accurate (see the
+//! `analytic_baseline` binary).
+
+use glaive_cdfg::analysis::def_use_chains;
+use glaive_faultsim::VulnTuple;
+use glaive_isa::{AluOp, Instr, Program, WORD_BITS};
+
+use crate::data::BenchData;
+
+/// Per-consumer derating: the probability that a single corrupted bit in a
+/// source operand still corrupts the result of the consuming instruction.
+fn transmission_factor(instr: &Instr) -> f64 {
+    match instr {
+        // Logical masking: on average half the bits of the other operand
+        // gate the flip.
+        Instr::Alu {
+            op: AluOp::And | AluOp::Or,
+            ..
+        }
+        | Instr::AluImm {
+            op: AluOp::And | AluOp::Or,
+            ..
+        } => 0.5,
+        // Shifts truncate bits that leave the word.
+        Instr::Alu {
+            op: AluOp::Shl | AluOp::Shr | AluOp::Sra,
+            ..
+        }
+        | Instr::AluImm {
+            op: AluOp::Shl | AluOp::Shr | AluOp::Sra,
+            ..
+        } => 0.6,
+        // Comparisons collapse 64 bits into one: most single-bit flips do
+        // not move the operand across the comparison boundary.
+        Instr::Alu {
+            op: AluOp::Slt | AluOp::Sltu | AluOp::Seq,
+            ..
+        }
+        | Instr::AluImm {
+            op: AluOp::Slt | AluOp::Sltu | AluOp::Seq,
+            ..
+        } => 0.25,
+        Instr::Fpu { op, .. } if op.is_compare() => 0.25,
+        // Branches: a corrupted condition only matters when it flips the
+        // taken/not-taken decision.
+        Instr::Branch { .. } => 0.2,
+        // Float arithmetic: low mantissa bits get absorbed by rounding.
+        Instr::Fpu { .. } | Instr::FpuUnary { .. } | Instr::Cvt { .. } => 0.8,
+        // Everything else transmits the corruption essentially verbatim.
+        _ => 0.95,
+    }
+}
+
+/// The fraction of a memory instruction's *address* bits whose flip lands
+/// outside `mem_words` (and therefore traps).
+fn address_crash_fraction(mem_words: usize) -> f64 {
+    // Bits at positions >= log2(mem_words) escape the mapped region.
+    let safe_bits = (mem_words.max(1) as f64).log2().floor();
+    ((WORD_BITS as f64) - safe_bits).max(0.0) / WORD_BITS as f64
+}
+
+/// The analytical estimator. Holds per-instruction propagation
+/// probabilities computed once per program.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    tuples: Vec<Option<VulnTuple>>,
+}
+
+impl AnalyticModel {
+    /// Builds the model for a program, using only static analysis plus the
+    /// golden execution profile (`exec_counts`) — no fault injections.
+    pub fn build(program: &Program, exec_counts: &[u64]) -> AnalyticModel {
+        let n = program.len();
+        let chains = def_use_chains(program);
+        // consumers[pc] = instructions reading the value pc defines.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &chains {
+            consumers[e.def_pc].push(e.use_pc);
+        }
+
+        // reach[pc]: probability that a corrupted value *defined* at pc
+        // reaches program output. Fixpoint over the (cyclic) def-use graph;
+        // `out` instructions emit directly.
+        let mut reach = vec![0.0f64; n];
+        for _ in 0..50 {
+            let mut changed = false;
+            for pc in 0..n {
+                let mut best: f64 = 0.0;
+                for &c in &consumers[pc] {
+                    let instr = &program.instrs()[c];
+                    let t = transmission_factor(instr);
+                    let downstream = match instr {
+                        Instr::Out { .. } => 1.0,
+                        Instr::Store { .. } => {
+                            // Value flows into memory; assume it is read
+                            // again with high probability (conservative).
+                            0.9 * reach_of_stores(program, c, &reach)
+                        }
+                        Instr::Branch { .. } => 0.8, // wrong path corrupts state
+                        _ => reach[c],
+                    };
+                    best = best.max(t * downstream);
+                }
+                if (best - reach[pc]).abs() > 1e-9 {
+                    reach[pc] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let addr_crash = address_crash_fraction(program.mem_words());
+        let tuples = program
+            .instrs()
+            .iter()
+            .enumerate()
+            .map(|(pc, instr)| {
+                if exec_counts.get(pc).copied().unwrap_or(0) == 0 {
+                    return None;
+                }
+                let operands = instr.operands();
+                if operands.is_empty() {
+                    return None;
+                }
+                // Crash: address operands of memory instructions, and the
+                // control redirection of a corrupted branch target path.
+                let mut crash = 0.0;
+                match instr {
+                    Instr::Load { .. } => crash = addr_crash / operands.len() as f64,
+                    Instr::Store { .. } => crash = addr_crash / operands.len() as f64,
+                    Instr::Alu {
+                        op: AluOp::Div | AluOp::Rem,
+                        ..
+                    }
+                    | Instr::AluImm {
+                        op: AluOp::Div | AluOp::Rem,
+                        ..
+                    } => crash = 0.05,
+                    _ => {}
+                }
+                // SDC: the defined value's reach, or for stores/outs the
+                // stored/emitted value directly.
+                let sdc_base = match instr {
+                    Instr::Out { .. } => 1.0,
+                    Instr::Store { .. } => 0.9 * reach_of_stores(program, pc, &reach),
+                    Instr::Branch { .. } => 0.2,
+                    _ => reach[pc],
+                };
+                let sdc = (sdc_base * (1.0 - crash)).clamp(0.0, 1.0 - crash);
+                Some(VulnTuple {
+                    crash,
+                    sdc,
+                    masked: (1.0 - crash - sdc).max(0.0),
+                })
+            })
+            .collect();
+        AnalyticModel { tuples }
+    }
+
+    /// Builds the model from prepared benchmark data.
+    pub fn for_bench(data: &BenchData) -> AnalyticModel {
+        AnalyticModel::build(data.bench.program(), &data.truth.golden().exec_counts)
+    }
+
+    /// The estimated instruction vulnerability tuples, indexed by PC.
+    pub fn tuples(&self) -> &[Option<VulnTuple>] {
+        &self.tuples
+    }
+}
+
+/// Probability that a value stored by instruction `store_pc` reaches output
+/// through some aliasing load: the max reach over the loads in its alias
+/// class, discounted once.
+fn reach_of_stores(program: &Program, store_pc: usize, reach: &[f64]) -> f64 {
+    let Instr::Store { offset, .. } = program.instrs()[store_pc] else {
+        return 0.0;
+    };
+    program
+        .instrs()
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, i)| match i {
+            Instr::Load { offset: lo, .. } if *lo == offset => Some(reach[pc]),
+            _ => None,
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::data::prepare_benchmark;
+    use crate::metrics;
+    use glaive_isa::{Asm, Reg};
+
+    #[test]
+    fn out_instructions_are_maximally_sdc_prone() {
+        let mut asm = Asm::new("t");
+        asm.li(Reg(1), 1);
+        asm.out(Reg(1));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let model = AnalyticModel::build(&p, &[1, 1, 1]);
+        let out_tuple = model.tuples()[1].expect("out has operands");
+        assert!(out_tuple.sdc > 0.9, "direct output should be SDC-dominated");
+    }
+
+    #[test]
+    fn dead_values_are_masked() {
+        let mut asm = Asm::new("t");
+        asm.li(Reg(1), 1); // dead: never read
+        asm.li(Reg(2), 2);
+        asm.out(Reg(2));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let model = AnalyticModel::build(&p, &[1, 1, 1, 1]);
+        let dead = model.tuples()[0].expect("li has a def");
+        assert!(dead.masked > 0.9, "dead def should be masked, got {dead:?}");
+        let live = model.tuples()[1].expect("li has a def");
+        assert!(live.sdc > 0.8, "live def should propagate, got {live:?}");
+    }
+
+    #[test]
+    fn unexecuted_instructions_have_no_tuple() {
+        let mut asm = Asm::new("t");
+        let end = asm.label();
+        asm.jump(end);
+        asm.li(Reg(1), 1); // dead code
+        asm.bind(end);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let model = AnalyticModel::build(&p, &[1, 0, 1]);
+        assert!(model.tuples()[1].is_none());
+    }
+
+    #[test]
+    fn tuples_are_valid_distributions_on_real_benchmarks() {
+        let d = prepare_benchmark(
+            glaive_bench_suite::control::dijkstra::build(3),
+            &PipelineConfig::quick_test(),
+        );
+        let model = AnalyticModel::for_bench(&d);
+        for t in model.tuples().iter().flatten() {
+            assert!(t.crash >= 0.0 && t.sdc >= 0.0 && t.masked >= 0.0);
+            assert!((t.crash + t.sdc + t.masked - 1.0).abs() < 1e-9);
+        }
+        // And they plug into the standard metrics.
+        let err = metrics::program_vulnerability_error(model.tuples(), &d);
+        assert!((0.0..=2.0).contains(&err));
+        let cov = metrics::top_k_coverage(model.tuples(), &d, 30.0);
+        assert!((0.0..=1.0).contains(&cov));
+    }
+
+    #[test]
+    fn address_crash_fraction_shrinks_with_memory() {
+        assert!(address_crash_fraction(64) > address_crash_fraction(1 << 20));
+        assert!(address_crash_fraction(1) <= 1.0);
+        assert!(address_crash_fraction(usize::MAX) >= 0.0);
+    }
+}

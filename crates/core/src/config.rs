@@ -1,0 +1,137 @@
+use glaive_cdfg::CdfgConfig;
+use glaive_faultsim::CampaignConfig;
+use glaive_gnn::SageConfig;
+use glaive_ml::{ForestConfig, MlpConfig, SvrConfig};
+
+/// End-to-end pipeline configuration: one shared bit stride (the campaign
+/// and the CDFG must sample the same bit positions so FI labels join onto
+/// graph nodes) plus per-model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Bit-position sampling stride shared by FI and graph construction
+    /// (1 = all 64 bits as in the paper; the default 8 keeps the
+    /// from-scratch CPU pipeline fast — see DESIGN.md §1).
+    pub bit_stride: usize,
+    /// Dynamic instances sampled per fault site.
+    pub instances_per_site: usize,
+    /// FI worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// GLAIVE model hyperparameters.
+    pub sage: SageConfig,
+    /// MLP-BIT hyperparameters.
+    pub mlp: MlpConfig,
+    /// RF-INST hyperparameters.
+    pub forest: ForestConfig,
+    /// SVM-INST hyperparameters.
+    pub svr: SvrConfig,
+    /// Also train the vanilla (all-neighbour) GraphSAGE for the
+    /// aggregator ablation (doubles GNN training time).
+    pub train_vanilla: bool,
+}
+
+impl Default for PipelineConfig {
+    /// Experiment-scale defaults: stride 8, a 3-layer hidden-64 GraphSAGE
+    /// trained for 60 full-batch epochs. Suitable for release-mode
+    /// experiment runs (minutes for the full 12-benchmark suite).
+    fn default() -> Self {
+        PipelineConfig {
+            bit_stride: 8,
+            instances_per_site: 2,
+            threads: 0,
+            sage: SageConfig {
+                hidden: 64,
+                layers: 3,
+                classes: 3,
+                sample_size: 50,
+                lr: 5e-3,
+                epochs: 60,
+                seed: 1,
+            },
+            mlp: MlpConfig {
+                hidden: 100,
+                lr: 2e-3,
+                epochs: 120,
+                seed: 1,
+            },
+            forest: ForestConfig::default(),
+            svr: SvrConfig::default(),
+            train_vanilla: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A heavily subsampled configuration for unit tests and debug builds:
+    /// stride 16, one instance per site, small/short models.
+    pub fn quick_test() -> Self {
+        PipelineConfig {
+            bit_stride: 16,
+            instances_per_site: 1,
+            threads: 0,
+            sage: SageConfig {
+                hidden: 16,
+                layers: 2,
+                classes: 3,
+                sample_size: 20,
+                lr: 1e-2,
+                epochs: 15,
+                seed: 1,
+            },
+            mlp: MlpConfig {
+                hidden: 24,
+                lr: 5e-3,
+                epochs: 30,
+                seed: 1,
+            },
+            forest: ForestConfig {
+                trees: 15,
+                ..ForestConfig::default()
+            },
+            svr: SvrConfig {
+                rff_dim: 32,
+                epochs: 20,
+                ..SvrConfig::default()
+            },
+            train_vanilla: true,
+        }
+    }
+
+    /// The fault-campaign configuration implied by this pipeline config.
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            bit_stride: self.bit_stride,
+            instances_per_site: self.instances_per_site,
+            hang_factor: 4,
+            threads: self.threads,
+            predict_dead_defs: true,
+        }
+    }
+
+    /// The CDFG configuration implied by this pipeline config.
+    pub fn cdfg(&self) -> CdfgConfig {
+        CdfgConfig {
+            bit_stride: self.bit_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_consistent_between_campaign_and_cdfg() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.campaign().bit_stride, c.cdfg().bit_stride);
+        let q = PipelineConfig::quick_test();
+        assert_eq!(q.campaign().bit_stride, q.cdfg().bit_stride);
+    }
+
+    #[test]
+    fn defaults_follow_paper_shape() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.sage.layers, 3);
+        assert_eq!(c.sage.classes, 3);
+        assert_eq!(c.sage.sample_size, 50);
+    }
+}

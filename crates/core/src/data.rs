@@ -1,0 +1,221 @@
+use glaive_bench_suite::{suite, Benchmark, Split};
+use glaive_cdfg::{instruction_features, Cdfg, INSTR_FEATURE_DIM};
+use glaive_faultsim::{Campaign, GroundTruth, VulnTuple};
+use glaive_nn::Matrix;
+
+use crate::config::PipelineConfig;
+
+/// Everything the estimators need about one benchmark: the compiled
+/// program, its bit-level CDFG, FI ground truth, and pre-extracted
+/// feature/label tensors.
+#[derive(Debug, Clone)]
+pub struct BenchData {
+    /// The benchmark (program, inputs, category, split).
+    pub bench: Benchmark,
+    /// Its bit-level CDFG.
+    pub cdfg: Cdfg,
+    /// FI campaign results (ground truth).
+    pub truth: GroundTruth,
+    /// `node_count × FEATURE_DIM` bit-node features.
+    pub features: Matrix,
+    /// Ternary FI label per CDFG node (0 where unlabelled; see `mask`).
+    pub labels: Vec<usize>,
+    /// Whether each CDFG node has an FI label.
+    pub mask: Vec<bool>,
+    /// Predecessor lists (GLAIVE's aggregation neighbourhood).
+    pub preds: Vec<Vec<u32>>,
+    /// Symmetrised neighbour lists (vanilla-GraphSAGE ablation).
+    pub all_neighbors: Vec<Vec<u32>>,
+    /// `program.len() × INSTR_FEATURE_DIM` instruction features.
+    pub instr_features: Matrix,
+    /// FI instruction vulnerability tuple per PC (None = never injected).
+    pub fi_tuples: Vec<Option<VulnTuple>>,
+    /// Injections per PC (program-vulnerability weights).
+    pub fi_weights: Vec<u64>,
+}
+
+impl BenchData {
+    /// Number of labelled bit-level datapoints (Table II "BL").
+    pub fn bit_datapoints(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Number of FI-covered instructions (Table II "IL").
+    pub fn instr_datapoints(&self) -> usize {
+        self.fi_tuples.iter().flatten().count()
+    }
+
+    /// PCs with FI ground truth, in ascending order.
+    pub fn covered_pcs(&self) -> Vec<usize> {
+        self.fi_tuples
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, t)| t.map(|_| pc))
+            .collect()
+    }
+}
+
+/// Runs the FI campaign and graph extraction for one benchmark.
+pub fn prepare_benchmark(bench: Benchmark, config: &PipelineConfig) -> BenchData {
+    prepare_benchmark_with_graph_stride(bench, config, config.bit_stride)
+}
+
+/// Like [`prepare_benchmark`] but with a graph stride decoupled from the
+/// campaign stride — the fair word-vs-bit representation ablation: both
+/// representations are scored against the *same* FI ground truth, the
+/// coarser graph simply cannot see per-bit structure. Graph strides must be
+/// multiples of the campaign stride, otherwise most labels fail to join.
+pub fn prepare_benchmark_with_graph_stride(
+    bench: Benchmark,
+    config: &PipelineConfig,
+    graph_stride: usize,
+) -> BenchData {
+    let cdfg = Cdfg::build(bench.program(), &glaive_cdfg::CdfgConfig { bit_stride: graph_stride });
+    let truth = Campaign::new(bench.program(), &bench.init_mem, config.campaign()).run();
+
+    let features = cdfg.feature_matrix();
+    let features = Matrix::from_vec(cdfg.node_count(), glaive_cdfg::FEATURE_DIM, features);
+
+    let bit_labels = truth.bit_labels();
+    let mut labels = vec![0usize; cdfg.node_count()];
+    let mut mask = vec![false; cdfg.node_count()];
+    for (site, outcome) in &bit_labels {
+        if let Some(id) = cdfg.node_id(site.pc, site.slot, site.bit) {
+            labels[id as usize] = outcome.label();
+            mask[id as usize] = true;
+        }
+    }
+
+    let preds: Vec<Vec<u32>> = (0..cdfg.node_count() as u32)
+        .map(|id| cdfg.preds(id).to_vec())
+        .collect();
+    let all_neighbors: Vec<Vec<u32>> = (0..cdfg.node_count() as u32)
+        .map(|id| {
+            let mut ns = cdfg.preds(id).to_vec();
+            ns.extend_from_slice(cdfg.succs(id));
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+        .collect();
+
+    let instr_features = Matrix::from_vec(
+        bench.program().len(),
+        INSTR_FEATURE_DIM,
+        instruction_features(bench.program()),
+    );
+    let mut fi_tuples = vec![None; bench.program().len()];
+    let mut fi_weights = vec![0u64; bench.program().len()];
+    for iv in truth.instruction_vulnerability() {
+        fi_tuples[iv.pc] = Some(iv.tuple);
+        fi_weights[iv.pc] = iv.injections;
+    }
+
+    BenchData {
+        bench,
+        cdfg,
+        truth,
+        features,
+        labels,
+        mask,
+        preds,
+        all_neighbors,
+        instr_features,
+        fi_tuples,
+        fi_weights,
+    }
+}
+
+/// Prepares all 12 Table-II benchmarks.
+pub fn prepare_suite(seed: u64, config: &PipelineConfig) -> Vec<BenchData> {
+    suite(seed)
+        .into_iter()
+        .map(|b| prepare_benchmark(b, config))
+        .collect()
+}
+
+/// The training set for evaluating on `test`, following the paper's regime
+/// (§IV): same-category train/test benchmarks, excluding `test` itself —
+/// the round-robin n−1 split for train/test members, and all five
+/// same-category members for the held-out validation programs.
+pub fn train_set<'a>(
+    all: &'a [BenchData],
+    test: &'a BenchData,
+) -> impl Iterator<Item = &'a BenchData> {
+    all.iter().filter(move |d| {
+        d.bench.category == test.bench.category
+            && d.bench.split == Split::TrainTest
+            && d.bench.name != test.bench.name
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_bench_suite::control::dijkstra;
+
+    fn quick_data() -> BenchData {
+        prepare_benchmark(dijkstra::build(3), &PipelineConfig::quick_test())
+    }
+
+    #[test]
+    fn labels_join_onto_graph_nodes() {
+        let d = quick_data();
+        assert!(d.bit_datapoints() > 0, "campaign produced labels");
+        // Every label sits on an executed instruction's node.
+        for (id, &m) in d.mask.iter().enumerate() {
+            if m {
+                let node = d.cdfg.nodes()[id];
+                assert!(
+                    d.truth.golden().exec_counts[node.pc] > 0,
+                    "label on never-executed pc {}",
+                    node.pc
+                );
+                assert!(d.labels[id] < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_tuples_cover_executed_instructions() {
+        let d = quick_data();
+        assert!(d.instr_datapoints() > 0);
+        for pc in d.covered_pcs() {
+            assert!(d.fi_weights[pc] > 0);
+            let t = d.fi_tuples[pc].expect("covered");
+            assert!((t.crash + t.sdc + t.masked - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetrised_supersets() {
+        let d = quick_data();
+        for id in 0..d.preds.len() {
+            for p in &d.preds[id] {
+                assert!(d.all_neighbors[id].contains(p));
+            }
+        }
+        // Symmetry: u in all_neighbors[v] ⇒ v in all_neighbors[u].
+        for v in 0..d.all_neighbors.len() {
+            for &u in &d.all_neighbors[v] {
+                assert!(
+                    d.all_neighbors[u as usize].contains(&(v as u32)),
+                    "asymmetric neighbourhood {v} ↔ {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_set_excludes_test_and_other_category() {
+        let config = PipelineConfig::quick_test();
+        // Build a miniature suite: two control TT benches + one data TT.
+        let all = vec![
+            prepare_benchmark(glaive_bench_suite::control::dijkstra::build(1), &config),
+            prepare_benchmark(glaive_bench_suite::control::sobel::build(1), &config),
+            prepare_benchmark(glaive_bench_suite::data::radix::build(1), &config),
+        ];
+        let names: Vec<&str> = train_set(&all, &all[0]).map(|d| d.bench.name).collect();
+        assert_eq!(names, vec!["sobel"]);
+    }
+}

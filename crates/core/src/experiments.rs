@@ -1,0 +1,341 @@
+//! Experiment drivers reproducing §V of the paper. Each driver returns
+//! plain row structs; the `glaive-bench` binaries format them as the
+//! corresponding table or figure series.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use glaive_bench_suite::{Category, Split};
+use glaive_faultsim::Campaign;
+
+use crate::config::PipelineConfig;
+use crate::data::{train_set, BenchData};
+use crate::metrics::{bit_accuracy, program_vulnerability_error, top_k_coverage};
+use crate::models::{train_models, Method, Models};
+use crate::stats::{vulnerability_distribution, VulnDistribution};
+
+/// A fully trained evaluation: the prepared suite plus one set of models
+/// per distinct training split (round-robin n−1 for train/test members,
+/// all-five for validation members).
+#[derive(Debug)]
+pub struct Evaluation {
+    suite: Vec<BenchData>,
+    /// Models keyed by the training-set signature (sorted names joined).
+    models: HashMap<String, Models>,
+    /// Test benchmark name → training-set signature.
+    split_of: HashMap<String, String>,
+}
+
+impl Evaluation {
+    /// Prepares models for every benchmark's evaluation split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suite` is empty or a benchmark has no training partners.
+    pub fn new(suite: Vec<BenchData>, config: &PipelineConfig) -> Evaluation {
+        let mut models: HashMap<String, Models> = HashMap::new();
+        let mut split_of = HashMap::new();
+        for test in &suite {
+            let train: Vec<&BenchData> = train_set(&suite, test).collect();
+            assert!(
+                !train.is_empty(),
+                "benchmark {} has no same-category training partners",
+                test.bench.name
+            );
+            let mut names: Vec<&str> = train.iter().map(|d| d.bench.name).collect();
+            names.sort_unstable();
+            let key = names.join("+");
+            models
+                .entry(key.clone())
+                .or_insert_with(|| train_models(&train, config));
+            split_of.insert(test.bench.name.to_string(), key);
+        }
+        Evaluation {
+            suite,
+            models,
+            split_of,
+        }
+    }
+
+    /// The prepared benchmarks.
+    pub fn suite(&self) -> &[BenchData] {
+        &self.suite
+    }
+
+    /// The benchmark data for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no benchmark has that name.
+    pub fn data(&self, name: &str) -> &BenchData {
+        self.suite
+            .iter()
+            .find(|d| d.bench.name == name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+    }
+
+    /// The models trained for evaluating `name` (i.e. *without* seeing it
+    /// if it is a train/test member).
+    pub fn models_for(&self, name: &str) -> &Models {
+        &self.models[&self.split_of[name]]
+    }
+
+    /// Table III: per-benchmark bit-classification accuracy of GLAIVE and
+    /// MLP-BIT.
+    pub fn accuracy_rows(&self) -> Vec<AccuracyRow> {
+        self.suite
+            .iter()
+            .map(|d| {
+                let models = self.models_for(d.bench.name);
+                let glaive_preds = models
+                    .bit_predictions(Method::Glaive, d)
+                    .expect("bit-level");
+                let mlp_preds = models
+                    .bit_predictions(Method::MlpBit, d)
+                    .expect("bit-level");
+                AccuracyRow {
+                    benchmark: d.bench.name.to_string(),
+                    category: d.bench.category,
+                    split: d.bench.split,
+                    glaive: bit_accuracy(&glaive_preds, d),
+                    mlp_bit: bit_accuracy(&mlp_preds, d),
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 4: top-K coverage curves for every benchmark × method over the
+    /// given protection budgets (percent).
+    pub fn coverage_curves(&self, ks: &[f64]) -> Vec<CoverageCurve> {
+        let mut curves = Vec::new();
+        for d in &self.suite {
+            let models = self.models_for(d.bench.name);
+            for method in Method::ALL {
+                let est = models.estimate(method, d);
+                let points = ks
+                    .iter()
+                    .map(|&k| (k, top_k_coverage(&est, d, k)))
+                    .collect();
+                curves.push(CoverageCurve {
+                    benchmark: d.bench.name.to_string(),
+                    category: d.bench.category,
+                    method,
+                    points,
+                });
+            }
+        }
+        curves
+    }
+
+    /// Fig. 5a: program-vulnerability error per benchmark × method.
+    pub fn pv_error_rows(&self) -> Vec<PvErrorRow> {
+        self.suite
+            .iter()
+            .map(|d| {
+                let models = self.models_for(d.bench.name);
+                let errors =
+                    Method::ALL.map(|m| program_vulnerability_error(&models.estimate(m, d), d));
+                PvErrorRow {
+                    benchmark: d.bench.name.to_string(),
+                    category: d.bench.category,
+                    errors,
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 2: bit-outcome composition per benchmark.
+    pub fn distribution_rows(&self) -> Vec<(String, Category, VulnDistribution)> {
+        self.suite
+            .iter()
+            .map(|d| {
+                (
+                    d.bench.name.to_string(),
+                    d.bench.category,
+                    vulnerability_distribution(d),
+                )
+            })
+            .collect()
+    }
+
+    /// Fig. 5b: wall-clock speedup of each method's estimation over a
+    /// re-run FI campaign on `name`. Estimation is timed end-to-end from
+    /// extracted features (the models are already trained, as in the
+    /// paper's inference-time comparison).
+    pub fn runtime_report(&self, name: &str, config: &PipelineConfig) -> RuntimeReport {
+        let d = self.data(name);
+        let models = self.models_for(name);
+
+        let t0 = Instant::now();
+        let _ = Campaign::new(d.bench.program(), &d.bench.init_mem, config.campaign()).run();
+        let fi_seconds = t0.elapsed().as_secs_f64();
+
+        let method_seconds = Method::ALL.map(|m| {
+            let t = Instant::now();
+            let est = models.estimate(m, d);
+            assert_eq!(est.len(), d.bench.program().len());
+            t.elapsed().as_secs_f64()
+        });
+        RuntimeReport {
+            benchmark: name.to_string(),
+            fi_seconds,
+            method_seconds,
+        }
+    }
+}
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Control- or data-sensitive.
+    pub category: Category,
+    /// Train/test or validation membership.
+    pub split: Split,
+    /// GLAIVE bit-classification accuracy.
+    pub glaive: f64,
+    /// MLP-BIT bit-classification accuracy.
+    pub mlp_bit: f64,
+}
+
+/// One Fig.-4 curve.
+#[derive(Debug, Clone)]
+pub struct CoverageCurve {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Control- or data-sensitive.
+    pub category: Category,
+    /// Estimation method.
+    pub method: Method,
+    /// `(K%, coverage)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CoverageCurve {
+    /// Mean coverage across the curve's budgets.
+    pub fn mean_coverage(&self) -> f64 {
+        self.points.iter().map(|&(_, c)| c).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// One row of Fig. 5a.
+#[derive(Debug, Clone)]
+pub struct PvErrorRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Control- or data-sensitive.
+    pub category: Category,
+    /// Program-vulnerability error per method, in M1..M4 order.
+    pub errors: [f64; 4],
+}
+
+/// One Fig.-5b measurement.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Wall-clock seconds of the FI campaign.
+    pub fi_seconds: f64,
+    /// Wall-clock seconds of each method's estimation, in M1..M4 order.
+    pub method_seconds: [f64; 4],
+}
+
+impl RuntimeReport {
+    /// Speedup of each method over FI, in M1..M4 order.
+    pub fn speedups(&self) -> [f64; 4] {
+        self.method_seconds.map(|s| self.fi_seconds / s.max(1e-9))
+    }
+}
+
+/// The protection budgets of Fig. 4: 5 % to 100 % in steps of 5.
+pub fn paper_budgets() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 5.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::prepare_benchmark;
+    use glaive_bench_suite::control::{dijkstra, sobel};
+
+    /// A miniature two-benchmark evaluation exercising the full loop.
+    fn tiny_eval() -> (Evaluation, PipelineConfig) {
+        let config = PipelineConfig::quick_test();
+        let suite = vec![
+            prepare_benchmark(dijkstra::build(1), &config),
+            prepare_benchmark(sobel::build(1), &config),
+        ];
+        (Evaluation::new(suite, &config), config)
+    }
+
+    #[test]
+    fn round_robin_training_excludes_test_benchmark() {
+        let (eval, _) = tiny_eval();
+        // With two benchmarks, each is evaluated on a model trained only on
+        // the other.
+        assert_eq!(eval.split_of["dijkstra"], "sobel");
+        assert_eq!(eval.split_of["sobel"], "dijkstra");
+    }
+
+    #[test]
+    fn accuracy_rows_are_probabilities() {
+        let (eval, _) = tiny_eval();
+        let rows = eval.accuracy_rows();
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(
+                (0.0..=1.0).contains(&r.glaive),
+                "{}: {}",
+                r.benchmark,
+                r.glaive
+            );
+            assert!((0.0..=1.0).contains(&r.mlp_bit));
+        }
+    }
+
+    #[test]
+    fn coverage_curves_cover_all_methods_and_budgets() {
+        let (eval, _) = tiny_eval();
+        let ks = [10.0, 50.0, 100.0];
+        let curves = eval.coverage_curves(&ks);
+        assert_eq!(curves.len(), 2 * Method::ALL.len());
+        for c in &curves {
+            assert_eq!(c.points.len(), ks.len());
+            for &(_, cov) in &c.points {
+                assert!((0.0..=1.0).contains(&cov));
+            }
+            let m = c.mean_coverage();
+            assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn pv_error_rows_are_bounded() {
+        let (eval, _) = tiny_eval();
+        for row in eval.pv_error_rows() {
+            for e in row.errors {
+                // L1 distance between two distributions is at most 2.
+                assert!((0.0..=2.0).contains(&e), "{}: {e}", row.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_report_shows_ml_faster_than_fi() {
+        let (eval, config) = tiny_eval();
+        let report = eval.runtime_report("dijkstra", &config);
+        assert!(report.fi_seconds > 0.0);
+        for s in report.speedups() {
+            assert!(s > 1.0, "estimation should beat fault injection, got {s}x");
+        }
+    }
+
+    #[test]
+    fn paper_budgets_match_figure_4() {
+        let ks = paper_budgets();
+        assert_eq!(ks.len(), 20);
+        assert_eq!(ks[0], 5.0);
+        assert_eq!(ks[19], 100.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! GLAIVE: graph-learning-assisted instruction vulnerability estimation —
+//! the end-to-end pipeline of the DATE 2021 paper, built on the workspace
+//! substrates.
+//!
+//! The pipeline (paper Fig. 1):
+//!
+//! 1. compile a benchmark to the GLAIVE ISA ([`glaive_bench_suite`]),
+//! 2. extract its bit-level CDFG and Table-I node features ([`glaive_cdfg`]),
+//! 3. run a bit-level fault-injection campaign for ground truth
+//!    ([`glaive_faultsim`]),
+//! 4. train the augmented GraphSAGE ([`glaive_gnn`]) on the labelled graphs
+//!    of the *training* benchmarks,
+//! 5. infer per-bit vulnerability classes on an *unseen* benchmark, and
+//! 6. aggregate them into instruction vulnerability tuples ⟨I_C, I_S, I_M⟩,
+//!    a protection ranking, top-K coverage and program vulnerability error.
+//!
+//! Baseline estimators (MLP-BIT, RF-INST, SVM-INST) and the FI oracle share
+//! the same interfaces so every experiment in the paper's §V is a small
+//! driver over this crate (see `glaive-bench`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use glaive::{prepare_suite, train_models, Method, PipelineConfig};
+//!
+//! let config = PipelineConfig::quick_test();
+//! let suite = prepare_suite(7, &config);
+//! // Round-robin: hold out the first control-sensitive benchmark.
+//! let test = &suite[0];
+//! let train: Vec<_> = glaive::train_set(&suite, test).collect();
+//! let models = train_models(&train, &config);
+//! let est = models.estimate(Method::Glaive, test);
+//! let cov = glaive::metrics::top_k_coverage(&est, test, 20.0);
+//! println!("top-20% coverage: {cov:.3}");
+//! ```
+
+pub mod analytic;
+mod config;
+mod data;
+pub mod experiments;
+pub mod metrics;
+mod models;
+pub mod stats;
+
+pub use config::PipelineConfig;
+pub use data::{
+    prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite, train_set, BenchData,
+};
+pub use models::{train_models, Method, Models};
+
+pub use glaive_faultsim::VulnTuple;

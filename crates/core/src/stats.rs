@@ -1,0 +1,88 @@
+//! Vulnerability-distribution statistics (paper Fig. 2): how many
+//! instructions have *pure* bit-level outcomes (every sampled bit Masked,
+//! SDC or Crash) versus *mixed* outcomes — the paper's motivation for
+//! bit-level features.
+
+use std::collections::BTreeMap;
+
+use glaive_sim::Outcome;
+
+use crate::data::BenchData;
+
+/// Fractions of FI-covered instructions by bit-outcome composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VulnDistribution {
+    /// All sampled bits Masked.
+    pub pure_masked: f64,
+    /// All sampled bits SDC.
+    pub pure_sdc: f64,
+    /// All sampled bits Crash.
+    pub pure_crash: f64,
+    /// At least two distinct bit outcomes.
+    pub mixed: f64,
+    /// Number of FI-covered instructions the fractions refer to.
+    pub instructions: usize,
+}
+
+/// Computes the Fig.-2 distribution for one benchmark from its FI bit
+/// labels.
+pub fn vulnerability_distribution(data: &BenchData) -> VulnDistribution {
+    let mut per_pc: BTreeMap<usize, [bool; 3]> = BTreeMap::new();
+    for (site, outcome) in data.truth.bit_labels() {
+        per_pc.entry(site.pc).or_default()[outcome.label()] = true;
+    }
+    let n = per_pc.len();
+    let mut pure = [0usize; 3];
+    let mut mixed = 0usize;
+    for seen in per_pc.values() {
+        let kinds = seen.iter().filter(|&&b| b).count();
+        if kinds >= 2 {
+            mixed += 1;
+        } else {
+            for o in Outcome::ALL {
+                if seen[o.label()] {
+                    pure[o.label()] += 1;
+                }
+            }
+        }
+    }
+    let frac = |c: usize| if n == 0 { 0.0 } else { c as f64 / n as f64 };
+    VulnDistribution {
+        pure_masked: frac(pure[Outcome::Masked.label()]),
+        pure_sdc: frac(pure[Outcome::Sdc.label()]),
+        pure_crash: frac(pure[Outcome::Crash.label()]),
+        mixed: frac(mixed),
+        instructions: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::prepare_benchmark;
+    use crate::PipelineConfig;
+    use glaive_bench_suite::control::dijkstra;
+    use glaive_bench_suite::data::swaptions;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let d = prepare_benchmark(dijkstra::build(1), &PipelineConfig::quick_test());
+        let v = vulnerability_distribution(&d);
+        let sum = v.pure_masked + v.pure_sdc + v.pure_crash + v.mixed;
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(v.instructions > 0);
+    }
+
+    #[test]
+    fn realistic_programs_have_mixed_instructions() {
+        // The paper's Fig. 2 motivation: a substantial fraction of
+        // instructions is bit-position dependent.
+        let d = prepare_benchmark(swaptions::build(1), &PipelineConfig::quick_test());
+        let v = vulnerability_distribution(&d);
+        assert!(
+            v.mixed > 0.1,
+            "expected mixed instructions, got {}",
+            v.mixed
+        );
+    }
+}

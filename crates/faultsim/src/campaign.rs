@@ -1,0 +1,412 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use glaive_isa::Program;
+use glaive_sim::{classify, run, run_with_fault, ExecConfig, FaultSpec, OperandSlot};
+
+use crate::truth::{BitSite, GroundTruth, InjectionRecord};
+
+/// Parameters of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Inject into every `bit_stride`-th bit of each operand register
+    /// (1 = all 64 bits, the paper's setting; larger values subsample for
+    /// quick tests).
+    pub bit_stride: usize,
+    /// Dynamic instances sampled per fault-site class (evenly spaced over
+    /// the instruction's execution count) — the Approxilyzer-style
+    /// equivalence-class pruning.
+    pub instances_per_site: usize,
+    /// Faulty runs get `hang_factor × golden_length + 1024` dynamic
+    /// instructions before being declared a hang.
+    pub hang_factor: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Statically predict provably-Masked outcomes (faults on dead
+    /// definitions) instead of simulating them — Approxilyzer-style outcome
+    /// prediction. Sound: predicted outcomes equal simulated ones.
+    pub predict_dead_defs: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            bit_stride: 1,
+            instances_per_site: 2,
+            hang_factor: 4,
+            threads: 0,
+            predict_dead_defs: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A heavily subsampled configuration for unit tests and examples.
+    pub fn quick() -> Self {
+        CampaignConfig {
+            bit_stride: 8,
+            instances_per_site: 1,
+            hang_factor: 4,
+            threads: 0,
+            predict_dead_defs: true,
+        }
+    }
+}
+
+/// A systematic bit-level fault-injection campaign over one program.
+#[derive(Debug)]
+pub struct Campaign<'p> {
+    program: &'p Program,
+    init_mem: &'p [u64],
+    config: CampaignConfig,
+}
+
+impl<'p> Campaign<'p> {
+    /// Creates a campaign for `program` with the given input image.
+    pub fn new(program: &'p Program, init_mem: &'p [u64], config: CampaignConfig) -> Self {
+        assert!(config.bit_stride >= 1, "bit_stride must be at least 1");
+        assert!(
+            config.instances_per_site >= 1,
+            "instances_per_site must be at least 1"
+        );
+        Campaign {
+            program,
+            init_mem,
+            config,
+        }
+    }
+
+    /// Enumerates the fault specs the campaign will inject, in deterministic
+    /// order. Sites on never-executed instructions are pruned (a fault there
+    /// cannot activate), mirroring Approxilyzer's reachability pruning.
+    pub fn enumerate_sites(&self, exec_counts: &[u64]) -> Vec<FaultSpec> {
+        let mut specs = Vec::new();
+        for (pc, instr) in self.program.instrs().iter().enumerate() {
+            let count = exec_counts[pc];
+            if count == 0 {
+                continue;
+            }
+            let mut slots: Vec<OperandSlot> = Vec::new();
+            slots.extend((0..instr.uses().len()).map(OperandSlot::Use));
+            slots.extend((0..instr.defs().len()).map(OperandSlot::Def));
+            let samples = self.instance_samples(count);
+            for slot in slots {
+                for bit in (0..glaive_isa::WORD_BITS).step_by(self.config.bit_stride) {
+                    for &instance in &samples {
+                        specs.push(FaultSpec {
+                            pc,
+                            slot,
+                            bit: bit as u8,
+                            instance,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Evenly spaced dynamic-instance samples in `0..count`.
+    fn instance_samples(&self, count: u64) -> Vec<u64> {
+        let k = (self.config.instances_per_site as u64).min(count);
+        (0..k).map(|j| j * count / k).collect()
+    }
+
+    /// Runs the campaign: golden run, site enumeration, parallel injection,
+    /// and aggregation into a [`GroundTruth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt cleanly — vulnerability ground
+    /// truth is undefined for a program that fails without faults.
+    pub fn run(&self) -> GroundTruth {
+        let golden_cfg = ExecConfig::default();
+        let golden = run(self.program, self.init_mem, &golden_cfg);
+        assert!(
+            golden.status.is_clean(),
+            "golden run of `{}` did not halt cleanly: {:?}",
+            self.program.name(),
+            golden.status
+        );
+        let specs = self.enumerate_sites(&golden.exec_counts);
+        let fault_cfg = ExecConfig {
+            max_instrs: golden.dyn_instrs * self.config.hang_factor + 1024,
+        };
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+
+        let mut records: Vec<Option<InjectionRecord>> = vec![None; specs.len()];
+
+        // Approxilyzer-style outcome prediction: Def-slot faults on dead
+        // definitions are provably Masked and need no simulation.
+        let mut predicted = 0usize;
+        if self.config.predict_dead_defs {
+            let dead = crate::pruning::dead_defs(self.program);
+            for (i, spec) in specs.iter().enumerate() {
+                if matches!(spec.slot, OperandSlot::Def(_)) && dead[spec.pc] {
+                    records[i] = Some(InjectionRecord {
+                        site: BitSite {
+                            pc: spec.pc,
+                            slot: spec.slot,
+                            bit: spec.bit,
+                        },
+                        instance: spec.instance,
+                        outcome: glaive_sim::Outcome::Masked,
+                    });
+                    predicted += 1;
+                }
+            }
+        }
+        if threads <= 1 || specs.len() < 64 {
+            for (i, spec) in specs.iter().enumerate() {
+                if records[i].is_none() {
+                    records[i] = Some(self.inject(spec, &golden, &fault_cfg));
+                }
+            }
+        } else {
+            let skip: Vec<bool> = records.iter().map(Option::is_some).collect();
+            let next = AtomicUsize::new(0);
+            let sink: Mutex<Vec<(usize, InjectionRecord)>> =
+                Mutex::new(Vec::with_capacity(specs.len()));
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| {
+                        let mut local = Vec::new();
+                        loop {
+                            // Chunked work stealing keeps contention low.
+                            let start = next.fetch_add(64, Ordering::Relaxed);
+                            if start >= specs.len() {
+                                break;
+                            }
+                            let end = (start + 64).min(specs.len());
+                            for i in start..end {
+                                if skip[i] {
+                                    continue;
+                                }
+                                local.push((i, self.inject(&specs[i], &golden, &fault_cfg)));
+                            }
+                        }
+                        sink.lock().expect("sink lock").extend(local);
+                    });
+                }
+            })
+            .expect("campaign worker panicked");
+            for (i, rec) in sink.into_inner().expect("sink lock") {
+                records[i] = Some(rec);
+            }
+        }
+
+        let records: Vec<InjectionRecord> = records
+            .into_iter()
+            .map(|r| r.expect("all sites injected"))
+            .collect();
+        GroundTruth::new(self.program.name().to_string(), records, golden, predicted)
+    }
+
+    fn inject(
+        &self,
+        spec: &FaultSpec,
+        golden: &glaive_sim::RunResult,
+        cfg: &ExecConfig,
+    ) -> InjectionRecord {
+        let faulty = run_with_fault(self.program, self.init_mem, cfg, spec);
+        InjectionRecord {
+            site: BitSite {
+                pc: spec.pc,
+                slot: spec.slot,
+                bit: spec.bit,
+            },
+            instance: spec.instance,
+            outcome: classify(golden, &faulty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_isa::{AluOp, Asm, BranchCond, Reg};
+    use glaive_sim::Outcome;
+
+    fn sum_program() -> Program {
+        let mut asm = Asm::new("sum");
+        let (acc, i, one, lim) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        asm.li(acc, 0);
+        asm.li(i, 1);
+        asm.li(one, 1);
+        asm.li(lim, 10);
+        let top = asm.label();
+        asm.bind(top);
+        asm.alu(AluOp::Add, acc, acc, i);
+        asm.alu(AluOp::Add, i, i, one);
+        asm.branch(BranchCond::Le, i, lim, top);
+        asm.out(acc);
+        asm.halt();
+        asm.finish().expect("resolves")
+    }
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            bit_stride: 4,
+            instances_per_site: 2,
+            hang_factor: 4,
+            threads: 1,
+            predict_dead_defs: false,
+        }
+    }
+
+    #[test]
+    fn site_enumeration_skips_dead_code() {
+        let mut asm = Asm::new("dead");
+        let end = asm.label();
+        asm.li(Reg(1), 1);
+        asm.jump(end);
+        asm.li(Reg(2), 2); // dead
+        asm.bind(end);
+        asm.out(Reg(1));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let c = Campaign::new(&p, &[], config());
+        let golden = run(&p, &[], &ExecConfig::default());
+        let specs = c.enumerate_sites(&golden.exec_counts);
+        assert!(
+            specs.iter().all(|s| s.pc != 2),
+            "dead instruction has no sites"
+        );
+        // li r1 has one def slot; out has one use slot; halt/jump none.
+        let pcs: Vec<usize> = specs.iter().map(|s| s.pc).collect();
+        assert!(pcs.contains(&0));
+        assert!(pcs.contains(&3));
+    }
+
+    #[test]
+    fn instance_samples_are_even_and_bounded() {
+        let c = Campaign::new_unchecked_for_tests();
+        assert_eq!(c.instance_samples(1), vec![0]);
+        assert_eq!(c.instance_samples(2), vec![0, 1]);
+        let s = c.instance_samples(10);
+        assert_eq!(s, vec![0, 5]);
+    }
+
+    impl<'p> Campaign<'p> {
+        fn new_unchecked_for_tests() -> Campaign<'static> {
+            // A static leak is fine for a test helper.
+            let p: &'static Program = Box::leak(Box::new(sum_program()));
+            Campaign {
+                program: p,
+                init_mem: &[],
+                config: config(),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_produces_all_three_outcomes() {
+        let p = sum_program();
+        let truth = Campaign::new(&p, &[], config()).run();
+        let outcomes: Vec<Outcome> = truth.records().iter().map(|r| r.outcome).collect();
+        assert!(outcomes.contains(&Outcome::Masked), "some faults must mask");
+        assert!(
+            outcomes.contains(&Outcome::Sdc),
+            "some faults must corrupt output"
+        );
+        // This loop program has no memory ops; crashes come from hangs
+        // (corrupted loop counter) — with bit 32+ flips on the counter the
+        // loop runs ~2^32 iterations, exceeding the budget.
+        assert!(outcomes.contains(&Outcome::Crash), "some faults must hang");
+    }
+
+    #[test]
+    fn parallel_and_serial_campaigns_agree() {
+        let p = sum_program();
+        let serial = Campaign::new(
+            &p,
+            &[],
+            CampaignConfig {
+                threads: 1,
+                ..config()
+            },
+        )
+        .run();
+        let parallel = Campaign::new(
+            &p,
+            &[],
+            CampaignConfig {
+                threads: 4,
+                ..config()
+            },
+        )
+        .run();
+        assert_eq!(serial.records(), parallel.records());
+    }
+
+    #[test]
+    fn full_bit_coverage_with_stride_one() {
+        let mut asm = Asm::new("one");
+        asm.li(Reg(1), 7);
+        asm.out(Reg(1));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let cfg = CampaignConfig {
+            bit_stride: 1,
+            instances_per_site: 1,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let truth = Campaign::new(&p, &[], cfg).run();
+        // li def slot (64) + out use slot (64) = 128 sites.
+        assert_eq!(truth.total_injections(), 128);
+        let labels = truth.bit_labels();
+        assert_eq!(labels.len(), 128);
+    }
+
+    #[test]
+    fn prediction_preserves_ground_truth() {
+        let mut asm = Asm::new("deadmix");
+        asm.li(Reg(1), 7); // dead (rewritten below)
+        asm.li(Reg(1), 9);
+        asm.li(Reg(2), 5); // dead (never read)
+        asm.alu(AluOp::Add, Reg(3), Reg(1), Reg(1));
+        asm.out(Reg(3));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let with = Campaign::new(
+            &p,
+            &[],
+            CampaignConfig {
+                predict_dead_defs: true,
+                ..config()
+            },
+        )
+        .run();
+        let without = Campaign::new(
+            &p,
+            &[],
+            CampaignConfig {
+                predict_dead_defs: false,
+                ..config()
+            },
+        )
+        .run();
+        assert!(with.predicted_injections() > 0, "dead defs exist");
+        assert_eq!(without.predicted_injections(), 0);
+        assert_eq!(with.records(), without.records(), "prediction is sound");
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt cleanly")]
+    fn dirty_golden_run_is_rejected() {
+        let mut asm = Asm::new("trap");
+        asm.li(Reg(1), 0);
+        asm.alu(AluOp::Div, Reg(2), Reg(1), Reg(1));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        Campaign::new(&p, &[], config()).run();
+    }
+}

@@ -1,0 +1,363 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use glaive_sim::{OperandSlot, Outcome, RunResult};
+
+/// A bit-level fault-site equivalence class: all single-bit upsets of `bit`
+/// in operand `slot` of static instruction `pc`, across dynamic instances.
+///
+/// One `BitSite` corresponds to one node of the bit-level CDFG and carries
+/// one ternary training label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSite {
+    /// Static instruction index.
+    pub pc: usize,
+    /// Operand slot within the instruction.
+    pub slot: OperandSlot,
+    /// Bit position within the operand register.
+    pub bit: u8,
+}
+
+impl fmt::Display for BitSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc={} {} bit={}", self.pc, self.slot, self.bit)
+    }
+}
+
+/// The outcome of one fault-injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// The fault-site class this injection samples.
+    pub site: BitSite,
+    /// The dynamic instance at which the fault was injected.
+    pub instance: u64,
+    /// Masked / SDC / Crash.
+    pub outcome: Outcome,
+}
+
+/// An instruction vulnerability tuple ⟨crash, sdc, masked⟩ with components
+/// summing to 1 (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VulnTuple {
+    /// Crash probability `I_C`.
+    pub crash: f64,
+    /// SDC probability `I_S`.
+    pub sdc: f64,
+    /// Masked probability `I_M`.
+    pub masked: f64,
+}
+
+impl VulnTuple {
+    /// A fully masked tuple.
+    pub const MASKED: VulnTuple = VulnTuple {
+        crash: 0.0,
+        sdc: 0.0,
+        masked: 1.0,
+    };
+
+    /// Builds a tuple from outcome counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all counts are zero.
+    pub fn from_counts(crash: u64, sdc: u64, masked: u64) -> VulnTuple {
+        let total = crash + sdc + masked;
+        assert!(
+            total > 0,
+            "vulnerability tuple needs at least one observation"
+        );
+        VulnTuple {
+            crash: crash as f64 / total as f64,
+            sdc: sdc as f64 / total as f64,
+            masked: masked as f64 / total as f64,
+        }
+    }
+
+    /// Probability that a fault is *not* masked (used for ranking).
+    pub fn failure(&self) -> f64 {
+        self.crash + self.sdc
+    }
+
+    /// The paper's program-vulnerability error contribution: the sum of
+    /// absolute per-class differences against another tuple.
+    pub fn abs_error(&self, other: &VulnTuple) -> f64 {
+        (self.crash - other.crash).abs()
+            + (self.sdc - other.sdc).abs()
+            + (self.masked - other.masked).abs()
+    }
+
+    /// Severity-aware ranking key: crash-heavy first, then SDC-heavy,
+    /// matching the `Crash → SDC → Masked` ordering of §II-B.
+    pub fn ranking_key(&self) -> f64 {
+        2.0 * self.crash + self.sdc
+    }
+}
+
+/// Per-instruction FI result: the tuple plus the number of injections that
+/// produced it (used as the program-vulnerability weight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrVulnerability {
+    /// Static instruction index.
+    pub pc: usize,
+    /// ⟨I_C, I_S, I_M⟩.
+    pub tuple: VulnTuple,
+    /// Number of injections performed on this instruction.
+    pub injections: u64,
+}
+
+/// The complete result of a fault-injection campaign on one program.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    program_name: String,
+    records: Vec<InjectionRecord>,
+    golden: RunResult,
+    predicted: usize,
+}
+
+impl GroundTruth {
+    pub(crate) fn new(
+        program_name: String,
+        records: Vec<InjectionRecord>,
+        golden: RunResult,
+        predicted: usize,
+    ) -> Self {
+        GroundTruth {
+            program_name,
+            records,
+            golden,
+            predicted,
+        }
+    }
+
+    /// Name of the analysed program.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+
+    /// All injection records, in deterministic site order.
+    pub fn records(&self) -> &[InjectionRecord] {
+        &self.records
+    }
+
+    /// The golden (fault-free) run the outcomes were classified against.
+    pub fn golden(&self) -> &RunResult {
+        &self.golden
+    }
+
+    /// Total number of injection records (simulated + predicted).
+    pub fn total_injections(&self) -> usize {
+        self.records.len()
+    }
+
+    /// How many records were statically *predicted* (dead-definition
+    /// pruning) rather than simulated.
+    pub fn predicted_injections(&self) -> usize {
+        self.predicted
+    }
+
+    /// Per-site ternary labels: the modal outcome over the site's sampled
+    /// instances, ties broken by severity (Crash → SDC → Masked).
+    pub fn bit_labels(&self) -> BTreeMap<BitSite, Outcome> {
+        let mut counts: BTreeMap<BitSite, [u64; 3]> = BTreeMap::new();
+        for r in &self.records {
+            counts.entry(r.site).or_default()[r.outcome.label()] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(site, c)| {
+                // max_by_key keeps the *last* maximum, so iterating in
+                // ascending severity makes ties resolve to the severer class.
+                let label = [Outcome::Masked, Outcome::Sdc, Outcome::Crash]
+                    .into_iter()
+                    .max_by_key(|o| c[o.label()])
+                    .expect("nonempty outcome list");
+                (site, label)
+            })
+            .collect()
+    }
+
+    /// FI-derived instruction vulnerability ⟨I_C, I_S, I_M⟩ for every
+    /// instruction with at least one injection, ordered by PC.
+    pub fn instruction_vulnerability(&self) -> Vec<InstrVulnerability> {
+        let mut counts: BTreeMap<usize, [u64; 3]> = BTreeMap::new();
+        for r in &self.records {
+            counts.entry(r.site.pc).or_default()[r.outcome.label()] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(pc, c)| InstrVulnerability {
+                pc,
+                tuple: VulnTuple::from_counts(
+                    c[Outcome::Crash.label()],
+                    c[Outcome::Sdc.label()],
+                    c[Outcome::Masked.label()],
+                ),
+                injections: c.iter().sum(),
+            })
+            .collect()
+    }
+
+    /// Program vulnerability P_v: instruction tuples weighted by their share
+    /// of total injections (paper §II-B) — equivalently, the overall outcome
+    /// fractions.
+    pub fn program_vulnerability(&self) -> VulnTuple {
+        let mut c = [0u64; 3];
+        for r in &self.records {
+            c[r.outcome.label()] += 1;
+        }
+        VulnTuple::from_counts(
+            c[Outcome::Crash.label()],
+            c[Outcome::Sdc.label()],
+            c[Outcome::Masked.label()],
+        )
+    }
+
+    /// Number of instructions that received at least one injection.
+    pub fn instructions_covered(&self) -> usize {
+        let mut pcs: Vec<usize> = self.records.iter().map(|r| r.site.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        pcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_sim::ExitStatus;
+
+    fn record(pc: usize, bit: u8, outcome: Outcome) -> InjectionRecord {
+        InjectionRecord {
+            site: BitSite {
+                pc,
+                slot: OperandSlot::Use(0),
+                bit,
+            },
+            instance: 0,
+            outcome,
+        }
+    }
+
+    fn truth(records: Vec<InjectionRecord>) -> GroundTruth {
+        GroundTruth::new(
+            "t".into(),
+            records,
+            RunResult {
+                status: ExitStatus::Halted,
+                output: vec![],
+                dyn_instrs: 10,
+                exec_counts: vec![10],
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn vuln_tuple_from_counts_normalises() {
+        let t = VulnTuple::from_counts(1, 1, 2);
+        assert!((t.crash - 0.25).abs() < 1e-12);
+        assert!((t.sdc - 0.25).abs() < 1e-12);
+        assert!((t.masked - 0.5).abs() < 1e-12);
+        assert!((t.failure() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn vuln_tuple_rejects_empty() {
+        VulnTuple::from_counts(0, 0, 0);
+    }
+
+    #[test]
+    fn abs_error_is_symmetric_l1() {
+        let a = VulnTuple::from_counts(1, 0, 1);
+        let b = VulnTuple::from_counts(0, 1, 1);
+        assert!((a.abs_error(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.abs_error(&b), b.abs_error(&a));
+        assert_eq!(a.abs_error(&a), 0.0);
+    }
+
+    #[test]
+    fn bit_labels_take_modal_outcome() {
+        let t = truth(vec![
+            record(0, 0, Outcome::Masked),
+            record(0, 0, Outcome::Masked),
+            record(0, 0, Outcome::Sdc),
+        ]);
+        assert_eq!(
+            t.bit_labels()[&BitSite {
+                pc: 0,
+                slot: OperandSlot::Use(0),
+                bit: 0
+            }],
+            Outcome::Masked
+        );
+    }
+
+    #[test]
+    fn bit_labels_tie_break_by_severity() {
+        let t = truth(vec![
+            record(0, 0, Outcome::Masked),
+            record(0, 0, Outcome::Sdc),
+        ]);
+        assert_eq!(
+            t.bit_labels()[&BitSite {
+                pc: 0,
+                slot: OperandSlot::Use(0),
+                bit: 0
+            }],
+            Outcome::Sdc
+        );
+        let t = truth(vec![
+            record(0, 1, Outcome::Crash),
+            record(0, 1, Outcome::Masked),
+        ]);
+        assert_eq!(
+            t.bit_labels()[&BitSite {
+                pc: 0,
+                slot: OperandSlot::Use(0),
+                bit: 1
+            }],
+            Outcome::Crash
+        );
+    }
+
+    #[test]
+    fn instruction_vulnerability_groups_by_pc() {
+        let t = truth(vec![
+            record(0, 0, Outcome::Masked),
+            record(0, 1, Outcome::Crash),
+            record(3, 0, Outcome::Sdc),
+        ]);
+        let iv = t.instruction_vulnerability();
+        assert_eq!(iv.len(), 2);
+        assert_eq!(iv[0].pc, 0);
+        assert_eq!(iv[0].injections, 2);
+        assert!((iv[0].tuple.crash - 0.5).abs() < 1e-12);
+        assert_eq!(iv[1].pc, 3);
+        assert!((iv[1].tuple.sdc - 1.0).abs() < 1e-12);
+        assert_eq!(t.instructions_covered(), 2);
+    }
+
+    #[test]
+    fn program_vulnerability_is_overall_fraction() {
+        let t = truth(vec![
+            record(0, 0, Outcome::Masked),
+            record(1, 0, Outcome::Crash),
+            record(2, 0, Outcome::Sdc),
+            record(3, 0, Outcome::Sdc),
+        ]);
+        let pv = t.program_vulnerability();
+        assert!((pv.crash - 0.25).abs() < 1e-12);
+        assert!((pv.sdc - 0.5).abs() < 1e-12);
+        assert!((pv.masked - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_key_orders_by_severity() {
+        let crashy = VulnTuple::from_counts(9, 0, 1);
+        let sdcy = VulnTuple::from_counts(0, 9, 1);
+        let masked = VulnTuple::from_counts(0, 0, 1);
+        assert!(crashy.ranking_key() > sdcy.ranking_key());
+        assert!(sdcy.ranking_key() > masked.ranking_key());
+    }
+}

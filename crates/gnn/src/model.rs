@@ -1,0 +1,615 @@
+use glaive_nn::{
+    relu, relu_backward, softmax_cross_entropy, softmax_rows, Adam, DetRng, Linear, Matrix,
+};
+
+/// Hyperparameters of the augmented GraphSAGE model. Defaults follow the
+/// paper (§IV): 3 layers, hidden dimension 128, learning rate 1e-3,
+/// 10 epochs, neighbour sample size 50, ReLU, cross-entropy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SageConfig {
+    /// Hidden embedding dimension.
+    pub hidden: usize,
+    /// Number of GraphSAGE layers (the last produces class logits).
+    pub layers: usize,
+    /// Number of output classes (3: Masked / SDC / Crash).
+    pub classes: usize,
+    /// Neighbours sampled per node per epoch during training.
+    pub sample_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs (full-batch gradient steps per graph).
+    pub epochs: usize,
+    /// Seed for weight initialisation and neighbour sampling.
+    pub seed: u64,
+}
+
+impl Default for SageConfig {
+    fn default() -> Self {
+        SageConfig {
+            hidden: 128,
+            layers: 3,
+            classes: 3,
+            sample_size: 50,
+            lr: 1e-3,
+            epochs: 10,
+            seed: 1,
+        }
+    }
+}
+
+/// One labelled training graph: features, aggregation neighbourhoods
+/// (predecessors for GLAIVE, symmetrised neighbours for the vanilla
+/// ablation), per-node class labels, and a mask selecting labelled nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainGraph<'a> {
+    /// `n × d` node feature matrix.
+    pub features: &'a Matrix,
+    /// Aggregation neighbourhood of each node.
+    pub neighbors: &'a [Vec<u32>],
+    /// Class label per node (ignored where `mask` is false).
+    pub labels: &'a [usize],
+    /// Which nodes contribute to the loss.
+    pub mask: &'a [bool],
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    /// Mean masked loss per epoch (averaged over graphs).
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainStats {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// The augmented GraphSAGE model (see crate docs).
+#[derive(Debug, Clone)]
+pub struct GraphSage {
+    layers: Vec<Linear>,
+    config: SageConfig,
+    rng: DetRng,
+}
+
+impl GraphSage {
+    /// Creates a model for `in_dim`-dimensional node features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero layers, classes or hidden width.
+    pub fn new(in_dim: usize, config: &SageConfig) -> GraphSage {
+        assert!(config.layers >= 1, "need at least one layer");
+        assert!(config.classes >= 2, "need at least two classes");
+        assert!(config.hidden >= 1, "hidden dimension must be positive");
+        assert!(config.sample_size >= 1, "sample size must be positive");
+        let mut rng = DetRng::new(config.seed);
+        let mut layers = Vec::with_capacity(config.layers);
+        let mut d = in_dim;
+        for l in 0..config.layers {
+            let out = if l + 1 == config.layers {
+                config.classes
+            } else {
+                config.hidden
+            };
+            // Input is the concatenation [h_v ‖ mean(preds)].
+            layers.push(Linear::glorot(2 * d, out, &mut rng));
+            d = out;
+        }
+        GraphSage {
+            layers,
+            config: *config,
+            rng,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &SageConfig {
+        &self.config
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Read access to the layers (used by serialisation).
+    pub(crate) fn layer_views(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Reassembles a model from deserialised layers; `None` if the layer
+    /// dimensions are inconsistent with `config` (each layer's input must
+    /// be twice the previous output — the [h ‖ agg] concatenation).
+    pub(crate) fn from_parts(layers: Vec<Linear>, config: SageConfig) -> Option<GraphSage> {
+        if layers.len() != config.layers {
+            return None;
+        }
+        let mut d = layers[0].in_dim() / 2;
+        if layers[0].in_dim() != 2 * d {
+            return None;
+        }
+        for (l, layer) in layers.iter().enumerate() {
+            if layer.in_dim() != 2 * d {
+                return None;
+            }
+            let want_out = if l + 1 == layers.len() {
+                config.classes
+            } else {
+                config.hidden
+            };
+            if layer.out_dim() != want_out {
+                return None;
+            }
+            d = layer.out_dim();
+        }
+        let rng = DetRng::new(config.seed);
+        Some(GraphSage {
+            layers,
+            config,
+            rng,
+        })
+    }
+
+    /// Mean-aggregates `h` over each node's (possibly sampled)
+    /// neighbourhood; nodes without neighbours aggregate to zero.
+    fn aggregate(h: &Matrix, neigh: &[Vec<u32>]) -> Matrix {
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        for (v, ns) in neigh.iter().enumerate() {
+            if ns.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / ns.len() as f32;
+            let row = agg.row_mut(v);
+            for &u in ns {
+                for (a, &b) in row.iter_mut().zip(h.row(u as usize)) {
+                    *a += b * inv;
+                }
+            }
+        }
+        agg
+    }
+
+    /// Samples up to `sample_size` neighbours per node (without
+    /// replacement), for one training epoch.
+    fn sample_neighbors(&mut self, neighbors: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let k = self.config.sample_size;
+        neighbors
+            .iter()
+            .map(|ns| {
+                if ns.len() <= k {
+                    ns.clone()
+                } else {
+                    // Partial Fisher–Yates: first k of a shuffle.
+                    let mut pool = ns.clone();
+                    for i in 0..k {
+                        let j = i + self.rng.next_below(pool.len() - i);
+                        pool.swap(i, j);
+                    }
+                    pool.truncate(k);
+                    pool
+                }
+            })
+            .collect()
+    }
+
+    /// Full forward pass; returns per-layer caches for backprop:
+    /// `(inputs z_k, pre-activations, final logits)`.
+    fn forward(&self, features: &Matrix, neigh: &[Vec<u32>]) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
+        let mut h = features.clone();
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pres = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let agg = Self::aggregate(&h, neigh);
+            let z = h.hconcat(&agg);
+            let pre = layer.forward(&z);
+            let out = if l + 1 == self.layers.len() {
+                pre.clone()
+            } else {
+                relu(&pre)
+            };
+            inputs.push(z);
+            pres.push(pre);
+            h = out;
+        }
+        (inputs, pres, h)
+    }
+
+    /// Loss and per-layer gradients for one graph under the given sampled
+    /// neighbourhoods (separated from [`GraphSage::step`] so tests can
+    /// check the analytic gradients numerically).
+    fn compute_gradients(
+        &self,
+        graph: &TrainGraph<'_>,
+        neigh: &[Vec<u32>],
+    ) -> (f32, Vec<glaive_nn::LinearGrads>) {
+        let (inputs, pres, logits) = self.forward(graph.features, neigh);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, graph.labels, Some(graph.mask));
+
+        // Backwards through the layers.
+        let mut all_grads = Vec::with_capacity(self.layers.len());
+        for l in (0..self.layers.len()).rev() {
+            let is_last = l + 1 == self.layers.len();
+            let d_pre = if is_last {
+                grad
+            } else {
+                relu_backward(&pres[l], &grad)
+            };
+            let (d_z, grads) = self.layers[l].backward(&inputs[l], &d_pre);
+            all_grads.push(grads);
+            if l > 0 {
+                // Split [h ‖ agg] gradient and push the aggregate part back
+                // through the mean onto the predecessors.
+                let d_in = inputs[l].cols() / 2;
+                let (d_self, d_agg) = d_z.hsplit(d_in);
+                let mut d_h = d_self;
+                for (v, ns) in neigh.iter().enumerate() {
+                    if ns.is_empty() {
+                        continue;
+                    }
+                    let inv = 1.0 / ns.len() as f32;
+                    for &u in ns {
+                        let src = d_agg.row(v).to_vec();
+                        let dst = d_h.row_mut(u as usize);
+                        for (a, b) in dst.iter_mut().zip(src) {
+                            *a += b * inv;
+                        }
+                    }
+                }
+                grad = d_h;
+            } else {
+                grad = Matrix::zeros(0, 0);
+            }
+        }
+        all_grads.reverse();
+        (loss, all_grads)
+    }
+
+    /// One full-batch gradient step on one graph; returns the masked loss.
+    fn step(&mut self, graph: &TrainGraph<'_>, neigh: &[Vec<u32>], opt: &mut [Adam]) -> f32 {
+        let (loss, all_grads) = self.compute_gradients(graph, neigh);
+        for ((layer, grads), o) in self.layers.iter_mut().zip(&all_grads).zip(opt.iter_mut()) {
+            layer.apply(o, grads);
+        }
+        loss
+    }
+
+    /// Trains on the given graphs for the configured number of epochs,
+    /// resampling neighbourhoods each epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or a graph's shapes are inconsistent.
+    pub fn train(&mut self, graphs: &[TrainGraph<'_>]) -> TrainStats {
+        assert!(!graphs.is_empty(), "training needs at least one graph");
+        for g in graphs {
+            assert_eq!(
+                g.features.rows(),
+                g.neighbors.len(),
+                "feature/neighbour count mismatch"
+            );
+            assert_eq!(
+                g.features.rows(),
+                g.labels.len(),
+                "feature/label count mismatch"
+            );
+            assert_eq!(
+                g.features.rows(),
+                g.mask.len(),
+                "feature/mask count mismatch"
+            );
+        }
+        let mut opts: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(self.config.lr, l.param_count()))
+            .collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut total = 0.0;
+            for graph in graphs {
+                let sampled = self.sample_neighbors(graph.neighbors);
+                total += self.step(graph, &sampled, &mut opts);
+            }
+            epoch_losses.push(total / graphs.len() as f32);
+        }
+        TrainStats { epoch_losses }
+    }
+
+    /// Class probabilities for every node of an (unseen) graph, aggregating
+    /// over full neighbourhoods.
+    pub fn predict_proba(&self, features: &Matrix, neighbors: &[Vec<u32>]) -> Matrix {
+        assert_eq!(
+            features.rows(),
+            neighbors.len(),
+            "feature/neighbour count mismatch"
+        );
+        let (_, _, logits) = self.forward(features, neighbors);
+        softmax_rows(&logits)
+    }
+
+    /// Hard label predictions (argmax of [`GraphSage::predict_proba`]).
+    pub fn predict_labels(&self, features: &Matrix, neighbors: &[Vec<u32>]) -> Vec<usize> {
+        self.predict_proba(features, neighbors).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SageConfig {
+        SageConfig {
+            hidden: 8,
+            layers: 2,
+            classes: 2,
+            sample_size: 4,
+            lr: 0.02,
+            epochs: 120,
+            seed: 3,
+        }
+    }
+
+    /// Labels are decided by the predecessor's feature, not the node's own:
+    /// only a model that aggregates predecessor information can fit this.
+    fn predecessor_xor_task() -> (Matrix, Vec<Vec<u32>>, Vec<usize>) {
+        let n = 80;
+        let mut rng = DetRng::new(11);
+        let mut feats = Matrix::zeros(n, 2);
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut labels = vec![0usize; n];
+        let mut classes = vec![0usize; n];
+        for v in 0..n {
+            let c = rng.next_below(2);
+            classes[v] = c;
+            feats[(v, c)] = 1.0;
+        }
+        for v in 1..n {
+            let p = rng.next_below(v);
+            neighbors[v] = vec![p as u32];
+            labels[v] = classes[p];
+        }
+        labels[0] = classes[0];
+        (feats, neighbors, labels)
+    }
+
+    #[test]
+    fn learns_predecessor_dependent_labels() {
+        let (feats, neighbors, labels) = predecessor_xor_task();
+        let mask: Vec<bool> = (0..labels.len()).map(|v| v != 0).collect();
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let mut model = GraphSage::new(2, &small_config());
+        let stats = model.train(&[graph]);
+        assert!(stats.final_loss() < 0.2, "loss {}", stats.final_loss());
+        let pred = model.predict_labels(&feats, &neighbors);
+        let correct = pred
+            .iter()
+            .zip(&labels)
+            .zip(&mask)
+            .filter(|((p, l), &m)| m && p == l)
+            .count();
+        let total = mask.iter().filter(|&&m| m).count();
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (feats, neighbors, labels) = predecessor_xor_task();
+        let mask = vec![true; labels.len()];
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let mut a = GraphSage::new(2, &small_config());
+        let mut b = GraphSage::new(2, &small_config());
+        let sa = a.train(&[graph]);
+        let sb = b.train(&[graph]);
+        assert_eq!(sa.epoch_losses, sb.epoch_losses);
+        assert_eq!(
+            a.predict_labels(&feats, &neighbors),
+            b.predict_labels(&feats, &neighbors)
+        );
+    }
+
+    #[test]
+    fn transfers_to_unseen_graph_with_same_rule() {
+        let (feats, neighbors, labels) = predecessor_xor_task();
+        let mask = vec![true; labels.len()];
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let mut model = GraphSage::new(2, &small_config());
+        model.train(&[graph]);
+
+        // A fresh graph generated with a different seed but the same rule.
+        let n = 30;
+        let mut rng = DetRng::new(99);
+        let mut feats2 = Matrix::zeros(n, 2);
+        let mut neigh2: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut labels2 = vec![0usize; n];
+        let mut classes = vec![0usize; n];
+        for v in 0..n {
+            let c = rng.next_below(2);
+            classes[v] = c;
+            feats2[(v, c)] = 1.0;
+        }
+        for v in 1..n {
+            let p = rng.next_below(v);
+            neigh2[v] = vec![p as u32];
+            labels2[v] = classes[p];
+        }
+        let pred = model.predict_labels(&feats2, &neigh2);
+        let correct = pred
+            .iter()
+            .zip(&labels2)
+            .skip(1)
+            .filter(|(p, l)| p == l)
+            .count();
+        assert!(correct as f64 / (n - 1) as f64 > 0.8, "{correct}/{}", n - 1);
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let (feats, neighbors, labels) = predecessor_xor_task();
+        let mask = vec![true; labels.len()];
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let mut model = GraphSage::new(2, &small_config());
+        model.train(&[graph]);
+        let probs = model.predict_proba(&feats, &neighbors);
+        for r in 0..probs.rows() {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(probs.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sampling_caps_neighbourhood_size() {
+        let mut model = GraphSage::new(
+            2,
+            &SageConfig {
+                sample_size: 3,
+                ..small_config()
+            },
+        );
+        let neighbors = vec![(0..10u32).collect::<Vec<u32>>(), vec![1, 2]];
+        let sampled = model.sample_neighbors(&neighbors);
+        assert_eq!(sampled[0].len(), 3);
+        assert_eq!(sampled[1], vec![1, 2]);
+        // Samples are distinct members of the original list.
+        let mut s = sampled[0].clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn isolated_nodes_aggregate_zero_and_survive() {
+        let feats = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let neighbors = vec![vec![], vec![]];
+        let labels = vec![0, 1];
+        let mask = vec![true, true];
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let mut model = GraphSage::new(2, &small_config());
+        let stats = model.train(&[graph]);
+        assert!(stats.final_loss().is_finite());
+        assert_eq!(model.predict_labels(&feats, &neighbors), labels);
+    }
+
+    #[test]
+    fn multiple_graphs_train_jointly() {
+        let (f1, n1, l1) = predecessor_xor_task();
+        let m1 = vec![true; l1.len()];
+        let g1 = TrainGraph {
+            features: &f1,
+            neighbors: &n1,
+            labels: &l1,
+            mask: &m1,
+        };
+        let g2 = TrainGraph {
+            features: &f1,
+            neighbors: &n1,
+            labels: &l1,
+            mask: &m1,
+        };
+        let mut model = GraphSage::new(2, &small_config());
+        let stats = model.train(&[g1, g2]);
+        assert!(stats.final_loss() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one graph")]
+    fn empty_training_set_panics() {
+        let mut model = GraphSage::new(2, &small_config());
+        model.train(&[]);
+    }
+
+    /// Finite-difference check of the full SAGE backward pass, including
+    /// the gradient scattered through the predecessor-mean aggregation.
+    #[test]
+    fn analytic_gradients_match_numerical() {
+        let feats = Matrix::from_vec(
+            5,
+            2,
+            vec![0.3, -0.7, 1.1, 0.2, -0.4, 0.9, 0.0, 0.5, -1.2, -0.1],
+        );
+        // A small DAG with shared predecessors to exercise the scatter.
+        let neighbors: Vec<Vec<u32>> = vec![vec![], vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let labels = vec![0usize, 1, 0, 1, 0];
+        let mask = vec![true, true, false, true, true];
+        let graph = TrainGraph {
+            features: &feats,
+            neighbors: &neighbors,
+            labels: &labels,
+            mask: &mask,
+        };
+        let config = SageConfig {
+            hidden: 3,
+            layers: 3,
+            classes: 2,
+            sample_size: 10,
+            lr: 0.01,
+            epochs: 1,
+            seed: 4,
+        };
+        let model = GraphSage::new(2, &config);
+        let (_, grads) = model.compute_gradients(&graph, &neighbors);
+
+        let eps = 2e-3f32;
+        let loss_of = |m: &GraphSage| {
+            let (_, _, logits) = m.forward(&feats, &neighbors);
+            softmax_cross_entropy(&logits, &labels, Some(&mask)).0
+        };
+        // Probe several entries in every layer (including the aggregate
+        // half of the concatenated input, columns >= in_dim).
+        for l in 0..config.layers {
+            let rows = model.layers[l].weights().rows();
+            let cols = model.layers[l].weights().cols();
+            for &(r, c) in &[(0usize, 0usize), (rows - 1, cols - 1), (rows / 2, 0)] {
+                let mut plus = model.clone();
+                plus.layers[l] = {
+                    let mut w = plus.layers[l].weights().clone();
+                    let b = plus.layers[l].bias().to_vec();
+                    w[(r, c)] += eps;
+                    Linear::from_parts(w, b)
+                };
+                let mut minus = model.clone();
+                minus.layers[l] = {
+                    let mut w = minus.layers[l].weights().clone();
+                    let b = minus.layers[l].bias().to_vec();
+                    w[(r, c)] -= eps;
+                    Linear::from_parts(w, b)
+                };
+                let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                let analytic = grads[l].w[(r, c)];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "layer {l} dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// A complete machine program: a named, fixed sequence of instructions plus
+/// the size of the flat data memory it executes against.
+///
+/// Instruction indices double as "static PC" values (the auxiliary feature of
+/// Table I in the paper); branch/jump targets are instruction indices.
+///
+/// # Example
+///
+/// ```
+/// use glaive_isa::{Program, Instr, Reg};
+/// let p = Program::new("tiny", vec![Instr::Li { rd: Reg(1), imm: 42 },
+///                                   Instr::Out { rs1: Reg(1) },
+///                                   Instr::Halt], 16);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.name(), "tiny");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+    mem_words: usize,
+}
+
+impl Program {
+    /// Creates a program from a name, instruction sequence and data-memory
+    /// size (in 64-bit words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch/jump target is out of range — programs with
+    /// dangling targets cannot be executed or analysed.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>, mem_words: usize) -> Self {
+        let program = Program {
+            name: name.into(),
+            instrs,
+            mem_words,
+        };
+        for (pc, instr) in program.instrs.iter().enumerate() {
+            if let Some(t) = instr.target() {
+                assert!(
+                    t <= program.instrs.len(),
+                    "instruction {pc} ({instr}) targets out-of-range index {t}"
+                );
+            }
+        }
+        program
+    }
+
+    /// The program's name (benchmark identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Size of the data memory in 64-bit words.
+    pub fn mem_words(&self) -> usize {
+        self.mem_words
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Renders the whole program as an assembly listing, one instruction per
+    /// line, prefixed with its static PC.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{pc:5}: {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} instrs, {} mem words)",
+            self.name,
+            self.len(),
+            self.mem_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::BranchCond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = Program::new("t", vec![Instr::Li { rd: Reg(1), imm: 1 }, Instr::Halt], 8);
+        let listing = p.disassemble();
+        assert!(listing.contains("0: li r1, 1"));
+        assert!(listing.contains("1: halt"));
+        assert_eq!(listing.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_dangling_branch_target() {
+        Program::new(
+            "bad",
+            vec![Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg(0),
+                rs2: Reg(0),
+                target: 100,
+            }],
+            8,
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Program::new("t", vec![Instr::Halt], 4);
+        assert_eq!(p.mem_words(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(0), Some(&Instr::Halt));
+        assert_eq!(p.get(1), None);
+    }
+}

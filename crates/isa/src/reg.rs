@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// Width in bits of every architectural register.
+pub const WORD_BITS: usize = 64;
+
+/// An architectural register index in `0..NUM_REGS`.
+///
+/// Registers are 64 bits wide and untyped at the ISA level: integer
+/// instructions interpret the contents as `u64`/`i64`, floating-point
+/// instructions reinterpret the same bits as an IEEE-754 `f64`.
+///
+/// # Example
+///
+/// ```
+/// use glaive_isa::Reg;
+/// let r = Reg(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The register's index as a `usize`, suitable for register-file lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if the index is a valid architectural register.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(31).index(), 31);
+    }
+
+    #[test]
+    fn validity_boundary() {
+        assert!(Reg(31).is_valid());
+        assert!(!Reg(32).is_valid());
+    }
+}

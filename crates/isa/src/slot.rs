@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Which register operand of an instruction a fault or graph node refers to.
+///
+/// Indices refer to the operand lists returned by
+/// [`Instr::uses`](crate::Instr::uses) and [`Instr::defs`](crate::Instr::defs).
+/// In fault injection, a `Use` fault flips the register bit immediately
+/// *before* the instruction executes and a `Def` fault immediately *after*
+/// it writes; in the bit-level CDFG each (instruction, slot, bit) triple is
+/// one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperandSlot {
+    /// The `i`-th source operand.
+    Use(usize),
+    /// The `i`-th destination operand (always 0 in this ISA).
+    Def(usize),
+}
+
+impl OperandSlot {
+    /// Returns `true` for source-operand slots.
+    pub fn is_use(self) -> bool {
+        matches!(self, OperandSlot::Use(_))
+    }
+
+    /// Returns `true` for destination-operand slots.
+    pub fn is_def(self) -> bool {
+        matches!(self, OperandSlot::Def(_))
+    }
+}
+
+impl fmt::Display for OperandSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandSlot::Use(i) => write!(f, "use{i}"),
+            OperandSlot::Def(i) => write!(f, "def{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_predicates() {
+        assert_eq!(OperandSlot::Use(1).to_string(), "use1");
+        assert_eq!(OperandSlot::Def(0).to_string(), "def0");
+        assert!(OperandSlot::Use(0).is_use());
+        assert!(OperandSlot::Def(0).is_def());
+        assert!(!OperandSlot::Def(0).is_use());
+    }
+}

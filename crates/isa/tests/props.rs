@@ -1,0 +1,128 @@
+//! Property-based tests for instruction encoding and operand accessors.
+
+use glaive_isa::{AluOp, BranchCond, CvtOp, FpuOp, FpuUnaryOp, Instr, Reg, NUM_REGS};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..NUM_REGS as u8).prop_map(Reg)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let target = 0usize..4096;
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i64>())
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (
+            proptest::sample::select(FpuOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Fpu { op, rd, rs1, rs2 }),
+        (
+            proptest::sample::select(FpuUnaryOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs1)| Instr::FpuUnary { op, rd, rs1 }),
+        (
+            proptest::sample::select(CvtOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs1)| Instr::Cvt { op, rd, rs1 }),
+        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
+        (arb_reg(), arb_reg(), -1024i64..1024).prop_map(|(rd, base, offset)| Instr::Load {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), -1024i64..1024).prop_map(|(rs, base, offset)| Instr::Store {
+            rs,
+            base,
+            offset
+        }),
+        (
+            proptest::sample::select(BranchCond::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            target.clone()
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target
+            }),
+        target.prop_map(|target| Instr::Jump { target }),
+        arb_reg().prop_map(|rs1| Instr::Out { rs1 }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on all well-formed instructions.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let decoded = Instr::decode(&instr.encode()).expect("well-formed");
+        prop_assert_eq!(decoded, instr);
+    }
+
+    /// Every operand reported by defs()/uses() is a valid register, and
+    /// operands() is exactly uses() followed by defs().
+    #[test]
+    fn operands_are_valid_and_ordered(instr in arb_instr()) {
+        for r in instr.defs().iter().chain(instr.uses().iter()) {
+            prop_assert!(r.is_valid());
+        }
+        let mut expect = instr.uses();
+        expect.extend(instr.defs());
+        prop_assert_eq!(instr.operands(), expect);
+    }
+
+    /// At most one destination register per instruction in this ISA.
+    #[test]
+    fn at_most_one_def(instr in arb_instr()) {
+        prop_assert!(instr.defs().len() <= 1);
+    }
+
+    /// Control instructions never write registers.
+    #[test]
+    fn control_instrs_define_nothing(instr in arb_instr()) {
+        if instr.is_control() {
+            prop_assert!(instr.defs().is_empty());
+        }
+    }
+
+    /// Disassembly text is non-empty and stable under re-format.
+    #[test]
+    fn display_is_nonempty(instr in arb_instr()) {
+        let s = instr.to_string();
+        prop_assert!(!s.is_empty());
+        prop_assert_eq!(s.clone(), instr.to_string());
+    }
+
+    /// BranchCond::eval matches the Rust comparison it models.
+    #[test]
+    fn branch_eval_matches_semantics(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        prop_assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
+        prop_assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
+        prop_assert_eq!(BranchCond::Le.eval(a, b), (a as i64) <= (b as i64));
+        prop_assert_eq!(BranchCond::Gt.eval(a, b), (a as i64) > (b as i64));
+        prop_assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
+        prop_assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+    }
+}

@@ -1,0 +1,154 @@
+use crate::module::{Array, Var};
+
+/// Unary expression operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Floating-point negation.
+    FNeg,
+    /// Floating-point absolute value.
+    FAbs,
+    /// Floating-point square root.
+    FSqrt,
+    /// Signed integer → `f64`.
+    I2F,
+    /// `f64` → signed integer (truncating).
+    F2I,
+}
+
+/// Binary expression operators. Comparison operators produce an integer 0/1.
+///
+/// Registers are untyped 64-bit values: `Bits`-style reinterpretation between
+/// the integer and float views is free, so integer operators applied to a
+/// value produced by a float operator (or vice versa) operate on the raw bit
+/// pattern — exactly how the math library extracts exponents from `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division (traps on zero divisor).
+    Div,
+    /// Integer remainder (traps on zero divisor).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// 1 if signed less-than else 0.
+    Slt,
+    /// 1 if unsigned less-than else 0.
+    Sltu,
+    /// 1 if equal else 0.
+    Seq,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division (IEEE, never traps).
+    FDiv,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+    /// 1 if float less-than else 0.
+    FLt,
+    /// 1 if float less-or-equal else 0.
+    FLe,
+    /// 1 if float equal else 0.
+    FEq,
+}
+
+/// An expression tree. Build these with the [`dsl`](crate::dsl) helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (materialised as its bit pattern).
+    Float(f64),
+    /// Read a scalar variable.
+    Var(Var),
+    /// Read `array[index]`.
+    Ld(Array, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement. Build these with the [`dsl`](crate::dsl) helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign(Var, Expr),
+    /// `array[index] = value`.
+    Store(Array, Expr, Expr),
+    /// `if (cond != 0) { then } else { otherwise }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond != 0) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// Append the expression value to the program output buffer.
+    Out(Expr),
+}
+
+impl Expr {
+    /// Depth of the expression tree; the code generator evaluates
+    /// expressions on a bounded register stack, so deep trees must be split
+    /// into statements (see [`CompileError::ExprTooDeep`](crate::CompileError)).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => 1,
+            Expr::Ld(_, idx) => idx.depth() + 1,
+            Expr::Un(_, e) => e.depth(),
+            // Left operand keeps its slot while the right evaluates.
+            Expr::Bin(_, l, r) => l.depth().max(r.depth() + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dsl::*;
+    use crate::module::ModuleBuilder;
+
+    #[test]
+    fn depth_of_leaves_is_one() {
+        assert_eq!(int(3).depth(), 1);
+        assert_eq!(flt(2.5).depth(), 1);
+    }
+
+    #[test]
+    fn depth_grows_with_right_nesting() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        // x + (x + (x + x)) → right chain of length 3 → depth 4
+        let e = add(v(x), add(v(x), add(v(x), v(x))));
+        assert_eq!(e.depth(), 4);
+        // ((x + x) + x) + x → left chain → depth 2
+        let e = add(add(add(v(x), v(x)), v(x)), v(x));
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn unary_does_not_add_depth() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        assert_eq!(fneg(fneg(v(x))).depth(), 1);
+    }
+}

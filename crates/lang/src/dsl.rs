@@ -1,0 +1,325 @@
+//! Constructor helpers for building [`Expr`] and [`Stmt`] trees concisely.
+//!
+//! ```
+//! use glaive_lang::{ModuleBuilder, dsl::*};
+//! let mut m = ModuleBuilder::new("t");
+//! let (x, y) = (m.var("x"), m.var("y"));
+//! m.push(assign(x, int(2)));
+//! m.push(assign(y, mul(v(x), add(v(x), int(1))))); // y = x * (x + 1)
+//! m.push(out(v(y)));
+//! ```
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::module::{Array, Var};
+
+/// Integer literal expression.
+pub fn int(value: i64) -> Expr {
+    Expr::Int(value)
+}
+
+/// Float literal expression.
+pub fn flt(value: f64) -> Expr {
+    Expr::Float(value)
+}
+
+/// Read a scalar variable.
+pub fn v(var: Var) -> Expr {
+    Expr::Var(var)
+}
+
+/// Read `array[index]`.
+pub fn ld(array: Array, index: Expr) -> Expr {
+    Expr::Ld(array, Box::new(index))
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+}
+
+fn un(op: UnOp, e: Expr) -> Expr {
+    Expr::Un(op, Box::new(e))
+}
+
+/// Integer addition.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Add, lhs, rhs)
+}
+
+/// Integer subtraction.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sub, lhs, rhs)
+}
+
+/// Integer multiplication.
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mul, lhs, rhs)
+}
+
+/// Integer division (traps on zero divisor).
+pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Div, lhs, rhs)
+}
+
+/// Integer remainder (traps on zero divisor).
+pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Rem, lhs, rhs)
+}
+
+/// Bitwise and.
+pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::And, lhs, rhs)
+}
+
+/// Bitwise or.
+pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Or, lhs, rhs)
+}
+
+/// Bitwise xor.
+pub fn xor(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Xor, lhs, rhs)
+}
+
+/// Logical shift left.
+pub fn shl(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Shl, lhs, rhs)
+}
+
+/// Logical shift right.
+pub fn shr(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Shr, lhs, rhs)
+}
+
+/// Arithmetic shift right.
+pub fn sra(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sra, lhs, rhs)
+}
+
+/// 1 if `lhs < rhs` (signed) else 0.
+pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Slt, lhs, rhs)
+}
+
+/// 1 if `lhs < rhs` (unsigned) else 0.
+pub fn ltu(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sltu, lhs, rhs)
+}
+
+/// 1 if `lhs > rhs` (signed) else 0.
+pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Slt, rhs, lhs)
+}
+
+/// 1 if `lhs <= rhs` (signed) else 0.
+pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+    // a <= b  ==  !(b < a)  ==  (b < a) == 0
+    bin(BinOp::Seq, bin(BinOp::Slt, rhs, lhs), Expr::Int(0))
+}
+
+/// 1 if `lhs >= rhs` (signed) else 0.
+pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Seq, bin(BinOp::Slt, lhs, rhs), Expr::Int(0))
+}
+
+/// 1 if equal else 0.
+pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Seq, lhs, rhs)
+}
+
+/// 1 if not equal else 0.
+pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Seq, bin(BinOp::Seq, lhs, rhs), Expr::Int(0))
+}
+
+/// Integer negation.
+pub fn neg(e: Expr) -> Expr {
+    un(UnOp::Neg, e)
+}
+
+/// Bitwise complement.
+pub fn not(e: Expr) -> Expr {
+    un(UnOp::Not, e)
+}
+
+/// Float addition.
+pub fn fadd(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FAdd, lhs, rhs)
+}
+
+/// Float subtraction.
+pub fn fsub(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FSub, lhs, rhs)
+}
+
+/// Float multiplication.
+pub fn fmul(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FMul, lhs, rhs)
+}
+
+/// Float division (IEEE semantics, never traps).
+pub fn fdiv(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FDiv, lhs, rhs)
+}
+
+/// Float minimum.
+pub fn fmin(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FMin, lhs, rhs)
+}
+
+/// Float maximum.
+pub fn fmax(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FMax, lhs, rhs)
+}
+
+/// 1 if `lhs < rhs` as floats else 0.
+pub fn flt_(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FLt, lhs, rhs)
+}
+
+/// 1 if `lhs <= rhs` as floats else 0.
+pub fn fle(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FLe, lhs, rhs)
+}
+
+/// 1 if `lhs > rhs` as floats else 0.
+pub fn fgt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FLt, rhs, lhs)
+}
+
+/// 1 if `lhs >= rhs` as floats else 0.
+pub fn fge(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FLe, rhs, lhs)
+}
+
+/// 1 if equal as floats else 0 (IEEE: NaN != NaN).
+pub fn feq(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::FEq, lhs, rhs)
+}
+
+/// Float negation.
+pub fn fneg(e: Expr) -> Expr {
+    un(UnOp::FNeg, e)
+}
+
+/// Float absolute value.
+pub fn fabs(e: Expr) -> Expr {
+    un(UnOp::FAbs, e)
+}
+
+/// Float square root.
+pub fn fsqrt(e: Expr) -> Expr {
+    un(UnOp::FSqrt, e)
+}
+
+/// Signed integer → `f64`.
+pub fn i2f(e: Expr) -> Expr {
+    un(UnOp::I2F, e)
+}
+
+/// `f64` → signed integer (truncating).
+pub fn f2i(e: Expr) -> Expr {
+    un(UnOp::F2I, e)
+}
+
+/// `var = expr`.
+pub fn assign(var: Var, expr: Expr) -> Stmt {
+    Stmt::Assign(var, expr)
+}
+
+/// `array[index] = value`.
+pub fn store(array: Array, index: Expr, value: Expr) -> Stmt {
+    Stmt::Store(array, index, value)
+}
+
+/// `if (cond != 0) { then } else { otherwise }`.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, otherwise)
+}
+
+/// `if (cond != 0) { then }`.
+pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, Vec::new())
+}
+
+/// `while (cond != 0) { body }`.
+pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While(cond, body)
+}
+
+/// C-style counted loop: `for (i = start; i < end; i += 1) { body }`.
+///
+/// `end` is re-evaluated every iteration, so it must not depend on `body`.
+pub fn for_(i: Var, start: Expr, end: Expr, mut body: Vec<Stmt>) -> Stmt {
+    body.push(assign(i, add(v(i), int(1))));
+    Stmt::While(lt(v(i), end.clone()), body).prepended(assign(i, start))
+}
+
+/// Emit the expression value to the program output buffer.
+pub fn out(expr: Expr) -> Stmt {
+    Stmt::Out(expr)
+}
+
+/// Internal support for `for_`: a while preceded by its init statement.
+trait Prepend {
+    fn prepended(self, init: Stmt) -> Stmt;
+}
+
+impl Prepend for Stmt {
+    fn prepended(self, init: Stmt) -> Stmt {
+        // Wrap in a once-executed block using If(1) — keeps Stmt a tree.
+        Stmt::If(Expr::Int(1), vec![init, self], Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+    use glaive_sim::{run, ExecConfig};
+
+    fn exec(m: ModuleBuilder) -> Vec<u64> {
+        let compiled = m.compile().expect("compiles");
+        let r = run(compiled.program(), &[], &ExecConfig::default());
+        assert!(
+            r.status.is_clean(),
+            "program did not halt cleanly: {:?}",
+            r.status
+        );
+        r.output
+    }
+
+    #[test]
+    fn comparison_helpers_match_semantics() {
+        let mut m = ModuleBuilder::new("cmp");
+        let x = m.var("x");
+        m.push(assign(x, int(5)));
+        m.push(out(le(v(x), int(5))));
+        m.push(out(le(v(x), int(4))));
+        m.push(out(ge(v(x), int(5))));
+        m.push(out(ge(v(x), int(6))));
+        m.push(out(ne(v(x), int(5))));
+        m.push(out(ne(v(x), int(4))));
+        m.push(out(gt(v(x), int(4))));
+        assert_eq!(exec(m), vec![1, 0, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn for_loop_counts() {
+        let mut m = ModuleBuilder::new("for");
+        let (i, n) = (m.var("i"), m.var("n"));
+        m.push(assign(n, int(0)));
+        m.push(for_(i, int(0), int(5), vec![assign(n, add(v(n), int(2)))]));
+        m.push(out(v(n)));
+        m.push(out(v(i)));
+        assert_eq!(exec(m), vec![10, 5]);
+    }
+
+    #[test]
+    fn float_roundtrip_through_output() {
+        let mut m = ModuleBuilder::new("f");
+        let x = m.var("x");
+        m.push(assign(x, fmul(flt(1.5), flt(2.0))));
+        m.push(out(v(x)));
+        assert_eq!(exec(m), vec![3.0f64.to_bits()]);
+    }
+}

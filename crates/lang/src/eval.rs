@@ -1,0 +1,282 @@
+//! A reference interpreter for modules, independent of the code generator
+//! and the ISA simulator.
+//!
+//! `interpret` executes the AST directly with the same semantics the
+//! compiled program has on [`glaive_sim`]: wrapping 64-bit integer
+//! arithmetic, IEEE `f64` via bit reinterpretation, trapping division and
+//! out-of-bounds accesses, and a step budget for hangs. Differential tests
+//! (`tests/differential.rs`) pit it against compile-and-simulate on random
+//! programs.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::module::ModuleBuilder;
+
+/// Why interpretation stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array access outside the module's data memory.
+    OutOfBounds {
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Exceeded the step budget (non-terminating loop).
+    BudgetExceeded,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivByZero => write!(f, "integer divide by zero"),
+            EvalError::OutOfBounds { addr } => write!(f, "out-of-bounds access at {addr:#x}"),
+            EvalError::BudgetExceeded => write!(f, "step budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+struct Interp {
+    vars: Vec<u64>,
+    mem: Vec<u64>,
+    array_bases: Vec<usize>,
+    output: Vec<u64>,
+    steps_left: u64,
+}
+
+impl ModuleBuilder {
+    /// Interprets the module against the reference semantics, returning the
+    /// output buffer.
+    ///
+    /// Memory layout matches the compiled program: arrays packed from
+    /// address 0 in declaration order (scalar variables live outside
+    /// memory, so programs that index arrays out of bounds may diverge from
+    /// the compiled artefact — the compiled program spills some variables
+    /// into memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on division by zero, out-of-bounds accesses,
+    /// or when `max_steps` statements have been executed.
+    pub fn interpret(&self, init_mem: &[u64], max_steps: u64) -> Result<Vec<u64>, EvalError> {
+        let mut next = 0usize;
+        let mut array_bases = Vec::with_capacity(self.arrays.len());
+        for a in &self.arrays {
+            array_bases.push(next);
+            next += a.len;
+        }
+        // Spill-slot space (for parity with the compiled layout) + scratch.
+        let spill = self.vars.len().saturating_sub(20);
+        let mem_words = next + spill + self.extra_mem;
+        let mut mem = vec![0u64; mem_words];
+        let n = init_mem.len().min(mem_words);
+        mem[..n].copy_from_slice(&init_mem[..n]);
+
+        let mut interp = Interp {
+            vars: vec![0; self.vars.len()],
+            mem,
+            array_bases,
+            output: Vec::new(),
+            steps_left: max_steps,
+        };
+        interp.block(&self.stmts)?;
+        Ok(interp.output)
+    }
+}
+
+impl Interp {
+    fn charge(&mut self) -> Result<(), EvalError> {
+        if self.steps_left == 0 {
+            return Err(EvalError::BudgetExceeded);
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), EvalError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), EvalError> {
+        self.charge()?;
+        match stmt {
+            Stmt::Assign(v, e) => {
+                let x = self.eval(e)?;
+                self.vars[v.0] = x;
+            }
+            Stmt::Store(a, idx, val) => {
+                let i = self.eval(idx)?;
+                let x = self.eval(val)?;
+                let addr = (self.array_bases[a.0] as u64).wrapping_add(i);
+                let slot = self
+                    .mem
+                    .get_mut(addr as usize)
+                    .ok_or(EvalError::OutOfBounds { addr })?;
+                *slot = x;
+            }
+            Stmt::If(c, then, otherwise) => {
+                if self.eval(c)? != 0 {
+                    self.block(then)?;
+                } else {
+                    self.block(otherwise)?;
+                }
+            }
+            Stmt::While(c, body) => {
+                while self.eval(c)? != 0 {
+                    self.block(body)?;
+                    self.charge()?;
+                }
+            }
+            Stmt::Out(e) => {
+                let x = self.eval(e)?;
+                self.output.push(x);
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<u64, EvalError> {
+        Ok(match expr {
+            Expr::Int(v) => *v as u64,
+            Expr::Float(f) => f.to_bits(),
+            Expr::Var(v) => self.vars[v.0],
+            Expr::Ld(a, idx) => {
+                let i = self.eval(idx)?;
+                let addr = (self.array_bases[a.0] as u64).wrapping_add(i);
+                *self
+                    .mem
+                    .get(addr as usize)
+                    .ok_or(EvalError::OutOfBounds { addr })?
+            }
+            Expr::Un(op, e) => {
+                let x = self.eval(e)?;
+                match op {
+                    UnOp::Neg => (0i64.wrapping_sub(x as i64)) as u64,
+                    UnOp::Not => x ^ u64::MAX,
+                    UnOp::FNeg => (-f64::from_bits(x)).to_bits(),
+                    UnOp::FAbs => f64::from_bits(x).abs().to_bits(),
+                    UnOp::FSqrt => f64::from_bits(x).sqrt().to_bits(),
+                    UnOp::I2F => ((x as i64) as f64).to_bits(),
+                    UnOp::F2I => (f64::from_bits(x) as i64) as u64,
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval(l)?;
+                let b = self.eval(r)?;
+                let (sa, sb) = (a as i64, b as i64);
+                let fa = f64::from_bits(a);
+                let fb = f64::from_bits(b);
+                match op {
+                    BinOp::Add => sa.wrapping_add(sb) as u64,
+                    BinOp::Sub => sa.wrapping_sub(sb) as u64,
+                    BinOp::Mul => sa.wrapping_mul(sb) as u64,
+                    BinOp::Div => {
+                        if sb == 0 {
+                            return Err(EvalError::DivByZero);
+                        }
+                        sa.wrapping_div(sb) as u64
+                    }
+                    BinOp::Rem => {
+                        if sb == 0 {
+                            return Err(EvalError::DivByZero);
+                        }
+                        sa.wrapping_rem(sb) as u64
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::Sra => sa.wrapping_shr(b as u32) as u64,
+                    BinOp::Slt => u64::from(sa < sb),
+                    BinOp::Sltu => u64::from(a < b),
+                    BinOp::Seq => u64::from(a == b),
+                    BinOp::FAdd => (fa + fb).to_bits(),
+                    BinOp::FSub => (fa - fb).to_bits(),
+                    BinOp::FMul => (fa * fb).to_bits(),
+                    BinOp::FDiv => (fa / fb).to_bits(),
+                    BinOp::FMin => fa.min(fb).to_bits(),
+                    BinOp::FMax => fa.max(fb).to_bits(),
+                    BinOp::FLt => u64::from(fa < fb),
+                    BinOp::FLe => u64::from(fa <= fb),
+                    BinOp::FEq => u64::from(fa == fb),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use glaive_sim::{run, ExecConfig};
+
+    #[test]
+    fn interpreter_matches_simulator_on_arithmetic() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        m.push(assign(x, add(mul(int(6), int(7)), neg(int(2)))));
+        m.push(out(v(x)));
+        m.push(out(shl(int(1), int(40))));
+        m.push(out(f2i(fmul(flt(2.5), flt(4.0)))));
+        let interpreted = m.interpret(&[], 10_000).expect("interprets");
+        let compiled = m.compile().expect("compiles");
+        let simulated = run(compiled.program(), &[], &ExecConfig::default());
+        assert_eq!(interpreted, simulated.output);
+    }
+
+    #[test]
+    fn interpreter_detects_div_by_zero() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        m.push(assign(x, int(0)));
+        m.push(out(div(int(1), v(x))));
+        assert_eq!(m.interpret(&[], 100), Err(EvalError::DivByZero));
+    }
+
+    #[test]
+    fn interpreter_detects_oob() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.array("a", 2);
+        m.push(out(ld(a, int(5))));
+        assert!(matches!(
+            m.interpret(&[], 100),
+            Err(EvalError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn interpreter_detects_hangs() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        m.push(assign(x, int(1)));
+        m.push(while_(v(x), vec![assign(x, v(x))]));
+        assert_eq!(m.interpret(&[], 1000), Err(EvalError::BudgetExceeded));
+    }
+
+    #[test]
+    fn loops_and_arrays_match_simulator() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.array("a", 8);
+        let i = m.var("i");
+        m.push(for_(
+            i,
+            int(0),
+            int(8),
+            vec![store(a, v(i), mul(v(i), int(3)))],
+        ));
+        m.push(for_(i, int(0), int(8), vec![out(ld(a, v(i)))]));
+        let interpreted = m.interpret(&[], 100_000).expect("interprets");
+        let compiled = m.compile().expect("compiles");
+        let simulated = run(compiled.program(), &[], &ExecConfig::default());
+        assert_eq!(interpreted, simulated.output);
+        assert_eq!(interpreted[7], 21);
+    }
+}

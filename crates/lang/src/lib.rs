@@ -1,0 +1,41 @@
+//! A mini C-like language and code generator targeting the GLAIVE ISA.
+//!
+//! The paper compiles the benchmark suite with `g++` and analyses the
+//! resulting x86 binaries. This crate is the reproduction's compiler
+//! substrate: benchmarks are written as small ASTs (scalars, arrays,
+//! `if`/`while`, integer and `f64` expressions) and lowered to
+//! [`glaive_isa::Program`]s with a simple register allocator. A math library
+//! generates `sin`/`cos`/`exp`/`ln`/`atan`/… inline as ISA code, so
+//! floating-point benchmarks (Blackscholes, FFT, inversek2j, …) compile to
+//! self-contained programs.
+//!
+//! # Example
+//!
+//! ```
+//! use glaive_lang::{ModuleBuilder, dsl::*};
+//! use glaive_sim::{run, ExecConfig};
+//!
+//! let mut m = ModuleBuilder::new("sum");
+//! let (acc, i) = (m.var("acc"), m.var("i"));
+//! m.push(assign(acc, int(0)));
+//! m.push(for_(i, int(1), int(11), vec![
+//!     assign(acc, add(v(acc), v(i))),
+//! ]));
+//! m.push(out(v(acc)));
+//! let compiled = m.compile()?;
+//! let result = run(compiled.program(), &[], &glaive_sim::ExecConfig::default());
+//! assert_eq!(result.output, vec![55]);
+//! # Ok::<(), glaive_lang::CompileError>(())
+//! ```
+
+mod ast;
+mod compile;
+pub mod dsl;
+mod eval;
+pub mod mathlib;
+mod module;
+
+pub use ast::{BinOp, Expr, Stmt, UnOp};
+pub use compile::{CompileError, CompiledProgram, Layout, VarLoc};
+pub use eval::EvalError;
+pub use module::{Array, ModuleBuilder, Var};

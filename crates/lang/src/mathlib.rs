@@ -1,0 +1,490 @@
+//! Math routines generated as inline ISA code.
+//!
+//! The paper's floating-point benchmarks (Blackscholes, inversek2j, FFT, …)
+//! call `libm`. The GLAIVE ISA has no transcendental instructions, so this
+//! module expands each routine into a statement sequence: range reduction
+//! followed by a statement-level Horner polynomial (statement-level because
+//! the code generator evaluates expressions on a bounded register stack).
+//!
+//! Every function takes the module builder (to allocate temporaries), input
+//! expression(s), and returns `(statements, result)` where `result` reads
+//! the routine's output variable. Embed the statements wherever the value is
+//! needed — including inside loop bodies; temporaries are reassigned on each
+//! iteration.
+//!
+//! Accuracy is in the 1e-6..1e-9 range over the argument ranges the
+//! benchmarks use — more than enough resolution for fault-propagation
+//! studies, where outputs are compared bit-exactly against the golden run of
+//! the *same* binary.
+//!
+//! # Example
+//!
+//! ```
+//! use glaive_lang::{ModuleBuilder, dsl::*, mathlib};
+//! use glaive_sim::{run, ExecConfig};
+//!
+//! let mut m = ModuleBuilder::new("sin1");
+//! let (stmts, result) = mathlib::sin(&mut m, flt(1.0));
+//! m.extend(stmts);
+//! m.push(out(result));
+//! let compiled = m.compile()?;
+//! let r = run(compiled.program(), &[], &ExecConfig::default());
+//! let got = f64::from_bits(r.output[0]);
+//! assert!((got - 1.0f64.sin()).abs() < 1e-6);
+//! # Ok::<(), glaive_lang::CompileError>(())
+//! ```
+
+use std::f64::consts::{FRAC_PI_2, LN_2, PI};
+
+use crate::ast::{Expr, Stmt};
+use crate::dsl::*;
+use crate::module::{ModuleBuilder, Var};
+
+/// Statement-level Horner evaluation of a polynomial in `x` with
+/// coefficients `coeffs` given lowest-order first:
+/// `c[0] + c[1]*x + c[2]*x^2 + …`.
+///
+/// Returns the statements and an expression reading the result.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn poly(m: &mut ModuleBuilder, x: Var, coeffs: &[f64]) -> (Vec<Stmt>, Expr) {
+    assert!(
+        !coeffs.is_empty(),
+        "polynomial needs at least one coefficient"
+    );
+    let acc = m.fresh_var("poly");
+    let mut stmts = vec![assign(acc, flt(*coeffs.last().expect("nonempty")))];
+    for &c in coeffs.iter().rev().skip(1) {
+        stmts.push(assign(acc, fadd(fmul(v(acc), v(x)), flt(c))));
+    }
+    (stmts, v(acc))
+}
+
+/// Round-to-nearest integer of a float expression, as an integer value.
+/// Ties round away from zero.
+pub fn round_to_int(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let t = m.fresh_var("rnd");
+    let stmts = vec![
+        assign(t, x),
+        if_else(
+            flt_(v(t), flt(0.0)),
+            vec![assign(t, f2i(fsub(v(t), flt(0.5))))],
+            vec![assign(t, f2i(fadd(v(t), flt(0.5))))],
+        ),
+    ];
+    (stmts, v(t))
+}
+
+/// `2^k` for an integer expression `k` in `[-1022, 1023]`, constructed by
+/// placing the biased exponent directly into the IEEE-754 bit pattern —
+/// registers are untyped, so the integer result feeds float ops unchanged.
+pub fn exp2i(m: &mut ModuleBuilder, k: Expr) -> (Vec<Stmt>, Expr) {
+    let t = m.fresh_var("exp2");
+    let stmts = vec![assign(t, shl(add(k, int(1023)), int(52)))];
+    (stmts, v(t))
+}
+
+fn factorial(n: u64) -> f64 {
+    (1..=n).map(|i| i as f64).product()
+}
+
+/// `sin(x)`: argument reduction to `[-π, π]` followed by a degree-15 Taylor
+/// polynomial in odd powers.
+pub fn sin(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let r = m.fresh_var("sinr");
+    let s = m.fresh_var("sins");
+    let mut stmts = vec![assign(r, x)];
+    // r -= 2π * round(r / 2π)
+    let (rstmts, k) = round_to_int(m, fmul(v(r), flt(1.0 / (2.0 * PI))));
+    stmts.extend(rstmts);
+    stmts.push(assign(r, fsub(v(r), fmul(i2f(k), flt(2.0 * PI)))));
+    // sin(r) = r * P(r²) with P the alternating inverse-factorial series.
+    stmts.push(assign(s, fmul(v(r), v(r))));
+    let coeffs: Vec<f64> = (0..8)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sign / factorial(2 * i + 1)
+        })
+        .collect();
+    let (pstmts, p) = poly(m, s, &coeffs);
+    stmts.extend(pstmts);
+    let result = m.fresh_var("sin");
+    stmts.push(assign(result, fmul(v(r), p)));
+    (stmts, v(result))
+}
+
+/// `cos(x)`: argument reduction to `[-π, π]` followed by a degree-16 Taylor
+/// polynomial in even powers.
+pub fn cos(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let r = m.fresh_var("cosr");
+    let s = m.fresh_var("coss");
+    let mut stmts = vec![assign(r, x)];
+    let (rstmts, k) = round_to_int(m, fmul(v(r), flt(1.0 / (2.0 * PI))));
+    stmts.extend(rstmts);
+    stmts.push(assign(r, fsub(v(r), fmul(i2f(k), flt(2.0 * PI)))));
+    stmts.push(assign(s, fmul(v(r), v(r))));
+    let coeffs: Vec<f64> = (0..9)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sign / factorial(2 * i)
+        })
+        .collect();
+    let (pstmts, p) = poly(m, s, &coeffs);
+    stmts.extend(pstmts);
+    let result = m.fresh_var("cos");
+    stmts.push(assign(result, p));
+    (stmts, v(result))
+}
+
+/// `exp(x)`: reduction `x = k·ln2 + r` with `|r| ≤ ln2/2`, degree-8 Taylor
+/// for `e^r`, scaled by `2^k`. `k` is clamped to `[-1000, 1000]`, so inputs
+/// beyond roughly ±693 saturate instead of overflowing the bit trick.
+pub fn exp(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let xx = m.fresh_var("expx");
+    let kvar = m.fresh_var("expk");
+    let r = m.fresh_var("expr");
+    let mut stmts = vec![assign(xx, x)];
+    let (rstmts, k) = round_to_int(m, fmul(v(xx), flt(1.0 / LN_2)));
+    stmts.extend(rstmts);
+    stmts.push(assign(kvar, k));
+    // Clamp k to the representable exponent range.
+    stmts.push(if_(lt(v(kvar), int(-1000)), vec![assign(kvar, int(-1000))]));
+    stmts.push(if_(gt(v(kvar), int(1000)), vec![assign(kvar, int(1000))]));
+    stmts.push(assign(r, fsub(v(xx), fmul(i2f(v(kvar)), flt(LN_2)))));
+    let coeffs: Vec<f64> = (0..9).map(|i| 1.0 / factorial(i)).collect();
+    let (pstmts, p) = poly(m, r, &coeffs);
+    stmts.extend(pstmts);
+    let (sstmts, scale) = exp2i(m, v(kvar));
+    stmts.extend(sstmts);
+    let result = m.fresh_var("exp");
+    stmts.push(assign(result, fmul(p, scale)));
+    (stmts, v(result))
+}
+
+/// `ln(x)` for `x > 0`: exponent/mantissa split via the IEEE-754 bit
+/// pattern, mantissa normalised to `[2/3, 4/3]`, then the `atanh` series
+/// `ln(m) = 2(z + z³/3 + …)` with `z = (m-1)/(m+1)`.
+pub fn ln(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let bits = m.fresh_var("lnb");
+    let e = m.fresh_var("lne");
+    let mant = m.fresh_var("lnm");
+    let z = m.fresh_var("lnz");
+    let zz = m.fresh_var("lnz2");
+    let mut stmts = vec![
+        assign(bits, x),
+        // Biased exponent field, then unbias.
+        assign(e, sub(and(shr(v(bits), int(52)), int(0x7ff)), int(1023))),
+        // Mantissa with the exponent forced to 0 → m ∈ [1, 2).
+        assign(
+            mant,
+            or(and(v(bits), int(0x000f_ffff_ffff_ffff)), int(1023i64 << 52)),
+        ),
+        // Normalise to [2/3, 4/3] so z stays small.
+        if_(
+            fgt(v(mant), flt(4.0 / 3.0)),
+            vec![
+                assign(mant, fmul(v(mant), flt(0.5))),
+                assign(e, add(v(e), int(1))),
+            ],
+        ),
+        assign(z, fdiv(fsub(v(mant), flt(1.0)), fadd(v(mant), flt(1.0)))),
+        assign(zz, fmul(v(z), v(z))),
+    ];
+    // ln(m) = 2z * (1 + z²/3 + z⁴/5 + z⁶/7 + z⁸/9 + z¹⁰/11)
+    let coeffs: Vec<f64> = (0..6).map(|i| 1.0 / (2 * i + 1) as f64).collect();
+    let (pstmts, p) = poly(m, zz, &coeffs);
+    stmts.extend(pstmts);
+    let result = m.fresh_var("ln");
+    stmts.push(assign(
+        result,
+        fadd(fmul(i2f(v(e)), flt(LN_2)), fmul(fmul(flt(2.0), v(z)), p)),
+    ));
+    (stmts, v(result))
+}
+
+/// `atan(x)`: reciprocal reduction to `[0, 1]`, half-angle reduction to
+/// `[0, tan(π/8)]`, degree-15 odd Taylor polynomial, then unreduction.
+pub fn atan(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let xx = m.fresh_var("atx");
+    let u = m.fresh_var("atu");
+    let inv = m.fresh_var("atinv");
+    let s = m.fresh_var("ats");
+    let mut stmts = vec![
+        assign(xx, x),
+        assign(u, fabs(v(xx))),
+        assign(inv, int(0)),
+        if_(
+            fgt(v(u), flt(1.0)),
+            vec![assign(inv, int(1)), assign(u, fdiv(flt(1.0), v(u)))],
+        ),
+        // Half-angle: atan(u) = 2 atan(u / (1 + sqrt(1 + u²)))
+        assign(
+            u,
+            fdiv(
+                v(u),
+                fadd(flt(1.0), fsqrt(fadd(flt(1.0), fmul(v(u), v(u))))),
+            ),
+        ),
+        assign(s, fmul(v(u), v(u))),
+    ];
+    let coeffs: Vec<f64> = (0..8)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sign / (2 * i + 1) as f64
+        })
+        .collect();
+    let (pstmts, p) = poly(m, s, &coeffs);
+    stmts.extend(pstmts);
+    let result = m.fresh_var("atan");
+    stmts.push(assign(result, fmul(fmul(flt(2.0), v(u)), p)));
+    stmts.push(if_(
+        eq(v(inv), int(1)),
+        vec![assign(result, fsub(flt(FRAC_PI_2), v(result)))],
+    ));
+    stmts.push(if_(
+        flt_(v(xx), flt(0.0)),
+        vec![assign(result, fneg(v(result)))],
+    ));
+    (stmts, v(result))
+}
+
+/// `atan2(y, x)` with the usual quadrant conventions. `atan2(0, 0)` is
+/// defined as 0.
+pub fn atan2(m: &mut ModuleBuilder, y: Expr, x: Expr) -> (Vec<Stmt>, Expr) {
+    let yy = m.fresh_var("a2y");
+    let xx = m.fresh_var("a2x");
+    let result = m.fresh_var("atan2");
+    let mut stmts = vec![assign(yy, y), assign(xx, x)];
+    let (astmts, a) = atan(m, fdiv(v(yy), v(xx)));
+    // x > 0: atan(y/x)
+    // x < 0: atan(y/x) + π (y ≥ 0) or − π (y < 0)
+    // x = 0: ±π/2 by the sign of y; 0 when both are 0.
+    let mut xpos = astmts.clone();
+    xpos.push(assign(result, a.clone()));
+    let mut xneg = astmts;
+    xneg.push(if_else(
+        fge(v(yy), flt(0.0)),
+        vec![assign(result, fadd(a.clone(), flt(PI)))],
+        vec![assign(result, fsub(a, flt(PI)))],
+    ));
+    let xzero = vec![if_else(
+        fgt(v(yy), flt(0.0)),
+        vec![assign(result, flt(FRAC_PI_2))],
+        vec![if_else(
+            flt_(v(yy), flt(0.0)),
+            vec![assign(result, flt(-FRAC_PI_2))],
+            vec![assign(result, flt(0.0))],
+        )],
+    )];
+    stmts.push(if_else(
+        fgt(v(xx), flt(0.0)),
+        xpos,
+        vec![if_else(flt_(v(xx), flt(0.0)), xneg, xzero)],
+    ));
+    (stmts, v(result))
+}
+
+/// `acos(x)` for `x ∈ [-1, 1]`, via `atan2(√(1−x²), x)`.
+pub fn acos(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let xx = m.fresh_var("acx");
+    let mut stmts = vec![assign(xx, x)];
+    let (astmts, a) = atan2(m, fsqrt(fsub(flt(1.0), fmul(v(xx), v(xx)))), v(xx));
+    stmts.extend(astmts);
+    (stmts, a)
+}
+
+/// `asin(x)` for `x ∈ [-1, 1]`, via `atan2(x, √(1−x²))`.
+pub fn asin(m: &mut ModuleBuilder, x: Expr) -> (Vec<Stmt>, Expr) {
+    let xx = m.fresh_var("asx");
+    let mut stmts = vec![assign(xx, x)];
+    let (astmts, a) = atan2(m, v(xx), fsqrt(fsub(flt(1.0), fmul(v(xx), v(xx)))));
+    stmts.extend(astmts);
+    (stmts, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_sim::{run, ExecConfig};
+
+    /// Compiles a one-argument routine applied to each input and returns the
+    /// outputs as f64.
+    fn eval_unary(
+        f: impl Fn(&mut ModuleBuilder, Expr) -> (Vec<Stmt>, Expr),
+        inputs: &[f64],
+    ) -> Vec<f64> {
+        let mut m = ModuleBuilder::new("mathtest");
+        for &x in inputs {
+            let (stmts, r) = f(&mut m, flt(x));
+            m.extend(stmts);
+            m.push(out(r));
+        }
+        let compiled = m.compile().expect("compiles");
+        let r = run(
+            compiled.program(),
+            &[],
+            &ExecConfig {
+                max_instrs: 10_000_000,
+            },
+        );
+        assert!(r.status.is_clean(), "bad exit: {:?}", r.status);
+        r.output.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    #[test]
+    fn sin_matches_std() {
+        let inputs = [-7.3, -3.0, -1.0, -0.1, 0.0, 0.5, 1.0, 2.5, 3.14, 9.9];
+        let got = eval_unary(sin, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!(
+                (y - x.sin()).abs() < 1e-6,
+                "sin({x}) = {y}, want {}",
+                x.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn cos_matches_std() {
+        let inputs = [-7.3, -3.0, -1.0, 0.0, 0.5, 1.0, 2.5, 3.14, 9.9];
+        let got = eval_unary(cos, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!(
+                (y - x.cos()).abs() < 1e-6,
+                "cos({x}) = {y}, want {}",
+                x.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn exp_matches_std() {
+        let inputs = [-20.0, -5.0, -1.0, -0.01, 0.0, 0.3, 1.0, 4.7, 20.0];
+        let got = eval_unary(exp, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            let want = x.exp();
+            assert!(
+                (y - want).abs() <= want * 1e-9 + 1e-12,
+                "exp({x}) = {y}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_matches_std() {
+        let inputs = [1e-9, 0.01, 0.5, 1.0, 1.3333, 2.0, 10.0, 12345.0, 1e12];
+        let got = eval_unary(ln, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!((y - x.ln()).abs() < 1e-9, "ln({x}) = {y}, want {}", x.ln());
+        }
+    }
+
+    #[test]
+    fn atan_matches_std() {
+        let inputs = [-100.0, -2.0, -1.0, -0.4, 0.0, 0.3, 1.0, 5.0, 1000.0];
+        let got = eval_unary(atan, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!(
+                (y - x.atan()).abs() < 1e-7,
+                "atan({x}) = {y}, want {}",
+                x.atan()
+            );
+        }
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let cases: [(f64, f64); 8] = [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, 1.0),
+            (-1.0, -1.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (0.0, 1.0),
+            (0.0, -1.0),
+        ];
+        let mut m = ModuleBuilder::new("atan2test");
+        for &(y, x) in &cases {
+            let (stmts, r) = atan2(&mut m, flt(y), flt(x));
+            m.extend(stmts);
+            m.push(out(r));
+        }
+        let compiled = m.compile().expect("compiles");
+        let r = run(
+            compiled.program(),
+            &[],
+            &ExecConfig {
+                max_instrs: 10_000_000,
+            },
+        );
+        assert!(r.status.is_clean());
+        for (&(y, x), &bits) in cases.iter().zip(&r.output) {
+            let got = f64::from_bits(bits);
+            let want = y.atan2(x);
+            assert!(
+                (got - want).abs() < 1e-7,
+                "atan2({y},{x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn acos_and_asin_match_std() {
+        let inputs = [-1.0, -0.9, -0.5, 0.0, 0.3, 0.7, 1.0];
+        let got = eval_unary(acos, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!(
+                (y - x.acos()).abs() < 2e-7,
+                "acos({x}) = {y}, want {}",
+                x.acos()
+            );
+        }
+        let got = eval_unary(asin, &inputs);
+        for (&x, &y) in inputs.iter().zip(&got) {
+            assert!(
+                (y - x.asin()).abs() < 2e-7,
+                "asin({x}) = {y}, want {}",
+                x.asin()
+            );
+        }
+    }
+
+    #[test]
+    fn round_to_int_ties_and_signs() {
+        let mut m = ModuleBuilder::new("rnd");
+        for x in [2.4, 2.5, 2.6, -2.4, -2.5, -2.6, 0.0] {
+            let (stmts, r) = round_to_int(&mut m, flt(x));
+            m.extend(stmts);
+            m.push(out(r));
+        }
+        let compiled = m.compile().expect("compiles");
+        let r = run(compiled.program(), &[], &ExecConfig::default());
+        let got: Vec<i64> = r.output.iter().map(|&b| b as i64).collect();
+        assert_eq!(got, vec![2, 3, 3, -2, -3, -3, 0]);
+    }
+
+    #[test]
+    fn exp2i_bit_trick() {
+        let mut m = ModuleBuilder::new("exp2");
+        for k in [-3i64, 0, 1, 10] {
+            let (stmts, r) = exp2i(&mut m, int(k));
+            m.extend(stmts);
+            m.push(out(r));
+        }
+        let compiled = m.compile().expect("compiles");
+        let r = run(compiled.program(), &[], &ExecConfig::default());
+        let got: Vec<f64> = r.output.iter().map(|&b| f64::from_bits(b)).collect();
+        assert_eq!(got, vec![0.125, 1.0, 2.0, 1024.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_poly_panics() {
+        let mut m = ModuleBuilder::new("p");
+        let x = m.var("x");
+        let _ = poly(&mut m, x, &[]);
+    }
+}

@@ -1,0 +1,175 @@
+use crate::ast::Stmt;
+use crate::compile::{compile, CompileError, CompiledProgram};
+
+/// Handle to a scalar variable declared in a [`ModuleBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+/// Handle to a fixed-length array declared in a [`ModuleBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Array(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDecl {
+    pub name: String,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayDecl {
+    pub name: String,
+    pub len: usize,
+}
+
+/// Incrementally builds a program module: scalar variables, arrays, and a
+/// top-level statement list, then compiles it to a
+/// [`CompiledProgram`].
+///
+/// Variables are untyped 64-bit values, matching the ISA's untyped
+/// registers; whether a value is an integer or an `f64` bit pattern is
+/// determined by the operators applied to it.
+///
+/// # Example
+///
+/// ```
+/// use glaive_lang::{ModuleBuilder, dsl::*};
+/// let mut m = ModuleBuilder::new("answer");
+/// let x = m.var("x");
+/// m.push(assign(x, int(42)));
+/// m.push(out(v(x)));
+/// let compiled = m.compile()?;
+/// assert_eq!(compiled.program().name(), "answer");
+/// # Ok::<(), glaive_lang::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModuleBuilder {
+    pub(crate) name: String,
+    pub(crate) vars: Vec<VarDecl>,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) stmts: Vec<Stmt>,
+    /// Extra scratch memory words appended after arrays and spill slots.
+    pub(crate) extra_mem: usize,
+    fresh_counter: usize,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module with the given program name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            stmts: Vec::new(),
+            extra_mem: 0,
+            fresh_counter: 0,
+        }
+    }
+
+    /// Declares a scalar variable.
+    pub fn var(&mut self, name: impl Into<String>) -> Var {
+        self.vars.push(VarDecl { name: name.into() });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Declares a compiler-generated temporary variable (used by
+    /// [`mathlib`](crate::mathlib) expansions).
+    pub fn fresh_var(&mut self, hint: &str) -> Var {
+        self.fresh_counter += 1;
+        let name = format!("${hint}{}", self.fresh_counter);
+        self.var(name)
+    }
+
+    /// Declares a fixed-length array of 64-bit words.
+    pub fn array(&mut self, name: impl Into<String>, len: usize) -> Array {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+        });
+        Array(self.arrays.len() - 1)
+    }
+
+    /// Reserves `words` additional scratch memory words beyond arrays and
+    /// spill slots.
+    pub fn reserve_mem(&mut self, words: usize) -> &mut Self {
+        self.extra_mem += words;
+        self
+    }
+
+    /// Appends a top-level statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// Appends a sequence of top-level statements.
+    pub fn extend(&mut self, stmts: impl IntoIterator<Item = Stmt>) -> &mut Self {
+        self.stmts.extend(stmts);
+        self
+    }
+
+    /// Number of declared scalar variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The declared name of a scalar variable.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// The declared name of an array.
+    pub fn array_name(&self, array: Array) -> &str {
+        &self.arrays[array.0].name
+    }
+
+    /// Number of declared arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Lowers the module to an ISA program plus its memory layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if an expression exceeds the evaluation
+    /// register stack ([`CompileError::ExprTooDeep`]).
+    pub fn compile(self) -> Result<CompiledProgram, CompileError> {
+        compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn declarations_yield_distinct_handles() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.var("a");
+        let b = m.var("b");
+        assert_ne!(a, b);
+        let x = m.array("x", 4);
+        let y = m.array("y", 8);
+        assert_ne!(x, y);
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.array_count(), 2);
+        assert_eq!(m.var_name(a), "a");
+        assert_eq!(m.array_name(y), "y");
+    }
+
+    #[test]
+    fn fresh_vars_are_unique() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.fresh_var("t");
+        let b = m.fresh_var("t");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut m = ModuleBuilder::new("t");
+        let x = m.var("x");
+        m.extend(vec![assign(x, int(1)), out(v(x))]);
+        assert_eq!(m.stmts.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Differential testing: the AST interpreter versus compile-and-simulate
+//! on randomly generated programs. Any divergence indicates a bug in the
+//! code generator, the simulator, or the interpreter.
+
+use glaive_lang::{dsl::*, Expr, ModuleBuilder, Stmt, Var};
+use glaive_sim::{run, ExecConfig};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 6;
+const ARRAY_LEN: i64 = 8;
+
+/// Recipe for one generated statement.
+#[derive(Debug, Clone)]
+enum Op {
+    /// var[d] = int-expr over vars a, b with operator `op`.
+    Arith { d: u8, a: u8, b: u8, op: u8 },
+    /// var[d] = float-expr over vars a, b with operator `op`.
+    Float { d: u8, a: u8, b: u8, op: u8 },
+    /// arr[var[a] mod LEN] = var[b].
+    Store { a: u8, b: u8 },
+    /// var[d] = arr[var[a] mod LEN].
+    Load { d: u8, a: u8 },
+    /// if (var[a] < var[b]) { var[d] = var[a] } else { var[d] = var[b] }.
+    Select { d: u8, a: u8, b: u8 },
+    /// bounded counted loop accumulating into var[d].
+    Loop { d: u8, n: u8 },
+    /// emit var[a].
+    Out { a: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b, op)| Op::Arith {
+            d,
+            a,
+            b,
+            op
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b, op)| Op::Float {
+            d,
+            a,
+            b,
+            op
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Store { a, b }),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, a)| Op::Load { d, a }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| Op::Select { d, a, b }),
+        (any::<u8>(), 1u8..6).prop_map(|(d, n)| Op::Loop { d, n }),
+        any::<u8>().prop_map(|a| Op::Out { a }),
+    ]
+}
+
+/// Builds the module described by the seeds and recipe. The loop counter
+/// variable is reserved separately so recipes cannot corrupt it.
+fn build(seeds: &[i64], ops: &[Op]) -> ModuleBuilder {
+    let mut m = ModuleBuilder::new("diff");
+    let vars: Vec<Var> = (0..NUM_VARS).map(|k| m.var(format!("v{k}"))).collect();
+    let counter = m.var("counter");
+    let arr = m.array("arr", ARRAY_LEN as usize);
+    let vat = |i: u8| vars[(i as usize) % NUM_VARS];
+    for (k, &s) in seeds.iter().enumerate() {
+        m.push(assign(vars[k % NUM_VARS], int(s)));
+    }
+    let int_expr = |a: Expr, b: Expr, op: u8| -> Expr {
+        match op % 10 {
+            0 => add(a, b),
+            1 => sub(a, b),
+            2 => mul(a, b),
+            3 => and(a, b),
+            4 => or(a, b),
+            5 => xor(a, b),
+            6 => shl(a, and(b, int(63))),
+            7 => sra(a, and(b, int(63))),
+            8 => lt(a, b),
+            _ => eq(a, b),
+        }
+    };
+    // Float ops run on sanitised operands (i2f of ints) so NaN payloads and
+    // signalling bits cannot diverge.
+    let float_expr = |a: Expr, b: Expr, op: u8| -> Expr {
+        let (fa, fb) = (i2f(a), i2f(b));
+        match op % 6 {
+            0 => f2i(fadd(fa, fb)),
+            1 => f2i(fsub(fa, fb)),
+            2 => f2i(fmul(fa, fb)),
+            3 => flt_(fa, fb),
+            4 => f2i(fmin(fa, fb)),
+            _ => f2i(fmax(fa, fb)),
+        }
+    };
+    for op in ops {
+        match *op {
+            Op::Arith { d, a, b, op } => {
+                m.push(assign(vat(d), int_expr(v(vat(a)), v(vat(b)), op)));
+            }
+            Op::Float { d, a, b, op } => {
+                m.push(assign(vat(d), float_expr(v(vat(a)), v(vat(b)), op)));
+            }
+            Op::Store { a, b } => {
+                let idx = and(v(vat(a)), int(ARRAY_LEN - 1));
+                m.push(store(arr, idx, v(vat(b))));
+            }
+            Op::Load { d, a } => {
+                let idx = and(v(vat(a)), int(ARRAY_LEN - 1));
+                m.push(assign(vat(d), ld(arr, idx)));
+            }
+            Op::Select { d, a, b } => {
+                m.push(if_else(
+                    lt(v(vat(a)), v(vat(b))),
+                    vec![assign(vat(d), v(vat(a)))],
+                    vec![assign(vat(d), v(vat(b)))],
+                ));
+            }
+            Op::Loop { d, n } => {
+                m.push(for_(
+                    counter,
+                    int(0),
+                    int(n as i64),
+                    vec![assign(vat(d), add(v(vat(d)), v(counter)))],
+                ));
+            }
+            Op::Out { a } => {
+                m.push(out(v(vat(a))));
+            }
+        }
+    }
+    // Always emit every variable so silent state divergence is caught.
+    for &var in &vars {
+        m.push(out(v(var)));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interpreter and compiled execution agree bit-for-bit on every
+    /// generated program.
+    #[test]
+    fn interpreter_matches_compiled_execution(
+        seeds in proptest::collection::vec(any::<i64>(), NUM_VARS),
+        ops in proptest::collection::vec(arb_op(), 1..25),
+    ) {
+        let module = build(&seeds, &ops);
+        let interpreted = module.interpret(&[], 1_000_000);
+        let compiled = module.compile().expect("generated programs compile");
+        let simulated = run(compiled.program(), &[], &ExecConfig::default());
+        match interpreted {
+            Ok(output) => {
+                prop_assert!(simulated.status.is_clean(), "sim diverged: {:?}", simulated.status);
+                prop_assert_eq!(output, simulated.output);
+            }
+            Err(e) => {
+                prop_assert!(!simulated.status.is_clean(), "interp failed ({e}) but sim was clean");
+            }
+        }
+    }
+
+    /// Initial memory images feed both executions identically.
+    #[test]
+    fn initial_memory_agrees(
+        seeds in proptest::collection::vec(any::<i64>(), NUM_VARS),
+        ops in proptest::collection::vec(arb_op(), 1..15),
+        mem in proptest::collection::vec(any::<u64>(), ARRAY_LEN as usize),
+    ) {
+        let module = build(&seeds, &ops);
+        let interpreted = module.interpret(&mem, 1_000_000);
+        let compiled = module.compile().expect("generated programs compile");
+        let simulated = run(compiled.program(), &mem, &ExecConfig::default());
+        if let Ok(output) = interpreted {
+            prop_assert!(simulated.status.is_clean());
+            prop_assert_eq!(output, simulated.output);
+        }
+    }
+}

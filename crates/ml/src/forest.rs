@@ -1,0 +1,362 @@
+use glaive_nn::{DetRng, Matrix};
+
+/// Hyperparameters for [`RandomForest`], following sklearn's
+/// `RandomForestRegressor` defaults where practical: 100 trees, bootstrap
+/// sampling, variance-reduction splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Features examined per split (0 = √d).
+    pub max_features: usize,
+    /// Bootstrap/feature-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            trees: 100,
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: 0,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: Vec<f32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict_into(&self, row: &[f32], out: &mut [f32]) {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value } => {
+                    for (o, v) in out.iter_mut().zip(value) {
+                        *o += v;
+                    }
+                    return;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The RF-INST baseline: a bagged random forest regressing multi-output
+/// targets (the ⟨crash, sdc, masked⟩ tuple) from instruction-level features.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+    out_dim: usize,
+    config: ForestConfig,
+}
+
+impl RandomForest {
+    /// Fits a forest on `x` (`n × d`) against targets `y` (`n × k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree on row count or are empty.
+    pub fn fit(x: &Matrix, y: &Matrix, config: &ForestConfig) -> RandomForest {
+        assert_eq!(x.rows(), y.rows(), "sample count mismatch");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        assert!(config.trees >= 1, "need at least one tree");
+        let mut rng = DetRng::new(config.seed);
+        let max_features = if config.max_features == 0 {
+            (x.cols() as f64).sqrt().ceil() as usize
+        } else {
+            config.max_features.min(x.cols())
+        };
+        let trees = (0..config.trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..x.rows()).map(|_| rng.next_below(x.rows())).collect();
+                let mut builder = TreeBuilder {
+                    x,
+                    y,
+                    config,
+                    max_features,
+                    rng: DetRng::new(rng.next_u64()),
+                    nodes: Vec::new(),
+                };
+                builder.build(idx, 0);
+                Tree {
+                    nodes: builder.nodes,
+                }
+            })
+            .collect();
+        RandomForest {
+            trees,
+            out_dim: y.cols(),
+            config: *config,
+        }
+    }
+
+    /// The configuration the forest was fitted with.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
+    /// Predicts targets for every row of `x` (mean over trees).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.out_dim);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let acc = out.row_mut(r);
+            for tree in &self.trees {
+                tree.predict_into(row, acc);
+            }
+            for v in acc.iter_mut() {
+                *v /= self.trees.len() as f32;
+            }
+        }
+        out
+    }
+}
+
+struct TreeBuilder<'a> {
+    x: &'a Matrix,
+    y: &'a Matrix,
+    config: &'a ForestConfig,
+    max_features: usize,
+    rng: DetRng,
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder<'_> {
+    /// Builds the subtree over `samples`, returning its node id.
+    fn build(&mut self, samples: Vec<usize>, depth: usize) -> usize {
+        let k = self.y.cols();
+        let mean = self.mean(&samples);
+        if depth >= self.config.max_depth
+            || samples.len() < self.config.min_samples_split
+            || self.variance_sum(&samples, &mean) < 1e-12
+        {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { value: mean });
+            return id;
+        }
+
+        // Choose the best (feature, threshold) among a random feature subset.
+        let mut features: Vec<usize> = (0..self.x.cols()).collect();
+        self.rng.shuffle(&mut features);
+        features.truncate(self.max_features);
+        let parent_score = self.variance_sum(&samples, &mean) * samples.len() as f32;
+        let mut best: Option<(usize, f32, f32)> = None; // (feature, thr, score)
+        for &f in &features {
+            let mut vals: Vec<f32> = samples.iter().map(|&i| self.x[(i, f)]).collect();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints, capped to 16 quantiles.
+            let step = (vals.len() - 1).div_ceil(16).max(1);
+            for w in (0..vals.len() - 1).step_by(step) {
+                let thr = (vals[w] + vals[w + 1]) / 2.0;
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    samples.iter().partition(|&&i| self.x[(i, f)] <= thr);
+                if l.is_empty() || r.is_empty() {
+                    continue;
+                }
+                let lm = self.mean(&l);
+                let rm = self.mean(&r);
+                let score = self.variance_sum(&l, &lm) * l.len() as f32
+                    + self.variance_sum(&r, &rm) * r.len() as f32;
+                if best.is_none_or(|(_, _, s)| score < s) {
+                    best = Some((f, thr, score));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, score)) if score < parent_score - 1e-9 => {
+                let (l, r): (Vec<usize>, Vec<usize>) = samples
+                    .iter()
+                    .partition(|&&i| self.x[(i, feature)] <= threshold);
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    value: vec![0.0; k],
+                }); // placeholder
+                let left = self.build(l, depth + 1);
+                let right = self.build(r, depth + 1);
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+            _ => {
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean });
+                id
+            }
+        }
+    }
+
+    fn mean(&self, samples: &[usize]) -> Vec<f32> {
+        let k = self.y.cols();
+        let mut m = vec![0.0f32; k];
+        for &i in samples {
+            for (a, &b) in m.iter_mut().zip(self.y.row(i)) {
+                *a += b;
+            }
+        }
+        for a in &mut m {
+            *a /= samples.len() as f32;
+        }
+        m
+    }
+
+    fn variance_sum(&self, samples: &[usize], mean: &[f32]) -> f32 {
+        let mut v = 0.0;
+        for &i in samples {
+            for (&a, &m) in self.y.row(i).iter().zip(mean) {
+                v += (a - m) * (a - m);
+            }
+        }
+        v / samples.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(trees: usize) -> ForestConfig {
+        ForestConfig {
+            trees,
+            max_depth: 8,
+            min_samples_split: 2,
+            max_features: 0,
+            seed: 7,
+        }
+    }
+
+    /// y = [x0 > 0.5, 1 - (x0 > 0.5)] — a step function a tree nails.
+    #[test]
+    fn fits_step_function() {
+        let n = 200;
+        let mut rng = DetRng::new(3);
+        let x = Matrix::from_fn(n, 3, |_, _| rng.uniform(0.0, 1.0));
+        let y = Matrix::from_fn(n, 2, |r, c| {
+            let hi = x[(r, 0)] > 0.5;
+            if (c == 0) == hi {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let forest = RandomForest::fit(&x, &y, &config(20));
+        let pred = forest.predict(&x);
+        let mut err = 0.0;
+        for r in 0..n {
+            err += (pred[(r, 0)] - y[(r, 0)]).abs();
+        }
+        let mean_err = err / n as f32;
+        assert!(mean_err < 0.1, "mean error {mean_err}");
+    }
+
+    /// One-hot features (like instruction opcodes) map to group means.
+    #[test]
+    fn one_hot_features_predict_group_means() {
+        // Three "opcodes", targets clustered per opcode.
+        let n = 90;
+        let x = Matrix::from_fn(n, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        let y = Matrix::from_fn(n, 1, |r, _| match r % 3 {
+            0 => 0.1,
+            1 => 0.5,
+            _ => 0.9,
+        });
+        let forest = RandomForest::fit(&x, &y, &config(30));
+        let probe = Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let pred = forest.predict(&probe);
+        assert!((pred[(0, 0)] - 0.1).abs() < 0.05);
+        assert!((pred[(1, 0)] - 0.5).abs() < 0.05);
+        assert!((pred[(2, 0)] - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn multi_output_components_track_targets() {
+        let n = 120;
+        let mut rng = DetRng::new(5);
+        let x = Matrix::from_fn(n, 2, |_, _| rng.uniform(0.0, 1.0));
+        // Components sum to 1, like vulnerability tuples.
+        let y = Matrix::from_fn(n, 3, |r, c| {
+            let a = x[(r, 0)].clamp(0.0, 1.0);
+            let b = (1.0 - a) * x[(r, 1)].clamp(0.0, 1.0);
+            match c {
+                0 => a,
+                1 => b,
+                _ => 1.0 - a - b,
+            }
+        });
+        let forest = RandomForest::fit(&x, &y, &config(30));
+        let pred = forest.predict(&x);
+        for r in 0..n {
+            let s: f32 = pred.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 0.1, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = Matrix::from_fn(50, 2, |r, c| ((r * 7 + c * 3) % 10) as f32);
+        let y = Matrix::from_fn(50, 1, |r, _| (r % 5) as f32);
+        let a = RandomForest::fit(&x, &y, &config(10)).predict(&x);
+        let b = RandomForest::fit(&x, &y, &config(10)).predict(&x);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let x = Matrix::from_fn(20, 2, |r, c| (r + c) as f32);
+        let y = Matrix::from_fn(20, 1, |_, _| 0.7);
+        let forest = RandomForest::fit(&x, &y, &config(5));
+        let pred = forest.predict(&x);
+        assert!(pred.data().iter().all(|&p| (p - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let x = Matrix::zeros(0, 2);
+        let y = Matrix::zeros(0, 1);
+        RandomForest::fit(&x, &y, &config(1));
+    }
+}

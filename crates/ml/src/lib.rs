@@ -1,0 +1,36 @@
+//! Baseline ML estimators the paper compares GLAIVE against (§IV):
+//!
+//! * [`MlpClassifier`] — **MLP-BIT**: a multi-layer-perceptron classifier on
+//!   the *same bit-level node features* as GLAIVE, but without any graph
+//!   structure (sklearn `MLPClassifier` defaults: one hidden layer of 100
+//!   ReLU units, Adam, lr 1e-3).
+//! * [`RandomForest`] — **RF-INST**: a bagged random-forest regressor on
+//!   *instruction-level* features, regressing the ⟨crash, sdc, masked⟩
+//!   tuple directly (sklearn `RandomForestRegressor`-style: 100 trees,
+//!   bootstrap, √d feature subsampling, variance-reduction splits).
+//! * [`SvrRff`] — **SVM-INST**: an RBF-kernel support-vector regressor
+//!   approximated with random Fourier features and trained by SGD on the
+//!   ε-insensitive loss (documented substitution for sklearn's exact dual
+//!   SVR; same model class, see DESIGN.md §1).
+//!
+//! # Example
+//!
+//! ```
+//! use glaive_nn::Matrix;
+//! use glaive_ml::{MlpClassifier, MlpConfig};
+//!
+//! // Two linearly separable blobs.
+//! let x = Matrix::from_vec(4, 2, vec![0.0, 0.1, 0.1, 0.0, 1.0, 0.9, 0.9, 1.0]);
+//! let labels = vec![0usize, 0, 1, 1];
+//! let mut mlp = MlpClassifier::new(2, 2, &MlpConfig { hidden: 16, epochs: 200, ..MlpConfig::default() });
+//! mlp.train(&x, &labels, None);
+//! assert_eq!(mlp.predict_labels(&x), labels);
+//! ```
+
+mod forest;
+mod mlp;
+mod svr;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use mlp::{MlpClassifier, MlpConfig};
+pub use svr::{SvrConfig, SvrRff};

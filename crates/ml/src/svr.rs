@@ -1,0 +1,279 @@
+use glaive_nn::{DetRng, Matrix, Sgd};
+
+/// Hyperparameters for [`SvrRff`], mirroring sklearn's `SVR` defaults
+/// (`C = 1`, `ε = 0.1`, RBF kernel with `γ = 1/(d·var)` "scale") with the
+/// random-Fourier-feature approximation dimension added.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvrConfig {
+    /// Number of random Fourier features approximating the RBF kernel.
+    pub rff_dim: usize,
+    /// RBF bandwidth (0 = sklearn's "scale": `1/(d·var(x))`).
+    pub gamma: f32,
+    /// Inverse regularisation strength.
+    pub c: f32,
+    /// ε-insensitive tube half-width.
+    pub epsilon: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs over the dataset.
+    pub epochs: usize,
+    /// RFF/shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        SvrConfig {
+            rff_dim: 128,
+            gamma: 0.0,
+            c: 1.0,
+            epsilon: 0.1,
+            lr: 0.01,
+            epochs: 60,
+            seed: 1,
+        }
+    }
+}
+
+/// The SVM-INST baseline: multi-output RBF support-vector regression via
+/// random Fourier features trained with primal SGD on the ε-insensitive
+/// loss.
+#[derive(Debug, Clone)]
+pub struct SvrRff {
+    /// RFF projection `ω` (`d × rff_dim`).
+    omega: Matrix,
+    /// RFF phases (`rff_dim`).
+    phase: Vec<f32>,
+    /// Linear weights per output (`rff_dim × k`).
+    w: Matrix,
+    /// Bias per output.
+    b: Vec<f32>,
+    scale: f32,
+    config: SvrConfig,
+}
+
+impl SvrRff {
+    /// Fits the regressor on `x` (`n × d`) against targets `y` (`n × k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or the dataset is empty.
+    pub fn fit(x: &Matrix, y: &Matrix, config: &SvrConfig) -> SvrRff {
+        assert_eq!(x.rows(), y.rows(), "sample count mismatch");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        let d = x.cols();
+        let k = y.cols();
+        let mut rng = DetRng::new(config.seed);
+
+        // γ "scale" default: 1 / (d · var(x)).
+        let gamma = if config.gamma > 0.0 {
+            config.gamma
+        } else {
+            let n = (x.rows() * x.cols()) as f32;
+            let mean: f32 = x.data().iter().sum::<f32>() / n;
+            let var: f32 = x
+                .data()
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / n;
+            1.0 / (d as f32 * var.max(1e-6))
+        };
+
+        // RFF: φ(x) = √(2/D) · cos(x·ω + phase), ω ~ N(0, 2γ).
+        let std = (2.0 * gamma).sqrt();
+        let omega = Matrix::from_fn(d, config.rff_dim, |_, _| rng.normal() * std);
+        let phase: Vec<f32> = (0..config.rff_dim)
+            .map(|_| rng.uniform(0.0, 2.0 * std::f32::consts::PI))
+            .collect();
+        let scale = (2.0 / config.rff_dim as f32).sqrt();
+
+        let mut model = SvrRff {
+            omega,
+            phase,
+            w: Matrix::zeros(config.rff_dim, k),
+            b: vec![0.0; k],
+            scale,
+            config: *config,
+        };
+
+        let phi = model.features(x);
+        let sgd = Sgd::new(config.lr);
+        let lambda = 1.0 / (config.c * x.rows() as f32);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        for _ in 0..config.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let row = phi.row(i);
+                // Per-output ε-insensitive subgradient.
+                let mut gw = vec![0.0f32; model.w.rows() * k];
+                let mut gb = vec![0.0f32; k];
+                for out in 0..k {
+                    let pred: f32 = row
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &p)| p * model.w[(j, out)])
+                        .sum::<f32>()
+                        + model.b[out];
+                    let err = pred - y[(i, out)];
+                    let sign = if err > config.epsilon {
+                        1.0
+                    } else if err < -config.epsilon {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                    if sign != 0.0 {
+                        for (j, &p) in row.iter().enumerate() {
+                            gw[j * k + out] += sign * p;
+                        }
+                        gb[out] += sign;
+                    }
+                    // L2 regularisation on the weights.
+                    for j in 0..model.w.rows() {
+                        gw[j * k + out] += lambda * model.w[(j, out)];
+                    }
+                }
+                sgd.step(model.w.data_mut(), &gw);
+                sgd.step(&mut model.b, &gb);
+            }
+        }
+        model
+    }
+
+    /// The configuration the regressor was fitted with.
+    pub fn config(&self) -> &SvrConfig {
+        &self.config
+    }
+
+    /// The random Fourier feature map `φ(x)`.
+    fn features(&self, x: &Matrix) -> Matrix {
+        let mut phi = x.matmul(&self.omega);
+        for r in 0..phi.rows() {
+            for (v, &p) in phi.row_mut(r).iter_mut().zip(&self.phase) {
+                *v = (*v + p).cos() * self.scale;
+            }
+        }
+        phi
+    }
+
+    /// Predicts targets for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let phi = self.features(x);
+        let mut out = phi.matmul(&self.w);
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SvrConfig {
+        SvrConfig {
+            rff_dim: 64,
+            epochs: 120,
+            lr: 0.02,
+            ..SvrConfig::default()
+        }
+    }
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let n = 150;
+        let mut rng = DetRng::new(2);
+        let x = Matrix::from_fn(n, 1, |_, _| rng.uniform(-2.0, 2.0));
+        let y = Matrix::from_fn(n, 1, |r, _| (x[(r, 0)]).sin());
+        let svr = SvrRff::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                gamma: 1.0,
+                ..config()
+            },
+        );
+        let pred = svr.predict(&x);
+        let mae: f32 = (0..n)
+            .map(|r| (pred[(r, 0)] - y[(r, 0)]).abs())
+            .sum::<f32>()
+            / n as f32;
+        assert!(mae < 0.2, "MAE {mae}");
+    }
+
+    #[test]
+    fn one_hot_groups_regress_to_means_within_tube() {
+        let n = 90;
+        let x = Matrix::from_fn(n, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        let y = Matrix::from_fn(n, 1, |r, _| match r % 3 {
+            0 => 0.0,
+            1 => 0.5,
+            _ => 1.0,
+        });
+        let svr = SvrRff::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                gamma: 1.0,
+                ..config()
+            },
+        );
+        let probe = Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let pred = svr.predict(&probe);
+        // ε-insensitive regression only pulls within the ε = 0.1 tube.
+        assert!((pred[(0, 0)] - 0.0).abs() < 0.2);
+        assert!((pred[(1, 0)] - 0.5).abs() < 0.2);
+        assert!((pred[(2, 0)] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn multi_output_fit() {
+        let n = 100;
+        let mut rng = DetRng::new(4);
+        let x = Matrix::from_fn(n, 2, |_, _| rng.uniform(0.0, 1.0));
+        let y = Matrix::from_fn(
+            n,
+            2,
+            |r, c| {
+                if c == 0 {
+                    x[(r, 0)]
+                } else {
+                    1.0 - x[(r, 0)]
+                }
+            },
+        );
+        let svr = SvrRff::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                gamma: 2.0,
+                ..config()
+            },
+        );
+        let pred = svr.predict(&x);
+        let mae: f32 = (0..n)
+            .map(|r| (pred[(r, 0)] - y[(r, 0)]).abs() + (pred[(r, 1)] - y[(r, 1)]).abs())
+            .sum::<f32>()
+            / (2 * n) as f32;
+        assert!(mae < 0.2, "MAE {mae}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = Matrix::from_fn(30, 2, |r, c| ((r + c) % 7) as f32 / 7.0);
+        let y = Matrix::from_fn(30, 1, |r, _| (r % 3) as f32 / 3.0);
+        let a = SvrRff::fit(&x, &y, &config()).predict(&x);
+        let b = SvrRff::fit(&x, &y, &config()).predict(&x);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        SvrRff::fit(&Matrix::zeros(0, 1), &Matrix::zeros(0, 1), &config());
+    }
+}

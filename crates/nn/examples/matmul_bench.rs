@@ -1,0 +1,41 @@
+//! Developer utility: micro-benchmarks the three matmul kernels at the
+//! shapes GraphSAGE training actually uses.
+//!
+//! Run with: `cargo run -p glaive-nn --release --example matmul_bench`
+
+use glaive_nn::Matrix;
+use std::time::Instant;
+
+fn main() {
+    println!("threads: {:?}", std::thread::available_parallelism());
+    // Layer-1 shape from a real training: z = 15k x 294 (half sparse), w = 294 x 64.
+    let n = 15000;
+    let d = 294;
+    let h = 64;
+    let z = Matrix::from_fn(n, d, |r, c| {
+        if c < d / 2 {
+            if (r * 7 + c) % 25 == 0 { 1.0 } else { 0.0 }
+        } else {
+            ((r + c) % 13) as f32 / 13.0
+        }
+    });
+    let w = Matrix::from_fn(d, h, |r, c| ((r * 3 + c) % 7) as f32 / 7.0 - 0.5);
+    let t = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(z.matmul(&w));
+    }
+    println!("matmul x10: {:.3}s", t.elapsed().as_secs_f64());
+
+    let dy = Matrix::from_fn(n, h, |r, c| ((r + 2 * c) % 9) as f32 / 9.0);
+    let t = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(z.transpose_matmul(&dy));
+    }
+    println!("transpose_matmul x10: {:.3}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(dy.matmul_transpose(&w));
+    }
+    println!("matmul_transpose x10: {:.3}s", t.elapsed().as_secs_f64());
+}

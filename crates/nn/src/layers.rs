@@ -1,0 +1,293 @@
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+use crate::rng::DetRng;
+
+/// A fully connected layer `y = x·W + b` with explicit backward pass.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+/// Gradients produced by [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// `∂L/∂W` (same shape as the weights).
+    pub w: Matrix,
+    /// `∂L/∂b`.
+    pub b: Vec<f32>,
+}
+
+impl Linear {
+    /// Glorot/Xavier-uniform initialised layer mapping `in_dim → out_dim`.
+    pub fn glorot(in_dim: usize, out_dim: usize, rng: &mut DetRng) -> Linear {
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        Linear {
+            w: Matrix::from_fn(in_dim, out_dim, |_, _| rng.uniform(-limit, limit)),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Total number of trainable parameters (for optimizer state sizing).
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Reassembles a layer from its parts (used by model deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias length does not match the weight matrix width.
+    pub fn from_parts(w: Matrix, b: Vec<f32>) -> Linear {
+        assert_eq!(w.cols(), b.len(), "bias/weight width mismatch");
+        Linear { w, b }
+    }
+
+    /// Forward pass `x·W + b`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: given the layer input `x` and `∂L/∂y`, returns
+    /// `(∂L/∂x, gradients)`.
+    pub fn backward(&self, x: &Matrix, grad_out: &Matrix) -> (Matrix, LinearGrads) {
+        let grad_w = x.transpose_matmul(grad_out);
+        let mut grad_b = vec![0.0f32; self.b.len()];
+        for r in 0..grad_out.rows() {
+            for (gb, g) in grad_b.iter_mut().zip(grad_out.row(r)) {
+                *gb += g;
+            }
+        }
+        let grad_x = grad_out.matmul_transpose(&self.w);
+        (
+            grad_x,
+            LinearGrads {
+                w: grad_w,
+                b: grad_b,
+            },
+        )
+    }
+
+    /// Applies gradients through an optimizer whose state covers
+    /// [`Linear::param_count`] parameters (weights first, then bias).
+    pub fn apply(&mut self, opt: &mut Adam, grads: &LinearGrads) {
+        let nw = self.w.rows() * self.w.cols();
+        opt.step_slice(self.w.data_mut(), grads.w.data(), 0);
+        opt.step_slice(&mut self.b, &grads.b, nw);
+        opt.advance();
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    for v in y.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    y
+}
+
+/// Backward of ReLU: gradient masked by the sign of the pre-activation.
+pub fn relu_backward(pre_activation: &Matrix, grad_out: &Matrix) -> Matrix {
+    assert_eq!(pre_activation.rows(), grad_out.rows(), "shape mismatch");
+    assert_eq!(pre_activation.cols(), grad_out.cols(), "shape mismatch");
+    let mut g = grad_out.clone();
+    for (gv, &pv) in g.data_mut().iter_mut().zip(pre_activation.data()) {
+        if pv <= 0.0 {
+            *gv = 0.0;
+        }
+    }
+    g
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut p = logits.clone();
+    for r in 0..p.rows() {
+        let row = p.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    p
+}
+
+/// Mean softmax cross-entropy over (optionally masked) rows.
+///
+/// `labels[r]` is the class index of row `r`; rows where `mask` is `false`
+/// contribute neither loss nor gradient (used to skip unlabelled CDFG
+/// nodes). Returns `(mean_loss, ∂L/∂logits)`.
+///
+/// # Panics
+///
+/// Panics if no row is active.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    labels: &[usize],
+    mask: Option<&[bool]>,
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    if let Some(m) = mask {
+        assert_eq!(m.len(), labels.len(), "one mask bit per row");
+    }
+    let active = mask.map_or(labels.len(), |m| m.iter().filter(|&&b| b).count());
+    assert!(
+        active > 0,
+        "softmax cross entropy needs at least one active row"
+    );
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows() {
+        let on = mask.is_none_or(|m| m[r]);
+        if !on {
+            grad.row_mut(r).fill(0.0);
+            continue;
+        }
+        let p = probs[(r, labels[r])].max(1e-12);
+        loss -= p.ln();
+        grad[(r, labels[r])] -= 1.0;
+    }
+    let scale = 1.0 / active as f32;
+    grad.scale(scale);
+    (loss * scale, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu_backward(&x, &Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax_rows(&m);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p[(0, 2)] > p[(0, 1)]);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], None);
+        assert!(loss < 1e-3);
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn masked_rows_contribute_nothing() {
+        let logits = Matrix::from_vec(2, 2, vec![0.0, 0.0, 5.0, -5.0]);
+        let (loss_all, _) = softmax_cross_entropy(&logits, &[0, 0], None);
+        let (loss_masked, grad) = softmax_cross_entropy(&logits, &[0, 0], Some(&[true, false]));
+        assert!(loss_masked > 0.0);
+        assert_ne!(loss_all, loss_masked);
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+    }
+
+    /// Numerical gradient check of the full linear + softmax-CE pipeline.
+    #[test]
+    fn linear_gradients_match_numerical() {
+        let mut rng = DetRng::new(7);
+        let layer = Linear::glorot(3, 2, &mut rng);
+        let x = Matrix::from_fn(4, 3, |_, _| rng.uniform(-1.0, 1.0));
+        let labels = vec![0usize, 1, 0, 1];
+
+        let logits = layer.forward(&x);
+        let (_, grad_logits) = softmax_cross_entropy(&logits, &labels, None);
+        let (grad_x, grads) = layer.backward(&x, &grad_logits);
+
+        let eps = 1e-3f32;
+        // Check a handful of weight entries.
+        for &(r, c) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+            let mut lp = layer.clone();
+            lp.w[(r, c)] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp.forward(&x), &labels, None);
+            let mut lm = layer.clone();
+            lm.w[(r, c)] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm.forward(&x), &labels, None);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            let analytic = grads.w[(r, c)];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check an input entry.
+        for &(r, c) in &[(0usize, 0usize), (3, 2)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&layer.forward(&xp), &labels, None);
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&layer.forward(&xm), &labels, None);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            let analytic = grad_x[(r, c)];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dX[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient.
+        let mut lp = layer.clone();
+        lp.b[0] += eps;
+        let (loss_p, _) = softmax_cross_entropy(&lp.forward(&x), &labels, None);
+        let mut lm = layer.clone();
+        lm.b[0] -= eps;
+        let (loss_m, _) = softmax_cross_entropy(&lm.forward(&x), &labels, None);
+        let numeric = (loss_p - loss_m) / (2.0 * eps);
+        assert!((numeric - grads.b[0]).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active row")]
+    fn all_masked_panics() {
+        let logits = Matrix::zeros(1, 2);
+        softmax_cross_entropy(&logits, &[0], Some(&[false]));
+    }
+}

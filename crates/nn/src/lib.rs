@@ -1,0 +1,40 @@
+//! Dense numeric kernel shared by the GLAIVE GNN and the baseline MLP:
+//! row-major `f32` matrices, a linear layer with manual backpropagation,
+//! ReLU, masked softmax cross-entropy, Adam/SGD optimizers and Glorot
+//! initialisation.
+//!
+//! The paper trains a 3-layer GraphSAGE with hidden dimension 128 and a
+//! small MLP — models small enough that explicit forward/backward functions
+//! (no autograd graph) are the clearest and fastest implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use glaive_nn::{Matrix, Linear, Adam, softmax_cross_entropy, DetRng};
+//!
+//! let mut rng = DetRng::new(1);
+//! let mut layer = Linear::glorot(4, 3, &mut rng);
+//! let x = Matrix::from_fn(8, 4, |_, _| rng.uniform(-1.0, 1.0));
+//! let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+//!
+//! let mut opt = Adam::new(0.05, layer.param_count());
+//! let mut last = f32::MAX;
+//! for _ in 0..50 {
+//!     let logits = layer.forward(&x);
+//!     let (loss, grad) = softmax_cross_entropy(&logits, &labels, None);
+//!     let (_, grads) = layer.backward(&x, &grad);
+//!     layer.apply(&mut opt, &grads);
+//!     last = loss;
+//! }
+//! assert!(last < 1.0, "training reduced the loss, got {last}");
+//! ```
+
+mod layers;
+mod matrix;
+mod optim;
+mod rng;
+
+pub use layers::{relu, relu_backward, softmax_cross_entropy, softmax_rows, Linear, LinearGrads};
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};
+pub use rng::DetRng;

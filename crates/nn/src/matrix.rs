@@ -1,0 +1,362 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (`n×d · d×h → n×h`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        };
+        parallel_rows(self.rows, other.cols, self.cols, &mut out.data, kernel);
+        out
+    }
+
+    /// `selfᵀ · other` (`n×d ᵀ · n×h → d×h`), used for weight gradients.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts differ");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        // Parallelised over output rows k: each thread owns a k-range and
+        // scans every input row, so no accumulation races and the result is
+        // bit-identical to the serial order.
+        let kernel = |k: usize, out_row: &mut [f32]| {
+            for i in 0..self.rows {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        parallel_rows(self.cols, other.cols, self.rows, &mut out.data, kernel);
+        out
+    }
+
+    /// `self · otherᵀ` (`n×h · d×h ᵀ → n×d`), used for input gradients.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts differ");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        };
+        parallel_rows(self.rows, other.rows, self.cols, &mut out.data, kernel);
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts differ");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits `[left | right]` back into its halves (inverse of
+    /// [`Matrix::hconcat`]).
+    pub fn hsplit(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(left_cols <= self.cols, "split point beyond width");
+        let mut l = Matrix::zeros(self.rows, left_cols);
+        let mut r = Matrix::zeros(self.rows, self.cols - left_cols);
+        for i in 0..self.rows {
+            l.row_mut(i).copy_from_slice(&self.row(i)[..left_cols]);
+            r.row_mut(i).copy_from_slice(&self.row(i)[left_cols..]);
+        }
+        (l, r)
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Index of the maximum entry in each row (first index on ties).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Runs `kernel(row_index, output_row)` for every output row, fanning out
+/// over threads when the work is large enough to amortise spawning. Each
+/// output row is written by exactly one thread with the same inner loop
+/// order as the serial code, so results are bit-identical either way.
+fn parallel_rows(
+    rows: usize,
+    cols: usize,
+    inner: usize,
+    out: &mut [f32],
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    const PARALLEL_THRESHOLD: usize = 1 << 22;
+    let work = rows.saturating_mul(cols).saturating_mul(inner.max(1));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if work < PARALLEL_THRESHOLD || threads <= 1 || rows < 2 {
+        for (i, out_row) in out.chunks_mut(cols).enumerate() {
+            kernel(i, out_row);
+        }
+        return;
+    }
+    let per_chunk = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, chunk) in out.chunks_mut(per_chunk * cols).enumerate() {
+            let kernel = &kernel;
+            scope.spawn(move || {
+                for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                    kernel(c * per_chunk + r, out_row);
+                }
+            });
+        }
+    });
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]);
+        let at_b = a.transpose_matmul(&b);
+        // aᵀ is 3x2; aᵀ·b is 3x2.
+        let at = Matrix::from_vec(3, 2, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(at_b.data(), at.matmul(&b).data());
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let got = a.matmul_transpose(&b);
+        let bt = Matrix::from_fn(3, 4, |r, c| b[(c, r)]);
+        assert_eq!(got.data(), a.matmul(&bt).data());
+    }
+
+    #[test]
+    fn hconcat_hsplit_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 3, vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let cat = a.hconcat(&b);
+        assert_eq!(cat.cols(), 5);
+        assert_eq!(cat.row(1), &[3.0, 4.0, 8.0, 9.0, 10.0]);
+        let (l, r) = cat.hsplit(2);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn argmax_rows_uses_total_order() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.5, 2.0, -1.0, 2.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![0.5, 0.5, 0.5]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    /// Matrices big enough to take the threaded path agree with a naive
+    /// triple loop (and are therefore identical to the serial kernel).
+    #[test]
+    fn parallel_matmul_matches_naive() {
+        let n = 80;
+        let d = 96;
+        let h = 70;
+        let a = Matrix::from_fn(n, d, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(d, h, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let got = a.matmul(&b);
+        let mut naive = Matrix::zeros(n, h);
+        for i in 0..n {
+            for k in 0..d {
+                for j in 0..h {
+                    naive[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        assert_eq!(got.data(), naive.data());
+
+        // And the transpose variants on the same operands.
+        let tm = a.transpose_matmul(&got);
+        let mut naive_tm = Matrix::zeros(d, h);
+        for i in 0..n {
+            for k in 0..d {
+                for j in 0..h {
+                    naive_tm[(k, j)] += a[(i, k)] * got[(i, j)];
+                }
+            }
+        }
+        // transpose_matmul parallel kernel iterates i innermost per k, which
+        // matches this accumulation order per output row.
+        assert_eq!(tm.data(), naive_tm.data());
+
+        let mt = got.matmul_transpose(&got);
+        assert_eq!((mt.rows(), mt.cols()), (n, n));
+        // Gram matrix: entry (i, j) is the dot product of rows i and j.
+        let dot = |i: usize, j: usize| -> f32 {
+            got.row(i).iter().zip(got.row(j)).map(|(a, b)| a * b).sum()
+        };
+        assert_eq!(mt[(0, 0)], dot(0, 0));
+        assert_eq!(mt[(3, 41)], dot(3, 41));
+        assert_eq!(mt[(n - 1, n - 1)], dot(n - 1, n - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        a.matmul(&b);
+    }
+}

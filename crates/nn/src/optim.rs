@@ -1,0 +1,148 @@
+/// Adam optimizer with externally owned parameters.
+///
+/// One `Adam` instance holds first/second-moment state for a fixed number of
+/// parameters; layers update disjoint slices of that state via
+/// [`Adam::step_slice`] using their parameter offset, then call
+/// [`Adam::advance`] once per optimisation step.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates an optimizer with the paper's defaults (`β₁ = 0.9`,
+    /// `β₂ = 0.999`) for `param_count` parameters.
+    pub fn new(lr: f32, param_count: usize) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+            t: 1,
+        }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates `params` in place from `grads`, using optimizer state
+    /// starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice extends beyond the optimizer's state.
+    pub fn step_slice(&mut self, params: &mut [f32], grads: &[f32], offset: usize) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        assert!(
+            offset + params.len() <= self.m.len(),
+            "optimizer state too small"
+        );
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            let k = offset + i;
+            self.m[k] = self.beta1 * self.m[k] + (1.0 - self.beta1) * g;
+            self.v[k] = self.beta2 * self.v[k] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[k] / bc1;
+            let vhat = self.v[k] / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Advances the shared timestep; call once after all slices of one
+    /// optimisation step have been updated.
+    pub fn advance(&mut self) {
+        self.t += 1;
+    }
+}
+
+/// Plain stochastic gradient descent (used by the SVR baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates `params -= lr · grads` in place.
+    pub fn step(&self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam minimises a simple quadratic.
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut opt = Adam::new(0.1, 2);
+        let mut params = vec![3.0f32, -2.0];
+        for _ in 0..300 {
+            // f = (p0 - 1)^2 + (p1 + 1)^2
+            let grads = vec![2.0 * (params[0] - 1.0), 2.0 * (params[1] + 1.0)];
+            opt.step_slice(&mut params, &grads, 0);
+            opt.advance();
+        }
+        assert!((params[0] - 1.0).abs() < 1e-2, "p0 = {}", params[0]);
+        assert!((params[1] + 1.0).abs() < 1e-2, "p1 = {}", params[1]);
+    }
+
+    /// Disjoint slices behave like one big parameter vector.
+    #[test]
+    fn slice_offsets_are_independent() {
+        let mut whole = Adam::new(0.05, 4);
+        let mut sliced = Adam::new(0.05, 4);
+        let mut pw = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut ps = pw.clone();
+        let g = vec![0.5f32, -0.25, 1.0, -1.0];
+        for _ in 0..10 {
+            whole.step_slice(&mut pw, &g, 0);
+            whole.advance();
+            sliced.step_slice(&mut ps[..2], &g[..2], 0);
+            sliced.step_slice(&mut ps[2..], &g[2..], 2);
+            sliced.advance();
+        }
+        assert_eq!(pw, ps);
+    }
+
+    #[test]
+    fn sgd_step() {
+        let opt = Sgd::new(0.5);
+        let mut p = vec![1.0f32, -1.0];
+        opt.step(&mut p, &[2.0, -2.0]);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state too small")]
+    fn oversized_slice_panics() {
+        let mut opt = Adam::new(0.1, 2);
+        let mut p = vec![0.0f32; 3];
+        let g = vec![0.0f32; 3];
+        opt.step_slice(&mut p, &g, 0);
+    }
+}

@@ -1,0 +1,53 @@
+use std::fmt;
+
+pub use glaive_isa::OperandSlot;
+
+/// A single-bit-upset specification: flip `bit` of the register in operand
+/// `slot` of static instruction `pc`, at its `instance`-th dynamic execution
+/// (0-based).
+///
+/// One `FaultSpec` corresponds to one fault-injection campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Static instruction index.
+    pub pc: usize,
+    /// Which operand register to corrupt.
+    pub slot: OperandSlot,
+    /// Bit position in `0..WORD_BITS`.
+    pub bit: u8,
+    /// 0-based dynamic occurrence of `pc` at which to inject.
+    pub instance: u64,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pc={} {} bit={} instance={}",
+            self.pc, self.slot, self.bit, self.instance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fs = FaultSpec {
+            pc: 3,
+            slot: OperandSlot::Use(1),
+            bit: 17,
+            instance: 4,
+        };
+        assert_eq!(fs.to_string(), "pc=3 use1 bit=17 instance=4");
+        let fd = FaultSpec {
+            pc: 0,
+            slot: OperandSlot::Def(0),
+            bit: 63,
+            instance: 0,
+        };
+        assert_eq!(fd.to_string(), "pc=0 def0 bit=63 instance=0");
+    }
+}

@@ -1,0 +1,715 @@
+use std::fmt;
+
+use glaive_isa::{AluOp, CvtOp, FpuOp, FpuUnaryOp, Instr, Program, Reg, NUM_REGS};
+
+use crate::fault::{FaultSpec, OperandSlot};
+
+/// Execution limits for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum number of dynamic instructions before the run is declared a
+    /// hang ([`ExitStatus::BudgetExceeded`]).
+    pub max_instrs: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_instrs: 4_000_000,
+        }
+    }
+}
+
+/// A processor exception raised during execution. Any trap terminates the
+/// program and classifies the run as a Crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Load from an address outside the data memory.
+    OutOfBoundsLoad {
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Store to an address outside the data memory.
+    OutOfBoundsStore {
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Control transferred outside the program text (e.g. fell off the end).
+    InvalidPc {
+        /// The invalid program counter.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBoundsLoad { addr } => write!(f, "out-of-bounds load at {addr:#x}"),
+            Trap::OutOfBoundsStore { addr } => write!(f, "out-of-bounds store at {addr:#x}"),
+            Trap::DivByZero => write!(f, "integer divide by zero"),
+            Trap::InvalidPc { pc } => write!(f, "invalid program counter {pc}"),
+        }
+    }
+}
+
+/// How a simulation run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Reached a `halt` instruction.
+    Halted,
+    /// Raised a processor exception.
+    Trapped(Trap),
+    /// Exceeded [`ExecConfig::max_instrs`] (treated as a hang).
+    BudgetExceeded,
+}
+
+impl ExitStatus {
+    /// Returns `true` for a clean `halt` termination.
+    pub fn is_clean(self) -> bool {
+        matches!(self, ExitStatus::Halted)
+    }
+}
+
+/// The observable result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Termination status.
+    pub status: ExitStatus,
+    /// Values emitted by `out` instructions, in order.
+    pub output: Vec<u64>,
+    /// Total dynamic instructions executed.
+    pub dyn_instrs: u64,
+    /// Per-static-instruction execution counts (indexed by PC); the dynamic
+    /// instance space from which fault-injection sites are drawn.
+    pub exec_counts: Vec<u64>,
+}
+
+/// An interpreter for one program execution, optionally with a single armed
+/// fault.
+///
+/// Most callers use the [`run`](crate::run) / [`run_with_fault`](crate::run_with_fault)
+/// convenience functions; `Simulator` is public for callers that need to
+/// single-step or inspect machine state.
+#[derive(Debug, Clone)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS],
+    mem: Vec<u64>,
+    pc: usize,
+    output: Vec<u64>,
+    dyn_instrs: u64,
+    exec_counts: Vec<u64>,
+    max_instrs: u64,
+    fault: Option<FaultSpec>,
+    fault_fired: bool,
+}
+
+enum Control {
+    Next,
+    Goto(usize),
+    Halt,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator with memory initialised from `init_mem` (remaining
+    /// words zeroed) and all registers zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init_mem` is larger than the program's declared memory.
+    pub fn new(program: &'p Program, init_mem: &[u64], cfg: &ExecConfig) -> Self {
+        assert!(
+            init_mem.len() <= program.mem_words(),
+            "initial memory image ({} words) exceeds program memory ({} words)",
+            init_mem.len(),
+            program.mem_words()
+        );
+        let mut mem = vec![0u64; program.mem_words()];
+        mem[..init_mem.len()].copy_from_slice(init_mem);
+        Simulator {
+            program,
+            regs: [0; NUM_REGS],
+            mem,
+            pc: 0,
+            output: Vec::new(),
+            dyn_instrs: 0,
+            exec_counts: vec![0; program.len()],
+            max_instrs: cfg.max_instrs,
+            fault: None,
+            fault_fired: false,
+        }
+    }
+
+    /// Arms a single-bit upset to be injected during [`Simulator::run`].
+    pub fn arm_fault(&mut self, fault: FaultSpec) {
+        self.fault = Some(fault);
+        self.fault_fired = false;
+    }
+
+    /// Current register file contents.
+    pub fn regs(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Current data memory contents.
+    pub fn mem(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Returns `true` once the armed fault has been injected.
+    pub fn fault_fired(&self) -> bool {
+        self.fault_fired
+    }
+
+    fn flip(&mut self, reg: Reg, bit: u8) {
+        self.regs[reg.index()] ^= 1u64 << (bit as u32 % 64);
+    }
+
+    /// Executes until halt, trap, or budget exhaustion and returns the
+    /// observable result.
+    pub fn run(&mut self) -> RunResult {
+        let status = self.run_inner();
+        RunResult {
+            status,
+            output: std::mem::take(&mut self.output),
+            dyn_instrs: self.dyn_instrs,
+            exec_counts: std::mem::take(&mut self.exec_counts),
+        }
+    }
+
+    fn run_inner(&mut self) -> ExitStatus {
+        loop {
+            if self.dyn_instrs >= self.max_instrs {
+                return ExitStatus::BudgetExceeded;
+            }
+            let Some(&instr) = self.program.get(self.pc) else {
+                return ExitStatus::Trapped(Trap::InvalidPc { pc: self.pc });
+            };
+
+            // Fault injection: fire when this PC reaches the armed dynamic
+            // instance. `exec_counts[pc]` counts *completed* prior
+            // executions, so it equals the 0-based instance number here.
+            let inject_def = if let Some(f) = self.fault {
+                if !self.fault_fired && f.pc == self.pc && self.exec_counts[self.pc] == f.instance {
+                    match f.slot {
+                        OperandSlot::Use(i) => {
+                            if let Some(&reg) = instr.uses().get(i) {
+                                self.flip(reg, f.bit);
+                            }
+                            self.fault_fired = true;
+                            None
+                        }
+                        OperandSlot::Def(i) => {
+                            self.fault_fired = true;
+                            instr.defs().get(i).copied().map(|reg| (reg, f.bit))
+                        }
+                    }
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            self.exec_counts[self.pc] += 1;
+            self.dyn_instrs += 1;
+
+            match self.step(instr) {
+                Ok(control) => {
+                    // Output faults flip the destination after the write.
+                    if let Some((reg, bit)) = inject_def {
+                        self.flip(reg, bit);
+                    }
+                    match control {
+                        Control::Next => self.pc += 1,
+                        Control::Goto(t) => self.pc = t,
+                        Control::Halt => return ExitStatus::Halted,
+                    }
+                }
+                Err(trap) => return ExitStatus::Trapped(trap),
+            }
+        }
+    }
+
+    fn step(&mut self, instr: Instr) -> Result<Control, Trap> {
+        let r = |regs: &[u64; NUM_REGS], reg: Reg| regs[reg.index()];
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = alu_eval(op, r(&self.regs, rs1), r(&self.regs, rs2))?;
+                self.regs[rd.index()] = v;
+                Ok(Control::Next)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = alu_eval(op, r(&self.regs, rs1), imm as u64)?;
+                self.regs[rd.index()] = v;
+                Ok(Control::Next)
+            }
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                let a = f64::from_bits(r(&self.regs, rs1));
+                let b = f64::from_bits(r(&self.regs, rs2));
+                self.regs[rd.index()] = fpu_eval(op, a, b);
+                Ok(Control::Next)
+            }
+            Instr::FpuUnary { op, rd, rs1 } => {
+                let a = f64::from_bits(r(&self.regs, rs1));
+                let v = match op {
+                    FpuUnaryOp::FNeg => -a,
+                    FpuUnaryOp::FAbs => a.abs(),
+                    FpuUnaryOp::FSqrt => a.sqrt(),
+                };
+                self.regs[rd.index()] = v.to_bits();
+                Ok(Control::Next)
+            }
+            Instr::Cvt { op, rd, rs1 } => {
+                let x = r(&self.regs, rs1);
+                self.regs[rd.index()] = match op {
+                    CvtOp::IntToFloat => ((x as i64) as f64).to_bits(),
+                    CvtOp::FloatToInt => (f64::from_bits(x) as i64) as u64,
+                };
+                Ok(Control::Next)
+            }
+            Instr::Li { rd, imm } => {
+                self.regs[rd.index()] = imm as u64;
+                Ok(Control::Next)
+            }
+            Instr::Mov { rd, rs1 } => {
+                self.regs[rd.index()] = r(&self.regs, rs1);
+                Ok(Control::Next)
+            }
+            Instr::Load { rd, base, offset } => {
+                let addr = r(&self.regs, base).wrapping_add(offset as u64);
+                let v = *self
+                    .mem
+                    .get(addr as usize)
+                    .ok_or(Trap::OutOfBoundsLoad { addr })?;
+                self.regs[rd.index()] = v;
+                Ok(Control::Next)
+            }
+            Instr::Store { rs, base, offset } => {
+                let addr = r(&self.regs, base).wrapping_add(offset as u64);
+                let v = r(&self.regs, rs);
+                // Large faulty addresses exceed usize on 32-bit hosts too;
+                // the get_mut covers both range checks.
+                let slot = self
+                    .mem
+                    .get_mut(addr as usize)
+                    .ok_or(Trap::OutOfBoundsStore { addr })?;
+                *slot = v;
+                Ok(Control::Next)
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(r(&self.regs, rs1), r(&self.regs, rs2)) {
+                    Ok(Control::Goto(target))
+                } else {
+                    Ok(Control::Next)
+                }
+            }
+            Instr::Jump { target } => Ok(Control::Goto(target)),
+            Instr::Out { rs1 } => {
+                self.output.push(r(&self.regs, rs1));
+                Ok(Control::Next)
+            }
+            Instr::Halt => Ok(Control::Halt),
+        }
+    }
+}
+
+fn alu_eval(op: AluOp, a: u64, b: u64) -> Result<u64, Trap> {
+    let (sa, sb) = (a as i64, b as i64);
+    Ok(match op {
+        AluOp::Add => sa.wrapping_add(sb) as u64,
+        AluOp::Sub => sa.wrapping_sub(sb) as u64,
+        AluOp::Mul => sa.wrapping_mul(sb) as u64,
+        AluOp::Div => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        AluOp::Rem => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Sra => sa.wrapping_shr(b as u32) as u64,
+        AluOp::Slt => u64::from(sa < sb),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Seq => u64::from(a == b),
+    })
+}
+
+fn fpu_eval(op: FpuOp, a: f64, b: f64) -> u64 {
+    match op {
+        FpuOp::FAdd => (a + b).to_bits(),
+        FpuOp::FSub => (a - b).to_bits(),
+        FpuOp::FMul => (a * b).to_bits(),
+        FpuOp::FDiv => (a / b).to_bits(),
+        FpuOp::FMin => a.min(b).to_bits(),
+        FpuOp::FMax => a.max(b).to_bits(),
+        FpuOp::FLt => u64::from(a < b),
+        FpuOp::FLe => u64::from(a <= b),
+        FpuOp::FEq => u64::from(a == b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify, run, run_with_fault, Outcome};
+    use glaive_isa::{Asm, BranchCond};
+
+    fn cfg() -> ExecConfig {
+        ExecConfig { max_instrs: 10_000 }
+    }
+
+    fn sum_program() -> Program {
+        let mut asm = Asm::new("sum");
+        let (acc, i, one, lim) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        asm.li(acc, 0);
+        asm.li(i, 1);
+        asm.li(one, 1);
+        asm.li(lim, 10);
+        let top = asm.label();
+        asm.bind(top);
+        asm.alu(AluOp::Add, acc, acc, i);
+        asm.alu(AluOp::Add, i, i, one);
+        asm.branch(BranchCond::Le, i, lim, top);
+        asm.out(acc);
+        asm.halt();
+        asm.finish().expect("resolves")
+    }
+
+    #[test]
+    fn golden_sum() {
+        let p = sum_program();
+        let r = run(&p, &[], &cfg());
+        assert_eq!(r.status, ExitStatus::Halted);
+        assert_eq!(r.output, vec![55]);
+        assert_eq!(r.exec_counts[4], 10); // loop body ran 10 times
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu_eval(AluOp::Add, 2, 3).unwrap(), 5);
+        assert_eq!(alu_eval(AluOp::Sub, 2, 3).unwrap(), (-1i64) as u64);
+        assert_eq!(alu_eval(AluOp::Mul, u64::MAX, 2).unwrap(), (-2i64) as u64);
+        assert_eq!(
+            alu_eval(AluOp::Div, (-7i64) as u64, 2).unwrap(),
+            (-3i64) as u64
+        );
+        assert_eq!(alu_eval(AluOp::Rem, 7, 3).unwrap(), 1);
+        assert_eq!(alu_eval(AluOp::Div, 1, 0), Err(Trap::DivByZero));
+        assert_eq!(alu_eval(AluOp::Rem, 1, 0), Err(Trap::DivByZero));
+        // i64::MIN / -1 wraps instead of trapping on overflow.
+        assert_eq!(
+            alu_eval(AluOp::Div, i64::MIN as u64, (-1i64) as u64).unwrap(),
+            i64::MIN as u64
+        );
+        assert_eq!(alu_eval(AluOp::Slt, (-1i64) as u64, 0).unwrap(), 1);
+        assert_eq!(alu_eval(AluOp::Sltu, (-1i64) as u64, 0).unwrap(), 0);
+        assert_eq!(alu_eval(AluOp::Shl, 1, 4).unwrap(), 16);
+        assert_eq!(
+            alu_eval(AluOp::Sra, (-16i64) as u64, 2).unwrap(),
+            (-4i64) as u64
+        );
+        assert_eq!(alu_eval(AluOp::Shr, (-16i64) as u64, 60).unwrap(), 15);
+        assert_eq!(alu_eval(AluOp::Seq, 4, 4).unwrap(), 1);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let bits = |x: f64| x.to_bits();
+        assert_eq!(fpu_eval(FpuOp::FAdd, 1.5, 2.25), bits(3.75));
+        assert_eq!(fpu_eval(FpuOp::FDiv, 1.0, 0.0), bits(f64::INFINITY));
+        assert_eq!(fpu_eval(FpuOp::FLt, 1.0, 2.0), 1);
+        assert_eq!(fpu_eval(FpuOp::FLe, 2.0, 2.0), 1);
+        assert_eq!(fpu_eval(FpuOp::FEq, f64::NAN, f64::NAN), 0);
+        assert_eq!(fpu_eval(FpuOp::FMin, 1.0, 2.0), bits(1.0));
+        assert_eq!(fpu_eval(FpuOp::FMax, 1.0, 2.0), bits(2.0));
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_oob() {
+        let mut asm = Asm::new("mem");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), 7);
+        asm.li(Reg(2), 2);
+        asm.store(Reg(1), Reg(2), 1); // mem[3] = 7
+        asm.load(Reg(3), Reg(2), 1);
+        asm.out(Reg(3));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &cfg());
+        assert_eq!(r.output, vec![7]);
+
+        let mut asm = Asm::new("oob");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), 4);
+        asm.load(Reg(2), Reg(1), 0);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &cfg());
+        assert_eq!(
+            r.status,
+            ExitStatus::Trapped(Trap::OutOfBoundsLoad { addr: 4 })
+        );
+    }
+
+    #[test]
+    fn negative_address_traps() {
+        let mut asm = Asm::new("neg");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), -1);
+        asm.store(Reg(1), Reg(1), 0);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &cfg());
+        assert!(matches!(
+            r.status,
+            ExitStatus::Trapped(Trap::OutOfBoundsStore { .. })
+        ));
+    }
+
+    #[test]
+    fn falling_off_the_end_traps() {
+        let mut asm = Asm::new("fall");
+        asm.li(Reg(1), 1);
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &cfg());
+        assert_eq!(r.status, ExitStatus::Trapped(Trap::InvalidPc { pc: 1 }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_hang() {
+        let mut asm = Asm::new("loop");
+        let top = asm.label();
+        asm.bind(top);
+        asm.jump(top);
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &ExecConfig { max_instrs: 100 });
+        assert_eq!(r.status, ExitStatus::BudgetExceeded);
+        assert_eq!(r.dyn_instrs, 100);
+    }
+
+    #[test]
+    fn initial_memory_is_copied_and_zero_padded() {
+        let mut asm = Asm::new("init");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), 0);
+        asm.load(Reg(2), Reg(1), 1);
+        asm.out(Reg(2));
+        asm.load(Reg(2), Reg(1), 3);
+        asm.out(Reg(2));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[9, 11], &cfg());
+        assert_eq!(r.output, vec![11, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds program memory")]
+    fn oversized_init_mem_panics() {
+        let mut asm = Asm::new("t");
+        asm.set_mem_words(1);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        Simulator::new(&p, &[1, 2], &cfg());
+    }
+
+    #[test]
+    fn use_fault_changes_output() {
+        let p = sum_program();
+        let golden = run(&p, &[], &cfg());
+        // Corrupt acc (use 0 of the add at pc 4) at its last iteration.
+        let f = FaultSpec {
+            pc: 4,
+            slot: OperandSlot::Use(0),
+            bit: 3,
+            instance: 9,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_eq!(classify(&golden, &faulty), Outcome::Sdc);
+    }
+
+    #[test]
+    fn def_fault_changes_output() {
+        let p = sum_program();
+        let golden = run(&p, &[], &cfg());
+        let f = FaultSpec {
+            pc: 4,
+            slot: OperandSlot::Def(0),
+            bit: 0,
+            instance: 9,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_eq!(classify(&golden, &faulty), Outcome::Sdc);
+    }
+
+    #[test]
+    fn high_bit_fault_on_loop_counter_hangs_or_crashes() {
+        let p = sum_program();
+        let golden = run(&p, &[], &cfg());
+        // Flip bit 63 of the loop bound: i <= lim comparison sees a huge
+        // negative bound, loop exits immediately OR counter corruption runs
+        // long. Either way the result must differ from golden (bit 63 of
+        // the limit makes it negative -> loop exits first iteration -> SDC).
+        let f = FaultSpec {
+            pc: 6,
+            slot: OperandSlot::Use(1),
+            bit: 63,
+            instance: 0,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_ne!(classify(&golden, &faulty), Outcome::Masked);
+    }
+
+    #[test]
+    fn masked_fault() {
+        // Fault a register the program never reads again.
+        let mut asm = Asm::new("dead");
+        asm.li(Reg(1), 5);
+        asm.li(Reg(2), 1);
+        asm.alu(AluOp::Add, Reg(3), Reg(1), Reg(2));
+        asm.out(Reg(3));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let golden = run(&p, &[], &cfg());
+        // Corrupt r1 as an *input* of the add via AND masking: flipping a
+        // high bit of r2 (value 1) changes the sum -> pick the dead write
+        // instead: def of li r1 after the add has consumed it? The li
+        // executes before the add, so corrupt the OUT's source after it is
+        // emitted: instead corrupt an unused bit path -> flip bit of r1 def
+        // then overwrite: here we corrupt li r2's def bit 0: 1 -> 0 gives
+        // sum 5, SDC. For a genuinely masked case, corrupt a branch-less
+        // dead register: write r4 never read.
+        let mut asm = Asm::new("dead2");
+        asm.li(Reg(4), 123); // dead value
+        asm.li(Reg(1), 5);
+        asm.out(Reg(1));
+        asm.halt();
+        let p2 = asm.finish().expect("resolves");
+        let golden2 = run(&p2, &[], &cfg());
+        let f = FaultSpec {
+            pc: 0,
+            slot: OperandSlot::Def(0),
+            bit: 7,
+            instance: 0,
+        };
+        let faulty2 = run_with_fault(&p2, &[], &cfg(), &f);
+        assert_eq!(classify(&golden2, &faulty2), Outcome::Masked);
+        // Also exercise the first program end-to-end for determinism.
+        let again = run(&p, &[], &cfg());
+        assert_eq!(golden, again);
+    }
+
+    #[test]
+    fn fault_on_never_reached_instance_never_fires() {
+        let p = sum_program();
+        let golden = run(&p, &[], &cfg());
+        let f = FaultSpec {
+            pc: 4,
+            slot: OperandSlot::Use(0),
+            bit: 0,
+            instance: 10_000,
+        };
+        let mut sim = Simulator::new(&p, &[], &cfg());
+        sim.arm_fault(f);
+        let faulty = sim.run();
+        assert!(!sim.fault_fired());
+        assert_eq!(classify(&golden, &faulty), Outcome::Masked);
+    }
+
+    #[test]
+    fn store_value_fault_corrupts_memory_dataflow() {
+        let mut asm = Asm::new("mem-flow");
+        asm.set_mem_words(2);
+        asm.li(Reg(1), 3);
+        asm.li(Reg(2), 0);
+        asm.store(Reg(1), Reg(2), 0);
+        asm.load(Reg(3), Reg(2), 0);
+        asm.out(Reg(3));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let golden = run(&p, &[], &cfg());
+        assert_eq!(golden.output, vec![3]);
+        let f = FaultSpec {
+            pc: 2,
+            slot: OperandSlot::Use(0),
+            bit: 2,
+            instance: 0,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_eq!(faulty.output, vec![7]);
+        assert_eq!(classify(&golden, &faulty), Outcome::Sdc);
+    }
+
+    #[test]
+    fn address_fault_can_crash() {
+        let mut asm = Asm::new("addr");
+        asm.set_mem_words(2);
+        asm.li(Reg(1), 0);
+        asm.load(Reg(2), Reg(1), 0);
+        asm.out(Reg(2));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let golden = run(&p, &[], &cfg());
+        // Flip a high bit of the base address register.
+        let f = FaultSpec {
+            pc: 1,
+            slot: OperandSlot::Use(0),
+            bit: 40,
+            instance: 0,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_eq!(classify(&golden, &faulty), Outcome::Crash);
+    }
+
+    #[test]
+    fn simulator_state_accessors() {
+        let mut asm = Asm::new("acc");
+        asm.set_mem_words(2);
+        asm.li(Reg(1), 9);
+        asm.li(Reg(2), 0);
+        asm.store(Reg(1), Reg(2), 1);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let mut sim = Simulator::new(&p, &[], &cfg());
+        assert_eq!(sim.pc(), 0);
+        assert!(!sim.fault_fired());
+        let r = sim.run();
+        assert!(r.status.is_clean());
+        assert_eq!(sim.regs()[1], 9);
+        assert_eq!(sim.mem()[1], 9);
+    }
+
+    #[test]
+    fn cvt_roundtrip() {
+        let mut asm = Asm::new("cvt");
+        asm.li(Reg(1), -42);
+        asm.cvt(CvtOp::IntToFloat, Reg(2), Reg(1));
+        asm.cvt(CvtOp::FloatToInt, Reg(3), Reg(2));
+        asm.out(Reg(3));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let r = run(&p, &[], &cfg());
+        assert_eq!(r.output, vec![(-42i64) as u64]);
+    }
+}

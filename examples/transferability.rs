@@ -1,0 +1,73 @@
+//! Transferability: GLAIVE's inductive model applies to programs it has
+//! never seen, without retraining (paper §V-A).
+//!
+//! Trains on all five control-sensitive train/test benchmarks and then
+//! estimates the held-out validation program `inversek2j`, comparing the
+//! learned model against (a) the FI ground truth and (b) a naive
+//! "predict the training set's majority class" baseline.
+//!
+//! Run with: `cargo run --release --example transferability`
+
+use glaive::{metrics, prepare_benchmark, train_models, Method, PipelineConfig};
+use glaive_bench_suite::control;
+
+fn main() {
+    let config = PipelineConfig::quick_test();
+
+    let train: Vec<_> = [
+        control::dijkstra::build(7),
+        control::astar::build(7),
+        control::streamcluster::build(7),
+        control::jmeint::build(7),
+        control::sobel::build(7),
+    ]
+    .into_iter()
+    .map(|b| prepare_benchmark(b, &config))
+    .collect();
+    let train_refs: Vec<&_> = train.iter().collect();
+    let models = train_models(&train_refs, &config);
+
+    let unseen = prepare_benchmark(control::inversek2j::build(7), &config);
+    println!(
+        "unseen program: {} ({} instructions, {} labelled bit nodes)",
+        unseen.bench.name,
+        unseen.bench.program().len(),
+        unseen.bit_datapoints()
+    );
+
+    // Majority-class baseline from the training labels.
+    let mut counts = [0usize; 3];
+    for d in &train {
+        for (i, &m) in d.mask.iter().enumerate() {
+            if m {
+                counts[d.labels[i]] += 1;
+            }
+        }
+    }
+    let majority = (0..3).max_by_key(|&c| counts[c]).expect("three classes");
+    let majority_preds = vec![majority; unseen.cdfg.node_count()];
+
+    let glaive_preds = models
+        .bit_predictions(Method::Glaive, &unseen)
+        .expect("bit-level method");
+    println!(
+        "bit accuracy on unseen program: GLAIVE {:.3} vs majority-class {:.3}",
+        metrics::bit_accuracy(&glaive_preds, &unseen),
+        metrics::bit_accuracy(&majority_preds, &unseen),
+    );
+
+    for method in [
+        Method::Glaive,
+        Method::MlpBit,
+        Method::RfInst,
+        Method::SvmInst,
+    ] {
+        let est = models.estimate(method, &unseen);
+        println!(
+            "{:9}: top-25% coverage {:.3}, program vulnerability error {:.3}",
+            method.name(),
+            metrics::top_k_coverage(&est, &unseen, 25.0),
+            metrics::program_vulnerability_error(&est, &unseen),
+        );
+    }
+}

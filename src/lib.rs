@@ -1,0 +1,11 @@
+//! Meta-crate re-exporting the full GLAIVE reproduction API.
+pub use glaive as pipeline;
+pub use glaive_bench_suite as bench_suite;
+pub use glaive_cdfg as cdfg;
+pub use glaive_faultsim as faultsim;
+pub use glaive_gnn as gnn;
+pub use glaive_isa as isa;
+pub use glaive_lang as lang;
+pub use glaive_ml as ml;
+pub use glaive_nn as nn;
+pub use glaive_sim as sim;

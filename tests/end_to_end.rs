@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full compile → simulate → inject →
+//! graph → learn → rank pipeline.
+
+use glaive::{metrics, prepare_benchmark, train_models, BenchData, Method, PipelineConfig};
+use glaive_bench_suite::{control, data};
+
+fn quick() -> PipelineConfig {
+    PipelineConfig::quick_test()
+}
+
+fn prepared(b: glaive_bench_suite::Benchmark) -> BenchData {
+    prepare_benchmark(b, &quick())
+}
+
+/// The whole pipeline runs and produces consistent artefacts on every
+/// benchmark of the suite.
+#[test]
+fn every_benchmark_flows_through_the_pipeline() {
+    for bench in glaive_bench_suite::suite(3) {
+        let name = bench.name;
+        let d = prepared(bench);
+        assert!(d.bit_datapoints() > 0, "{name}: no labels");
+        assert!(d.instr_datapoints() > 0, "{name}: no instruction tuples");
+        assert_eq!(
+            d.features.rows(),
+            d.cdfg.node_count(),
+            "{name}: feature rows"
+        );
+        assert_eq!(d.preds.len(), d.cdfg.node_count(), "{name}: adjacency");
+        // Every FI bit label landed on a CDFG node.
+        assert_eq!(
+            d.truth.bit_labels().len(),
+            d.mask.iter().filter(|&&m| m).count(),
+            "{name}: labels lost in the join"
+        );
+    }
+}
+
+/// Training on one program and estimating another yields valid, complete
+/// estimates for every method.
+#[test]
+fn cross_program_estimation_is_valid() {
+    let train = prepared(data::fft::build(3));
+    let test = prepared(data::lu::build(3));
+    let models = train_models(&[&train], &quick());
+    for method in Method::ALL {
+        let est = models.estimate(method, &test);
+        for pc in test.covered_pcs() {
+            let t = est[pc].expect("estimate for covered pc");
+            assert!(
+                (t.crash + t.sdc + t.masked - 1.0).abs() < 1e-6,
+                "{}: unnormalised tuple at pc {pc}",
+                method.name()
+            );
+            assert!(t.crash >= 0.0 && t.sdc >= 0.0 && t.masked >= 0.0);
+        }
+        let cov = metrics::top_k_coverage(&est, &test, 30.0);
+        assert!(
+            (0.0..=1.0).contains(&cov),
+            "{}: coverage {cov}",
+            method.name()
+        );
+        let err = metrics::program_vulnerability_error(&est, &test);
+        assert!((0.0..=2.0).contains(&err), "{}: error {err}", method.name());
+    }
+}
+
+/// The pipeline is deterministic end to end: preparing and training twice
+/// gives identical estimates.
+#[test]
+fn pipeline_is_deterministic() {
+    let config = quick();
+    let run = || {
+        let train = prepare_benchmark(control::dijkstra::build(5), &config);
+        let test = prepare_benchmark(control::sobel::build(5), &config);
+        let models = train_models(&[&train], &config);
+        let est = models.estimate(Method::Glaive, &test);
+        est.into_iter()
+            .map(|t| t.map(|t| (t.crash, t.sdc, t.masked)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// A learned GLAIVE model beats the trivial always-majority baseline on a
+/// held-out program of the same category.
+#[test]
+fn learning_beats_majority_baseline() {
+    let config = quick();
+    let train_a = prepare_benchmark(data::fft::build(3), &config);
+    let train_b = prepare_benchmark(data::swaptions::build(3), &config);
+    let test = prepare_benchmark(data::lu::build(3), &config);
+    let models = train_models(&[&train_a, &train_b], &config);
+
+    let mut counts = [0usize; 3];
+    for d in [&train_a, &train_b] {
+        for (i, &m) in d.mask.iter().enumerate() {
+            if m {
+                counts[d.labels[i]] += 1;
+            }
+        }
+    }
+    let majority = (0..3).max_by_key(|&c| counts[c]).expect("classes");
+    let majority_acc = metrics::bit_accuracy(&vec![majority; test.cdfg.node_count()], &test);
+
+    let preds = models
+        .bit_predictions(Method::Glaive, &test)
+        .expect("bit-level");
+    let acc = metrics::bit_accuracy(&preds, &test);
+    assert!(
+        acc >= majority_acc,
+        "GLAIVE {acc:.3} should not lose to majority {majority_acc:.3}"
+    );
+}
+
+/// The FI oracle ranked by its own tuples achieves full coverage; an
+/// adversarially inverted ranking achieves less.
+#[test]
+fn coverage_separates_good_and_bad_rankings() {
+    let d = prepared(control::dijkstra::build(9));
+    assert_eq!(metrics::top_k_coverage(&d.fi_tuples, &d, 25.0), 1.0);
+
+    // Invert the oracle: swap crash and masked probabilities.
+    let inverted: Vec<_> = d
+        .fi_tuples
+        .iter()
+        .map(|t| {
+            t.map(|t| glaive::VulnTuple {
+                crash: t.masked,
+                sdc: t.sdc,
+                masked: t.crash,
+            })
+        })
+        .collect();
+    let inv_cov = metrics::top_k_coverage(&inverted, &d, 25.0);
+    assert!(
+        inv_cov < 1.0,
+        "inverted ranking should lose coverage, got {inv_cov}"
+    );
+}
+
+/// Bit-level labels join onto exactly the executed instructions' nodes and
+/// the estimator interfaces agree on node counts.
+#[test]
+fn campaign_and_graph_agree_on_site_space() {
+    let d = prepared(data::radix::build(4));
+    for (site, _) in d.truth.bit_labels() {
+        assert!(
+            d.cdfg.node_id(site.pc, site.slot, site.bit).is_some(),
+            "campaign site {site} missing from graph"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Integrity checks across the benchmark suite: golden runs, graph/site
+//! alignment, and stability of the generated inputs.
+
+use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
+use glaive_sim::run;
+
+/// Every benchmark's golden run halts cleanly with non-empty output.
+#[test]
+fn all_golden_runs_are_clean() {
+    for b in glaive_bench_suite::suite(42) {
+        let r = run(b.program(), &b.init_mem, &b.exec_config());
+        assert!(r.status.is_clean(), "{}: {:?}", b.name, r.status);
+        assert!(!r.output.is_empty(), "{}: no output", b.name);
+        assert!(r.dyn_instrs > 100, "{}: suspiciously short run", b.name);
+    }
+}
+
+/// Golden runs are identical across process invocations (pure functions of
+/// the seed).
+#[test]
+fn suite_is_deterministic_per_seed() {
+    let a = glaive_bench_suite::suite(5);
+    let b = glaive_bench_suite::suite(5);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.init_mem, y.init_mem, "{}", x.name);
+        let ra = run(x.program(), &x.init_mem, &x.exec_config());
+        let rb = run(y.program(), &y.init_mem, &y.exec_config());
+        assert_eq!(ra.output, rb.output, "{}", x.name);
+    }
+}
+
+/// CDFG construction succeeds at several strides and the feature matrix
+/// always has the documented width.
+#[test]
+fn graphs_build_at_multiple_strides() {
+    for b in glaive_bench_suite::suite(1).into_iter().take(4) {
+        for stride in [8, 16, 64] {
+            let g = Cdfg::build(b.program(), &CdfgConfig { bit_stride: stride });
+            assert!(g.node_count() > 0, "{} stride {stride}", b.name);
+            let m = g.feature_matrix();
+            assert_eq!(m.len(), g.node_count() * FEATURE_DIM);
+            // Degree sanity: no node may aggregate from itself.
+            for id in 0..g.node_count() as u32 {
+                assert!(!g.preds(id).contains(&id), "{}: self-loop at {id}", b.name);
+            }
+        }
+    }
+}
+
+/// Word-level graphs (stride 64) are strictly smaller than bit-level ones,
+/// preserving the bit-vs-word ablation's premise.
+#[test]
+fn word_level_graphs_are_smaller() {
+    let b = glaive_bench_suite::control::dijkstra::build(1);
+    let bit = Cdfg::build(b.program(), &CdfgConfig { bit_stride: 8 });
+    let word = Cdfg::build(b.program(), &CdfgConfig { bit_stride: 64 });
+    assert_eq!(bit.node_count(), 8 * word.node_count());
+    assert!(bit.edge_count() > word.edge_count());
+}
+
+/// The execution budget declared by each benchmark comfortably covers its
+/// golden run (fault campaigns scale budgets from the golden length).
+#[test]
+fn exec_budgets_have_headroom() {
+    for b in glaive_bench_suite::suite(2) {
+        let r = run(b.program(), &b.init_mem, &b.exec_config());
+        assert!(
+            r.dyn_instrs * b.hang_factor < b.exec_config().max_instrs,
+            "{}: budget too tight",
+            b.name
+        );
+    }
+}
