@@ -1,14 +1,13 @@
-//! Criterion bench: the fault-injection baseline of Fig. 5b — wall-clock
+//! Timing bench: the fault-injection baseline of Fig. 5b — wall-clock
 //! cost of a full bit-level FI campaign per benchmark. Compare against
 //! `inference.rs` to obtain the speedup the paper reports.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use glaive_bench::timing::{bench, report, Settings};
 use glaive_faultsim::{Campaign, CampaignConfig};
 
-fn fi_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fi_campaign");
-    group.sample_size(10);
-    for bench in [
+fn main() {
+    let mut results = Vec::new();
+    for bench_prog in [
         glaive_bench_suite::control::dijkstra::build(7),
         glaive_bench_suite::data::radix::build(7),
         glaive_bench_suite::data::swaptions::build(7),
@@ -18,15 +17,14 @@ fn fi_campaign(c: &mut Criterion) {
             instances_per_site: 2,
             ..CampaignConfig::default()
         };
-        group.bench_function(bench.name, |b| {
-            b.iter(|| {
-                let truth = Campaign::new(bench.program(), &bench.init_mem, config).run();
-                std::hint::black_box(truth.total_injections())
-            })
-        });
+        results.push(bench(
+            &format!("fi_campaign/{}", bench_prog.name),
+            Settings::heavy(),
+            || {
+                let truth = Campaign::new(bench_prog.program(), &bench_prog.init_mem, config).run();
+                std::hint::black_box(truth.total_injections());
+            },
+        ));
     }
-    group.finish();
+    report(&results);
 }
-
-criterion_group!(benches, fi_campaign);
-criterion_main!(benches);

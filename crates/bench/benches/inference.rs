@@ -1,26 +1,27 @@
-//! Criterion bench: per-method estimation cost (the ML side of Fig. 5b).
+//! Timing bench: per-method estimation cost (the ML side of Fig. 5b).
 //! Models are trained once in setup; the measured region is inference over
 //! an unseen benchmark — GLAIVE is expected to be slower than MLP-BIT and
 //! the instruction-level regressors, but orders of magnitude faster than
 //! the FI campaign measured in `fi_campaign.rs`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use glaive::{prepare_benchmark, train_models, Method, PipelineConfig};
+use glaive_bench::timing::{bench, report, Settings};
 
-fn inference(c: &mut Criterion) {
+fn main() {
     let config = PipelineConfig::quick_test();
     let train = prepare_benchmark(glaive_bench_suite::data::fft::build(7), &config);
     let test = prepare_benchmark(glaive_bench_suite::data::radix::build(7), &config);
     let models = train_models(&[&train], &config);
 
-    let mut group = c.benchmark_group("inference_radix");
+    let mut results = Vec::new();
     for method in Method::ALL {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| std::hint::black_box(models.estimate(method, &test)))
-        });
+        results.push(bench(
+            &format!("inference_radix/{}", method.name()),
+            Settings::default(),
+            || {
+                std::hint::black_box(models.estimate(method, &test));
+            },
+        ));
     }
-    group.finish();
+    report(&results);
 }
-
-criterion_group!(benches, inference);
-criterion_main!(benches);

@@ -1,32 +1,33 @@
-//! Criterion bench: pipeline component costs — golden simulation, bit-level
+//! Timing bench: pipeline component costs — golden simulation, bit-level
 //! CDFG construction (Fig. 3's graph extraction), and Table-I feature
 //! matrix extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use glaive_bench::timing::{bench, report, Settings};
 use glaive_cdfg::{Cdfg, CdfgConfig};
 use glaive_sim::{run, ExecConfig};
 
-fn pipeline(c: &mut Criterion) {
-    let bench = glaive_bench_suite::control::dijkstra::build(7);
+fn main() {
+    let bench_prog = glaive_bench_suite::control::dijkstra::build(7);
     let cfg = CdfgConfig { bit_stride: 8 };
 
-    c.bench_function("golden_run_dijkstra", |b| {
-        b.iter(|| {
-            std::hint::black_box(run(
-                bench.program(),
-                &bench.init_mem,
-                &ExecConfig::default(),
-            ))
-        })
-    });
-    c.bench_function("cdfg_build_dijkstra", |b| {
-        b.iter(|| std::hint::black_box(Cdfg::build(bench.program(), &cfg)))
-    });
-    let graph = Cdfg::build(bench.program(), &cfg);
-    c.bench_function("feature_matrix_dijkstra", |b| {
-        b.iter(|| std::hint::black_box(graph.feature_matrix()))
-    });
+    let mut results = Vec::new();
+    results.push(bench("golden_run_dijkstra", Settings::default(), || {
+        std::hint::black_box(run(
+            bench_prog.program(),
+            &bench_prog.init_mem,
+            &ExecConfig::default(),
+        ));
+    }));
+    results.push(bench("cdfg_build_dijkstra", Settings::default(), || {
+        std::hint::black_box(Cdfg::build(bench_prog.program(), &cfg));
+    }));
+    let graph = Cdfg::build(bench_prog.program(), &cfg);
+    results.push(bench(
+        "feature_matrix_dijkstra",
+        Settings::default(),
+        || {
+            std::hint::black_box(graph.feature_matrix());
+        },
+    ));
+    report(&results);
 }
-
-criterion_group!(benches, pipeline);
-criterion_main!(benches);

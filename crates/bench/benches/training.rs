@@ -1,11 +1,11 @@
-//! Criterion bench: GNN training cost per epoch — the one-off cost GLAIVE
+//! Timing bench: GNN training cost per epoch — the one-off cost GLAIVE
 //! pays to amortise FI campaigns across programs (§V-D discussion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use glaive::{prepare_benchmark, PipelineConfig};
+use glaive_bench::timing::{bench, report, Settings};
 use glaive_gnn::{GraphSage, SageConfig, TrainGraph};
 
-fn training(c: &mut Criterion) {
+fn main() {
     let config = PipelineConfig::quick_test();
     let data = prepare_benchmark(glaive_bench_suite::control::dijkstra::build(7), &config);
     let graph = TrainGraph {
@@ -19,13 +19,9 @@ fn training(c: &mut Criterion) {
         ..config.sage
     };
 
-    c.bench_function("graphsage_epoch_dijkstra", |b| {
-        b.iter(|| {
-            let mut model = GraphSage::new(glaive_cdfg::FEATURE_DIM, &sage);
-            std::hint::black_box(model.train(&[graph]).final_loss())
-        })
-    });
+    let results = vec![bench("graphsage_epoch_dijkstra", Settings::heavy(), || {
+        let mut model = GraphSage::new(glaive_cdfg::FEATURE_DIM, &sage);
+        std::hint::black_box(model.train(&[graph]).final_loss());
+    })];
+    report(&results);
 }
-
-criterion_group!(benches, training);
-criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use glaive::experiments::Evaluation;
 use glaive::metrics::bit_accuracy;
-use glaive::{prepare_suite, BenchData, Method, PipelineConfig};
+use glaive::{prepare_suite, BenchData, Error, Method, PipelineConfig};
 use glaive_bench::EXPERIMENT_SEED;
 use glaive_bench_suite::Category;
 
@@ -24,70 +24,79 @@ fn data_suite(config: &PipelineConfig) -> Vec<BenchData> {
         .collect()
 }
 
-fn mean_accuracy(eval: &Evaluation, vanilla: bool) -> f64 {
+fn mean_accuracy(eval: &Evaluation, vanilla: bool) -> Result<f64, Error> {
     let suite = eval.suite();
     let mut sum = 0.0;
     for d in suite {
-        let models = eval.models_for(d.bench.name);
+        let models = eval.models_for(d.bench.name)?;
         let preds = if vanilla {
             models.vanilla_bit_predictions(d).expect("vanilla trained")
         } else {
-            models
-                .bit_predictions(Method::Glaive, d)
-                .expect("bit-level")
+            models.bit_predictions(Method::Glaive, d)?
         };
         sum += bit_accuracy(&preds, d);
     }
-    sum / suite.len() as f64
+    Ok(sum / suite.len() as f64)
 }
 
-fn main() {
-    let base = glaive_bench::experiment_config();
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let base = glaive_bench::experiment_config();
 
-    // 1. Aggregator ablation.
-    eprintln!("[1/3] aggregator ablation (predecessor vs all-neighbour)...");
-    let mut config = base;
-    config.train_vanilla = true;
-    let eval = Evaluation::new(data_suite(&config), &config);
-    println!("# Ablation 1: aggregation direction (data-sensitive mean accuracy)");
-    println!("predecessor_mean\t{:.4}", mean_accuracy(&eval, false));
-    println!("all_neighbour_mean\t{:.4}", mean_accuracy(&eval, true));
-
-    // 2. Bit-level vs word-level representations, scored against the SAME
-    //    FI ground truth (campaign stride stays at the base setting; only
-    //    the graph the models see is coarsened to one node per operand).
-    eprintln!("[2/3] bit-level vs word-level graphs...");
-    println!("# Ablation 2: graph granularity (data-sensitive mean GLAIVE PV error / mean top-K coverage)");
-    for graph_stride in [base.bit_stride, 64] {
-        let suite: Vec<BenchData> = glaive::prepare_suite(EXPERIMENT_SEED, &base)
-            .into_iter()
-            .filter(|d| d.bench.category == Category::Data)
-            .map(|d| {
-                glaive::prepare_benchmark_with_graph_stride(d.bench, &base, graph_stride)
-            })
-            .collect();
-        let eval = Evaluation::new(suite, &base);
-        let n = eval.suite().len() as f64;
-        let pve: f64 = eval.pv_error_rows().iter().map(|r| r.errors[0]).sum::<f64>() / n;
-        let ks = glaive::experiments::paper_budgets();
-        let cov: f64 = eval
-            .coverage_curves(&ks)
-            .iter()
-            .filter(|c| c.method == Method::Glaive)
-            .map(|c| c.mean_coverage())
-            .sum::<f64>()
-            / n;
-        let label = if graph_stride == 64 { "word-level" } else { "bit-level" };
-        println!("{label}(graph_stride={graph_stride})\t{pve:.4}\t{cov:.4}");
-    }
-
-    // 3. Neighbour sample size.
-    eprintln!("[3/3] neighbour sample size sweep...");
-    println!("# Ablation 3: neighbour sample size (data-sensitive mean accuracy)");
-    for sample in [5usize, 15, 50] {
+        // 1. Aggregator ablation.
+        eprintln!("[1/3] aggregator ablation (predecessor vs all-neighbour)...");
         let mut config = base;
-        config.sage.sample_size = sample;
-        let eval = Evaluation::new(data_suite(&config), &config);
-        println!("sample={sample}\t{:.4}", mean_accuracy(&eval, false));
-    }
+        config.train_vanilla = true;
+        let eval = Evaluation::new(data_suite(&config), &config)?;
+        println!("# Ablation 1: aggregation direction (data-sensitive mean accuracy)");
+        println!("predecessor_mean\t{:.4}", mean_accuracy(&eval, false)?);
+        println!("all_neighbour_mean\t{:.4}", mean_accuracy(&eval, true)?);
+
+        // 2. Bit-level vs word-level representations, scored against the SAME
+        //    FI ground truth (campaign stride stays at the base setting; only
+        //    the graph the models see is coarsened to one node per operand).
+        eprintln!("[2/3] bit-level vs word-level graphs...");
+        println!("# Ablation 2: graph granularity (data-sensitive mean GLAIVE PV error / mean top-K coverage)");
+        for graph_stride in [base.bit_stride, 64] {
+            let suite: Vec<BenchData> = glaive::prepare_suite(EXPERIMENT_SEED, &base)
+                .into_iter()
+                .filter(|d| d.bench.category == Category::Data)
+                .map(|d| glaive::prepare_benchmark_with_graph_stride(d.bench, &base, graph_stride))
+                .collect();
+            let eval = Evaluation::new(suite, &base)?;
+            let n = eval.suite().len() as f64;
+            let pve: f64 = eval
+                .pv_error_rows()
+                .iter()
+                .map(|r| r.errors[0])
+                .sum::<f64>()
+                / n;
+            let ks = glaive::experiments::paper_budgets();
+            let cov: f64 = eval
+                .coverage_curves(&ks)
+                .iter()
+                .filter(|c| c.method == Method::Glaive)
+                .map(|c| c.mean_coverage())
+                .sum::<f64>()
+                / n;
+            let label = if graph_stride == 64 {
+                "word-level"
+            } else {
+                "bit-level"
+            };
+            println!("{label}(graph_stride={graph_stride})\t{pve:.4}\t{cov:.4}");
+        }
+
+        // 3. Neighbour sample size.
+        eprintln!("[3/3] neighbour sample size sweep...");
+        println!("# Ablation 3: neighbour sample size (data-sensitive mean accuracy)");
+        for sample in [5usize, 15, 50] {
+            let mut config = base;
+            config.sage.sample_size = sample;
+            let eval = Evaluation::new(data_suite(&config), &config)?;
+            println!("sample={sample}\t{:.4}", mean_accuracy(&eval, false)?);
+        }
+
+        Ok(())
+    })
 }

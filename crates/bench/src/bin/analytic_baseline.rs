@@ -11,34 +11,38 @@ use glaive::analytic::AnalyticModel;
 use glaive::experiments::paper_budgets;
 use glaive::metrics;
 
-fn main() {
-    let (suite, _) = glaive_bench::standard_suite();
-    let ks = paper_budgets();
-    println!("# Analytical-model baseline (no FI, no training)");
-    println!("benchmark\tcategory\tpv_error\tmean_topK_coverage");
-    let mut pve_sum = 0.0;
-    let mut cov_sum = 0.0;
-    for d in &suite {
-        let model = AnalyticModel::for_bench(d);
-        let pve = metrics::program_vulnerability_error(model.tuples(), d);
-        let cov: f64 = ks
-            .iter()
-            .map(|&k| metrics::top_k_coverage(model.tuples(), d, k))
-            .sum::<f64>()
-            / ks.len() as f64;
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let (suite, _) = glaive_bench::standard_suite()?;
+        let ks = paper_budgets();
+        println!("# Analytical-model baseline (no FI, no training)");
+        println!("benchmark\tcategory\tpv_error\tmean_topK_coverage");
+        let mut pve_sum = 0.0;
+        let mut cov_sum = 0.0;
+        for d in &suite {
+            let model = AnalyticModel::for_bench(d);
+            let pve = metrics::program_vulnerability_error(model.tuples(), d);
+            let cov: f64 = ks
+                .iter()
+                .map(|&k| metrics::top_k_coverage(model.tuples(), d, k))
+                .sum::<f64>()
+                / ks.len() as f64;
+            println!(
+                "{}\t{}\t{:.3}\t{:.3}",
+                d.bench.name,
+                d.bench.category.tag(),
+                pve,
+                cov
+            );
+            pve_sum += pve;
+            cov_sum += cov;
+        }
         println!(
-            "{}\t{}\t{:.3}\t{:.3}",
-            d.bench.name,
-            d.bench.category.tag(),
-            pve,
-            cov
+            "# averages: pv_error={:.3} coverage={:.3} (compare with fig5a/fig4 outputs)",
+            pve_sum / suite.len() as f64,
+            cov_sum / suite.len() as f64
         );
-        pve_sum += pve;
-        cov_sum += cov;
-    }
-    println!(
-        "# averages: pv_error={:.3} coverage={:.3} (compare with fig5a/fig4 outputs)",
-        pve_sum / suite.len() as f64,
-        cov_sum / suite.len() as f64
-    );
+
+        Ok(())
+    })
 }

@@ -38,37 +38,41 @@ fn print_series(title: &str, curves: &[&CoverageCurve], ks: &[f64]) {
     }
 }
 
-fn main() {
-    let (eval, _) = glaive_bench::standard_evaluation();
-    let ks = paper_budgets();
-    let curves = eval.coverage_curves(&ks);
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let (eval, _) = glaive_bench::standard_evaluation()?;
+        let ks = paper_budgets();
+        let curves = eval.coverage_curves(&ks);
 
-    println!("# Fig. 4: top-K coverage vs protection budget");
-    let radix: Vec<&CoverageCurve> = curves.iter().filter(|c| c.benchmark == "radix").collect();
-    print_series("(a) Radix", &radix, &ks);
-    let swaptions: Vec<&CoverageCurve> = curves
-        .iter()
-        .filter(|c| c.benchmark == "swaptions")
-        .collect();
-    print_series("(b) Swaptions", &swaptions, &ks);
-    let control: Vec<&CoverageCurve> = curves
-        .iter()
-        .filter(|c| c.category == Category::Control)
-        .collect();
-    print_series("(c) Control-sensitive average", &control, &ks);
-
-    println!("## Mean coverage over all budgets and benchmarks");
-    for m in Method::ALL {
-        let sel: Vec<f64> = curves
+        println!("# Fig. 4: top-K coverage vs protection budget");
+        let radix: Vec<&CoverageCurve> = curves.iter().filter(|c| c.benchmark == "radix").collect();
+        print_series("(a) Radix", &radix, &ks);
+        let swaptions: Vec<&CoverageCurve> = curves
             .iter()
-            .filter(|c| c.method == m)
-            .map(CoverageCurve::mean_coverage)
+            .filter(|c| c.benchmark == "swaptions")
             .collect();
-        println!(
-            "{}\t{:.4}",
-            m.name(),
-            sel.iter().sum::<f64>() / sel.len() as f64
-        );
-    }
-    println!("# paper: GLAIVE averages 90.23% coverage, up to 21.3%/23.18% above RF/SVM");
+        print_series("(b) Swaptions", &swaptions, &ks);
+        let control: Vec<&CoverageCurve> = curves
+            .iter()
+            .filter(|c| c.category == Category::Control)
+            .collect();
+        print_series("(c) Control-sensitive average", &control, &ks);
+
+        println!("## Mean coverage over all budgets and benchmarks");
+        for m in Method::ALL {
+            let sel: Vec<f64> = curves
+                .iter()
+                .filter(|c| c.method == m)
+                .map(CoverageCurve::mean_coverage)
+                .collect();
+            println!(
+                "{}\t{:.4}",
+                m.name(),
+                sel.iter().sum::<f64>() / sel.len() as f64
+            );
+        }
+        println!("# paper: GLAIVE averages 90.23% coverage, up to 21.3%/23.18% above RF/SVM");
+
+        Ok(())
+    })
 }

@@ -20,45 +20,49 @@ const CONTROL_ORDER: [&str; 6] = [
     "inversek2j",
 ];
 
-fn main() {
-    let (eval, _) = glaive_bench::standard_evaluation();
-    let rows = eval.pv_error_rows();
-    println!("# Fig. 5a: program vulnerability error (lower is better)");
-    println!("label\tbenchmark\tM1:GLAIVE\tM2:MLP-BIT\tM3:SVM-INST\tM4:RF-INST");
-    for (cat, order, tag) in [
-        (Category::Data, DATA_ORDER, 'D'),
-        (Category::Control, CONTROL_ORDER, 'C'),
-    ] {
-        let mut sums = [0.0f64; 4];
-        for (i, name) in order.iter().enumerate() {
-            let r = rows
-                .iter()
-                .find(|r| r.benchmark == *name)
-                .unwrap_or_else(|| panic!("missing row for {name}"));
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let (eval, _) = glaive_bench::standard_evaluation()?;
+        let rows = eval.pv_error_rows();
+        println!("# Fig. 5a: program vulnerability error (lower is better)");
+        println!("label\tbenchmark\tM1:GLAIVE\tM2:MLP-BIT\tM3:SVM-INST\tM4:RF-INST");
+        for (cat, order, tag) in [
+            (Category::Data, DATA_ORDER, 'D'),
+            (Category::Control, CONTROL_ORDER, 'C'),
+        ] {
+            let mut sums = [0.0f64; 4];
+            for (i, name) in order.iter().enumerate() {
+                let r = rows
+                    .iter()
+                    .find(|r| r.benchmark == *name)
+                    .unwrap_or_else(|| panic!("missing row for {name}"));
+                println!(
+                    "{tag}{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                    i + 1,
+                    r.benchmark,
+                    r.errors[0],
+                    r.errors[1],
+                    r.errors[2],
+                    r.errors[3]
+                );
+                for (s, e) in sums.iter_mut().zip(r.errors) {
+                    *s += e;
+                }
+            }
+            let avg = sums.map(|s| s / order.len() as f64);
             println!(
-                "{tag}{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
-                i + 1,
-                r.benchmark,
-                r.errors[0],
-                r.errors[1],
-                r.errors[2],
-                r.errors[3]
+                "# {cat:?} averages: M1={:.3} M2={:.3} M3={:.3} M4={:.3}",
+                avg[0], avg[1], avg[2], avg[3]
             );
-            for (s, e) in sums.iter_mut().zip(r.errors) {
-                *s += e;
+            for (k, m) in Method::ALL.iter().enumerate().skip(1) {
+                println!(
+                    "#   GLAIVE vs {}: {:+.1}% error",
+                    m.name(),
+                    (avg[0] - avg[k]) / avg[k] * 100.0
+                );
             }
         }
-        let avg = sums.map(|s| s / order.len() as f64);
-        println!(
-            "# {cat:?} averages: M1={:.3} M2={:.3} M3={:.3} M4={:.3}",
-            avg[0], avg[1], avg[2], avg[3]
-        );
-        for (k, m) in Method::ALL.iter().enumerate().skip(1) {
-            println!(
-                "#   GLAIVE vs {}: {:+.1}% error",
-                m.name(),
-                (avg[0] - avg[k]) / avg[k] * 100.0
-            );
-        }
-    }
+
+        Ok(())
+    })
 }

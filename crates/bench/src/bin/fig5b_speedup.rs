@@ -23,32 +23,37 @@ const CONTROL_ORDER: [&str; 6] = [
     "inversek2j",
 ];
 
-fn main() {
-    let (eval, config) = glaive_bench::standard_evaluation();
-    println!("# Fig. 5b: speedup over fault injection (log10)");
-    println!("label\tbenchmark\tFI_s\tM1_log10\tM2_log10\tM3_log10\tM4_log10");
-    let mut glaive_speedups = Vec::new();
-    for (order, tag) in [(DATA_ORDER, 'D'), (CONTROL_ORDER, 'C')] {
-        for (i, name) in order.iter().enumerate() {
-            let report = eval.runtime_report(name, &config);
-            let sp = report.speedups();
-            glaive_speedups.push(sp[0]);
-            println!(
-                "{tag}{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
-                i + 1,
-                name,
-                report.fi_seconds,
-                sp[0].log10(),
-                sp[1].log10(),
-                sp[2].log10(),
-                sp[3].log10()
-            );
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let (eval, config) = glaive_bench::standard_evaluation()?;
+        println!("# Fig. 5b: speedup over fault injection (log10)");
+        println!("label\tbenchmark\tFI_s\tM1_log10\tM2_log10\tM3_log10\tM4_log10");
+        let mut glaive_speedups = Vec::new();
+        for (order, tag) in [(DATA_ORDER, 'D'), (CONTROL_ORDER, 'C')] {
+            for (i, name) in order.iter().enumerate() {
+                let report = eval.runtime_report(name, &config)?;
+                let sp = report.speedups();
+                glaive_speedups.push(sp[0]);
+                println!(
+                    "{tag}{}\t{}\t{:.3}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                    i + 1,
+                    name,
+                    report.fi_seconds,
+                    sp[0].log10(),
+                    sp[1].log10(),
+                    sp[2].log10(),
+                    sp[3].log10()
+                );
+            }
         }
-    }
-    let geo = glaive_speedups.iter().map(|s| s.ln()).sum::<f64>() / glaive_speedups.len() as f64;
-    println!(
-        "# GLAIVE geometric-mean speedup over FI: {:.0}x (paper: average 221x); methods: {}",
-        geo.exp(),
-        Method::ALL.map(|m| m.name()).join(", ")
-    );
+        let geo =
+            glaive_speedups.iter().map(|s| s.ln()).sum::<f64>() / glaive_speedups.len() as f64;
+        println!(
+            "# GLAIVE geometric-mean speedup over FI: {:.0}x (paper: average 221x); methods: {}",
+            geo.exp(),
+            Method::ALL.map(|m| m.name()).join(", ")
+        );
+
+        Ok(())
+    })
 }

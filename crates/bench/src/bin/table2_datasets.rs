@@ -8,29 +8,33 @@
 
 use glaive_bench_suite::Split;
 
-fn main() {
-    let (suite, config) = glaive_bench::standard_suite();
-    println!(
-        "# Table II: datasets (bit stride {}, {} instances/site)",
-        config.bit_stride, config.instances_per_site
-    );
-    println!("benchmark\tcategory\tsplit\tBL\tIL\tstatic_instrs\tdyn_instrs");
-    for d in &suite {
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let (suite, config) = glaive_bench::standard_suite()?;
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            d.bench.name,
-            d.bench.category.tag(),
-            match d.bench.split {
-                Split::TrainTest => "TT",
-                Split::Validation => "V",
-            },
-            d.bit_datapoints(),
-            d.instr_datapoints(),
-            d.bench.program().len(),
-            d.truth.golden().dyn_instrs,
+            "# Table II: datasets (bit stride {}, {} instances/site)",
+            config.bit_stride, config.instances_per_site
         );
-    }
-    let bl: usize = suite.iter().map(|d| d.bit_datapoints()).sum();
-    let il: usize = suite.iter().map(|d| d.instr_datapoints()).sum();
-    println!("# totals: BL={bl} IL={il}");
+        println!("benchmark\tcategory\tsplit\tBL\tIL\tstatic_instrs\tdyn_instrs");
+        for d in &suite {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                d.bench.name,
+                d.bench.category.tag(),
+                match d.bench.split {
+                    Split::TrainTest => "TT",
+                    Split::Validation => "V",
+                },
+                d.bit_datapoints(),
+                d.instr_datapoints(),
+                d.bench.program().len(),
+                d.truth.golden().dyn_instrs,
+            );
+        }
+        let bl: usize = suite.iter().map(|d| d.bit_datapoints()).sum();
+        let il: usize = suite.iter().map(|d| d.instr_datapoints()).sum();
+        println!("# totals: BL={bl} IL={il}");
+
+        Ok(())
+    })
 }

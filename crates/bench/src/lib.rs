@@ -1,9 +1,13 @@
-//! Shared plumbing for the experiment binaries and Criterion benches that
+//! Shared plumbing for the experiment binaries and timing benches that
 //! regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! Each binary prints one table/figure as TSV to stdout. Pass `--quick`
 //! (or set `GLAIVE_QUICK=1`) to run with the subsampled test configuration
 //! instead of the full experiment configuration — useful for smoke tests.
+//! Pass `--no-cache` (or set `GLAIVE_NO_CACHE=1`) to bypass the on-disk
+//! artifact cache; by default repeat runs reuse cached FI campaigns and
+//! trained GLAIVE models, which the timing summary printed to stderr makes
+//! visible as cache hits.
 //!
 //! | Paper artefact | Binary |
 //! |---|---|
@@ -15,10 +19,13 @@
 //! | Fig. 5b (speedup over FI) | `fig5b_speedup` |
 //! | DESIGN.md ablations | `ablations` |
 
-use std::time::Instant;
+pub mod timing;
+
+use std::sync::Arc;
 
 use glaive::experiments::Evaluation;
-use glaive::{prepare_suite, PipelineConfig};
+use glaive::telemetry::TimingRecorder;
+use glaive::{BenchData, Error, Pipeline, PipelineConfig};
 
 /// The seed every experiment binary uses for benchmark inputs, so tables
 /// printed by different binaries refer to the same programs and campaigns.
@@ -27,6 +34,11 @@ pub const EXPERIMENT_SEED: u64 = 7;
 /// Returns `true` if `--quick` was passed or `GLAIVE_QUICK` is set.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var("GLAIVE_QUICK").is_ok()
+}
+
+/// Returns `true` if `--no-cache` was passed or `GLAIVE_NO_CACHE` is set.
+pub fn cache_disabled() -> bool {
+    std::env::args().any(|a| a == "--no-cache") || std::env::var("GLAIVE_NO_CACHE").is_ok()
 }
 
 /// The pipeline configuration for this invocation (full or quick).
@@ -38,34 +50,60 @@ pub fn experiment_config() -> PipelineConfig {
     }
 }
 
-/// Prepares the 12-benchmark suite and trains all round-robin model sets,
-/// logging progress to stderr.
-pub fn standard_evaluation() -> (Evaluation, PipelineConfig) {
+/// The pipeline runtime every experiment binary shares: the invocation's
+/// configuration, the artifact cache (unless disabled), and a timing
+/// recorder whose summary the caller prints via [`finish_telemetry`].
+pub fn experiment_pipeline() -> Result<(Pipeline, Arc<TimingRecorder>), Error> {
     let config = experiment_config();
+    let recorder = Arc::new(TimingRecorder::new());
+    let mut builder = Pipeline::builder(config).observer(recorder.clone());
+    if !cache_disabled() {
+        builder = builder.default_cache();
+    }
+    Ok((builder.build()?, recorder))
+}
+
+/// Prints the stage timing summary (campaign / graph / training wall-clock
+/// plus cache hit counts) to stderr.
+pub fn finish_telemetry(recorder: &TimingRecorder) {
+    eprint!("{}", recorder.summary());
+}
+
+/// Runs an experiment body, printing any pipeline error to stderr and
+/// converting it into a failing exit code — so the binaries propagate
+/// [`Error`] with `?` instead of panicking.
+pub fn run_experiment(body: impl FnOnce() -> Result<(), Error>) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prepares the 12-benchmark suite and trains all round-robin model sets,
+/// reporting stage timings and cache activity to stderr.
+pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
+    let (pipeline, recorder) = experiment_pipeline()?;
+    let config = *pipeline.config();
     eprintln!(
         "preparing suite (seed {EXPERIMENT_SEED}, bit stride {}, {} instances/site)...",
         config.bit_stride, config.instances_per_site
     );
-    let t = Instant::now();
-    let suite = prepare_suite(EXPERIMENT_SEED, &config);
-    eprintln!(
-        "suite prepared in {:.1}s; training models...",
-        t.elapsed().as_secs_f64()
-    );
-    let t = Instant::now();
-    let eval = Evaluation::new(suite, &config);
-    eprintln!("models trained in {:.1}s", t.elapsed().as_secs_f64());
-    (eval, config)
+    let eval = pipeline.run(EXPERIMENT_SEED)?;
+    finish_telemetry(&recorder);
+    Ok((eval, config))
 }
 
 /// Prepares the suite only (no model training), for data-statistics
 /// binaries.
-pub fn standard_suite() -> (Vec<glaive::BenchData>, PipelineConfig) {
-    let config = experiment_config();
-    let t = Instant::now();
-    let suite = prepare_suite(EXPERIMENT_SEED, &config);
-    eprintln!("suite prepared in {:.1}s", t.elapsed().as_secs_f64());
-    (suite, config)
+pub fn standard_suite() -> Result<(Vec<BenchData>, PipelineConfig), Error> {
+    let (pipeline, recorder) = experiment_pipeline()?;
+    let config = *pipeline.config();
+    let suite = pipeline.prepare_suite(EXPERIMENT_SEED)?;
+    finish_telemetry(&recorder);
+    Ok((suite, config))
 }
 
 #[cfg(test)]
@@ -79,5 +117,12 @@ mod tests {
         assert!(quick_requested());
         assert_eq!(experiment_config(), PipelineConfig::quick_test());
         std::env::remove_var("GLAIVE_QUICK");
+    }
+
+    #[test]
+    fn no_cache_env_is_detected() {
+        std::env::set_var("GLAIVE_NO_CACHE", "1");
+        assert!(cache_disabled());
+        std::env::remove_var("GLAIVE_NO_CACHE");
     }
 }

@@ -1,11 +1,44 @@
 //! Property tests for CDFG construction over randomly generated programs:
 //! every edge must be justified by the static analyses, and graph structure
-//! must respect the paper's construction rules.
+//! must respect the paper's construction rules. Cases come from a
+//! deterministic inline RNG so the suite builds offline with no external
+//! crates.
 
 use glaive_cdfg::analysis::{control_deps, def_use_chains, memory_deps};
 use glaive_cdfg::{Cdfg, CdfgConfig};
 use glaive_isa::{AluOp, Asm, BranchCond, OperandSlot, Program, Reg};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn body(&mut self, max_len: u64) -> Vec<(u8, u8, u8, u8)> {
+        (0..self.below(max_len))
+            .map(|_| {
+                (
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                )
+            })
+            .collect()
+    }
+}
 
 /// Generates a structurally valid random program: a prologue of loads, a
 /// body of ALU ops / memory ops / forward branches, and an epilogue of
@@ -52,28 +85,30 @@ fn build_program(body: &[(u8, u8, u8, u8)]) -> Program {
     asm.finish().expect("labels resolve")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Node count is exactly (operand slots × sampled bits).
-    #[test]
-    fn node_count_matches_slots(
-        body in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..30),
-        stride in prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
-    ) {
-        let p = build_program(&body);
+/// Node count is exactly (operand slots × sampled bits).
+#[test]
+fn node_count_matches_slots() {
+    let mut rng = Rng(21);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(30));
+        let stride = [8usize, 16, 32, 64][rng.below(4) as usize];
         let g = Cdfg::build(&p, &CdfgConfig { bit_stride: stride });
-        let slots: usize = p.instrs().iter().map(|i| i.uses().len() + i.defs().len()).sum();
-        prop_assert_eq!(g.node_count(), slots * (64 / stride));
+        let slots: usize = p
+            .instrs()
+            .iter()
+            .map(|i| i.uses().len() + i.defs().len())
+            .sum();
+        assert_eq!(g.node_count(), slots * (64 / stride));
     }
+}
 
-    /// Every inter-instruction edge is justified by one of the analyses;
-    /// every intra edge stays within one instruction, sources to dest.
-    #[test]
-    fn edges_are_justified(
-        body in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..25),
-    ) {
-        let p = build_program(&body);
+/// Every inter-instruction edge is justified by one of the analyses;
+/// every intra edge stays within one instruction, sources to dest.
+#[test]
+fn edges_are_justified() {
+    let mut rng = Rng(22);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(25));
         let g = Cdfg::build(&p, &CdfgConfig { bit_stride: 32 });
         let chains = def_use_chains(&p);
         let cdeps = control_deps(&p);
@@ -82,9 +117,7 @@ proptest! {
             let tn = g.nodes()[to as usize];
             for &from in g.preds(to) {
                 let fnode = g.nodes()[from as usize];
-                let ok_intra = fnode.pc == tn.pc
-                    && fnode.slot.is_use()
-                    && tn.slot.is_def();
+                let ok_intra = fnode.pc == tn.pc && fnode.slot.is_use() && tn.slot.is_def();
                 let ok_data = fnode.slot.is_def()
                     && tn.slot.is_use()
                     && fnode.bit == tn.bit
@@ -93,46 +126,52 @@ proptest! {
                             && e.use_pc == tn.pc
                             && OperandSlot::Use(e.use_slot) == tn.slot
                     });
-                let ok_control = fnode.bit == tn.bit
-                    && cdeps.contains(&(fnode.pc, tn.pc));
+                let ok_control = fnode.bit == tn.bit && cdeps.contains(&(fnode.pc, tn.pc));
                 let ok_memory = fnode.bit == tn.bit
                     && fnode.slot == OperandSlot::Use(0)
                     && tn.slot == OperandSlot::Def(0)
                     && mdeps.contains(&(fnode.pc, tn.pc));
-                prop_assert!(
+                assert!(
                     ok_intra || ok_data || ok_control || ok_memory,
                     "unjustified edge {fnode:?} -> {tn:?}"
                 );
             }
         }
     }
+}
 
-    /// pred/succ adjacency views are mutually consistent.
-    #[test]
-    fn adjacency_views_agree(
-        body in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..25),
-    ) {
-        let p = build_program(&body);
+/// pred/succ adjacency views are mutually consistent.
+#[test]
+fn adjacency_views_agree() {
+    let mut rng = Rng(23);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(25));
         let g = Cdfg::build(&p, &CdfgConfig { bit_stride: 16 });
         for v in 0..g.node_count() as u32 {
             for &u in g.preds(v) {
-                prop_assert!(g.succs(u).contains(&v));
+                assert!(g.succs(u).contains(&v));
             }
             for &w in g.succs(v) {
-                prop_assert!(g.preds(w).contains(&v));
+                assert!(g.preds(w).contains(&v));
             }
         }
     }
+}
 
-    /// Def-use chains never flow backwards against single-pass order unless
-    /// a loop exists; with only forward branches, def_pc < use_pc.
-    #[test]
-    fn forward_only_programs_have_forward_dataflow(
-        body in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..25),
-    ) {
-        let p = build_program(&body);
+/// Def-use chains never flow backwards against single-pass order unless
+/// a loop exists; with only forward branches, def_pc < use_pc.
+#[test]
+fn forward_only_programs_have_forward_dataflow() {
+    let mut rng = Rng(24);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(25));
         for e in def_use_chains(&p) {
-            prop_assert!(e.def_pc < e.use_pc, "backward chain {} -> {}", e.def_pc, e.use_pc);
+            assert!(
+                e.def_pc < e.use_pc,
+                "backward chain {} -> {}",
+                e.def_pc,
+                e.use_pc
+            );
         }
     }
 }

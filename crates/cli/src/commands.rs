@@ -2,8 +2,10 @@
 
 use std::error::Error;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use glaive::{prepare_benchmark, train_models, PipelineConfig};
+use glaive::telemetry::{Fanout, Observer, StderrProgress, TimingRecorder};
+use glaive::{train_models, Pipeline, PipelineConfig};
 use glaive_bench_suite::{suite, Benchmark};
 use glaive_cdfg::{Cdfg, CdfgConfig};
 use glaive_faultsim::{Campaign, CampaignConfig, VulnTuple};
@@ -20,6 +22,9 @@ usage:
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
   glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
 
+global flags: --verbose (stage telemetry on stderr)
+              --no-cache (skip the on-disk artifact cache for train)
+
 benchmarks: dijkstra astar streamcluster jmeint sobel inversek2j
             blackscholes swaptions fft radix ctaes lu";
 
@@ -32,6 +37,8 @@ struct Flags {
     instances: usize,
     top: usize,
     dot: bool,
+    verbose: bool,
+    no_cache: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -41,6 +48,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         instances: 2,
         top: 15,
         dot: false,
+        verbose: false,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -52,6 +61,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         };
         match a.as_str() {
             "--dot" => flags.dot = true,
+            "--verbose" => flags.verbose = true,
+            "--no-cache" => flags.no_cache = true,
             "--seed" => flags.seed = value(&mut it)?,
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
@@ -132,6 +143,18 @@ fn cmd_disasm(name: &str, flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// Prints campaign progress at ~10% increments when `--verbose` is set.
+struct DecileProgress(std::sync::atomic::AtomicUsize);
+
+impl glaive_faultsim::CampaignProgress for DecileProgress {
+    fn injections(&self, done: usize, total: usize) {
+        let decile = done * 10 / total.max(1);
+        if decile > self.0.swap(decile, std::sync::atomic::Ordering::Relaxed) {
+            eprintln!("[campaign] {done}/{total} injections");
+        }
+    }
+}
+
 fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
     let b = find_benchmark(name, flags.seed)?;
     let config = CampaignConfig {
@@ -139,7 +162,12 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
         instances_per_site: flags.instances,
         ..CampaignConfig::default()
     };
-    let truth = Campaign::new(b.program(), &b.init_mem, config).run();
+    let campaign = Campaign::new(b.program(), &b.init_mem, config);
+    let truth = if flags.verbose {
+        campaign.run_observed(&DecileProgress(std::sync::atomic::AtomicUsize::new(0)))
+    } else {
+        campaign.run()
+    };
     println!(
         "{}: {} injections ({} statically predicted) over {} instructions",
         name,
@@ -214,19 +242,32 @@ fn pipeline_config(flags: &Flags) -> PipelineConfig {
 
 fn cmd_train(out: &str, names: &str, flags: &Flags) -> CliResult {
     let config = pipeline_config(flags);
-    let mut train = Vec::new();
-    for name in names.split(',') {
-        eprintln!("preparing {name} (FI campaign)...");
-        train.push(prepare_benchmark(
-            find_benchmark(name.trim(), flags.seed)?,
-            &config,
-        ));
+    let recorder = Arc::new(TimingRecorder::new());
+    let observer: Arc<dyn Observer> = if flags.verbose {
+        Arc::new(Fanout(vec![Arc::new(StderrProgress), recorder.clone()]))
+    } else {
+        Arc::new(Fanout(vec![recorder.clone()]))
+    };
+    let mut builder = Pipeline::builder(config).observer(observer);
+    if !flags.no_cache {
+        builder = builder.default_cache();
     }
+    let pipeline = builder.build()?;
+
+    let mut benches = Vec::new();
+    for name in names.split(',') {
+        benches.push(find_benchmark(name.trim(), flags.seed)?);
+    }
+    eprintln!("preparing {} benchmarks (FI campaigns)...", benches.len());
+    let train = pipeline.prepare_benchmarks(benches)?;
     let refs: Vec<&_> = train.iter().collect();
     eprintln!("training GLAIVE on {} benchmarks...", refs.len());
     let models = train_models(&refs, &config);
     let bytes = models.glaive_model().to_bytes();
     std::fs::write(out, &bytes)?;
+    if flags.verbose {
+        eprint!("{}", recorder.summary());
+    }
     println!("saved GLAIVE model to {out} ({} bytes)", bytes.len());
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! glaive-cli apply <model> <bench> [opts]  estimate with a saved model
 //!
 //! options: --seed N   --stride N   --instances N   --top N
+//!          --verbose  --no-cache
 //! ```
 
 use std::process::ExitCode;

@@ -3,15 +3,27 @@ use glaive_faultsim::CampaignConfig;
 use glaive_gnn::SageConfig;
 use glaive_ml::{ForestConfig, MlpConfig, SvrConfig};
 
+use crate::error::Error;
+
 /// End-to-end pipeline configuration: one shared bit stride (the campaign
 /// and the CDFG must sample the same bit positions so FI labels join onto
 /// graph nodes) plus per-model hyperparameters.
+///
+/// Construct via [`PipelineConfig::builder`] to have the stride invariants
+/// checked up front; the struct remains openly constructible for tests and
+/// callers that know their values are valid (the campaign still asserts
+/// the hard invariants).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Bit-position sampling stride shared by FI and graph construction
     /// (1 = all 64 bits as in the paper; the default 8 keeps the
     /// from-scratch CPU pipeline fast — see DESIGN.md §1).
     pub bit_stride: usize,
+    /// Graph-side stride override for the word-vs-bit representation
+    /// ablation; `None` follows `bit_stride`. Must be a multiple of
+    /// `bit_stride`, otherwise FI labels fail to join onto graph nodes —
+    /// [`PipelineConfigBuilder::build`] enforces this.
+    pub graph_stride: Option<usize>,
     /// Dynamic instances sampled per fault site.
     pub instances_per_site: usize,
     /// FI worker threads (0 = available parallelism).
@@ -36,6 +48,7 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             bit_stride: 8,
+            graph_stride: None,
             instances_per_site: 2,
             threads: 0,
             sage: SageConfig {
@@ -66,6 +79,7 @@ impl PipelineConfig {
     pub fn quick_test() -> Self {
         PipelineConfig {
             bit_stride: 16,
+            graph_stride: None,
             instances_per_site: 1,
             threads: 0,
             sage: SageConfig {
@@ -110,8 +124,140 @@ impl PipelineConfig {
     /// The CDFG configuration implied by this pipeline config.
     pub fn cdfg(&self) -> CdfgConfig {
         CdfgConfig {
-            bit_stride: self.bit_stride,
+            bit_stride: self.effective_graph_stride(),
         }
+    }
+
+    /// The stride graphs are actually built at: the override if set, else
+    /// the shared `bit_stride`.
+    pub fn effective_graph_stride(&self) -> usize {
+        self.graph_stride.unwrap_or(self.bit_stride)
+    }
+
+    /// A validating builder seeded with the experiment-scale defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// A validating builder seeded with this configuration.
+    pub fn to_builder(self) -> PipelineConfigBuilder {
+        PipelineConfigBuilder { config: self }
+    }
+
+    /// Checks every invariant the builder enforces. Useful for configs
+    /// assembled by hand (e.g. from CLI flags).
+    pub fn validate(&self) -> Result<(), Error> {
+        let invalid = |msg: String| Err(Error::InvalidConfig(msg));
+        if self.bit_stride < 1 || self.bit_stride > glaive_isa::WORD_BITS {
+            return invalid(format!(
+                "bit_stride must be in 1..={}, got {}",
+                glaive_isa::WORD_BITS,
+                self.bit_stride
+            ));
+        }
+        if self.instances_per_site < 1 {
+            return invalid("instances_per_site must be at least 1".to_string());
+        }
+        if let Some(g) = self.graph_stride {
+            if g < self.bit_stride || g > glaive_isa::WORD_BITS || g % self.bit_stride != 0 {
+                return invalid(format!(
+                    "graph_stride ({g}) must be a multiple of the campaign bit_stride ({}) \
+                     within 1..={}, or FI labels fail to join onto graph nodes",
+                    self.bit_stride,
+                    glaive_isa::WORD_BITS
+                ));
+            }
+        }
+        if self.sage.classes != 3 {
+            return invalid(format!(
+                "sage.classes must be 3 (Masked/SDC/Crash), got {}",
+                self.sage.classes
+            ));
+        }
+        if self.sage.layers == 0 || self.sage.hidden == 0 {
+            return invalid("sage needs at least one layer and a non-zero hidden dim".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`] that validates the cross-field stride
+/// invariants on [`build`](PipelineConfigBuilder::build), instead of
+/// leaving them to a doc comment.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Campaign + graph bit-position sampling stride.
+    pub fn bit_stride(mut self, stride: usize) -> Self {
+        self.config.bit_stride = stride;
+        self
+    }
+
+    /// Graph-side stride override (word-vs-bit ablation); must be a
+    /// multiple of `bit_stride`.
+    pub fn graph_stride(mut self, stride: usize) -> Self {
+        self.config.graph_stride = Some(stride);
+        self
+    }
+
+    /// Dynamic instances sampled per fault site.
+    pub fn instances_per_site(mut self, n: usize) -> Self {
+        self.config.instances_per_site = n;
+        self
+    }
+
+    /// FI worker threads (0 = available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
+    /// Whether to also train the vanilla all-neighbour GraphSAGE.
+    pub fn train_vanilla(mut self, yes: bool) -> Self {
+        self.config.train_vanilla = yes;
+        self
+    }
+
+    /// GLAIVE GraphSAGE hyperparameters.
+    pub fn sage(mut self, sage: SageConfig) -> Self {
+        self.config.sage = sage;
+        self
+    }
+
+    /// MLP-BIT hyperparameters.
+    pub fn mlp(mut self, mlp: MlpConfig) -> Self {
+        self.config.mlp = mlp;
+        self
+    }
+
+    /// RF-INST hyperparameters.
+    pub fn forest(mut self, forest: ForestConfig) -> Self {
+        self.config.forest = forest;
+        self
+    }
+
+    /// SVM-INST hyperparameters.
+    pub fn svr(mut self, svr: SvrConfig) -> Self {
+        self.config.svr = svr;
+        self
+    }
+
+    /// Validates and yields the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the violated invariant: zero or
+    /// oversized strides, a graph stride that is not a multiple of the
+    /// campaign stride, zero instances per site, or degenerate model
+    /// shapes.
+    pub fn build(self) -> Result<PipelineConfig, Error> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -133,5 +279,64 @@ mod tests {
         assert_eq!(c.sage.layers, 3);
         assert_eq!(c.sage.classes, 3);
         assert_eq!(c.sage.sample_size, 50);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = PipelineConfig::builder()
+            .bit_stride(4)
+            .graph_stride(16)
+            .instances_per_site(3)
+            .threads(2)
+            .train_vanilla(true)
+            .build()
+            .expect("valid");
+        assert_eq!(c.bit_stride, 4);
+        assert_eq!(c.effective_graph_stride(), 16);
+        assert_eq!(c.cdfg().bit_stride, 16);
+        assert_eq!(c.campaign().bit_stride, 4);
+        assert_eq!(c.instances_per_site, 3);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_strides() {
+        assert!(PipelineConfig::builder().bit_stride(0).build().is_err());
+        assert!(PipelineConfig::builder().bit_stride(128).build().is_err());
+        assert!(PipelineConfig::builder()
+            .instances_per_site(0)
+            .build()
+            .is_err());
+        // Graph stride must be a multiple of the campaign stride...
+        let err = PipelineConfig::builder()
+            .bit_stride(8)
+            .graph_stride(12)
+            .build()
+            .expect_err("12 is not a multiple of 8");
+        assert!(err.to_string().contains("multiple"), "{err}");
+        // ...and cannot be finer than it.
+        assert!(PipelineConfig::builder()
+            .bit_stride(16)
+            .graph_stride(8)
+            .build()
+            .is_err());
+        // Word-level ablation stays valid.
+        assert!(PipelineConfig::builder()
+            .bit_stride(8)
+            .graph_stride(64)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_models() {
+        let mut sage = PipelineConfig::default().sage;
+        sage.classes = 2;
+        assert!(PipelineConfig::builder().sage(sage).build().is_err());
+    }
+
+    #[test]
+    fn to_builder_roundtrips() {
+        let c = PipelineConfig::quick_test();
+        assert_eq!(c.to_builder().build().expect("still valid"), c);
     }
 }

@@ -57,7 +57,7 @@ impl BenchData {
 
 /// Runs the FI campaign and graph extraction for one benchmark.
 pub fn prepare_benchmark(bench: Benchmark, config: &PipelineConfig) -> BenchData {
-    prepare_benchmark_with_graph_stride(bench, config, config.bit_stride)
+    prepare_benchmark_with_graph_stride(bench, config, config.effective_graph_stride())
 }
 
 /// Like [`prepare_benchmark`] but with a graph stride decoupled from the
@@ -70,8 +70,25 @@ pub fn prepare_benchmark_with_graph_stride(
     config: &PipelineConfig,
     graph_stride: usize,
 ) -> BenchData {
-    let cdfg = Cdfg::build(bench.program(), &glaive_cdfg::CdfgConfig { bit_stride: graph_stride });
     let truth = Campaign::new(bench.program(), &bench.init_mem, config.campaign()).run();
+    assemble_bench_data(bench, graph_stride, truth)
+}
+
+/// Joins already-computed FI ground truth onto a freshly built CDFG — the
+/// deterministic, cheap half of benchmark preparation. The pipeline runtime
+/// calls this directly when the campaign was served from the artifact
+/// cache.
+pub(crate) fn assemble_bench_data(
+    bench: Benchmark,
+    graph_stride: usize,
+    truth: GroundTruth,
+) -> BenchData {
+    let cdfg = Cdfg::build(
+        bench.program(),
+        &glaive_cdfg::CdfgConfig {
+            bit_stride: graph_stride,
+        },
+    );
 
     let features = cdfg.feature_matrix();
     let features = Matrix::from_vec(cdfg.node_count(), glaive_cdfg::FEATURE_DIM, features);
@@ -126,12 +143,18 @@ pub fn prepare_benchmark_with_graph_stride(
     }
 }
 
-/// Prepares all 12 Table-II benchmarks.
+/// Prepares all 12 Table-II benchmarks, fanning the per-benchmark work out
+/// across a scoped worker pool (see [`Pipeline`](crate::Pipeline) for the
+/// cache- and telemetry-aware version).
 pub fn prepare_suite(seed: u64, config: &PipelineConfig) -> Vec<BenchData> {
-    suite(seed)
-        .into_iter()
-        .map(|b| prepare_benchmark(b, config))
-        .collect()
+    crate::pipeline::prepare_benchmarks_parallel(
+        suite(seed),
+        config,
+        None,
+        &crate::telemetry::NullObserver,
+        0,
+    )
+    .expect("only cache writes can fail and no cache is configured")
 }
 
 /// The training set for evaluating on `test`, following the paper's regime

@@ -3,16 +3,22 @@
 //! corresponding table or figure series.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use glaive_bench_suite::{Category, Split};
 use glaive_faultsim::Campaign;
 
+use crate::cache::{model_key, ArtifactCache};
 use crate::config::PipelineConfig;
 use crate::data::{train_set, BenchData};
+use crate::error::Error;
 use crate::metrics::{bit_accuracy, program_vulnerability_error, top_k_coverage};
-use crate::models::{train_models, Method, Models};
+use crate::models::{train_models_with, Method, Models};
+use crate::pipeline::resolve_workers;
 use crate::stats::{vulnerability_distribution, VulnDistribution};
+use crate::telemetry::{NullObserver, Observer, Stage};
 
 /// A fully trained evaluation: the prepared suite plus one set of models
 /// per distinct training split (round-robin n−1 for train/test members,
@@ -27,34 +33,80 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// Prepares models for every benchmark's evaluation split.
+    /// Prepares models for every benchmark's evaluation split, training
+    /// distinct splits concurrently on a scoped worker pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `suite` is empty or a benchmark has no training partners.
-    pub fn new(suite: Vec<BenchData>, config: &PipelineConfig) -> Evaluation {
-        let mut models: HashMap<String, Models> = HashMap::new();
+    /// [`Error::EmptySuite`] if `suite` is empty,
+    /// [`Error::NoTrainingPartners`] if a benchmark has no same-category
+    /// training partners.
+    pub fn new(suite: Vec<BenchData>, config: &PipelineConfig) -> Result<Evaluation, Error> {
+        Evaluation::with_runtime(suite, config, None, &NullObserver, 0)
+    }
+
+    /// [`Evaluation::new`] with the pipeline runtime threaded through:
+    /// cached GLAIVE models are reused (and fresh ones written back), and
+    /// per-split training timings go to `observer`.
+    pub(crate) fn with_runtime(
+        suite: Vec<BenchData>,
+        config: &PipelineConfig,
+        cache: Option<&ArtifactCache>,
+        observer: &dyn Observer,
+        workers: usize,
+    ) -> Result<Evaluation, Error> {
+        if suite.is_empty() {
+            return Err(Error::EmptySuite);
+        }
         let mut split_of = HashMap::new();
+        let mut splits: Vec<(String, Vec<&BenchData>)> = Vec::new();
         for test in &suite {
             let train: Vec<&BenchData> = train_set(&suite, test).collect();
-            assert!(
-                !train.is_empty(),
-                "benchmark {} has no same-category training partners",
-                test.bench.name
-            );
+            if train.is_empty() {
+                return Err(Error::NoTrainingPartners(test.bench.name.to_string()));
+            }
             let mut names: Vec<&str> = train.iter().map(|d| d.bench.name).collect();
             names.sort_unstable();
             let key = names.join("+");
-            models
-                .entry(key.clone())
-                .or_insert_with(|| train_models(&train, config));
+            if !splits.iter().any(|(k, _)| k == &key) {
+                splits.push((key.clone(), train));
+            }
             split_of.insert(test.bench.name.to_string(), key);
         }
-        Evaluation {
+
+        // Distinct splits share nothing, so train them concurrently.
+        let jobs = splits.len();
+        let workers = resolve_workers(workers, jobs);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Models, Error>>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        return;
+                    }
+                    let (key, train) = &splits[i];
+                    let out = train_split(key, train, config, cache, observer);
+                    *slots[i].lock().expect("result slot") = Some(out);
+                });
+            }
+        });
+
+        let mut models = HashMap::new();
+        for (slot, (key, _)) in slots.into_iter().zip(splits) {
+            let trained = slot
+                .into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")?;
+            models.insert(key, trained);
+        }
+        Ok(Evaluation {
             suite,
             models,
             split_of,
-        }
+        })
     }
 
     /// The prepared benchmarks.
@@ -64,20 +116,34 @@ impl Evaluation {
 
     /// The benchmark data for `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no benchmark has that name.
-    pub fn data(&self, name: &str) -> &BenchData {
+    /// [`Error::UnknownBenchmark`] if no suite member has that name.
+    pub fn data(&self, name: &str) -> Result<&BenchData, Error> {
         self.suite
             .iter()
             .find(|d| d.bench.name == name)
-            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            .ok_or_else(|| Error::UnknownBenchmark(name.to_string()))
     }
 
     /// The models trained for evaluating `name` (i.e. *without* seeing it
     /// if it is a train/test member).
-    pub fn models_for(&self, name: &str) -> &Models {
-        &self.models[&self.split_of[name]]
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownBenchmark`] if no suite member has that name.
+    pub fn models_for(&self, name: &str) -> Result<&Models, Error> {
+        let key = self
+            .split_of
+            .get(name)
+            .ok_or_else(|| Error::UnknownBenchmark(name.to_string()))?;
+        Ok(&self.models[key])
+    }
+
+    /// Internal lookup for suite members, whose splits exist by
+    /// construction.
+    fn models_of(&self, name: &str) -> &Models {
+        self.models_for(name).expect("suite member has a split")
     }
 
     /// Table III: per-benchmark bit-classification accuracy of GLAIVE and
@@ -86,7 +152,7 @@ impl Evaluation {
         self.suite
             .iter()
             .map(|d| {
-                let models = self.models_for(d.bench.name);
+                let models = self.models_of(d.bench.name);
                 let glaive_preds = models
                     .bit_predictions(Method::Glaive, d)
                     .expect("bit-level");
@@ -109,7 +175,7 @@ impl Evaluation {
     pub fn coverage_curves(&self, ks: &[f64]) -> Vec<CoverageCurve> {
         let mut curves = Vec::new();
         for d in &self.suite {
-            let models = self.models_for(d.bench.name);
+            let models = self.models_of(d.bench.name);
             for method in Method::ALL {
                 let est = models.estimate(method, d);
                 let points = ks
@@ -132,7 +198,7 @@ impl Evaluation {
         self.suite
             .iter()
             .map(|d| {
-                let models = self.models_for(d.bench.name);
+                let models = self.models_of(d.bench.name);
                 let errors =
                     Method::ALL.map(|m| program_vulnerability_error(&models.estimate(m, d), d));
                 PvErrorRow {
@@ -162,9 +228,13 @@ impl Evaluation {
     /// re-run FI campaign on `name`. Estimation is timed end-to-end from
     /// extracted features (the models are already trained, as in the
     /// paper's inference-time comparison).
-    pub fn runtime_report(&self, name: &str, config: &PipelineConfig) -> RuntimeReport {
-        let d = self.data(name);
-        let models = self.models_for(name);
+    pub fn runtime_report(
+        &self,
+        name: &str,
+        config: &PipelineConfig,
+    ) -> Result<RuntimeReport, Error> {
+        let d = self.data(name)?;
+        let models = self.models_for(name)?;
 
         let t0 = Instant::now();
         let _ = Campaign::new(d.bench.program(), &d.bench.init_mem, config.campaign()).run();
@@ -176,12 +246,41 @@ impl Evaluation {
             assert_eq!(est.len(), d.bench.program().len());
             t.elapsed().as_secs_f64()
         });
-        RuntimeReport {
+        Ok(RuntimeReport {
             benchmark: name.to_string(),
             fi_seconds,
             method_seconds,
+        })
+    }
+}
+
+/// Trains one split's models, consulting the artifact cache for the GLAIVE
+/// GraphSAGE and reporting the training stage to `observer`.
+fn train_split(
+    key: &str,
+    train: &[&BenchData],
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+) -> Result<Models, Error> {
+    let cached = cache.and_then(|c| {
+        let hit = c.load_model(model_key(train, config));
+        observer.cache_lookup("model", key, hit.is_some());
+        hit
+    });
+    let was_cached = cached.is_some();
+
+    observer.stage_started(Stage::Training, key);
+    let t0 = Instant::now();
+    let models = train_models_with(train, config, cached);
+    observer.stage_finished(Stage::Training, key, t0.elapsed(), train.len() as u64);
+
+    if !was_cached {
+        if let Some(c) = cache {
+            c.store_model(model_key(train, config), models.glaive_model())?;
         }
     }
+    Ok(models)
 }
 
 /// One row of Table III.
@@ -266,7 +365,7 @@ mod tests {
             prepare_benchmark(dijkstra::build(1), &config),
             prepare_benchmark(sobel::build(1), &config),
         ];
-        (Evaluation::new(suite, &config), config)
+        (Evaluation::new(suite, &config).expect("splittable"), config)
     }
 
     #[test]
@@ -324,11 +423,35 @@ mod tests {
     #[test]
     fn runtime_report_shows_ml_faster_than_fi() {
         let (eval, config) = tiny_eval();
-        let report = eval.runtime_report("dijkstra", &config);
+        let report = eval
+            .runtime_report("dijkstra", &config)
+            .expect("known name");
         assert!(report.fi_seconds > 0.0);
         for s in report.speedups() {
             assert!(s > 1.0, "estimation should beat fault injection, got {s}x");
         }
+    }
+
+    #[test]
+    fn bad_inputs_surface_as_errors() {
+        let config = PipelineConfig::quick_test();
+        assert!(matches!(
+            Evaluation::new(vec![], &config),
+            Err(Error::EmptySuite)
+        ));
+        let lone = vec![prepare_benchmark(dijkstra::build(1), &config)];
+        assert!(matches!(
+            Evaluation::new(lone, &config),
+            Err(Error::NoTrainingPartners(name)) if name == "dijkstra"
+        ));
+
+        let (eval, config) = tiny_eval();
+        assert!(matches!(
+            eval.data("nope"),
+            Err(Error::UnknownBenchmark(name)) if name == "nope"
+        ));
+        assert!(eval.models_for("nope").is_err());
+        assert!(eval.runtime_report("nope", &config).is_err());
     }
 
     #[test]

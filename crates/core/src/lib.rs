@@ -20,32 +20,52 @@
 //!
 //! # Example
 //!
-//! ```no_run
-//! use glaive::{prepare_suite, train_models, Method, PipelineConfig};
+//! The [`Pipeline`] runtime is the front door: it validates the
+//! configuration, prepares the suite on a worker pool (serving repeat
+//! campaigns from the on-disk artifact cache), trains the round-robin
+//! model sets, and reports stage telemetry to any attached
+//! [`telemetry::Observer`].
 //!
-//! let config = PipelineConfig::quick_test();
-//! let suite = prepare_suite(7, &config);
-//! // Round-robin: hold out the first control-sensitive benchmark.
-//! let test = &suite[0];
-//! let train: Vec<_> = glaive::train_set(&suite, test).collect();
-//! let models = train_models(&train, &config);
+//! ```no_run
+//! # fn main() -> Result<(), glaive::Error> {
+//! use glaive::{Method, Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::builder(PipelineConfig::quick_test())
+//!     .default_cache()
+//!     .build()?;
+//! let eval = pipeline.run(7)?;
+//! // Round-robin: each benchmark is scored by models that never saw it.
+//! let test = &eval.suite()[0];
+//! let models = eval.models_for(test.bench.name)?;
 //! let est = models.estimate(Method::Glaive, test);
 //! let cov = glaive::metrics::top_k_coverage(&est, test, 20.0);
 //! println!("top-20% coverage: {cov:.3}");
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! The free functions ([`prepare_suite`], [`train_models`], …) remain as
+//! cache-less, telemetry-less conveniences over the same machinery.
 
 pub mod analytic;
+mod cache;
 mod config;
 mod data;
+mod error;
 pub mod experiments;
 pub mod metrics;
 mod models;
+mod pipeline;
 pub mod stats;
+pub mod telemetry;
 
-pub use config::PipelineConfig;
+pub use cache::{model_key, truth_key, ArtifactCache, CacheKey};
+pub use config::{PipelineConfig, PipelineConfigBuilder};
 pub use data::{
     prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite, train_set, BenchData,
 };
+pub use error::Error;
 pub use models::{train_models, Method, Models};
+pub use pipeline::{Pipeline, PipelineBuilder};
 
 pub use glaive_faultsim::VulnTuple;

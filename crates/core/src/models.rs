@@ -6,6 +6,7 @@ use glaive_sim::Outcome;
 
 use crate::config::PipelineConfig;
 use crate::data::BenchData;
+use crate::error::Error;
 
 /// The estimation methods compared throughout §V of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,20 +75,34 @@ pub struct Models {
 ///
 /// Panics if `train` is empty or contains no labelled data.
 pub fn train_models(train: &[&BenchData], config: &PipelineConfig) -> Models {
+    train_models_with(train, config, None)
+}
+
+/// Like [`train_models`], but reusing an already-trained GLAIVE GraphSAGE
+/// (from the artifact cache) instead of training one. The cheap baselines
+/// are always retrained — only the GNN is worth caching.
+pub(crate) fn train_models_with(
+    train: &[&BenchData],
+    config: &PipelineConfig,
+    pretrained_glaive: Option<GraphSage>,
+) -> Models {
     assert!(!train.is_empty(), "training set is empty");
 
     // GLAIVE: one labelled graph per benchmark, predecessor aggregation.
-    let graphs: Vec<TrainGraph<'_>> = train
-        .iter()
-        .map(|d| TrainGraph {
-            features: &d.features,
-            neighbors: &d.preds,
-            labels: &d.labels,
-            mask: &d.mask,
-        })
-        .collect();
-    let mut glaive = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
-    glaive.train(&graphs);
+    let glaive = pretrained_glaive.unwrap_or_else(|| {
+        let graphs: Vec<TrainGraph<'_>> = train
+            .iter()
+            .map(|d| TrainGraph {
+                features: &d.features,
+                neighbors: &d.preds,
+                labels: &d.labels,
+                mask: &d.mask,
+            })
+            .collect();
+        let mut glaive = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+        glaive.train(&graphs);
+        glaive
+    });
 
     // Vanilla ablation: identical except for symmetrised neighbourhoods.
     let vanilla = config.train_vanilla.then(|| {
@@ -156,13 +171,17 @@ impl Models {
         &self.glaive
     }
 
-    /// Per-bit class predictions on `data` for a bit-level method
-    /// (`None` for the instruction-level regressors).
-    pub fn bit_predictions(&self, method: Method, data: &BenchData) -> Option<Vec<usize>> {
+    /// Per-bit class predictions on `data` for a bit-level method.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotBitLevel`] for the instruction-level regressors, which
+    /// have no per-bit output (check [`Method::is_bit_level`] first).
+    pub fn bit_predictions(&self, method: Method, data: &BenchData) -> Result<Vec<usize>, Error> {
         match method {
-            Method::Glaive => Some(self.glaive.predict_labels(&data.features, &data.preds)),
-            Method::MlpBit => Some(self.mlp.predict_labels(&data.features)),
-            Method::RfInst | Method::SvmInst => None,
+            Method::Glaive => Ok(self.glaive.predict_labels(&data.features, &data.preds)),
+            Method::MlpBit => Ok(self.mlp.predict_labels(&data.features)),
+            Method::RfInst | Method::SvmInst => Err(Error::NotBitLevel(method)),
         }
     }
 
@@ -288,10 +307,16 @@ mod tests {
     #[test]
     fn bit_predictions_exist_only_for_bit_methods() {
         let (models, _, test) = models_and_data();
-        assert!(models.bit_predictions(Method::Glaive, &test).is_some());
-        assert!(models.bit_predictions(Method::MlpBit, &test).is_some());
-        assert!(models.bit_predictions(Method::RfInst, &test).is_none());
-        assert!(models.bit_predictions(Method::SvmInst, &test).is_none());
+        assert!(models.bit_predictions(Method::Glaive, &test).is_ok());
+        assert!(models.bit_predictions(Method::MlpBit, &test).is_ok());
+        assert_eq!(
+            models.bit_predictions(Method::RfInst, &test),
+            Err(Error::NotBitLevel(Method::RfInst))
+        );
+        assert_eq!(
+            models.bit_predictions(Method::SvmInst, &test),
+            Err(Error::NotBitLevel(Method::SvmInst))
+        );
         assert_eq!(
             models
                 .vanilla_bit_predictions(&test)

@@ -1,0 +1,463 @@
+//! The pipeline runtime: one configured object that runs suite
+//! preparation, training and evaluation with a scoped worker pool, an
+//! optional on-disk artifact cache, and stage telemetry.
+//!
+//! [`Pipeline`] is the Result-based front door to the crate; the free
+//! functions in [`crate::data`] remain as thin cache-less wrappers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use glaive_bench_suite::{suite, Benchmark};
+use glaive_faultsim::{Campaign, CampaignProgress, GroundTruth};
+
+use crate::cache::{truth_key, ArtifactCache};
+use crate::config::PipelineConfig;
+use crate::data::{assemble_bench_data, BenchData};
+use crate::error::Error;
+use crate::experiments::Evaluation;
+use crate::telemetry::{NullObserver, Observer, Stage};
+
+/// Forwards campaign injection counts to the pipeline observer.
+struct CampaignAdapter<'a> {
+    observer: &'a dyn Observer,
+    subject: &'a str,
+}
+
+impl CampaignProgress for CampaignAdapter<'_> {
+    fn injections(&self, done: usize, total: usize) {
+        self.observer
+            .progress(Stage::Campaign, self.subject, done as u64, total as u64);
+    }
+}
+
+/// A configured pipeline runtime.
+///
+/// Construct via [`Pipeline::builder`]; every entry point returns
+/// `Result<_, `[`Error`]`>` — unknown names, invalid configurations,
+/// un-splittable suites and cache-write failures come back as values
+/// instead of panics.
+#[derive(Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    cache: Option<ArtifactCache>,
+    observer: Arc<dyn Observer>,
+    workers: usize,
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    pipeline: Pipeline,
+}
+
+impl PipelineBuilder {
+    /// Attaches an on-disk artifact cache: FI ground truth and trained
+    /// GLAIVE models are reused across runs when their content keys match.
+    pub fn cache(mut self, cache: ArtifactCache) -> Self {
+        self.pipeline.cache = Some(cache);
+        self
+    }
+
+    /// Attaches the artifact cache at its conventional location
+    /// ([`ArtifactCache::at_default_location`]).
+    pub fn default_cache(self) -> Self {
+        self.cache(ArtifactCache::at_default_location())
+    }
+
+    /// Attaches a telemetry observer (timing recorder, stderr progress, or
+    /// a [`Fanout`](crate::telemetry::Fanout) of several).
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.pipeline.observer = observer;
+        self
+    }
+
+    /// Suite-preparation worker threads (0 = available parallelism). Each
+    /// worker prepares one benchmark at a time; campaign threads inside a
+    /// worker are scaled down so the pool does not oversubscribe the
+    /// machine.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.pipeline.workers = n;
+        self
+    }
+
+    /// Validates the configuration and yields the runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if the pipeline configuration violates an
+    /// invariant (see [`PipelineConfig::validate`]).
+    pub fn build(self) -> Result<Pipeline, Error> {
+        self.pipeline.config.validate()?;
+        Ok(self.pipeline)
+    }
+}
+
+impl Pipeline {
+    /// A builder seeded with `config`, no cache, and silent telemetry.
+    pub fn builder(config: PipelineConfig) -> PipelineBuilder {
+        PipelineBuilder {
+            pipeline: Pipeline {
+                config,
+                cache: None,
+                observer: Arc::new(NullObserver),
+                workers: 0,
+            },
+        }
+    }
+
+    /// A cache-less, silent pipeline over `config`.
+    pub fn new(config: PipelineConfig) -> Result<Pipeline, Error> {
+        Pipeline::builder(config).build()
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Prepares one benchmark: FI campaign (or cache hit) + graph build.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cache`] if a freshly computed ground truth cannot be
+    /// written back to the configured cache. Cache *reads* never fail — a
+    /// missing or corrupt artifact is recomputed.
+    pub fn prepare_benchmark(&self, bench: Benchmark) -> Result<BenchData, Error> {
+        prepare_one(
+            bench,
+            &self.config,
+            self.cache.as_ref(),
+            self.observer.as_ref(),
+            self.config.threads,
+        )
+    }
+
+    /// Prepares the full 12-benchmark Table-II suite in parallel.
+    pub fn prepare_suite(&self, seed: u64) -> Result<Vec<BenchData>, Error> {
+        self.prepare_benchmarks(suite(seed))
+    }
+
+    /// Prepares an arbitrary benchmark list in parallel, preserving order.
+    pub fn prepare_benchmarks(&self, benches: Vec<Benchmark>) -> Result<Vec<BenchData>, Error> {
+        prepare_benchmarks_parallel(
+            benches,
+            &self.config,
+            self.cache.as_ref(),
+            self.observer.as_ref(),
+            self.workers,
+        )
+    }
+
+    /// Trains the round-robin model sets for `suite` (reusing cached
+    /// GLAIVE models where possible) and yields the evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptySuite`], [`Error::NoTrainingPartners`], or
+    /// [`Error::Cache`] on a model write-back failure.
+    pub fn evaluation(&self, suite: Vec<BenchData>) -> Result<Evaluation, Error> {
+        Evaluation::with_runtime(
+            suite,
+            &self.config,
+            self.cache.as_ref(),
+            self.observer.as_ref(),
+            self.workers,
+        )
+    }
+
+    /// The whole pipeline: parallel suite preparation, then training and
+    /// evaluation.
+    pub fn run(&self, seed: u64) -> Result<Evaluation, Error> {
+        let suite = self.prepare_suite(seed)?;
+        self.evaluation(suite)
+    }
+}
+
+/// Campaign-or-cache plus graph build for one benchmark; the shared core
+/// behind [`Pipeline::prepare_benchmark`] and the parallel driver.
+fn prepare_one(
+    bench: Benchmark,
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+    campaign_threads: usize,
+) -> Result<BenchData, Error> {
+    let name = bench.name;
+    let truth = match load_cached_truth(&bench, config, cache, observer) {
+        Some(truth) => truth,
+        None => {
+            observer.stage_started(Stage::Campaign, name);
+            let t0 = Instant::now();
+            let mut campaign_config = config.campaign();
+            campaign_config.threads = campaign_threads;
+            let adapter = CampaignAdapter {
+                observer,
+                subject: name,
+            };
+            let truth = Campaign::new(bench.program(), &bench.init_mem, campaign_config)
+                .run_observed(&adapter);
+            observer.stage_finished(
+                Stage::Campaign,
+                name,
+                t0.elapsed(),
+                truth.total_injections() as u64,
+            );
+            if let Some(cache) = cache {
+                cache.store_truth(truth_key(&bench, &config.campaign()), &truth)?;
+            }
+            truth
+        }
+    };
+
+    observer.stage_started(Stage::GraphBuild, name);
+    let t0 = Instant::now();
+    let data = assemble_bench_data(bench, config.effective_graph_stride(), truth);
+    observer.stage_finished(
+        Stage::GraphBuild,
+        name,
+        t0.elapsed(),
+        data.cdfg.node_count() as u64,
+    );
+    Ok(data)
+}
+
+/// A cached ground truth for `bench`, if present, intact, and shaped like
+/// the benchmark's program (a key collision or stale artifact fails the
+/// shape check and is recomputed).
+fn load_cached_truth(
+    bench: &Benchmark,
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+) -> Option<GroundTruth> {
+    let cache = cache?;
+    let key = truth_key(bench, &config.campaign());
+    let truth = cache
+        .load_truth(key)
+        .filter(|t| t.golden().exec_counts.len() == bench.program().len());
+    observer.cache_lookup("fi", bench.name, truth.is_some());
+    truth
+}
+
+/// The number of workers a pool should actually use.
+pub(crate) fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = if requested == 0 { avail } else { requested };
+    n.clamp(1, jobs.max(1))
+}
+
+/// Shared parallel driver behind [`Pipeline::prepare_benchmarks`] and the
+/// cache-less [`crate::data::prepare_suite`]: a scoped worker pool pulls
+/// benchmarks off an atomic queue, each worker running its campaign with a
+/// share of the machine's cores so concurrent campaigns don't
+/// oversubscribe it.
+pub(crate) fn prepare_benchmarks_parallel(
+    benches: Vec<Benchmark>,
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+    workers: usize,
+) -> Result<Vec<BenchData>, Error> {
+    let jobs = benches.len();
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = resolve_workers(workers, jobs);
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let campaign_budget = if config.threads == 0 {
+        avail
+    } else {
+        config.threads
+    };
+    let campaign_threads = (campaign_budget / workers).max(1);
+
+    let benches: Vec<Mutex<Option<Benchmark>>> =
+        benches.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<BenchData, Error>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    return;
+                }
+                let bench = benches[i]
+                    .lock()
+                    .expect("bench slot")
+                    .take()
+                    .expect("each job taken once");
+                let out = prepare_one(bench, config, cache, observer, campaign_threads);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TimingRecorder;
+    use glaive_bench_suite::control::{dijkstra, sobel};
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir =
+            std::env::temp_dir().join(format!("glaive-pipeline-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::new(dir)
+    }
+
+    #[test]
+    fn resolve_workers_clamps_to_jobs() {
+        assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(2, 12), 2);
+        assert!(resolve_workers(0, 12) >= 1);
+        assert_eq!(resolve_workers(0, 0), 1);
+    }
+
+    #[test]
+    fn build_rejects_invalid_config() {
+        let mut config = PipelineConfig::quick_test();
+        config.bit_stride = 0;
+        assert!(matches!(
+            Pipeline::builder(config).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_preparation_matches_serial() {
+        let config = PipelineConfig::quick_test();
+        let serial = crate::data::prepare_benchmark(dijkstra::build(1), &config);
+        let pipeline = Pipeline::builder(config).workers(2).build().expect("valid");
+        let parallel = pipeline
+            .prepare_benchmarks(vec![dijkstra::build(1), sobel::build(1)])
+            .expect("no cache writes");
+        assert_eq!(parallel.len(), 2);
+        assert_eq!(parallel[0].bench.name, "dijkstra");
+        assert_eq!(parallel[1].bench.name, "sobel");
+        // Campaign results are deterministic, so parallel == serial.
+        assert_eq!(parallel[0].labels, serial.labels);
+        assert_eq!(parallel[0].truth.records(), serial.truth.records());
+    }
+
+    #[test]
+    fn second_run_hits_the_truth_cache() {
+        let config = PipelineConfig::quick_test();
+        let cache = temp_cache("truth-hit");
+
+        let rec1 = Arc::new(TimingRecorder::new());
+        let p1 = Pipeline::builder(config)
+            .cache(cache.clone())
+            .observer(rec1.clone())
+            .build()
+            .expect("valid");
+        let first = p1.prepare_benchmark(dijkstra::build(1)).expect("prepare");
+        assert_eq!(rec1.cache_counts(), (0, 1));
+
+        let rec2 = Arc::new(TimingRecorder::new());
+        let p2 = Pipeline::builder(config)
+            .cache(cache)
+            .observer(rec2.clone())
+            .build()
+            .expect("valid");
+        let second = p2.prepare_benchmark(dijkstra::build(1)).expect("prepare");
+        assert_eq!(rec2.cache_counts(), (1, 0));
+        // No campaign stage ran on the hit path.
+        assert!(rec2.timings().iter().all(|t| t.stage != Stage::Campaign));
+
+        assert_eq!(first.truth.records(), second.truth.records());
+        assert_eq!(first.labels, second.labels);
+        assert_eq!(first.fi_tuples, second.fi_tuples);
+    }
+
+    #[test]
+    fn changing_campaign_parameters_invalidates_the_cache() {
+        let config = PipelineConfig::quick_test();
+        let cache = temp_cache("invalidate");
+        Pipeline::builder(config)
+            .cache(cache.clone())
+            .build()
+            .expect("valid")
+            .prepare_benchmark(dijkstra::build(1))
+            .expect("prepare");
+
+        for altered in [
+            {
+                let mut c = config;
+                c.bit_stride = 8;
+                c
+            },
+            {
+                let mut c = config;
+                c.instances_per_site = 2;
+                c
+            },
+        ] {
+            let rec = Arc::new(TimingRecorder::new());
+            Pipeline::builder(altered)
+                .cache(cache.clone())
+                .observer(rec.clone())
+                .build()
+                .expect("valid")
+                .prepare_benchmark(dijkstra::build(1))
+                .expect("prepare");
+            assert_eq!(rec.cache_counts(), (0, 1), "altered config must miss");
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_artifacts_fall_back_to_recompute() {
+        let config = PipelineConfig::quick_test();
+        let cache = temp_cache("corrupt");
+        let pristine = Pipeline::builder(config)
+            .cache(cache.clone())
+            .build()
+            .expect("valid")
+            .prepare_benchmark(dijkstra::build(1))
+            .expect("prepare");
+
+        let entry = std::fs::read_dir(cache.dir())
+            .expect("cache dir")
+            .map(|e| e.expect("entry").path())
+            .find(|p| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().starts_with("fi-"))
+                    .unwrap_or(false)
+            })
+            .expect("one fi artifact");
+
+        // Truncation and byte corruption must both read as misses.
+        let bytes = std::fs::read(&entry).expect("read artifact");
+        for mutation in [bytes[..bytes.len() / 2].to_vec(), {
+            let mut b = bytes.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xff;
+            b
+        }] {
+            std::fs::write(&entry, &mutation).expect("write mutation");
+            let rec = Arc::new(TimingRecorder::new());
+            let again = Pipeline::builder(config)
+                .cache(cache.clone())
+                .observer(rec.clone())
+                .build()
+                .expect("valid")
+                .prepare_benchmark(dijkstra::build(1))
+                .expect("prepare");
+            assert_eq!(rec.cache_counts(), (0, 1), "corrupt artifact must miss");
+            assert_eq!(again.truth.records(), pristine.truth.records());
+        }
+    }
+}

@@ -53,6 +53,23 @@ impl CampaignConfig {
     }
 }
 
+/// Observer of campaign progress: called from worker threads as injection
+/// batches complete, with the number of records finished so far and the
+/// total planned. Implementations must be cheap and thread-safe.
+pub trait CampaignProgress: Sync {
+    /// `done` records out of `total` are complete (monotone per campaign,
+    /// but calls from different workers may arrive out of order).
+    fn injections(&self, done: usize, total: usize);
+}
+
+/// A [`CampaignProgress`] that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl CampaignProgress for NoProgress {
+    fn injections(&self, _done: usize, _total: usize) {}
+}
+
 /// A systematic bit-level fault-injection campaign over one program.
 #[derive(Debug)]
 pub struct Campaign<'p> {
@@ -120,6 +137,11 @@ impl<'p> Campaign<'p> {
     /// Panics if the golden run does not halt cleanly — vulnerability ground
     /// truth is undefined for a program that fails without faults.
     pub fn run(&self) -> GroundTruth {
+        self.run_observed(&NoProgress)
+    }
+
+    /// Like [`Campaign::run`], reporting batch completions to `progress`.
+    pub fn run_observed(&self, progress: &dyn CampaignProgress) -> GroundTruth {
         let golden_cfg = ExecConfig::default();
         let golden = run(self.program, self.init_mem, &golden_cfg);
         assert!(
@@ -163,20 +185,27 @@ impl<'p> Campaign<'p> {
                 }
             }
         }
+        let total = specs.len();
         if threads <= 1 || specs.len() < 64 {
+            let mut done = predicted;
             for (i, spec) in specs.iter().enumerate() {
                 if records[i].is_none() {
                     records[i] = Some(self.inject(spec, &golden, &fault_cfg));
+                    done += 1;
+                    if done % 1024 == 0 {
+                        progress.injections(done, total);
+                    }
                 }
             }
         } else {
             let skip: Vec<bool> = records.iter().map(Option::is_some).collect();
             let next = AtomicUsize::new(0);
+            let completed = AtomicUsize::new(predicted);
             let sink: Mutex<Vec<(usize, InjectionRecord)>> =
                 Mutex::new(Vec::with_capacity(specs.len()));
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
                             // Chunked work stealing keeps contention low.
@@ -185,22 +214,26 @@ impl<'p> Campaign<'p> {
                                 break;
                             }
                             let end = (start + 64).min(specs.len());
+                            let mut worked = 0;
                             for i in start..end {
                                 if skip[i] {
                                     continue;
                                 }
                                 local.push((i, self.inject(&specs[i], &golden, &fault_cfg)));
+                                worked += 1;
                             }
+                            let done = completed.fetch_add(worked, Ordering::Relaxed) + worked;
+                            progress.injections(done.min(total), total);
                         }
                         sink.lock().expect("sink lock").extend(local);
                     });
                 }
-            })
-            .expect("campaign worker panicked");
+            });
             for (i, rec) in sink.into_inner().expect("sink lock") {
                 records[i] = Some(rec);
             }
         }
+        progress.injections(total, total);
 
         let records: Vec<InjectionRecord> = records
             .into_iter()

@@ -37,7 +37,9 @@
 
 mod campaign;
 pub mod pruning;
+mod serdes;
 mod truth;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, CampaignProgress, NoProgress};
+pub use serdes::TruthDecodeError;
 pub use truth::{BitSite, GroundTruth, InjectionRecord, InstrVulnerability, VulnTuple};

@@ -1,0 +1,374 @@
+//! Binary serialisation for [`GroundTruth`], so a fault-injection campaign
+//! can be run once and its results reused as an on-disk artifact — the
+//! costly half of the pipeline that GLAIVE's learned estimation amortises.
+//!
+//! Format: a little-endian stream with a magic/version header, the program
+//! name, every injection record, the golden run, the predicted-injection
+//! count, and a trailing FNV-1a checksum over the payload. No external
+//! serialisation crates; stable across platforms of either endianness
+//! (everything goes through `to_le_bytes`), mirroring the model format in
+//! `glaive-gnn`'s `serdes`.
+
+use std::fmt;
+
+use glaive_sim::{ExitStatus, OperandSlot, Outcome, RunResult, Trap};
+
+use crate::truth::{BitSite, GroundTruth, InjectionRecord};
+
+/// Magic + format version. Bump the trailing digits on any layout change:
+/// decoders reject other versions (the cache recomputes instead).
+const MAGIC: &[u8; 8] = b"GLVFIT01";
+
+/// Error returned when decoding serialised ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TruthDecodeError {
+    /// The buffer does not start with the expected magic/version.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A structural invariant failed (bad tag, impossible value).
+    Corrupt(&'static str),
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for TruthDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruthDecodeError::BadMagic => {
+                write!(f, "not a GLAIVE ground-truth artifact (bad magic)")
+            }
+            TruthDecodeError::Truncated => write!(f, "ground-truth data truncated"),
+            TruthDecodeError::Corrupt(what) => write!(f, "corrupt ground truth: {what}"),
+            TruthDecodeError::ChecksumMismatch => write!(f, "ground-truth checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for TruthDecodeError {}
+
+/// 64-bit FNV-1a over a byte slice — the integrity checksum and the same
+/// hash family the artifact cache uses for content addressing.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TruthDecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(TruthDecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TruthDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, TruthDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn usize(&mut self) -> Result<usize, TruthDecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| TruthDecodeError::Corrupt("size overflows usize"))
+    }
+
+    /// A declared element count, sanity-bounded by the remaining bytes so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, TruthDecodeError> {
+        let n = self.usize()?;
+        if n > (self.buf.len() - self.pos) / min_elem_bytes.max(1) + 1 {
+            return Err(TruthDecodeError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+fn put_slot(out: &mut Vec<u8>, slot: OperandSlot) {
+    match slot {
+        OperandSlot::Use(i) => {
+            out.push(0);
+            put_usize(out, i);
+        }
+        OperandSlot::Def(i) => {
+            out.push(1);
+            put_usize(out, i);
+        }
+    }
+}
+
+fn read_slot(r: &mut Reader<'_>) -> Result<OperandSlot, TruthDecodeError> {
+    let tag = r.u8()?;
+    let idx = r.usize()?;
+    match tag {
+        0 => Ok(OperandSlot::Use(idx)),
+        1 => Ok(OperandSlot::Def(idx)),
+        _ => Err(TruthDecodeError::Corrupt("unknown operand-slot tag")),
+    }
+}
+
+fn put_status(out: &mut Vec<u8>, status: ExitStatus) {
+    match status {
+        ExitStatus::Halted => out.push(0),
+        ExitStatus::BudgetExceeded => out.push(1),
+        ExitStatus::Trapped(trap) => {
+            out.push(2);
+            match trap {
+                Trap::OutOfBoundsLoad { addr } => {
+                    out.push(0);
+                    out.extend_from_slice(&addr.to_le_bytes());
+                }
+                Trap::OutOfBoundsStore { addr } => {
+                    out.push(1);
+                    out.extend_from_slice(&addr.to_le_bytes());
+                }
+                Trap::DivByZero => {
+                    out.push(2);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+                Trap::InvalidPc { pc } => {
+                    out.push(3);
+                    out.extend_from_slice(&(pc as u64).to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn read_status(r: &mut Reader<'_>) -> Result<ExitStatus, TruthDecodeError> {
+    match r.u8()? {
+        0 => Ok(ExitStatus::Halted),
+        1 => Ok(ExitStatus::BudgetExceeded),
+        2 => {
+            let tag = r.u8()?;
+            let arg = r.u64()?;
+            let trap = match tag {
+                0 => Trap::OutOfBoundsLoad { addr: arg },
+                1 => Trap::OutOfBoundsStore { addr: arg },
+                2 => Trap::DivByZero,
+                3 => Trap::InvalidPc { pc: arg as usize },
+                _ => return Err(TruthDecodeError::Corrupt("unknown trap tag")),
+            };
+            Ok(ExitStatus::Trapped(trap))
+        }
+        _ => Err(TruthDecodeError::Corrupt("unknown exit-status tag")),
+    }
+}
+
+impl GroundTruth {
+    /// Serialises the campaign result (records + golden run) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+
+        let name = self.program_name().as_bytes();
+        put_usize(&mut out, name.len());
+        out.extend_from_slice(name);
+
+        put_usize(&mut out, self.records().len());
+        for r in self.records() {
+            put_usize(&mut out, r.site.pc);
+            put_slot(&mut out, r.site.slot);
+            out.push(r.site.bit);
+            out.extend_from_slice(&r.instance.to_le_bytes());
+            out.push(r.outcome.label() as u8);
+        }
+
+        let golden = self.golden();
+        put_status(&mut out, golden.status);
+        put_usize(&mut out, golden.output.len());
+        for &v in &golden.output {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&golden.dyn_instrs.to_le_bytes());
+        put_usize(&mut out, golden.exec_counts.len());
+        for &v in &golden.exec_counts {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_usize(&mut out, self.predicted_injections());
+
+        let checksum = fnv1a(&out[MAGIC.len()..]);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Restores a campaign result previously produced by
+    /// [`GroundTruth::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthDecodeError`] for truncated, foreign, tampered or
+    /// structurally inconsistent data — callers (the artifact cache) treat
+    /// any error as a miss and recompute.
+    pub fn from_bytes(bytes: &[u8]) -> Result<GroundTruth, TruthDecodeError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(TruthDecodeError::Truncated);
+        }
+        let (head, tail) = bytes.split_at(bytes.len() - 8);
+        if &head[..MAGIC.len()] != MAGIC {
+            return Err(TruthDecodeError::BadMagic);
+        }
+        let declared = u64::from_le_bytes(tail.try_into().expect("len 8"));
+        if fnv1a(&head[MAGIC.len()..]) != declared {
+            return Err(TruthDecodeError::ChecksumMismatch);
+        }
+
+        let mut r = Reader {
+            buf: head,
+            pos: MAGIC.len(),
+        };
+        let name_len = r.count(1)?;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| TruthDecodeError::Corrupt("program name is not UTF-8"))?;
+
+        let record_count = r.count(8 + 9 + 1 + 8 + 1)?;
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            let pc = r.usize()?;
+            let slot = read_slot(&mut r)?;
+            let bit = r.u8()?;
+            let instance = r.u64()?;
+            let outcome = Outcome::from_label(r.u8()? as usize)
+                .ok_or(TruthDecodeError::Corrupt("unknown outcome label"))?;
+            records.push(InjectionRecord {
+                site: BitSite { pc, slot, bit },
+                instance,
+                outcome,
+            });
+        }
+
+        let status = read_status(&mut r)?;
+        let output_len = r.count(8)?;
+        let output = (0..output_len).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let dyn_instrs = r.u64()?;
+        let exec_len = r.count(8)?;
+        let exec_counts = (0..exec_len).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let predicted = r.usize()?;
+        if predicted > records.len() {
+            return Err(TruthDecodeError::Corrupt(
+                "predicted count exceeds record count",
+            ));
+        }
+        if r.pos != head.len() {
+            return Err(TruthDecodeError::Corrupt("trailing bytes after payload"));
+        }
+
+        Ok(GroundTruth::new(
+            name,
+            records,
+            RunResult {
+                status,
+                output,
+                dyn_instrs,
+                exec_counts,
+            },
+            predicted,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use glaive_isa::{AluOp, Asm, BranchCond, Reg};
+
+    fn sample_truth() -> GroundTruth {
+        let mut asm = Asm::new("serdes-sample");
+        let (acc, i, one, lim) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        asm.li(acc, 0);
+        asm.li(i, 1);
+        asm.li(one, 1);
+        asm.li(lim, 6);
+        let top = asm.label();
+        asm.bind(top);
+        asm.alu(AluOp::Add, acc, acc, i);
+        asm.alu(AluOp::Add, i, i, one);
+        asm.branch(BranchCond::Le, i, lim, top);
+        asm.out(acc);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let cfg = CampaignConfig {
+            bit_stride: 8,
+            instances_per_site: 2,
+            hang_factor: 4,
+            threads: 1,
+            predict_dead_defs: true,
+        };
+        Campaign::new(&p, &[], cfg).run()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let truth = sample_truth();
+        let restored = GroundTruth::from_bytes(&truth.to_bytes()).expect("roundtrip");
+        assert_eq!(restored.program_name(), truth.program_name());
+        assert_eq!(restored.records(), truth.records());
+        assert_eq!(restored.golden(), truth.golden());
+        assert_eq!(
+            restored.predicted_injections(),
+            truth.predicted_injections()
+        );
+        assert_eq!(restored.bit_labels(), truth.bit_labels());
+    }
+
+    #[test]
+    fn rejects_foreign_and_truncated_data() {
+        assert!(matches!(
+            GroundTruth::from_bytes(b"short"),
+            Err(TruthDecodeError::Truncated)
+        ));
+        assert!(matches!(
+            GroundTruth::from_bytes(b"WRONGMAGIC-and-some-padding-bytes"),
+            Err(TruthDecodeError::BadMagic)
+        ));
+        let bytes = sample_truth().to_bytes();
+        for cut in [9usize, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                GroundTruth::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_any_single_byte_flip() {
+        let bytes = sample_truth().to_bytes();
+        // Flip a byte in the records region and one in the checksum itself.
+        for pos in [MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 3] {
+            let mut tampered = bytes.clone();
+            tampered[pos] ^= 0x40;
+            assert!(
+                GroundTruth::from_bytes(&tampered).is_err(),
+                "flip at {pos} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_invalidates_old_artifacts() {
+        let mut bytes = sample_truth().to_bytes();
+        bytes[7] = b'9'; // pretend a future format version
+        assert!(matches!(
+            GroundTruth::from_bytes(&bytes),
+            Err(TruthDecodeError::BadMagic)
+        ));
+    }
+}

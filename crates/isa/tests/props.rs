@@ -1,128 +1,172 @@
-//! Property-based tests for instruction encoding and operand accessors.
+//! Property-based tests for instruction encoding and operand accessors,
+//! driven by a deterministic inline RNG so the suite builds offline with
+//! no external crates.
 
 use glaive_isa::{AluOp, BranchCond, CvtOp, FpuOp, FpuUnaryOp, Instr, Reg, NUM_REGS};
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0..NUM_REGS as u8).prop_map(Reg)
-}
+const CASES: u64 = 4096;
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    proptest::sample::select(AluOp::ALL.to_vec())
-}
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let target = 0usize..4096;
-    prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
-            op,
-            rd,
-            rs1,
-            rs2
-        }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i64>())
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            proptest::sample::select(FpuOp::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Fpu { op, rd, rs1, rs2 }),
-        (
-            proptest::sample::select(FpuUnaryOp::ALL.to_vec()),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, rd, rs1)| Instr::FpuUnary { op, rd, rs1 }),
-        (
-            proptest::sample::select(CvtOp::ALL.to_vec()),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, rd, rs1)| Instr::Cvt { op, rd, rs1 }),
-        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Mov { rd, rs1 }),
-        (arb_reg(), arb_reg(), -1024i64..1024).prop_map(|(rd, base, offset)| Instr::Load {
-            rd,
-            base,
-            offset
-        }),
-        (arb_reg(), arb_reg(), -1024i64..1024).prop_map(|(rs, base, offset)| Instr::Store {
-            rs,
-            base,
-            offset
-        }),
-        (
-            proptest::sample::select(BranchCond::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            target.clone()
-        )
-            .prop_map(|(cond, rs1, rs2, target)| Instr::Branch {
-                cond,
-                rs1,
-                rs2,
-                target
-            }),
-        target.prop_map(|target| Instr::Jump { target }),
-        arb_reg().prop_map(|rs1| Instr::Out { rs1 }),
-        Just(Instr::Halt),
-    ]
-}
-
-proptest! {
-    /// encode → decode is the identity on all well-formed instructions.
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instr()) {
-        let decoded = Instr::decode(&instr.encode()).expect("well-formed");
-        prop_assert_eq!(decoded, instr);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    /// Every operand reported by defs()/uses() is a valid register, and
-    /// operands() is exactly uses() followed by defs().
-    #[test]
-    fn operands_are_valid_and_ordered(instr in arb_instr()) {
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg(self.below(NUM_REGS as u64) as u8)
+    }
+
+    fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
+        pool[self.below(pool.len() as u64) as usize]
+    }
+
+    /// A uniformly chosen well-formed instruction.
+    fn instr(&mut self) -> Instr {
+        match self.below(13) {
+            0 => Instr::Alu {
+                op: self.pick(&AluOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            1 => Instr::AluImm {
+                op: self.pick(&AluOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+                imm: self.next() as i64,
+            },
+            2 => Instr::Fpu {
+                op: self.pick(&FpuOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            3 => Instr::FpuUnary {
+                op: self.pick(&FpuUnaryOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+            },
+            4 => Instr::Cvt {
+                op: self.pick(&CvtOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+            },
+            5 => Instr::Li {
+                rd: self.reg(),
+                imm: self.next() as i64,
+            },
+            6 => Instr::Mov {
+                rd: self.reg(),
+                rs1: self.reg(),
+            },
+            7 => Instr::Load {
+                rd: self.reg(),
+                base: self.reg(),
+                offset: self.below(2048) as i64 - 1024,
+            },
+            8 => Instr::Store {
+                rs: self.reg(),
+                base: self.reg(),
+                offset: self.below(2048) as i64 - 1024,
+            },
+            9 => Instr::Branch {
+                cond: self.pick(&BranchCond::ALL),
+                rs1: self.reg(),
+                rs2: self.reg(),
+                target: self.below(4096) as usize,
+            },
+            10 => Instr::Jump {
+                target: self.below(4096) as usize,
+            },
+            11 => Instr::Out { rs1: self.reg() },
+            _ => Instr::Halt,
+        }
+    }
+}
+
+/// encode → decode is the identity on all well-formed instructions.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let instr = rng.instr();
+        let decoded = Instr::decode(&instr.encode()).expect("well-formed");
+        assert_eq!(decoded, instr);
+    }
+}
+
+/// Every operand reported by defs()/uses() is a valid register, and
+/// operands() is exactly uses() followed by defs().
+#[test]
+fn operands_are_valid_and_ordered() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let instr = rng.instr();
         for r in instr.defs().iter().chain(instr.uses().iter()) {
-            prop_assert!(r.is_valid());
+            assert!(r.is_valid());
         }
         let mut expect = instr.uses();
         expect.extend(instr.defs());
-        prop_assert_eq!(instr.operands(), expect);
+        assert_eq!(instr.operands(), expect);
     }
+}
 
-    /// At most one destination register per instruction in this ISA.
-    #[test]
-    fn at_most_one_def(instr in arb_instr()) {
-        prop_assert!(instr.defs().len() <= 1);
+/// At most one destination register per instruction in this ISA.
+#[test]
+fn at_most_one_def() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        assert!(rng.instr().defs().len() <= 1);
     }
+}
 
-    /// Control instructions never write registers.
-    #[test]
-    fn control_instrs_define_nothing(instr in arb_instr()) {
+/// Control instructions never write registers.
+#[test]
+fn control_instrs_define_nothing() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let instr = rng.instr();
         if instr.is_control() {
-            prop_assert!(instr.defs().is_empty());
+            assert!(instr.defs().is_empty());
         }
     }
+}
 
-    /// Disassembly text is non-empty and stable under re-format.
-    #[test]
-    fn display_is_nonempty(instr in arb_instr()) {
+/// Disassembly text is non-empty and stable under re-format.
+#[test]
+fn display_is_nonempty() {
+    let mut rng = Rng(5);
+    for _ in 0..CASES {
+        let instr = rng.instr();
         let s = instr.to_string();
-        prop_assert!(!s.is_empty());
-        prop_assert_eq!(s.clone(), instr.to_string());
+        assert!(!s.is_empty());
+        assert_eq!(s, instr.to_string());
     }
+}
 
-    /// BranchCond::eval matches the Rust comparison it models.
-    #[test]
-    fn branch_eval_matches_semantics(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
-        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
-        prop_assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
-        prop_assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
-        prop_assert_eq!(BranchCond::Le.eval(a, b), (a as i64) <= (b as i64));
-        prop_assert_eq!(BranchCond::Gt.eval(a, b), (a as i64) > (b as i64));
-        prop_assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
-        prop_assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
+/// BranchCond::eval matches the Rust comparison it models.
+#[test]
+fn branch_eval_matches_semantics() {
+    let mut rng = Rng(6);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next(), rng.next());
+        assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        assert_eq!(BranchCond::Lt.eval(a, b), (a as i64) < (b as i64));
+        assert_eq!(BranchCond::Ge.eval(a, b), (a as i64) >= (b as i64));
+        assert_eq!(BranchCond::Le.eval(a, b), (a as i64) <= (b as i64));
+        assert_eq!(BranchCond::Gt.eval(a, b), (a as i64) > (b as i64));
+        assert_eq!(BranchCond::Ltu.eval(a, b), a < b);
+        assert_eq!(BranchCond::Geu.eval(a, b), a >= b);
     }
 }

@@ -1,13 +1,77 @@
 //! Differential testing: the AST interpreter versus compile-and-simulate
 //! on randomly generated programs. Any divergence indicates a bug in the
-//! code generator, the simulator, or the interpreter.
+//! code generator, the simulator, or the interpreter. Programs come from a
+//! deterministic inline RNG so the suite builds offline with no external
+//! crates.
 
-use glaive_lang::{dsl::*, Expr, ModuleBuilder, Stmt, Var};
+use glaive_lang::{dsl::*, Expr, ModuleBuilder, Var};
 use glaive_sim::{run, ExecConfig};
-use proptest::prelude::*;
 
 const NUM_VARS: usize = 6;
 const ARRAY_LEN: i64 = 8;
+const CASES: u64 = 128;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn seeds(&mut self) -> Vec<i64> {
+        (0..NUM_VARS).map(|_| self.next() as i64).collect()
+    }
+
+    fn op(&mut self) -> Op {
+        match self.below(7) {
+            0 => Op::Arith {
+                d: self.next() as u8,
+                a: self.next() as u8,
+                b: self.next() as u8,
+                op: self.next() as u8,
+            },
+            1 => Op::Float {
+                d: self.next() as u8,
+                a: self.next() as u8,
+                b: self.next() as u8,
+                op: self.next() as u8,
+            },
+            2 => Op::Store {
+                a: self.next() as u8,
+                b: self.next() as u8,
+            },
+            3 => Op::Load {
+                d: self.next() as u8,
+                a: self.next() as u8,
+            },
+            4 => Op::Select {
+                d: self.next() as u8,
+                a: self.next() as u8,
+                b: self.next() as u8,
+            },
+            5 => Op::Loop {
+                d: self.next() as u8,
+                n: 1 + self.below(5) as u8,
+            },
+            _ => Op::Out {
+                a: self.next() as u8,
+            },
+        }
+    }
+
+    fn ops(&mut self, max_len: u64) -> Vec<Op> {
+        (0..1 + self.below(max_len)).map(|_| self.op()).collect()
+    }
+}
 
 /// Recipe for one generated statement.
 #[derive(Debug, Clone)]
@@ -26,28 +90,6 @@ enum Op {
     Loop { d: u8, n: u8 },
     /// emit var[a].
     Out { a: u8 },
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b, op)| Op::Arith {
-            d,
-            a,
-            b,
-            op
-        }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b, op)| Op::Float {
-            d,
-            a,
-            b,
-            op
-        }),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Store { a, b }),
-        (any::<u8>(), any::<u8>()).prop_map(|(d, a)| Op::Load { d, a }),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| Op::Select { d, a, b }),
-        (any::<u8>(), 1u8..6).prop_map(|(d, n)| Op::Loop { d, n }),
-        any::<u8>().prop_map(|a| Op::Out { a }),
-    ]
 }
 
 /// Builds the module described by the seeds and recipe. The loop counter
@@ -131,45 +173,52 @@ fn build(seeds: &[i64], ops: &[Op]) -> ModuleBuilder {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Interpreter and compiled execution agree bit-for-bit on every
-    /// generated program.
-    #[test]
-    fn interpreter_matches_compiled_execution(
-        seeds in proptest::collection::vec(any::<i64>(), NUM_VARS),
-        ops in proptest::collection::vec(arb_op(), 1..25),
-    ) {
+/// Interpreter and compiled execution agree bit-for-bit on every
+/// generated program.
+#[test]
+fn interpreter_matches_compiled_execution() {
+    let mut rng = Rng(31);
+    for _ in 0..CASES {
+        let seeds = rng.seeds();
+        let ops = rng.ops(24);
         let module = build(&seeds, &ops);
         let interpreted = module.interpret(&[], 1_000_000);
         let compiled = module.compile().expect("generated programs compile");
         let simulated = run(compiled.program(), &[], &ExecConfig::default());
         match interpreted {
             Ok(output) => {
-                prop_assert!(simulated.status.is_clean(), "sim diverged: {:?}", simulated.status);
-                prop_assert_eq!(output, simulated.output);
+                assert!(
+                    simulated.status.is_clean(),
+                    "sim diverged: {:?}",
+                    simulated.status
+                );
+                assert_eq!(output, simulated.output);
             }
             Err(e) => {
-                prop_assert!(!simulated.status.is_clean(), "interp failed ({e}) but sim was clean");
+                assert!(
+                    !simulated.status.is_clean(),
+                    "interp failed ({e}) but sim was clean"
+                );
             }
         }
     }
+}
 
-    /// Initial memory images feed both executions identically.
-    #[test]
-    fn initial_memory_agrees(
-        seeds in proptest::collection::vec(any::<i64>(), NUM_VARS),
-        ops in proptest::collection::vec(arb_op(), 1..15),
-        mem in proptest::collection::vec(any::<u64>(), ARRAY_LEN as usize),
-    ) {
+/// Initial memory images feed both executions identically.
+#[test]
+fn initial_memory_agrees() {
+    let mut rng = Rng(32);
+    for _ in 0..CASES {
+        let seeds = rng.seeds();
+        let ops = rng.ops(14);
+        let mem: Vec<u64> = (0..ARRAY_LEN as usize).map(|_| rng.next()).collect();
         let module = build(&seeds, &ops);
         let interpreted = module.interpret(&mem, 1_000_000);
         let compiled = module.compile().expect("generated programs compile");
         let simulated = run(compiled.program(), &mem, &ExecConfig::default());
         if let Ok(output) = interpreted {
-            prop_assert!(simulated.status.is_clean());
-            prop_assert_eq!(output, simulated.output);
+            assert!(simulated.status.is_clean());
+            assert_eq!(output, simulated.output);
         }
     }
 }

@@ -14,7 +14,11 @@ fn main() {
     let h = 64;
     let z = Matrix::from_fn(n, d, |r, c| {
         if c < d / 2 {
-            if (r * 7 + c) % 25 == 0 { 1.0 } else { 0.0 }
+            if (r * 7 + c) % 25 == 0 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             ((r + c) % 13) as f32 / 13.0
         }

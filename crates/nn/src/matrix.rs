@@ -209,7 +209,9 @@ fn parallel_rows(
 ) {
     const PARALLEL_THRESHOLD: usize = 1 << 22;
     let work = rows.saturating_mul(cols).saturating_mul(inner.max(1));
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if work < PARALLEL_THRESHOLD || threads <= 1 || rows < 2 {
         for (i, out_row) in out.chunks_mut(cols).enumerate() {
             kernel(i, out_row);

@@ -1,9 +1,48 @@
 //! Property-based tests for simulator determinism and fault-injection
-//! invariants, driven by randomly generated straight-line-plus-loop programs.
+//! invariants, driven by randomly generated straight-line-plus-loop
+//! programs from a deterministic inline RNG (no external crates, so the
+//! suite builds offline).
 
 use glaive_isa::{AluOp, Asm, BranchCond, Program, Reg};
 use glaive_sim::{classify, run, run_with_fault, ExecConfig, FaultSpec, OperandSlot, Outcome};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// `count` random op recipes (op index + three register picks).
+    fn ops(&mut self, count: usize) -> Vec<(u8, u8, u8, u8)> {
+        (0..count)
+            .map(|_| {
+                (
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                )
+            })
+            .collect()
+    }
+
+    /// `count` random register seed values.
+    fn seeds(&mut self, count: usize) -> Vec<i64> {
+        (0..count).map(|_| self.next() as i64).collect()
+    }
+}
 
 /// Builds a small program from a recipe of register-to-register ALU ops,
 /// always ending by emitting every register and halting. Division operands
@@ -27,95 +66,125 @@ fn build_program(ops: &[(u8, u8, u8, u8)], seeds: &[i64]) -> Program {
     asm.finish().expect("labels resolve")
 }
 
+fn random_program(rng: &mut Rng, max_ops: u64, max_seeds: u64) -> Program {
+    let n_ops = 1 + rng.below(max_ops) as usize;
+    let ops = rng.ops(n_ops);
+    let n_seeds = 2 + rng.below(max_seeds - 1) as usize;
+    let seeds = rng.seeds(n_seeds);
+    build_program(&ops, &seeds)
+}
+
 fn cfg() -> ExecConfig {
     ExecConfig { max_instrs: 50_000 }
 }
 
-proptest! {
-    /// The simulator is deterministic: same program, same result.
-    #[test]
-    fn deterministic(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
-        seeds in proptest::collection::vec(any::<i64>(), 2..6),
-    ) {
-        let p = build_program(&ops, &seeds);
+/// The simulator is deterministic: same program, same result.
+#[test]
+fn deterministic() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng, 19, 5);
         let a = run(&p, &[], &cfg());
         let b = run(&p, &[], &cfg());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// A fault armed at an instance that is never reached leaves the run
-    /// identical to golden (classified Masked).
-    #[test]
-    fn unfired_fault_is_masked(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..10),
-        seeds in proptest::collection::vec(any::<i64>(), 2..4),
-        bit in 0u8..64,
-    ) {
-        let p = build_program(&ops, &seeds);
+/// A fault armed at an instance that is never reached leaves the run
+/// identical to golden (classified Masked).
+#[test]
+fn unfired_fault_is_masked() {
+    let mut rng = Rng(12);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng, 9, 3);
+        let bit = rng.below(64) as u8;
         let golden = run(&p, &[], &cfg());
-        prop_assume!(golden.status.is_clean());
-        let f = FaultSpec { pc: 0, slot: OperandSlot::Use(0), bit, instance: u64::MAX };
+        if !golden.status.is_clean() {
+            continue;
+        }
+        let f = FaultSpec {
+            pc: 0,
+            slot: OperandSlot::Use(0),
+            bit,
+            instance: u64::MAX,
+        };
         let faulty = run_with_fault(&p, &[], &cfg(), &f);
-        prop_assert_eq!(classify(&golden, &faulty), Outcome::Masked);
+        assert_eq!(classify(&golden, &faulty), Outcome::Masked);
     }
+}
 
-    /// Injecting the same fault twice gives the same outcome (the campaign
-    /// relies on reproducible injections).
-    #[test]
-    fn fault_injection_deterministic(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..15),
-        seeds in proptest::collection::vec(any::<i64>(), 2..5),
-        pc_pick in any::<u16>(),
-        bit in 0u8..64,
-        use_def in any::<bool>(),
-    ) {
-        let p = build_program(&ops, &seeds);
+/// Injecting the same fault twice gives the same outcome (the campaign
+/// relies on reproducible injections).
+#[test]
+fn fault_injection_deterministic() {
+    let mut rng = Rng(13);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng, 14, 4);
         let golden = run(&p, &[], &cfg());
-        prop_assume!(golden.status.is_clean());
-        let pc = (pc_pick as usize) % p.len();
-        let slot = if use_def { OperandSlot::Def(0) } else { OperandSlot::Use(0) };
-        let f = FaultSpec { pc, slot, bit, instance: 0 };
+        if !golden.status.is_clean() {
+            continue;
+        }
+        let pc = rng.below(p.len() as u64) as usize;
+        let slot = if rng.below(2) == 0 {
+            OperandSlot::Def(0)
+        } else {
+            OperandSlot::Use(0)
+        };
+        let f = FaultSpec {
+            pc,
+            slot,
+            bit: rng.below(64) as u8,
+            instance: 0,
+        };
         let a = run_with_fault(&p, &[], &cfg(), &f);
         let b = run_with_fault(&p, &[], &cfg(), &f);
-        prop_assert_eq!(classify(&golden, &a), classify(&golden, &b));
+        assert_eq!(classify(&golden, &a), classify(&golden, &b));
     }
+}
 
-    /// Exec counts sum to the reported dynamic instruction count.
-    #[test]
-    fn exec_counts_sum_to_dyn_instrs(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
-        seeds in proptest::collection::vec(any::<i64>(), 2..6),
-    ) {
-        let p = build_program(&ops, &seeds);
+/// Exec counts sum to the reported dynamic instruction count.
+#[test]
+fn exec_counts_sum_to_dyn_instrs() {
+    let mut rng = Rng(14);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng, 19, 5);
         let r = run(&p, &[], &cfg());
-        prop_assert_eq!(r.exec_counts.iter().sum::<u64>(), r.dyn_instrs);
+        assert_eq!(r.exec_counts.iter().sum::<u64>(), r.dyn_instrs);
     }
+}
 
-    /// A double flip of the same bit via two separate runs can differ, but a
-    /// run where the armed fault targets a branchless program's dead final
-    /// register write is always Masked or Sdc, never Crash (no memory ops,
-    /// no divisions, no control flow to corrupt).
-    #[test]
-    fn straightline_int_faults_never_crash(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..15),
-        seeds in proptest::collection::vec(any::<i64>(), 2..5),
-        pc_pick in any::<u16>(),
-        bit in 0u8..64,
-    ) {
-        let p = build_program(&ops, &seeds);
+/// A double flip of the same bit via two separate runs can differ, but a
+/// run where the armed fault targets a branchless program's dead final
+/// register write is always Masked or Sdc, never Crash (no memory ops,
+/// no divisions, no control flow to corrupt).
+#[test]
+fn straightline_int_faults_never_crash() {
+    let mut rng = Rng(15);
+    for _ in 0..CASES {
+        let p = random_program(&mut rng, 14, 4);
         let golden = run(&p, &[], &cfg());
-        prop_assume!(golden.status.is_clean());
-        let pc = (pc_pick as usize) % p.len();
-        let f = FaultSpec { pc, slot: OperandSlot::Use(0), bit, instance: 0 };
+        if !golden.status.is_clean() {
+            continue;
+        }
+        let f = FaultSpec {
+            pc: rng.below(p.len() as u64) as usize,
+            slot: OperandSlot::Use(0),
+            bit: rng.below(64) as u8,
+            instance: 0,
+        };
         let faulty = run_with_fault(&p, &[], &cfg(), &f);
-        prop_assert_ne!(classify(&golden, &faulty), Outcome::Crash);
+        assert_ne!(classify(&golden, &faulty), Outcome::Crash);
     }
+}
 
-    /// Loop programs terminate within budget and produce identical results
-    /// across runs even with a branch-operand fault armed.
-    #[test]
-    fn loop_with_branch_fault_reproducible(bound in 1i64..50, bit in 0u8..64) {
+/// Loop programs terminate within budget and produce identical results
+/// across runs even with a branch-operand fault armed.
+#[test]
+fn loop_with_branch_fault_reproducible() {
+    let mut rng = Rng(16);
+    for _ in 0..CASES {
+        let bound = 1 + rng.below(49) as i64;
+        let bit = rng.below(64) as u8;
         let mut asm = Asm::new("loop");
         let (i, one, lim, acc) = (Reg(1), Reg(2), Reg(3), Reg(4));
         asm.li(i, 0);
@@ -131,10 +200,15 @@ proptest! {
         asm.halt();
         let p = asm.finish().expect("resolves");
         let golden = run(&p, &[], &cfg());
-        prop_assert!(golden.status.is_clean());
-        let f = FaultSpec { pc: 6, slot: OperandSlot::Use(0), bit, instance: 0 };
+        assert!(golden.status.is_clean());
+        let f = FaultSpec {
+            pc: 6,
+            slot: OperandSlot::Use(0),
+            bit,
+            instance: 0,
+        };
         let a = run_with_fault(&p, &[], &cfg(), &f);
         let b = run_with_fault(&p, &[], &cfg(), &f);
-        prop_assert_eq!(classify(&golden, &a), classify(&golden, &b));
+        assert_eq!(classify(&golden, &a), classify(&golden, &b));
     }
 }

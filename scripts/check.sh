@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, release build, and tests — all without network
+# access or a Cargo registry cache (the workspace has no external deps).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "All checks passed."

@@ -1,8 +1,38 @@
 //! Workspace-level property tests on the metric and aggregation layers,
-//! driven by randomly generated vulnerability tuples and rankings.
+//! driven by randomly generated vulnerability tuples and rankings from a
+//! deterministic inline RNG (no external crates, so the suite builds
+//! offline).
 
 use glaive::{metrics, prepare_benchmark, PipelineConfig, VulnTuple};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn tuple(&mut self) -> VulnTuple {
+        let (a, b, c) = (self.unit(), self.unit(), self.unit());
+        let sum = (a + b + c).max(1e-9);
+        VulnTuple {
+            crash: a / sum,
+            sdc: b / sum,
+            masked: c / sum,
+        }
+    }
+}
 
 /// A shared, lazily prepared benchmark so each property case doesn't rerun
 /// the fault campaign.
@@ -17,97 +47,103 @@ fn shared_data() -> &'static glaive::BenchData {
     })
 }
 
-fn arb_tuple() -> impl Strategy<Value = VulnTuple> {
-    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b, c)| {
-        let sum = (a + b + c).max(1e-9);
-        VulnTuple {
-            crash: a / sum,
-            sdc: b / sum,
-            masked: c / sum,
-        }
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Top-K coverage of arbitrary estimates is always within [0, 1], for
-    /// any budget.
-    #[test]
-    fn coverage_is_bounded(seed in any::<u64>(), k in 1.0f64..100.0) {
-        let d = shared_data();
-        let mut rng = seed;
+/// Top-K coverage of arbitrary estimates is always within [0, 1], for
+/// any budget.
+#[test]
+fn coverage_is_bounded() {
+    let d = shared_data();
+    let mut rng = Rng(41);
+    for _ in 0..CASES {
+        let k = 1.0 + rng.unit() * 99.0;
         let tuples: Vec<Option<VulnTuple>> = (0..d.bench.program().len())
-            .map(|_| {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let a = (rng >> 33) as f64 / (1u64 << 31) as f64;
-                let b = ((rng >> 13) & 0xfffff) as f64 / (1 << 20) as f64;
-                let sum = (a + b + 0.1).max(1e-9);
-                Some(VulnTuple { crash: a / sum, sdc: b / sum, masked: 0.1 / sum })
-            })
+            .map(|_| Some(rng.tuple()))
             .collect();
         let c = metrics::top_k_coverage(&tuples, d, k);
-        prop_assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&c));
     }
+}
 
-    /// The ranking is always a permutation of the FI-covered PCs.
-    #[test]
-    fn ranking_is_a_permutation(seed in any::<u64>()) {
-        let d = shared_data();
-        let mut rng = seed;
+/// The ranking is always a permutation of the FI-covered PCs.
+#[test]
+fn ranking_is_a_permutation() {
+    let d = shared_data();
+    let mut rng = Rng(42);
+    for _ in 0..CASES {
         let tuples: Vec<Option<VulnTuple>> = (0..d.bench.program().len())
             .map(|_| {
-                rng = rng.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-                let x = (rng >> 33) as f64 / (1u64 << 31) as f64;
-                Some(VulnTuple { crash: x, sdc: 0.0, masked: 1.0 - x })
+                let x = rng.unit();
+                Some(VulnTuple {
+                    crash: x,
+                    sdc: 0.0,
+                    masked: 1.0 - x,
+                })
             })
             .collect();
         let mut ranked = metrics::ranking(&tuples, d);
         ranked.sort_unstable();
-        prop_assert_eq!(ranked, d.covered_pcs());
+        assert_eq!(ranked, d.covered_pcs());
     }
+}
 
-    /// Program vulnerability of any valid tuple assignment is itself a
-    /// valid distribution.
-    #[test]
-    fn program_vulnerability_is_a_distribution(t in arb_tuple()) {
-        let d = shared_data();
-        let tuples = vec![Some(t); d.bench.program().len()];
+/// Program vulnerability of any valid tuple assignment is itself a
+/// valid distribution.
+#[test]
+fn program_vulnerability_is_a_distribution() {
+    let d = shared_data();
+    let mut rng = Rng(43);
+    for _ in 0..CASES {
+        let tuples = vec![Some(rng.tuple()); d.bench.program().len()];
         let pv = metrics::program_vulnerability(&tuples, d);
-        prop_assert!(pv.crash >= 0.0 && pv.sdc >= 0.0 && pv.masked >= 0.0);
-        prop_assert!((pv.crash + pv.sdc + pv.masked - 1.0).abs() < 1e-6);
+        assert!(pv.crash >= 0.0 && pv.sdc >= 0.0 && pv.masked >= 0.0);
+        assert!((pv.crash + pv.sdc + pv.masked - 1.0).abs() < 1e-6);
     }
+}
 
-    /// abs_error is a metric-like distance: nonnegative, zero on identity,
-    /// symmetric, and bounded by 2 for distributions.
-    #[test]
-    fn abs_error_is_distance_like(a in arb_tuple(), b in arb_tuple()) {
-        prop_assert!(a.abs_error(&b) >= 0.0);
-        prop_assert!(a.abs_error(&a) < 1e-12);
-        prop_assert!((a.abs_error(&b) - b.abs_error(&a)).abs() < 1e-12);
-        prop_assert!(a.abs_error(&b) <= 2.0 + 1e-9);
+/// abs_error is a metric-like distance: nonnegative, zero on identity,
+/// symmetric, and bounded by 2 for distributions.
+#[test]
+fn abs_error_is_distance_like() {
+    let mut rng = Rng(44);
+    for _ in 0..CASES {
+        let (a, b) = (rng.tuple(), rng.tuple());
+        assert!(a.abs_error(&b) >= 0.0);
+        assert!(a.abs_error(&a) < 1e-12);
+        assert!((a.abs_error(&b) - b.abs_error(&a)).abs() < 1e-12);
+        assert!(a.abs_error(&b) <= 2.0 + 1e-9);
     }
+}
 
-    /// The severity ranking key is monotone in crash and sdc probability.
-    #[test]
-    fn ranking_key_is_monotone(t in arb_tuple(), eps in 0.001f64..0.2) {
+/// The severity ranking key is monotone in crash and sdc probability.
+#[test]
+fn ranking_key_is_monotone() {
+    let mut rng = Rng(45);
+    for _ in 0..CASES {
+        let t = rng.tuple();
+        let eps = 0.001 + rng.unit() * 0.199;
         // Moving mass from masked to crash must increase the key.
         let more_crash = VulnTuple {
             crash: t.crash + eps * t.masked,
             sdc: t.sdc,
             masked: t.masked * (1.0 - eps),
         };
-        prop_assert!(more_crash.ranking_key() > t.ranking_key() - 1e-12);
+        assert!(more_crash.ranking_key() > t.ranking_key() - 1e-12);
     }
+}
 
-    /// Tuple construction from counts is scale-invariant.
-    #[test]
-    fn from_counts_scale_invariant(c in 0u64..100, s in 0u64..100, m in 0u64..100, k in 1u64..50) {
-        prop_assume!(c + s + m > 0);
+/// Tuple construction from counts is scale-invariant.
+#[test]
+fn from_counts_scale_invariant() {
+    let mut rng = Rng(46);
+    for _ in 0..CASES {
+        let (c, s, m) = (rng.next() % 100, rng.next() % 100, rng.next() % 100);
+        let k = 1 + rng.next() % 49;
+        if c + s + m == 0 {
+            continue;
+        }
         let a = VulnTuple::from_counts(c, s, m);
         let b = VulnTuple::from_counts(c * k, s * k, m * k);
-        prop_assert!((a.crash - b.crash).abs() < 1e-12);
-        prop_assert!((a.sdc - b.sdc).abs() < 1e-12);
-        prop_assert!((a.masked - b.masked).abs() < 1e-12);
+        assert!((a.crash - b.crash).abs() < 1e-12);
+        assert!((a.sdc - b.sdc).abs() < 1e-12);
+        assert!((a.masked - b.masked).abs() < 1e-12);
     }
 }
