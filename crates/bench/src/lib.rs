@@ -84,6 +84,10 @@ pub fn run_experiment(body: impl FnOnce() -> Result<(), Error>) -> std::process:
 
 /// Prepares the 12-benchmark suite and trains all round-robin model sets,
 /// reporting stage timings and cache activity to stderr.
+///
+/// Preparation runs supervised: a failure summary is printed to stderr
+/// before the configured quorum is checked, so a degraded or aborted run
+/// still reports every benchmark's fate.
 pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
     let (pipeline, recorder) = experiment_pipeline()?;
     let config = *pipeline.config();
@@ -91,7 +95,8 @@ pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
         "preparing suite (seed {EXPERIMENT_SEED}, bit stride {}, {} instances/site)...",
         config.bit_stride, config.instances_per_site
     );
-    let eval = pipeline.run(EXPERIMENT_SEED)?;
+    let suite = prepared_suite(&pipeline)?;
+    let eval = pipeline.evaluation(suite)?;
     finish_telemetry(&recorder);
     Ok((eval, config))
 }
@@ -101,9 +106,21 @@ pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
 pub fn standard_suite() -> Result<(Vec<BenchData>, PipelineConfig), Error> {
     let (pipeline, recorder) = experiment_pipeline()?;
     let config = *pipeline.config();
-    let suite = pipeline.prepare_suite(EXPERIMENT_SEED)?;
+    let suite = prepared_suite(&pipeline)?;
     finish_telemetry(&recorder);
     Ok((suite, config))
+}
+
+/// Supervised suite preparation shared by the experiment entry points:
+/// renders the failure summary (if any) to stderr, then applies the
+/// configured quorum policy.
+fn prepared_suite(pipeline: &Pipeline) -> Result<Vec<BenchData>, Error> {
+    let mut report = pipeline.prepare_suite_supervised(EXPERIMENT_SEED);
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
+    report.check_quorum(pipeline.config().quorum)?;
+    Ok(report.take_prepared())
 }
 
 #[cfg(test)]

@@ -3,12 +3,15 @@
 use std::error::Error;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use glaive::telemetry::{Fanout, Observer, StderrProgress, TimingRecorder};
-use glaive::{train_models, Pipeline, PipelineConfig};
+use glaive::{train_models, truth_key, ArtifactCache, Pipeline, PipelineConfig, QuorumPolicy};
 use glaive_bench_suite::{suite, Benchmark};
 use glaive_cdfg::{Cdfg, CdfgConfig};
-use glaive_faultsim::{Campaign, CampaignConfig, VulnTuple};
+use glaive_faultsim::{
+    Campaign, CampaignConfig, CampaignProgress, CheckpointSink, NoProgress, RunControl, VulnTuple,
+};
 use glaive_gnn::GraphSage;
 use glaive_sim::{run, Outcome};
 
@@ -18,12 +21,20 @@ usage:
   glaive-cli list
   glaive-cli disasm   <benchmark>
   glaive-cli campaign <benchmark> [--seed N] [--stride N] [--instances N] [--top N]
+                      [--deadline-secs N] [--resume]
   glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
+                      [--deadline-secs N] [--fail-fast]
   glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
 
 global flags: --verbose (stage telemetry on stderr)
               --no-cache (skip the on-disk artifact cache for train)
+              --deadline-secs N (soft wall-clock limit; interrupted work
+                                 stops at the next batch boundary)
+              --resume (campaign: checkpoint progress into the artifact
+                        cache and resume a previously interrupted run)
+              --fail-fast (train: abort the whole suite on the first
+                           benchmark failure instead of degrading)
 
 benchmarks: dijkstra astar streamcluster jmeint sobel inversek2j
             blackscholes swaptions fft radix ctaes lu";
@@ -39,6 +50,9 @@ struct Flags {
     dot: bool,
     verbose: bool,
     no_cache: bool,
+    deadline_secs: Option<u64>,
+    resume: bool,
+    fail_fast: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -50,6 +64,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         dot: false,
         verbose: false,
         no_cache: false,
+        deadline_secs: None,
+        resume: false,
+        fail_fast: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,6 +80,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--dot" => flags.dot = true,
             "--verbose" => flags.verbose = true,
             "--no-cache" => flags.no_cache = true,
+            "--resume" => flags.resume = true,
+            "--fail-fast" => flags.fail_fast = true,
+            "--deadline-secs" => flags.deadline_secs = Some(value(&mut it)?),
             "--seed" => flags.seed = value(&mut it)?,
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
@@ -146,7 +166,7 @@ fn cmd_disasm(name: &str, flags: &Flags) -> CliResult {
 /// Prints campaign progress at ~10% increments when `--verbose` is set.
 struct DecileProgress(std::sync::atomic::AtomicUsize);
 
-impl glaive_faultsim::CampaignProgress for DecileProgress {
+impl CampaignProgress for DecileProgress {
     fn injections(&self, done: usize, total: usize) {
         let decile = done * 10 / total.max(1);
         if decile > self.0.swap(decile, std::sync::atomic::Ordering::Relaxed) {
@@ -162,12 +182,38 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
         instances_per_site: flags.instances,
         ..CampaignConfig::default()
     };
-    let campaign = Campaign::new(b.program(), &b.init_mem, config);
-    let truth = if flags.verbose {
-        campaign.run_observed(&DecileProgress(std::sync::atomic::AtomicUsize::new(0)))
-    } else {
-        campaign.run()
+    // --resume checkpoints into the artifact cache under the same key the
+    // pipeline uses for this campaign's ground truth, so an interrupted run
+    // (deadline or Ctrl-C between batches) picks up where it left off.
+    let sink = flags
+        .resume
+        .then(|| ArtifactCache::at_default_location().checkpoint_sink(truth_key(&b, &config)));
+    let decile = DecileProgress(std::sync::atomic::AtomicUsize::new(0));
+    let ctrl = RunControl {
+        progress: if flags.verbose { &decile } else { &NoProgress },
+        cancel: None,
+        deadline: flags
+            .deadline_secs
+            .map(|s| Instant::now() + Duration::from_secs(s)),
+        checkpoint: sink.as_ref().map(|s| s as &dyn CheckpointSink),
+        checkpoint_interval: 4096,
     };
+    let campaign = Campaign::new(b.program(), &b.init_mem, config);
+    let truth = campaign.run_supervised(&ctrl).map_err(|e| {
+        if matches!(e, glaive_faultsim::CampaignError::Interrupted { .. }) {
+            let hint = if flags.resume {
+                "rerun with --resume to continue from the checkpoint"
+            } else {
+                "rerun with --resume to checkpoint progress and make the run resumable"
+            };
+            format!("{e}; {hint}")
+        } else {
+            e.to_string()
+        }
+    })?;
+    if let Some(sink) = &sink {
+        sink.clear();
+    }
     println!(
         "{}: {} injections ({} statically predicted) over {} instructions",
         name,
@@ -236,6 +282,14 @@ fn pipeline_config(flags: &Flags) -> PipelineConfig {
     PipelineConfig {
         bit_stride: flags.stride,
         instances_per_site: flags.instances,
+        suite_deadline: flags.deadline_secs.map(Duration::from_secs),
+        // Training degrades gracefully by default: one surviving benchmark
+        // is enough to fit a model; --fail-fast restores strictness.
+        quorum: if flags.fail_fast {
+            QuorumPolicy::FailFast
+        } else {
+            QuorumPolicy::MinBenchmarks(1)
+        },
         ..PipelineConfig::default()
     }
 }
@@ -259,7 +313,12 @@ fn cmd_train(out: &str, names: &str, flags: &Flags) -> CliResult {
         benches.push(find_benchmark(name.trim(), flags.seed)?);
     }
     eprintln!("preparing {} benchmarks (FI campaigns)...", benches.len());
-    let train = pipeline.prepare_benchmarks(benches)?;
+    let mut report = pipeline.prepare_benchmarks_supervised(benches);
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
+    report.check_quorum(config.quorum)?;
+    let train = report.take_prepared();
     let refs: Vec<&_> = train.iter().collect();
     eprintln!("training GLAIVE on {} benchmarks...", refs.len());
     let models = train_models(&refs, &config);
@@ -380,6 +439,40 @@ mod tests {
         assert!(parse_flags(&argv(&["--bogus", "1"])).is_err());
         assert!(parse_flags(&argv(&["--seed"])).is_err());
         assert!(parse_flags(&argv(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let f = parse_flags(&argv(&["--deadline-secs", "30", "--resume", "--fail-fast"]))
+            .expect("parses");
+        assert_eq!(f.deadline_secs, Some(30));
+        assert!(f.resume);
+        assert!(f.fail_fast);
+        let defaults = parse_flags(&[]).expect("parses");
+        assert_eq!(defaults.deadline_secs, None);
+        assert!(!defaults.resume);
+        assert!(!defaults.fail_fast);
+        assert!(parse_flags(&argv(&["--deadline-secs"])).is_err());
+    }
+
+    #[test]
+    fn fail_fast_flag_selects_the_quorum_policy() {
+        let strict = parse_flags(&argv(&["--fail-fast"])).expect("parses");
+        assert_eq!(pipeline_config(&strict).quorum, QuorumPolicy::FailFast);
+        let lenient = parse_flags(&[]).expect("parses");
+        assert_eq!(
+            pipeline_config(&lenient).quorum,
+            QuorumPolicy::MinBenchmarks(1)
+        );
+    }
+
+    #[test]
+    fn expired_campaign_deadline_suggests_resume() {
+        let err = dispatch(&argv(&["campaign", "lu", "--deadline-secs", "0"]))
+            .expect_err("an already-expired deadline interrupts the campaign");
+        let msg = err.to_string();
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
     }
 
     #[test]

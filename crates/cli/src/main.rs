@@ -9,7 +9,8 @@
 //! glaive-cli apply <model> <bench> [opts]  estimate with a saved model
 //!
 //! options: --seed N   --stride N   --instances N   --top N
-//!          --verbose  --no-cache
+//!          --verbose  --no-cache   --deadline-secs N
+//!          --resume (campaign)     --fail-fast (train)
 //! ```
 
 use std::process::ExitCode;

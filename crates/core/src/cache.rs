@@ -18,7 +18,7 @@
 use std::path::{Path, PathBuf};
 
 use glaive_bench_suite::Benchmark;
-use glaive_faultsim::{CampaignConfig, GroundTruth};
+use glaive_faultsim::{CampaignConfig, FileCheckpoint, GroundTruth};
 use glaive_gnn::GraphSage;
 
 use crate::config::PipelineConfig;
@@ -180,6 +180,14 @@ impl ArtifactCache {
     /// Stores a trained GLAIVE model under `key`.
     pub fn store_model(&self, key: CacheKey, model: &GraphSage) -> Result<(), Error> {
         self.store_bytes("model", key, &model.to_bytes())
+    }
+
+    /// The campaign checkpoint sink for the ground truth keyed by `key`
+    /// (file `ckpt-<key>.bin` in the cache directory). The supervised
+    /// pipeline saves partial-campaign snapshots here and clears the file
+    /// once the finished truth is stored.
+    pub fn checkpoint_sink(&self, key: CacheKey) -> FileCheckpoint {
+        FileCheckpoint::new(self.dir.join(format!("ckpt-{key}.bin")))
     }
 }
 

@@ -1,9 +1,22 @@
+use std::time::Duration;
+
 use glaive_cdfg::CdfgConfig;
 use glaive_faultsim::CampaignConfig;
 use glaive_gnn::SageConfig;
 use glaive_ml::{ForestConfig, MlpConfig, SvrConfig};
 
 use crate::error::Error;
+
+/// How many benchmarks must survive suite preparation for the run to
+/// proceed — the graceful-degradation policy of the supervised pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumPolicy {
+    /// Any benchmark failure fails the suite and cancels outstanding work.
+    FailFast,
+    /// Proceed on partial results as long as at least this many benchmarks
+    /// prepared successfully (must be ≥ 1).
+    MinBenchmarks(usize),
+}
 
 /// End-to-end pipeline configuration: one shared bit stride (the campaign
 /// and the CDFG must sample the same bit positions so FI labels join onto
@@ -39,6 +52,22 @@ pub struct PipelineConfig {
     /// Also train the vanilla (all-neighbour) GraphSAGE for the
     /// aggregator ablation (doubles GNN training time).
     pub train_vanilla: bool,
+    /// Soft wall-clock deadline for one benchmark's FI campaign; the
+    /// campaign stops at the next batch boundary past it. `None` = no
+    /// limit.
+    pub campaign_deadline: Option<Duration>,
+    /// Soft wall-clock deadline for preparing the whole suite; queued
+    /// benchmarks past it are not started and running campaigns stop
+    /// cooperatively. `None` = no limit.
+    pub suite_deadline: Option<Duration>,
+    /// How many times a stage that *panicked* is retried before its failure
+    /// is recorded (training retries perturb the model seed).
+    pub stage_retries: usize,
+    /// Save a campaign checkpoint every this many new injections when a
+    /// cache is attached (0 disables periodic checkpoints).
+    pub checkpoint_interval: usize,
+    /// Partial-suite degradation policy for supervised preparation.
+    pub quorum: QuorumPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -69,6 +98,11 @@ impl Default for PipelineConfig {
             forest: ForestConfig::default(),
             svr: SvrConfig::default(),
             train_vanilla: false,
+            campaign_deadline: None,
+            suite_deadline: None,
+            stage_retries: 1,
+            checkpoint_interval: 4096,
+            quorum: QuorumPolicy::FailFast,
         }
     }
 }
@@ -107,6 +141,11 @@ impl PipelineConfig {
                 ..SvrConfig::default()
             },
             train_vanilla: true,
+            campaign_deadline: None,
+            suite_deadline: None,
+            stage_retries: 0,
+            checkpoint_interval: 256,
+            quorum: QuorumPolicy::FailFast,
         }
     }
 
@@ -179,6 +218,11 @@ impl PipelineConfig {
         if self.sage.layers == 0 || self.sage.hidden == 0 {
             return invalid("sage needs at least one layer and a non-zero hidden dim".to_string());
         }
+        if self.quorum == QuorumPolicy::MinBenchmarks(0) {
+            return invalid(
+                "quorum MinBenchmarks(0) would accept an empty suite; use at least 1".to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -220,6 +264,36 @@ impl PipelineConfigBuilder {
     /// Whether to also train the vanilla all-neighbour GraphSAGE.
     pub fn train_vanilla(mut self, yes: bool) -> Self {
         self.config.train_vanilla = yes;
+        self
+    }
+
+    /// Soft wall-clock deadline for one benchmark's FI campaign.
+    pub fn campaign_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.campaign_deadline = deadline;
+        self
+    }
+
+    /// Soft wall-clock deadline for preparing the whole suite.
+    pub fn suite_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.suite_deadline = deadline;
+        self
+    }
+
+    /// How many times a panicked stage is retried.
+    pub fn stage_retries(mut self, retries: usize) -> Self {
+        self.config.stage_retries = retries;
+        self
+    }
+
+    /// Campaign checkpoint frequency, in new injections per snapshot.
+    pub fn checkpoint_interval(mut self, interval: usize) -> Self {
+        self.config.checkpoint_interval = interval;
+        self
+    }
+
+    /// Partial-suite degradation policy.
+    pub fn quorum(mut self, quorum: QuorumPolicy) -> Self {
+        self.config.quorum = quorum;
         self
     }
 
@@ -338,5 +412,25 @@ mod tests {
     fn to_builder_roundtrips() {
         let c = PipelineConfig::quick_test();
         assert_eq!(c.to_builder().build().expect("still valid"), c);
+    }
+
+    #[test]
+    fn builder_validates_supervision_fields() {
+        let err = PipelineConfig::builder()
+            .quorum(QuorumPolicy::MinBenchmarks(0))
+            .build()
+            .expect_err("an empty quorum is meaningless");
+        assert!(err.to_string().contains("quorum"), "{err}");
+        let c = PipelineConfig::builder()
+            .quorum(QuorumPolicy::MinBenchmarks(3))
+            .campaign_deadline(Some(Duration::from_secs(30)))
+            .suite_deadline(Some(Duration::from_secs(120)))
+            .stage_retries(2)
+            .checkpoint_interval(512)
+            .build()
+            .expect("valid");
+        assert_eq!(c.quorum, QuorumPolicy::MinBenchmarks(3));
+        assert_eq!(c.stage_retries, 2);
+        assert_eq!(c.checkpoint_interval, 512);
     }
 }

@@ -154,7 +154,7 @@ pub fn prepare_suite(seed: u64, config: &PipelineConfig) -> Vec<BenchData> {
         &crate::telemetry::NullObserver,
         0,
     )
-    .expect("only cache writes can fail and no cache is configured")
+    .expect("suite preparation failed (see the error for the failing benchmark)")
 }
 
 /// The training set for evaluating on `test`, following the paper's regime

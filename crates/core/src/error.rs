@@ -1,6 +1,9 @@
 use std::fmt;
 
+use glaive_faultsim::{InterruptReason, TruthError};
+
 use crate::models::Method;
+use crate::telemetry::Stage;
 
 /// Errors surfaced by the public pipeline API.
 ///
@@ -28,6 +31,47 @@ pub enum Error {
     /// An artifact-cache write failed (reads never fail — a bad artifact is
     /// a miss). The message carries the underlying I/O error.
     Cache(String),
+    /// A ground-truth aggregation failed (e.g. a degenerate benchmark with
+    /// no fault-injection observations).
+    Truth(TruthError),
+    /// A pipeline stage failed (typically a panic caught inside a worker,
+    /// after exhausting any configured retries); the failure is isolated to
+    /// its subject and the rest of the suite proceeds.
+    StageFailed {
+        /// Which stage failed.
+        stage: Stage,
+        /// Benchmark name or split signature the stage ran for.
+        subject: String,
+        /// The panic payload or underlying error message.
+        message: String,
+    },
+    /// Work was stopped by cancellation or a deadline before completing.
+    Interrupted {
+        /// Benchmark name the interruption hit.
+        subject: String,
+        /// What stopped the work.
+        reason: InterruptReason,
+        /// Work units complete at the stop.
+        completed: usize,
+        /// Work units planned.
+        total: usize,
+    },
+    /// Too few benchmarks survived suite preparation to satisfy the
+    /// configured quorum policy.
+    QuorumNotMet {
+        /// Benchmarks successfully prepared.
+        prepared: usize,
+        /// Minimum the quorum policy requires.
+        required: usize,
+        /// Benchmarks that failed preparation.
+        failed: usize,
+    },
+}
+
+impl From<TruthError> for Error {
+    fn from(e: TruthError) -> Error {
+        Error::Truth(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -48,6 +92,33 @@ impl fmt::Display for Error {
             ),
             Error::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
             Error::Cache(msg) => write!(f, "artifact cache: {msg}"),
+            Error::Truth(e) => write!(f, "{e}"),
+            Error::StageFailed {
+                stage,
+                subject,
+                message,
+            } => write!(
+                f,
+                "{} stage failed for `{subject}`: {message}",
+                stage.name()
+            ),
+            Error::Interrupted {
+                subject,
+                reason,
+                completed,
+                total,
+            } => write!(
+                f,
+                "`{subject}` {reason} after {completed}/{total} work units"
+            ),
+            Error::QuorumNotMet {
+                prepared,
+                required,
+                failed,
+            } => write!(
+                f,
+                "only {prepared} benchmarks prepared ({failed} failed), quorum requires {required}"
+            ),
         }
     }
 }

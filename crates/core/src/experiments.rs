@@ -3,6 +3,7 @@
 //! corresponding table or figure series.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -88,7 +89,7 @@ impl Evaluation {
                         return;
                     }
                     let (key, train) = &splits[i];
-                    let out = train_split(key, train, config, cache, observer);
+                    let out = train_split_supervised(key, train, config, cache, observer);
                     *slots[i].lock().expect("result slot") = Some(out);
                 });
             }
@@ -251,6 +252,49 @@ impl Evaluation {
             fi_seconds,
             method_seconds,
         })
+    }
+}
+
+/// Runs [`train_split`] under `catch_unwind`: a panic inside model training
+/// is isolated to its split and retried up to
+/// [`PipelineConfig::stage_retries`] times, each retry perturbing the model
+/// seeds so a numerically degenerate initialisation is not replayed
+/// verbatim. Seeded retries change the model cache key too, so a poisoned
+/// artifact is never re-read.
+fn train_split_supervised(
+    key: &str,
+    train: &[&BenchData],
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+) -> Result<Models, Error> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let mut cfg = *config;
+        if attempt > 1 {
+            let bump = ((attempt - 1) as u64) << 32;
+            cfg.sage.seed = config.sage.seed.wrapping_add(bump);
+            cfg.mlp.seed = config.mlp.seed.wrapping_add(bump);
+            cfg.forest.seed = config.forest.seed.wrapping_add(bump);
+            cfg.svr.seed = config.svr.seed.wrapping_add(bump);
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            train_split(key, train, &cfg, cache, observer)
+        })) {
+            Ok(result) => return result,
+            Err(payload) => {
+                let message = crate::pipeline::panic_message(payload);
+                observer.stage_failed(Stage::Training, key, attempt, &message);
+                if attempt > config.stage_retries {
+                    return Err(Error::StageFailed {
+                        stage: Stage::Training,
+                        subject: key.to_string(),
+                        message,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -460,5 +504,64 @@ mod tests {
         assert_eq!(ks.len(), 20);
         assert_eq!(ks[0], 5.0);
         assert_eq!(ks[19], 100.0);
+    }
+
+    #[test]
+    fn training_panic_is_retried_with_a_perturbed_seed() {
+        use crate::telemetry::test_support::PanicOnStart;
+        use crate::telemetry::TimingRecorder;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let mut config = PipelineConfig::quick_test();
+        config.stage_retries = 1;
+        let suite = vec![
+            prepare_benchmark(dijkstra::build(1), &config),
+            prepare_benchmark(sobel::build(1), &config),
+        ];
+
+        let panicker = Arc::new(PanicOnStart {
+            stage: Stage::Training,
+            subject: None,
+            remaining: AtomicUsize::new(1), // fail one attempt, then recover
+        });
+        let recorder = Arc::new(TimingRecorder::new());
+        let fan = crate::telemetry::Fanout(vec![panicker, recorder.clone()]);
+        let eval = Evaluation::with_runtime(suite, &config, None, &fan, 1)
+            .expect("retry recovers the split");
+        assert_eq!(eval.suite().len(), 2);
+        let failures = recorder.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, Stage::Training);
+    }
+
+    #[test]
+    fn exhausted_training_retries_surface_as_stage_failed() {
+        use crate::telemetry::test_support::PanicOnStart;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let config = PipelineConfig::quick_test(); // stage_retries = 0
+        let suite = vec![
+            prepare_benchmark(dijkstra::build(1), &config),
+            prepare_benchmark(sobel::build(1), &config),
+        ];
+        let panicker = Arc::new(PanicOnStart {
+            stage: Stage::Training,
+            subject: None,
+            remaining: AtomicUsize::new(usize::MAX),
+        });
+        let err = Evaluation::with_runtime(suite, &config, None, panicker.as_ref(), 1)
+            .expect_err("training always panics");
+        assert!(
+            matches!(
+                err,
+                Error::StageFailed {
+                    stage: Stage::Training,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -60,12 +60,12 @@ pub mod stats;
 pub mod telemetry;
 
 pub use cache::{model_key, truth_key, ArtifactCache, CacheKey};
-pub use config::{PipelineConfig, PipelineConfigBuilder};
+pub use config::{PipelineConfig, PipelineConfigBuilder, QuorumPolicy};
 pub use data::{
     prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite, train_set, BenchData,
 };
 pub use error::Error;
 pub use models::{train_models, Method, Models};
-pub use pipeline::{Pipeline, PipelineBuilder};
+pub use pipeline::{BenchOutcome, Pipeline, PipelineBuilder, SuiteReport};
 
-pub use glaive_faultsim::VulnTuple;
+pub use glaive_faultsim::{InterruptReason, TruthError, VulnTuple};

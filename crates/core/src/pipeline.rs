@@ -5,30 +5,197 @@
 //! [`Pipeline`] is the Result-based front door to the crate; the free
 //! functions in [`crate::data`] remain as thin cache-less wrappers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use glaive_bench_suite::{suite, Benchmark};
-use glaive_faultsim::{Campaign, CampaignProgress, GroundTruth};
+use glaive_faultsim::{
+    Campaign, CampaignError, CampaignProgress, CheckpointSink, GroundTruth, InterruptReason,
+    RunControl,
+};
 
 use crate::cache::{truth_key, ArtifactCache};
-use crate::config::PipelineConfig;
+use crate::config::{PipelineConfig, QuorumPolicy};
 use crate::data::{assemble_bench_data, BenchData};
 use crate::error::Error;
 use crate::experiments::Evaluation;
 use crate::telemetry::{NullObserver, Observer, Stage};
 
-/// Forwards campaign injection counts to the pipeline observer.
+/// Forwards campaign injection counts to the pipeline observer and mirrors
+/// the caller's external cancellation flag into the suite-wide abort flag,
+/// so a cancel request reaches running campaigns at batch granularity.
 struct CampaignAdapter<'a> {
     observer: &'a dyn Observer,
     subject: &'a str,
+    external_cancel: Option<&'a AtomicBool>,
+    abort: Option<&'a AtomicBool>,
 }
 
 impl CampaignProgress for CampaignAdapter<'_> {
     fn injections(&self, done: usize, total: usize) {
+        if let (Some(external), Some(abort)) = (self.external_cancel, self.abort) {
+            if external.load(Ordering::Relaxed) {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
         self.observer
             .progress(Stage::Campaign, self.subject, done as u64, total as u64);
+    }
+}
+
+/// Renders a caught panic payload as a message (panics carry `&str` or
+/// `String` payloads in practice).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// The fate of one benchmark under supervised suite preparation.
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Preparation attempts made (a panicked stage is retried up to
+    /// [`PipelineConfig::stage_retries`] times; 0 = never started).
+    pub attempts: usize,
+    /// Wall-clock spent on this benchmark across attempts.
+    pub elapsed: Duration,
+    /// `None` on success; the terminal error otherwise.
+    pub error: Option<Error>,
+}
+
+/// The result of supervised suite preparation: successfully prepared
+/// benchmarks plus a per-benchmark success/failure/timing record, so
+/// partial failures degrade gracefully instead of tearing the run down.
+#[derive(Debug)]
+pub struct SuiteReport {
+    prepared: Vec<BenchData>,
+    outcomes: Vec<BenchOutcome>,
+    elapsed: Duration,
+}
+
+impl SuiteReport {
+    /// Successfully prepared benchmarks, in request order.
+    pub fn prepared(&self) -> &[BenchData] {
+        &self.prepared
+    }
+
+    /// Extracts the prepared benchmarks, leaving the outcome records in
+    /// place (for feeding an [`Evaluation`] while keeping the report).
+    pub fn take_prepared(&mut self) -> Vec<BenchData> {
+        std::mem::take(&mut self.prepared)
+    }
+
+    /// Per-benchmark outcomes, in request order (one per requested
+    /// benchmark, successes included).
+    pub fn outcomes(&self) -> &[BenchOutcome] {
+        &self.outcomes
+    }
+
+    /// Wall-clock of the whole preparation.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// The outcomes that failed.
+    pub fn failures(&self) -> Vec<&BenchOutcome> {
+        self.outcomes.iter().filter(|o| o.error.is_some()).collect()
+    }
+
+    /// Whether every requested benchmark prepared successfully.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(|o| o.error.is_none())
+    }
+
+    /// A multi-line, human-readable account of the failures (`None` when
+    /// the suite is complete). Rendered by the CLI after degraded runs.
+    pub fn failure_summary(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let failures = self.failures();
+        if failures.is_empty() {
+            return None;
+        }
+        let mut out = format!(
+            "{}/{} benchmarks failed preparation:\n",
+            failures.len(),
+            self.outcomes.len()
+        );
+        for o in failures {
+            let error = o.error.as_ref().expect("failures have errors");
+            writeln!(
+                out,
+                "  {}: {error} ({} attempt{}, {:.2}s)",
+                o.benchmark,
+                o.attempts,
+                if o.attempts == 1 { "" } else { "s" },
+                o.elapsed.as_secs_f64()
+            )
+            .expect("write to string");
+        }
+        Some(out)
+    }
+
+    /// Checks the degradation policy: [`QuorumPolicy::FailFast`] rejects
+    /// any failure (returning the first benchmark's error, preferring a
+    /// genuine failure over a cancellation ripple), and
+    /// [`QuorumPolicy::MinBenchmarks`] rejects only when too few
+    /// benchmarks survived.
+    ///
+    /// # Errors
+    ///
+    /// The first failure under `FailFast`; [`Error::QuorumNotMet`] under an
+    /// unsatisfied `MinBenchmarks`.
+    pub fn check_quorum(&self, policy: QuorumPolicy) -> Result<(), Error> {
+        match policy {
+            QuorumPolicy::FailFast => match self.first_error() {
+                Some(e) => Err(e.clone()),
+                None => Ok(()),
+            },
+            QuorumPolicy::MinBenchmarks(required) => {
+                let prepared = self.prepared.len();
+                if prepared >= required {
+                    Ok(())
+                } else {
+                    Err(Error::QuorumNotMet {
+                        prepared,
+                        required,
+                        failed: self.failures().len(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// The most causal error: the first non-[`Error::Interrupted`] failure
+    /// in request order (under fail-fast, one genuine failure cancels the
+    /// rest, so interruptions are symptoms), falling back to the first
+    /// interruption when nothing genuinely failed.
+    pub fn first_error(&self) -> Option<&Error> {
+        let errors = || self.outcomes.iter().filter_map(|o| o.error.as_ref());
+        errors()
+            .find(|e| !matches!(e, Error::Interrupted { .. }))
+            .or_else(|| errors().next())
+    }
+
+    /// Collapses the report into the strict all-or-nothing result of the
+    /// unsupervised API.
+    ///
+    /// # Errors
+    ///
+    /// The report's [`first_error`](SuiteReport::first_error), if any.
+    pub fn into_result(self) -> Result<Vec<BenchData>, Error> {
+        match self.first_error() {
+            Some(e) => Err(e.clone()),
+            None => Ok(self.prepared),
+        }
     }
 }
 
@@ -44,6 +211,7 @@ pub struct Pipeline {
     cache: Option<ArtifactCache>,
     observer: Arc<dyn Observer>,
     workers: usize,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Builder for [`Pipeline`].
@@ -81,6 +249,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a cooperative cancellation flag: raising it (e.g. from a
+    /// Ctrl-C handler) stops suite preparation at the next batch boundary,
+    /// checkpointing interrupted campaigns.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.pipeline.cancel = Some(flag);
+        self
+    }
+
     /// Validates the configuration and yields the runtime.
     ///
     /// # Errors
@@ -102,6 +278,7 @@ impl Pipeline {
                 cache: None,
                 observer: Arc::new(NullObserver),
                 workers: 0,
+                cancel: None,
             },
         }
     }
@@ -118,19 +295,32 @@ impl Pipeline {
 
     /// Prepares one benchmark: FI campaign (or cache hit) + graph build.
     ///
+    /// The campaign runs supervised — panics are caught and retried per
+    /// [`PipelineConfig::stage_retries`], deadlines and the cancellation
+    /// flag are honoured, and interrupted campaigns checkpoint into the
+    /// cache for a later resume.
+    ///
     /// # Errors
     ///
-    /// [`Error::Cache`] if a freshly computed ground truth cannot be
-    /// written back to the configured cache. Cache *reads* never fail — a
-    /// missing or corrupt artifact is recomputed.
+    /// [`Error::StageFailed`] after exhausted retries,
+    /// [`Error::Interrupted`] on cancellation or deadline, [`Error::Truth`]
+    /// for a degenerate benchmark, or [`Error::Cache`] if a freshly
+    /// computed ground truth cannot be written back. Cache *reads* never
+    /// fail — a missing or corrupt artifact is recomputed.
     pub fn prepare_benchmark(&self, bench: Benchmark) -> Result<BenchData, Error> {
-        prepare_one(
+        let abort = AtomicBool::new(false);
+        let suite_deadline = self.config.suite_deadline.map(|d| Instant::now() + d);
+        let (result, _attempts) = prepare_one_supervised(
             bench,
             &self.config,
             self.cache.as_ref(),
             self.observer.as_ref(),
             self.config.threads,
-        )
+            self.cancel.as_deref(),
+            &abort,
+            suite_deadline,
+        );
+        result
     }
 
     /// Prepares the full 12-benchmark Table-II suite in parallel.
@@ -139,13 +329,36 @@ impl Pipeline {
     }
 
     /// Prepares an arbitrary benchmark list in parallel, preserving order.
+    ///
+    /// Strict all-or-nothing view over the supervised driver: any failure
+    /// is returned as this method's error. Use
+    /// [`Pipeline::prepare_benchmarks_supervised`] for per-benchmark
+    /// outcomes and partial results.
     pub fn prepare_benchmarks(&self, benches: Vec<Benchmark>) -> Result<Vec<BenchData>, Error> {
-        prepare_benchmarks_parallel(
+        self.prepare_benchmarks_supervised(benches).into_result()
+    }
+
+    /// Prepares the full suite under supervision, yielding per-benchmark
+    /// outcomes instead of failing on the first error.
+    pub fn prepare_suite_supervised(&self, seed: u64) -> SuiteReport {
+        self.prepare_benchmarks_supervised(suite(seed))
+    }
+
+    /// Prepares an arbitrary benchmark list under supervision: panicking
+    /// stages are isolated to their benchmark (and retried per
+    /// [`PipelineConfig::stage_retries`]), deadlines and cancellation stop
+    /// outstanding work cooperatively, interrupted campaigns checkpoint
+    /// into the cache, and the report records every benchmark's fate so
+    /// callers can degrade gracefully via
+    /// [`SuiteReport::check_quorum`].
+    pub fn prepare_benchmarks_supervised(&self, benches: Vec<Benchmark>) -> SuiteReport {
+        prepare_benchmarks_supervised(
             benches,
             &self.config,
             self.cache.as_ref(),
             self.observer.as_ref(),
             self.workers,
+            self.cancel.as_deref(),
         )
     }
 
@@ -172,18 +385,112 @@ impl Pipeline {
         let suite = self.prepare_suite(seed)?;
         self.evaluation(suite)
     }
+
+    /// The whole pipeline under supervision: supervised suite preparation,
+    /// the configured quorum check, then training and evaluation over
+    /// whatever survived. Returns the evaluation together with the
+    /// preparation report (whose failure summary the caller can render).
+    ///
+    /// # Errors
+    ///
+    /// The quorum violation ([`SuiteReport::check_quorum`]) or any training
+    /// error.
+    pub fn run_supervised(&self, seed: u64) -> Result<(Evaluation, SuiteReport), Error> {
+        let mut report = self.prepare_suite_supervised(seed);
+        report.check_quorum(self.config.quorum)?;
+        let eval = self.evaluation(report.take_prepared())?;
+        Ok((eval, report))
+    }
 }
 
-/// Campaign-or-cache plus graph build for one benchmark; the shared core
-/// behind [`Pipeline::prepare_benchmark`] and the parallel driver.
-fn prepare_one(
+/// What stopped the suite, if anything: the external cancel flag and the
+/// suite-wide abort ripple read as cancellation, then the suite deadline.
+fn suite_interruption(
+    external_cancel: Option<&AtomicBool>,
+    abort: &AtomicBool,
+    suite_deadline: Option<Instant>,
+) -> Option<InterruptReason> {
+    if external_cancel.is_some_and(|c| c.load(Ordering::Relaxed)) || abort.load(Ordering::Relaxed) {
+        return Some(InterruptReason::Cancelled);
+    }
+    if suite_deadline.is_some_and(|d| Instant::now() >= d) {
+        return Some(InterruptReason::DeadlineExceeded);
+    }
+    None
+}
+
+/// Supervised preparation of one benchmark: each attempt runs under
+/// `catch_unwind` so a panic anywhere in the campaign or graph build is
+/// isolated to this benchmark, and panicked attempts are retried up to
+/// [`PipelineConfig::stage_retries`] times. Returns the terminal result
+/// and the number of attempts made.
+#[allow(clippy::too_many_arguments)]
+fn prepare_one_supervised(
     bench: Benchmark,
     config: &PipelineConfig,
     cache: Option<&ArtifactCache>,
     observer: &dyn Observer,
     campaign_threads: usize,
+    external_cancel: Option<&AtomicBool>,
+    abort: &AtomicBool,
+    suite_deadline: Option<Instant>,
+) -> (Result<BenchData, Error>, usize) {
+    let name = bench.name;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let current_stage = Cell::new(Stage::Campaign);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            prepare_one_attempt(
+                bench.clone(),
+                config,
+                cache,
+                observer,
+                campaign_threads,
+                external_cancel,
+                abort,
+                suite_deadline,
+                &current_stage,
+            )
+        }));
+        match outcome {
+            Ok(result) => return (result, attempts),
+            Err(payload) => {
+                let message = panic_message(payload);
+                observer.stage_failed(current_stage.get(), name, attempts, &message);
+                if attempts <= config.stage_retries {
+                    continue;
+                }
+                return (
+                    Err(Error::StageFailed {
+                        stage: current_stage.get(),
+                        subject: name.to_string(),
+                        message,
+                    }),
+                    attempts,
+                );
+            }
+        }
+    }
+}
+
+/// One supervised preparation attempt: campaign-or-cache (with checkpoint
+/// resume, cancellation and deadlines) plus graph build. `current_stage`
+/// tracks where execution is so a caught panic can be attributed.
+#[allow(clippy::too_many_arguments)]
+fn prepare_one_attempt(
+    bench: Benchmark,
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+    campaign_threads: usize,
+    external_cancel: Option<&AtomicBool>,
+    abort: &AtomicBool,
+    suite_deadline: Option<Instant>,
+    current_stage: &Cell<Stage>,
 ) -> Result<BenchData, Error> {
     let name = bench.name;
+    current_stage.set(Stage::Campaign);
     let truth = match load_cached_truth(&bench, config, cache, observer) {
         Some(truth) => truth,
         None => {
@@ -194,9 +501,47 @@ fn prepare_one(
             let adapter = CampaignAdapter {
                 observer,
                 subject: name,
+                external_cancel,
+                abort: Some(abort),
+            };
+            let key = truth_key(&bench, &config.campaign());
+            let sink = cache.map(|c| c.checkpoint_sink(key));
+            let campaign_deadline = config.campaign_deadline.map(|d| Instant::now() + d);
+            let deadline = match (suite_deadline, campaign_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let ctrl = RunControl {
+                progress: &adapter,
+                cancel: Some(abort),
+                deadline,
+                checkpoint: sink.as_ref().map(|s| s as &dyn CheckpointSink),
+                checkpoint_interval: config.checkpoint_interval,
             };
             let truth = Campaign::new(bench.program(), &bench.init_mem, campaign_config)
-                .run_observed(&adapter);
+                .run_supervised(&ctrl)
+                .map_err(|e| match e {
+                    CampaignError::Interrupted {
+                        reason,
+                        completed,
+                        total,
+                        ..
+                    } => Error::Interrupted {
+                        subject: name.to_string(),
+                        reason,
+                        completed,
+                        total,
+                    },
+                    other => Error::StageFailed {
+                        stage: Stage::Campaign,
+                        subject: name.to_string(),
+                        message: other.to_string(),
+                    },
+                })?;
+            // A degenerate campaign (no observations at all) cannot back
+            // any vulnerability statistic — fail this benchmark's
+            // preparation rather than panicking at aggregation time.
+            truth.try_program_vulnerability()?;
             observer.stage_finished(
                 Stage::Campaign,
                 name,
@@ -204,12 +549,15 @@ fn prepare_one(
                 truth.total_injections() as u64,
             );
             if let Some(cache) = cache {
-                cache.store_truth(truth_key(&bench, &config.campaign()), &truth)?;
+                cache.store_truth(key, &truth)?;
+                // The completed truth supersedes any partial snapshot.
+                cache.checkpoint_sink(key).clear();
             }
             truth
         }
     };
 
+    current_stage.set(Stage::GraphBuild);
     observer.stage_started(Stage::GraphBuild, name);
     let t0 = Instant::now();
     let data = assemble_bench_data(bench, config.effective_graph_stride(), truth);
@@ -247,11 +595,9 @@ pub(crate) fn resolve_workers(requested: usize, jobs: usize) -> usize {
     n.clamp(1, jobs.max(1))
 }
 
-/// Shared parallel driver behind [`Pipeline::prepare_benchmarks`] and the
-/// cache-less [`crate::data::prepare_suite`]: a scoped worker pool pulls
-/// benchmarks off an atomic queue, each worker running its campaign with a
-/// share of the machine's cores so concurrent campaigns don't
-/// oversubscribe it.
+/// Strict all-or-nothing wrapper over the supervised driver, for the
+/// cache-less [`crate::data::prepare_suite`] and
+/// [`Pipeline::prepare_benchmarks`].
 pub(crate) fn prepare_benchmarks_parallel(
     benches: Vec<Benchmark>,
     config: &PipelineConfig,
@@ -259,9 +605,31 @@ pub(crate) fn prepare_benchmarks_parallel(
     observer: &dyn Observer,
     workers: usize,
 ) -> Result<Vec<BenchData>, Error> {
+    prepare_benchmarks_supervised(benches, config, cache, observer, workers, None).into_result()
+}
+
+/// Supervised parallel driver behind [`Pipeline::prepare_benchmarks_supervised`]:
+/// a scoped worker pool pulls benchmarks off an atomic queue, each worker
+/// running its campaign with a share of the machine's cores so concurrent
+/// campaigns don't oversubscribe it. A benchmark failure is isolated to
+/// its queue slot; under [`QuorumPolicy::FailFast`] it also raises the
+/// suite-wide abort flag so outstanding work stops cooperatively.
+pub(crate) fn prepare_benchmarks_supervised(
+    benches: Vec<Benchmark>,
+    config: &PipelineConfig,
+    cache: Option<&ArtifactCache>,
+    observer: &dyn Observer,
+    workers: usize,
+    external_cancel: Option<&AtomicBool>,
+) -> SuiteReport {
+    let t_suite = Instant::now();
     let jobs = benches.len();
     if jobs == 0 {
-        return Ok(Vec::new());
+        return SuiteReport {
+            prepared: Vec::new(),
+            outcomes: Vec::new(),
+            elapsed: t_suite.elapsed(),
+        };
     }
     let workers = resolve_workers(workers, jobs);
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -271,12 +639,15 @@ pub(crate) fn prepare_benchmarks_parallel(
         config.threads
     };
     let campaign_threads = (campaign_budget / workers).max(1);
+    let suite_deadline = config.suite_deadline.map(|d| t_suite + d);
+    let abort = AtomicBool::new(false);
 
+    let names: Vec<&str> = benches.iter().map(|b| b.name).collect();
     let benches: Vec<Mutex<Option<Benchmark>>> =
         benches.into_iter().map(|b| Mutex::new(Some(b))).collect();
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<BenchData, Error>>>> =
-        (0..jobs).map(|_| Mutex::new(None)).collect();
+    type Slot = (Result<BenchData, Error>, usize, Duration);
+    let results: Vec<Mutex<Option<Slot>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -290,26 +661,76 @@ pub(crate) fn prepare_benchmarks_parallel(
                     .expect("bench slot")
                     .take()
                     .expect("each job taken once");
-                let out = prepare_one(bench, config, cache, observer, campaign_threads);
-                *results[i].lock().expect("result slot") = Some(out);
+                let t0 = Instant::now();
+                // Jobs still queued when the suite is interrupted are
+                // marked, not run.
+                let (out, attempts) =
+                    match suite_interruption(external_cancel, &abort, suite_deadline) {
+                        Some(reason) => (
+                            Err(Error::Interrupted {
+                                subject: names[i].to_string(),
+                                reason,
+                                completed: 0,
+                                total: 0,
+                            }),
+                            0,
+                        ),
+                        None => prepare_one_supervised(
+                            bench,
+                            config,
+                            cache,
+                            observer,
+                            campaign_threads,
+                            external_cancel,
+                            &abort,
+                            suite_deadline,
+                        ),
+                    };
+                // A genuine failure (not a cancellation ripple) under
+                // fail-fast stops the rest of the suite.
+                if config.quorum == QuorumPolicy::FailFast
+                    && matches!(out, Err(ref e) if !matches!(e, Error::Interrupted { .. }))
+                {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock().expect("result slot") = Some((out, attempts, t0.elapsed()));
             });
         }
     });
 
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("worker filled slot")
-        })
-        .collect()
+    let mut prepared = Vec::with_capacity(jobs);
+    let mut outcomes = Vec::with_capacity(jobs);
+    for (slot, name) in results.into_iter().zip(names) {
+        let (result, attempts, elapsed) = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("worker filled slot");
+        let error = match result {
+            Ok(data) => {
+                prepared.push(data);
+                None
+            }
+            Err(e) => Some(e),
+        };
+        outcomes.push(BenchOutcome {
+            benchmark: name.to_string(),
+            attempts,
+            elapsed,
+            error,
+        });
+    }
+    SuiteReport {
+        prepared,
+        outcomes,
+        elapsed: t_suite.elapsed(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::telemetry::TimingRecorder;
+    use crate::telemetry::test_support::PanicOnStart;
+    use crate::telemetry::{Fanout, TimingRecorder};
     use glaive_bench_suite::control::{dijkstra, sobel};
 
     fn temp_cache(tag: &str) -> ArtifactCache {
@@ -416,6 +837,171 @@ mod tests {
                 .expect("prepare");
             assert_eq!(rec.cache_counts(), (0, 1), "altered config must miss");
         }
+    }
+
+    #[test]
+    fn panicking_stage_is_isolated_to_its_benchmark() {
+        let mut config = PipelineConfig::quick_test();
+        config.quorum = QuorumPolicy::MinBenchmarks(1);
+        let observer = Arc::new(PanicOnStart {
+            stage: Stage::Campaign,
+            subject: Some("dijkstra"),
+            remaining: AtomicUsize::new(usize::MAX),
+        });
+        let pipeline = Pipeline::builder(config)
+            .observer(observer)
+            .workers(2)
+            .build()
+            .expect("valid");
+        let report =
+            pipeline.prepare_benchmarks_supervised(vec![dijkstra::build(1), sobel::build(1)]);
+
+        assert!(!report.is_complete());
+        assert_eq!(report.prepared().len(), 1);
+        assert_eq!(report.prepared()[0].bench.name, "sobel");
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].benchmark, "dijkstra");
+        assert!(matches!(
+            failures[0].error,
+            Some(Error::StageFailed {
+                stage: Stage::Campaign,
+                ..
+            })
+        ));
+        let summary = report.failure_summary().expect("failures present");
+        assert!(summary.contains("dijkstra"), "{summary}");
+        assert!(summary.contains("synthetic campaign failure"), "{summary}");
+
+        assert!(report.check_quorum(QuorumPolicy::MinBenchmarks(1)).is_ok());
+        assert!(matches!(
+            report.check_quorum(QuorumPolicy::MinBenchmarks(2)),
+            Err(Error::QuorumNotMet {
+                prepared: 1,
+                required: 2,
+                failed: 1
+            })
+        ));
+        assert!(report.check_quorum(QuorumPolicy::FailFast).is_err());
+    }
+
+    #[test]
+    fn panicked_stage_is_retried_and_attempts_are_recorded() {
+        let mut config = PipelineConfig::quick_test();
+        config.stage_retries = 1;
+        let panicker = Arc::new(PanicOnStart {
+            stage: Stage::Campaign,
+            subject: Some("dijkstra"),
+            remaining: AtomicUsize::new(1), // fail the first attempt only
+        });
+        let recorder = Arc::new(TimingRecorder::new());
+        let pipeline = Pipeline::builder(config)
+            .observer(Arc::new(Fanout(vec![panicker, recorder.clone()])))
+            .build()
+            .expect("valid");
+        let report = pipeline.prepare_benchmarks_supervised(vec![dijkstra::build(1)]);
+
+        assert!(report.is_complete(), "{:?}", report.failure_summary());
+        assert_eq!(report.outcomes()[0].attempts, 2);
+        let failures = recorder.failures();
+        assert_eq!(failures.len(), 1, "one failed attempt went to telemetry");
+        assert_eq!(failures[0], (Stage::Campaign, "dijkstra".to_string()));
+    }
+
+    #[test]
+    fn expired_suite_deadline_interrupts_queued_benchmarks() {
+        let mut config = PipelineConfig::quick_test();
+        config.suite_deadline = Some(Duration::ZERO);
+        let pipeline = Pipeline::builder(config).build().expect("valid");
+        let report =
+            pipeline.prepare_benchmarks_supervised(vec![dijkstra::build(1), sobel::build(1)]);
+        assert_eq!(report.prepared().len(), 0);
+        for outcome in report.outcomes() {
+            assert!(
+                matches!(
+                    outcome.error,
+                    Some(Error::Interrupted {
+                        reason: InterruptReason::DeadlineExceeded,
+                        ..
+                    })
+                ),
+                "{}: {:?}",
+                outcome.benchmark,
+                outcome.error
+            );
+        }
+        assert!(matches!(
+            report.check_quorum(QuorumPolicy::MinBenchmarks(1)),
+            Err(Error::QuorumNotMet { .. })
+        ));
+    }
+
+    /// Raises the pipeline's external cancel flag once campaign progress
+    /// starts flowing — simulates a Ctrl-C arriving mid-campaign.
+    struct CancelOnProgress {
+        flag: Arc<AtomicBool>,
+    }
+
+    impl Observer for CancelOnProgress {
+        fn progress(&self, stage: Stage, _subject: &str, done: u64, _total: u64) {
+            if stage == Stage::Campaign && done > 0 {
+                self.flag.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_campaign_checkpoints_into_cache_and_resumes_identically() {
+        let config = PipelineConfig::quick_test();
+        let cache = temp_cache("ckpt-resume");
+        let reference = crate::data::prepare_benchmark(dijkstra::build(1), &config);
+        let key = truth_key(&dijkstra::build(1), &config.campaign());
+
+        let cancel = Arc::new(AtomicBool::new(false));
+        let pipeline = Pipeline::builder(config)
+            .cache(cache.clone())
+            .observer(Arc::new(CancelOnProgress {
+                flag: cancel.clone(),
+            }))
+            .cancel_flag(cancel)
+            .build()
+            .expect("valid");
+        let err = pipeline
+            .prepare_benchmark(dijkstra::build(1))
+            .expect_err("cancelled mid-campaign");
+        assert!(
+            matches!(
+                err,
+                Error::Interrupted {
+                    reason: InterruptReason::Cancelled,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(
+            cache.checkpoint_sink(key).load().is_some(),
+            "interruption leaves a checkpoint behind"
+        );
+
+        // A fresh pipeline over the same cache resumes from the checkpoint,
+        // completes, and reproduces the uninterrupted truth byte-for-byte.
+        let resumed = Pipeline::builder(config)
+            .cache(cache.clone())
+            .build()
+            .expect("valid")
+            .prepare_benchmark(dijkstra::build(1))
+            .expect("resume completes");
+        assert_eq!(resumed.truth.to_bytes(), reference.truth.to_bytes());
+        assert_eq!(resumed.labels, reference.labels);
+        assert!(
+            cache.checkpoint_sink(key).load().is_none(),
+            "completed truth supersedes the checkpoint"
+        );
+        assert!(
+            cache.load_truth(key).is_some(),
+            "finished truth landed in the cache"
+        );
     }
 
     #[test]

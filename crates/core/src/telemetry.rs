@@ -54,6 +54,12 @@ pub trait Observer: Send + Sync {
         let _ = (stage, subject, done, total);
     }
 
+    /// A stage attempt failed (a caught panic or a typed stage error).
+    /// `attempt` is 1-based; the stage may be retried afterwards.
+    fn stage_failed(&self, stage: Stage, subject: &str, attempt: usize, message: &str) {
+        let _ = (stage, subject, attempt, message);
+    }
+
     /// An artifact-cache lookup for `subject` resolved to a hit or a miss.
     fn cache_lookup(&self, kind: &str, subject: &str, hit: bool) {
         let _ = (kind, subject, hit);
@@ -90,6 +96,13 @@ impl Observer for StderrProgress {
             if hit { "hit" } else { "miss" }
         );
     }
+
+    fn stage_failed(&self, stage: Stage, subject: &str, attempt: usize, message: &str) {
+        eprintln!(
+            "[{}] {subject}: attempt {attempt} failed: {message}",
+            stage.name()
+        );
+    }
 }
 
 /// One finished stage, as recorded by [`TimingRecorder`].
@@ -112,6 +125,7 @@ pub struct TimingRecorder {
     timings: Mutex<Vec<StageTiming>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    failures: Mutex<Vec<(Stage, String)>>,
 }
 
 impl TimingRecorder {
@@ -135,6 +149,12 @@ impl TimingRecorder {
             .filter(|t| t.stage == stage)
             .map(|t| t.elapsed)
             .sum()
+    }
+
+    /// Failed stage attempts recorded so far, as `(stage, subject)` pairs
+    /// in arrival order (retried attempts appear once each).
+    pub fn failures(&self) -> Vec<(Stage, String)> {
+        self.failures.lock().expect("failures lock").clone()
     }
 
     /// `(hits, misses)` of artifact-cache lookups.
@@ -200,6 +220,13 @@ impl Observer for TimingRecorder {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn stage_failed(&self, stage: Stage, subject: &str, _attempt: usize, _message: &str) {
+        self.failures
+            .lock()
+            .expect("failures lock")
+            .push((stage, subject.to_string()));
+    }
 }
 
 /// Broadcasts every event to several observers (e.g. a recorder plus
@@ -228,6 +255,41 @@ impl Observer for Fanout {
     fn cache_lookup(&self, kind: &str, subject: &str, hit: bool) {
         for o in &self.0 {
             o.cache_lookup(kind, subject, hit);
+        }
+    }
+
+    fn stage_failed(&self, stage: Stage, subject: &str, attempt: usize, message: &str) {
+        for o in &self.0 {
+            o.stage_failed(stage, subject, attempt, message);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Panics in `stage_started` for a chosen stage (optionally one
+    /// subject) a bounded number of times — the deliberate-failure hook
+    /// behind the panic-isolation and retry tests.
+    pub(crate) struct PanicOnStart {
+        pub stage: Stage,
+        pub subject: Option<&'static str>,
+        pub remaining: AtomicUsize,
+    }
+
+    impl Observer for PanicOnStart {
+        fn stage_started(&self, stage: Stage, subject: &str) {
+            if stage == self.stage
+                && self.subject.is_none_or(|s| s == subject)
+                && self
+                    .remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("synthetic {} failure for `{subject}`", stage.name());
+            }
         }
     }
 }

@@ -1,9 +1,14 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use glaive_isa::Program;
-use glaive_sim::{classify, run, run_with_fault, ExecConfig, FaultSpec, OperandSlot};
+use glaive_sim::{
+    classify, run, run_with_fault, ExecConfig, ExitStatus, FaultSpec, OperandSlot, Simulator,
+};
 
+use crate::checkpoint::{CampaignCheckpoint, CheckpointSink};
 use crate::truth::{BitSite, GroundTruth, InjectionRecord};
 
 /// Parameters of a fault-injection campaign.
@@ -68,6 +73,148 @@ pub struct NoProgress;
 
 impl CampaignProgress for NoProgress {
     fn injections(&self, _done: usize, _total: usize) {}
+}
+
+static NO_PROGRESS: NoProgress = NoProgress;
+
+/// Injection batch size: the work-stealing chunk in parallel campaigns and
+/// the cancellation-poll granularity in serial ones.
+const CHUNK: usize = 64;
+
+/// Why a supervised campaign stopped before finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The caller's cancellation flag was raised.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::Cancelled => write!(f, "cancelled"),
+            InterruptReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// Errors surfaced by [`Campaign::run_supervised`].
+///
+/// Every failure of a supervised campaign comes back as a value: a
+/// malformed benchmark, a golden run that does not halt cleanly, or an
+/// interruption (cancellation / deadline) — in which case a checkpoint has
+/// already been saved to the configured sink, if any, and a later run with
+/// the same sink resumes where this one stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The benchmark cannot form a runnable machine (e.g. oversized input
+    /// image); the message carries the underlying constructor error.
+    InvalidBenchmark {
+        /// Program name.
+        program: String,
+        /// The underlying machine-construction error.
+        message: String,
+    },
+    /// The golden (fault-free) run did not halt cleanly — vulnerability
+    /// ground truth is undefined for a program that fails without faults.
+    DirtyGolden {
+        /// Program name.
+        program: String,
+        /// How the golden run terminated.
+        status: ExitStatus,
+    },
+    /// The campaign was interrupted before completing; completed work has
+    /// been checkpointed to the configured sink.
+    Interrupted {
+        /// Program name.
+        program: String,
+        /// What stopped the campaign.
+        reason: InterruptReason,
+        /// Injection records complete at the stop (simulated + predicted).
+        completed: usize,
+        /// Injections the full campaign plans.
+        total: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidBenchmark { program, message } => {
+                write!(f, "benchmark `{program}` is malformed: {message}")
+            }
+            CampaignError::DirtyGolden { program, status } => write!(
+                f,
+                "golden run of `{program}` did not halt cleanly: {status:?}"
+            ),
+            CampaignError::Interrupted {
+                program,
+                reason,
+                completed,
+                total,
+            } => write!(
+                f,
+                "campaign on `{program}` {reason} after {completed}/{total} injections"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Supervision parameters for [`Campaign::run_supervised`]: progress
+/// reporting, cooperative cancellation, a wall-clock deadline, and
+/// checkpointing. [`RunControl::new`] gives the unsupervised default
+/// (silent, uncancellable, no deadline, no checkpoints).
+#[derive(Clone, Copy)]
+pub struct RunControl<'a> {
+    /// Receives batch-completion callbacks.
+    pub progress: &'a dyn CampaignProgress,
+    /// Checked cooperatively between injection batches; raising it stops
+    /// the campaign with [`InterruptReason::Cancelled`].
+    pub cancel: Option<&'a AtomicBool>,
+    /// Soft wall-clock deadline: the campaign stops at the next batch
+    /// boundary past this instant with [`InterruptReason::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Where snapshots of completed injections are stored (and where a
+    /// previous snapshot is loaded from on start).
+    pub checkpoint: Option<&'a dyn CheckpointSink>,
+    /// Save a snapshot every this many newly simulated injections
+    /// (0 disables periodic snapshots; a final snapshot is still saved on
+    /// interruption).
+    pub checkpoint_interval: usize,
+}
+
+impl RunControl<'static> {
+    /// The unsupervised default.
+    pub fn new() -> RunControl<'static> {
+        RunControl {
+            progress: &NO_PROGRESS,
+            cancel: None,
+            deadline: None,
+            checkpoint: None,
+            checkpoint_interval: 0,
+        }
+    }
+}
+
+impl Default for RunControl<'static> {
+    fn default() -> Self {
+        RunControl::new()
+    }
+}
+
+impl<'a> RunControl<'a> {
+    fn interruption(&self) -> Option<InterruptReason> {
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return Some(InterruptReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(InterruptReason::DeadlineExceeded);
+        }
+        None
+    }
 }
 
 /// A systematic bit-level fault-injection campaign over one program.
@@ -135,21 +282,81 @@ impl<'p> Campaign<'p> {
     /// # Panics
     ///
     /// Panics if the golden run does not halt cleanly — vulnerability ground
-    /// truth is undefined for a program that fails without faults.
+    /// truth is undefined for a program that fails without faults. Use
+    /// [`Campaign::run_supervised`] to get failures as values.
     pub fn run(&self) -> GroundTruth {
         self.run_observed(&NoProgress)
     }
 
     /// Like [`Campaign::run`], reporting batch completions to `progress`.
     pub fn run_observed(&self, progress: &dyn CampaignProgress) -> GroundTruth {
+        let ctrl = RunControl {
+            progress,
+            ..RunControl::new()
+        };
+        self.run_supervised(&ctrl).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A fingerprint binding a checkpoint to this exact campaign: program
+    /// content, input image, campaign parameters, and planned injection
+    /// count. Any mismatch makes a stored snapshot read as a cold start.
+    fn fingerprint(&self, total_specs: usize) -> u64 {
+        let mut bytes = Vec::new();
+        for v in [
+            self.config.bit_stride as u64,
+            self.config.instances_per_site as u64,
+            self.config.hang_factor,
+            self.config.predict_dead_defs as u64,
+            self.program.len() as u64,
+            self.init_mem.len() as u64,
+            total_specs as u64,
+        ] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(self.program.name().as_bytes());
+        for instr in self.program.instrs() {
+            bytes.extend_from_slice(&instr.encode());
+        }
+        for &w in self.init_mem {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        crate::serdes::fnv1a(&bytes)
+    }
+
+    /// Runs the campaign under supervision: every failure comes back as a
+    /// typed [`CampaignError`], the injection loop checks `ctrl`'s
+    /// cancellation flag and deadline cooperatively at batch boundaries,
+    /// and completed injections are periodically snapshotted to `ctrl`'s
+    /// checkpoint sink so an interrupted campaign resumes instead of
+    /// restarting.
+    ///
+    /// Determinism: a resumed campaign produces a [`GroundTruth`] identical
+    /// (byte-for-byte under [`GroundTruth::to_bytes`]) to an uninterrupted
+    /// run, because injection records are keyed by the deterministic site
+    /// enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidBenchmark`] for inputs that cannot form a
+    /// machine, [`CampaignError::DirtyGolden`] when the fault-free run does
+    /// not halt cleanly, and [`CampaignError::Interrupted`] when cancelled
+    /// or past the deadline (after saving a final checkpoint).
+    pub fn run_supervised(&self, ctrl: &RunControl<'_>) -> Result<GroundTruth, CampaignError> {
+        let name = self.program.name().to_string();
         let golden_cfg = ExecConfig::default();
+        if let Err(e) = Simulator::try_new(self.program, self.init_mem, &golden_cfg) {
+            return Err(CampaignError::InvalidBenchmark {
+                program: name,
+                message: e.to_string(),
+            });
+        }
         let golden = run(self.program, self.init_mem, &golden_cfg);
-        assert!(
-            golden.status.is_clean(),
-            "golden run of `{}` did not halt cleanly: {:?}",
-            self.program.name(),
-            golden.status
-        );
+        if !golden.status.is_clean() {
+            return Err(CampaignError::DirtyGolden {
+                program: name,
+                status: golden.status,
+            });
+        }
         let specs = self.enumerate_sites(&golden.exec_counts);
         let fault_cfg = ExecConfig {
             max_instrs: golden.dyn_instrs * self.config.hang_factor + 1024,
@@ -163,7 +370,8 @@ impl<'p> Campaign<'p> {
             self.config.threads
         };
 
-        let mut records: Vec<Option<InjectionRecord>> = vec![None; specs.len()];
+        let total = specs.len();
+        let mut records: Vec<Option<InjectionRecord>> = vec![None; total];
 
         // Approxilyzer-style outcome prediction: Def-slot faults on dead
         // definitions are provably Masked and need no simulation.
@@ -185,61 +393,176 @@ impl<'p> Campaign<'p> {
                 }
             }
         }
-        let total = specs.len();
-        if threads <= 1 || specs.len() < 64 {
-            let mut done = predicted;
+
+        // Resume: adopt simulated records from a stored snapshot whose
+        // fingerprint matches this campaign. Predicted indices are already
+        // filled (identically — prediction is deterministic), so only truly
+        // simulated work is skipped. `base` holds the adopted records for
+        // inclusion in future snapshots.
+        let fingerprint = self.fingerprint(total);
+        let mut base: Vec<(usize, InjectionRecord)> = Vec::new();
+        if let Some(sink) = ctrl.checkpoint {
+            if let Some(ckpt) = sink.load().and_then(|b| CampaignCheckpoint::from_bytes(&b)) {
+                if ckpt.fingerprint == fingerprint && ckpt.total == total {
+                    for (i, rec) in ckpt.records {
+                        if records[i].is_none() {
+                            records[i] = Some(rec);
+                            base.push((i, rec));
+                        }
+                    }
+                }
+            }
+        }
+        let resumed = base.len();
+
+        let snapshot = |extra: &[(usize, InjectionRecord)]| {
+            let mut recs: Vec<(usize, InjectionRecord)> =
+                base.iter().chain(extra.iter()).copied().collect();
+            recs.sort_unstable_by_key(|&(i, _)| i);
+            CampaignCheckpoint {
+                fingerprint,
+                total,
+                records: recs,
+            }
+            .to_bytes()
+        };
+
+        let mut interrupted: Option<InterruptReason> = None;
+        let mut fresh: Vec<(usize, InjectionRecord)> = Vec::new();
+        if threads <= 1 || total < 64 {
+            let mut since_save = 0usize;
+            let mut done = predicted + resumed;
             for (i, spec) in specs.iter().enumerate() {
-                if records[i].is_none() {
-                    records[i] = Some(self.inject(spec, &golden, &fault_cfg));
-                    done += 1;
-                    if done % 1024 == 0 {
-                        progress.injections(done, total);
+                if records[i].is_some() {
+                    continue;
+                }
+                if done.is_multiple_of(CHUNK) {
+                    if let Some(reason) = ctrl.interruption() {
+                        interrupted = Some(reason);
+                        break;
+                    }
+                }
+                let rec = self.inject(spec, &golden, &fault_cfg);
+                records[i] = Some(rec);
+                fresh.push((i, rec));
+                done += 1;
+                since_save += 1;
+                if done.is_multiple_of(CHUNK) {
+                    ctrl.progress.injections(done, total);
+                }
+                if let Some(sink) = ctrl.checkpoint {
+                    if ctrl.checkpoint_interval > 0 && since_save >= ctrl.checkpoint_interval {
+                        sink.save(&snapshot(&fresh));
+                        since_save = 0;
                     }
                 }
             }
         } else {
             let skip: Vec<bool> = records.iter().map(Option::is_some).collect();
             let next = AtomicUsize::new(0);
-            let completed = AtomicUsize::new(predicted);
-            let sink: Mutex<Vec<(usize, InjectionRecord)>> =
-                Mutex::new(Vec::with_capacity(specs.len()));
+            let completed = AtomicUsize::new(predicted + resumed);
+            let stop = AtomicBool::new(false);
+            let workers_alive = AtomicUsize::new(threads);
+            let shared: Mutex<Vec<(usize, InjectionRecord)>> = Mutex::new(Vec::new());
+            let stop_reason: Mutex<Option<InterruptReason>> = Mutex::new(None);
+            let supervise = ctrl.cancel.is_some()
+                || ctrl.deadline.is_some()
+                || (ctrl.checkpoint.is_some() && ctrl.checkpoint_interval > 0);
             std::thread::scope(|scope| {
+                if supervise {
+                    // Supervisor: polls for cancellation/deadline, raises
+                    // the cooperative stop flag, and saves periodic
+                    // snapshots — workers only ever append to `shared`.
+                    scope.spawn(|| {
+                        let mut last_saved = 0usize;
+                        while workers_alive.load(Ordering::Acquire) > 0 {
+                            if !stop.load(Ordering::Relaxed) {
+                                if let Some(reason) = ctrl.interruption() {
+                                    *stop_reason.lock().expect("reason lock") = Some(reason);
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            if let Some(sink) = ctrl.checkpoint {
+                                if ctrl.checkpoint_interval > 0 {
+                                    let snap = {
+                                        let shared = shared.lock().expect("shared lock");
+                                        (shared.len() >= last_saved + ctrl.checkpoint_interval)
+                                            .then(|| (shared.len(), snapshot(&shared)))
+                                    };
+                                    if let Some((len, bytes)) = snap {
+                                        sink.save(&bytes);
+                                        last_saved = len;
+                                    }
+                                }
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    });
+                }
                 for _ in 0..threads {
                     scope.spawn(|| {
-                        let mut local = Vec::new();
                         loop {
-                            // Chunked work stealing keeps contention low.
-                            let start = next.fetch_add(64, Ordering::Relaxed);
-                            if start >= specs.len() {
+                            if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let end = (start + 64).min(specs.len());
-                            let mut worked = 0;
+                            // Workers check for interruption at chunk
+                            // boundaries themselves — the supervisor's poll
+                            // interval alone would be too coarse for short
+                            // campaigns.
+                            if let Some(reason) = ctrl.interruption() {
+                                let mut slot = stop_reason.lock().expect("reason lock");
+                                slot.get_or_insert(reason);
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            // Chunked work stealing keeps contention low.
+                            let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= total {
+                                break;
+                            }
+                            let end = (start + CHUNK).min(total);
+                            let mut local = Vec::with_capacity(CHUNK);
                             for i in start..end {
                                 if skip[i] {
                                     continue;
                                 }
                                 local.push((i, self.inject(&specs[i], &golden, &fault_cfg)));
-                                worked += 1;
                             }
+                            let worked = local.len();
+                            shared.lock().expect("shared lock").extend(local);
                             let done = completed.fetch_add(worked, Ordering::Relaxed) + worked;
-                            progress.injections(done.min(total), total);
+                            ctrl.progress.injections(done.min(total), total);
                         }
-                        sink.lock().expect("sink lock").extend(local);
+                        workers_alive.fetch_sub(1, Ordering::Release);
                     });
                 }
             });
-            for (i, rec) in sink.into_inner().expect("sink lock") {
+            fresh = shared.into_inner().expect("shared lock");
+            interrupted = stop_reason.into_inner().expect("reason lock");
+            for &(i, rec) in &fresh {
                 records[i] = Some(rec);
             }
         }
-        progress.injections(total, total);
+
+        if let Some(reason) = interrupted {
+            if let Some(sink) = ctrl.checkpoint {
+                sink.save(&snapshot(&fresh));
+            }
+            let completed = records.iter().filter(|r| r.is_some()).count();
+            return Err(CampaignError::Interrupted {
+                program: name,
+                reason,
+                completed,
+                total,
+            });
+        }
+        ctrl.progress.injections(total, total);
 
         let records: Vec<InjectionRecord> = records
             .into_iter()
             .map(|r| r.expect("all sites injected"))
             .collect();
-        GroundTruth::new(self.program.name().to_string(), records, golden, predicted)
+        Ok(GroundTruth::new(name, records, golden, predicted))
     }
 
     fn inject(
@@ -441,5 +764,189 @@ mod tests {
         asm.halt();
         let p = asm.finish().expect("resolves");
         Campaign::new(&p, &[], config()).run();
+    }
+
+    #[test]
+    fn supervised_reports_dirty_golden_as_value() {
+        let mut asm = Asm::new("trap2");
+        asm.li(Reg(1), 0);
+        asm.alu(AluOp::Div, Reg(2), Reg(1), Reg(1));
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let err = Campaign::new(&p, &[], config())
+            .run_supervised(&RunControl::new())
+            .expect_err("dirty golden run");
+        assert!(matches!(err, CampaignError::DirtyGolden { .. }));
+        assert!(err.to_string().contains("did not halt cleanly"));
+    }
+
+    /// Raises a cancellation flag once a threshold of injections completes —
+    /// simulates an operator interrupt mid-campaign.
+    struct CancelAt<'a> {
+        threshold: usize,
+        cancel: &'a AtomicBool,
+    }
+
+    impl CampaignProgress for CancelAt<'_> {
+        fn injections(&self, done: usize, _total: usize) {
+            if done >= self.threshold {
+                self.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_campaign_checkpoints_and_resumes_bit_identically() {
+        let p = sum_program();
+        let campaign = Campaign::new(&p, &[], config());
+        let uninterrupted = campaign.run();
+        let total = uninterrupted.total_injections();
+        assert!(total > 256, "need enough work to interrupt mid-way");
+
+        let cancel = AtomicBool::new(false);
+        let sink = crate::checkpoint::MemoryCheckpoint::new();
+        let progress = CancelAt {
+            threshold: total / 4,
+            cancel: &cancel,
+        };
+        let ctrl = RunControl {
+            progress: &progress,
+            cancel: Some(&cancel),
+            checkpoint: Some(&sink),
+            checkpoint_interval: 64,
+            ..RunControl::new()
+        };
+        let err = campaign
+            .run_supervised(&ctrl)
+            .expect_err("campaign must be cancelled mid-way");
+        let CampaignError::Interrupted {
+            reason, completed, ..
+        } = &err
+        else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert_eq!(*reason, InterruptReason::Cancelled);
+        assert!(*completed < total, "cancellation must leave work undone");
+        let ckpt_bytes = sink.load().expect("final checkpoint saved");
+        let ckpt = CampaignCheckpoint::from_bytes(&ckpt_bytes).expect("checkpoint decodes");
+        assert!(!ckpt.records.is_empty(), "checkpoint holds completed work");
+        assert_eq!(ckpt.total, total);
+
+        // Resume with no cancellation: must complete and reproduce the
+        // uninterrupted ground truth byte-for-byte.
+        let ctrl = RunControl {
+            checkpoint: Some(&sink),
+            checkpoint_interval: 64,
+            ..RunControl::new()
+        };
+        let resumed = campaign.run_supervised(&ctrl).expect("resume completes");
+        assert_eq!(resumed.to_bytes(), uninterrupted.to_bytes());
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_a_cold_start() {
+        let p = sum_program();
+        let campaign = Campaign::new(&p, &[], config());
+        let uninterrupted = campaign.run();
+        // A snapshot from a *different* campaign configuration: right shape,
+        // wrong fingerprint. Resume must ignore it entirely.
+        let other = Campaign::new(
+            &p,
+            &[],
+            CampaignConfig {
+                bit_stride: 8,
+                ..config()
+            },
+        );
+        let cancel = AtomicBool::new(false);
+        let sink = crate::checkpoint::MemoryCheckpoint::new();
+        let progress = CancelAt {
+            threshold: 64,
+            cancel: &cancel,
+        };
+        other
+            .run_supervised(&RunControl {
+                progress: &progress,
+                cancel: Some(&cancel),
+                checkpoint: Some(&sink),
+                checkpoint_interval: 32,
+                ..RunControl::new()
+            })
+            .expect_err("cancelled");
+        let truth = campaign
+            .run_supervised(&RunControl {
+                checkpoint: Some(&sink),
+                ..RunControl::new()
+            })
+            .expect("completes despite foreign checkpoint");
+        assert_eq!(truth.to_bytes(), uninterrupted.to_bytes());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_promptly() {
+        let p = sum_program();
+        for threads in [1, 4] {
+            let campaign = Campaign::new(
+                &p,
+                &[],
+                CampaignConfig {
+                    threads,
+                    ..config()
+                },
+            );
+            let ctrl = RunControl {
+                deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+                ..RunControl::new()
+            };
+            let err = campaign
+                .run_supervised(&ctrl)
+                .expect_err("deadline already passed");
+            assert!(
+                matches!(
+                    err,
+                    CampaignError::Interrupted {
+                        reason: InterruptReason::DeadlineExceeded,
+                        ..
+                    }
+                ),
+                "threads={threads}: expected deadline interruption, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_interruption_checkpoints_and_resumes_bit_identically() {
+        let p = sum_program();
+        let cfg = CampaignConfig {
+            threads: 4,
+            ..config()
+        };
+        let campaign = Campaign::new(&p, &[], cfg);
+        let uninterrupted = campaign.run();
+        let total = uninterrupted.total_injections();
+
+        let cancel = AtomicBool::new(false);
+        let sink = crate::checkpoint::MemoryCheckpoint::new();
+        let progress = CancelAt {
+            threshold: total / 4,
+            cancel: &cancel,
+        };
+        let err = campaign
+            .run_supervised(&RunControl {
+                progress: &progress,
+                cancel: Some(&cancel),
+                checkpoint: Some(&sink),
+                checkpoint_interval: 64,
+                ..RunControl::new()
+            })
+            .expect_err("cancelled mid-way");
+        assert!(matches!(err, CampaignError::Interrupted { .. }));
+        let resumed = campaign
+            .run_supervised(&RunControl {
+                checkpoint: Some(&sink),
+                ..RunControl::new()
+            })
+            .expect("resume completes");
+        assert_eq!(resumed.to_bytes(), uninterrupted.to_bytes());
     }
 }

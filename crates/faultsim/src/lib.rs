@@ -36,10 +36,15 @@
 //! ```
 
 mod campaign;
+mod checkpoint;
 pub mod pruning;
 mod serdes;
 mod truth;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignProgress, NoProgress};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignProgress, InterruptReason, NoProgress,
+    RunControl,
+};
+pub use checkpoint::{CampaignCheckpoint, CheckpointSink, FileCheckpoint, MemoryCheckpoint};
 pub use serdes::TruthDecodeError;
-pub use truth::{BitSite, GroundTruth, InjectionRecord, InstrVulnerability, VulnTuple};
+pub use truth::{BitSite, GroundTruth, InjectionRecord, InstrVulnerability, TruthError, VulnTuple};

@@ -58,13 +58,17 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TruthDecodeError> {
+    pub(crate) fn new(buf: &'a [u8], pos: usize) -> Reader<'a> {
+        Reader { buf, pos }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TruthDecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(TruthDecodeError::Truncated);
         }
@@ -73,22 +77,22 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, TruthDecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, TruthDecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u64(&mut self) -> Result<u64, TruthDecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, TruthDecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn usize(&mut self) -> Result<usize, TruthDecodeError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, TruthDecodeError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| TruthDecodeError::Corrupt("size overflows usize"))
     }
 
     /// A declared element count, sanity-bounded by the remaining bytes so a
     /// corrupt length cannot trigger a huge allocation.
-    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, TruthDecodeError> {
+    pub(crate) fn count(&mut self, min_elem_bytes: usize) -> Result<usize, TruthDecodeError> {
         let n = self.usize()?;
         if n > (self.buf.len() - self.pos) / min_elem_bytes.max(1) + 1 {
             return Err(TruthDecodeError::Truncated);
@@ -97,11 +101,11 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_usize(out: &mut Vec<u8>, v: usize) {
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u64).to_le_bytes());
 }
 
-fn put_slot(out: &mut Vec<u8>, slot: OperandSlot) {
+pub(crate) fn put_slot(out: &mut Vec<u8>, slot: OperandSlot) {
     match slot {
         OperandSlot::Use(i) => {
             out.push(0);
@@ -114,7 +118,7 @@ fn put_slot(out: &mut Vec<u8>, slot: OperandSlot) {
     }
 }
 
-fn read_slot(r: &mut Reader<'_>) -> Result<OperandSlot, TruthDecodeError> {
+pub(crate) fn read_slot(r: &mut Reader<'_>) -> Result<OperandSlot, TruthDecodeError> {
     let tag = r.u8()?;
     let idx = r.usize()?;
     match tag {

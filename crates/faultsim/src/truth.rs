@@ -3,6 +3,37 @@ use std::fmt;
 
 use glaive_sim::{OperandSlot, Outcome, RunResult};
 
+/// A ground-truth aggregation error: the campaign data cannot support the
+/// requested statistic.
+///
+/// Surfaced as a value (through `glaive::Error` in the pipeline crate) so a
+/// degenerate benchmark — one with no injectable fault sites — fails its own
+/// preparation instead of panicking inside a worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TruthError {
+    /// An outcome statistic was requested over zero observations.
+    NoObservations {
+        /// What was being aggregated (e.g. the program name).
+        subject: String,
+    },
+}
+
+impl fmt::Display for TruthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruthError::NoObservations { subject } => {
+                write!(
+                    f,
+                    "`{subject}` has no fault-injection observations; vulnerability \
+                     statistics need at least one observation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TruthError {}
+
 /// A bit-level fault-site equivalence class: all single-bit upsets of `bit`
 /// in operand `slot` of static instruction `pc`, across dynamic instances.
 ///
@@ -59,18 +90,31 @@ impl VulnTuple {
     ///
     /// # Panics
     ///
-    /// Panics if all counts are zero.
+    /// Panics if all counts are zero — use [`VulnTuple::try_from_counts`]
+    /// to get the violation as a value instead.
     pub fn from_counts(crash: u64, sdc: u64, masked: u64) -> VulnTuple {
+        VulnTuple::try_from_counts(crash, sdc, masked)
+            .expect("vulnerability tuple needs at least one observation")
+    }
+
+    /// Builds a tuple from outcome counts, returning a typed error when all
+    /// counts are zero.
+    ///
+    /// # Errors
+    ///
+    /// [`TruthError::NoObservations`] if `crash + sdc + masked == 0`.
+    pub fn try_from_counts(crash: u64, sdc: u64, masked: u64) -> Result<VulnTuple, TruthError> {
         let total = crash + sdc + masked;
-        assert!(
-            total > 0,
-            "vulnerability tuple needs at least one observation"
-        );
-        VulnTuple {
+        if total == 0 {
+            return Err(TruthError::NoObservations {
+                subject: "outcome counts".to_string(),
+            });
+        }
+        Ok(VulnTuple {
             crash: crash as f64 / total as f64,
             sdc: sdc as f64 / total as f64,
             masked: masked as f64 / total as f64,
-        }
+        })
     }
 
     /// Probability that a fault is *not* masked (used for ranking).
@@ -165,12 +209,15 @@ impl GroundTruth {
         counts
             .into_iter()
             .map(|(site, c)| {
-                // max_by_key keeps the *last* maximum, so iterating in
-                // ascending severity makes ties resolve to the severer class.
-                let label = [Outcome::Masked, Outcome::Sdc, Outcome::Crash]
-                    .into_iter()
-                    .max_by_key(|o| c[o.label()])
-                    .expect("nonempty outcome list");
+                // Scanning in ascending severity and keeping any later
+                // maximum makes ties resolve to the severer class, without a
+                // fallible `max_by_key` over the outcome list.
+                let mut label = Outcome::Masked;
+                for o in [Outcome::Sdc, Outcome::Crash] {
+                    if c[o.label()] >= c[label.label()] {
+                        label = o;
+                    }
+                }
                 (site, label)
             })
             .collect()
@@ -178,21 +225,37 @@ impl GroundTruth {
 
     /// FI-derived instruction vulnerability ⟨I_C, I_S, I_M⟩ for every
     /// instruction with at least one injection, ordered by PC.
+    ///
+    /// Infallible: every entry is backed by at least one record by
+    /// construction (see [`GroundTruth::try_instruction_vulnerability`]).
     pub fn instruction_vulnerability(&self) -> Vec<InstrVulnerability> {
+        self.try_instruction_vulnerability()
+            .expect("every grouped pc has at least one record")
+    }
+
+    /// [`GroundTruth::instruction_vulnerability`] with aggregation failures
+    /// surfaced as a typed [`TruthError`] instead of a panic.
+    pub fn try_instruction_vulnerability(&self) -> Result<Vec<InstrVulnerability>, TruthError> {
         let mut counts: BTreeMap<usize, [u64; 3]> = BTreeMap::new();
         for r in &self.records {
             counts.entry(r.site.pc).or_default()[r.outcome.label()] += 1;
         }
         counts
             .into_iter()
-            .map(|(pc, c)| InstrVulnerability {
-                pc,
-                tuple: VulnTuple::from_counts(
+            .map(|(pc, c)| {
+                let tuple = VulnTuple::try_from_counts(
                     c[Outcome::Crash.label()],
                     c[Outcome::Sdc.label()],
                     c[Outcome::Masked.label()],
-                ),
-                injections: c.iter().sum(),
+                )
+                .map_err(|_| TruthError::NoObservations {
+                    subject: format!("{} pc {pc}", self.program_name),
+                })?;
+                Ok(InstrVulnerability {
+                    pc,
+                    tuple,
+                    injections: c.iter().sum(),
+                })
             })
             .collect()
     }
@@ -200,16 +263,36 @@ impl GroundTruth {
     /// Program vulnerability P_v: instruction tuples weighted by their share
     /// of total injections (paper §II-B) — equivalently, the overall outcome
     /// fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the campaign produced no records — use
+    /// [`GroundTruth::try_program_vulnerability`] to get the degenerate case
+    /// as a value instead.
     pub fn program_vulnerability(&self) -> VulnTuple {
+        self.try_program_vulnerability()
+            .unwrap_or_else(|e| panic!("{e} (at least one observation required)"))
+    }
+
+    /// [`GroundTruth::program_vulnerability`] with the zero-record case
+    /// surfaced as a typed [`TruthError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`TruthError::NoObservations`] if the campaign has no records.
+    pub fn try_program_vulnerability(&self) -> Result<VulnTuple, TruthError> {
         let mut c = [0u64; 3];
         for r in &self.records {
             c[r.outcome.label()] += 1;
         }
-        VulnTuple::from_counts(
+        VulnTuple::try_from_counts(
             c[Outcome::Crash.label()],
             c[Outcome::Sdc.label()],
             c[Outcome::Masked.label()],
         )
+        .map_err(|_| TruthError::NoObservations {
+            subject: self.program_name.clone(),
+        })
     }
 
     /// Number of instructions that received at least one injection.
@@ -350,6 +433,25 @@ mod tests {
         assert!((pv.crash - 0.25).abs() < 1e-12);
         assert!((pv.sdc - 0.5).abs() < 1e-12);
         assert!((pv.masked - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_yields_typed_errors() {
+        let t = truth(vec![]);
+        assert!(matches!(
+            t.try_program_vulnerability(),
+            Err(TruthError::NoObservations { subject }) if subject == "t"
+        ));
+        assert_eq!(t.try_instruction_vulnerability().expect("empty is ok"), []);
+        assert!(matches!(
+            VulnTuple::try_from_counts(0, 0, 0),
+            Err(TruthError::NoObservations { .. })
+        ));
+        let msg = t
+            .try_program_vulnerability()
+            .expect_err("empty")
+            .to_string();
+        assert!(msg.contains("at least one observation"), "{msg}");
     }
 
     #[test]

@@ -585,7 +585,7 @@ mod tests {
         };
         // Probe several entries in every layer (including the aggregate
         // half of the concatenated input, columns >= in_dim).
-        for l in 0..config.layers {
+        for (l, grad) in grads.iter().enumerate().take(config.layers) {
             let rows = model.layers[l].weights().rows();
             let cols = model.layers[l].weights().cols();
             for &(r, c) in &[(0usize, 0usize), (rows - 1, cols - 1), (rows / 2, 0)] {
@@ -604,7 +604,7 @@ mod tests {
                     Linear::from_parts(w, b)
                 };
                 let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
-                let analytic = grads[l].w[(r, c)];
+                let analytic = grad.w[(r, c)];
                 assert!(
                     (numeric - analytic).abs() < 2e-2,
                     "layer {l} dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"

@@ -335,7 +335,18 @@ mod tests {
 
     #[test]
     fn sin_matches_std() {
-        let inputs = [-7.3, -3.0, -1.0, -0.1, 0.0, 0.5, 1.0, 2.5, 3.14, 9.9];
+        let inputs = [
+            -7.3,
+            -3.0,
+            -1.0,
+            -0.1,
+            0.0,
+            0.5,
+            1.0,
+            2.5,
+            std::f64::consts::PI,
+            9.9,
+        ];
         let got = eval_unary(sin, &inputs);
         for (&x, &y) in inputs.iter().zip(&got) {
             assert!(
@@ -348,7 +359,17 @@ mod tests {
 
     #[test]
     fn cos_matches_std() {
-        let inputs = [-7.3, -3.0, -1.0, 0.0, 0.5, 1.0, 2.5, 3.14, 9.9];
+        let inputs = [
+            -7.3,
+            -3.0,
+            -1.0,
+            0.0,
+            0.5,
+            1.0,
+            2.5,
+            std::f64::consts::PI,
+            9.9,
+        ];
         let got = eval_unary(cos, &inputs);
         for (&x, &y) in inputs.iter().zip(&got) {
             assert!(

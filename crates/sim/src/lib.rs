@@ -44,7 +44,7 @@ mod machine;
 mod outcome;
 
 pub use fault::{FaultSpec, OperandSlot};
-pub use machine::{ExecConfig, ExitStatus, RunResult, Simulator, Trap};
+pub use machine::{ExecConfig, ExitStatus, MachineError, RunResult, Simulator, Trap};
 pub use outcome::{classify, Outcome};
 
 use glaive_isa::Program;

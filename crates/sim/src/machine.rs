@@ -86,6 +86,40 @@ pub struct RunResult {
     pub exec_counts: Vec<u64>,
 }
 
+/// A machine-construction error: the inputs cannot form a runnable machine.
+///
+/// Distinct from [`Trap`] (a runtime exception of a well-formed machine):
+/// a `MachineError` means the *benchmark* is malformed, and callers such as
+/// fault-injection workers should reject it as a value instead of dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// The initial memory image is larger than the program's declared data
+    /// memory.
+    InitMemTooLarge {
+        /// Words in the provided image.
+        image_words: usize,
+        /// Words of declared program memory.
+        mem_words: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InitMemTooLarge {
+                image_words,
+                mem_words,
+            } => write!(
+                f,
+                "initial memory image ({image_words} words) exceeds program memory \
+                 ({mem_words} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// An interpreter for one program execution, optionally with a single armed
 /// fault.
 ///
@@ -118,17 +152,34 @@ impl<'p> Simulator<'p> {
     ///
     /// # Panics
     ///
-    /// Panics if `init_mem` is larger than the program's declared memory.
+    /// Panics if `init_mem` is larger than the program's declared memory —
+    /// use [`Simulator::try_new`] to get the violation as a value instead.
     pub fn new(program: &'p Program, init_mem: &[u64], cfg: &ExecConfig) -> Self {
-        assert!(
-            init_mem.len() <= program.mem_words(),
-            "initial memory image ({} words) exceeds program memory ({} words)",
-            init_mem.len(),
-            program.mem_words()
-        );
+        Simulator::try_new(program, init_mem, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Simulator::new`], but a malformed benchmark comes back as a
+    /// typed [`MachineError`] instead of a panic, so supervised pipeline
+    /// workers can fail one benchmark without taking down the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
+    /// declared data memory.
+    pub fn try_new(
+        program: &'p Program,
+        init_mem: &[u64],
+        cfg: &ExecConfig,
+    ) -> Result<Self, MachineError> {
+        if init_mem.len() > program.mem_words() {
+            return Err(MachineError::InitMemTooLarge {
+                image_words: init_mem.len(),
+                mem_words: program.mem_words(),
+            });
+        }
         let mut mem = vec![0u64; program.mem_words()];
         mem[..init_mem.len()].copy_from_slice(init_mem);
-        Simulator {
+        Ok(Simulator {
             program,
             regs: [0; NUM_REGS],
             mem,
@@ -139,7 +190,7 @@ impl<'p> Simulator<'p> {
             max_instrs: cfg.max_instrs,
             fault: None,
             fault_fired: false,
-        }
+        })
     }
 
     /// Arms a single-bit upset to be injected during [`Simulator::run`].
@@ -525,13 +576,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds program memory")]
-    fn oversized_init_mem_panics() {
+    fn oversized_init_mem_is_a_typed_error() {
         let mut asm = Asm::new("t");
         asm.set_mem_words(1);
         asm.halt();
         let p = asm.finish().expect("resolves");
-        Simulator::new(&p, &[1, 2], &cfg());
+        let err = Simulator::try_new(&p, &[1, 2], &cfg()).expect_err("image too large");
+        assert_eq!(
+            err,
+            MachineError::InitMemTooLarge {
+                image_words: 2,
+                mem_words: 1
+            }
+        );
+        assert!(err.to_string().contains("exceeds program memory"));
+        // The panicking convenience constructor preserves the message.
+        let caught = std::panic::catch_unwind(|| Simulator::new(&p, &[1, 2], &cfg()));
+        assert!(caught.is_err());
     }
 
     #[test]
