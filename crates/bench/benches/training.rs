@@ -10,7 +10,7 @@ fn main() {
     let data = prepare_benchmark(glaive_bench_suite::control::dijkstra::build(7), &config);
     let graph = TrainGraph {
         features: &data.features,
-        neighbors: &data.preds,
+        graph: &data.preds,
         labels: &data.labels,
         mask: &data.mask,
     };

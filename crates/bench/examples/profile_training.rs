@@ -1,0 +1,91 @@
+//! Developer utility: times each estimator family inside one training
+//! split of the quick configuration, then the micro-phases of the GNN
+//! (resample / aggregate / forward) on the split's largest graph.
+//!
+//! Run with: `cargo run -p glaive-bench --release --example profile_training`
+
+use std::time::Instant;
+
+use glaive::{prepare_benchmark, train_models, PipelineConfig};
+use glaive_gnn::{GraphSage, TrainGraph};
+
+fn main() {
+    let config = PipelineConfig::quick_test();
+    let names = ["dijkstra", "sobel", "astar", "jmeint", "streamcluster"];
+    let mut data = Vec::new();
+    for b in glaive_bench_suite::suite(7) {
+        if names.contains(&b.name) {
+            data.push(prepare_benchmark(b, &config));
+        }
+    }
+    let refs: Vec<&_> = data.iter().collect();
+
+    let t = Instant::now();
+    let graphs: Vec<TrainGraph<'_>> = refs
+        .iter()
+        .map(|d| TrainGraph {
+            features: &d.features,
+            graph: &d.preds,
+            labels: &d.labels,
+            mask: &d.mask,
+        })
+        .collect();
+    let mut sage = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+    sage.train(&graphs);
+    println!("glaive gnn:   {:.3}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let graphs: Vec<TrainGraph<'_>> = refs
+        .iter()
+        .map(|d| TrainGraph {
+            features: &d.features,
+            graph: &d.all_neighbors,
+            labels: &d.labels,
+            mask: &d.mask,
+        })
+        .collect();
+    let mut vanilla = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+    vanilla.train(&graphs);
+    println!("vanilla gnn:  {:.3}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let mut no_vanilla = config;
+    no_vanilla.train_vanilla = false;
+    std::hint::black_box(train_models(&refs, &no_vanilla));
+    println!(
+        "full no-vanilla (gnn+mlp+rf+svr): {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    // Micro-phases of the GNN on the largest graph.
+    let d = refs
+        .iter()
+        .max_by_key(|d| d.preds.node_count())
+        .expect("non-empty");
+    println!(
+        "largest graph: n={} preds_edges={} sym_edges={}",
+        d.preds.node_count(),
+        d.preds.edge_count(),
+        d.all_neighbors.edge_count()
+    );
+    let t = Instant::now();
+    let mut ws = glaive_gnn::SampledCsr::new();
+    let mut rng = glaive_nn::DetRng::new(1);
+    for _ in 0..75 {
+        ws.resample(&d.preds, config.sage.sample_size, &mut rng);
+    }
+    println!("75x resample: {:.3}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    for _ in 0..75 {
+        std::hint::black_box(glaive_gnn::kernels::mean_aggregate(
+            &d.features,
+            d.preds.view(),
+        ));
+    }
+    println!("75x aggregate(features): {:.3}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    for _ in 0..75 {
+        std::hint::black_box(sage.predict_proba(&d.features, &d.preds));
+    }
+    println!("75x full forward: {:.3}s", t.elapsed().as_secs_f64());
+}

@@ -89,6 +89,15 @@ pub fn run_experiment(body: impl FnOnce() -> Result<(), Error>) -> std::process:
 /// before the configured quorum is checked, so a degraded or aborted run
 /// still reports every benchmark's fate.
 pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
+    let (eval, config, _) = standard_evaluation_timed()?;
+    Ok((eval, config))
+}
+
+/// Like [`standard_evaluation`], but also hands back the timing recorder so
+/// callers can export per-stage wall times (e.g. the `--json` mode of
+/// `fig5b_speedup`).
+pub fn standard_evaluation_timed(
+) -> Result<(Evaluation, PipelineConfig, Arc<TimingRecorder>), Error> {
     let (pipeline, recorder) = experiment_pipeline()?;
     let config = *pipeline.config();
     eprintln!(
@@ -98,7 +107,7 @@ pub fn standard_evaluation() -> Result<(Evaluation, PipelineConfig), Error> {
     let suite = prepared_suite(&pipeline)?;
     let eval = pipeline.evaluation(suite)?;
     finish_telemetry(&recorder);
-    Ok((eval, config))
+    Ok((eval, config, recorder))
 }
 
 /// Prepares the suite only (no model training), for data-statistics

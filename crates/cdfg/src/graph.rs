@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 
+use glaive_graph::{CsrGraph, EdgeKind};
 use glaive_isa::{Opcode, OperandSlot, Program, Reg, WORD_BITS};
 
 use crate::analysis::{control_deps, def_use_chains, memory_deps};
@@ -64,12 +65,18 @@ impl EdgeStats {
 /// Edges point in the direction of error propagation (producer → consumer);
 /// the GNN aggregates over `preds`, i.e. against edge direction, following
 /// Eq. (2) of the paper.
+///
+/// Both directions are stored as flat, kind-tagged CSR adjacencies
+/// ([`CsrGraph`]) built directly from the analysis edge stream — no
+/// intermediate per-node `Vec`s. [`Cdfg::preds`]/[`Cdfg::succs`] are slice
+/// views into those arrays, and [`Cdfg::preds_csr`] hands the whole
+/// predecessor graph to the GNN as the workspace's shared graph currency.
 #[derive(Debug, Clone)]
 pub struct Cdfg {
     config: CdfgConfig,
     nodes: Vec<BitNode>,
-    preds: Vec<Vec<u32>>,
-    succs: Vec<Vec<u32>>,
+    preds: CsrGraph,
+    succs: CsrGraph,
     index: HashMap<(usize, OperandSlot, u8), u32>,
     stats: EdgeStats,
 }
@@ -117,14 +124,11 @@ impl Cdfg {
             }
         }
 
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
-        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        // One flat producer → consumer edge stream, tagged with the
+        // dependence kind that justified each edge. Stats count the stream
+        // with multiplicity; the CSR build collapses multi-kind pairs.
+        let mut edges: Vec<(u32, u32, u8)> = Vec::new();
         let mut stats = EdgeStats::default();
-        let add_edge =
-            |from: u32, to: u32, preds: &mut Vec<Vec<u32>>, succs: &mut Vec<Vec<u32>>| {
-                preds[to as usize].push(from);
-                succs[from as usize].push(to);
-            };
 
         // 1. Intra-instruction: every source bit → every destination bit.
         for (pc, instr) in program.instrs().iter().enumerate() {
@@ -136,7 +140,7 @@ impl Cdfg {
                     let from = index[&(pc, OperandSlot::Use(si), sb)];
                     for &db in &bits {
                         let to = index[&(pc, OperandSlot::Def(0), db)];
-                        add_edge(from, to, &mut preds, &mut succs);
+                        edges.push((from, to, EdgeKind::Intra.bit()));
                         stats.intra += 1;
                     }
                 }
@@ -148,7 +152,7 @@ impl Cdfg {
             for &b in &bits {
                 let from = index[&(edge.def_pc, OperandSlot::Def(0), b)];
                 let to = index[&(edge.use_pc, OperandSlot::Use(edge.use_slot), b)];
-                add_edge(from, to, &mut preds, &mut succs);
+                edges.push((from, to, EdgeKind::Data.bit()));
                 stats.data += 1;
             }
         }
@@ -169,7 +173,7 @@ impl Cdfg {
                     let from = index[&(branch_pc, OperandSlot::Use(ui), b)];
                     for &slot in &dep_slots {
                         let to = index[&(dep_pc, slot, b)];
-                        add_edge(from, to, &mut preds, &mut succs);
+                        edges.push((from, to, EdgeKind::Control.bit()));
                         stats.control += 1;
                     }
                 }
@@ -181,16 +185,19 @@ impl Cdfg {
             for &b in &bits {
                 let from = index[&(store_pc, OperandSlot::Use(0), b)];
                 let to = index[&(load_pc, OperandSlot::Def(0), b)];
-                add_edge(from, to, &mut preds, &mut succs);
+                edges.push((from, to, EdgeKind::Memory.bit()));
                 stats.memory += 1;
             }
         }
 
-        // De-duplicate adjacency lists (multi-kind pairs collapse to one).
-        for list in preds.iter_mut().chain(succs.iter_mut()) {
-            list.sort_unstable();
-            list.dedup();
-        }
+        // Both directions as CSR: sort + merge replaces the old per-list
+        // sort_unstable + dedup, so row contents are identical to the
+        // nested-Vec representation this replaced (sorted, duplicate-free,
+        // multi-kind pairs collapsed to one edge with a merged kind mask).
+        let reversed: Vec<(u32, u32, u8)> =
+            edges.iter().map(|&(from, to, k)| (to, from, k)).collect();
+        let preds = CsrGraph::from_tagged(nodes.len(), reversed);
+        let succs = CsrGraph::from_tagged(nodes.len(), edges);
 
         Cdfg {
             config: *config,
@@ -217,14 +224,27 @@ impl Cdfg {
         &self.nodes
     }
 
-    /// Predecessors (error-propagation sources) of a node.
+    /// Predecessors (error-propagation sources) of a node, as a sorted
+    /// slice view into the flat predecessor CSR.
     pub fn preds(&self, id: u32) -> &[u32] {
-        &self.preds[id as usize]
+        self.preds.neighbors(id as usize)
     }
 
-    /// Successors of a node.
+    /// Successors of a node, as a sorted slice view into the flat
+    /// successor CSR.
     pub fn succs(&self, id: u32) -> &[u32] {
-        &self.succs[id as usize]
+        self.succs.neighbors(id as usize)
+    }
+
+    /// The predecessor-direction graph — GLAIVE's aggregation
+    /// neighbourhood, with per-edge dependence-kind tags.
+    pub fn preds_csr(&self) -> &CsrGraph {
+        &self.preds
+    }
+
+    /// The successor-direction graph.
+    pub fn succs_csr(&self) -> &CsrGraph {
+        &self.succs
     }
 
     /// Looks up the node id of `(pc, slot, bit)`, if that bit was sampled.
@@ -239,7 +259,7 @@ impl Cdfg {
 
     /// Total directed edges after de-duplication.
     pub fn edge_count(&self) -> usize {
-        self.preds.iter().map(Vec::len).sum()
+        self.preds.edge_count()
     }
 }
 
@@ -338,6 +358,8 @@ mod tests {
     fn adjacency_is_deduplicated_and_consistent() {
         let p = add_program();
         let g = Cdfg::build(&p, &cfg(8));
+        g.preds_csr().check_invariants().expect("pred CSR valid");
+        g.succs_csr().check_invariants().expect("succ CSR valid");
         let mut pred_edge_count = 0;
         for id in 0..g.node_count() as u32 {
             let preds = g.preds(id);
@@ -350,6 +372,7 @@ mod tests {
             }
         }
         assert_eq!(pred_edge_count, g.edge_count());
+        assert_eq!(g.succs_csr().edge_count(), g.edge_count());
     }
 
     #[test]
@@ -367,5 +390,145 @@ mod tests {
         assert_eq!(node.reg, Reg(2));
         assert_eq!(node.opcode, Opcode::Out);
         assert!(!node.is_float);
+    }
+
+    #[test]
+    fn kind_tags_partition_the_adjacency() {
+        let mut asm = Asm::new("kinds");
+        asm.set_mem_words(8);
+        let end = asm.label();
+        asm.li(Reg(1), 0); // 0
+        asm.li(Reg(2), 42); // 1
+        asm.store(Reg(2), Reg(1), 3); // 2
+        asm.branch(BranchCond::Ne, Reg(1), Reg(2), end); // 3
+        asm.load(Reg(3), Reg(1), 3); // 4 guarded
+        asm.bind(end);
+        asm.out(Reg(3)); // 5
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let g = Cdfg::build(&p, &cfg(32));
+        let [intra, data, control, memory] = g.preds_csr().kind_counts();
+        assert!(intra > 0 && data > 0 && control > 0 && memory > 0);
+        // A kind-filtered view selects exactly the edges of that kind and
+        // keeps every one of them, without re-running the analyses.
+        let mem_only = g.preds_csr().filtered(glaive_graph::EdgeKind::Memory.bit());
+        mem_only.check_invariants().expect("valid");
+        assert_eq!(mem_only.edge_count(), memory);
+        let load_def = g.node_id(4, OperandSlot::Def(0), 0).expect("exists");
+        let store_val = g.node_id(2, OperandSlot::Use(0), 0).expect("exists");
+        assert!(mem_only.neighbors(load_def as usize).contains(&store_val));
+        // Filtering by every kind reproduces the full adjacency.
+        let all = g.preds_csr().filtered(glaive_graph::EdgeKind::ALL_MASK);
+        assert_eq!(&all, g.preds_csr());
+    }
+
+    /// Representation parity: the CSR rows must be byte-identical to the
+    /// nested-Vec adjacency the pre-CSR builder produced (push per edge,
+    /// then per-list `sort_unstable` + `dedup`).
+    #[test]
+    fn csr_rows_match_the_legacy_nested_vec_builder() {
+        let mut asm = Asm::new("parity");
+        asm.set_mem_words(16);
+        let end = asm.label();
+        asm.li(Reg(1), 5); // 0
+        asm.li(Reg(2), 7); // 1
+        asm.alu(AluOp::Add, Reg(3), Reg(1), Reg(2)); // 2
+        asm.store(Reg(3), Reg(1), 2); // 3
+        asm.branch(BranchCond::Eq, Reg(3), Reg(2), end); // 4
+        asm.load(Reg(4), Reg(1), 2); // 5 guarded
+        asm.alu(AluOp::Mul, Reg(2), Reg(4), Reg(3)); // 6 guarded
+        asm.bind(end);
+        asm.out(Reg(2)); // 7
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+
+        for stride in [8usize, 16, 64] {
+            let g = Cdfg::build(&p, &cfg(stride));
+            let (preds, succs) = legacy_adjacency(&p, &g);
+            for id in 0..g.node_count() as u32 {
+                assert_eq!(g.preds(id), &preds[id as usize][..], "preds of {id}");
+                assert_eq!(g.succs(id), &succs[id as usize][..], "succs of {id}");
+            }
+        }
+    }
+
+    /// The pre-CSR adjacency construction, kept as a test oracle: nested
+    /// per-node Vecs filled edge by edge, then sorted and de-duplicated.
+    #[allow(clippy::type_complexity)]
+    fn legacy_adjacency(p: &Program, g: &Cdfg) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let bits: Vec<u8> = (0..WORD_BITS)
+            .step_by(g.config().bit_stride)
+            .map(|b| b as u8)
+            .collect();
+        let id = |pc: usize, slot: OperandSlot, bit: u8| g.node_id(pc, slot, bit).expect("node");
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        let add = |from: u32, to: u32, preds: &mut Vec<Vec<u32>>, succs: &mut Vec<Vec<u32>>| {
+            preds[to as usize].push(from);
+            succs[from as usize].push(to);
+        };
+        for (pc, instr) in p.instrs().iter().enumerate() {
+            if instr.defs().is_empty() {
+                continue;
+            }
+            for (si, _) in instr.uses().iter().enumerate() {
+                for &sb in &bits {
+                    for &db in &bits {
+                        add(
+                            id(pc, OperandSlot::Use(si), sb),
+                            id(pc, OperandSlot::Def(0), db),
+                            &mut preds,
+                            &mut succs,
+                        );
+                    }
+                }
+            }
+        }
+        for e in def_use_chains(p) {
+            for &b in &bits {
+                add(
+                    id(e.def_pc, OperandSlot::Def(0), b),
+                    id(e.use_pc, OperandSlot::Use(e.use_slot), b),
+                    &mut preds,
+                    &mut succs,
+                );
+            }
+        }
+        for (branch_pc, dep_pc) in control_deps(p) {
+            let branch = &p.instrs()[branch_pc];
+            let dep = &p.instrs()[dep_pc];
+            let dep_slots: Vec<OperandSlot> = if dep.defs().is_empty() {
+                (0..dep.uses().len()).map(OperandSlot::Use).collect()
+            } else {
+                vec![OperandSlot::Def(0)]
+            };
+            for (ui, _) in branch.uses().iter().enumerate() {
+                for &b in &bits {
+                    for &slot in &dep_slots {
+                        add(
+                            id(branch_pc, OperandSlot::Use(ui), b),
+                            id(dep_pc, slot, b),
+                            &mut preds,
+                            &mut succs,
+                        );
+                    }
+                }
+            }
+        }
+        for (store_pc, load_pc) in memory_deps(p) {
+            for &b in &bits {
+                add(
+                    id(store_pc, OperandSlot::Use(0), b),
+                    id(load_pc, OperandSlot::Def(0), b),
+                    &mut preds,
+                    &mut succs,
+                );
+            }
+        }
+        for list in preds.iter_mut().chain(succs.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        (preds, succs)
     }
 }

@@ -343,10 +343,7 @@ fn cmd_apply(model_path: &str, name: &str, flags: &Flags) -> CliResult {
         },
     );
     let features = glaive_nn_matrix(&g);
-    let preds: Vec<Vec<u32>> = (0..g.node_count() as u32)
-        .map(|v| g.preds(v).to_vec())
-        .collect();
-    let probs = model.predict_proba(&features, &preds);
+    let probs = model.predict_proba(&features, g.preds_csr());
 
     // Aggregate the bit distribution per instruction (paper §III-D).
     let n = b.program().len();

@@ -1,6 +1,7 @@
 use glaive_bench_suite::{suite, Benchmark, Split};
 use glaive_cdfg::{instruction_features, Cdfg, INSTR_FEATURE_DIM};
 use glaive_faultsim::{Campaign, GroundTruth, VulnTuple};
+use glaive_graph::CsrGraph;
 use glaive_nn::Matrix;
 
 use crate::config::PipelineConfig;
@@ -22,10 +23,11 @@ pub struct BenchData {
     pub labels: Vec<usize>,
     /// Whether each CDFG node has an FI label.
     pub mask: Vec<bool>,
-    /// Predecessor lists (GLAIVE's aggregation neighbourhood).
-    pub preds: Vec<Vec<u32>>,
-    /// Symmetrised neighbour lists (vanilla-GraphSAGE ablation).
-    pub all_neighbors: Vec<Vec<u32>>,
+    /// Predecessor CSR graph (GLAIVE's aggregation neighbourhood), with
+    /// per-edge dependence-kind tags for edge-type ablations.
+    pub preds: CsrGraph,
+    /// Symmetrised CSR neighbourhood (vanilla-GraphSAGE ablation).
+    pub all_neighbors: CsrGraph,
     /// `program.len() × INSTR_FEATURE_DIM` instruction features.
     pub instr_features: Matrix,
     /// FI instruction vulnerability tuple per PC (None = never injected).
@@ -103,18 +105,11 @@ pub(crate) fn assemble_bench_data(
         }
     }
 
-    let preds: Vec<Vec<u32>> = (0..cdfg.node_count() as u32)
-        .map(|id| cdfg.preds(id).to_vec())
-        .collect();
-    let all_neighbors: Vec<Vec<u32>> = (0..cdfg.node_count() as u32)
-        .map(|id| {
-            let mut ns = cdfg.preds(id).to_vec();
-            ns.extend_from_slice(cdfg.succs(id));
-            ns.sort_unstable();
-            ns.dedup();
-            ns
-        })
-        .collect();
+    // The predecessor graph is shared with the CDFG verbatim; the vanilla
+    // ablation's all-neighbour view is its symmetrisation (preds ∪ succs,
+    // rows stay sorted and duplicate-free).
+    let preds = cdfg.preds_csr().clone();
+    let all_neighbors = preds.symmetrised();
 
     let instr_features = Matrix::from_vec(
         bench.program().len(),
@@ -213,16 +208,18 @@ mod tests {
     #[test]
     fn neighbor_lists_are_symmetrised_supersets() {
         let d = quick_data();
-        for id in 0..d.preds.len() {
-            for p in &d.preds[id] {
-                assert!(d.all_neighbors[id].contains(p));
+        assert_eq!(d.preds.node_count(), d.cdfg.node_count());
+        assert_eq!(d.all_neighbors.node_count(), d.cdfg.node_count());
+        for id in 0..d.preds.node_count() {
+            for p in d.preds.neighbors(id) {
+                assert!(d.all_neighbors.neighbors(id).contains(p));
             }
         }
         // Symmetry: u in all_neighbors[v] ⇒ v in all_neighbors[u].
-        for v in 0..d.all_neighbors.len() {
-            for &u in &d.all_neighbors[v] {
+        for v in 0..d.all_neighbors.node_count() {
+            for &u in d.all_neighbors.neighbors(v) {
                 assert!(
-                    d.all_neighbors[u as usize].contains(&(v as u32)),
+                    d.all_neighbors.neighbors(u as usize).contains(&(v as u32)),
                     "asymmetric neighbourhood {v} ↔ {u}"
                 );
             }

@@ -94,7 +94,7 @@ pub(crate) fn train_models_with(
             .iter()
             .map(|d| TrainGraph {
                 features: &d.features,
-                neighbors: &d.preds,
+                graph: &d.preds,
                 labels: &d.labels,
                 mask: &d.mask,
             })
@@ -110,7 +110,7 @@ pub(crate) fn train_models_with(
             .iter()
             .map(|d| TrainGraph {
                 features: &d.features,
-                neighbors: &d.all_neighbors,
+                graph: &d.all_neighbors,
                 labels: &d.labels,
                 mask: &d.mask,
             })

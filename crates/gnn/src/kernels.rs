@@ -1,0 +1,307 @@
+//! CSR-driven aggregation kernels and the neighbour-sampling workspace.
+//!
+//! All kernels operate on flat [`CsrView`] ranges — contiguous `&[u32]`
+//! neighbour slices — so the inner loops are allocation-free and touch
+//! memory sequentially. The forward mean-aggregate is row-blocked across
+//! std scoped threads for large graphs (each output row depends only on
+//! the shared input matrix, so the split is deterministic); the backward
+//! scatter stays serial because different source rows accumulate into the
+//! same destination rows and the summation order is part of the
+//! reproducibility contract.
+
+use glaive_graph::{CsrGraph, CsrView};
+use glaive_nn::{DetRng, Matrix};
+
+/// Below this many multiply-adds the scoped-thread fan-out costs more than
+/// it saves and the serial path runs instead.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 18;
+
+/// Mean-aggregates `h` over each node's neighbourhood: row `v` of the
+/// result is the mean of `h`'s rows listed in `graph.neighbors(v)`; nodes
+/// without neighbours aggregate to zero.
+///
+/// Rows are accumulated in CSR order, so the result is bit-identical
+/// regardless of how many threads run — threads split the *output* rows,
+/// never one row's summation.
+///
+/// # Panics
+///
+/// Panics if `graph` has a different node count than `h` has rows.
+pub fn mean_aggregate(h: &Matrix, graph: CsrView<'_>) -> Matrix {
+    assert_eq!(
+        h.rows(),
+        graph.node_count(),
+        "feature/neighbour count mismatch"
+    );
+    let cols = h.cols();
+    let mut out = Matrix::zeros(h.rows(), cols);
+    let work = graph.edge_count() * cols;
+    let threads = if work < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    if threads <= 1 || out.rows() <= 1 {
+        aggregate_rows(h, graph, 0, out.data_mut());
+        return out;
+    }
+    let rows_per = out.rows().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block, chunk) in out.data_mut().chunks_mut(rows_per * cols).enumerate() {
+            scope.spawn(move || aggregate_rows(h, graph, block * rows_per, chunk));
+        }
+    });
+    out
+}
+
+/// Fills one contiguous block of output rows, starting at node `start`.
+fn aggregate_rows(h: &Matrix, graph: CsrView<'_>, start: usize, block: &mut [f32]) {
+    let cols = h.cols();
+    for (r, row_out) in block.chunks_mut(cols).enumerate() {
+        let ns = graph.neighbors(start + r);
+        if ns.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / ns.len() as f32;
+        for &u in ns {
+            for (a, &b) in row_out.iter_mut().zip(h.row(u as usize)) {
+                *a += b * inv;
+            }
+        }
+    }
+}
+
+/// Backward of [`mean_aggregate`]: scatters each node's aggregate gradient
+/// back onto its neighbours, scaled by `1/deg`. Accumulates into `d_h`.
+///
+/// The source row is borrowed once per node (`d_agg` and `d_h` are
+/// distinct matrices, so no copy is needed) and destination rows receive
+/// contributions in ascending source-node order.
+///
+/// # Panics
+///
+/// Panics if the matrix shapes disagree with the graph.
+pub fn scatter_mean_backward(d_agg: &Matrix, graph: CsrView<'_>, d_h: &mut Matrix) {
+    assert_eq!(d_agg.rows(), graph.node_count(), "gradient/graph mismatch");
+    assert_eq!(d_agg.rows(), d_h.rows(), "gradient shape mismatch");
+    assert_eq!(d_agg.cols(), d_h.cols(), "gradient shape mismatch");
+    for v in 0..graph.node_count() {
+        let ns = graph.neighbors(v);
+        if ns.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / ns.len() as f32;
+        let src = d_agg.row(v);
+        for &u in ns {
+            for (a, &b) in d_h.row_mut(u as usize).iter_mut().zip(src) {
+                *a += b * inv;
+            }
+        }
+    }
+}
+
+/// A reusable neighbour-sampling workspace: the sampled neighbourhood of a
+/// graph, stored as its own small CSR.
+///
+/// [`SampledCsr::resample`] draws up to `k` neighbours per node without
+/// replacement (partial Fisher–Yates over an index window) and rebuilds
+/// the workspace in place. All three buffers retain their capacity across
+/// calls — at most `k · n` targets plus an `n + 1` offset array plus a
+/// max-degree scratch pool — so steady-state training epochs allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SampledCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    pool: Vec<u32>,
+}
+
+impl SampledCsr {
+    /// An empty workspace; buffers grow on first [`SampledCsr::resample`].
+    pub fn new() -> SampledCsr {
+        SampledCsr::default()
+    }
+
+    /// Resamples: each node keeps its full (sorted) neighbour row if it has
+    /// at most `k` neighbours, otherwise `k` distinct neighbours drawn via
+    /// partial Fisher–Yates, emitted in swap order.
+    ///
+    /// Only rows longer than `k` consume randomness — exactly `k` draws of
+    /// `rng.next_below(deg - i)` each, in ascending node order — so a given
+    /// `(graph, k, rng)` state always yields the same sample.
+    pub fn resample(&mut self, graph: &CsrGraph, k: usize, rng: &mut DetRng) {
+        assert!(k >= 1, "sample size must be positive");
+        let n = graph.node_count();
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.targets.clear();
+        self.targets.reserve(graph.edge_count().min(k * n));
+        self.offsets.push(0);
+        for v in 0..n {
+            let row = graph.neighbors(v);
+            if row.len() <= k {
+                self.targets.extend_from_slice(row);
+            } else {
+                self.pool.clear();
+                self.pool.extend_from_slice(row);
+                for i in 0..k {
+                    let j = i + rng.next_below(self.pool.len() - i);
+                    self.pool.swap(i, j);
+                }
+                self.targets.extend_from_slice(&self.pool[..k]);
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
+    /// The sampled neighbourhood as a CSR view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`SampledCsr::resample`].
+    pub fn view(&self) -> CsrView<'_> {
+        assert!(!self.offsets.is_empty(), "resample before viewing");
+        CsrView::new(&self.offsets, &self.targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_graph::EdgeKind;
+
+    fn chain(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, (1..n).map(|v| (v as u32, v as u32 - 1, EdgeKind::Data)))
+    }
+
+    #[test]
+    fn aggregate_means_neighbour_rows() {
+        let g = CsrGraph::from_edges(
+            3,
+            [
+                (1u32, 0u32, EdgeKind::Data),
+                (2, 0, EdgeKind::Data),
+                (2, 1, EdgeKind::Data),
+            ],
+        );
+        let h = Matrix::from_vec(3, 2, vec![2.0, 4.0, 6.0, 8.0, 1.0, 1.0]);
+        let agg = mean_aggregate(&h, g.view());
+        assert_eq!(agg.row(0), &[0.0, 0.0]);
+        assert_eq!(agg.row(1), &[2.0, 4.0]);
+        assert_eq!(agg.row(2), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn scatter_is_the_adjoint_of_aggregate() {
+        // <aggregate(h), g> == <h, scatter(g)> for any h, g.
+        let mut rng = DetRng::new(7);
+        let g = CsrGraph::from_edges(
+            6,
+            (0..12u32).map(|i| {
+                let a = i % 6;
+                let b = (i * 5 + 1) % 6;
+                (a, b, EdgeKind::Data)
+            }),
+        );
+        let h = Matrix::from_fn(6, 3, |_, _| rng.uniform(-1.0, 1.0));
+        let grad = Matrix::from_fn(6, 3, |_, _| rng.uniform(-1.0, 1.0));
+        let agg = mean_aggregate(&h, g.view());
+        let mut scattered = Matrix::zeros(6, 3);
+        scatter_mean_backward(&grad, g.view(), &mut scattered);
+        let lhs: f32 = agg.data().iter().zip(grad.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = h
+            .data()
+            .iter()
+            .zip(scattered.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn sampling_caps_rows_and_reuses_buffers() {
+        // Node 0's row has 10 entries (sampled down to 3); node 1's has 2
+        // (kept verbatim); the rest are empty.
+        let g = CsrGraph::from_edges(
+            12,
+            (1..11u32)
+                .map(|t| (0u32, t, EdgeKind::Data))
+                .chain([(1u32, 10u32, EdgeKind::Data), (1, 11, EdgeKind::Data)]),
+        );
+        let mut ws = SampledCsr::new();
+        let mut rng = DetRng::new(1);
+        ws.resample(&g, 3, &mut rng);
+        let v = ws.view();
+        assert_eq!(v.node_count(), 12);
+        assert_eq!(v.neighbors(0).len(), 3);
+        assert_eq!(v.neighbors(1).len(), 2);
+        for node in 0..12 {
+            assert!(v.neighbors(node).len() <= 3);
+            // Sampled entries are distinct members of the original row.
+            let mut s = v.neighbors(node).to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), v.neighbors(node).len());
+            for &t in v.neighbors(node) {
+                assert!(g.neighbors(node).contains(&t));
+            }
+        }
+        // Resampling reuses capacity: pointers stay stable once warm.
+        ws.resample(&g, 3, &mut rng);
+        let cap = (ws.offsets.capacity(), ws.targets.capacity());
+        for _ in 0..5 {
+            ws.resample(&g, 3, &mut rng);
+        }
+        assert_eq!(cap, (ws.offsets.capacity(), ws.targets.capacity()));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_given_rng_state() {
+        let g = chain(40).symmetrised();
+        let mut a = SampledCsr::new();
+        let mut b = SampledCsr::new();
+        let mut rng_a = DetRng::new(5);
+        let mut rng_b = DetRng::new(5);
+        for _ in 0..3 {
+            a.resample(&g, 1, &mut rng_a);
+            b.resample(&g, 1, &mut rng_b);
+            assert_eq!(a.offsets, b.offsets);
+            assert_eq!(a.targets, b.targets);
+        }
+    }
+
+    #[test]
+    fn small_rows_are_copied_verbatim_without_consuming_rng() {
+        let g = chain(8);
+        let mut ws = SampledCsr::new();
+        let mut rng = DetRng::new(9);
+        ws.resample(&g, 4, &mut rng);
+        // Every row has degree <= 1 <= k: no draws happened.
+        assert_eq!(rng.next_below(1 << 30), DetRng::new(9).next_below(1 << 30));
+        for v in 0..8 {
+            assert_eq!(ws.view().neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_aggregation_agree_bitwise() {
+        // Big enough to cross PARALLEL_WORK_THRESHOLD with wide features.
+        let n = 2000;
+        let mut rng = DetRng::new(3);
+        let g = CsrGraph::from_edges(
+            n,
+            (0..8 * n as u32).map(|i| {
+                let a = i % n as u32;
+                let b = (i * 31 + 7) % n as u32;
+                (a, b, EdgeKind::Data)
+            }),
+        );
+        let h = Matrix::from_fn(n, 64, |_, _| rng.uniform(-1.0, 1.0));
+        let fast = mean_aggregate(&h, g.view());
+        let mut slow = Matrix::zeros(n, 64);
+        aggregate_rows(&h, g.view(), 0, slow.data_mut());
+        assert_eq!(fast.data(), slow.data());
+    }
+}

@@ -19,20 +19,27 @@
 //! processes roughly as many labelled nodes as the paper's epoch of
 //! minibatches (documented substitution, see DESIGN.md §1).
 //!
+//! Graphs enter and leave this crate as flat, kind-tagged CSR adjacencies
+//! ([`glaive_graph::CsrGraph`]); the aggregation kernels in [`kernels`]
+//! run over contiguous CSR ranges with no per-node allocation, and
+//! per-epoch neighbour sampling reuses one [`SampledCsr`] workspace.
+//!
 //! # Example
 //!
 //! ```
+//! use glaive_graph::{CsrGraph, EdgeKind};
 //! use glaive_nn::Matrix;
 //! use glaive_gnn::{GraphSage, SageConfig, TrainGraph};
 //!
-//! // A 4-node chain 0 → 1 → 2 → 3 whose labels depend on the predecessor.
+//! // A 4-node chain 0 → 1 → 2 → 3 whose labels depend on the predecessor:
+//! // node v's aggregation row holds its predecessor v-1.
 //! let features = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
-//! let neighbors = vec![vec![], vec![0], vec![1], vec![2]];
+//! let preds = CsrGraph::from_edges(4, (1..4u32).map(|v| (v, v - 1, EdgeKind::Data)));
 //! let labels = vec![0, 1, 0, 1];
 //! let mask = vec![true; 4];
 //! let graph = TrainGraph {
 //!     features: &features,
-//!     neighbors: &neighbors,
+//!     graph: &preds,
 //!     labels: &labels,
 //!     mask: &mask,
 //! };
@@ -40,12 +47,14 @@
 //! let mut model = GraphSage::new(2, &config);
 //! let stats = model.train(&[graph]);
 //! assert!(stats.final_loss() < stats.epoch_losses[0]);
-//! let pred = model.predict_labels(&features, &neighbors);
+//! let pred = model.predict_labels(&features, &preds);
 //! assert_eq!(pred, labels);
 //! ```
 
+pub mod kernels;
 mod model;
 mod serdes;
 
+pub use kernels::SampledCsr;
 pub use model::{GraphSage, SageConfig, TrainGraph, TrainStats};
 pub use serdes::ModelDecodeError;

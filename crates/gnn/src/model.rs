@@ -1,6 +1,9 @@
+use glaive_graph::{CsrGraph, CsrView};
 use glaive_nn::{
     relu, relu_backward, softmax_cross_entropy, softmax_rows, Adam, DetRng, Linear, Matrix,
 };
+
+use crate::kernels::{mean_aggregate, scatter_mean_backward, SampledCsr};
 
 /// Hyperparameters of the augmented GraphSAGE model. Defaults follow the
 /// paper (§IV): 3 layers, hidden dimension 128, learning rate 1e-3,
@@ -37,15 +40,16 @@ impl Default for SageConfig {
     }
 }
 
-/// One labelled training graph: features, aggregation neighbourhoods
-/// (predecessors for GLAIVE, symmetrised neighbours for the vanilla
-/// ablation), per-node class labels, and a mask selecting labelled nodes.
+/// One labelled training graph: features, the aggregation neighbourhood as
+/// a flat CSR graph (predecessors for GLAIVE, the symmetrised view for the
+/// vanilla ablation), per-node class labels, and a mask selecting
+/// labelled nodes.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainGraph<'a> {
     /// `n × d` node feature matrix.
     pub features: &'a Matrix,
-    /// Aggregation neighbourhood of each node.
-    pub neighbors: &'a [Vec<u32>],
+    /// Aggregation neighbourhood of each node (`graph.neighbors(v)`).
+    pub graph: &'a CsrGraph,
     /// Class label per node (ignored where `mask` is false).
     pub labels: &'a [usize],
     /// Which nodes contribute to the loss.
@@ -153,56 +157,15 @@ impl GraphSage {
         })
     }
 
-    /// Mean-aggregates `h` over each node's (possibly sampled)
-    /// neighbourhood; nodes without neighbours aggregate to zero.
-    fn aggregate(h: &Matrix, neigh: &[Vec<u32>]) -> Matrix {
-        let mut agg = Matrix::zeros(h.rows(), h.cols());
-        for (v, ns) in neigh.iter().enumerate() {
-            if ns.is_empty() {
-                continue;
-            }
-            let inv = 1.0 / ns.len() as f32;
-            let row = agg.row_mut(v);
-            for &u in ns {
-                for (a, &b) in row.iter_mut().zip(h.row(u as usize)) {
-                    *a += b * inv;
-                }
-            }
-        }
-        agg
-    }
-
-    /// Samples up to `sample_size` neighbours per node (without
-    /// replacement), for one training epoch.
-    fn sample_neighbors(&mut self, neighbors: &[Vec<u32>]) -> Vec<Vec<u32>> {
-        let k = self.config.sample_size;
-        neighbors
-            .iter()
-            .map(|ns| {
-                if ns.len() <= k {
-                    ns.clone()
-                } else {
-                    // Partial Fisher–Yates: first k of a shuffle.
-                    let mut pool = ns.clone();
-                    for i in 0..k {
-                        let j = i + self.rng.next_below(pool.len() - i);
-                        pool.swap(i, j);
-                    }
-                    pool.truncate(k);
-                    pool
-                }
-            })
-            .collect()
-    }
-
-    /// Full forward pass; returns per-layer caches for backprop:
-    /// `(inputs z_k, pre-activations, final logits)`.
-    fn forward(&self, features: &Matrix, neigh: &[Vec<u32>]) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
+    /// Full forward pass over the given neighbourhood view; returns
+    /// per-layer caches for backprop: `(inputs z_k, pre-activations,
+    /// final logits)`.
+    fn forward(&self, features: &Matrix, neigh: CsrView<'_>) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
         let mut h = features.clone();
         let mut inputs = Vec::with_capacity(self.layers.len());
         let mut pres = Vec::with_capacity(self.layers.len());
         for (l, layer) in self.layers.iter().enumerate() {
-            let agg = Self::aggregate(&h, neigh);
+            let agg = mean_aggregate(&h, neigh);
             let z = h.hconcat(&agg);
             let pre = layer.forward(&z);
             let out = if l + 1 == self.layers.len() {
@@ -218,12 +181,12 @@ impl GraphSage {
     }
 
     /// Loss and per-layer gradients for one graph under the given sampled
-    /// neighbourhoods (separated from [`GraphSage::step`] so tests can
+    /// neighbourhood view (separated from [`GraphSage::step`] so tests can
     /// check the analytic gradients numerically).
     fn compute_gradients(
         &self,
         graph: &TrainGraph<'_>,
-        neigh: &[Vec<u32>],
+        neigh: CsrView<'_>,
     ) -> (f32, Vec<glaive_nn::LinearGrads>) {
         let (inputs, pres, logits) = self.forward(graph.features, neigh);
         let (loss, mut grad) = softmax_cross_entropy(&logits, graph.labels, Some(graph.mask));
@@ -245,19 +208,7 @@ impl GraphSage {
                 let d_in = inputs[l].cols() / 2;
                 let (d_self, d_agg) = d_z.hsplit(d_in);
                 let mut d_h = d_self;
-                for (v, ns) in neigh.iter().enumerate() {
-                    if ns.is_empty() {
-                        continue;
-                    }
-                    let inv = 1.0 / ns.len() as f32;
-                    for &u in ns {
-                        let src = d_agg.row(v).to_vec();
-                        let dst = d_h.row_mut(u as usize);
-                        for (a, b) in dst.iter_mut().zip(src) {
-                            *a += b * inv;
-                        }
-                    }
-                }
+                scatter_mean_backward(&d_agg, neigh, &mut d_h);
                 grad = d_h;
             } else {
                 grad = Matrix::zeros(0, 0);
@@ -268,7 +219,7 @@ impl GraphSage {
     }
 
     /// One full-batch gradient step on one graph; returns the masked loss.
-    fn step(&mut self, graph: &TrainGraph<'_>, neigh: &[Vec<u32>], opt: &mut [Adam]) -> f32 {
+    fn step(&mut self, graph: &TrainGraph<'_>, neigh: CsrView<'_>, opt: &mut [Adam]) -> f32 {
         let (loss, all_grads) = self.compute_gradients(graph, neigh);
         for ((layer, grads), o) in self.layers.iter_mut().zip(&all_grads).zip(opt.iter_mut()) {
             layer.apply(o, grads);
@@ -277,7 +228,8 @@ impl GraphSage {
     }
 
     /// Trains on the given graphs for the configured number of epochs,
-    /// resampling neighbourhoods each epoch.
+    /// resampling neighbourhoods each epoch into one reused workspace
+    /// (steady-state epochs allocate no adjacency memory).
     ///
     /// # Panics
     ///
@@ -287,7 +239,7 @@ impl GraphSage {
         for g in graphs {
             assert_eq!(
                 g.features.rows(),
-                g.neighbors.len(),
+                g.graph.node_count(),
                 "feature/neighbour count mismatch"
             );
             assert_eq!(
@@ -306,12 +258,14 @@ impl GraphSage {
             .iter()
             .map(|l| Adam::new(self.config.lr, l.param_count()))
             .collect();
+        let mut sampled = SampledCsr::new();
+        let k = self.config.sample_size;
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         for _ in 0..self.config.epochs {
             let mut total = 0.0;
             for graph in graphs {
-                let sampled = self.sample_neighbors(graph.neighbors);
-                total += self.step(graph, &sampled, &mut opts);
+                sampled.resample(graph.graph, k, &mut self.rng);
+                total += self.step(graph, sampled.view(), &mut opts);
             }
             epoch_losses.push(total / graphs.len() as f32);
         }
@@ -320,25 +274,26 @@ impl GraphSage {
 
     /// Class probabilities for every node of an (unseen) graph, aggregating
     /// over full neighbourhoods.
-    pub fn predict_proba(&self, features: &Matrix, neighbors: &[Vec<u32>]) -> Matrix {
+    pub fn predict_proba(&self, features: &Matrix, graph: &CsrGraph) -> Matrix {
         assert_eq!(
             features.rows(),
-            neighbors.len(),
+            graph.node_count(),
             "feature/neighbour count mismatch"
         );
-        let (_, _, logits) = self.forward(features, neighbors);
+        let (_, _, logits) = self.forward(features, graph.view());
         softmax_rows(&logits)
     }
 
     /// Hard label predictions (argmax of [`GraphSage::predict_proba`]).
-    pub fn predict_labels(&self, features: &Matrix, neighbors: &[Vec<u32>]) -> Vec<usize> {
-        self.predict_proba(features, neighbors).argmax_rows()
+    pub fn predict_labels(&self, features: &Matrix, graph: &CsrGraph) -> Vec<usize> {
+        self.predict_proba(features, graph).argmax_rows()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use glaive_graph::EdgeKind;
 
     fn small_config() -> SageConfig {
         SageConfig {
@@ -352,9 +307,21 @@ mod tests {
         }
     }
 
+    /// Builds the CSR aggregation graph from per-node neighbour lists
+    /// (`lists[v]` = nodes aggregated into `v`).
+    fn csr_from_lists(lists: &[Vec<u32>]) -> CsrGraph {
+        CsrGraph::from_edges(
+            lists.len(),
+            lists
+                .iter()
+                .enumerate()
+                .flat_map(|(v, ns)| ns.iter().map(move |&u| (v as u32, u, EdgeKind::Data))),
+        )
+    }
+
     /// Labels are decided by the predecessor's feature, not the node's own:
     /// only a model that aggregates predecessor information can fit this.
-    fn predecessor_xor_task() -> (Matrix, Vec<Vec<u32>>, Vec<usize>) {
+    fn predecessor_xor_task() -> (Matrix, CsrGraph, Vec<usize>) {
         let n = 80;
         let mut rng = DetRng::new(11);
         let mut feats = Matrix::zeros(n, 2);
@@ -372,23 +339,23 @@ mod tests {
             labels[v] = classes[p];
         }
         labels[0] = classes[0];
-        (feats, neighbors, labels)
+        (feats, csr_from_lists(&neighbors), labels)
     }
 
     #[test]
     fn learns_predecessor_dependent_labels() {
-        let (feats, neighbors, labels) = predecessor_xor_task();
+        let (feats, graph, labels) = predecessor_xor_task();
         let mask: Vec<bool> = (0..labels.len()).map(|v| v != 0).collect();
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &graph,
             labels: &labels,
             mask: &mask,
         };
         let mut model = GraphSage::new(2, &small_config());
         let stats = model.train(&[graph]);
         assert!(stats.final_loss() < 0.2, "loss {}", stats.final_loss());
-        let pred = model.predict_labels(&feats, &neighbors);
+        let pred = model.predict_labels(&feats, graph.graph);
         let correct = pred
             .iter()
             .zip(&labels)
@@ -401,11 +368,11 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_given_seed() {
-        let (feats, neighbors, labels) = predecessor_xor_task();
+        let (feats, graph, labels) = predecessor_xor_task();
         let mask = vec![true; labels.len()];
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &graph,
             labels: &labels,
             mask: &mask,
         };
@@ -415,18 +382,18 @@ mod tests {
         let sb = b.train(&[graph]);
         assert_eq!(sa.epoch_losses, sb.epoch_losses);
         assert_eq!(
-            a.predict_labels(&feats, &neighbors),
-            b.predict_labels(&feats, &neighbors)
+            a.predict_labels(&feats, graph.graph),
+            b.predict_labels(&feats, graph.graph)
         );
     }
 
     #[test]
     fn transfers_to_unseen_graph_with_same_rule() {
-        let (feats, neighbors, labels) = predecessor_xor_task();
+        let (feats, graph, labels) = predecessor_xor_task();
         let mask = vec![true; labels.len()];
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &graph,
             labels: &labels,
             mask: &mask,
         };
@@ -450,7 +417,8 @@ mod tests {
             neigh2[v] = vec![p as u32];
             labels2[v] = classes[p];
         }
-        let pred = model.predict_labels(&feats2, &neigh2);
+        let graph2 = csr_from_lists(&neigh2);
+        let pred = model.predict_labels(&feats2, &graph2);
         let correct = pred
             .iter()
             .zip(&labels2)
@@ -462,17 +430,17 @@ mod tests {
 
     #[test]
     fn probabilities_are_normalised() {
-        let (feats, neighbors, labels) = predecessor_xor_task();
+        let (feats, graph, labels) = predecessor_xor_task();
         let mask = vec![true; labels.len()];
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &graph,
             labels: &labels,
             mask: &mask,
         };
         let mut model = GraphSage::new(2, &small_config());
         model.train(&[graph]);
-        let probs = model.predict_proba(&feats, &neighbors);
+        let probs = model.predict_proba(&feats, graph.graph);
         for r in 0..probs.rows() {
             let s: f32 = probs.row(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
@@ -481,57 +449,36 @@ mod tests {
     }
 
     #[test]
-    fn sampling_caps_neighbourhood_size() {
-        let mut model = GraphSage::new(
-            2,
-            &SageConfig {
-                sample_size: 3,
-                ..small_config()
-            },
-        );
-        let neighbors = vec![(0..10u32).collect::<Vec<u32>>(), vec![1, 2]];
-        let sampled = model.sample_neighbors(&neighbors);
-        assert_eq!(sampled[0].len(), 3);
-        assert_eq!(sampled[1], vec![1, 2]);
-        // Samples are distinct members of the original list.
-        let mut s = sampled[0].clone();
-        s.sort_unstable();
-        s.dedup();
-        assert_eq!(s.len(), 3);
-        assert!(s.iter().all(|&x| x < 10));
-    }
-
-    #[test]
     fn isolated_nodes_aggregate_zero_and_survive() {
         let feats = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
-        let neighbors = vec![vec![], vec![]];
+        let graph = CsrGraph::empty(2);
         let labels = vec![0, 1];
         let mask = vec![true, true];
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &graph,
             labels: &labels,
             mask: &mask,
         };
         let mut model = GraphSage::new(2, &small_config());
         let stats = model.train(&[graph]);
         assert!(stats.final_loss().is_finite());
-        assert_eq!(model.predict_labels(&feats, &neighbors), labels);
+        assert_eq!(model.predict_labels(&feats, graph.graph), labels);
     }
 
     #[test]
     fn multiple_graphs_train_jointly() {
-        let (f1, n1, l1) = predecessor_xor_task();
+        let (f1, g1m, l1) = predecessor_xor_task();
         let m1 = vec![true; l1.len()];
         let g1 = TrainGraph {
             features: &f1,
-            neighbors: &n1,
+            graph: &g1m,
             labels: &l1,
             mask: &m1,
         };
         let g2 = TrainGraph {
             features: &f1,
-            neighbors: &n1,
+            graph: &g1m,
             labels: &l1,
             mask: &m1,
         };
@@ -557,12 +504,13 @@ mod tests {
             vec![0.3, -0.7, 1.1, 0.2, -0.4, 0.9, 0.0, 0.5, -1.2, -0.1],
         );
         // A small DAG with shared predecessors to exercise the scatter.
-        let neighbors: Vec<Vec<u32>> = vec![vec![], vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let lists: Vec<Vec<u32>> = vec![vec![], vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let csr = csr_from_lists(&lists);
         let labels = vec![0usize, 1, 0, 1, 0];
         let mask = vec![true, true, false, true, true];
         let graph = TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &csr,
             labels: &labels,
             mask: &mask,
         };
@@ -576,11 +524,11 @@ mod tests {
             seed: 4,
         };
         let model = GraphSage::new(2, &config);
-        let (_, grads) = model.compute_gradients(&graph, &neighbors);
+        let (_, grads) = model.compute_gradients(&graph, csr.view());
 
         let eps = 2e-3f32;
         let loss_of = |m: &GraphSage| {
-            let (_, _, logits) = m.forward(&feats, &neighbors);
+            let (_, _, logits) = m.forward(&feats, csr.view());
             softmax_cross_entropy(&logits, &labels, Some(&mask)).0
         };
         // Probe several entries in every layer (including the aggregate
@@ -609,6 +557,251 @@ mod tests {
                     (numeric - analytic).abs() < 2e-2,
                     "layer {l} dW[{r},{c}]: numeric {numeric} vs analytic {analytic}"
                 );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Golden parity with the pre-CSR implementation.
+    //
+    // `legacy_*` below reproduce the nested-`Vec<Vec<u32>>` code path this
+    // crate shipped before the CSR refactor, verbatim (including the
+    // per-edge row copy in the backward scatter). The tests require the
+    // CSR path to be *bit-identical*: same per-epoch losses, same
+    // gradients, same probabilities.
+    // ------------------------------------------------------------------
+
+    fn legacy_aggregate(h: &Matrix, neigh: &[Vec<u32>]) -> Matrix {
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        for (v, ns) in neigh.iter().enumerate() {
+            if ns.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / ns.len() as f32;
+            let row = agg.row_mut(v);
+            for &u in ns {
+                for (a, &b) in row.iter_mut().zip(h.row(u as usize)) {
+                    *a += b * inv;
+                }
+            }
+        }
+        agg
+    }
+
+    fn legacy_sample(rng: &mut DetRng, k: usize, neighbors: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        neighbors
+            .iter()
+            .map(|ns| {
+                if ns.len() <= k {
+                    ns.clone()
+                } else {
+                    let mut pool = ns.clone();
+                    for i in 0..k {
+                        let j = i + rng.next_below(pool.len() - i);
+                        pool.swap(i, j);
+                    }
+                    pool.truncate(k);
+                    pool
+                }
+            })
+            .collect()
+    }
+
+    fn legacy_forward(
+        model: &GraphSage,
+        features: &Matrix,
+        neigh: &[Vec<u32>],
+    ) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
+        let mut h = features.clone();
+        let mut inputs = Vec::new();
+        let mut pres = Vec::new();
+        for (l, layer) in model.layers.iter().enumerate() {
+            let agg = legacy_aggregate(&h, neigh);
+            let z = h.hconcat(&agg);
+            let pre = layer.forward(&z);
+            let out = if l + 1 == model.layers.len() {
+                pre.clone()
+            } else {
+                relu(&pre)
+            };
+            inputs.push(z);
+            pres.push(pre);
+            h = out;
+        }
+        (inputs, pres, h)
+    }
+
+    fn legacy_gradients(
+        model: &GraphSage,
+        features: &Matrix,
+        neigh: &[Vec<u32>],
+        labels: &[usize],
+        mask: &[bool],
+    ) -> (f32, Vec<glaive_nn::LinearGrads>) {
+        let (inputs, pres, logits) = legacy_forward(model, features, neigh);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, labels, Some(mask));
+        let mut all_grads = Vec::new();
+        for l in (0..model.layers.len()).rev() {
+            let is_last = l + 1 == model.layers.len();
+            let d_pre = if is_last {
+                grad
+            } else {
+                relu_backward(&pres[l], &grad)
+            };
+            let (d_z, grads) = model.layers[l].backward(&inputs[l], &d_pre);
+            all_grads.push(grads);
+            if l > 0 {
+                let d_in = inputs[l].cols() / 2;
+                let (d_self, d_agg) = d_z.hsplit(d_in);
+                let mut d_h = d_self;
+                for (v, ns) in neigh.iter().enumerate() {
+                    if ns.is_empty() {
+                        continue;
+                    }
+                    let inv = 1.0 / ns.len() as f32;
+                    for &u in ns {
+                        let src = d_agg.row(v).to_vec();
+                        let dst = d_h.row_mut(u as usize);
+                        for (a, b) in dst.iter_mut().zip(src) {
+                            *a += b * inv;
+                        }
+                    }
+                }
+                grad = d_h;
+            } else {
+                grad = Matrix::zeros(0, 0);
+            }
+        }
+        all_grads.reverse();
+        (loss, all_grads)
+    }
+
+    fn legacy_train(
+        model: &mut GraphSage,
+        features: &Matrix,
+        neighbors: &[Vec<u32>],
+        labels: &[usize],
+        mask: &[bool],
+    ) -> Vec<f32> {
+        let mut opts: Vec<Adam> = model
+            .layers
+            .iter()
+            .map(|l| Adam::new(model.config.lr, l.param_count()))
+            .collect();
+        let k = model.config.sample_size;
+        let mut epoch_losses = Vec::new();
+        for _ in 0..model.config.epochs {
+            let sampled = legacy_sample(&mut model.rng, k, neighbors);
+            let (loss, all_grads) = legacy_gradients(model, features, &sampled, labels, mask);
+            for ((layer, grads), o) in model.layers.iter_mut().zip(&all_grads).zip(opts.iter_mut())
+            {
+                layer.apply(o, grads);
+            }
+            epoch_losses.push(loss);
+        }
+        epoch_losses
+    }
+
+    /// A dense-ish task where many nodes exceed the sample size, so the
+    /// sampler's RNG stream matters, with sorted de-duplicated neighbour
+    /// lists (the invariant the legacy builder guaranteed).
+    fn dense_task() -> (Matrix, Vec<Vec<u32>>, Vec<usize>, Vec<bool>) {
+        let n = 50;
+        let mut rng = DetRng::new(21);
+        let feats = Matrix::from_fn(n, 3, |_, _| rng.uniform(-1.0, 1.0));
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, list) in lists.iter_mut().enumerate().skip(1) {
+            let deg = 1 + rng.next_below(9.min(v));
+            for _ in 0..deg {
+                list.push(rng.next_below(v) as u32);
+            }
+            list.sort_unstable();
+            list.dedup();
+        }
+        let labels: Vec<usize> = (0..n).map(|v| v % 2).collect();
+        let mask: Vec<bool> = (0..n).map(|v| v % 3 != 0).collect();
+        (feats, lists, labels, mask)
+    }
+
+    #[test]
+    fn csr_gradients_match_legacy_bitwise() {
+        let (feats, lists, labels, mask) = dense_task();
+        let csr = csr_from_lists(&lists);
+        let config = SageConfig {
+            hidden: 6,
+            layers: 3,
+            classes: 2,
+            sample_size: 4,
+            lr: 0.01,
+            epochs: 1,
+            seed: 17,
+        };
+        let model = GraphSage::new(3, &config);
+        let graph = TrainGraph {
+            features: &feats,
+            graph: &csr,
+            labels: &labels,
+            mask: &mask,
+        };
+        let (loss_new, grads_new) = model.compute_gradients(&graph, csr.view());
+        let (loss_old, grads_old) = legacy_gradients(&model, &feats, &lists, &labels, &mask);
+        assert_eq!(loss_new.to_bits(), loss_old.to_bits());
+        assert_eq!(grads_new.len(), grads_old.len());
+        for (gn, go) in grads_new.iter().zip(&grads_old) {
+            assert_eq!(gn.w.data(), go.w.data());
+            assert_eq!(gn.b, go.b);
+        }
+    }
+
+    #[test]
+    fn csr_training_matches_legacy_bitwise() {
+        let (feats, lists, labels, mask) = dense_task();
+        let csr = csr_from_lists(&lists);
+        let config = SageConfig {
+            hidden: 6,
+            layers: 2,
+            classes: 2,
+            sample_size: 3,
+            lr: 0.02,
+            epochs: 8,
+            seed: 29,
+        };
+
+        let mut legacy = GraphSage::new(3, &config);
+        let legacy_losses = legacy_train(&mut legacy, &feats, &lists, &labels, &mask);
+
+        let mut fresh = GraphSage::new(3, &config);
+        let stats = fresh.train(&[TrainGraph {
+            features: &feats,
+            graph: &csr,
+            labels: &labels,
+            mask: &mask,
+        }]);
+
+        let new_bits: Vec<u32> = stats.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        let old_bits: Vec<u32> = legacy_losses.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(new_bits, old_bits, "per-epoch losses diverged");
+
+        let probs_new = fresh.predict_proba(&feats, &csr);
+        let (_, _, logits_old) = legacy_forward(&legacy, &feats, &lists);
+        let probs_old = softmax_rows(&logits_old);
+        assert_eq!(probs_new.data(), probs_old.data());
+        assert_eq!(fresh.predict_labels(&feats, &csr), probs_old.argmax_rows());
+    }
+
+    #[test]
+    fn sampled_workspace_matches_legacy_sampler() {
+        let (_, lists, _, _) = dense_task();
+        let csr = csr_from_lists(&lists);
+        let mut rng_old = DetRng::new(41);
+        let mut rng_new = DetRng::new(41);
+        let mut ws = SampledCsr::new();
+        for _ in 0..4 {
+            let old = legacy_sample(&mut rng_old, 3, &lists);
+            ws.resample(&csr, 3, &mut rng_new);
+            let v = ws.view();
+            for (node, row) in old.iter().enumerate() {
+                assert_eq!(v.neighbors(node), &row[..], "node {node}");
             }
         }
     }

@@ -153,15 +153,14 @@ impl GraphSage {
 mod tests {
     use super::*;
     use crate::model::TrainGraph;
+    use glaive_graph::{CsrGraph, EdgeKind};
     use glaive_nn::DetRng;
 
-    fn trained_model() -> (GraphSage, Matrix, Vec<Vec<u32>>) {
+    fn trained_model() -> (GraphSage, Matrix, CsrGraph) {
         let mut rng = DetRng::new(3);
         let n = 20;
         let feats = Matrix::from_fn(n, 4, |_, _| rng.uniform(-1.0, 1.0));
-        let neighbors: Vec<Vec<u32>> = (0..n)
-            .map(|v| if v == 0 { vec![] } else { vec![(v - 1) as u32] })
-            .collect();
+        let preds = CsrGraph::from_edges(n, (1..n as u32).map(|v| (v, v - 1, EdgeKind::Data)));
         let labels: Vec<usize> = (0..n).map(|v| v % 3).collect();
         let mask = vec![true; n];
         let config = SageConfig {
@@ -176,22 +175,22 @@ mod tests {
         let mut model = GraphSage::new(4, &config);
         model.train(&[TrainGraph {
             features: &feats,
-            neighbors: &neighbors,
+            graph: &preds,
             labels: &labels,
             mask: &mask,
         }]);
-        (model, feats, neighbors)
+        (model, feats, preds)
     }
 
     #[test]
     fn roundtrip_preserves_predictions() {
-        let (model, feats, neighbors) = trained_model();
+        let (model, feats, preds) = trained_model();
         let bytes = model.to_bytes();
         let restored = GraphSage::from_bytes(&bytes).expect("roundtrip");
         assert_eq!(restored.config(), model.config());
         assert_eq!(
-            restored.predict_proba(&feats, &neighbors).data(),
-            model.predict_proba(&feats, &neighbors).data()
+            restored.predict_proba(&feats, &preds).data(),
+            model.predict_proba(&feats, &preds).data()
         );
     }
 

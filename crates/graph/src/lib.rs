@@ -1,0 +1,497 @@
+//! The workspace's single graph currency: a flat, kind-tagged compressed
+//! sparse row (CSR) adjacency.
+//!
+//! Every layer that touches graph structure — bit-level CDFG construction
+//! (`glaive-cdfg`), the GraphSAGE kernels (`glaive-gnn`) and the pipeline
+//! (`glaive` core) — speaks [`CsrGraph`]: one `offsets` array (`n + 1`
+//! entries), one flat `targets` array, and one parallel `kinds` array
+//! tagging each retained edge with the union of the dependence kinds
+//! ([`EdgeKind`]) that justified it. Row contents are sorted and
+//! de-duplicated, so a row is a canonical neighbourhood and two graphs are
+//! equal iff their flat arrays are equal.
+//!
+//! Invariants (upheld by every constructor):
+//!
+//! - `offsets.len() == node_count + 1`, `offsets[0] == 0`, non-decreasing.
+//! - `targets.len() == kinds.len() == offsets[node_count]`.
+//! - Within each row `offsets[v]..offsets[v + 1]`, targets are strictly
+//!   increasing (sorted, no duplicates); a multi-kind node pair collapses
+//!   to one edge whose kind mask ORs the kinds.
+//!
+//! The layout is what makes the downstream kernels cheap: a node's
+//! neighbourhood is one contiguous slice (no pointer chasing, no per-node
+//! heap cells), kind-filtered ablation views are a linear scan
+//! ([`CsrGraph::filtered`]) instead of a re-run of the program analyses,
+//! and row-blocked parallel aggregation can hand each worker a contiguous
+//! span of rows.
+
+use std::fmt;
+
+/// The dependence kind that justified an edge of the bit-level CDFG.
+///
+/// Kinds are stored per edge as a bitmask ([`EdgeKind::bit`]) so an edge
+/// justified by several analyses (e.g. both a register def-use and a memory
+/// dependence) keeps every tag while appearing once in the adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Intra-instruction source-bit → destination-bit edge.
+    Intra,
+    /// Inter-instruction register def-use (`D_D`) edge.
+    Data,
+    /// Control-dependence (`D_C`) edge.
+    Control,
+    /// Memory-dependence (`D_M`) edge.
+    Memory,
+}
+
+impl EdgeKind {
+    /// All kinds, in mask-bit order.
+    pub const ALL: [EdgeKind; 4] = [
+        EdgeKind::Intra,
+        EdgeKind::Data,
+        EdgeKind::Control,
+        EdgeKind::Memory,
+    ];
+
+    /// The kind's bit in an edge's kind mask.
+    pub fn bit(self) -> u8 {
+        match self {
+            EdgeKind::Intra => 1 << 0,
+            EdgeKind::Data => 1 << 1,
+            EdgeKind::Control => 1 << 2,
+            EdgeKind::Memory => 1 << 3,
+        }
+    }
+
+    /// Mask selecting every kind.
+    pub const ALL_MASK: u8 = 0b1111;
+
+    /// Short name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Intra => "intra",
+            EdgeKind::Data => "data",
+            EdgeKind::Control => "control",
+            EdgeKind::Memory => "memory",
+        }
+    }
+}
+
+/// A borrowed view of CSR adjacency structure (offsets + targets), the
+/// argument type of the GNN kernels. Both [`CsrGraph`] and sampled
+/// workspaces expose one, so forward/backward code is written once.
+#[derive(Clone, Copy)]
+pub struct CsrView<'a> {
+    offsets: &'a [u32],
+    targets: &'a [u32],
+}
+
+impl<'a> CsrView<'a> {
+    /// Wraps raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or its last entry disagrees with
+    /// `targets.len()`.
+    pub fn new(offsets: &'a [u32], targets: &'a [u32]) -> CsrView<'a> {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "offsets/targets disagree"
+        );
+        CsrView { offsets, targets }
+    }
+
+    /// Number of nodes (rows).
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total retained edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Node `v`'s neighbourhood as one contiguous slice.
+    pub fn neighbors(&self, v: usize) -> &'a [u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The flat target array (all rows back to back).
+    pub fn targets(&self) -> &'a [u32] {
+        self.targets
+    }
+
+    /// The row-offset array (`node_count + 1` entries).
+    pub fn offsets(&self) -> &'a [u32] {
+        self.offsets
+    }
+}
+
+/// A flat, kind-tagged CSR adjacency — see the crate docs for invariants.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    kinds: Vec<u8>,
+}
+
+impl CsrGraph {
+    /// An edgeless graph over `n` nodes.
+    pub fn empty(n: usize) -> CsrGraph {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from `(row, target, kind)` edges. Duplicate
+    /// `(row, target)` pairs collapse to one edge whose kind mask is the
+    /// union of their kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, EdgeKind)>) -> CsrGraph {
+        let tagged: Vec<(u32, u32, u8)> = edges
+            .into_iter()
+            .map(|(row, target, kind)| (row, target, kind.bit()))
+            .collect();
+        CsrGraph::from_tagged(n, tagged)
+    }
+
+    /// [`CsrGraph::from_edges`] over pre-computed kind masks; consumes the
+    /// scratch vector (it is sorted in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_tagged(n: usize, mut edges: Vec<(u32, u32, u8)>) -> CsrGraph {
+        for &(row, target, _) in &edges {
+            assert!((row as usize) < n, "edge row {row} out of range 0..{n}");
+            assert!(
+                (target as usize) < n,
+                "edge target {target} out of range 0..{n}"
+            );
+        }
+        edges.sort_unstable_by_key(|&(row, target, _)| (row, target));
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(edges.len());
+        let mut kinds = Vec::with_capacity(edges.len());
+        offsets.push(0);
+        let mut row = 0u32;
+        for (r, t, k) in edges {
+            while row < r {
+                offsets.push(targets.len() as u32);
+                row += 1;
+            }
+            // Merge duplicates of the same (row, target) pair.
+            if targets.len() > offsets[row as usize] as usize
+                && *targets.last().expect("non-empty row") == t
+            {
+                *kinds.last_mut().expect("parallel to targets") |= k;
+            } else {
+                targets.push(t);
+                kinds.push(k);
+            }
+        }
+        while (row as usize) < n {
+            offsets.push(targets.len() as u32);
+            row += 1;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            kinds,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total retained edges (after duplicate collapse).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Node `v`'s neighbourhood, sorted and duplicate-free.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Per-edge kind masks of node `v`'s row, parallel to
+    /// [`CsrGraph::neighbors`].
+    pub fn kinds(&self, v: usize) -> &[u8] {
+        &self.kinds[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Node `v`'s degree.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The largest row length in the graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The flat target array.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The row-offset array (`node_count + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// A structure-only view for the GNN kernels.
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView {
+            offsets: &self.offsets,
+            targets: &self.targets,
+        }
+    }
+
+    /// The subgraph keeping only edges whose kind mask intersects `mask`
+    /// (e.g. `EdgeKind::Data.bit() | EdgeKind::Intra.bit()`): the D_D/D_C/
+    /// D_M ablations as one linear scan, no re-analysis or rebuild of the
+    /// source graph.
+    pub fn filtered(&self, mask: u8) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut targets = Vec::new();
+        let mut kinds = Vec::new();
+        offsets.push(0);
+        for v in 0..self.node_count() {
+            for (&t, &k) in self.neighbors(v).iter().zip(self.kinds(v)) {
+                if k & mask != 0 {
+                    targets.push(t);
+                    kinds.push(k & mask);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            kinds,
+        }
+    }
+
+    /// The graph with every edge reversed (row `v` of the result lists the
+    /// nodes whose rows contain `v`), kinds carried along.
+    pub fn reversed(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.edge_count());
+        for v in 0..self.node_count() {
+            for (&t, &k) in self.neighbors(v).iter().zip(self.kinds(v)) {
+                edges.push((t, v as u32, k));
+            }
+        }
+        CsrGraph::from_tagged(self.node_count(), edges)
+    }
+
+    /// The symmetric closure (`self` ∪ [`CsrGraph::reversed`]): row `v`
+    /// holds `neighbors(v) ∪ {u : v ∈ neighbors(u)}` — the vanilla
+    /// all-neighbour GraphSAGE ablation's aggregation neighbourhood.
+    pub fn symmetrised(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(2 * self.edge_count());
+        for v in 0..self.node_count() {
+            for (&t, &k) in self.neighbors(v).iter().zip(self.kinds(v)) {
+                edges.push((v as u32, t, k));
+                edges.push((t, v as u32, k));
+            }
+        }
+        CsrGraph::from_tagged(self.node_count(), edges)
+    }
+
+    /// Per-kind retained-edge counts (after duplicate collapse a multi-kind
+    /// edge counts towards each of its kinds).
+    pub fn kind_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for &k in &self.kinds {
+            for (i, kind) in EdgeKind::ALL.iter().enumerate() {
+                if k & kind.bit() != 0 {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Checks every CSR invariant; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".to_string());
+        }
+        if self.targets.len() != self.kinds.len() {
+            return Err("targets/kinds length mismatch".to_string());
+        }
+        if *self.offsets.last().expect("non-empty") as usize != self.targets.len() {
+            return Err("final offset disagrees with edge count".to_string());
+        }
+        let n = self.node_count() as u32;
+        for v in 0..self.node_count() {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets decrease at row {v}"));
+            }
+            let row = self.neighbors(v);
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {v} not strictly increasing"));
+                }
+            }
+            if row.iter().any(|&t| t >= n) {
+                return Err(format!("row {v} has an out-of-range target"));
+            }
+        }
+        if self.kinds.iter().any(|&k| k == 0 || k > EdgeKind::ALL_MASK) {
+            return Err("edge with an empty or invalid kind mask".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 → {1, 2} → 3, with 0 → 3 justified twice (data + memory).
+        CsrGraph::from_edges(
+            4,
+            [
+                (0, 1, EdgeKind::Data),
+                (0, 2, EdgeKind::Control),
+                (1, 3, EdgeKind::Data),
+                (2, 3, EdgeKind::Data),
+                (0, 3, EdgeKind::Data),
+                (0, 3, EdgeKind::Memory),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_rows_and_merges_duplicate_pairs() {
+        let g = diamond();
+        g.check_invariants().expect("valid");
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5, "duplicate (0,3) collapsed");
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.max_degree(), 3);
+        // The merged edge keeps both kinds.
+        assert_eq!(g.kinds(0)[2], EdgeKind::Data.bit() | EdgeKind::Memory.bit());
+    }
+
+    #[test]
+    fn empty_graphs_and_isolated_tail_nodes_work() {
+        let g = CsrGraph::empty(3);
+        g.check_invariants().expect("valid");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+
+        // Last rows empty: the offset tail must still be filled in.
+        let g = CsrGraph::from_edges(5, [(0, 1, EdgeKind::Data)]);
+        g.check_invariants().expect("valid");
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn filtered_keeps_only_matching_kinds() {
+        let g = diamond();
+        let data = g.filtered(EdgeKind::Data.bit());
+        data.check_invariants().expect("valid");
+        assert_eq!(data.neighbors(0), &[1, 3]);
+        assert_eq!(data.neighbors(2), &[3]);
+        let control = g.filtered(EdgeKind::Control.bit());
+        assert_eq!(control.edge_count(), 1);
+        assert_eq!(control.neighbors(0), &[2]);
+        // The multi-kind edge survives a memory-only filter with the mask
+        // narrowed to the selected kind.
+        let memory = g.filtered(EdgeKind::Memory.bit());
+        assert_eq!(memory.neighbors(0), &[3]);
+        assert_eq!(memory.kinds(0), &[EdgeKind::Memory.bit()]);
+        // Filtering by everything is the identity.
+        assert_eq!(g.filtered(EdgeKind::ALL_MASK), g);
+    }
+
+    #[test]
+    fn reversed_inverts_every_edge() {
+        let g = diamond();
+        let r = g.reversed();
+        r.check_invariants().expect("valid");
+        assert_eq!(r.edge_count(), g.edge_count());
+        for v in 0..g.node_count() {
+            for &t in g.neighbors(v) {
+                assert!(r.neighbors(t as usize).contains(&(v as u32)));
+            }
+        }
+        assert_eq!(r.reversed(), g, "reversal is an involution");
+    }
+
+    #[test]
+    fn symmetrised_is_a_superset_and_symmetric() {
+        let g = diamond();
+        let s = g.symmetrised();
+        s.check_invariants().expect("valid");
+        for v in 0..g.node_count() {
+            for &t in g.neighbors(v) {
+                assert!(s.neighbors(v).contains(&t));
+            }
+            for &u in s.neighbors(v) {
+                assert!(
+                    s.neighbors(u as usize).contains(&(v as u32)),
+                    "asymmetric {v} ↔ {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_counts_count_multi_kind_edges_once_per_kind() {
+        let g = diamond();
+        let [intra, data, control, memory] = g.kind_counts();
+        assert_eq!(intra, 0);
+        assert_eq!(data, 4);
+        assert_eq!(control, 1);
+        assert_eq!(memory, 1);
+    }
+
+    #[test]
+    fn views_expose_the_same_structure() {
+        let g = diamond();
+        let v = g.view();
+        assert_eq!(v.node_count(), g.node_count());
+        assert_eq!(v.edge_count(), g.edge_count());
+        for i in 0..g.node_count() {
+            assert_eq!(v.neighbors(i), g.neighbors(i));
+        }
+        assert_eq!(v.offsets(), g.offsets());
+        assert_eq!(v.targets(), g.targets());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_are_rejected() {
+        CsrGraph::from_edges(2, [(0, 2, EdgeKind::Data)]);
+    }
+}

@@ -94,13 +94,47 @@ impl Matrix {
         out
     }
 
+    /// The transpose `selfᵀ` (`n×d → d×n`).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
     /// `selfᵀ · other` (`n×d ᵀ · n×h → d×h`), used for weight gradients.
+    ///
+    /// Output element `(k, j)` accumulates `self[i, k] · other[i, j]` over
+    /// ascending `i` in both code paths below, so serial and parallel runs
+    /// are bit-identical.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts differ");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        if !should_parallelise(self.cols, other.cols, self.rows) {
+            // Single pass over the input rows: each row `i` of `self` adds
+            // the rank-1 update `self[i]ᵀ ⊗ other[i]` into the (small)
+            // output, with contiguous reads and a vectorisable inner loop —
+            // unlike a per-output-row kernel, which walks a strided column
+            // of `self` once per output row.
+            for i in 0..self.rows {
+                let b_row = other.row(i);
+                for (k, &a) in self.row(i).iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+            return out;
+        }
         // Parallelised over output rows k: each thread owns a k-range and
-        // scans every input row, so no accumulation races and the result is
-        // bit-identical to the serial order.
+        // scans every input row, so no accumulation races.
         let kernel = |k: usize, out_row: &mut [f32]| {
             for i in 0..self.rows {
                 let a = self.data[i * self.cols + k];
@@ -118,46 +152,46 @@ impl Matrix {
     }
 
     /// `self · otherᵀ` (`n×h · d×h ᵀ → n×d`), used for input gradients.
+    ///
+    /// Implemented as `self · (otherᵀ)` through the k-ascending [`matmul`]
+    /// kernel: each output element is a dot product accumulated in the same
+    /// order either way, but the row-major kernel vectorises where a
+    /// per-element scalar reduction cannot, and `other` (a weight matrix at
+    /// every call site) is small next to the multiply itself.
+    ///
+    /// [`matmul`]: Matrix::matmul
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "column counts differ");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        let kernel = |i: usize, out_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        };
-        parallel_rows(self.rows, other.rows, self.cols, &mut out.data, kernel);
-        out
+        self.matmul(&other.transpose())
     }
 
     /// Horizontal concatenation `[self | other]`.
     pub fn hconcat(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts differ");
-        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        let mut data = Vec::with_capacity(self.rows * (self.cols + other.cols));
         for r in 0..self.rows {
-            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
-            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
         }
-        out
+        Matrix::from_vec(self.rows, self.cols + other.cols, data)
     }
 
     /// Splits `[left | right]` back into its halves (inverse of
     /// [`Matrix::hconcat`]).
     pub fn hsplit(&self, left_cols: usize) -> (Matrix, Matrix) {
         assert!(left_cols <= self.cols, "split point beyond width");
-        let mut l = Matrix::zeros(self.rows, left_cols);
-        let mut r = Matrix::zeros(self.rows, self.cols - left_cols);
+        let right_cols = self.cols - left_cols;
+        let mut l = Vec::with_capacity(self.rows * left_cols);
+        let mut r = Vec::with_capacity(self.rows * right_cols);
         for i in 0..self.rows {
-            l.row_mut(i).copy_from_slice(&self.row(i)[..left_cols]);
-            r.row_mut(i).copy_from_slice(&self.row(i)[left_cols..]);
+            let row = self.row(i);
+            l.extend_from_slice(&row[..left_cols]);
+            r.extend_from_slice(&row[left_cols..]);
         }
-        (l, r)
+        (
+            Matrix::from_vec(self.rows, left_cols, l),
+            Matrix::from_vec(self.rows, right_cols, r),
+        )
     }
 
     /// Element-wise `self += other`.
@@ -200,6 +234,18 @@ impl Matrix {
 /// over threads when the work is large enough to amortise spawning. Each
 /// output row is written by exactly one thread with the same inner loop
 /// order as the serial code, so results are bit-identical either way.
+/// Whether a kernel of this shape is worth fanning out over threads — the
+/// same gate [`parallel_rows`] applies, exposed so callers can pick a
+/// different serial algorithm when the answer is no.
+fn should_parallelise(rows: usize, cols: usize, inner: usize) -> bool {
+    const PARALLEL_THRESHOLD: usize = 1 << 22;
+    let work = rows.saturating_mul(cols).saturating_mul(inner.max(1));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    work >= PARALLEL_THRESHOLD && threads > 1 && rows >= 2
+}
+
 fn parallel_rows(
     rows: usize,
     cols: usize,
@@ -207,17 +253,15 @@ fn parallel_rows(
     out: &mut [f32],
     kernel: impl Fn(usize, &mut [f32]) + Sync,
 ) {
-    const PARALLEL_THRESHOLD: usize = 1 << 22;
-    let work = rows.saturating_mul(cols).saturating_mul(inner.max(1));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if work < PARALLEL_THRESHOLD || threads <= 1 || rows < 2 {
+    if !should_parallelise(rows, cols, inner) {
         for (i, out_row) in out.chunks_mut(cols).enumerate() {
             kernel(i, out_row);
         }
         return;
     }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let per_chunk = rows.div_ceil(threads);
     std::thread::scope(|scope| {
         for (c, chunk) in out.chunks_mut(per_chunk * cols).enumerate() {

@@ -10,10 +10,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --offline --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
+
+echo "==> quick-mode smoke run (fig5b_speedup)"
+GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
+  --bin fig5b_speedup >/dev/null
 
 echo "All checks passed."

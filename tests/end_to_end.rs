@@ -26,7 +26,11 @@ fn every_benchmark_flows_through_the_pipeline() {
             d.cdfg.node_count(),
             "{name}: feature rows"
         );
-        assert_eq!(d.preds.len(), d.cdfg.node_count(), "{name}: adjacency");
+        assert_eq!(
+            d.preds.node_count(),
+            d.cdfg.node_count(),
+            "{name}: adjacency"
+        );
         // Every FI bit label landed on a CDFG node.
         assert_eq!(
             d.truth.bit_labels().len(),
