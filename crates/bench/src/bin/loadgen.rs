@@ -1,0 +1,231 @@
+//! Load generator for the `glaive-serve` model server (`BENCH_4.json`).
+//!
+//! Spawns an in-process server, fires concurrent clients at it, and
+//! verifies every response end-to-end: each batched result must be
+//! **bit-identical** to single-program inference computed locally with the
+//! same weights, and no request may be dropped or answered with a
+//! corrupted frame. The run fails (non-zero exit) on any mismatch.
+//!
+//! Reported metrics: per-request latency (p50 / p99 / mean), aggregate
+//! throughput, and the server's own coalescing counters. Written as flat
+//! JSON to `BENCH_4.json` (override with `--out PATH`) and printed as TSV.
+//!
+//! Flags: `--clients N` (default 8), `--requests N` per client (default
+//! 25), `--quick` (or `GLAIVE_QUICK=1`) for a subsampled smoke run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use glaive_bench::EXPERIMENT_SEED;
+use glaive_bench_suite::suite;
+use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
+use glaive_gnn::{GraphSage, SageConfig};
+use glaive_nn::Matrix;
+use glaive_serve::{Client, ProgramSpec, Server, ServerConfig};
+
+const STRIDE: usize = 8;
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 25,
+        out: "BENCH_4.json".to_string(),
+    };
+    if glaive_bench::quick_requested() {
+        args.requests = 4;
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a number");
+            }
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a number");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--quick" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Reference bit-probability rows for one benchmark, computed serially.
+struct Reference {
+    name: &'static str,
+    probs: Matrix,
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn main() {
+    let args = parse_args();
+    // Deterministically initialised weights: accuracy is irrelevant to a
+    // load test, but the forward-pass cost matches a trained model of the
+    // same architecture, and determinism is what the bit-identity check
+    // needs.
+    let model = GraphSage::new(FEATURE_DIM, &SageConfig::default());
+
+    eprintln!("computing serial references for the suite...");
+    let references: Vec<Reference> = suite(EXPERIMENT_SEED)
+        .into_iter()
+        .map(|b| {
+            let cdfg = Cdfg::build(b.program(), &CdfgConfig { bit_stride: STRIDE });
+            let features = Matrix::from_vec(cdfg.node_count(), FEATURE_DIM, cdfg.feature_matrix());
+            Reference {
+                name: b.name,
+                probs: model.predict_proba(&features, cdfg.preds_csr()),
+            }
+        })
+        .collect();
+    let references = Arc::new(references);
+
+    let server = Server::bind(
+        model,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.clients,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    eprintln!(
+        "server on {addr}; {} clients x {} requests",
+        args.clients, args.requests
+    );
+
+    let failures = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(args.clients + 1));
+    let mut threads = Vec::new();
+    for client_id in 0..args.clients {
+        let references = references.clone();
+        let failures = failures.clone();
+        let barrier = barrier.clone();
+        threads.push(std::thread::spawn(move || -> Vec<u64> {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut latencies = Vec::with_capacity(args.requests);
+            barrier.wait();
+            for r in 0..args.requests {
+                let reference = &references[(client_id + r * 7) % references.len()];
+                let spec = ProgramSpec::Suite {
+                    name: reference.name.to_string(),
+                    seed: EXPERIMENT_SEED,
+                };
+                let start = Instant::now();
+                let reply = match client.predict(spec, STRIDE as u32, 10, true) {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        eprintln!("client {client_id} request {r}: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                latencies.push(start.elapsed().as_nanos() as u64);
+
+                // End-to-end differential check: the batched, wire-encoded
+                // per-node probabilities must equal serial inference bit
+                // for bit.
+                let bits = reply.bit_probs.as_deref().unwrap_or_default();
+                let serial = &reference.probs;
+                let identical = bits.len() == serial.rows()
+                    && bits.iter().enumerate().all(|(row, got)| {
+                        got.iter()
+                            .zip(serial.row(row))
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                    });
+                if !identical {
+                    eprintln!(
+                        "client {client_id} request {r}: batched result diverges from serial \
+                         ({} vs {} rows)",
+                        bits.len(),
+                        serial.rows()
+                    );
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            latencies
+        }));
+    }
+
+    barrier.wait();
+    let wall_start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().expect("client thread"));
+    }
+    let wall = wall_start.elapsed();
+
+    let mut control = Client::connect(addr).expect("connect for stats");
+    let stats = control.stats().expect("stats");
+    control.shutdown_server().expect("shutdown");
+    handle.join().expect("server run");
+
+    latencies.sort_unstable();
+    let total = args.clients * args.requests;
+    let failed = failures.load(Ordering::Relaxed);
+    let p50 = percentile_ms(&latencies, 0.50);
+    let p99 = percentile_ms(&latencies, 0.99);
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
+    };
+    let req_per_s = latencies.len() as f64 / wall.as_secs_f64();
+
+    println!("metric\tvalue");
+    println!("clients\t{}", args.clients);
+    println!("requests\t{total}");
+    println!("failures\t{failed}");
+    println!("p50_ms\t{p50:.3}");
+    println!("p99_ms\t{p99:.3}");
+    println!("mean_ms\t{mean:.3}");
+    println!("req_per_s\t{req_per_s:.1}");
+    println!("batches\t{}", stats.batches);
+    println!("peak_batch\t{}", stats.peak_batch);
+    println!("cache_hits\t{}", stats.cache_hits);
+    println!("cache_misses\t{}", stats.cache_misses);
+
+    let json = format!(
+        "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"failures\": {},\n  \
+         \"p50_ms\": {:.6},\n  \"p99_ms\": {:.6},\n  \"mean_ms\": {:.6},\n  \
+         \"req_per_s\": {:.3},\n  \"batches\": {},\n  \"peak_batch\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {}\n}}\n",
+        args.clients,
+        total,
+        failed,
+        p50,
+        p99,
+        mean,
+        req_per_s,
+        stats.batches,
+        stats.peak_batch,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    std::fs::write(&args.out, json).expect("write results");
+    eprintln!("wrote {}", args.out);
+
+    assert_eq!(failed, 0, "{failed} dropped or corrupted responses");
+}

@@ -20,6 +20,18 @@ impl Default for CdfgConfig {
     }
 }
 
+impl CdfgConfig {
+    /// A config with an untrusted (wire- or user-supplied) stride: `None`
+    /// when the stride falls outside `1..=WORD_BITS`, where
+    /// [`Cdfg::build`] would panic. Serving layers use this to turn a bad
+    /// request into a typed rejection instead of a worker panic.
+    pub fn try_with_stride(bit_stride: usize) -> Option<CdfgConfig> {
+        (1..=WORD_BITS)
+            .contains(&bit_stride)
+            .then_some(CdfgConfig { bit_stride })
+    }
+}
+
 /// One node of the bit-level CDFG: bit `bit` of the register in operand
 /// `slot` of instruction `pc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,6 +391,22 @@ mod tests {
     #[should_panic(expected = "bit_stride")]
     fn zero_stride_rejected() {
         Cdfg::build(&add_program(), &cfg(0));
+    }
+
+    #[test]
+    fn try_with_stride_validates_the_range() {
+        assert!(CdfgConfig::try_with_stride(0).is_none());
+        assert!(CdfgConfig::try_with_stride(WORD_BITS + 1).is_none());
+        assert_eq!(
+            CdfgConfig::try_with_stride(8),
+            Some(CdfgConfig { bit_stride: 8 })
+        );
+        assert_eq!(
+            CdfgConfig::try_with_stride(WORD_BITS),
+            Some(CdfgConfig {
+                bit_stride: WORD_BITS
+            })
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use glaive_faultsim::{
     Campaign, CampaignConfig, CampaignProgress, CheckpointSink, NoProgress, RunControl, VulnTuple,
 };
 use glaive_gnn::GraphSage;
-use glaive_sim::{run, Outcome};
+use glaive_serve::{Client, ProgramSpec, Server, ServerConfig};
+use glaive_sim::run;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -24,8 +25,11 @@ usage:
                       [--deadline-secs N] [--resume]
   glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
-                      [--deadline-secs N] [--fail-fast]
+                      [--deadline-secs N] [--fail-fast] [--quick]
   glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
+  glaive-cli serve    <model> [--addr HOST:PORT] [--workers N] [--stride N]
+  glaive-cli query    <addr> <benchmark> [--seed N] [--stride N] [--top N]
+  glaive-cli query    <addr> (--stats | --ping | --shutdown)
 
 global flags: --verbose (stage telemetry on stderr)
               --no-cache (skip the on-disk artifact cache for train)
@@ -53,6 +57,12 @@ struct Flags {
     deadline_secs: Option<u64>,
     resume: bool,
     fail_fast: bool,
+    addr: String,
+    workers: usize,
+    stats: bool,
+    ping: bool,
+    shutdown: bool,
+    quick: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -67,6 +77,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         deadline_secs: None,
         resume: false,
         fail_fast: false,
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        stats: false,
+        ping: false,
+        shutdown: false,
+        quick: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,6 +99,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--resume" => flags.resume = true,
             "--fail-fast" => flags.fail_fast = true,
             "--deadline-secs" => flags.deadline_secs = Some(value(&mut it)?),
+            "--quick" => flags.quick = true,
+            "--stats" => flags.stats = true,
+            "--ping" => flags.ping = true,
+            "--shutdown" => flags.shutdown = true,
+            "--addr" => {
+                flags.addr = it
+                    .next()
+                    .ok_or_else(|| format!("flag {a} needs a value"))?
+                    .clone();
+            }
+            "--workers" => flags.workers = value(&mut it)? as usize,
             "--seed" => flags.seed = value(&mut it)?,
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
@@ -125,6 +152,19 @@ pub fn dispatch(args: &[String]) -> CliResult {
             let model = args.get(1).ok_or("apply needs a model path")?;
             let name = args.get(2).ok_or("apply needs a benchmark name")?;
             cmd_apply(model, name, &parse_flags(&args[3..])?)
+        }
+        Some("serve") => {
+            let model = args.get(1).ok_or("serve needs a model path")?;
+            cmd_serve(model, &parse_flags(&args[2..])?)
+        }
+        Some("query") => {
+            let addr = args.get(1).ok_or("query needs a server address")?;
+            // The benchmark name is optional for --stats/--ping/--shutdown.
+            let (name, rest) = match args.get(2) {
+                Some(a) if !a.starts_with("--") => (Some(a.as_str()), &args[3..]),
+                _ => (None, &args[2..]),
+            };
+            cmd_query(addr, name, &parse_flags(rest)?)
         }
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("no command given".into()),
@@ -279,6 +319,13 @@ fn cmd_graph(name: &str, flags: &Flags) -> CliResult {
 }
 
 fn pipeline_config(flags: &Flags) -> PipelineConfig {
+    // --quick starts from the subsampled test configuration (small model,
+    // few epochs) — campaign/graph knobs set by explicit flags still win.
+    let base = if flags.quick {
+        PipelineConfig::quick_test()
+    } else {
+        PipelineConfig::default()
+    };
     PipelineConfig {
         bit_stride: flags.stride,
         instances_per_site: flags.instances,
@@ -290,7 +337,7 @@ fn pipeline_config(flags: &Flags) -> PipelineConfig {
         } else {
             QuorumPolicy::MinBenchmarks(1)
         },
-        ..PipelineConfig::default()
+        ..base
     }
 }
 
@@ -346,30 +393,11 @@ fn cmd_apply(model_path: &str, name: &str, flags: &Flags) -> CliResult {
     let probs = model.predict_proba(&features, g.preds_csr());
 
     // Aggregate the bit distribution per instruction (paper §III-D).
-    let n = b.program().len();
-    let mut sums = vec![[0.0f64; 3]; n];
-    let mut counts = vec![0u64; n];
-    for (id, node) in g.nodes().iter().enumerate() {
-        for (acc, &p) in sums[node.pc].iter_mut().zip(probs.row(id)) {
-            *acc += p as f64;
-        }
-        counts[node.pc] += 1;
-    }
-    let mut ranked: Vec<(usize, VulnTuple)> = sums
-        .into_iter()
-        .zip(counts)
+    let tuples = glaive::aggregate_bit_probs(&g, b.program().len(), &probs);
+    let mut ranked: Vec<(usize, VulnTuple)> = tuples
+        .iter()
         .enumerate()
-        .filter(|(_, (_, c))| *c > 0)
-        .map(|(pc, (s, c))| {
-            (
-                pc,
-                VulnTuple {
-                    crash: s[Outcome::Crash.label()] / c as f64,
-                    sdc: s[Outcome::Sdc.label()] / c as f64,
-                    masked: s[Outcome::Masked.label()] / c as f64,
-                },
-            )
-        })
+        .filter_map(|(pc, t)| t.map(|t| (pc, t)))
         .collect();
     ranked.sort_by(|a, b| b.1.ranking_key().total_cmp(&a.1.ranking_key()));
 
@@ -391,6 +419,104 @@ fn cmd_apply(model_path: &str, name: &str, flags: &Flags) -> CliResult {
         )?;
     }
     print!("{buf}");
+    Ok(())
+}
+
+fn cmd_serve(model_path: &str, flags: &Flags) -> CliResult {
+    let bytes = std::fs::read(model_path)?;
+    let model = GraphSage::from_bytes(&bytes)?;
+    let recorder = Arc::new(TimingRecorder::new());
+    let observer: Arc<dyn Observer> = if flags.verbose {
+        Arc::new(Fanout(vec![Arc::new(StderrProgress), recorder.clone()]))
+    } else {
+        Arc::new(Fanout(vec![recorder.clone()]))
+    };
+    let server = Server::bind(
+        model,
+        flags.addr.as_str(),
+        ServerConfig {
+            workers: flags.workers,
+            ..ServerConfig::default()
+        },
+    )?
+    .with_observer(observer);
+    // The smoke test (and any supervising process) parses this line for
+    // the OS-chosen port, so print it before blocking in the run loop.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let stats = server.run()?;
+    println!(
+        "served {} requests: {} predictions in {} batches (peak batch {}), \
+         cache {} hits / {} misses, {} errors",
+        stats.requests,
+        stats.predictions,
+        stats.batches,
+        stats.peak_batch,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.errors
+    );
+    if flags.verbose {
+        eprint!("{}", recorder.summary());
+    }
+    Ok(())
+}
+
+fn cmd_query(addr: &str, name: Option<&str>, flags: &Flags) -> CliResult {
+    let mut client = Client::connect(addr)?;
+    if flags.ping {
+        client.ping()?;
+        println!("pong");
+        return Ok(());
+    }
+    if flags.stats {
+        let s = client.stats()?;
+        println!("requests:     {}", s.requests);
+        println!("predictions:  {}", s.predictions);
+        println!("batches:      {}", s.batches);
+        println!("peak batch:   {}", s.peak_batch);
+        println!("cache hits:   {}", s.cache_hits);
+        println!("cache misses: {}", s.cache_misses);
+        println!("errors:       {}", s.errors);
+        return Ok(());
+    }
+    if flags.shutdown {
+        client.shutdown_server()?;
+        println!("server draining");
+        return Ok(());
+    }
+    let name = name.ok_or("query needs a benchmark name (or --stats/--ping/--shutdown)")?;
+    // Resolve locally too, so the reply's PCs render as instructions.
+    let b = find_benchmark(name, flags.seed)?;
+    let reply = client.predict(
+        ProgramSpec::Suite {
+            name: name.to_string(),
+            seed: flags.seed,
+        },
+        flags.stride as u32,
+        flags.top as u32,
+        false,
+    )?;
+    println!(
+        "{name}: served estimate over {} bit nodes (batch of {})",
+        reply.node_count, reply.batch_size
+    );
+    println!(
+        "{:<6} {:>6} {:>6} {:>7}  instruction",
+        "pc", "crash", "sdc", "masked"
+    );
+    for &pc in &reply.top_k {
+        let [crash, sdc, masked] = reply.tuples[pc as usize].ok_or("ranked pc lacks a tuple")?;
+        println!(
+            "{:<6} {:>6.3} {:>6.3} {:>7.3}  {}",
+            pc,
+            crash,
+            sdc,
+            masked,
+            b.program().instrs()[pc as usize]
+        );
+    }
     Ok(())
 }
 
@@ -477,6 +603,59 @@ mod tests {
         dispatch(&argv(&["list"])).expect("list");
         dispatch(&argv(&["disasm", "lu"])).expect("disasm");
         dispatch(&argv(&["graph", "lu", "--stride", "32"])).expect("graph");
+    }
+
+    #[test]
+    fn serve_and_query_argument_errors() {
+        assert!(dispatch(&argv(&["serve"])).is_err(), "serve needs a model");
+        assert!(
+            dispatch(&argv(&["query"])).is_err(),
+            "query needs an address"
+        );
+        // A predict query without a benchmark name and without a control
+        // flag is rejected before any connection is attempted.
+        let err = dispatch(&argv(&["query", "127.0.0.1:6", "--ping"]));
+        assert!(err.is_err(), "nobody listens on a reserved port");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let f = parse_flags(&argv(&[
+            "--addr",
+            "127.0.0.1:9999",
+            "--workers",
+            "3",
+            "--quick",
+        ]))
+        .expect("parses");
+        assert_eq!(f.addr, "127.0.0.1:9999");
+        assert_eq!(f.workers, 3);
+        assert!(f.quick);
+        assert!(parse_flags(&argv(&["--addr"])).is_err());
+        let defaults = parse_flags(&[]).expect("parses");
+        assert_eq!(defaults.workers, 8);
+        assert!(!defaults.quick);
+    }
+
+    #[test]
+    fn quick_flag_selects_the_subsampled_config() {
+        let quick = parse_flags(&argv(&["--quick", "--stride", "16"])).expect("parses");
+        let config = pipeline_config(&quick);
+        assert_eq!(config.sage.epochs, PipelineConfig::quick_test().sage.epochs);
+        assert_eq!(config.bit_stride, 16);
+        let full = parse_flags(&[]).expect("parses");
+        assert_eq!(
+            pipeline_config(&full).sage.epochs,
+            PipelineConfig::default().sage.epochs
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_model_files() {
+        let path = std::env::temp_dir().join("glaive-cli-bad-serve.model");
+        std::fs::write(&path, b"not a model either").expect("write");
+        assert!(dispatch(&argv(&["serve", path.to_str().expect("utf8")])).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

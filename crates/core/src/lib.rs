@@ -65,7 +65,7 @@ pub use data::{
     prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite, train_set, BenchData,
 };
 pub use error::Error;
-pub use models::{train_models, Method, Models};
+pub use models::{aggregate_bit_probs, train_models, Method, Models};
 pub use pipeline::{BenchOutcome, Pipeline, PipelineBuilder, SuiteReport};
 
 pub use glaive_faultsim::{InterruptReason, TruthError, VulnTuple};

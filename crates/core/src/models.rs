@@ -215,14 +215,24 @@ impl Models {
     }
 }
 
-/// Paper §III-D: instruction vulnerability from the model's bit
+/// Paper §III-D: instruction vulnerability from a model's bit
 /// vulnerability distribution — the mean class-probability vector over the
 /// instruction's bit nodes (`I_C = N_C / N_U` in expectation).
-fn aggregate_probs_to_instructions(data: &BenchData, bit_probs: &Matrix) -> Vec<Option<VulnTuple>> {
-    let n = data.bench.program().len();
-    let mut sums = vec![[0.0f64; 3]; n];
-    let mut counts = vec![0u64; n];
-    for (id, node) in data.cdfg.nodes().iter().enumerate() {
+///
+/// `bit_probs` is one class-probability row per CDFG node (the output of
+/// [`GraphSage::predict_proba`](glaive_gnn::GraphSage::predict_proba) or
+/// an MLP's per-bit probabilities); `program_len` sizes the result, one
+/// entry per PC, `None` where the program has no graph nodes (operand-less
+/// instructions). Shared by the pipeline estimators, the CLI `apply`
+/// command and the `glaive-serve` model server.
+pub fn aggregate_bit_probs(
+    cdfg: &glaive_cdfg::Cdfg,
+    program_len: usize,
+    bit_probs: &Matrix,
+) -> Vec<Option<VulnTuple>> {
+    let mut sums = vec![[0.0f64; 3]; program_len];
+    let mut counts = vec![0u64; program_len];
+    for (id, node) in cdfg.nodes().iter().enumerate() {
         let row = bit_probs.row(id);
         for (acc, &p) in sums[node.pc].iter_mut().zip(row) {
             *acc += p as f64;
@@ -243,6 +253,10 @@ fn aggregate_probs_to_instructions(data: &BenchData, bit_probs: &Matrix) -> Vec<
             }
         })
         .collect()
+}
+
+fn aggregate_probs_to_instructions(data: &BenchData, bit_probs: &Matrix) -> Vec<Option<VulnTuple>> {
+    aggregate_bit_probs(&data.cdfg, data.bench.program().len(), bit_probs)
 }
 
 /// Clamps and renormalises raw regressor outputs into valid tuples.

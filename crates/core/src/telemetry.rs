@@ -21,6 +21,9 @@ pub enum Stage {
     Training,
     /// Metric evaluation / inference.
     Evaluation,
+    /// One batched forward pass of the model server (`glaive-serve`);
+    /// `items` counts the coalesced requests in the batch.
+    Inference,
 }
 
 impl Stage {
@@ -31,6 +34,7 @@ impl Stage {
             Stage::GraphBuild => "graph",
             Stage::Training => "training",
             Stage::Evaluation => "evaluation",
+            Stage::Inference => "inference",
         }
     }
 }
@@ -175,6 +179,7 @@ impl TimingRecorder {
             Stage::GraphBuild,
             Stage::Training,
             Stage::Evaluation,
+            Stage::Inference,
         ] {
             let (count, items) = {
                 let t = self.timings.lock().expect("timings lock");

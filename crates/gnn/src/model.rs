@@ -119,6 +119,29 @@ impl GraphSage {
         self.layers.iter().map(Linear::param_count).sum()
     }
 
+    /// A copy of the model with flat parameter `index` of `layer` shifted
+    /// by `delta`. Parameters are ordered row-major weights then bias —
+    /// the same flattening as [`glaive_nn::LinearGrads`] — so a
+    /// finite-difference probe can walk every parameter and compare the
+    /// numerical slope against [`GraphSage::compute_gradients`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `index` is out of range.
+    pub fn nudged(&self, layer: usize, index: usize, delta: f32) -> GraphSage {
+        let mut copy = self.clone();
+        let l = &copy.layers[layer];
+        let w_len = l.weights().data().len();
+        let (mut w, mut b) = (l.weights().clone(), l.bias().to_vec());
+        if index < w_len {
+            w.data_mut()[index] += delta;
+        } else {
+            b[index - w_len] += delta;
+        }
+        copy.layers[layer] = Linear::from_parts(w, b);
+        copy
+    }
+
     /// Read access to the layers (used by serialisation).
     pub(crate) fn layer_views(&self) -> &[Linear] {
         &self.layers
@@ -181,9 +204,10 @@ impl GraphSage {
     }
 
     /// Loss and per-layer gradients for one graph under the given sampled
-    /// neighbourhood view (separated from [`GraphSage::step`] so tests can
-    /// check the analytic gradients numerically).
-    fn compute_gradients(
+    /// neighbourhood view (separated from the private training step, and public,
+    /// so finite-difference tests can pin the analytic gradients of the
+    /// kernel rewrites against numerical differentiation).
+    pub fn compute_gradients(
         &self,
         graph: &TrainGraph<'_>,
         neigh: CsrView<'_>,
@@ -275,13 +299,31 @@ impl GraphSage {
     /// Class probabilities for every node of an (unseen) graph, aggregating
     /// over full neighbourhoods.
     pub fn predict_proba(&self, features: &Matrix, graph: &CsrGraph) -> Matrix {
+        self.predict_proba_view(features, graph.view())
+    }
+
+    /// [`GraphSage::predict_proba`] over a borrowed CSR view — the
+    /// batched-inference entry point: a serving layer can stack several
+    /// programs' features and the disjoint union of their graphs into one
+    /// reused workspace and run a single forward pass. Every row of the
+    /// model is row-local (aggregation reads only a node's own CSR row;
+    /// linear layers, ReLU and softmax are row-wise), so each program's
+    /// rows are bit-identical to a one-program call.
+    pub fn predict_proba_view(&self, features: &Matrix, graph: CsrView<'_>) -> Matrix {
         assert_eq!(
             features.rows(),
             graph.node_count(),
             "feature/neighbour count mismatch"
         );
-        let (_, _, logits) = self.forward(features, graph.view());
+        let (_, _, logits) = self.forward(features, graph);
         softmax_rows(&logits)
+    }
+
+    /// The model's expected node-feature width (the first layer consumes
+    /// `[h ‖ agg]`, twice this). Serving layers use it to reject models
+    /// trained for a different feature schema before accepting traffic.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim() / 2
     }
 
     /// Hard label predictions (argmax of [`GraphSage::predict_proba`]).

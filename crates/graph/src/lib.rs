@@ -312,6 +312,38 @@ impl CsrGraph {
         CsrGraph::from_tagged(self.node_count(), edges)
     }
 
+    /// The disjoint union of several graphs: part `i`'s nodes are renumbered
+    /// by the sum of the preceding parts' node counts, rows and kind masks
+    /// are carried over verbatim, and no edge crosses a part boundary. This
+    /// is the multi-graph batching layout — a forward pass over the union
+    /// processes every part at once while each row's neighbourhood (and
+    /// therefore its result) is identical to the part's own.
+    ///
+    /// Runs in `O(total nodes + total edges)` with no sorting: each part's
+    /// rows are already canonical and shifting preserves order.
+    pub fn disjoint_union(parts: &[&CsrGraph]) -> CsrGraph {
+        let nodes: usize = parts.iter().map(|g| g.node_count()).sum();
+        let edges: usize = parts.iter().map(|g| g.edge_count()).sum();
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        let mut targets = Vec::with_capacity(edges);
+        let mut kinds = Vec::with_capacity(edges);
+        offsets.push(0);
+        let mut node_base = 0u32;
+        let mut edge_base = 0u32;
+        for g in parts {
+            offsets.extend(g.offsets[1..].iter().map(|&o| edge_base + o));
+            targets.extend(g.targets.iter().map(|&t| node_base + t));
+            kinds.extend_from_slice(&g.kinds);
+            node_base += g.node_count() as u32;
+            edge_base += g.edge_count() as u32;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            kinds,
+        }
+    }
+
     /// Per-kind retained-edge counts (after duplicate collapse a multi-kind
     /// edge counts towards each of its kinds).
     pub fn kind_counts(&self) -> [usize; 4] {
@@ -493,5 +525,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edges_are_rejected() {
         CsrGraph::from_edges(2, [(0, 2, EdgeKind::Data)]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_parts_without_cross_edges() {
+        let a = diamond();
+        let b = CsrGraph::from_edges(2, [(1, 0, EdgeKind::Memory)]);
+        let c = CsrGraph::empty(3);
+        let u = CsrGraph::disjoint_union(&[&a, &b, &c]);
+        u.check_invariants().expect("valid");
+        assert_eq!(u.node_count(), 9);
+        assert_eq!(u.edge_count(), a.edge_count() + 1);
+        // Part rows are verbatim, shifted by the preceding node counts.
+        for v in 0..a.node_count() {
+            assert_eq!(u.neighbors(v), a.neighbors(v));
+            assert_eq!(u.kinds(v), a.kinds(v));
+        }
+        assert_eq!(u.neighbors(5), &[4]);
+        assert_eq!(u.kinds(5), &[EdgeKind::Memory.bit()]);
+        for v in 6..9 {
+            assert_eq!(u.neighbors(v), &[] as &[u32]);
+        }
+        // A union of one part is the part itself; of none, the empty graph.
+        assert_eq!(CsrGraph::disjoint_union(&[&a]), a);
+        assert_eq!(CsrGraph::disjoint_union(&[]), CsrGraph::empty(0));
     }
 }

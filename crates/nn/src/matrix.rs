@@ -60,6 +60,14 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix and returns its row-major buffer — the inverse
+    /// of [`Matrix::from_vec`], so callers that stage data into a matrix
+    /// (e.g. a batched-inference workspace) can reclaim the allocation and
+    /// reuse its capacity for the next batch.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]

@@ -1,0 +1,305 @@
+//! Request coalescing: concurrent predict requests are merged into one
+//! multi-graph forward pass over a block-diagonal disjoint union of their
+//! CDFGs.
+//!
+//! Batching is **bit-identical** to one-at-a-time inference because every
+//! operation in the GraphSAGE forward pass is row-local: mean aggregation
+//! reads only a node's own CSR row, the linear layers accumulate per
+//! output row, and ReLU/softmax are row-wise. A disjoint union introduces
+//! no cross-program edges, so each program's rows see exactly the
+//! neighbourhoods — and therefore exactly the floating-point operation
+//! sequences — they would see alone.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use glaive_gnn::GraphSage;
+use glaive_graph::CsrView;
+use glaive_nn::Matrix;
+
+use crate::cache::PreparedProgram;
+
+/// A closable multi-producer queue: connection workers push, the batcher
+/// drains everything pending in one go (that drain *is* the coalescing
+/// policy — whatever arrived since the last forward pass forms the next
+/// batch).
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one item. Returns `false` (dropping the item) if the queue
+    /// is already closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("job queue lock");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks until at least one item is available, then drains *all*
+    /// pending items. Returns `None` once the queue is closed and empty.
+    pub fn drain_wait(&self) -> Option<Vec<T>> {
+        let mut state = self.state.lock().expect("job queue lock");
+        loop {
+            if !state.items.is_empty() {
+                return Some(state.items.drain(..).collect());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("job queue wait");
+        }
+    }
+
+    /// Blocks for a single item. Returns `None` once closed and empty.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("job queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("job queue wait");
+        }
+    }
+
+    /// Closes the queue: pushes start failing, and blocked consumers wake
+    /// with `None` once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().expect("job queue lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+/// The result of one coalesced forward pass, from the perspective of a
+/// single request.
+pub struct BatchResult {
+    /// Per-bit-node class probabilities for this request's program only.
+    pub probs: Matrix,
+    /// How many requests shared the forward pass.
+    pub batch_size: u32,
+}
+
+/// One queued predict request: the prepared program plus the channel its
+/// slice of the batched result goes back on.
+pub struct InferenceJob {
+    /// Cached program, CDFG and features.
+    pub prepared: Arc<PreparedProgram>,
+    /// Where to deliver this program's probability rows. A dropped
+    /// receiver (client gone) is ignored.
+    pub reply: mpsc::Sender<BatchResult>,
+}
+
+/// Reusable staging buffers for the batched forward pass — the
+/// `SampledCsr` discipline: allocate on the first batch, reuse capacity
+/// forever after, so steady-state serving does no per-request graph
+/// allocation.
+#[derive(Default)]
+pub struct BatchWorkspace {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    feats: Vec<f32>,
+}
+
+impl BatchWorkspace {
+    /// A workspace with empty buffers.
+    pub fn new() -> BatchWorkspace {
+        BatchWorkspace::default()
+    }
+
+    /// Runs one coalesced forward pass over `jobs` and delivers each job
+    /// its own probability rows. Returns the number of jobs served.
+    pub fn run_batch(&mut self, model: &GraphSage, jobs: &[InferenceJob]) -> usize {
+        let batch_size = jobs.len() as u32;
+        let total_nodes: usize = jobs.iter().map(|j| j.prepared.cdfg.node_count()).sum();
+        let total_edges: usize = jobs
+            .iter()
+            .map(|j| j.prepared.cdfg.preds_csr().edge_count())
+            .sum();
+
+        // Block-diagonal disjoint union of the predecessor graphs, staged
+        // into the reusable buffers (same shifting scheme as
+        // `CsrGraph::disjoint_union`, without the owned-graph allocation).
+        self.offsets.clear();
+        self.targets.clear();
+        self.feats.clear();
+        self.offsets.reserve(total_nodes + 1);
+        self.targets.reserve(total_edges);
+        self.offsets.push(0);
+        let mut node_base = 0u32;
+        let mut edge_base = 0u32;
+        for job in jobs {
+            let g = job.prepared.cdfg.preds_csr();
+            self.offsets
+                .extend(g.offsets()[1..].iter().map(|&o| edge_base + o));
+            self.targets
+                .extend(g.targets().iter().map(|&t| node_base + t));
+            self.feats.extend_from_slice(job.prepared.features.data());
+            node_base += g.node_count() as u32;
+            edge_base += g.edge_count() as u32;
+        }
+
+        let dim = glaive_cdfg::FEATURE_DIM;
+        let features = Matrix::from_vec(total_nodes, dim, std::mem::take(&mut self.feats));
+        let probs = model.predict_proba_view(&features, CsrView::new(&self.offsets, &self.targets));
+        // Reclaim the staging allocation for the next batch.
+        self.feats = features.into_vec();
+
+        let classes = probs.cols();
+        let mut row = 0usize;
+        for job in jobs {
+            let n = job.prepared.cdfg.node_count();
+            let slice = &probs.data()[row * classes..(row + n) * classes];
+            row += n;
+            let result = BatchResult {
+                probs: Matrix::from_vec(n, classes, slice.to_vec()),
+                batch_size,
+            };
+            // The client may have hung up while queued; its slot in the
+            // batch is already paid for, so just drop the result.
+            let _ = job.reply.send(result);
+        }
+        jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_cdfg::CdfgConfig;
+    use glaive_gnn::SageConfig;
+    use glaive_isa::{AluOp, Asm, Reg};
+
+    fn program(tag: i64, extra: usize) -> glaive_isa::Program {
+        let mut asm = Asm::new("batch-test");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), tag);
+        for i in 0..extra {
+            asm.alu_imm(AluOp::Add, Reg(2), Reg(1), i as i64);
+        }
+        asm.store(Reg(2), Reg(0), 0).out(Reg(2)).halt();
+        asm.finish().expect("assembles")
+    }
+
+    fn model() -> GraphSage {
+        GraphSage::new(
+            glaive_cdfg::FEATURE_DIM,
+            &SageConfig {
+                hidden: 8,
+                layers: 2,
+                ..SageConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn batched_pass_is_bit_identical_to_serial() {
+        let model = model();
+        let config = CdfgConfig { bit_stride: 8 };
+        let prepared: Vec<Arc<PreparedProgram>> = [(1, 2), (9, 5), (-3, 1)]
+            .iter()
+            .map(|&(tag, extra)| Arc::new(PreparedProgram::build(program(tag, extra), &config)))
+            .collect();
+
+        let mut receivers = Vec::new();
+        let jobs: Vec<InferenceJob> = prepared
+            .iter()
+            .map(|p| {
+                let (tx, rx) = mpsc::channel();
+                receivers.push(rx);
+                InferenceJob {
+                    prepared: p.clone(),
+                    reply: tx,
+                }
+            })
+            .collect();
+
+        let mut ws = BatchWorkspace::new();
+        assert_eq!(ws.run_batch(&model, &jobs), 3);
+
+        for (p, rx) in prepared.iter().zip(receivers) {
+            let got = rx.recv().expect("batch delivers");
+            assert_eq!(got.batch_size, 3);
+            let serial = model.predict_proba(&p.features, p.cdfg.preds_csr());
+            assert_eq!(got.probs.rows(), serial.rows());
+            // Bit-identical, not approximately equal.
+            let same = got
+                .probs
+                .data()
+                .iter()
+                .zip(serial.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "batched probabilities diverge from serial");
+        }
+    }
+
+    #[test]
+    fn workspace_buffers_are_reused_across_batches() {
+        let model = model();
+        let config = CdfgConfig { bit_stride: 8 };
+        let p = Arc::new(PreparedProgram::build(program(5, 3), &config));
+        let mut ws = BatchWorkspace::new();
+        for round in 0..3 {
+            let (tx, rx) = mpsc::channel();
+            let jobs = vec![InferenceJob {
+                prepared: p.clone(),
+                reply: tx,
+            }];
+            ws.run_batch(&model, &jobs);
+            let got = rx.recv().expect("delivered");
+            assert_eq!(got.batch_size, 1, "round {round}");
+        }
+        assert!(ws.feats.capacity() > 0, "staging buffer retained");
+    }
+
+    #[test]
+    fn queue_coalesces_and_closes() {
+        let q: JobQueue<u32> = JobQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.drain_wait(), Some(vec![1, 2]));
+        q.close();
+        assert!(!q.push(3), "closed queue accepts no work");
+        assert_eq!(q.drain_wait(), None);
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn queue_drains_backlog_after_close() {
+        let q: JobQueue<u32> = JobQueue::new();
+        q.push(7);
+        q.close();
+        assert_eq!(q.pop_wait(), Some(7), "backlog survives close");
+        assert_eq!(q.pop_wait(), None);
+    }
+}

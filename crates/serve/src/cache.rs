@@ -1,0 +1,203 @@
+//! Content-addressed reuse of prepared programs: a request's CDFG and
+//! feature matrix depend only on the instruction stream and the stride, so
+//! repeat queries for the same program skip graph extraction entirely.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use glaive_cdfg::{Cdfg, CdfgConfig};
+use glaive_isa::Program;
+use glaive_nn::Matrix;
+
+/// Everything inference needs about one program, built once per distinct
+/// `(program, stride)` and shared across requests.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    /// The program itself (for PC → instruction rendering client-side).
+    pub program: Program,
+    /// Its bit-level CDFG at the requested stride.
+    pub cdfg: Cdfg,
+    /// `node_count × FEATURE_DIM` Table-I node features.
+    pub features: Matrix,
+}
+
+impl PreparedProgram {
+    /// Builds the CDFG and feature matrix for `program` at `stride`
+    /// (already validated to lie in the CDFG's accepted range).
+    pub fn build(program: Program, config: &CdfgConfig) -> PreparedProgram {
+        let cdfg = Cdfg::build(&program, config);
+        let features = Matrix::from_vec(
+            cdfg.node_count(),
+            glaive_cdfg::FEATURE_DIM,
+            cdfg.feature_matrix(),
+        );
+        PreparedProgram {
+            program,
+            cdfg,
+            features,
+        }
+    }
+}
+
+/// Content fingerprint of a `(program, stride)` pair: domain-prefixed
+/// FNV-1a over the stride and the stable instruction encodings. Initial
+/// memory is deliberately excluded — inference reads only static program
+/// structure, so two runs of the same binary on different inputs share an
+/// entry.
+pub fn program_fingerprint(program: &Program, stride: usize) -> u64 {
+    let mut bytes = Vec::with_capacity(32 + program.len() * glaive_isa::INSTR_ENCODING_LEN);
+    bytes.extend_from_slice(b"glaive-serve/program\0");
+    bytes.extend_from_slice(&(stride as u64).to_le_bytes());
+    bytes.extend_from_slice(&(program.mem_words() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(program.len() as u64).to_le_bytes());
+    for instr in program.instrs() {
+        bytes.extend_from_slice(&instr.encode());
+    }
+    crate::protocol::fnv1a(&bytes)
+}
+
+struct Entry {
+    prepared: Arc<PreparedProgram>,
+    last_used: u64,
+}
+
+/// A bounded LRU of [`PreparedProgram`]s keyed by
+/// [`program_fingerprint`]. Lookups bump recency; inserts beyond capacity
+/// evict the least-recently-used entry. Entries are `Arc`-shared, so an
+/// eviction never invalidates an in-flight batch.
+pub struct GraphCache {
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl GraphCache {
+    /// A cache holding at most `capacity` prepared programs (`capacity` is
+    /// clamped to ≥ 1 — a cache that can hold nothing would rebuild the
+    /// active program on every request).
+    pub fn new(capacity: usize) -> GraphCache {
+        GraphCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Returns the entry for `key`, building it with `build` on a miss.
+    /// The boolean is `true` on a hit.
+    ///
+    /// The build runs outside the cache lock (graph extraction is the
+    /// expensive part), so concurrent missers of the same key may build
+    /// twice; last writer wins and both get a usable graph.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> PreparedProgram,
+    ) -> (Arc<PreparedProgram>, bool) {
+        if let Some(hit) = self.lookup(key) {
+            return (hit, true);
+        }
+        let prepared = Arc::new(build());
+        self.insert(key, prepared.clone());
+        (prepared, false)
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<PreparedProgram>> {
+        let mut inner = self.inner.lock().expect("graph cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            e.prepared.clone()
+        })
+    }
+
+    fn insert(&self, key: u64, prepared: Arc<PreparedProgram>) {
+        let mut inner = self.inner.lock().expect("graph cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
+            if let Some(&lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("graph cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_isa::{AluOp, Asm, Reg};
+
+    fn program(tag: i64) -> Program {
+        let mut asm = Asm::new("cache-test");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), tag)
+            .alu_imm(AluOp::Add, Reg(2), Reg(1), 1)
+            .out(Reg(2))
+            .halt();
+        asm.finish().expect("assembles")
+    }
+
+    fn prepared(tag: i64) -> PreparedProgram {
+        PreparedProgram::build(program(tag), &CdfgConfig { bit_stride: 16 })
+    }
+
+    #[test]
+    fn fingerprint_separates_programs_and_strides() {
+        let a = program_fingerprint(&program(1), 8);
+        let b = program_fingerprint(&program(2), 8);
+        let c = program_fingerprint(&program(1), 16);
+        assert_ne!(a, b, "different instructions, same fingerprint");
+        assert_ne!(a, c, "different strides, same fingerprint");
+        assert_eq!(a, program_fingerprint(&program(1), 8), "not deterministic");
+    }
+
+    #[test]
+    fn cache_hits_after_build_and_evicts_lru() {
+        let cache = GraphCache::new(2);
+        let (first, hit) = cache.get_or_build(1, || prepared(1));
+        assert!(!hit);
+        let (again, hit) = cache.get_or_build(1, || panic!("must not rebuild"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &again));
+
+        cache.get_or_build(2, || prepared(2));
+        // Touch key 1 so key 2 is the LRU, then overflow.
+        cache.get_or_build(1, || panic!("must not rebuild"));
+        cache.get_or_build(3, || prepared(3));
+        assert_eq!(cache.len(), 2);
+        let (_, hit) = cache.get_or_build(1, || panic!("key 1 was just touched"));
+        assert!(hit);
+        let (_, hit) = cache.get_or_build(2, || prepared(2));
+        assert!(!hit, "key 2 should have been evicted as the LRU");
+    }
+}

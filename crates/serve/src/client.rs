@@ -1,0 +1,159 @@
+//! A blocking client for the `GLVSRV01` protocol: one persistent
+//! connection, synchronous request/response.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request,
+    Response, StatsReply,
+};
+
+/// A client-side failure: transport/decoding problems or a server-issued
+/// rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The frame could not be exchanged or decoded.
+    Protocol(ProtocolError),
+    /// The server answered with an error frame.
+    Server {
+        /// Machine-readable rejection class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a frame of the wrong kind.
+    UnexpectedReply,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server rejected: {code}: {message}")
+            }
+            ClientError::UnexpectedReply => write!(f, "server sent a mismatched reply kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Protocol(ProtocolError::from(e))
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures while connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures ([`ClientError::Protocol`]); server
+    /// rejections surface through the typed convenience methods instead.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_frame())?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Response::from_frame(&payload)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => extract(other).ok_or(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Estimates per-instruction vulnerability for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Server rejections (unknown benchmark, bad stride, draining) as
+    /// [`ClientError::Server`]; transport failures as
+    /// [`ClientError::Protocol`].
+    pub fn predict(
+        &mut self,
+        spec: ProgramSpec,
+        stride: u32,
+        top_k: u32,
+        want_bits: bool,
+    ) -> Result<PredictReply, ClientError> {
+        self.expect(
+            &Request::Predict {
+                spec,
+                stride,
+                top_k,
+                want_bits,
+            },
+            |r| match r {
+                Response::Predict(p) => Some(p),
+                _ => None,
+            },
+        )
+    }
+
+    /// Reads the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::predict`].
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Round-trips a liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::predict`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Asks the server to drain and exit. The connection is unusable
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::predict`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Shutdown, |r| match r {
+            Response::ShutdownAck => Some(()),
+            _ => None,
+        })
+    }
+}

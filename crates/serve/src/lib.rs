@@ -1,0 +1,56 @@
+//! `glaive-serve`: a long-lived batched-inference model server.
+//!
+//! The pipeline crates answer "how vulnerable is this program?" by
+//! rebuilding everything from scratch per invocation. This crate turns the
+//! trained estimator into a *service*: load a GraphSAGE model once, then
+//! answer per-instruction vulnerability queries over TCP at serving
+//! latency — no fault injection, no retraining, graph extraction amortised
+//! across requests.
+//!
+//! Architecture (see `DESIGN.md` §11):
+//!
+//! - [`protocol`] — the `GLVSRV01` length-prefixed, checksummed wire
+//!   format; every malformed frame decodes to a typed
+//!   [`ProtocolError`], never a panic.
+//! - [`cache`] — a content-addressed LRU of prepared programs
+//!   (CDFG + features), keyed by [`program_fingerprint`].
+//! - [`batch`] — request coalescing: concurrent requests merge into one
+//!   block-diagonal forward pass that is bit-identical to serial
+//!   inference (every GraphSAGE op is row-local).
+//! - [`server`] — the accept loop, connection worker pool and batcher
+//!   thread, with `RunControl`-style cooperative shutdown and
+//!   [`Stage::Inference`](glaive::telemetry::Stage) telemetry.
+//! - [`client`] — a blocking client used by the CLI `query` subcommand,
+//!   the load generator and the differential tests.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use glaive_serve::{Client, ProgramSpec, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let model: glaive_gnn::GraphSage = unimplemented!();
+//! let handle = Server::bind(model, "127.0.0.1:0", ServerConfig::default())?.spawn();
+//! let mut client = Client::connect(handle.addr())?;
+//! let spec = ProgramSpec::Suite { name: "dijkstra".into(), seed: 7 };
+//! let reply = client.predict(spec, 8, 10, false)?;
+//! println!("protect PCs {:?}", reply.top_k);
+//! client.shutdown_server()?;
+//! handle.join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use batch::{BatchResult, BatchWorkspace, InferenceJob, JobQueue};
+pub use cache::{program_fingerprint, GraphCache, PreparedProgram};
+pub use client::{Client, ClientError};
+pub use protocol::{
+    ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request, Response, StatsReply, WireTuple,
+};
+pub use server::{ServeError, Server, ServerConfig, ServerHandle};

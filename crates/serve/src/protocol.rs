@@ -1,0 +1,789 @@
+//! The `GLVSRV01` wire protocol: length-prefixed, checksummed binary
+//! frames, in the same little-endian magic/version discipline as the
+//! `GLVFIT01` ground-truth and `GLVCKPT1` checkpoint formats.
+//!
+//! On the wire every frame is a `u32` payload length followed by the
+//! payload. A payload is
+//!
+//! ```text
+//! magic "GLVSRV01" (8) | opcode (1) | body (…) | FNV-1a over all prior bytes (8)
+//! ```
+//!
+//! The trailing checksum covers the magic, opcode and body, so *any*
+//! single-byte corruption is rejected: each FNV-1a step is a bijection of
+//! the hash state, hence a changed byte always changes the final digest.
+//! Decoders never panic on foreign bytes — every malformed frame maps to a
+//! typed [`ProtocolError`].
+//!
+//! Multi-byte integers are little-endian throughout; strings are
+//! length-prefixed UTF-8; probabilities travel as `f32` bit patterns, so a
+//! response is bit-identical to the server-side computation.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use glaive_isa::{Instr, Program, INSTR_ENCODING_LEN};
+
+/// Magic + format version of every frame. Bump the trailing digit on any
+/// layout change: decoders reject other versions with
+/// [`ProtocolError::BadMagic`].
+pub const MAGIC: &[u8; 8] = b"GLVSRV01";
+
+/// Upper bound on a frame payload; larger declared lengths are rejected
+/// before any allocation (a corrupted or hostile length prefix must not
+/// OOM the server).
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+const NAME_CAP: usize = 1 << 12;
+const INSTR_CAP: usize = 1 << 20;
+
+/// Typed decode/transport failure. Every malformed input maps here — the
+/// protocol layer never panics on wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload does not start with the current magic/version.
+    BadMagic,
+    /// The payload ended before its declared content.
+    Truncated,
+    /// The trailing FNV-1a digest disagrees with the payload bytes.
+    Checksum,
+    /// The opcode byte names no known frame kind.
+    UnknownOpcode(u8),
+    /// A structural invariant failed (bad tag, absurd length, undecodable
+    /// instruction, non-UTF-8 string…).
+    Corrupt(&'static str),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The underlying stream failed mid-frame.
+    Io(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic => write!(f, "not a GLVSRV01 frame (bad magic)"),
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::Checksum => write!(f, "frame checksum mismatch"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            ProtocolError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> ProtocolError {
+        ProtocolError::Io(e.to_string())
+    }
+}
+
+/// 64-bit FNV-1a digest of `bytes` — the frame checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How a request names the program to estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSpec {
+    /// A benchmark of the built-in suite, compiled server-side with the
+    /// given input seed.
+    Suite {
+        /// Benchmark name (`glaive-cli list`).
+        name: String,
+        /// Input-generation seed.
+        seed: u64,
+    },
+    /// A client-compiled program shipped as encoded instructions.
+    Raw(Program),
+}
+
+impl ProgramSpec {
+    /// The program name a response/telemetry line refers to.
+    pub fn name(&self) -> &str {
+        match self {
+            ProgramSpec::Suite { name, .. } => name,
+            ProgramSpec::Raw(p) => p.name(),
+        }
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Estimate per-instruction vulnerability for one program.
+    Predict {
+        /// The program to estimate.
+        spec: ProgramSpec,
+        /// CDFG bit stride (must be within `1..=WORD_BITS`, and should
+        /// match the stride the served model was trained at).
+        stride: u32,
+        /// How many top-ranked PCs to return as the protection set.
+        top_k: u32,
+        /// Also return the raw per-bit-node class probabilities (used by
+        /// differential tests; larger frames).
+        want_bits: bool,
+    },
+    /// Read the server's counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting work and exit its run loop.
+    Shutdown,
+}
+
+/// Per-instruction estimate: `[crash, sdc, masked]` class probabilities.
+pub type WireTuple = [f32; 3];
+
+/// The body of a successful predict response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictReply {
+    /// One entry per PC; `None` where the program has no CDFG nodes
+    /// (operand-less instructions have nothing to estimate).
+    pub tuples: Vec<Option<WireTuple>>,
+    /// The top-K protection set: PCs in descending severity order.
+    pub top_k: Vec<u32>,
+    /// Bit-level CDFG nodes the estimate aggregated over.
+    pub node_count: u32,
+    /// How many coalesced requests shared this forward pass (≥ 1).
+    pub batch_size: u32,
+    /// Per-node class probability rows, when the request set `want_bits`.
+    pub bit_probs: Option<Vec<WireTuple>>,
+}
+
+/// Server counters, as returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Total frames served (all kinds).
+    pub requests: u64,
+    /// Predict requests served.
+    pub predictions: u64,
+    /// Batched forward passes run.
+    pub batches: u64,
+    /// Largest coalesced batch so far.
+    pub peak_batch: u64,
+    /// Graph-cache hits.
+    pub cache_hits: u64,
+    /// Graph-cache misses (CDFG built from scratch).
+    pub cache_misses: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+}
+
+/// Why the server rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame decoded but the request is invalid.
+    BadRequest,
+    /// No suite benchmark has the requested name.
+    UnknownBenchmark,
+    /// The stride falls outside the CDFG's valid range.
+    BadStride,
+    /// The served model cannot estimate this input.
+    ModelMismatch,
+    /// The server is draining; retry against a fresh instance.
+    ShuttingDown,
+    /// An internal failure (the request may be fine).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::UnknownBenchmark => 2,
+            ErrorCode::BadStride => 3,
+            ErrorCode::ModelMismatch => 4,
+            ErrorCode::ShuttingDown => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::UnknownBenchmark,
+            3 => ErrorCode::BadStride,
+            4 => ErrorCode::ModelMismatch,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::UnknownBenchmark => "unknown benchmark",
+            ErrorCode::BadStride => "bad stride",
+            ErrorCode::ModelMismatch => "model mismatch",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Internal => "internal error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful prediction.
+    Predict(PredictReply),
+    /// Server counters.
+    Stats(StatsReply),
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The server accepted the shutdown and is draining.
+    ShutdownAck,
+    /// The request was rejected.
+    Error {
+        /// Machine-readable rejection class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const OP_PREDICT: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_PING: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_R_PREDICT: u8 = 0x81;
+const OP_R_STATS: u8 = 0x82;
+const OP_R_PONG: u8 = 0x83;
+const OP_R_SHUTDOWN: u8 = 0x84;
+const OP_R_ERROR: u8 = 0xff;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let digest = fnv1a(&payload);
+    payload.extend_from_slice(&digest.to_le_bytes());
+    payload
+}
+
+fn encode_spec(out: &mut Vec<u8>, spec: &ProgramSpec) {
+    match spec {
+        ProgramSpec::Suite { name, seed } => {
+            out.push(0);
+            put_str(out, name);
+            put_u64(out, *seed);
+        }
+        ProgramSpec::Raw(program) => {
+            out.push(1);
+            put_str(out, program.name());
+            put_u64(out, program.mem_words() as u64);
+            put_u32(out, program.len() as u32);
+            for instr in program.instrs() {
+                out.extend_from_slice(&instr.encode());
+            }
+        }
+    }
+}
+
+impl Request {
+    /// Serialises the request into a sealed payload (length prefix not
+    /// included — [`write_frame`] adds it).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC);
+        match self {
+            Request::Predict {
+                spec,
+                stride,
+                top_k,
+                want_bits,
+            } => {
+                out.push(OP_PREDICT);
+                put_u32(&mut out, *stride);
+                put_u32(&mut out, *top_k);
+                out.push(*want_bits as u8);
+                encode_spec(&mut out, spec);
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Ping => out.push(OP_PING),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        seal(out)
+    }
+
+    /// Decodes a sealed request payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] for anything that is not an intact
+    /// current-version request frame.
+    pub fn from_frame(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = open(payload)?;
+        let req = match r.u8()? {
+            OP_PREDICT => {
+                let stride = r.u32()?;
+                let top_k = r.u32()?;
+                let want_bits = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtocolError::Corrupt("bad want_bits flag")),
+                };
+                let spec = decode_spec(&mut r)?;
+                Request::Predict {
+                    spec,
+                    stride,
+                    top_k,
+                    want_bits,
+                }
+            }
+            OP_STATS => Request::Stats,
+            OP_PING => Request::Ping,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+fn decode_spec(r: &mut Reader<'_>) -> Result<ProgramSpec, ProtocolError> {
+    match r.u8()? {
+        0 => {
+            let name = r.string(NAME_CAP)?;
+            let seed = r.u64()?;
+            Ok(ProgramSpec::Suite { name, seed })
+        }
+        1 => {
+            let name = r.string(NAME_CAP)?;
+            let mem_words = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > INSTR_CAP {
+                return Err(ProtocolError::Corrupt("instruction count exceeds cap"));
+            }
+            let mut instrs = Vec::with_capacity(count.min(r.remaining() / INSTR_ENCODING_LEN + 1));
+            for _ in 0..count {
+                let bytes: [u8; INSTR_ENCODING_LEN] = r
+                    .take(INSTR_ENCODING_LEN)?
+                    .try_into()
+                    .expect("take returned the requested length");
+                instrs.push(
+                    Instr::decode(&bytes)
+                        .map_err(|_| ProtocolError::Corrupt("undecodable instruction"))?,
+                );
+            }
+            let mem_words = usize::try_from(mem_words)
+                .map_err(|_| ProtocolError::Corrupt("mem_words overflows usize"))?;
+            Ok(ProgramSpec::Raw(Program::new(name, instrs, mem_words)))
+        }
+        _ => Err(ProtocolError::Corrupt("bad program-spec tag")),
+    }
+}
+
+impl Response {
+    /// Serialises the response into a sealed payload.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC);
+        match self {
+            Response::Predict(p) => {
+                out.push(OP_R_PREDICT);
+                put_u32(&mut out, p.node_count);
+                put_u32(&mut out, p.batch_size);
+                put_u32(&mut out, p.tuples.len() as u32);
+                for t in &p.tuples {
+                    match t {
+                        Some([c, s, m]) => {
+                            out.push(1);
+                            put_f32(&mut out, *c);
+                            put_f32(&mut out, *s);
+                            put_f32(&mut out, *m);
+                        }
+                        None => {
+                            out.push(0);
+                            out.extend_from_slice(&[0u8; 12]);
+                        }
+                    }
+                }
+                put_u32(&mut out, p.top_k.len() as u32);
+                for &pc in &p.top_k {
+                    put_u32(&mut out, pc);
+                }
+                match &p.bit_probs {
+                    None => out.push(0),
+                    Some(rows) => {
+                        out.push(1);
+                        put_u32(&mut out, rows.len() as u32);
+                        for [c, s, m] in rows {
+                            put_f32(&mut out, *c);
+                            put_f32(&mut out, *s);
+                            put_f32(&mut out, *m);
+                        }
+                    }
+                }
+            }
+            Response::Stats(s) => {
+                out.push(OP_R_STATS);
+                for v in [
+                    s.requests,
+                    s.predictions,
+                    s.batches,
+                    s.peak_batch,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.errors,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Response::Pong => out.push(OP_R_PONG),
+            Response::ShutdownAck => out.push(OP_R_SHUTDOWN),
+            Response::Error { code, message } => {
+                out.push(OP_R_ERROR);
+                out.push(code.to_byte());
+                put_str(&mut out, message);
+            }
+        }
+        seal(out)
+    }
+
+    /// Decodes a sealed response payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] for anything that is not an intact
+    /// current-version response frame.
+    pub fn from_frame(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = open(payload)?;
+        let resp = match r.u8()? {
+            OP_R_PREDICT => {
+                let node_count = r.u32()?;
+                let batch_size = r.u32()?;
+                let pcs = r.counted(13)?;
+                let mut tuples = Vec::with_capacity(pcs);
+                for _ in 0..pcs {
+                    let present = r.u8()?;
+                    let c = r.f32()?;
+                    let s = r.f32()?;
+                    let m = r.f32()?;
+                    tuples.push(match present {
+                        0 => None,
+                        1 => Some([c, s, m]),
+                        _ => return Err(ProtocolError::Corrupt("bad tuple flag")),
+                    });
+                }
+                let k = r.counted(4)?;
+                let mut top_k = Vec::with_capacity(k);
+                for _ in 0..k {
+                    top_k.push(r.u32()?);
+                }
+                let bit_probs = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = r.counted(12)?;
+                        let mut rows = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            rows.push([r.f32()?, r.f32()?, r.f32()?]);
+                        }
+                        Some(rows)
+                    }
+                    _ => return Err(ProtocolError::Corrupt("bad bit-probs flag")),
+                };
+                Response::Predict(PredictReply {
+                    tuples,
+                    top_k,
+                    node_count,
+                    batch_size,
+                    bit_probs,
+                })
+            }
+            OP_R_STATS => Response::Stats(StatsReply {
+                requests: r.u64()?,
+                predictions: r.u64()?,
+                batches: r.u64()?,
+                peak_batch: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+                errors: r.u64()?,
+            }),
+            OP_R_PONG => Response::Pong,
+            OP_R_SHUTDOWN => Response::ShutdownAck,
+            OP_R_ERROR => {
+                let code = ErrorCode::from_byte(r.u8()?)
+                    .ok_or(ProtocolError::Corrupt("unknown error code"))?;
+                let message = r.string(1 << 16)?;
+                Response::Error { code, message }
+            }
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload reader
+// ---------------------------------------------------------------------------
+
+/// Validates magic and checksum, returning a reader over the body (opcode
+/// onwards).
+fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
+    if payload.len() < MAGIC.len() + 8 {
+        return Err(ProtocolError::Truncated);
+    }
+    if &payload[..MAGIC.len()] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let (head, tail) = payload.split_at(payload.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().expect("split at len - 8"));
+    if fnv1a(head) != declared {
+        return Err(ProtocolError::Checksum);
+    }
+    Ok(Reader {
+        buf: &head[MAGIC.len()..],
+        pos: 0,
+    })
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtocolError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// A `u32` element count whose `count × element_size` must still fit in
+    /// the remaining bytes — rejects absurd counts before any allocation.
+    fn counted(&mut self, element_size: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(element_size)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self, cap: usize) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        if len > cap {
+            return Err(ProtocolError::Corrupt("string exceeds cap"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Corrupt("non-UTF-8 string"))
+    }
+
+    /// Rejects trailing garbage after a fully decoded body.
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::Corrupt("trailing bytes after body"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame payload (blocking).
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLarge`] for absurd length prefixes,
+/// [`ProtocolError::Io`] for transport failures (including EOF mid-frame).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_isa::{AluOp, Asm, Reg};
+
+    fn tiny_program() -> Program {
+        let mut asm = Asm::new("tiny");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), 7)
+            .alu_imm(AluOp::Add, Reg(2), Reg(1), 3)
+            .store(Reg(2), Reg(0), 0)
+            .out(Reg(2))
+            .halt();
+        asm.finish().expect("assembles")
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Predict {
+                spec: ProgramSpec::Suite {
+                    name: "dijkstra".into(),
+                    seed: 7,
+                },
+                stride: 8,
+                top_k: 10,
+                want_bits: false,
+            },
+            Request::Predict {
+                spec: ProgramSpec::Raw(tiny_program()),
+                stride: 16,
+                top_k: 3,
+                want_bits: true,
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Predict(PredictReply {
+                tuples: vec![Some([0.25, 0.5, 0.25]), None, Some([0.0, 0.0, 1.0])],
+                top_k: vec![2, 0],
+                node_count: 40,
+                batch_size: 3,
+                bit_probs: Some(vec![[0.1, 0.2, 0.7], [0.9, 0.05, 0.05]]),
+            }),
+            Response::Stats(StatsReply {
+                requests: 10,
+                predictions: 7,
+                batches: 3,
+                peak_batch: 4,
+                cache_hits: 5,
+                cache_misses: 2,
+                errors: 1,
+            }),
+            Response::Pong,
+            Response::ShutdownAck,
+            Response::Error {
+                code: ErrorCode::UnknownBenchmark,
+                message: "no benchmark `nope`".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let frame = req.to_frame();
+            assert_eq!(Request::from_frame(&frame).expect("roundtrip"), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let frame = resp.to_frame();
+            assert_eq!(Response::from_frame(&frame).expect("roundtrip"), resp);
+        }
+    }
+
+    #[test]
+    fn stream_framing_roundtrips() {
+        let mut wire = Vec::new();
+        let frames: Vec<Vec<u8>> = sample_requests().iter().map(Request::to_frame).collect();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("write");
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).expect("read"), f);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            read_frame(&mut &wire[..]),
+            Err(ProtocolError::FrameTooLarge(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn foreign_and_tampered_payloads_are_typed_errors() {
+        assert_eq!(Request::from_frame(b"short"), Err(ProtocolError::Truncated));
+        assert_eq!(
+            Request::from_frame(b"NOTSRV01................"),
+            Err(ProtocolError::BadMagic)
+        );
+        let frame = Request::Stats.to_frame();
+        let mut wrong = frame.clone();
+        let body_pos = MAGIC.len();
+        wrong[body_pos] ^= 0x40;
+        assert_eq!(Request::from_frame(&wrong), Err(ProtocolError::Checksum));
+    }
+}

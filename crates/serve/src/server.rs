@@ -1,0 +1,572 @@
+//! The long-lived model server: accept loop, connection worker pool, and
+//! the single batching inference thread they feed.
+//!
+//! Threading model:
+//!
+//! - the **accept loop** polls a non-blocking listener and hands sockets
+//!   to the connection queue;
+//! - `workers` **connection workers** each own one socket at a time,
+//!   decode frames, resolve programs through the [`GraphCache`], enqueue
+//!   inference jobs and write replies;
+//! - one **batcher** thread owns the model and a [`BatchWorkspace`]; each
+//!   time it wakes it drains *every* pending job into one coalesced
+//!   forward pass, so concurrency turns directly into batch size.
+//!
+//! Shutdown follows the `RunControl` cancellation contract from the
+//! fault-injection campaigns: a shared `AtomicBool`, checked at every
+//! blocking boundary (accept poll, socket read timeout, queue close).
+//! A `Shutdown` frame — or an external holder of [`Server::cancel_flag`]
+//! — flips it; in-flight requests drain, then the threads unwind in
+//! dependency order.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use glaive::telemetry::{NullObserver, Observer, Stage};
+use glaive_bench_suite::suite;
+use glaive_cdfg::CdfgConfig;
+use glaive_gnn::GraphSage;
+use glaive_isa::Program;
+
+use crate::batch::{BatchWorkspace, InferenceJob, JobQueue};
+use crate::cache::{program_fingerprint, GraphCache, PreparedProgram};
+use crate::protocol::{
+    write_frame, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request, Response,
+    StatsReply, WireTuple,
+};
+
+/// How often blocking points re-check the cancellation flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server construction failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model cannot serve CDFG features (wrong input width or class
+    /// count) — refusing at bind time beats corrupt answers at runtime.
+    Model(String),
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Model(m) => write!(f, "unsuitable model: {m}"),
+            ServeError::Io(e) => write!(f, "bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection worker threads (concurrent in-flight requests; also the
+    /// upper bound on coalesced batch size).
+    pub workers: usize,
+    /// Prepared-program LRU capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 8,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Monotonic serving counters, shared across all server threads.
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    predictions: AtomicU64,
+    batches: AtomicU64,
+    peak_batch: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> StatsReply {
+        StatsReply {
+            requests: self.requests.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            peak_batch: self.peak_batch.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_batch(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.peak_batch.fetch_max(size, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running model server.
+pub struct Server {
+    model: GraphSage,
+    listener: TcpListener,
+    addr: SocketAddr,
+    cancel: Arc<AtomicBool>,
+    config: ServerConfig,
+    observer: Arc<dyn Observer>,
+}
+
+impl Server {
+    /// Binds a listener and validates that `model` can serve CDFG inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] when the model's input width or class count
+    /// does not match the CDFG feature contract; [`ServeError::Io`] when
+    /// the address cannot be bound.
+    pub fn bind(
+        model: GraphSage,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        if model.input_dim() != glaive_cdfg::FEATURE_DIM {
+            return Err(ServeError::Model(format!(
+                "model expects {}-dim node features, CDFG produces {}",
+                model.input_dim(),
+                glaive_cdfg::FEATURE_DIM
+            )));
+        }
+        if model.config().classes != 3 {
+            return Err(ServeError::Model(format!(
+                "model has {} output classes, vulnerability estimation needs 3",
+                model.config().classes
+            )));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            model,
+            listener,
+            addr,
+            cancel: Arc::new(AtomicBool::new(false)),
+            config,
+            observer: Arc::new(NullObserver),
+        })
+    }
+
+    /// Attaches a telemetry observer (batch timings flow to it as
+    /// [`Stage::Inference`], cache activity as `cache_lookup("graph", …)`).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Server {
+        self.observer = observer;
+        self
+    }
+
+    /// The bound address (the OS-chosen port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cancellation flag — the same contract as
+    /// `glaive_faultsim::RunControl::cancel`. Storing `true` drains the
+    /// server and returns [`Server::run`].
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Serves until the cancellation flag is set (by a `Shutdown` frame or
+    /// an external holder of [`Server::cancel_flag`]), then drains and
+    /// returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener failures; per-connection errors are counted and
+    /// answered, never fatal.
+    pub fn run(self) -> io::Result<StatsReply> {
+        let stats = Arc::new(ServeStats::default());
+        let shared = Shared {
+            cancel: self.cancel.clone(),
+            stats: stats.clone(),
+            cache: GraphCache::new(self.config.cache_capacity),
+            batch_queue: JobQueue::new(),
+            observer: self.observer.clone(),
+        };
+        let conn_queue: JobQueue<TcpStream> = JobQueue::new();
+        let model = &self.model;
+        let shared = &shared;
+        let conn_queue = &conn_queue;
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            let batcher = scope.spawn(move || {
+                let mut workspace = BatchWorkspace::new();
+                while let Some(jobs) = shared.batch_queue.drain_wait() {
+                    let start = Instant::now();
+                    shared.observer.stage_started(Stage::Inference, "batch");
+                    let served = workspace.run_batch(model, &jobs);
+                    shared.stats.record_batch(served as u64);
+                    shared.observer.stage_finished(
+                        Stage::Inference,
+                        "batch",
+                        start.elapsed(),
+                        served as u64,
+                    );
+                }
+            });
+
+            let workers: Vec<_> = (0..self.config.workers.max(1))
+                .map(|_| {
+                    scope.spawn(move || {
+                        while let Some(stream) = conn_queue.pop_wait() {
+                            handle_connection(stream, shared);
+                        }
+                    })
+                })
+                .collect();
+
+            // Accept loop: poll the non-blocking listener against the
+            // cancellation flag.
+            while !self.cancel.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        conn_queue.push(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.cancel.store(true, Ordering::Relaxed);
+                        conn_queue.close();
+                        shared.batch_queue.close();
+                        return Err(e);
+                    }
+                }
+            }
+
+            // Drain order matters: stop feeding workers, let them finish
+            // their in-flight requests, then let the batcher run dry.
+            conn_queue.close();
+            for w in workers {
+                let _ = w.join();
+            }
+            shared.batch_queue.close();
+            let _ = batcher.join();
+            Ok(())
+        })?;
+
+        Ok(stats.snapshot())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// shutdown and joining — the in-process harness the differential and
+    /// concurrency tests drive.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let cancel = self.cancel.clone();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            cancel,
+            thread,
+        }
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cancel: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<io::Result<StatsReply>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without a client connection.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the server to drain and returns its final counters.
+    ///
+    /// # Errors
+    ///
+    /// The run loop's fatal listener error, if any.
+    ///
+    /// # Panics
+    ///
+    /// If the server thread itself panicked.
+    pub fn join(self) -> io::Result<StatsReply> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Everything a connection worker needs, shared across the pool.
+struct Shared {
+    cancel: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    cache: GraphCache,
+    batch_queue: JobQueue<InferenceJob>,
+    observer: Arc<dyn Observer>,
+}
+
+/// Outcome of one cancellable frame read.
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary — the client hung up.
+    Closed,
+    /// The server is draining.
+    Cancelled,
+    /// The stream failed or delivered an oversized prefix.
+    Failed(ProtocolError),
+}
+
+/// Serves one client connection until it closes, errors, or the server
+/// drains.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        let payload = match read_frame_cancellable(&mut stream, &shared.cancel) {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Closed | ReadOutcome::Cancelled => return,
+            ReadOutcome::Failed(err) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.to_frame());
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, hang_up) = match Request::from_frame(&payload) {
+            Ok(Request::Ping) => (Response::Pong, false),
+            Ok(Request::Stats) => (Response::Stats(shared.stats.snapshot()), false),
+            Ok(Request::Shutdown) => {
+                shared.cancel.store(true, Ordering::Relaxed);
+                (Response::ShutdownAck, true)
+            }
+            Ok(Request::Predict {
+                spec,
+                stride,
+                top_k,
+                want_bits,
+            }) => (
+                handle_predict(shared, spec, stride, top_k, want_bits),
+                false,
+            ),
+            Err(err) => (
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                },
+                false,
+            ),
+        };
+        if matches!(response, Response::Error { .. }) {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut stream, &response.to_frame()).is_err() || hang_up {
+            return;
+        }
+    }
+}
+
+/// Reads one length-prefixed frame, re-checking the cancellation flag on
+/// every read timeout so a draining server never strands a worker in a
+/// blocking read.
+fn read_frame_cancellable(stream: &mut TcpStream, cancel: &AtomicBool) -> ReadOutcome {
+    // Inline the framing (instead of calling `read_frame`) so the timeout
+    // granularity sits below the frame level: a half-received frame keeps
+    // its progress across cancel checks.
+    let mut header = [0u8; 4];
+    match read_full(stream, &mut header, cancel, true) {
+        FillOutcome::Done => {}
+        FillOutcome::CleanEof => return ReadOutcome::Closed,
+        FillOutcome::Cancelled => return ReadOutcome::Cancelled,
+        FillOutcome::Failed(e) => return ReadOutcome::Failed(e),
+    }
+    let len = u32::from_le_bytes(header);
+    if len > crate::protocol::MAX_FRAME_LEN {
+        return ReadOutcome::Failed(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, cancel, false) {
+        FillOutcome::Done => ReadOutcome::Frame(payload),
+        FillOutcome::CleanEof => ReadOutcome::Failed(ProtocolError::Truncated),
+        FillOutcome::Cancelled => ReadOutcome::Cancelled,
+        FillOutcome::Failed(e) => ReadOutcome::Failed(e),
+    }
+}
+
+/// Fills `buf` completely from a timeout-configured stream, checking the
+/// cancellation flag on each timeout. `at_boundary` marks reads that may
+/// legitimately see a clean EOF (the start of a frame header).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    cancel: &AtomicBool,
+    at_boundary: bool,
+) -> FillOutcome {
+    use std::io::Read;
+
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    FillOutcome::CleanEof
+                } else {
+                    FillOutcome::Failed(ProtocolError::Io("connection reset".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if cancel.load(Ordering::Relaxed) {
+                    return FillOutcome::Cancelled;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return FillOutcome::Failed(ProtocolError::Io(e.to_string())),
+        }
+    }
+    FillOutcome::Done
+}
+
+enum FillOutcome {
+    Done,
+    CleanEof,
+    Cancelled,
+    Failed(ProtocolError),
+}
+
+/// Resolves, prepares, batches and aggregates one predict request.
+fn handle_predict(
+    shared: &Shared,
+    spec: ProgramSpec,
+    stride: u32,
+    top_k: u32,
+    want_bits: bool,
+) -> Response {
+    let Some(cdfg_config) = usize::try_from(stride)
+        .ok()
+        .and_then(CdfgConfig::try_with_stride)
+    else {
+        return Response::Error {
+            code: ErrorCode::BadStride,
+            message: format!("stride {stride} outside 1..={}", glaive_isa::WORD_BITS),
+        };
+    };
+    let program = match resolve_program(&spec) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let name = program.name().to_string();
+
+    let key = program_fingerprint(&program, cdfg_config.bit_stride);
+    let (prepared, hit) = shared
+        .cache
+        .get_or_build(key, || PreparedProgram::build(program, &cdfg_config));
+    shared.observer.cache_lookup("graph", &name, hit);
+    if hit {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = InferenceJob {
+        prepared: prepared.clone(),
+        reply: tx,
+    };
+    if !shared.batch_queue.push(job) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        };
+    }
+    let Ok(result) = rx.recv() else {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server drained before the batch ran".into(),
+        };
+    };
+
+    let program_len = prepared.program.len();
+    let tuples = glaive::aggregate_bit_probs(&prepared.cdfg, program_len, &result.probs);
+    let wire_tuples: Vec<Option<WireTuple>> = tuples
+        .iter()
+        .map(|t| t.map(|v| [v.crash as f32, v.sdc as f32, v.masked as f32]))
+        .collect();
+
+    // Protection set: covered PCs by descending severity, PC order as the
+    // deterministic tie-break.
+    let mut ranked: Vec<u32> = tuples
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_some())
+        .map(|(pc, _)| pc as u32)
+        .collect();
+    ranked.sort_by(|&a, &b| {
+        let ka = tuples[a as usize]
+            .expect("filtered to covered")
+            .ranking_key();
+        let kb = tuples[b as usize]
+            .expect("filtered to covered")
+            .ranking_key();
+        kb.total_cmp(&ka).then(a.cmp(&b))
+    });
+    ranked.truncate(top_k as usize);
+
+    shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+    Response::Predict(PredictReply {
+        node_count: prepared.cdfg.node_count() as u32,
+        batch_size: result.batch_size,
+        tuples: wire_tuples,
+        top_k: ranked,
+        bit_probs: want_bits.then(|| {
+            (0..result.probs.rows())
+                .map(|r| {
+                    let row = result.probs.row(r);
+                    [row[0], row[1], row[2]]
+                })
+                .collect()
+        }),
+    })
+}
+
+/// Compiles the requested program (suite lookup or client-shipped raw
+/// instructions).
+fn resolve_program(spec: &ProgramSpec) -> Result<Program, Response> {
+    match spec {
+        ProgramSpec::Suite { name, seed } => suite(*seed)
+            .into_iter()
+            .find(|b| b.name == name.as_str())
+            .map(|b| b.program().clone())
+            .ok_or_else(|| Response::Error {
+                code: ErrorCode::UnknownBenchmark,
+                message: format!("no suite benchmark named `{name}`"),
+            }),
+        ProgramSpec::Raw(program) => Ok(program.clone()),
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests of the model server: differential correctness under
+//! concurrency, graceful shutdown, and wire-level robustness against
+//! corrupted frames.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
+use glaive_gnn::{GraphSage, SageConfig};
+use glaive_isa::{AluOp, Asm, BranchCond, Program, Reg};
+use glaive_nn::Matrix;
+use glaive_serve::protocol::{read_frame, write_frame, MAGIC};
+use glaive_serve::{
+    Client, ErrorCode, ProgramSpec, ProtocolError, Request, Response, Server, ServerConfig,
+};
+
+const STRIDE: usize = 16;
+
+fn model() -> GraphSage {
+    GraphSage::new(
+        FEATURE_DIM,
+        &SageConfig {
+            hidden: 8,
+            layers: 2,
+            classes: 3,
+            sample_size: 4,
+            lr: 1e-2,
+            epochs: 1,
+            seed: 9,
+        },
+    )
+}
+
+/// Three small, structurally distinct programs so coalesced batches mix
+/// different graph shapes.
+fn programs() -> Vec<Program> {
+    let mut out = Vec::new();
+
+    let mut a = Asm::new("straightline");
+    a.li(Reg(1), 2)
+        .li(Reg(2), 40)
+        .alu(AluOp::Add, Reg(3), Reg(1), Reg(2))
+        .out(Reg(3))
+        .halt();
+    out.push(a.finish().expect("assembles"));
+
+    let mut b = Asm::new("looped");
+    let top = b.label();
+    b.li(Reg(1), 5).li(Reg(2), 0);
+    b.bind(top)
+        .alu(AluOp::Add, Reg(2), Reg(2), Reg(1))
+        .alu_imm(AluOp::Sub, Reg(1), Reg(1), 1)
+        .branch(BranchCond::Ne, Reg(1), Reg(0), top)
+        .out(Reg(2))
+        .halt();
+    out.push(b.finish().expect("assembles"));
+
+    let mut c = Asm::new("memory");
+    c.set_mem_words(4);
+    c.li(Reg(1), 7)
+        .store(Reg(1), Reg(0), 1)
+        .load(Reg(2), Reg(0), 1)
+        .alu_imm(AluOp::Mul, Reg(2), Reg(2), 6)
+        .out(Reg(2))
+        .halt();
+    out.push(c.finish().expect("assembles"));
+
+    out
+}
+
+fn serial_probs(model: &GraphSage, program: &Program) -> Matrix {
+    let cdfg = Cdfg::build(program, &CdfgConfig { bit_stride: STRIDE });
+    let features = Matrix::from_vec(cdfg.node_count(), FEATURE_DIM, cdfg.feature_matrix());
+    model.predict_proba(&features, cdfg.preds_csr())
+}
+
+/// Concurrent clients hammering the coalescing path must each receive
+/// results bit-identical to single-program serial inference with the same
+/// weights — the service-level differential guarantee.
+#[test]
+fn batched_inference_is_bit_identical_to_serial_under_concurrency() {
+    let model = model();
+    let programs = programs();
+    let references: Vec<Matrix> = programs.iter().map(|p| serial_probs(&model, p)).collect();
+    let programs = Arc::new(programs);
+    let references = Arc::new(references);
+
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 8;
+    let server = Server::bind(
+        model,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: CLIENTS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let programs = programs.clone();
+            let references = references.clone();
+            let mismatches = mismatches.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                for r in 0..REQUESTS {
+                    let which = (id + r) % programs.len();
+                    let spec = ProgramSpec::Raw(programs[which].clone());
+                    let reply = client
+                        .predict(spec, STRIDE as u32, 5, true)
+                        .expect("predict");
+                    let serial = &references[which];
+                    assert_eq!(reply.node_count as usize, serial.rows());
+                    assert_eq!(reply.tuples.len(), programs[which].len());
+                    let bits = reply.bit_probs.as_deref().expect("requested bit probs");
+                    let identical = bits.len() == serial.rows()
+                        && bits.iter().enumerate().all(|(row, got)| {
+                            got.iter()
+                                .zip(serial.row(row))
+                                .all(|(a, b)| a.to_bits() == b.to_bits())
+                        });
+                    if !identical {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0, "batched ≠ serial");
+
+    let mut control = Client::connect(addr).expect("control");
+    let stats = control.stats().expect("stats");
+    assert!(
+        stats.predictions >= (CLIENTS * REQUESTS) as u64,
+        "all predictions counted"
+    );
+    assert_eq!(stats.errors, 0, "no server-side errors");
+    control.shutdown_server().expect("shutdown");
+    let final_stats = handle.join().expect("clean exit");
+    assert!(final_stats.requests > stats.requests, "stats monotone");
+}
+
+/// Shutdown is graceful: the ack arrives, the server thread exits, and the
+/// port stops accepting work.
+#[test]
+fn shutdown_is_acknowledged_and_terminal() {
+    let server = Server::bind(model(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping before shutdown");
+    client.shutdown_server().expect("shutdown acknowledged");
+    handle.join().expect("server run returns");
+
+    // The listener is gone: a fresh connection either fails outright or
+    // dies on first use.
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.ping().is_err(), "server still serving after shutdown");
+    }
+}
+
+/// Every single-byte flip of a sealed request payload must decode to a
+/// typed error — magic, opcode, body and checksum positions alike.
+#[test]
+fn request_frames_reject_every_single_byte_flip_and_truncation() {
+    let request = Request::Predict {
+        spec: ProgramSpec::Raw(programs().remove(1)),
+        stride: STRIDE as u32,
+        top_k: 4,
+        want_bits: true,
+    };
+    let payload = request.to_frame();
+    assert!(payload.len() > MAGIC.len() + 8);
+    for pos in 0..payload.len() {
+        for flip in [0x01u8, 0xff] {
+            let mut tampered = payload.clone();
+            tampered[pos] ^= flip;
+            assert!(
+                Request::from_frame(&tampered).is_err(),
+                "request flip {flip:#04x} at byte {pos} was not rejected"
+            );
+        }
+    }
+    for len in 0..payload.len() {
+        assert!(
+            Request::from_frame(&payload[..len]).is_err(),
+            "request truncation to {len} bytes was not rejected"
+        );
+    }
+}
+
+/// The same property for response payloads, which carry f32 matrices and
+/// optional sections.
+#[test]
+fn response_frames_reject_every_single_byte_flip_and_truncation() {
+    let response = Response::Predict(glaive_serve::PredictReply {
+        tuples: vec![Some([0.25, 0.5, 0.25]), None, Some([0.0, 0.125, 0.875])],
+        top_k: vec![2, 0],
+        node_count: 9,
+        batch_size: 3,
+        bit_probs: Some(vec![[0.5, 0.25, 0.25]; 9]),
+    });
+    let payload = response.to_frame();
+    for pos in 0..payload.len() {
+        for flip in [0x01u8, 0xff] {
+            let mut tampered = payload.clone();
+            tampered[pos] ^= flip;
+            assert!(
+                Response::from_frame(&tampered).is_err(),
+                "response flip {flip:#04x} at byte {pos} was not rejected"
+            );
+        }
+    }
+    for len in 0..payload.len() {
+        assert!(
+            Response::from_frame(&payload[..len]).is_err(),
+            "response truncation to {len} bytes was not rejected"
+        );
+    }
+}
+
+/// A live server answers a corrupted frame with a typed `BadRequest`
+/// error — it neither dies nor hangs — and keeps serving well-formed
+/// requests afterwards.
+#[test]
+fn server_survives_corrupt_frames_on_the_wire() {
+    let server = Server::bind(model(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut payload = Request::Ping.to_frame();
+    let last = payload.len() - 1;
+    payload[last] ^= 0xff; // break the checksum
+    let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
+    write_frame(&mut stream, &payload).expect("send corrupt frame");
+    let reply = read_frame(&mut stream).expect("server answers");
+    match Response::from_frame(&reply) {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest error, got {other:?}"),
+    }
+    drop(stream);
+
+    // The server is still healthy.
+    let mut client = Client::connect(addr).expect("connect after corruption");
+    client.ping().expect("ping after corruption");
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// Oversized length prefixes are rejected before any allocation.
+#[test]
+fn read_frame_rejects_oversized_length_prefix() {
+    let mut bogus: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0x00];
+    match read_frame(&mut bogus) {
+        Err(ProtocolError::FrameTooLarge(_)) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

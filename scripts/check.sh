@@ -23,4 +23,27 @@ echo "==> quick-mode smoke run (fig5b_speedup)"
 GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
   --bin fig5b_speedup >/dev/null
 
+echo "==> model-server smoke run (train --quick, serve, query, shutdown)"
+SMOKE_DIR="$(mktemp -d)"
+SMOKE_MODEL="$SMOKE_DIR/smoke.model"
+SMOKE_LOG="$SMOKE_DIR/serve.log"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q --release --offline -p glaive-cli -- \
+  train "$SMOKE_MODEL" lu --quick --stride 16 --instances 1 >/dev/null
+cargo run -q --release --offline -p glaive-cli -- \
+  serve "$SMOKE_MODEL" --addr 127.0.0.1:0 >"$SMOKE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^listening on //p' "$SMOKE_LOG" | head -n1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SMOKE_LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; cat "$SMOKE_LOG"; exit 1; }
+cargo run -q --release --offline -p glaive-cli -- \
+  query "$ADDR" lu --stride 16 --top 5 >/dev/null
+cargo run -q --release --offline -p glaive-cli -- query "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+
 echo "All checks passed."

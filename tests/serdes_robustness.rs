@@ -1,0 +1,139 @@
+//! Byte-level robustness of the persistent artifact formats.
+//!
+//! Both on-disk formats — `GLVFIT01` ground truth and `GLVCKPT1` campaign
+//! checkpoints — carry a trailing FNV-1a checksum over the payload, and
+//! their decoders verify it *before* parsing anything. FNV-1a folds each
+//! input byte through `(h ^ b) * prime` with an odd (hence invertible)
+//! multiplier, so changing any single byte always changes the digest:
+//! every single-byte flip must be rejected, at every position. Likewise
+//! every truncation must decode to a typed error, never a panic or a
+//! silently wrong artifact.
+//!
+//! These tests exercise *every* byte position of real artifacts produced
+//! by a small fault-injection campaign — not a hand-picked sample.
+
+use glaive_faultsim::{Campaign, CampaignCheckpoint, CampaignConfig, GroundTruth};
+use glaive_isa::{AluOp, Asm, Program, Reg};
+
+/// A small program with enough sites for a multi-record artifact.
+fn tiny_program() -> Program {
+    let mut asm = Asm::new("serdes-robustness");
+    asm.set_mem_words(2);
+    asm.li(Reg(1), 11)
+        .li(Reg(2), 4)
+        .alu(AluOp::Add, Reg(3), Reg(1), Reg(2))
+        .store(Reg(3), Reg(0), 0)
+        .load(Reg(4), Reg(0), 0)
+        .alu_imm(AluOp::Mul, Reg(4), Reg(4), 3)
+        .out(Reg(4))
+        .halt();
+    asm.finish().expect("assembles")
+}
+
+fn tiny_truth() -> GroundTruth {
+    let program = tiny_program();
+    Campaign::new(
+        &program,
+        &[],
+        CampaignConfig {
+            bit_stride: 16,
+            instances_per_site: 1,
+            ..CampaignConfig::quick()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn ground_truth_roundtrips() {
+    let truth = tiny_truth();
+    let bytes = truth.to_bytes();
+    let back = GroundTruth::from_bytes(&bytes).expect("intact artifact decodes");
+    assert_eq!(back.program_name(), truth.program_name());
+    assert_eq!(back.records(), truth.records());
+    assert_eq!(back.predicted_injections(), truth.predicted_injections());
+    assert_eq!(back.golden(), truth.golden());
+}
+
+/// Any single flipped byte — magic, lengths, payload, or checksum — must
+/// yield a typed decode error, at every one of the artifact's positions.
+#[test]
+fn ground_truth_rejects_every_single_byte_flip() {
+    let bytes = tiny_truth().to_bytes();
+    assert!(bytes.len() > 64, "artifact too small to be a real probe");
+    for pos in 0..bytes.len() {
+        for flip in [0x01u8, 0xff] {
+            let mut tampered = bytes.clone();
+            tampered[pos] ^= flip;
+            assert!(
+                GroundTruth::from_bytes(&tampered).is_err(),
+                "flip {flip:#04x} at byte {pos} was not rejected"
+            );
+        }
+    }
+}
+
+/// Every proper prefix must fail to decode — no truncation length panics
+/// or produces a partial artifact.
+#[test]
+fn ground_truth_rejects_every_truncation() {
+    let bytes = tiny_truth().to_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            GroundTruth::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len} bytes was not rejected"
+        );
+    }
+}
+
+fn tiny_checkpoint() -> CampaignCheckpoint {
+    let truth = tiny_truth();
+    let records: Vec<_> = truth
+        .records()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, *r))
+        .collect();
+    CampaignCheckpoint {
+        fingerprint: 0x5EED_CAFE_F00D_1234,
+        total: records.len() + 3,
+        records,
+    }
+}
+
+#[test]
+fn checkpoint_roundtrips() {
+    let ckpt = tiny_checkpoint();
+    let back = CampaignCheckpoint::from_bytes(&ckpt.to_bytes()).expect("intact snapshot decodes");
+    assert_eq!(back, ckpt);
+}
+
+/// A tampered checkpoint must read as *no checkpoint* (cold start), for a
+/// flip at every byte position.
+#[test]
+fn checkpoint_rejects_every_single_byte_flip() {
+    let bytes = tiny_checkpoint().to_bytes();
+    assert!(bytes.len() > 48, "snapshot too small to be a real probe");
+    for pos in 0..bytes.len() {
+        for flip in [0x01u8, 0xff] {
+            let mut tampered = bytes.clone();
+            tampered[pos] ^= flip;
+            assert!(
+                CampaignCheckpoint::from_bytes(&tampered).is_none(),
+                "flip {flip:#04x} at byte {pos} was not rejected"
+            );
+        }
+    }
+}
+
+/// Every proper prefix of a checkpoint reads as a cold start.
+#[test]
+fn checkpoint_rejects_every_truncation() {
+    let bytes = tiny_checkpoint().to_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            CampaignCheckpoint::from_bytes(&bytes[..len]).is_none(),
+            "truncation to {len} bytes was not rejected"
+        );
+    }
+}
