@@ -321,6 +321,13 @@ impl CsrGraph {
     ///
     /// Runs in `O(total nodes + total edges)` with no sorting: each part's
     /// rows are already canonical and shifting preserves order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summed node or edge count exceeds `u32::MAX` — the
+    /// CSR indices could not represent the union, and silently wrapping
+    /// the bases would return a corrupt graph. Callers batching unbounded
+    /// inputs must split them first (as `glaive-serve` does).
     pub fn disjoint_union(parts: &[&CsrGraph]) -> CsrGraph {
         let nodes: usize = parts.iter().map(|g| g.node_count()).sum();
         let edges: usize = parts.iter().map(|g| g.edge_count()).sum();
@@ -334,8 +341,12 @@ impl CsrGraph {
             offsets.extend(g.offsets[1..].iter().map(|&o| edge_base + o));
             targets.extend(g.targets.iter().map(|&t| node_base + t));
             kinds.extend_from_slice(&g.kinds);
-            node_base += g.node_count() as u32;
-            edge_base += g.edge_count() as u32;
+            node_base = node_base
+                .checked_add(g.node_count() as u32)
+                .expect("disjoint union node count overflows u32 CSR indices");
+            edge_base = edge_base
+                .checked_add(g.edge_count() as u32)
+                .expect("disjoint union edge count overflows u32 CSR indices");
         }
         CsrGraph {
             offsets,

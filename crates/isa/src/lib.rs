@@ -42,6 +42,6 @@ mod slot;
 pub use asm::{Asm, AsmError, Label};
 pub use instr::{DecodeError, Instr, INSTR_ENCODING_LEN};
 pub use opcode::{AluOp, BranchCond, CvtOp, FpuOp, FpuUnaryOp, Opcode, OpcodeClass};
-pub use program::Program;
+pub use program::{Program, ProgramError};
 pub use reg::{Reg, NUM_REGS, WORD_BITS};
 pub use slot::OperandSlot;

@@ -25,6 +25,31 @@ pub struct Program {
     mem_words: usize,
 }
 
+/// Why an instruction sequence cannot form a valid [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch/jump at `pc` targets an instruction index beyond the
+    /// program.
+    DanglingTarget {
+        /// Static PC of the offending instruction.
+        pc: usize,
+        /// Its out-of-range target index.
+        target: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DanglingTarget { pc, target } => {
+                write!(f, "instruction {pc} targets out-of-range index {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 impl Program {
     /// Creates a program from a name, instruction sequence and data-memory
     /// size (in 64-bit words).
@@ -32,22 +57,41 @@ impl Program {
     /// # Panics
     ///
     /// Panics if any branch/jump target is out of range — programs with
-    /// dangling targets cannot be executed or analysed.
+    /// dangling targets cannot be executed or analysed. Use
+    /// [`Program::try_new`] when the instructions come from an untrusted
+    /// source (e.g. decoded wire bytes).
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>, mem_words: usize) -> Self {
-        let program = Program {
+        match Program::try_new(name, instrs, mem_words) {
+            Ok(program) => program,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Program::new`]: validates every
+    /// branch/jump target instead of panicking, so foreign instruction
+    /// streams can be rejected with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::DanglingTarget`] when an instruction's target lies
+    /// beyond the instruction sequence.
+    pub fn try_new(
+        name: impl Into<String>,
+        instrs: Vec<Instr>,
+        mem_words: usize,
+    ) -> Result<Self, ProgramError> {
+        for (pc, instr) in instrs.iter().enumerate() {
+            if let Some(target) = instr.target() {
+                if target > instrs.len() {
+                    return Err(ProgramError::DanglingTarget { pc, target });
+                }
+            }
+        }
+        Ok(Program {
             name: name.into(),
             instrs,
             mem_words,
-        };
-        for (pc, instr) in program.instrs.iter().enumerate() {
-            if let Some(t) = instr.target() {
-                assert!(
-                    t <= program.instrs.len(),
-                    "instruction {pc} ({instr}) targets out-of-range index {t}"
-                );
-            }
-        }
-        program
+        })
     }
 
     /// The program's name (benchmark identifier).
@@ -131,6 +175,14 @@ mod tests {
             }],
             8,
         );
+    }
+
+    #[test]
+    fn try_new_reports_dangling_targets_without_panicking() {
+        let bad = Program::try_new("bad", vec![Instr::Jump { target: 7 }, Instr::Halt], 8);
+        assert_eq!(bad, Err(ProgramError::DanglingTarget { pc: 0, target: 7 }));
+        let ok = Program::try_new("ok", vec![Instr::Jump { target: 2 }, Instr::Halt], 8);
+        assert!(ok.is_ok());
     }
 
     #[test]

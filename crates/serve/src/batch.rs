@@ -93,6 +93,24 @@ impl<T> JobQueue<T> {
         self.state.lock().expect("job queue lock").closed = true;
         self.cv.notify_all();
     }
+
+    /// Closes the queue *and* discards its backlog, returning the dropped
+    /// items. For abnormal consumer exits: dropping a queued
+    /// [`InferenceJob`] drops its reply `Sender`, so producers blocked on
+    /// the matching receiver wake with a disconnect error instead of
+    /// waiting for a batch that will never run.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("job queue lock");
+        state.closed = true;
+        let backlog = state.items.drain(..).collect();
+        self.cv.notify_all();
+        backlog
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("job queue lock").closed
+    }
 }
 
 impl<T> Default for JobQueue<T> {
@@ -137,9 +155,29 @@ impl BatchWorkspace {
         BatchWorkspace::default()
     }
 
-    /// Runs one coalesced forward pass over `jobs` and delivers each job
-    /// its own probability rows. Returns the number of jobs served.
+    /// Runs coalesced forward passes over `jobs` and delivers each job its
+    /// own probability rows. Returns the number of jobs served.
+    ///
+    /// The staged union indexes nodes and edges with `u32` (the CSR
+    /// discipline), so a drained backlog whose totals exceed `u32::MAX` is
+    /// split into consecutive chunks that each fit — the bases can never
+    /// wrap. Splitting preserves bit-identical results because every
+    /// forward-pass operation is row-local (see the module docs).
     pub fn run_batch(&mut self, model: &GraphSage, jobs: &[InferenceJob]) -> usize {
+        let mut served = 0;
+        let mut rest = jobs;
+        while !rest.is_empty() {
+            let take = chunk_len(rest);
+            self.run_chunk(model, &rest[..take]);
+            served += take;
+            rest = &rest[take..];
+        }
+        served
+    }
+
+    /// One forward pass over `jobs`, whose node/edge totals are already
+    /// known to fit in `u32`.
+    fn run_chunk(&mut self, model: &GraphSage, jobs: &[InferenceJob]) {
         let batch_size = jobs.len() as u32;
         let total_nodes: usize = jobs.iter().map(|j| j.prepared.cdfg.node_count()).sum();
         let total_edges: usize = jobs
@@ -189,8 +227,36 @@ impl BatchWorkspace {
             // batch is already paid for, so just drop the result.
             let _ = job.reply.send(result);
         }
-        jobs.len()
     }
+}
+
+/// Length of the longest `jobs` prefix whose summed node and edge counts
+/// both fit in `u32` (always ≥ 1: a single program's CSR is `u32`-indexed
+/// by construction, so one job always fits).
+fn chunk_len(jobs: &[InferenceJob]) -> usize {
+    chunk_len_by(jobs.iter().map(|j| {
+        let g = j.prepared.cdfg.preds_csr();
+        (g.node_count() as u32, g.edge_count() as u32)
+    }))
+}
+
+/// [`chunk_len`] over bare `(node_count, edge_count)` sizes, so the
+/// overflow boundary is testable without multi-gigabyte graphs.
+fn chunk_len_by(sizes: impl Iterator<Item = (u32, u32)>) -> usize {
+    let mut nodes = 0u32;
+    let mut edges = 0u32;
+    let mut len = 0;
+    for (n, e) in sizes {
+        match (nodes.checked_add(n), edges.checked_add(e)) {
+            (Some(n), Some(e)) => {
+                nodes = n;
+                edges = e;
+                len += 1;
+            }
+            _ => return len.max(1),
+        }
+    }
+    len.max(1)
 }
 
 #[cfg(test)]
@@ -283,6 +349,22 @@ mod tests {
     }
 
     #[test]
+    fn chunking_splits_before_u32_bases_can_wrap() {
+        const M: u32 = u32::MAX;
+        // Everything fits: one chunk.
+        assert_eq!(chunk_len_by([(10, 20), (30, 40)].into_iter()), 2);
+        // Node total would wrap at the third item.
+        assert_eq!(
+            chunk_len_by([(M / 2, 1), (M / 2, 1), (2, 1)].into_iter()),
+            2
+        );
+        // Edge total would wrap at the second item.
+        assert_eq!(chunk_len_by([(1, M), (1, 1)].into_iter()), 1);
+        // A single over-large head still forms a chunk of one.
+        assert_eq!(chunk_len_by([(M, M), (1, 1)].into_iter()), 1);
+    }
+
+    #[test]
     fn queue_coalesces_and_closes() {
         let q: JobQueue<u32> = JobQueue::new();
         assert!(q.push(1));
@@ -292,6 +374,22 @@ mod tests {
         assert!(!q.push(3), "closed queue accepts no work");
         assert_eq!(q.drain_wait(), None);
         assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn close_and_drain_discards_backlog_and_wakes_senders() {
+        let q: JobQueue<mpsc::Sender<u32>> = JobQueue::new();
+        let (tx, rx) = mpsc::channel();
+        q.push(tx);
+        assert!(!q.is_closed());
+        let backlog = q.close_and_drain();
+        assert!(q.is_closed());
+        assert_eq!(backlog.len(), 1);
+        drop(backlog);
+        // The queued sender is gone: a blocked receiver disconnects
+        // instead of waiting forever.
+        assert!(rx.recv().is_err());
+        assert!(q.pop_wait().is_none(), "drained queue has no backlog");
     }
 
     #[test]

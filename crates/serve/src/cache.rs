@@ -58,6 +58,11 @@ pub fn program_fingerprint(program: &Program, stride: usize) -> u64 {
 
 struct Entry {
     prepared: Arc<PreparedProgram>,
+    /// The stride the entry was built at — together with
+    /// `prepared.program` this is the full fingerprint preimage, compared
+    /// on lookup so a 64-bit FNV collision can never serve another
+    /// program's graph.
+    stride: usize,
     last_used: u64,
 }
 
@@ -92,33 +97,43 @@ impl GraphCache {
     /// Returns the entry for `key`, building it with `build` on a miss.
     /// The boolean is `true` on a hit.
     ///
+    /// A hit requires more than a matching key: the stored entry's stride
+    /// and program must equal `(program, stride)` — the full fingerprint
+    /// preimage — so an FNV-1a collision (trivially constructible for a
+    /// 64-bit non-cryptographic hash) degrades to a rebuild instead of
+    /// silently serving another program's graph.
+    ///
     /// The build runs outside the cache lock (graph extraction is the
     /// expensive part), so concurrent missers of the same key may build
     /// twice; last writer wins and both get a usable graph.
     pub fn get_or_build(
         &self,
         key: u64,
+        program: &Program,
+        stride: usize,
         build: impl FnOnce() -> PreparedProgram,
     ) -> (Arc<PreparedProgram>, bool) {
-        if let Some(hit) = self.lookup(key) {
+        if let Some(hit) = self.lookup(key, program, stride) {
             return (hit, true);
         }
         let prepared = Arc::new(build());
-        self.insert(key, prepared.clone());
+        self.insert(key, stride, prepared.clone());
         (prepared, false)
     }
 
-    fn lookup(&self, key: u64) -> Option<Arc<PreparedProgram>> {
+    fn lookup(&self, key: u64, program: &Program, stride: usize) -> Option<Arc<PreparedProgram>> {
         let mut inner = self.inner.lock().expect("graph cache lock");
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.get_mut(&key).map(|e| {
-            e.last_used = tick;
-            e.prepared.clone()
-        })
+        let entry = inner.map.get_mut(&key)?;
+        if entry.stride != stride || entry.prepared.program != *program {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.prepared.clone())
     }
 
-    fn insert(&self, key: u64, prepared: Arc<PreparedProgram>) {
+    fn insert(&self, key: u64, stride: usize, prepared: Arc<PreparedProgram>) {
         let mut inner = self.inner.lock().expect("graph cache lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -136,6 +151,7 @@ impl GraphCache {
             key,
             Entry {
                 prepared,
+                stride,
                 last_used: tick,
             },
         );
@@ -184,20 +200,41 @@ mod tests {
     #[test]
     fn cache_hits_after_build_and_evicts_lru() {
         let cache = GraphCache::new(2);
-        let (first, hit) = cache.get_or_build(1, || prepared(1));
+        let (p1, p2, p3) = (program(1), program(2), program(3));
+        let (first, hit) = cache.get_or_build(1, &p1, 16, || prepared(1));
         assert!(!hit);
-        let (again, hit) = cache.get_or_build(1, || panic!("must not rebuild"));
+        let (again, hit) = cache.get_or_build(1, &p1, 16, || panic!("must not rebuild"));
         assert!(hit);
         assert!(Arc::ptr_eq(&first, &again));
 
-        cache.get_or_build(2, || prepared(2));
+        cache.get_or_build(2, &p2, 16, || prepared(2));
         // Touch key 1 so key 2 is the LRU, then overflow.
-        cache.get_or_build(1, || panic!("must not rebuild"));
-        cache.get_or_build(3, || prepared(3));
+        cache.get_or_build(1, &p1, 16, || panic!("must not rebuild"));
+        cache.get_or_build(3, &p3, 16, || prepared(3));
         assert_eq!(cache.len(), 2);
-        let (_, hit) = cache.get_or_build(1, || panic!("key 1 was just touched"));
+        let (_, hit) = cache.get_or_build(1, &p1, 16, || panic!("key 1 was just touched"));
         assert!(hit);
-        let (_, hit) = cache.get_or_build(2, || prepared(2));
+        let (_, hit) = cache.get_or_build(2, &p2, 16, || prepared(2));
         assert!(!hit, "key 2 should have been evicted as the LRU");
+    }
+
+    #[test]
+    fn fingerprint_collisions_rebuild_instead_of_serving_the_wrong_program() {
+        let cache = GraphCache::new(4);
+        let (p1, p2) = (program(1), program(2));
+        // Force both programs onto the same 64-bit key, as a constructed
+        // FNV-1a collision would.
+        let (stored, hit) = cache.get_or_build(42, &p1, 16, || prepared(1));
+        assert!(!hit);
+        let (got, hit) = cache.get_or_build(42, &p2, 16, || prepared(2));
+        assert!(!hit, "colliding key must not count as a hit");
+        assert!(
+            !Arc::ptr_eq(&stored, &got),
+            "collision served another program's prepared graph"
+        );
+        assert_eq!(got.program, p2);
+        // Same program at a different stride under the same key: also a miss.
+        let (_, hit) = cache.get_or_build(42, &p2, 8, || prepared(2));
+        assert!(!hit, "stride mismatch must not count as a hit");
     }
 }

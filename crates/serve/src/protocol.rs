@@ -397,7 +397,12 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<ProgramSpec, ProtocolError> {
             }
             let mem_words = usize::try_from(mem_words)
                 .map_err(|_| ProtocolError::Corrupt("mem_words overflows usize"))?;
-            Ok(ProgramSpec::Raw(Program::new(name, instrs, mem_words)))
+            // `Instr::decode` accepts any target index, so a checksummed
+            // frame can still carry a dangling branch/jump — validate here
+            // instead of letting `Program::new` panic the worker.
+            let program = Program::try_new(name, instrs, mem_words)
+                .map_err(|_| ProtocolError::Corrupt("branch/jump target out of range"))?;
+            Ok(ProgramSpec::Raw(program))
         }
         _ => Err(ProtocolError::Corrupt("bad program-spec tag")),
     }
@@ -760,6 +765,30 @@ mod tests {
             assert_eq!(&read_frame(&mut cursor).expect("read"), f);
         }
         assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
+    }
+
+    #[test]
+    fn dangling_branch_target_is_a_typed_error_not_a_panic() {
+        // `Instr` itself places no bound on targets, so a well-formed,
+        // correctly checksummed frame can ship a jump past the program end.
+        // Build such a frame by hand (Request::to_frame can't — a Program
+        // with a dangling target is unconstructible).
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(OP_PREDICT);
+        put_u32(&mut out, 8); // stride
+        put_u32(&mut out, 4); // top_k
+        out.push(0); // want_bits
+        out.push(1); // ProgramSpec::Raw tag
+        put_str(&mut out, "evil");
+        put_u64(&mut out, 4); // mem_words
+        put_u32(&mut out, 1); // instruction count
+        out.extend_from_slice(&glaive_isa::Instr::Jump { target: 1000 }.encode());
+        let frame = seal(out);
+        assert_eq!(
+            Request::from_frame(&frame),
+            Err(ProtocolError::Corrupt("branch/jump target out of range"))
+        );
     }
 
     #[test]

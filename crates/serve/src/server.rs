@@ -211,6 +211,12 @@ impl Server {
 
         std::thread::scope(|scope| -> io::Result<()> {
             let batcher = scope.spawn(move || {
+                // Runs on every exit — including a panic inside
+                // `run_batch`. Without it, jobs queued behind a dead
+                // batcher keep their reply `Sender`s alive inside the
+                // still-open queue, so workers block in `recv` forever and
+                // the shutdown joins deadlock.
+                let _guard = BatcherExitGuard { shared };
                 let mut workspace = BatchWorkspace::new();
                 while let Some(jobs) = shared.batch_queue.drain_wait() {
                     let start = Instant::now();
@@ -324,6 +330,22 @@ struct Shared {
     cache: GraphCache,
     batch_queue: JobQueue<InferenceJob>,
     observer: Arc<dyn Observer>,
+}
+
+/// Cleanup run when the batcher thread exits for *any* reason. A normal
+/// exit (queue closed during shutdown) makes these no-ops; a panic in
+/// `run_batch` turns into an orderly drain: cancellation flips so the
+/// accept loop and workers unwind, and dropping the queued jobs drops
+/// their reply senders so blocked `handle_predict` calls wake immediately.
+struct BatcherExitGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for BatcherExitGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+        drop(self.shared.batch_queue.close_and_drain());
+    }
 }
 
 /// Outcome of one cancellable frame read.
@@ -486,7 +508,9 @@ fn handle_predict(
     let key = program_fingerprint(&program, cdfg_config.bit_stride);
     let (prepared, hit) = shared
         .cache
-        .get_or_build(key, || PreparedProgram::build(program, &cdfg_config));
+        .get_or_build(key, &program, cdfg_config.bit_stride, || {
+            PreparedProgram::build(program.clone(), &cdfg_config)
+        });
     shared.observer.cache_lookup("graph", &name, hit);
     if hit {
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -505,11 +529,28 @@ fn handle_predict(
             message: "server is draining".into(),
         };
     }
-    let Ok(result) = rx.recv() else {
-        return Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server drained before the batch ran".into(),
-        };
+    // Wait for the batcher with a timeout rather than a bare `recv`: if
+    // the batcher thread dies, its exit guard closes the queue and drops
+    // queued jobs, so either the disconnect arrives or a timeout observes
+    // the closed queue — a worker never blocks here forever.
+    let result = loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(result) => break result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.batch_queue.is_closed() {
+                    return Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server drained before the batch ran".into(),
+                    };
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server drained before the batch ran".into(),
+                };
+            }
+        }
     };
 
     let program_len = prepared.program.len();
