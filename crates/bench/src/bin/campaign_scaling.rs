@@ -1,0 +1,169 @@
+//! Distributed campaign scaling benchmark (`BENCH_5.json`).
+//!
+//! Runs the fault-injection campaign for a slice of the suite three ways
+//! — the serial in-process [`Campaign`], then the `glaive-campaign`
+//! fabric with 1, 2 and 4 in-process workers — timing each and
+//! **hard-asserting bit-identity**: every distributed `GroundTruth` must
+//! serialise to exactly the serial campaign's bytes, worker count
+//! notwithstanding. The run fails (non-zero exit) on any divergence.
+//!
+//! Speedup is reported as 1-worker fabric time over N-worker fabric time
+//! (isolating sharding from protocol overhead; the serial baseline is
+//! also recorded). The ≥1.6× four-worker expectation is asserted only
+//! when the machine actually has ≥4 CPUs — on smaller hosts the numbers
+//! are still recorded, with `cpus` in the JSON so readers can judge them.
+//!
+//! Flags: `--out PATH` (default `BENCH_5.json`), `--quick` (or
+//! `GLAIVE_QUICK=1`) for a subsampled smoke run.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use glaive_bench::{quick_requested, EXPERIMENT_SEED};
+use glaive_bench_suite::suite;
+use glaive_campaign::{run_distributed, FabricConfig};
+use glaive_faultsim::{Campaign, GroundTruth, RunControl};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Args {
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_5.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--quick" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+struct BenchRow {
+    name: &'static str,
+    injections: usize,
+    serial: Duration,
+    fabric: [Duration; WORKER_COUNTS.len()],
+}
+
+fn main() {
+    let args = parse_args();
+    let campaign_config = glaive_bench::experiment_config().campaign();
+    let fabric = FabricConfig {
+        chunk_size: 32,
+        ..FabricConfig::default()
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let names: &[&str] = if quick_requested() {
+        &["dijkstra", "sobel"]
+    } else {
+        &["dijkstra", "sobel", "fft", "blackscholes"]
+    };
+    let benches: Vec<_> = suite(EXPERIMENT_SEED)
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect();
+
+    let mut rows = Vec::new();
+    for b in &benches {
+        eprintln!("{}: serial campaign...", b.name);
+        let t0 = Instant::now();
+        let serial: GroundTruth = Campaign::new(b.program(), &b.init_mem, campaign_config).run();
+        let serial_time = t0.elapsed();
+        let serial_bytes = serial.to_bytes();
+
+        let mut fabric_times = [Duration::ZERO; WORKER_COUNTS.len()];
+        for (slot, &workers) in WORKER_COUNTS.iter().enumerate() {
+            eprintln!("{}: fabric with {workers} worker(s)...", b.name);
+            let t0 = Instant::now();
+            let distributed = run_distributed(
+                b.program(),
+                &b.init_mem,
+                campaign_config,
+                fabric,
+                workers,
+                &RunControl::new(),
+            )
+            .expect("fabric completes");
+            fabric_times[slot] = t0.elapsed();
+            assert_eq!(
+                distributed.to_bytes(),
+                serial_bytes,
+                "{}: {workers}-worker fabric diverged from the serial campaign",
+                b.name
+            );
+        }
+        rows.push(BenchRow {
+            name: b.name,
+            injections: serial.total_injections(),
+            serial: serial_time,
+            fabric: fabric_times,
+        });
+    }
+
+    let total_1: f64 = rows.iter().map(|r| r.fabric[0].as_secs_f64()).sum();
+    let total_2: f64 = rows.iter().map(|r| r.fabric[1].as_secs_f64()).sum();
+    let total_4: f64 = rows.iter().map(|r| r.fabric[2].as_secs_f64()).sum();
+    let speedup_2 = total_1 / total_2.max(f64::EPSILON);
+    let speedup_4 = total_1 / total_4.max(f64::EPSILON);
+
+    println!("benchmark\tinjections\tserial_ms\tw1_ms\tw2_ms\tw4_ms");
+    for r in &rows {
+        println!(
+            "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            r.name,
+            r.injections,
+            r.serial.as_secs_f64() * 1e3,
+            r.fabric[0].as_secs_f64() * 1e3,
+            r.fabric[1].as_secs_f64() * 1e3,
+            r.fabric[2].as_secs_f64() * 1e3,
+        );
+    }
+    println!("cpus\t{cpus}");
+    println!("speedup_2w\t{speedup_2:.2}");
+    println!("speedup_4w\t{speedup_4:.2}");
+
+    let mut bench_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            bench_json,
+            "    {{\"name\": \"{}\", \"injections\": {}, \"serial_s\": {:.6}, \
+             \"workers_1_s\": {:.6}, \"workers_2_s\": {:.6}, \"workers_4_s\": {:.6}}}{sep}",
+            r.name,
+            r.injections,
+            r.serial.as_secs_f64(),
+            r.fabric[0].as_secs_f64(),
+            r.fabric[1].as_secs_f64(),
+            r.fabric[2].as_secs_f64(),
+        )
+        .expect("write to string");
+    }
+    let json = format!(
+        "{{\n  \"cpus\": {cpus},\n  \"chunk_size\": {},\n  \"bit_identical\": true,\n  \
+         \"speedup_2w\": {speedup_2:.3},\n  \"speedup_4w\": {speedup_4:.3},\n  \
+         \"benchmarks\": [\n{bench_json}  ]\n}}\n",
+        fabric.chunk_size
+    );
+    std::fs::write(&args.out, json).expect("write results");
+    eprintln!("wrote {}", args.out);
+
+    // Scaling is a property of the machine as much as the fabric: on a
+    // single-core host the 4-worker fleet time-slices one CPU and no
+    // speedup is physically possible, so the expectation only binds where
+    // the hardware can express it.
+    if cpus >= 4 {
+        assert!(
+            speedup_4 >= 1.6,
+            "4-worker speedup {speedup_4:.2} below 1.6x on a {cpus}-CPU host"
+        );
+    } else {
+        eprintln!("note: {cpus} CPU(s) available; speedup assertion requires >= 4");
+    }
+}

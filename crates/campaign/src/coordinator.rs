@@ -1,0 +1,553 @@
+//! The campaign coordinator: owns the canonical [`CampaignPlan`], shards
+//! its spec space into fixed chunks, leases chunks to TCP workers, and
+//! merges completions back into canonical order.
+//!
+//! ## Scheduling model
+//!
+//! The injection space is cut into chunks of `chunk_size` consecutive spec
+//! indices — chunk `k` covers `[k·size, min((k+1)·size, total))`, a pure
+//! function of the plan, never of worker behaviour. Each chunk is in one
+//! of three states: *pending* (queued for assignment), *leased* (assigned,
+//! with an expiry instant), or *done* (merged). A lease is extended by a
+//! worker heartbeat; a lease that expires, or whose connection drops,
+//! sends the chunk back to pending. Duplicate completions (a slow worker
+//! finishing after its chunk was reassigned and completed) are
+//! acknowledged and discarded — records merge at most once per index.
+//!
+//! ## Determinism
+//!
+//! Merged records land in a dense `Vec<Option<InjectionRecord>>` indexed
+//! by spec index, so assembly order is the canonical enumeration order no
+//! matter which worker finished which chunk when. Combined with each
+//! worker recomputing the same plan (enforced by the fingerprint
+//! handshake) and validating completions against the coordinator's own
+//! specs, the resulting [`GroundTruth`] is bit-identical to a serial
+//! single-process campaign of the same configuration — including its
+//! GLVFIT01 serialisation and GLVCKPT1 checkpoints.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use glaive_faultsim::{
+    Campaign, CampaignCheckpoint, CampaignConfig, CampaignError, CampaignPlan, GroundTruth,
+    InjectionRecord, InterruptReason, RunControl,
+};
+use glaive_isa::Program;
+use glaive_sim::FaultSpec;
+use glaive_wire::{read_frame_cancellable, write_frame, ReadOutcome};
+
+use crate::protocol::{chunk_sub_seed, CampaignJob, ChunkAssignment, ToCoordinator, ToWorker};
+use crate::FabricError;
+
+/// How often blocking points re-check the finish/cancel state.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Fabric-level tuning knobs, orthogonal to the campaign parameters that
+/// define the ground truth (those live in [`CampaignConfig`] and are part
+/// of the plan fingerprint; these are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Spec indices per work unit. Smaller chunks re-do less work after a
+    /// worker death; larger chunks amortise protocol overhead.
+    pub chunk_size: usize,
+    /// Lease duration per assignment; heartbeats extend it.
+    pub lease: Duration,
+    /// Backoff suggested to workers when every remaining chunk is leased.
+    pub retry_ms: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            chunk_size: 64,
+            lease: Duration::from_secs(5),
+            retry_ms: 25,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkState {
+    Pending,
+    Leased(Instant),
+    Done,
+}
+
+/// Mutable scheduling state, shared between connection handlers under one
+/// mutex. Critical sections only move chunk states and copy records —
+/// simulation work happens in the workers.
+struct Scheduler {
+    state: Vec<ChunkState>,
+    pending: VecDeque<usize>,
+    records: Vec<Option<InjectionRecord>>,
+    /// Newly merged simulated records (checkpoint payload; excludes
+    /// predicted and checkpoint-adopted indices).
+    fresh: Vec<(usize, InjectionRecord)>,
+    filled: usize,
+}
+
+impl Scheduler {
+    fn complete(&self) -> bool {
+        self.filled == self.records.len()
+    }
+
+    /// Requeues every chunk whose lease expired before `now`.
+    fn requeue_expired(&mut self, now: Instant) {
+        for (chunk, st) in self.state.iter_mut().enumerate() {
+            if matches!(*st, ChunkState::Leased(expiry) if expiry <= now) {
+                *st = ChunkState::Pending;
+                self.pending.push_back(chunk);
+            }
+        }
+    }
+
+    /// Returns a chunk to its queue after a failed or abandoned lease.
+    fn release(&mut self, chunk: usize) {
+        if matches!(self.state[chunk], ChunkState::Leased(_)) {
+            self.state[chunk] = ChunkState::Pending;
+            // Front of the queue: an abandoned chunk is the oldest work.
+            self.pending.push_front(chunk);
+        }
+    }
+}
+
+/// A distributed fault-injection campaign coordinator.
+///
+/// Construction mirrors [`Campaign::new`]; [`Coordinator::run`] drives the
+/// campaign over a listener instead of an in-process thread pool.
+pub struct Coordinator<'p> {
+    program: &'p Program,
+    init_mem: &'p [u64],
+    config: CampaignConfig,
+    fabric: FabricConfig,
+}
+
+impl<'p> Coordinator<'p> {
+    /// Creates a coordinator for `program` with the given input image.
+    /// `config.threads` is ignored — parallelism comes from the fleet.
+    pub fn new(
+        program: &'p Program,
+        init_mem: &'p [u64],
+        config: CampaignConfig,
+        fabric: FabricConfig,
+    ) -> Self {
+        assert!(fabric.chunk_size >= 1, "chunk_size must be at least 1");
+        Coordinator {
+            program,
+            init_mem,
+            config,
+            fabric,
+        }
+    }
+
+    /// Runs the distributed campaign over `listener` until every chunk is
+    /// merged, honouring `ctrl` exactly like [`Campaign::run_supervised`]:
+    /// progress callbacks, cooperative cancellation, deadline, and
+    /// GLVCKPT1 checkpointing (interoperable with serial checkpoints —
+    /// the fingerprint formula is shared, so a serial run can resume a
+    /// distributed one and vice versa).
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Campaign`] for plan failures and interruptions
+    /// (after saving a final checkpoint), [`FabricError::Io`] for listener
+    /// failures, [`FabricError::Truth`] if the merged parts cannot form a
+    /// `GroundTruth`. Worker misbehaviour is *not* an error here: a
+    /// malformed completion is rejected over the wire, its chunk requeued.
+    pub fn run(
+        &self,
+        listener: TcpListener,
+        ctrl: &RunControl<'_>,
+    ) -> Result<GroundTruth, FabricError> {
+        let name = self.program.name().to_string();
+        let plan = Campaign::new(self.program, self.init_mem, self.config)
+            .plan()
+            .map_err(FabricError::Campaign)?;
+        let total = plan.specs.len();
+        let n_chunks = total.div_ceil(self.fabric.chunk_size.max(1));
+
+        let mut records: Vec<Option<InjectionRecord>> = vec![None; total];
+        for &(i, rec) in &plan.predicted {
+            records[i] = Some(rec);
+        }
+
+        // Resume: adopt simulated records from a matching snapshot, same
+        // as the serial path.
+        let mut base: Vec<(usize, InjectionRecord)> = Vec::new();
+        if let Some(sink) = ctrl.checkpoint {
+            if let Some(ckpt) = sink.load().and_then(|b| CampaignCheckpoint::from_bytes(&b)) {
+                if ckpt.fingerprint == plan.fingerprint && ckpt.total == total {
+                    for (i, rec) in ckpt.records {
+                        if records[i].is_none() {
+                            records[i] = Some(rec);
+                            base.push((i, rec));
+                        }
+                    }
+                }
+            }
+        }
+
+        // A chunk every index of which is already filled (predicted and/or
+        // checkpoint-adopted) needs no worker at all.
+        let filled = records.iter().filter(|r| r.is_some()).count();
+        let mut state = Vec::with_capacity(n_chunks);
+        let mut pending = VecDeque::new();
+        for chunk in 0..n_chunks {
+            let (start, end) = self.chunk_span(chunk, total);
+            if records[start..end].iter().all(Option::is_some) {
+                state.push(ChunkState::Done);
+            } else {
+                state.push(ChunkState::Pending);
+                pending.push_back(chunk);
+            }
+        }
+
+        let sched = Mutex::new(Scheduler {
+            state,
+            pending,
+            records,
+            fresh: Vec::new(),
+            filled,
+        });
+        let finished = AtomicBool::new(false);
+        let interrupt: Mutex<Option<InterruptReason>> = Mutex::new(None);
+        let welcome = ToWorker::Welcome(CampaignJob {
+            fingerprint: plan.fingerprint,
+            total: total as u64,
+            program: self.program.clone(),
+            init_mem: self.init_mem.to_vec(),
+            bit_stride: self.config.bit_stride as u64,
+            instances_per_site: self.config.instances_per_site as u64,
+            hang_factor: self.config.hang_factor,
+            predict_dead_defs: self.config.predict_dead_defs,
+        })
+        .to_frame();
+
+        listener.set_nonblocking(true)?;
+
+        let snapshot = |fresh: &[(usize, InjectionRecord)]| {
+            let mut recs: Vec<(usize, InjectionRecord)> =
+                base.iter().chain(fresh.iter()).copied().collect();
+            recs.sort_unstable_by_key(|&(i, _)| i);
+            CampaignCheckpoint {
+                fingerprint: plan.fingerprint,
+                total,
+                records: recs,
+            }
+            .to_bytes()
+        };
+
+        std::thread::scope(|scope| {
+            let mut last_saved = 0usize;
+            loop {
+                if sched.lock().expect("scheduler lock").complete() {
+                    finished.store(true, Ordering::Relaxed);
+                    break;
+                }
+                if let Some(reason) = ctrl.interruption() {
+                    interrupt
+                        .lock()
+                        .expect("interrupt lock")
+                        .get_or_insert(reason);
+                    finished.store(true, Ordering::Relaxed);
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let sched = &sched;
+                        let finished = &finished;
+                        let plan = &plan;
+                        let welcome = &welcome;
+                        let fabric = self.fabric;
+                        let total_copy = total;
+                        let interrupt = &interrupt;
+                        scope.spawn(move || {
+                            handle_connection(
+                                stream, sched, finished, interrupt, plan, welcome, fabric,
+                                total_copy, ctrl,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        interrupt
+                            .lock()
+                            .expect("interrupt lock")
+                            .get_or_insert(InterruptReason::Cancelled);
+                        finished.store(true, Ordering::Relaxed);
+                        let _ = e;
+                        break;
+                    }
+                }
+                if let Some(sink) = ctrl.checkpoint {
+                    if ctrl.checkpoint_interval > 0 {
+                        let snap = {
+                            let s = sched.lock().expect("scheduler lock");
+                            (s.fresh.len() >= last_saved + ctrl.checkpoint_interval)
+                                .then(|| (s.fresh.len(), snapshot(&s.fresh)))
+                        };
+                        if let Some((len, bytes)) = snap {
+                            sink.save(&bytes);
+                            last_saved = len;
+                        }
+                    }
+                }
+            }
+        });
+
+        let sched = sched.into_inner().expect("scheduler lock");
+        if let Some(reason) = interrupt.into_inner().expect("interrupt lock") {
+            if let Some(sink) = ctrl.checkpoint {
+                sink.save(&snapshot(&sched.fresh));
+            }
+            return Err(FabricError::Campaign(CampaignError::Interrupted {
+                program: name,
+                reason,
+                completed: sched.filled,
+                total,
+            }));
+        }
+        ctrl.progress.injections(total, total);
+
+        let records: Vec<InjectionRecord> = sched
+            .records
+            .into_iter()
+            .map(|r| r.expect("scheduler completed every chunk"))
+            .collect();
+        GroundTruth::from_parts(name, records, plan.golden, plan.predicted.len())
+            .map_err(FabricError::Truth)
+    }
+
+    /// `[start, end)` spec span of chunk `chunk`.
+    fn chunk_span(&self, chunk: usize, total: usize) -> (usize, usize) {
+        let start = chunk * self.fabric.chunk_size;
+        (start, (start + self.fabric.chunk_size).min(total))
+    }
+}
+
+/// Serves one worker connection until the campaign finishes or the peer
+/// hangs up. Never panics on wire input: hostile frames get a typed
+/// `Error` reply and the connection is dropped, with any held lease
+/// released.
+#[allow(clippy::too_many_arguments)]
+fn handle_connection(
+    mut stream: TcpStream,
+    sched: &Mutex<Scheduler>,
+    finished: &AtomicBool,
+    interrupt: &Mutex<Option<InterruptReason>>,
+    plan: &CampaignPlan,
+    welcome: &[u8],
+    fabric: FabricConfig,
+    total: usize,
+    ctrl: &RunControl<'_>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // The chunk this connection currently holds a lease on. At most one:
+    // the protocol is strict fetch → complete.
+    let mut held: Option<usize> = None;
+
+    loop {
+        let payload = match read_frame_cancellable(&mut stream, finished) {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Cancelled => {
+                // Campaign over (complete or interrupted). Tell a worker
+                // that asks again; otherwise just hang up.
+                if sched.lock().expect("scheduler lock").complete() {
+                    let _ = write_frame(&mut stream, &ToWorker::Done.to_frame());
+                }
+                break;
+            }
+            ReadOutcome::Closed | ReadOutcome::Failed(_) => break,
+        };
+        let reply = match ToCoordinator::from_frame(&payload) {
+            Ok(ToCoordinator::Hello { .. }) => {
+                if write_frame(&mut stream, welcome).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(ToCoordinator::Fetch) => {
+                // Cancellation is enforced here, at chunk granularity: the
+                // accept loop's poll interval alone is far too coarse for
+                // short campaigns, exactly as in the serial parallel path
+                // where the workers themselves check at chunk boundaries.
+                if let Some(reason) = ctrl.interruption() {
+                    interrupt
+                        .lock()
+                        .expect("interrupt lock")
+                        .get_or_insert(reason);
+                    finished.store(true, Ordering::Relaxed);
+                    let _ = write_frame(
+                        &mut stream,
+                        &ToWorker::Error {
+                            message: "campaign interrupted".into(),
+                        }
+                        .to_frame(),
+                    );
+                    break;
+                }
+                let mut s = sched.lock().expect("scheduler lock");
+                if s.complete() {
+                    ToWorker::Done
+                } else {
+                    s.requeue_expired(Instant::now());
+                    // Skip stale queue entries: a chunk can complete (via a
+                    // late original holder) after expiry already requeued
+                    // it, leaving a Done chunk in the pending queue.
+                    let next = loop {
+                        match s.pending.pop_front() {
+                            Some(c) if s.state[c] == ChunkState::Pending => break Some(c),
+                            Some(_) => continue,
+                            None => break None,
+                        }
+                    };
+                    match next {
+                        Some(chunk) => {
+                            s.state[chunk] = ChunkState::Leased(Instant::now() + fabric.lease);
+                            held = Some(chunk);
+                            let start = chunk * fabric.chunk_size;
+                            let len = fabric.chunk_size.min(total - start);
+                            ToWorker::Assign(ChunkAssignment {
+                                chunk: chunk as u64,
+                                start: start as u64,
+                                len: len as u64,
+                                sub_seed: chunk_sub_seed(plan.fingerprint, chunk as u64),
+                                lease_ms: fabric.lease.as_millis() as u64,
+                            })
+                        }
+                        None => ToWorker::Wait {
+                            retry_ms: fabric.retry_ms,
+                        },
+                    }
+                }
+            }
+            Ok(ToCoordinator::Heartbeat { chunk }) => {
+                let mut s = sched.lock().expect("scheduler lock");
+                if let Some(st) = s.state.get_mut(chunk as usize) {
+                    if matches!(*st, ChunkState::Leased(_)) {
+                        *st = ChunkState::Leased(Instant::now() + fabric.lease);
+                    }
+                }
+                ToWorker::Ack
+            }
+            Ok(ToCoordinator::Complete {
+                chunk,
+                sub_seed,
+                records,
+            }) => {
+                let reply =
+                    merge_completion(sched, plan, fabric, total, chunk, sub_seed, &records, ctrl);
+                if held == Some(chunk as usize) {
+                    held = None;
+                }
+                reply
+            }
+            Err(err) => {
+                // A hostile or corrupt frame: reject, release any lease,
+                // and drop the connection — the stream state is suspect.
+                let _ = write_frame(
+                    &mut stream,
+                    &ToWorker::Error {
+                        message: err.to_string(),
+                    }
+                    .to_frame(),
+                );
+                break;
+            }
+        };
+        if write_frame(&mut stream, &reply.to_frame()).is_err() {
+            break;
+        }
+    }
+    // Connection gone (death, cancel, or hostile frame): a lease held
+    // here can never complete — requeue immediately rather than waiting
+    // for expiry.
+    if let Some(chunk) = held {
+        sched.lock().expect("scheduler lock").release(chunk);
+    }
+}
+
+/// Validates one completion against the coordinator's own plan and merges
+/// it. Any mismatch — wrong sub-seed, wrong length, a record that
+/// disagrees with the spec it claims to be — rejects the completion and
+/// requeues the chunk; corrupt results can never reach the merge.
+#[allow(clippy::too_many_arguments)]
+fn merge_completion(
+    sched: &Mutex<Scheduler>,
+    plan: &CampaignPlan,
+    fabric: FabricConfig,
+    total: usize,
+    chunk: u64,
+    sub_seed: u64,
+    records: &[InjectionRecord],
+    ctrl: &RunControl<'_>,
+) -> ToWorker {
+    let n_chunks = total.div_ceil(fabric.chunk_size.max(1));
+    let Ok(chunk_idx) = usize::try_from(chunk) else {
+        return ToWorker::Error {
+            message: "chunk id overflows usize".into(),
+        };
+    };
+    if chunk_idx >= n_chunks {
+        return ToWorker::Error {
+            message: format!("chunk {chunk} out of range ({n_chunks} chunks)"),
+        };
+    }
+    let reject = |s: &mut Scheduler, message: String| {
+        s.release(chunk_idx);
+        ToWorker::Error { message }
+    };
+
+    let start = chunk_idx * fabric.chunk_size;
+    let len = fabric.chunk_size.min(total - start);
+    let mut s = sched.lock().expect("scheduler lock");
+    if s.state[chunk_idx] == ChunkState::Done {
+        // A slow duplicate of an already-merged chunk: benign, dedup.
+        return ToWorker::Ack;
+    }
+    if sub_seed != chunk_sub_seed(plan.fingerprint, chunk) {
+        return reject(&mut s, format!("sub-seed mismatch for chunk {chunk}"));
+    }
+    if records.len() != len {
+        return reject(
+            &mut s,
+            format!(
+                "chunk {chunk} carries {} records, expected {len}",
+                records.len()
+            ),
+        );
+    }
+    for (offset, rec) in records.iter().enumerate() {
+        let spec: &FaultSpec = &plan.specs[start + offset];
+        if rec.site.pc != spec.pc
+            || rec.site.slot != spec.slot
+            || rec.site.bit != spec.bit
+            || rec.instance != spec.instance
+        {
+            return reject(
+                &mut s,
+                format!("record {offset} of chunk {chunk} does not match its spec"),
+            );
+        }
+    }
+    for (offset, rec) in records.iter().enumerate() {
+        let i = start + offset;
+        if s.records[i].is_none() {
+            s.records[i] = Some(*rec);
+            s.fresh.push((i, *rec));
+            s.filled += 1;
+        }
+    }
+    s.state[chunk_idx] = ChunkState::Done;
+    let (done, all) = (s.filled, s.records.len());
+    drop(s);
+    ctrl.progress.injections(done, all);
+    ToWorker::Ack
+}

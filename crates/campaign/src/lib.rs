@@ -1,0 +1,164 @@
+//! Distributed fault-injection campaign fabric.
+//!
+//! The GLAIVE ground-truth campaign is embarrassingly parallel — every
+//! injection is independent — but until this crate it was confined to one
+//! process. Here a **coordinator** shards a campaign's canonical spec
+//! space into fixed chunks and leases them over TCP (the `GLVCMP01`
+//! protocol, riding the shared [`glaive_wire`] codec) to any number of
+//! **worker** processes, which may join late, die mid-chunk, or straggle
+//! past their lease: unacknowledged chunks are reassigned, duplicate
+//! completions are deduplicated by chunk id, and every completion is
+//! validated against the coordinator's own plan before merging.
+//!
+//! The defining property is *bit-determinism*: the merged
+//! [`glaive_faultsim::GroundTruth`] — and therefore its GLVFIT01
+//! serialisation and any GLVCKPT1 checkpoints taken along the way — is
+//! byte-identical to a single-process [`glaive_faultsim::Campaign`] run
+//! of the same configuration, regardless of worker count, scheduling
+//! order, deaths or retries. See [`coordinator`] for how the merge
+//! guarantees this.
+//!
+//! # Example (in-process fleet)
+//!
+//! ```
+//! use glaive_isa::{Asm, Reg, AluOp};
+//! use glaive_faultsim::{Campaign, CampaignConfig, RunControl};
+//! use glaive_campaign::{run_distributed, FabricConfig};
+//!
+//! let mut asm = Asm::new("tiny");
+//! asm.li(Reg(1), 21);
+//! asm.alu(AluOp::Add, Reg(2), Reg(1), Reg(1));
+//! asm.out(Reg(2));
+//! asm.halt();
+//! let p = asm.finish()?;
+//!
+//! let config = CampaignConfig::quick();
+//! let serial = Campaign::new(&p, &[], config).run();
+//! let distributed = run_distributed(
+//!     &p,
+//!     &[],
+//!     config,
+//!     FabricConfig::default(),
+//!     2,
+//!     &RunControl::new(),
+//! )
+//! .expect("fabric completes");
+//! assert_eq!(serial.to_bytes(), distributed.to_bytes());
+//! # Ok::<(), glaive_isa::AsmError>(())
+//! ```
+
+use std::fmt;
+use std::net::TcpListener;
+
+use glaive_faultsim::{CampaignConfig, CampaignError, GroundTruth, RunControl, TruthError};
+use glaive_isa::Program;
+use glaive_wire::ProtocolError;
+
+pub mod coordinator;
+pub mod protocol;
+pub mod source;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FabricConfig};
+pub use source::DistributedTruthSource;
+pub use worker::{run_worker, run_worker_on, WorkerReport};
+
+/// Typed failure of the campaign fabric. Worker misbehaviour never
+/// surfaces here — a bad completion is rejected over the wire and its
+/// chunk requeued; these are failures of the campaign itself or of this
+/// end's transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// The underlying campaign failed or was interrupted (checkpoint
+    /// already saved where configured).
+    Campaign(CampaignError),
+    /// The peer spoke the protocol wrongly (or not at all).
+    Protocol(ProtocolError),
+    /// Transport failure (connect, read, write).
+    Io(String),
+    /// The merged parts could not form a `GroundTruth`.
+    Truth(TruthError),
+    /// A worker's locally recomputed plan fingerprint disagrees with the
+    /// coordinator's — mismatched binaries or a corrupted job.
+    PlanMismatch {
+        /// The coordinator's fingerprint.
+        expected: u64,
+        /// The worker's locally computed fingerprint.
+        actual: u64,
+    },
+    /// The coordinator refused a request.
+    Rejected {
+        /// The coordinator's stated reason.
+        message: String,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Campaign(e) => write!(f, "campaign failed: {e}"),
+            FabricError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            FabricError::Io(e) => write!(f, "fabric transport error: {e}"),
+            FabricError::Truth(e) => write!(f, "merge produced no usable ground truth: {e}"),
+            FabricError::PlanMismatch { expected, actual } => write!(
+                f,
+                "plan fingerprint mismatch: coordinator {expected:#018x}, worker {actual:#018x}"
+            ),
+            FabricError::Rejected { message } => write!(f, "rejected by coordinator: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<ProtocolError> for FabricError {
+    fn from(e: ProtocolError) -> FabricError {
+        FabricError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> FabricError {
+        FabricError::Io(e.to_string())
+    }
+}
+
+/// Runs a complete distributed campaign in one process: binds an
+/// ephemeral loopback listener, spawns `workers` in-process worker
+/// threads against it, and coordinates until the merge completes.
+///
+/// This is the drop-in path for tests, benchmarks and the suite runner;
+/// multi-machine deployments use `glaive-cli campaign coordinate` /
+/// `campaign worker` over the same protocol.
+///
+/// # Errors
+///
+/// The coordinator's [`Coordinator::run`] error set; worker-side errors
+/// are ignored (a dead in-process worker is handled exactly like a dead
+/// remote one — by reassignment).
+pub fn run_distributed(
+    program: &Program,
+    init_mem: &[u64],
+    config: CampaignConfig,
+    fabric: FabricConfig,
+    workers: usize,
+    ctrl: &RunControl<'_>,
+) -> Result<GroundTruth, FabricError> {
+    assert!(workers >= 1, "a fabric needs at least one worker");
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| FabricError::Io(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| FabricError::Io(e.to_string()))?
+        .to_string();
+    std::thread::scope(|scope| {
+        for i in 0..workers {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                // Worker failures are the coordinator's problem to route
+                // around, exactly as with remote workers.
+                let _ = run_worker(&addr, &format!("inproc-{i}"), None);
+            });
+        }
+        Coordinator::new(program, init_mem, config, fabric).run(listener, ctrl)
+    })
+}

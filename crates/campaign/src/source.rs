@@ -1,0 +1,84 @@
+//! The distributed campaign fabric as a drop-in pipeline
+//! [`TruthSource`]: the suite runner computes its ground truths over an
+//! in-process worker fleet instead of the local thread pool, and —
+//! because the merge is bit-deterministic — every downstream artifact
+//! (GLVFIT01 truths in the cache, labels, trained models) is
+//! byte-identical to what the default local source produces.
+
+use std::sync::Arc;
+
+use glaive::{campaign_error_to_pipeline, telemetry::Stage, Error, TruthSource};
+use glaive_bench_suite::Benchmark;
+use glaive_faultsim::{CampaignConfig, GroundTruth, RunControl};
+
+use crate::coordinator::FabricConfig;
+use crate::{run_distributed, FabricError};
+
+/// A [`TruthSource`] that runs each campaign over a distributed fabric
+/// of `workers` in-process worker threads (see [`run_distributed`]).
+///
+/// Plug into a pipeline with
+/// [`glaive::PipelineBuilder::truth_source`]:
+///
+/// ```no_run
+/// # fn main() -> Result<(), glaive::Error> {
+/// use std::sync::Arc;
+/// use glaive::{Pipeline, PipelineConfig};
+/// use glaive_campaign::DistributedTruthSource;
+///
+/// let pipeline = Pipeline::builder(PipelineConfig::quick_test())
+///     .truth_source(Arc::new(DistributedTruthSource::with_workers(4)))
+///     .build()?;
+/// let eval = pipeline.run(7)?;
+/// # let _ = eval;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedTruthSource {
+    /// Fabric tuning (chunk size, lease, retry backoff).
+    pub fabric: FabricConfig,
+    /// In-process worker threads per campaign.
+    pub workers: usize,
+}
+
+impl DistributedTruthSource {
+    /// A source with `workers` worker threads and default fabric tuning.
+    pub fn with_workers(workers: usize) -> Self {
+        DistributedTruthSource {
+            fabric: FabricConfig::default(),
+            workers,
+        }
+    }
+
+    /// Boxes this source for [`glaive::PipelineBuilder::truth_source`].
+    pub fn arc(self) -> Arc<dyn TruthSource> {
+        Arc::new(self)
+    }
+}
+
+impl TruthSource for DistributedTruthSource {
+    fn ground_truth(
+        &self,
+        bench: &Benchmark,
+        config: CampaignConfig,
+        ctrl: &RunControl<'_>,
+    ) -> Result<GroundTruth, Error> {
+        run_distributed(
+            bench.program(),
+            &bench.init_mem,
+            config,
+            self.fabric,
+            self.workers,
+            ctrl,
+        )
+        .map_err(|e| match e {
+            FabricError::Campaign(ce) => campaign_error_to_pipeline(bench.name, ce),
+            other => Error::StageFailed {
+                stage: Stage::Campaign,
+                subject: bench.name.to_string(),
+                message: other.to_string(),
+            },
+        })
+    }
+}

@@ -1,0 +1,208 @@
+//! The campaign worker: connects to a coordinator, independently rebuilds
+//! the campaign plan from the shipped job, and computes leased chunks
+//! until told the campaign is done.
+//!
+//! The worker is deliberately stateless across chunks and paranoid about
+//! the job it accepts: it recomputes the golden run, the site enumeration
+//! and the dead-definition prediction *from scratch* and refuses the job
+//! unless its plan fingerprint matches the coordinator's
+//! ([`FabricError::PlanMismatch`]). After that handshake, a spec index
+//! means the same fault on both sides by construction, so chunk results
+//! need no context beyond their records.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use glaive_faultsim::{Campaign, InjectionRecord};
+use glaive_wire::{read_frame, write_frame};
+
+use crate::protocol::{chunk_sub_seed, ToCoordinator, ToWorker};
+use crate::FabricError;
+
+/// What a worker did before disconnecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerReport {
+    /// Chunks completed and acknowledged.
+    pub chunks: u64,
+    /// Records simulated (excludes statically predicted indices).
+    pub simulated: u64,
+}
+
+/// Connects to a coordinator at `addr` and works until the campaign
+/// completes (clean [`WorkerReport`]), the coordinator goes away, or
+/// `cancel` is raised (checked between injections; the connection is
+/// dropped and the coordinator requeues the held chunk).
+///
+/// # Errors
+///
+/// [`FabricError::Io`] for connect/transport failures, and the
+/// [`run_worker_on`] error set for everything after the connect.
+pub fn run_worker(
+    addr: &str,
+    name: &str,
+    cancel: Option<&AtomicBool>,
+) -> Result<WorkerReport, FabricError> {
+    let stream = TcpStream::connect(addr).map_err(|e| FabricError::Io(e.to_string()))?;
+    run_worker_on(stream, name, cancel)
+}
+
+/// [`run_worker`] over an already-connected stream (used by the
+/// in-process fabric and by tests that need hand-crafted sockets).
+///
+/// # Errors
+///
+/// [`FabricError::PlanMismatch`] when the locally recomputed plan
+/// disagrees with the coordinator's, [`FabricError::Campaign`] when the
+/// shipped job cannot even be planned, [`FabricError::Rejected`] when the
+/// coordinator refuses a completion, [`FabricError::Protocol`] /
+/// [`FabricError::Io`] for wire-level failures.
+pub fn run_worker_on(
+    mut stream: TcpStream,
+    name: &str,
+    cancel: Option<&AtomicBool>,
+) -> Result<WorkerReport, FabricError> {
+    let _ = stream.set_nodelay(true);
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+
+    write_frame(
+        &mut stream,
+        &ToCoordinator::Hello {
+            worker: name.to_string(),
+        }
+        .to_frame(),
+    )
+    .map_err(|e| FabricError::Io(e.to_string()))?;
+    let job = match ToWorker::from_frame(&read_frame(&mut stream)?)? {
+        ToWorker::Welcome(job) => job,
+        ToWorker::Error { message } => return Err(FabricError::Rejected { message }),
+        _ => {
+            return Err(FabricError::Protocol(glaive_wire::ProtocolError::Corrupt(
+                "expected Welcome",
+            )))
+        }
+    };
+
+    // Rebuild the plan independently and cross-check it. A worker that
+    // would disagree about what spec index `i` means must refuse the job.
+    let campaign = Campaign::new(&job.program, &job.init_mem, job.config());
+    let plan = campaign.plan().map_err(FabricError::Campaign)?;
+    if plan.fingerprint != job.fingerprint || plan.specs.len() as u64 != job.total {
+        return Err(FabricError::PlanMismatch {
+            expected: job.fingerprint,
+            actual: plan.fingerprint,
+        });
+    }
+    // Dense predicted-record lookup: chunk computation takes predicted
+    // indices from the plan instead of re-simulating provably-Masked
+    // faults.
+    let mut predicted: Vec<Option<InjectionRecord>> = vec![None; plan.specs.len()];
+    for &(i, rec) in &plan.predicted {
+        predicted[i] = Some(rec);
+    }
+
+    let mut report = WorkerReport::default();
+    loop {
+        if cancelled() {
+            return Ok(report);
+        }
+        write_frame(&mut stream, &ToCoordinator::Fetch.to_frame())
+            .map_err(|e| FabricError::Io(e.to_string()))?;
+        match ToWorker::from_frame(&read_frame(&mut stream)?)? {
+            ToWorker::Assign(a) => {
+                // Bounds-check before indexing: an assignment is wire
+                // input, and a corrupt span must become a typed error.
+                let start = usize::try_from(a.start)
+                    .ok()
+                    .filter(|&s| s <= plan.specs.len());
+                let len = usize::try_from(a.len).ok();
+                let (Some(start), Some(len)) = (start, len) else {
+                    return Err(FabricError::Protocol(glaive_wire::ProtocolError::Corrupt(
+                        "assignment span out of range",
+                    )));
+                };
+                if start + len > plan.specs.len()
+                    || a.sub_seed != chunk_sub_seed(plan.fingerprint, a.chunk)
+                {
+                    return Err(FabricError::Protocol(glaive_wire::ProtocolError::Corrupt(
+                        "assignment disagrees with local plan",
+                    )));
+                }
+                let heartbeat_after = Duration::from_millis((a.lease_ms / 3).max(1));
+                let mut last_beat = Instant::now();
+                let mut records = Vec::with_capacity(len);
+                let span = predicted[start..start + len]
+                    .iter()
+                    .zip(&plan.specs[start..start + len]);
+                for (pred, spec) in span {
+                    if cancelled() {
+                        return Ok(report);
+                    }
+                    let rec = match *pred {
+                        Some(rec) => rec,
+                        None => {
+                            report.simulated += 1;
+                            campaign.inject(spec, &plan.golden, &plan.fault_cfg)
+                        }
+                    };
+                    records.push(rec);
+                    // Cooperative keep-alive: a chunk that computes longer
+                    // than a third of its lease phones home so the lease
+                    // never expires under an alive worker.
+                    if last_beat.elapsed() >= heartbeat_after {
+                        write_frame(
+                            &mut stream,
+                            &ToCoordinator::Heartbeat { chunk: a.chunk }.to_frame(),
+                        )
+                        .map_err(|e| FabricError::Io(e.to_string()))?;
+                        match ToWorker::from_frame(&read_frame(&mut stream)?)? {
+                            ToWorker::Ack => {}
+                            ToWorker::Error { message } => {
+                                return Err(FabricError::Rejected { message })
+                            }
+                            _ => {
+                                return Err(FabricError::Protocol(
+                                    glaive_wire::ProtocolError::Corrupt("expected heartbeat Ack"),
+                                ))
+                            }
+                        }
+                        last_beat = Instant::now();
+                    }
+                }
+                write_frame(
+                    &mut stream,
+                    &ToCoordinator::Complete {
+                        chunk: a.chunk,
+                        sub_seed: a.sub_seed,
+                        records,
+                    }
+                    .to_frame(),
+                )
+                .map_err(|e| FabricError::Io(e.to_string()))?;
+                match ToWorker::from_frame(&read_frame(&mut stream)?)? {
+                    ToWorker::Ack => report.chunks += 1,
+                    ToWorker::Error { message } => return Err(FabricError::Rejected { message }),
+                    ToWorker::Done => {
+                        report.chunks += 1;
+                        return Ok(report);
+                    }
+                    _ => {
+                        return Err(FabricError::Protocol(glaive_wire::ProtocolError::Corrupt(
+                            "expected completion Ack",
+                        )))
+                    }
+                }
+            }
+            ToWorker::Wait { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.min(1000)));
+            }
+            ToWorker::Done => return Ok(report),
+            ToWorker::Error { message } => return Err(FabricError::Rejected { message }),
+            _ => {
+                return Err(FabricError::Protocol(glaive_wire::ProtocolError::Corrupt(
+                    "unexpected coordinator reply",
+                )))
+            }
+        }
+    }
+}

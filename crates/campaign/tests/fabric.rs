@@ -1,0 +1,537 @@
+//! Fault-tolerance and determinism integration tests for the campaign
+//! fabric: worker death, lease expiry, duplicate completions, malformed
+//! completions, and checkpoint interop with the serial campaign — every
+//! scenario must still merge a `GroundTruth` byte-identical to a serial
+//! single-process run of the same configuration.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use glaive_campaign::protocol::{chunk_sub_seed, ToCoordinator, ToWorker};
+use glaive_campaign::FabricError;
+use glaive_campaign::{run_distributed, run_worker, Coordinator, FabricConfig};
+use glaive_faultsim::{
+    Campaign, CampaignConfig, CampaignError, CampaignPlan, CampaignProgress, CheckpointSink,
+    InjectionRecord, InterruptReason, MemoryCheckpoint, RunControl,
+};
+use glaive_isa::{AluOp, Asm, BranchCond, Program, Reg};
+use glaive_wire::{read_frame, write_frame};
+
+fn sum_program() -> Program {
+    let mut asm = Asm::new("sum");
+    let (acc, i, one, lim) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    asm.li(acc, 0);
+    asm.li(i, 1);
+    asm.li(one, 1);
+    asm.li(lim, 10);
+    let top = asm.label();
+    asm.bind(top);
+    asm.alu(AluOp::Add, acc, acc, i);
+    asm.alu(AluOp::Add, i, i, one);
+    asm.branch(BranchCond::Le, i, lim, top);
+    asm.out(acc);
+    asm.halt();
+    asm.finish().expect("resolves")
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        bit_stride: 4,
+        instances_per_site: 2,
+        hang_factor: 4,
+        threads: 1,
+        predict_dead_defs: true,
+    }
+}
+
+fn fabric() -> FabricConfig {
+    FabricConfig {
+        chunk_size: 32,
+        lease: Duration::from_secs(5),
+        retry_ms: 5,
+    }
+}
+
+/// A hand-driven protocol client for misbehaving-worker scenarios.
+struct HandWorker {
+    stream: TcpStream,
+}
+
+impl HandWorker {
+    fn connect(addr: &str) -> HandWorker {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut w = HandWorker { stream };
+        w.send(&ToCoordinator::Hello {
+            worker: "hand".into(),
+        });
+        match w.recv() {
+            ToWorker::Welcome(_) => {}
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+        w
+    }
+
+    fn send(&mut self, msg: &ToCoordinator) {
+        write_frame(&mut self.stream, &msg.to_frame()).expect("send");
+    }
+
+    fn recv(&mut self) -> ToWorker {
+        ToWorker::from_frame(&read_frame(&mut self.stream).expect("frame")).expect("decode")
+    }
+
+    fn fetch(&mut self) -> ToWorker {
+        self.send(&ToCoordinator::Fetch);
+        self.recv()
+    }
+}
+
+/// Computes the correct records for a chunk span directly from the plan
+/// (what an honest worker would send).
+fn chunk_records(
+    campaign: &Campaign<'_>,
+    plan: &CampaignPlan,
+    start: u64,
+    len: u64,
+) -> Vec<InjectionRecord> {
+    let mut predicted = vec![None; plan.specs.len()];
+    for &(i, rec) in &plan.predicted {
+        predicted[i] = Some(rec);
+    }
+    (start..start + len)
+        .map(|i| {
+            let i = i as usize;
+            predicted[i]
+                .unwrap_or_else(|| campaign.inject(&plan.specs[i], &plan.golden, &plan.fault_cfg))
+        })
+        .collect()
+}
+
+/// Runs a coordinator in a scoped thread against an ephemeral listener,
+/// hands the address to `scenario`, and returns the merged truth.
+fn with_coordinator<F>(
+    program: &Program,
+    config: CampaignConfig,
+    fabric: FabricConfig,
+    scenario: F,
+) -> Result<glaive_faultsim::GroundTruth, FabricError>
+where
+    F: FnOnce(&str) + Send,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::scope(|scope| {
+        let coord = scope.spawn(|| {
+            // Safety net: a scenario that panics mid-protocol must not hang
+            // the test suite on an eternal coordinator join.
+            let ctrl = RunControl {
+                deadline: Some(std::time::Instant::now() + Duration::from_secs(120)),
+                ..RunControl::new()
+            };
+            Coordinator::new(program, &[], config, fabric).run(listener, &ctrl)
+        });
+        scenario(&addr);
+        coord.join().expect("coordinator thread")
+    })
+}
+
+#[test]
+fn two_workers_match_serial_bit_for_bit() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let distributed = run_distributed(&p, &[], config(), fabric(), 2, &RunControl::new())
+        .expect("fabric completes");
+    assert_eq!(serial.to_bytes(), distributed.to_bytes());
+    assert_eq!(
+        serial.predicted_injections(),
+        distributed.predicted_injections()
+    );
+}
+
+#[test]
+fn worker_death_mid_chunk_reroutes_and_stays_bit_identical() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let truth = with_coordinator(&p, config(), fabric(), |addr| {
+        // A worker takes a chunk and dies holding the lease: the dropped
+        // connection must release the chunk immediately.
+        let mut dying = HandWorker::connect(addr);
+        match dying.fetch() {
+            ToWorker::Assign(_) => {}
+            other => panic!("expected an assignment, got {other:?}"),
+        }
+        drop(dying); // death, mid-chunk, lease unexpired
+
+        let report = run_worker(addr, "survivor", None).expect("survivor finishes");
+        assert!(report.chunks > 0);
+    })
+    .expect("campaign completes despite the death");
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+}
+
+#[test]
+fn lease_expiry_reassigns_the_chunk_to_the_same_connection() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let campaign = Campaign::new(&p, &[], config());
+    let plan = campaign.plan().expect("plan");
+    let short_lease = FabricConfig {
+        lease: Duration::from_millis(50),
+        ..fabric()
+    };
+    let truth = with_coordinator(&p, config(), short_lease, |addr| {
+        let mut w = HandWorker::connect(addr);
+        // Take the first chunk and silently straggle past the lease.
+        let first = match w.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(200));
+        // Now behave honestly: keep fetching and completing. The expired
+        // chunk must come around again (to this same connection — there is
+        // no other), or the campaign could never finish.
+        let mut saw_first_again = false;
+        loop {
+            match w.fetch() {
+                ToWorker::Assign(a) => {
+                    if a.chunk == first.chunk {
+                        saw_first_again = true;
+                    }
+                    let records = chunk_records(&campaign, &plan, a.start, a.len);
+                    w.send(&ToCoordinator::Complete {
+                        chunk: a.chunk,
+                        sub_seed: a.sub_seed,
+                        records,
+                    });
+                    match w.recv() {
+                        ToWorker::Ack | ToWorker::Done => {}
+                        other => panic!("expected Ack, got {other:?}"),
+                    }
+                }
+                ToWorker::Wait { retry_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_ms));
+                }
+                ToWorker::Done => break,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(saw_first_again, "expired chunk must be reassigned");
+    })
+    .expect("campaign completes");
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+}
+
+#[test]
+fn duplicate_completion_is_acknowledged_and_merged_once() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let campaign = Campaign::new(&p, &[], config());
+    let plan = campaign.plan().expect("plan");
+    let truth = with_coordinator(&p, config(), fabric(), |addr| {
+        let mut w = HandWorker::connect(addr);
+        let a = match w.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        let records = chunk_records(&campaign, &plan, a.start, a.len);
+        let complete = ToCoordinator::Complete {
+            chunk: a.chunk,
+            sub_seed: a.sub_seed,
+            records,
+        };
+        w.send(&complete);
+        assert_eq!(w.recv(), ToWorker::Ack);
+        // The same completion again — a retry after a lost Ack, say.
+        w.send(&complete);
+        assert_eq!(w.recv(), ToWorker::Ack, "duplicates are deduplicated");
+        drop(w);
+        run_worker(addr, "finisher", None).expect("finisher completes");
+    })
+    .expect("campaign completes");
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+}
+
+#[test]
+fn malformed_completions_are_rejected_with_typed_errors_not_panics() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let campaign = Campaign::new(&p, &[], config());
+    let plan = campaign.plan().expect("plan");
+    let truth = with_coordinator(&p, config(), fabric(), |addr| {
+        // Wrong sub-seed: a completion from some other campaign.
+        let mut w = HandWorker::connect(addr);
+        let a = match w.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        let records = chunk_records(&campaign, &plan, a.start, a.len);
+        w.send(&ToCoordinator::Complete {
+            chunk: a.chunk,
+            sub_seed: a.sub_seed ^ 1,
+            records: records.clone(),
+        });
+        match w.recv() {
+            ToWorker::Error { message } => assert!(message.contains("sub-seed"), "{message}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // Wrong record count.
+        let a = match w.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        w.send(&ToCoordinator::Complete {
+            chunk: a.chunk,
+            sub_seed: a.sub_seed,
+            records: vec![],
+        });
+        match w.recv() {
+            ToWorker::Error { message } => assert!(message.contains("records"), "{message}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // Records that do not match their specs (shifted by one chunk).
+        let a = match w.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        let foreign_start = if a.start == 0 { a.len } else { 0 };
+        let wrong = chunk_records(&campaign, &plan, foreign_start, a.len);
+        w.send(&ToCoordinator::Complete {
+            chunk: a.chunk,
+            sub_seed: a.sub_seed,
+            records: wrong,
+        });
+        match w.recv() {
+            ToWorker::Error { message } => {
+                assert!(message.contains("does not match"), "{message}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // Out-of-range chunk id.
+        w.send(&ToCoordinator::Complete {
+            chunk: u64::MAX,
+            sub_seed: 0,
+            records: vec![],
+        });
+        match w.recv() {
+            ToWorker::Error { .. } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        drop(w);
+
+        // Every rejected chunk was requeued: an honest worker finishes.
+        run_worker(addr, "honest", None).expect("honest worker completes");
+    })
+    .expect("campaign completes despite the vandal");
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+}
+
+/// Raises a cancellation flag once a threshold of injections completes.
+struct CancelAt<'a> {
+    threshold: usize,
+    cancel: &'a AtomicBool,
+}
+
+impl CampaignProgress for CancelAt<'_> {
+    fn injections(&self, done: usize, _total: usize) {
+        if done >= self.threshold {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[test]
+fn interrupted_distributed_campaign_resumes_serially_bit_identically() {
+    let p = sum_program();
+    let campaign = Campaign::new(&p, &[], config());
+    let uninterrupted = campaign.run();
+    let total = uninterrupted.total_injections();
+    assert!(total > 256, "need enough work to interrupt mid-way");
+
+    // Distributed run, cancelled mid-way, checkpointing as it goes.
+    let cancel = AtomicBool::new(false);
+    let sink = MemoryCheckpoint::new();
+    let progress = CancelAt {
+        threshold: total / 4,
+        cancel: &cancel,
+    };
+    let small_chunks = FabricConfig {
+        chunk_size: 16,
+        ..fabric()
+    };
+    let ctrl = RunControl {
+        progress: &progress,
+        cancel: Some(&cancel),
+        checkpoint: Some(&sink),
+        checkpoint_interval: 32,
+        ..RunControl::new()
+    };
+    let err = run_distributed(&p, &[], config(), small_chunks, 2, &ctrl)
+        .expect_err("must be cancelled mid-way");
+    match err {
+        FabricError::Campaign(CampaignError::Interrupted {
+            reason, completed, ..
+        }) => {
+            assert_eq!(reason, InterruptReason::Cancelled);
+            assert!(completed < total);
+        }
+        other => panic!("expected an interruption, got {other}"),
+    }
+    assert!(sink.load().is_some(), "final checkpoint saved");
+
+    // The *serial* campaign resumes the distributed checkpoint: the
+    // fingerprint formula is shared, so snapshots interoperate.
+    let resumed = campaign
+        .run_supervised(&RunControl {
+            checkpoint: Some(&sink),
+            ..RunControl::new()
+        })
+        .expect("serial resume completes");
+    assert_eq!(resumed.to_bytes(), uninterrupted.to_bytes());
+}
+
+#[test]
+fn interrupted_serial_campaign_resumes_distributed_bit_identically() {
+    let p = sum_program();
+    let campaign = Campaign::new(&p, &[], config());
+    let uninterrupted = campaign.run();
+    let total = uninterrupted.total_injections();
+
+    let cancel = AtomicBool::new(false);
+    let sink = MemoryCheckpoint::new();
+    let progress = CancelAt {
+        threshold: total / 4,
+        cancel: &cancel,
+    };
+    campaign
+        .run_supervised(&RunControl {
+            progress: &progress,
+            cancel: Some(&cancel),
+            checkpoint: Some(&sink),
+            checkpoint_interval: 64,
+            ..RunControl::new()
+        })
+        .expect_err("serial run cancelled mid-way");
+
+    // The fabric adopts the serial checkpoint and finishes the remainder.
+    let resumed = run_distributed(
+        &p,
+        &[],
+        config(),
+        fabric(),
+        2,
+        &RunControl {
+            checkpoint: Some(&sink),
+            ..RunControl::new()
+        },
+    )
+    .expect("distributed resume completes");
+    assert_eq!(resumed.to_bytes(), uninterrupted.to_bytes());
+}
+
+#[test]
+fn four_workers_match_serial_bit_for_bit() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let distributed = run_distributed(
+        &p,
+        &[],
+        config(),
+        FabricConfig {
+            chunk_size: 16,
+            ..fabric()
+        },
+        4,
+        &RunControl::new(),
+    )
+    .expect("fabric completes");
+    assert_eq!(serial.to_bytes(), distributed.to_bytes());
+}
+
+#[test]
+fn heartbeat_keeps_a_slow_chunk_leased() {
+    let p = sum_program();
+    let serial = Campaign::new(&p, &[], config()).run();
+    let campaign = Campaign::new(&p, &[], config());
+    let plan = campaign.plan().expect("plan");
+    let lease = Duration::from_millis(300);
+    let truth = with_coordinator(&p, config(), FabricConfig { lease, ..fabric() }, |addr| {
+        let mut slow = HandWorker::connect(addr);
+        let a = match slow.fetch() {
+            ToWorker::Assign(a) => a,
+            other => panic!("expected an assignment, got {other:?}"),
+        };
+        // Straggle for 3 lease periods, heartbeating the whole time.
+        for _ in 0..9 {
+            std::thread::sleep(lease / 3);
+            slow.send(&ToCoordinator::Heartbeat { chunk: a.chunk });
+            assert_eq!(slow.recv(), ToWorker::Ack);
+        }
+        // A second worker drains the rest but must never be handed the
+        // heartbeated chunk. The slow worker keeps heartbeating through
+        // the drain; `Wait` means only the leased chunk remains.
+        let mut other = HandWorker::connect(addr);
+        loop {
+            slow.send(&ToCoordinator::Heartbeat { chunk: a.chunk });
+            assert_eq!(slow.recv(), ToWorker::Ack);
+            match other.fetch() {
+                ToWorker::Assign(b) => {
+                    assert_ne!(b.chunk, a.chunk, "leased chunk must not be reassigned");
+                    let records = chunk_records(&campaign, &plan, b.start, b.len);
+                    other.send(&ToCoordinator::Complete {
+                        chunk: b.chunk,
+                        sub_seed: b.sub_seed,
+                        records,
+                    });
+                    match other.recv() {
+                        ToWorker::Ack | ToWorker::Done => {}
+                        o => panic!("expected Ack, got {o:?}"),
+                    }
+                }
+                ToWorker::Wait { .. } => break,
+                ToWorker::Done => panic!("campaign cannot finish without the leased chunk"),
+                o => panic!("unexpected reply {o:?}"),
+            }
+        }
+        // Only now does the slow worker deliver: the campaign needs it.
+        let records = chunk_records(&campaign, &plan, a.start, a.len);
+        slow.send(&ToCoordinator::Complete {
+            chunk: a.chunk,
+            sub_seed: a.sub_seed,
+            records,
+        });
+        match slow.recv() {
+            ToWorker::Ack | ToWorker::Done => {}
+            o => panic!("expected Ack, got {o:?}"),
+        }
+    })
+    .expect("campaign completes");
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+}
+
+#[test]
+fn sub_seeds_are_bound_to_the_campaign_fingerprint() {
+    let p = sum_program();
+    let plan = Campaign::new(&p, &[], config()).plan().expect("plan");
+    let other = Campaign::new(
+        &p,
+        &[],
+        CampaignConfig {
+            bit_stride: 8,
+            ..config()
+        },
+    )
+    .plan()
+    .expect("plan");
+    assert_ne!(plan.fingerprint, other.fingerprint);
+    for chunk in 0..4u64 {
+        assert_ne!(
+            chunk_sub_seed(plan.fingerprint, chunk),
+            chunk_sub_seed(other.fingerprint, chunk),
+            "sub-seeds must differ across campaigns"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The fabric as a pipeline truth source: distributed preparation must
+//! be a *drop-in* for the local campaign — same truths byte-for-byte,
+//! same labels, and the same artifact-cache entries, so a cache written
+//! by a distributed run is a hit for a local run and vice versa.
+
+use std::sync::Arc;
+
+use glaive::telemetry::TimingRecorder;
+use glaive::{truth_key, ArtifactCache, Pipeline, PipelineConfig};
+use glaive_bench_suite::control::dijkstra;
+use glaive_campaign::DistributedTruthSource;
+
+fn temp_cache(tag: &str) -> ArtifactCache {
+    let dir = std::env::temp_dir().join(format!(
+        "glaive-campaign-pipeline-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactCache::new(dir)
+}
+
+#[test]
+fn distributed_truth_source_is_a_bit_identical_drop_in() {
+    let config = PipelineConfig::quick_test();
+    let local = Pipeline::builder(config)
+        .build()
+        .expect("valid")
+        .prepare_benchmark(dijkstra::build(1))
+        .expect("local prepares");
+    let distributed = Pipeline::builder(config)
+        .truth_source(DistributedTruthSource::with_workers(2).arc())
+        .build()
+        .expect("valid")
+        .prepare_benchmark(dijkstra::build(1))
+        .expect("distributed prepares");
+
+    assert_eq!(local.truth.to_bytes(), distributed.truth.to_bytes());
+    assert_eq!(local.labels, distributed.labels);
+    assert_eq!(local.fi_tuples, distributed.fi_tuples);
+}
+
+#[test]
+fn distributed_truths_land_under_the_local_cache_key() {
+    let config = PipelineConfig::quick_test();
+    let cache = temp_cache("cache-key");
+
+    Pipeline::builder(config)
+        .cache(cache.clone())
+        .truth_source(DistributedTruthSource::with_workers(2).arc())
+        .build()
+        .expect("valid")
+        .prepare_benchmark(dijkstra::build(1))
+        .expect("distributed prepares");
+
+    let key = truth_key(&dijkstra::build(1), &config.campaign());
+    assert!(
+        cache.load_truth(key).is_some(),
+        "distributed truth cached under the shared key"
+    );
+
+    // A local pipeline over the same cache never runs a campaign at all.
+    let rec = Arc::new(TimingRecorder::new());
+    Pipeline::builder(config)
+        .cache(cache)
+        .observer(rec.clone())
+        .build()
+        .expect("valid")
+        .prepare_benchmark(dijkstra::build(1))
+        .expect("local prepares from cache");
+    assert_eq!(rec.cache_counts(), (1, 0), "local run hits the cache");
+}

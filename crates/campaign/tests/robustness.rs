@@ -1,0 +1,182 @@
+//! Byte-level robustness of the `GLVCMP01` campaign-fabric frames.
+//!
+//! Like `GLVSRV01` and the persistent artifact formats, every fabric frame
+//! carries a trailing FNV-1a checksum verified before anything is parsed.
+//! FNV-1a folds each input byte through `(h ^ b) * prime` with an odd
+//! (hence invertible) multiplier, so changing any single byte always
+//! changes the digest: every single-byte flip must be rejected, at every
+//! position, and every truncation must decode to a typed error — never a
+//! panic, and never a silently different message. A coordinator feeds
+//! these decoders bytes from arbitrary peers; this property is what keeps
+//! a hostile worker from corrupting a merge.
+
+use glaive_campaign::protocol::{CampaignJob, ChunkAssignment, ToCoordinator, ToWorker};
+use glaive_faultsim::{BitSite, InjectionRecord};
+use glaive_isa::{AluOp, Asm, Program, Reg};
+use glaive_sim::{OperandSlot, Outcome};
+
+fn tiny_program() -> Program {
+    let mut asm = Asm::new("cmp-robustness");
+    asm.set_mem_words(2);
+    asm.li(Reg(1), 11)
+        .alu_imm(AluOp::Mul, Reg(2), Reg(1), 3)
+        .store(Reg(2), Reg(0), 0)
+        .out(Reg(2))
+        .halt();
+    asm.finish().expect("assembles")
+}
+
+fn sample_records() -> Vec<InjectionRecord> {
+    vec![
+        InjectionRecord {
+            site: BitSite {
+                pc: 0,
+                slot: OperandSlot::Def(0),
+                bit: 0,
+            },
+            instance: 0,
+            outcome: Outcome::Masked,
+        },
+        InjectionRecord {
+            site: BitSite {
+                pc: 3,
+                slot: OperandSlot::Use(0),
+                bit: 63,
+            },
+            instance: 7,
+            outcome: Outcome::Sdc,
+        },
+        InjectionRecord {
+            site: BitSite {
+                pc: 1,
+                slot: OperandSlot::Use(1),
+                bit: 17,
+            },
+            instance: 2,
+            outcome: Outcome::Crash,
+        },
+    ]
+}
+
+fn worker_frames() -> Vec<Vec<u8>> {
+    vec![
+        ToCoordinator::Hello {
+            worker: "robustness".into(),
+        }
+        .to_frame(),
+        ToCoordinator::Fetch.to_frame(),
+        ToCoordinator::Heartbeat { chunk: 12 }.to_frame(),
+        ToCoordinator::Complete {
+            chunk: 12,
+            sub_seed: 0x0123_4567_89ab_cdef,
+            records: sample_records(),
+        }
+        .to_frame(),
+    ]
+}
+
+fn coordinator_frames() -> Vec<Vec<u8>> {
+    vec![
+        ToWorker::Welcome(CampaignJob {
+            fingerprint: 0xfeed_f00d_dead_beef,
+            total: 4096,
+            program: tiny_program(),
+            init_mem: vec![0, u64::MAX, 42],
+            bit_stride: 4,
+            instances_per_site: 2,
+            hang_factor: 4,
+            predict_dead_defs: true,
+        })
+        .to_frame(),
+        ToWorker::Assign(ChunkAssignment {
+            chunk: 12,
+            start: 768,
+            len: 64,
+            sub_seed: 0x0123_4567_89ab_cdef,
+            lease_ms: 5000,
+        })
+        .to_frame(),
+        ToWorker::Wait { retry_ms: 25 }.to_frame(),
+        ToWorker::Done.to_frame(),
+        ToWorker::Ack.to_frame(),
+        ToWorker::Error {
+            message: "sub-seed mismatch for chunk 12".into(),
+        }
+        .to_frame(),
+    ]
+}
+
+/// Any single flipped byte — magic, opcode, body, or checksum — must yield
+/// a typed decode error, at every position of every frame kind.
+#[test]
+fn every_byte_flip_is_rejected_in_worker_frames() {
+    for frame in worker_frames() {
+        assert!(ToCoordinator::from_frame(&frame).is_ok(), "intact decodes");
+        for pos in 0..frame.len() {
+            for mask in [0x01u8, 0xff] {
+                let mut bad = frame.clone();
+                bad[pos] ^= mask;
+                assert!(
+                    ToCoordinator::from_frame(&bad).is_err(),
+                    "flip {mask:#04x} at byte {pos}/{} must be rejected",
+                    frame.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_byte_flip_is_rejected_in_coordinator_frames() {
+    for frame in coordinator_frames() {
+        assert!(ToWorker::from_frame(&frame).is_ok(), "intact decodes");
+        for pos in 0..frame.len() {
+            for mask in [0x01u8, 0xff] {
+                let mut bad = frame.clone();
+                bad[pos] ^= mask;
+                assert!(
+                    ToWorker::from_frame(&bad).is_err(),
+                    "flip {mask:#04x} at byte {pos}/{} must be rejected",
+                    frame.len()
+                );
+            }
+        }
+    }
+}
+
+/// Every truncated prefix must decode to a typed error, never a panic.
+#[test]
+fn every_truncation_is_rejected() {
+    for frame in worker_frames() {
+        for cut in 0..frame.len() {
+            assert!(
+                ToCoordinator::from_frame(&frame[..cut]).is_err(),
+                "cut at {cut}/{} must be rejected",
+                frame.len()
+            );
+        }
+    }
+    for frame in coordinator_frames() {
+        for cut in 0..frame.len() {
+            assert!(
+                ToWorker::from_frame(&frame[..cut]).is_err(),
+                "cut at {cut}/{} must be rejected",
+                frame.len()
+            );
+        }
+    }
+}
+
+/// Cross-protocol confusion: a `GLVSRV01` frame presented to the fabric
+/// decoder (and vice versa) is a `BadMagic`, not a misparse.
+#[test]
+fn cross_protocol_frames_are_bad_magic() {
+    let mut frame = ToCoordinator::Fetch.to_frame();
+    frame[..8].copy_from_slice(b"GLVSRV01");
+    frame.truncate(frame.len() - 8);
+    let reframed = glaive_wire::seal(frame);
+    assert_eq!(
+        ToCoordinator::from_frame(&reframed),
+        Err(glaive_wire::ProtocolError::BadMagic)
+    );
+}

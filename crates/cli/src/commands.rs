@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use glaive::telemetry::{Fanout, Observer, StderrProgress, TimingRecorder};
 use glaive::{train_models, truth_key, ArtifactCache, Pipeline, PipelineConfig, QuorumPolicy};
 use glaive_bench_suite::{suite, Benchmark};
+use glaive_campaign::{run_worker, Coordinator, FabricConfig};
 use glaive_cdfg::{Cdfg, CdfgConfig};
 use glaive_faultsim::{
     Campaign, CampaignConfig, CampaignProgress, CheckpointSink, NoProgress, RunControl, VulnTuple,
@@ -22,7 +23,12 @@ usage:
   glaive-cli list
   glaive-cli disasm   <benchmark>
   glaive-cli campaign <benchmark> [--seed N] [--stride N] [--instances N] [--top N]
-                      [--deadline-secs N] [--resume]
+                      [--deadline-secs N] [--resume] [--out truth.bin]
+  glaive-cli campaign coordinate <benchmark> [--workers-listen HOST:PORT]
+                      [--chunk N] [--lease-ms N] [--checkpoint-interval N]
+                      [--out truth.bin] [--seed N] [--stride N] [--instances N]
+                      [--top N] [--deadline-secs N] [--resume]
+  glaive-cli campaign worker --connect HOST:PORT [--name NAME]
   glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
                       [--deadline-secs N] [--fail-fast] [--quick]
@@ -63,6 +69,13 @@ struct Flags {
     ping: bool,
     shutdown: bool,
     quick: bool,
+    workers_listen: String,
+    connect: Option<String>,
+    name: Option<String>,
+    chunk: usize,
+    lease_ms: u64,
+    checkpoint_interval: usize,
+    out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -83,6 +96,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         ping: false,
         shutdown: false,
         quick: false,
+        workers_listen: "127.0.0.1:0".to_string(),
+        connect: None,
+        name: None,
+        chunk: 64,
+        lease_ms: 5000,
+        checkpoint_interval: 4096,
+        out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -110,6 +130,36 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
                     .clone();
             }
             "--workers" => flags.workers = value(&mut it)? as usize,
+            "--workers-listen" => {
+                flags.workers_listen = it
+                    .next()
+                    .ok_or_else(|| format!("flag {a} needs a value"))?
+                    .clone();
+            }
+            "--connect" => {
+                flags.connect = Some(
+                    it.next()
+                        .ok_or_else(|| format!("flag {a} needs a value"))?
+                        .clone(),
+                );
+            }
+            "--name" => {
+                flags.name = Some(
+                    it.next()
+                        .ok_or_else(|| format!("flag {a} needs a value"))?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                flags.out = Some(
+                    it.next()
+                        .ok_or_else(|| format!("flag {a} needs a value"))?
+                        .clone(),
+                );
+            }
+            "--chunk" => flags.chunk = value(&mut it)? as usize,
+            "--lease-ms" => flags.lease_ms = value(&mut it)?,
+            "--checkpoint-interval" => flags.checkpoint_interval = value(&mut it)? as usize,
             "--seed" => flags.seed = value(&mut it)?,
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
@@ -135,10 +185,17 @@ pub fn dispatch(args: &[String]) -> CliResult {
             let name = args.get(1).ok_or("disasm needs a benchmark name")?;
             cmd_disasm(name, &parse_flags(&args[2..])?)
         }
-        Some("campaign") => {
-            let name = args.get(1).ok_or("campaign needs a benchmark name")?;
-            cmd_campaign(name, &parse_flags(&args[2..])?)
-        }
+        Some("campaign") => match args.get(1).map(String::as_str) {
+            Some("coordinate") => {
+                let name = args
+                    .get(2)
+                    .ok_or("campaign coordinate needs a benchmark name")?;
+                cmd_campaign_coordinate(name, &parse_flags(&args[3..])?)
+            }
+            Some("worker") => cmd_campaign_worker(&parse_flags(&args[2..])?),
+            Some(name) => cmd_campaign(name, &parse_flags(&args[2..])?),
+            None => Err("campaign needs a benchmark name".into()),
+        },
         Some("graph") => {
             let name = args.get(1).ok_or("graph needs a benchmark name")?;
             cmd_graph(name, &parse_flags(&args[2..])?)
@@ -254,6 +311,23 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
     if let Some(sink) = &sink {
         sink.clear();
     }
+    if let Some(out) = &flags.out {
+        std::fs::write(out, truth.to_bytes())?;
+        println!("wrote ground truth to {out}");
+    }
+    print_truth_summary(name, &b, &truth, flags.top)
+}
+
+/// Prints the campaign summary shared by `campaign` and
+/// `campaign coordinate`. Uses the `try_*` aggregations throughout: a
+/// degenerate truth (however it was produced) is a typed error here,
+/// never a panic.
+fn print_truth_summary(
+    name: &str,
+    b: &Benchmark,
+    truth: &glaive_faultsim::GroundTruth,
+    top: usize,
+) -> CliResult {
     println!(
         "{}: {} injections ({} statically predicted) over {} instructions",
         name,
@@ -261,19 +335,19 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
         truth.predicted_injections(),
         truth.instructions_covered()
     );
-    let pv = truth.program_vulnerability();
+    let pv = truth.try_program_vulnerability()?;
     println!(
         "program vulnerability: crash={:.3} sdc={:.3} masked={:.3}\n",
         pv.crash, pv.sdc, pv.masked
     );
-    let mut ivs = truth.instruction_vulnerability();
+    let mut ivs = truth.try_instruction_vulnerability()?;
     ivs.sort_by(|a, b| b.tuple.ranking_key().total_cmp(&a.tuple.ranking_key()));
     println!("most vulnerable instructions:");
     println!(
         "{:<6} {:>6} {:>6} {:>7}  instruction",
         "pc", "crash", "sdc", "masked"
     );
-    for iv in ivs.iter().take(flags.top) {
+    for iv in ivs.iter().take(top) {
         println!(
             "{:<6} {:>6.3} {:>6.3} {:>7.3}  {}",
             iv.pc,
@@ -283,6 +357,87 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
             b.program().instrs()[iv.pc]
         );
     }
+    Ok(())
+}
+
+/// `campaign coordinate`: drives a distributed campaign over TCP workers
+/// instead of the local thread pool, with the same checkpoint/resume,
+/// deadline and summary behaviour as the serial `campaign` command — and,
+/// by construction, the same bytes out.
+fn cmd_campaign_coordinate(name: &str, flags: &Flags) -> CliResult {
+    let b = find_benchmark(name, flags.seed)?;
+    let config = CampaignConfig {
+        bit_stride: flags.stride,
+        instances_per_site: flags.instances,
+        ..CampaignConfig::default()
+    };
+    let sink = flags
+        .resume
+        .then(|| ArtifactCache::at_default_location().checkpoint_sink(truth_key(&b, &config)));
+    let decile = DecileProgress(std::sync::atomic::AtomicUsize::new(0));
+    let ctrl = RunControl {
+        progress: if flags.verbose { &decile } else { &NoProgress },
+        cancel: None,
+        deadline: flags
+            .deadline_secs
+            .map(|s| Instant::now() + Duration::from_secs(s)),
+        checkpoint: sink.as_ref().map(|s| s as &dyn CheckpointSink),
+        checkpoint_interval: flags.checkpoint_interval,
+    };
+    let fabric = FabricConfig {
+        chunk_size: flags.chunk.max(1),
+        lease: Duration::from_millis(flags.lease_ms.max(1)),
+        ..FabricConfig::default()
+    };
+    let listener = std::net::TcpListener::bind(flags.workers_listen.as_str())?;
+    // Supervising processes (and the smoke test) parse this line for the
+    // OS-chosen port, so print it before blocking in the accept loop.
+    println!("coordinating on {}", listener.local_addr()?);
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let truth = Coordinator::new(b.program(), &b.init_mem, config, fabric)
+        .run(listener, &ctrl)
+        .map_err(|e| {
+            if matches!(
+                e,
+                glaive_campaign::FabricError::Campaign(
+                    glaive_faultsim::CampaignError::Interrupted { .. }
+                )
+            ) {
+                let hint = if flags.resume {
+                    "rerun with --resume to continue from the checkpoint"
+                } else {
+                    "rerun with --resume to checkpoint progress and make the run resumable"
+                };
+                format!("{e}; {hint}")
+            } else {
+                e.to_string()
+            }
+        })?;
+    if let Some(sink) = &sink {
+        sink.clear();
+    }
+    if let Some(out) = &flags.out {
+        std::fs::write(out, truth.to_bytes())?;
+        println!("wrote ground truth to {out}");
+    }
+    print_truth_summary(name, &b, &truth, flags.top)
+}
+
+/// `campaign worker`: joins a coordinator's fleet and computes leased
+/// chunks until the campaign completes or the coordinator goes away.
+fn cmd_campaign_worker(flags: &Flags) -> CliResult {
+    let addr = flags
+        .connect
+        .as_deref()
+        .ok_or("campaign worker needs --connect HOST:PORT")?;
+    let default_name = format!("worker-{}", std::process::id());
+    let name = flags.name.as_deref().unwrap_or(&default_name);
+    let report = run_worker(addr, name, None)?;
+    println!(
+        "{name}: {} chunks completed, {} injections simulated",
+        report.chunks, report.simulated
+    );
     Ok(())
 }
 
@@ -648,6 +803,52 @@ mod tests {
             pipeline_config(&full).sage.epochs,
             PipelineConfig::default().sage.epochs
         );
+    }
+
+    #[test]
+    fn campaign_fabric_argument_errors() {
+        assert!(
+            dispatch(&argv(&["campaign", "coordinate"])).is_err(),
+            "coordinate needs a benchmark"
+        );
+        assert!(
+            dispatch(&argv(&["campaign", "coordinate", "nonexistent"])).is_err(),
+            "unknown benchmark rejected before binding"
+        );
+        assert!(
+            dispatch(&argv(&["campaign", "worker"])).is_err(),
+            "worker needs --connect"
+        );
+        // A worker pointed at a dead address fails with a transport error,
+        // not a hang or a panic.
+        assert!(dispatch(&argv(&["campaign", "worker", "--connect", "127.0.0.1:6"])).is_err());
+    }
+
+    #[test]
+    fn fabric_flags_parse() {
+        let f = parse_flags(&argv(&[
+            "--workers-listen",
+            "127.0.0.1:7100",
+            "--chunk",
+            "16",
+            "--lease-ms",
+            "750",
+            "--checkpoint-interval",
+            "128",
+            "--out",
+            "truth.bin",
+        ]))
+        .expect("parses");
+        assert_eq!(f.workers_listen, "127.0.0.1:7100");
+        assert_eq!(f.chunk, 16);
+        assert_eq!(f.lease_ms, 750);
+        assert_eq!(f.checkpoint_interval, 128);
+        assert_eq!(f.out.as_deref(), Some("truth.bin"));
+        let defaults = parse_flags(&[]).expect("parses");
+        assert_eq!(defaults.chunk, 64);
+        assert_eq!(defaults.lease_ms, 5000);
+        assert!(defaults.connect.is_none());
+        assert!(parse_flags(&argv(&["--connect"])).is_err());
     }
 
     #[test]

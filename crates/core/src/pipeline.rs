@@ -12,10 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use glaive_bench_suite::{suite, Benchmark};
-use glaive_faultsim::{
-    Campaign, CampaignError, CampaignProgress, CheckpointSink, GroundTruth, InterruptReason,
-    RunControl,
-};
+use glaive_faultsim::{CampaignProgress, CheckpointSink, GroundTruth, InterruptReason, RunControl};
 
 use crate::cache::{truth_key, ArtifactCache};
 use crate::config::{PipelineConfig, QuorumPolicy};
@@ -23,6 +20,7 @@ use crate::data::{assemble_bench_data, BenchData};
 use crate::error::Error;
 use crate::experiments::Evaluation;
 use crate::telemetry::{NullObserver, Observer, Stage};
+use crate::truth_source::{LocalTruthSource, TruthSource};
 
 /// Forwards campaign injection counts to the pipeline observer and mirrors
 /// the caller's external cancellation flag into the suite-wide abort flag,
@@ -210,6 +208,7 @@ pub struct Pipeline {
     config: PipelineConfig,
     cache: Option<ArtifactCache>,
     observer: Arc<dyn Observer>,
+    truth_source: Arc<dyn TruthSource>,
     workers: usize,
     cancel: Option<Arc<AtomicBool>>,
 }
@@ -237,6 +236,16 @@ impl PipelineBuilder {
     /// a [`Fanout`](crate::telemetry::Fanout) of several).
     pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
         self.pipeline.observer = observer;
+        self
+    }
+
+    /// Replaces how ground truth is produced on a cache miss (the default
+    /// is a local supervised campaign, [`LocalTruthSource`]). Any
+    /// conforming source — e.g. a distributed campaign fabric — is a
+    /// drop-in: sources are bit-deterministic, so the artifacts cached
+    /// under a truth key are identical whichever source computed them.
+    pub fn truth_source(mut self, source: Arc<dyn TruthSource>) -> Self {
+        self.pipeline.truth_source = source;
         self
     }
 
@@ -277,6 +286,7 @@ impl Pipeline {
                 config,
                 cache: None,
                 observer: Arc::new(NullObserver),
+                truth_source: Arc::new(LocalTruthSource),
                 workers: 0,
                 cancel: None,
             },
@@ -315,6 +325,7 @@ impl Pipeline {
             &self.config,
             self.cache.as_ref(),
             self.observer.as_ref(),
+            self.truth_source.as_ref(),
             self.config.threads,
             self.cancel.as_deref(),
             &abort,
@@ -357,6 +368,7 @@ impl Pipeline {
             &self.config,
             self.cache.as_ref(),
             self.observer.as_ref(),
+            self.truth_source.as_ref(),
             self.workers,
             self.cancel.as_deref(),
         )
@@ -430,6 +442,7 @@ fn prepare_one_supervised(
     config: &PipelineConfig,
     cache: Option<&ArtifactCache>,
     observer: &dyn Observer,
+    truth_source: &dyn TruthSource,
     campaign_threads: usize,
     external_cancel: Option<&AtomicBool>,
     abort: &AtomicBool,
@@ -446,6 +459,7 @@ fn prepare_one_supervised(
                 config,
                 cache,
                 observer,
+                truth_source,
                 campaign_threads,
                 external_cancel,
                 abort,
@@ -483,6 +497,7 @@ fn prepare_one_attempt(
     config: &PipelineConfig,
     cache: Option<&ArtifactCache>,
     observer: &dyn Observer,
+    truth_source: &dyn TruthSource,
     campaign_threads: usize,
     external_cancel: Option<&AtomicBool>,
     abort: &AtomicBool,
@@ -518,26 +533,7 @@ fn prepare_one_attempt(
                 checkpoint: sink.as_ref().map(|s| s as &dyn CheckpointSink),
                 checkpoint_interval: config.checkpoint_interval,
             };
-            let truth = Campaign::new(bench.program(), &bench.init_mem, campaign_config)
-                .run_supervised(&ctrl)
-                .map_err(|e| match e {
-                    CampaignError::Interrupted {
-                        reason,
-                        completed,
-                        total,
-                        ..
-                    } => Error::Interrupted {
-                        subject: name.to_string(),
-                        reason,
-                        completed,
-                        total,
-                    },
-                    other => Error::StageFailed {
-                        stage: Stage::Campaign,
-                        subject: name.to_string(),
-                        message: other.to_string(),
-                    },
-                })?;
+            let truth = truth_source.ground_truth(&bench, campaign_config, &ctrl)?;
             // A degenerate campaign (no observations at all) cannot back
             // any vulnerability statistic — fail this benchmark's
             // preparation rather than panicking at aggregation time.
@@ -605,7 +601,16 @@ pub(crate) fn prepare_benchmarks_parallel(
     observer: &dyn Observer,
     workers: usize,
 ) -> Result<Vec<BenchData>, Error> {
-    prepare_benchmarks_supervised(benches, config, cache, observer, workers, None).into_result()
+    prepare_benchmarks_supervised(
+        benches,
+        config,
+        cache,
+        observer,
+        &LocalTruthSource,
+        workers,
+        None,
+    )
+    .into_result()
 }
 
 /// Supervised parallel driver behind [`Pipeline::prepare_benchmarks_supervised`]:
@@ -614,11 +619,13 @@ pub(crate) fn prepare_benchmarks_parallel(
 /// campaigns don't oversubscribe it. A benchmark failure is isolated to
 /// its queue slot; under [`QuorumPolicy::FailFast`] it also raises the
 /// suite-wide abort flag so outstanding work stops cooperatively.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn prepare_benchmarks_supervised(
     benches: Vec<Benchmark>,
     config: &PipelineConfig,
     cache: Option<&ArtifactCache>,
     observer: &dyn Observer,
+    truth_source: &dyn TruthSource,
     workers: usize,
     external_cancel: Option<&AtomicBool>,
 ) -> SuiteReport {
@@ -680,6 +687,7 @@ pub(crate) fn prepare_benchmarks_supervised(
                             config,
                             cache,
                             observer,
+                            truth_source,
                             campaign_threads,
                             external_cancel,
                             &abort,

@@ -1,0 +1,85 @@
+//! Pluggable ground-truth acquisition for the pipeline.
+//!
+//! When the artifact cache misses, the pipeline needs a
+//! [`GroundTruth`] for a benchmark. How that truth is *produced* is a
+//! strategy: the default [`LocalTruthSource`] runs a supervised
+//! in-process campaign (the original behaviour), while
+//! `glaive-campaign` provides a distributed source that shards the same
+//! campaign across a worker fleet. Because every source must be
+//! bit-deterministic for a given campaign configuration, swapping one
+//! for another never changes the artifacts the pipeline caches — a
+//! distributed truth is byte-identical to a local one and lands under
+//! the same cache key.
+
+use glaive_bench_suite::Benchmark;
+use glaive_faultsim::{Campaign, CampaignConfig, CampaignError, GroundTruth, RunControl};
+
+use crate::error::Error;
+use crate::telemetry::Stage;
+
+/// A strategy for producing fault-injection ground truth on a cache
+/// miss.
+///
+/// Implementations must honour `ctrl` like
+/// [`Campaign::run_supervised`] does — progress callbacks, cooperative
+/// cancellation, deadlines, and GLVCKPT1 checkpointing — and must be
+/// bit-deterministic: the same benchmark and configuration always yield
+/// a byte-identical [`GroundTruth`], so sources are interchangeable
+/// under the artifact cache.
+pub trait TruthSource: Send + Sync {
+    /// Computes the ground truth for `bench` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Interrupted`] when `ctrl` stopped the campaign (any
+    /// configured checkpoint sink holds a resumable snapshot), or
+    /// [`Error::StageFailed`] for every other campaign failure.
+    fn ground_truth(
+        &self,
+        bench: &Benchmark,
+        config: CampaignConfig,
+        ctrl: &RunControl<'_>,
+    ) -> Result<GroundTruth, Error>;
+}
+
+/// Maps a campaign failure into the pipeline error vocabulary, keyed by
+/// the benchmark it hit. Shared by every [`TruthSource`] whose
+/// underlying failure is a [`CampaignError`].
+pub fn campaign_error_to_pipeline(subject: &str, e: CampaignError) -> Error {
+    match e {
+        CampaignError::Interrupted {
+            reason,
+            completed,
+            total,
+            ..
+        } => Error::Interrupted {
+            subject: subject.to_string(),
+            reason,
+            completed,
+            total,
+        },
+        other => Error::StageFailed {
+            stage: Stage::Campaign,
+            subject: subject.to_string(),
+            message: other.to_string(),
+        },
+    }
+}
+
+/// The default source: a supervised single-process campaign
+/// ([`Campaign::run_supervised`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalTruthSource;
+
+impl TruthSource for LocalTruthSource {
+    fn ground_truth(
+        &self,
+        bench: &Benchmark,
+        config: CampaignConfig,
+        ctrl: &RunControl<'_>,
+    ) -> Result<GroundTruth, Error> {
+        Campaign::new(bench.program(), &bench.init_mem, config)
+            .run_supervised(ctrl)
+            .map_err(|e| campaign_error_to_pipeline(bench.name, e))
+    }
+}

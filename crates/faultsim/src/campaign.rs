@@ -206,7 +206,10 @@ impl Default for RunControl<'static> {
 }
 
 impl<'a> RunControl<'a> {
-    fn interruption(&self) -> Option<InterruptReason> {
+    /// Whether the supervised run should stop now: the cancellation flag
+    /// beats the deadline. Campaign executors (in-process and the
+    /// distributed coordinator) poll this at batch boundaries.
+    pub fn interruption(&self) -> Option<InterruptReason> {
         if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
             return Some(InterruptReason::Cancelled);
         }
@@ -215,6 +218,33 @@ impl<'a> RunControl<'a> {
         }
         None
     }
+}
+
+/// The fully deterministic work order of a campaign: golden reference run,
+/// enumerated fault specs in canonical order, per-fault execution budget,
+/// statically predicted records, and the fingerprint binding GLVCKPT1
+/// checkpoints to this exact campaign.
+///
+/// Both the in-process executor ([`Campaign::run_supervised`]) and the
+/// distributed fabric (`glaive-campaign`) derive their work from the same
+/// plan; because every field is a pure function of (program, input image,
+/// config), any two parties that agree on those inputs agree on the plan —
+/// which is what makes a distributed merge bit-identical to a serial run.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// The fault-free reference run (clean halt guaranteed).
+    pub golden: glaive_sim::RunResult,
+    /// Every fault to inject, in canonical enumeration order.
+    pub specs: Vec<FaultSpec>,
+    /// Execution budget for each faulty run (hang detection).
+    pub fault_cfg: ExecConfig,
+    /// Records provable without simulation (dead-definition Masked
+    /// outcomes), as `(index into specs, record)` pairs in strictly
+    /// ascending index order. Empty when prediction is disabled.
+    pub predicted: Vec<(usize, InjectionRecord)>,
+    /// Binds checkpoints and distributed work units to this exact
+    /// campaign: program content, input image, parameters, spec count.
+    pub fingerprint: u64,
 }
 
 /// A systematic bit-level fault-injection campaign over one program.
@@ -323,25 +353,21 @@ impl<'p> Campaign<'p> {
         crate::serdes::fnv1a(&bytes)
     }
 
-    /// Runs the campaign under supervision: every failure comes back as a
-    /// typed [`CampaignError`], the injection loop checks `ctrl`'s
-    /// cancellation flag and deadline cooperatively at batch boundaries,
-    /// and completed injections are periodically snapshotted to `ctrl`'s
-    /// checkpoint sink so an interrupted campaign resumes instead of
-    /// restarting.
+    /// Computes the deterministic [`CampaignPlan`] for this campaign:
+    /// golden run, site enumeration, fault execution budget, dead-def
+    /// outcome prediction, and the checkpoint/distribution fingerprint.
     ///
-    /// Determinism: a resumed campaign produces a [`GroundTruth`] identical
-    /// (byte-for-byte under [`GroundTruth::to_bytes`]) to an uninterrupted
-    /// run, because injection records are keyed by the deterministic site
-    /// enumeration order.
+    /// Every participant in a distributed campaign recomputes this plan
+    /// locally from the shipped (program, input image, config) and
+    /// cross-checks the fingerprint, so a coordinator and its workers can
+    /// never silently disagree about which fault an index refers to.
     ///
     /// # Errors
     ///
     /// [`CampaignError::InvalidBenchmark`] for inputs that cannot form a
-    /// machine, [`CampaignError::DirtyGolden`] when the fault-free run does
-    /// not halt cleanly, and [`CampaignError::Interrupted`] when cancelled
-    /// or past the deadline (after saving a final checkpoint).
-    pub fn run_supervised(&self, ctrl: &RunControl<'_>) -> Result<GroundTruth, CampaignError> {
+    /// machine and [`CampaignError::DirtyGolden`] when the fault-free run
+    /// does not halt cleanly.
+    pub fn plan(&self) -> Result<CampaignPlan, CampaignError> {
         let name = self.program.name().to_string();
         let golden_cfg = ExecConfig::default();
         if let Err(e) = Simulator::try_new(self.program, self.init_mem, &golden_cfg) {
@@ -362,6 +388,68 @@ impl<'p> Campaign<'p> {
             max_instrs: golden.dyn_instrs * self.config.hang_factor + 1024,
         };
 
+        // Approxilyzer-style outcome prediction: Def-slot faults on dead
+        // definitions are provably Masked and need no simulation.
+        let mut predicted: Vec<(usize, InjectionRecord)> = Vec::new();
+        if self.config.predict_dead_defs {
+            let dead = crate::pruning::dead_defs(self.program);
+            for (i, spec) in specs.iter().enumerate() {
+                if matches!(spec.slot, OperandSlot::Def(_)) && dead[spec.pc] {
+                    predicted.push((
+                        i,
+                        InjectionRecord {
+                            site: BitSite {
+                                pc: spec.pc,
+                                slot: spec.slot,
+                                bit: spec.bit,
+                            },
+                            instance: spec.instance,
+                            outcome: glaive_sim::Outcome::Masked,
+                        },
+                    ));
+                }
+            }
+        }
+
+        let fingerprint = self.fingerprint(specs.len());
+        Ok(CampaignPlan {
+            golden,
+            specs,
+            fault_cfg,
+            predicted,
+            fingerprint,
+        })
+    }
+
+    /// Runs the campaign under supervision: every failure comes back as a
+    /// typed [`CampaignError`], the injection loop checks `ctrl`'s
+    /// cancellation flag and deadline cooperatively at batch boundaries,
+    /// and completed injections are periodically snapshotted to `ctrl`'s
+    /// checkpoint sink so an interrupted campaign resumes instead of
+    /// restarting.
+    ///
+    /// Determinism: a resumed campaign produces a [`GroundTruth`] identical
+    /// (byte-for-byte under [`GroundTruth::to_bytes`]) to an uninterrupted
+    /// run, because injection records are keyed by the deterministic site
+    /// enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidBenchmark`] for inputs that cannot form a
+    /// machine, [`CampaignError::DirtyGolden`] when the fault-free run does
+    /// not halt cleanly, and [`CampaignError::Interrupted`] when cancelled
+    /// or past the deadline (after saving a final checkpoint).
+    pub fn run_supervised(&self, ctrl: &RunControl<'_>) -> Result<GroundTruth, CampaignError> {
+        let name = self.program.name().to_string();
+        let plan = self.plan()?;
+        let CampaignPlan {
+            golden,
+            specs,
+            fault_cfg,
+            predicted: predicted_records,
+            fingerprint,
+        } = plan;
+
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -372,26 +460,9 @@ impl<'p> Campaign<'p> {
 
         let total = specs.len();
         let mut records: Vec<Option<InjectionRecord>> = vec![None; total];
-
-        // Approxilyzer-style outcome prediction: Def-slot faults on dead
-        // definitions are provably Masked and need no simulation.
-        let mut predicted = 0usize;
-        if self.config.predict_dead_defs {
-            let dead = crate::pruning::dead_defs(self.program);
-            for (i, spec) in specs.iter().enumerate() {
-                if matches!(spec.slot, OperandSlot::Def(_)) && dead[spec.pc] {
-                    records[i] = Some(InjectionRecord {
-                        site: BitSite {
-                            pc: spec.pc,
-                            slot: spec.slot,
-                            bit: spec.bit,
-                        },
-                        instance: spec.instance,
-                        outcome: glaive_sim::Outcome::Masked,
-                    });
-                    predicted += 1;
-                }
-            }
+        let predicted = predicted_records.len();
+        for &(i, rec) in &predicted_records {
+            records[i] = Some(rec);
         }
 
         // Resume: adopt simulated records from a stored snapshot whose
@@ -399,7 +470,6 @@ impl<'p> Campaign<'p> {
         // filled (identically — prediction is deterministic), so only truly
         // simulated work is skipped. `base` holds the adopted records for
         // inclusion in future snapshots.
-        let fingerprint = self.fingerprint(total);
         let mut base: Vec<(usize, InjectionRecord)> = Vec::new();
         if let Some(sink) = ctrl.checkpoint {
             if let Some(ckpt) = sink.load().and_then(|b| CampaignCheckpoint::from_bytes(&b)) {
@@ -565,7 +635,11 @@ impl<'p> Campaign<'p> {
         Ok(GroundTruth::new(name, records, golden, predicted))
     }
 
-    fn inject(
+    /// Simulates one fault injection and classifies it against the golden
+    /// run. This is the distributed fabric's unit of work: a worker calls
+    /// it for each spec of an assigned chunk, with the `golden` and `cfg`
+    /// taken from its locally recomputed [`CampaignPlan`].
+    pub fn inject(
         &self,
         spec: &FaultSpec,
         golden: &glaive_sim::RunResult,

@@ -42,8 +42,8 @@ mod serdes;
 mod truth;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignError, CampaignProgress, InterruptReason, NoProgress,
-    RunControl,
+    Campaign, CampaignConfig, CampaignError, CampaignPlan, CampaignProgress, InterruptReason,
+    NoProgress, RunControl,
 };
 pub use checkpoint::{CampaignCheckpoint, CheckpointSink, FileCheckpoint, MemoryCheckpoint};
 pub use serdes::TruthDecodeError;

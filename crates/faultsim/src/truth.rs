@@ -173,6 +173,38 @@ impl GroundTruth {
         }
     }
 
+    /// Assembles a `GroundTruth` from externally produced parts — the
+    /// merge-side constructor of the distributed campaign fabric, where
+    /// records arrive from worker processes and are reassembled in
+    /// canonical spec order before this call.
+    ///
+    /// `records` must already be in the campaign's deterministic site
+    /// enumeration order (the coordinator guarantees this by indexing
+    /// chunks into a dense table), and `predicted` counts how many of them
+    /// were statically predicted rather than simulated.
+    ///
+    /// # Errors
+    ///
+    /// [`TruthError::NoObservations`] when `predicted` exceeds the number
+    /// of records — such a value cannot have come from any real campaign
+    /// and indicates a corrupt or malicious merge input.
+    pub fn from_parts(
+        program_name: String,
+        records: Vec<InjectionRecord>,
+        golden: RunResult,
+        predicted: usize,
+    ) -> Result<Self, TruthError> {
+        if predicted > records.len() {
+            return Err(TruthError::NoObservations {
+                subject: format!(
+                    "{program_name} (predicted count {predicted} exceeds {} records)",
+                    records.len()
+                ),
+            });
+        }
+        Ok(GroundTruth::new(program_name, records, golden, predicted))
+    }
+
     /// Name of the analysed program.
     pub fn program_name(&self) -> &str {
         &self.program_name

@@ -2,6 +2,14 @@
 //! frames, in the same little-endian magic/version discipline as the
 //! `GLVFIT01` ground-truth and `GLVCKPT1` checkpoint formats.
 //!
+//! The framing itself — length prefix, trailing FNV-1a checksum, typed
+//! [`ProtocolError`] decode failures — lives in the shared [`glaive_wire`]
+//! codec (also used by the `GLVCMP01` campaign-fabric protocol); this
+//! module owns the `GLVSRV01` magic, opcodes and body layouts. The
+//! framing-layer names ([`ProtocolError`], [`fnv1a`], [`read_frame`],
+//! [`write_frame`], [`MAX_FRAME_LEN`]) are re-exported here so existing
+//! callers are unaffected by the split.
+//!
 //! On the wire every frame is a `u32` payload length followed by the
 //! payload. A payload is
 //!
@@ -20,75 +28,19 @@
 //! response is bit-identical to the server-side computation.
 
 use std::fmt;
-use std::io::{Read, Write};
 
 use glaive_isa::{Instr, Program, INSTR_ENCODING_LEN};
+use glaive_wire::{put_f32, put_str, put_u32, put_u64, seal, Reader};
+
+pub use glaive_wire::{fnv1a, read_frame, write_frame, ProtocolError, MAX_FRAME_LEN};
 
 /// Magic + format version of every frame. Bump the trailing digit on any
 /// layout change: decoders reject other versions with
 /// [`ProtocolError::BadMagic`].
 pub const MAGIC: &[u8; 8] = b"GLVSRV01";
 
-/// Upper bound on a frame payload; larger declared lengths are rejected
-/// before any allocation (a corrupted or hostile length prefix must not
-/// OOM the server).
-pub const MAX_FRAME_LEN: u32 = 64 << 20;
-
 const NAME_CAP: usize = 1 << 12;
 const INSTR_CAP: usize = 1 << 20;
-
-/// Typed decode/transport failure. Every malformed input maps here — the
-/// protocol layer never panics on wire bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProtocolError {
-    /// The payload does not start with the current magic/version.
-    BadMagic,
-    /// The payload ended before its declared content.
-    Truncated,
-    /// The trailing FNV-1a digest disagrees with the payload bytes.
-    Checksum,
-    /// The opcode byte names no known frame kind.
-    UnknownOpcode(u8),
-    /// A structural invariant failed (bad tag, absurd length, undecodable
-    /// instruction, non-UTF-8 string…).
-    Corrupt(&'static str),
-    /// The length prefix exceeds [`MAX_FRAME_LEN`].
-    FrameTooLarge(u32),
-    /// The underlying stream failed mid-frame.
-    Io(String),
-}
-
-impl fmt::Display for ProtocolError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProtocolError::BadMagic => write!(f, "not a GLVSRV01 frame (bad magic)"),
-            ProtocolError::Truncated => write!(f, "frame truncated"),
-            ProtocolError::Checksum => write!(f, "frame checksum mismatch"),
-            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
-            ProtocolError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
-            ProtocolError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds the cap"),
-            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ProtocolError {}
-
-impl From<std::io::Error> for ProtocolError {
-    fn from(e: std::io::Error) -> ProtocolError {
-        ProtocolError::Io(e.to_string())
-    }
-}
-
-/// 64-bit FNV-1a digest of `bytes` — the frame checksum.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// How a request names the program to estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,27 +219,10 @@ const OP_R_PONG: u8 = 0x83;
 const OP_R_SHUTDOWN: u8 = 0x84;
 const OP_R_ERROR: u8 = 0xff;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f32(out: &mut Vec<u8>, v: f32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn seal(mut payload: Vec<u8>) -> Vec<u8> {
-    let digest = fnv1a(&payload);
-    payload.extend_from_slice(&digest.to_le_bytes());
-    payload
+/// Validates the `GLVSRV01` magic and checksum, returning a reader over
+/// the body (opcode onwards).
+fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
+    glaive_wire::open(payload, MAGIC)
 }
 
 fn encode_spec(out: &mut Vec<u8>, spec: &ProgramSpec) {
@@ -547,128 +482,6 @@ impl Response {
         r.finish()?;
         Ok(resp)
     }
-}
-
-// ---------------------------------------------------------------------------
-// Payload reader
-// ---------------------------------------------------------------------------
-
-/// Validates magic and checksum, returning a reader over the body (opcode
-/// onwards).
-fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
-    if payload.len() < MAGIC.len() + 8 {
-        return Err(ProtocolError::Truncated);
-    }
-    if &payload[..MAGIC.len()] != MAGIC {
-        return Err(ProtocolError::BadMagic);
-    }
-    let (head, tail) = payload.split_at(payload.len() - 8);
-    let declared = u64::from_le_bytes(tail.try_into().expect("split at len - 8"));
-    if fnv1a(head) != declared {
-        return Err(ProtocolError::Checksum);
-    }
-    Ok(Reader {
-        buf: &head[MAGIC.len()..],
-        pos: 0,
-    })
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
-        if self.buf.len() - self.pos < n {
-            return Err(ProtocolError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn u8(&mut self) -> Result<u8, ProtocolError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
-    }
-
-    fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
-    }
-
-    fn f32(&mut self) -> Result<f32, ProtocolError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
-    }
-
-    /// A `u32` element count whose `count × element_size` must still fit in
-    /// the remaining bytes — rejects absurd counts before any allocation.
-    fn counted(&mut self, element_size: usize) -> Result<usize, ProtocolError> {
-        let n = self.u32()? as usize;
-        if n.checked_mul(element_size)
-            .is_none_or(|b| b > self.remaining())
-        {
-            return Err(ProtocolError::Truncated);
-        }
-        Ok(n)
-    }
-
-    fn string(&mut self, cap: usize) -> Result<String, ProtocolError> {
-        let len = self.u32()? as usize;
-        if len > cap {
-            return Err(ProtocolError::Corrupt("string exceeds cap"));
-        }
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Corrupt("non-UTF-8 string"))
-    }
-
-    /// Rejects trailing garbage after a fully decoded body.
-    fn finish(self) -> Result<(), ProtocolError> {
-        if self.pos != self.buf.len() {
-            return Err(ProtocolError::Corrupt("trailing bytes after body"));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Stream framing
-// ---------------------------------------------------------------------------
-
-/// Writes one length-prefixed frame.
-///
-/// # Errors
-///
-/// Propagates transport failures.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one length-prefixed frame payload (blocking).
-///
-/// # Errors
-///
-/// [`ProtocolError::FrameTooLarge`] for absurd length prefixes,
-/// [`ProtocolError::Io`] for transport failures (including EOF mid-frame).
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME_LEN {
-        return Err(ProtocolError::FrameTooLarge(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
 }
 
 #[cfg(test)]

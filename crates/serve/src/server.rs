@@ -34,9 +34,9 @@ use glaive_isa::Program;
 use crate::batch::{BatchWorkspace, InferenceJob, JobQueue};
 use crate::cache::{program_fingerprint, GraphCache, PreparedProgram};
 use crate::protocol::{
-    write_frame, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request, Response,
-    StatsReply, WireTuple,
+    write_frame, ErrorCode, PredictReply, ProgramSpec, Request, Response, StatsReply, WireTuple,
 };
+use glaive_wire::{read_frame_cancellable, ReadOutcome};
 
 /// How often blocking points re-check the cancellation flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -349,16 +349,6 @@ impl Drop for BatcherExitGuard<'_> {
 }
 
 /// Outcome of one cancellable frame read.
-enum ReadOutcome {
-    Frame(Vec<u8>),
-    /// Clean EOF at a frame boundary — the client hung up.
-    Closed,
-    /// The server is draining.
-    Cancelled,
-    /// The stream failed or delivered an oversized prefix.
-    Failed(ProtocolError),
-}
-
 /// Serves one client connection until it closes, errors, or the server
 /// drains.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
@@ -410,76 +400,6 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             return;
         }
     }
-}
-
-/// Reads one length-prefixed frame, re-checking the cancellation flag on
-/// every read timeout so a draining server never strands a worker in a
-/// blocking read.
-fn read_frame_cancellable(stream: &mut TcpStream, cancel: &AtomicBool) -> ReadOutcome {
-    // Inline the framing (instead of calling `read_frame`) so the timeout
-    // granularity sits below the frame level: a half-received frame keeps
-    // its progress across cancel checks.
-    let mut header = [0u8; 4];
-    match read_full(stream, &mut header, cancel, true) {
-        FillOutcome::Done => {}
-        FillOutcome::CleanEof => return ReadOutcome::Closed,
-        FillOutcome::Cancelled => return ReadOutcome::Cancelled,
-        FillOutcome::Failed(e) => return ReadOutcome::Failed(e),
-    }
-    let len = u32::from_le_bytes(header);
-    if len > crate::protocol::MAX_FRAME_LEN {
-        return ReadOutcome::Failed(ProtocolError::FrameTooLarge(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    match read_full(stream, &mut payload, cancel, false) {
-        FillOutcome::Done => ReadOutcome::Frame(payload),
-        FillOutcome::CleanEof => ReadOutcome::Failed(ProtocolError::Truncated),
-        FillOutcome::Cancelled => ReadOutcome::Cancelled,
-        FillOutcome::Failed(e) => ReadOutcome::Failed(e),
-    }
-}
-
-/// Fills `buf` completely from a timeout-configured stream, checking the
-/// cancellation flag on each timeout. `at_boundary` marks reads that may
-/// legitimately see a clean EOF (the start of a frame header).
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    cancel: &AtomicBool,
-    at_boundary: bool,
-) -> FillOutcome {
-    use std::io::Read;
-
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if at_boundary && filled == 0 {
-                    FillOutcome::CleanEof
-                } else {
-                    FillOutcome::Failed(ProtocolError::Io("connection reset".into()))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if cancel.load(Ordering::Relaxed) {
-                    return FillOutcome::Cancelled;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return FillOutcome::Failed(ProtocolError::Io(e.to_string())),
-        }
-    }
-    FillOutcome::Done
-}
-
-enum FillOutcome {
-    Done,
-    CleanEof,
-    Cancelled,
-    Failed(ProtocolError),
 }
 
 /// Resolves, prepares, batches and aggregates one predict request.

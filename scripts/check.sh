@@ -46,4 +46,57 @@ cargo run -q --release --offline -p glaive-cli -- \
 cargo run -q --release --offline -p glaive-cli -- query "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"
 
+echo "==> campaign fabric smoke run (coordinate + 2 workers, kill, --resume)"
+# The coordinator is run from the prebuilt binary (not `cargo run`) so that
+# SIGKILL hits the coordinator itself rather than a cargo wrapper.
+GCLI="./target/release/glaive-cli"
+FAB_DIR="$SMOKE_DIR/fabric"
+mkdir -p "$FAB_DIR"
+"$GCLI" campaign blackscholes --out "$FAB_DIR/serial.bin" >/dev/null
+
+start_coordinator() {
+  GLAIVE_CACHE_DIR="$FAB_DIR" "$GCLI" campaign coordinate blackscholes \
+    --workers-listen 127.0.0.1:0 --chunk 8 --checkpoint-interval 64 \
+    --resume --out "$FAB_DIR/dist.bin" >"$1" 2>&1 &
+  COORD_PID=$!
+  CADDR=""
+  for _ in $(seq 1 100); do
+    CADDR="$(sed -n 's/^coordinating on //p' "$1" | head -n1)"
+    [ -n "$CADDR" ] && break
+    kill -0 "$COORD_PID" 2>/dev/null || { cat "$1"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$CADDR" ] || { echo "coordinator never reported its address"; cat "$1"; exit 1; }
+}
+
+# First attempt: let the fleet make checkpointed progress, then SIGKILL the
+# coordinator mid-campaign.
+start_coordinator "$FAB_DIR/coord1.log"
+"$GCLI" campaign worker --connect "$CADDR" >/dev/null 2>&1 &
+W1=$!
+"$GCLI" campaign worker --connect "$CADDR" >/dev/null 2>&1 &
+W2=$!
+for _ in $(seq 1 200); do
+  ls "$FAB_DIR"/ckpt-*.bin >/dev/null 2>&1 && break
+  kill -0 "$COORD_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$COORD_PID" 2>/dev/null || true
+wait "$COORD_PID" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+
+# Second attempt resumes from the checkpoint and must complete with a
+# ground truth byte-identical to the serial campaign.
+start_coordinator "$FAB_DIR/coord2.log"
+"$GCLI" campaign worker --connect "$CADDR" >/dev/null 2>&1 &
+W1=$!
+"$GCLI" campaign worker --connect "$CADDR" >/dev/null 2>&1 &
+W2=$!
+wait "$COORD_PID" || { cat "$FAB_DIR/coord2.log"; exit 1; }
+wait "$W1" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+cmp "$FAB_DIR/serial.bin" "$FAB_DIR/dist.bin" \
+  || { echo "distributed ground truth diverged from serial"; exit 1; }
+
 echo "All checks passed."
