@@ -1,0 +1,200 @@
+//! ISA-B benchmark kernels for the cross-ISA transfer experiment.
+//!
+//! Four small [`RvIsa`] programs spanning the same sensitivity spectrum as
+//! the Table-II suite — two data-dominated kernels (`rv_dotprod`,
+//! `rv_xsum`), two control-dominated ones (`rv_gcd`, `rv_fib`) — written
+//! directly in [`RvAsm`]. They are deliberately *not* ports of the twelve
+//! ISA-A benchmarks: the point of `cross_isa` is evaluating a model on
+//! programs no variant of which appeared in training.
+//!
+//! Like the main suite, every kernel pads its data memory ([`RV_PAD_WORDS`]
+//! beyond the live arrays) so single address-bit flips usually land in
+//! mapped memory instead of trapping, keeping the outcome mix comparable
+//! to the ISA-A campaigns the model was trained on.
+
+use glaive_isa::{Program, Reg, RvAluOp, RvAsm, RvBranchCond, RvImmOp, RvIsa};
+
+use crate::SplitMix64;
+
+/// Scratch words appended to every ISA-B kernel's data memory (see
+/// [`crate::MEM_PAD_WORDS`] for the rationale; smaller here because the
+/// kernels are tiny and their campaigns should stay sub-second).
+pub const RV_PAD_WORDS: usize = 1 << 12;
+
+/// A compiled ISA-B kernel with its input image.
+#[derive(Debug, Clone)]
+pub struct RvKernel {
+    /// Kernel name (lowercase, `rv_` prefix).
+    pub name: &'static str,
+    /// The ISA-B program.
+    pub program: Program<RvIsa>,
+    /// Initial data-memory image holding the kernel inputs.
+    pub init_mem: Vec<u64>,
+    /// Hang-detection budget multiplier for fault runs.
+    pub hang_factor: u64,
+}
+
+/// Builds all ISA-B kernels with deterministic inputs derived from `seed`.
+pub fn rv_suite(seed: u64) -> Vec<RvKernel> {
+    vec![dotprod(seed), xsum(seed), gcd(seed), fib(seed)]
+}
+
+const N: usize = 8;
+
+/// Data-sensitive: dot product of two `N`-word vectors.
+fn dotprod(seed: u64) -> RvKernel {
+    let mut rng = SplitMix64::new(seed ^ 0xd07_0d07);
+    let init_mem: Vec<u64> = (0..2 * N).map(|_| rng.next_below(1 << 20)).collect();
+
+    let mut asm = RvAsm::new("rv_dotprod");
+    asm.set_mem_words(2 * N + RV_PAD_WORDS);
+    let loop_top = asm.label();
+    asm.li(Reg(5), 0) // i
+        .li(Reg(6), N as i32)
+        .li(Reg(10), 0); // acc
+    asm.bind(loop_top)
+        .ld(Reg(7), Reg(5), 0) // a[i]
+        .ld(Reg(8), Reg(5), N as i32) // b[i]
+        .alu(RvAluOp::Mul, Reg(7), Reg(7), Reg(8))
+        .alu(RvAluOp::Add, Reg(10), Reg(10), Reg(7))
+        .addi(Reg(5), Reg(5), 1)
+        .branch(RvBranchCond::Blt, Reg(5), Reg(6), loop_top)
+        .ecall()
+        .ebreak();
+    RvKernel {
+        name: "rv_dotprod",
+        program: asm.finish().expect("rv_dotprod assembles"),
+        init_mem,
+        hang_factor: 4,
+    }
+}
+
+/// Data-sensitive: a rotate-xor-add checksum over an `N`-word array,
+/// exercising the shift and bitwise opcodes the dot product does not.
+fn xsum(seed: u64) -> RvKernel {
+    let mut rng = SplitMix64::new(seed ^ 0x5c3a_11ed);
+    let init_mem: Vec<u64> = (0..N).map(|_| rng.next_u64()).collect();
+
+    let mut asm = RvAsm::new("rv_xsum");
+    asm.set_mem_words(N + RV_PAD_WORDS);
+    let loop_top = asm.label();
+    asm.li(Reg(5), 0) // i
+        .li(Reg(6), N as i32)
+        .li(Reg(10), 0); // acc
+    asm.bind(loop_top)
+        .ld(Reg(7), Reg(5), 0)
+        .alu(RvAluOp::Xor, Reg(10), Reg(10), Reg(7))
+        .alu_imm(RvImmOp::Slli, Reg(8), Reg(10), 13)
+        .alu_imm(RvImmOp::Srli, Reg(9), Reg(10), 51)
+        .alu(RvAluOp::Or, Reg(10), Reg(8), Reg(9)) // rotl 13
+        .alu(RvAluOp::Add, Reg(10), Reg(10), Reg(7))
+        .addi(Reg(5), Reg(5), 1)
+        .branch(RvBranchCond::Blt, Reg(5), Reg(6), loop_top)
+        .ecall()
+        .ebreak();
+    RvKernel {
+        name: "rv_xsum",
+        program: asm.finish().expect("rv_xsum assembles"),
+        init_mem,
+        hang_factor: 4,
+    }
+}
+
+/// Control-sensitive: Euclid's algorithm over a seeded pair, the classic
+/// data-dependent loop (`rem` never traps on ISA-B, so corrupted divisors
+/// become SDCs or extra iterations rather than crashes).
+fn gcd(seed: u64) -> RvKernel {
+    let mut rng = SplitMix64::new(seed ^ 0x6cd0_06cd);
+    let a = 1 + rng.next_below(1 << 16) as i32;
+    let b = 1 + rng.next_below(1 << 16) as i32;
+
+    let mut asm = RvAsm::new("rv_gcd");
+    asm.set_mem_words(RV_PAD_WORDS);
+    let loop_top = asm.label();
+    let done = asm.label();
+    asm.li(Reg(5), a).li(Reg(6), b);
+    asm.bind(loop_top)
+        .branch(RvBranchCond::Beq, Reg(6), Reg(0), done)
+        .alu(RvAluOp::Rem, Reg(7), Reg(5), Reg(6))
+        .mv(Reg(5), Reg(6))
+        .mv(Reg(6), Reg(7))
+        .j(loop_top);
+    asm.bind(done).mv(Reg(10), Reg(5)).ecall().ebreak();
+    RvKernel {
+        name: "rv_gcd",
+        program: asm.finish().expect("rv_gcd assembles"),
+        init_mem: Vec::new(),
+        hang_factor: 8,
+    }
+}
+
+/// Control-sensitive: iterative Fibonacci with a seeded trip count; the
+/// countdown register dominates the outcome (a corrupted counter hangs or
+/// silently truncates the sequence).
+fn fib(seed: u64) -> RvKernel {
+    let mut rng = SplitMix64::new(seed ^ 0xf1b0_f1b0);
+    let n = 8 + rng.next_below(16) as i32;
+
+    let mut asm = RvAsm::new("rv_fib");
+    asm.set_mem_words(RV_PAD_WORDS);
+    let loop_top = asm.label();
+    asm.li(Reg(5), 0).li(Reg(6), 1).li(Reg(7), n);
+    asm.bind(loop_top)
+        .alu(RvAluOp::Add, Reg(8), Reg(5), Reg(6))
+        .mv(Reg(5), Reg(6))
+        .mv(Reg(6), Reg(8))
+        .addi(Reg(7), Reg(7), -1)
+        .branch(RvBranchCond::Bne, Reg(7), Reg(0), loop_top)
+        .mv(Reg(10), Reg(5))
+        .ecall()
+        .ebreak();
+    RvKernel {
+        name: "rv_fib",
+        program: asm.finish().expect("rv_fib assembles"),
+        init_mem: Vec::new(),
+        hang_factor: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaive_sim::{run, ExecConfig};
+
+    #[test]
+    fn every_kernel_runs_clean_and_produces_output() {
+        for k in rv_suite(7) {
+            let r = run(&k.program, &k.init_mem, &ExecConfig::default());
+            assert!(r.status.is_clean(), "{} failed: {:?}", k.name, r.status);
+            assert!(!r.output.is_empty(), "{} produced no output", k.name);
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic_per_seed_and_vary_across_seeds() {
+        let a = rv_suite(1);
+        let b = rv_suite(1);
+        let c = rv_suite(2);
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(x.program.instrs(), y.program.instrs());
+            assert_eq!(x.init_mem, y.init_mem);
+            let same_code = x.program.instrs() == z.program.instrs();
+            let same_mem = x.init_mem == z.init_mem;
+            assert!(
+                !(same_code && same_mem),
+                "{} identical across seeds",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let s = rv_suite(1);
+        let mut names: Vec<_> = s.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+        assert!(names.iter().all(|n| n.starts_with("rv_")));
+    }
+}

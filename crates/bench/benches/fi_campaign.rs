@@ -21,7 +21,9 @@ fn main() {
             &format!("fi_campaign/{}", bench_prog.name),
             Settings::heavy(),
             || {
-                let truth = Campaign::new(bench_prog.program(), &bench_prog.init_mem, config).run();
+                let truth = Campaign::try_new(bench_prog.program(), &bench_prog.init_mem, config)
+                    .expect("valid config")
+                    .run();
                 std::hint::black_box(truth.total_injections());
             },
         ));

@@ -20,7 +20,8 @@ fn main() {
     };
 
     let results = vec![bench("graphsage_epoch_dijkstra", Settings::heavy(), || {
-        let mut model = GraphSage::new(glaive_cdfg::FEATURE_DIM, &sage);
+        let mut model =
+            GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &sage).expect("valid model config");
         std::hint::black_box(model.train(&[graph]).final_loss());
     })];
     report(&results);

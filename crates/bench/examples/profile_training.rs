@@ -30,7 +30,8 @@ fn main() {
             mask: &d.mask,
         })
         .collect();
-    let mut sage = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+    let mut sage =
+        GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
     sage.train(&graphs);
     println!("glaive gnn:   {:.3}s", t.elapsed().as_secs_f64());
 
@@ -44,7 +45,8 @@ fn main() {
             mask: &d.mask,
         })
         .collect();
-    let mut vanilla = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+    let mut vanilla =
+        GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
     vanilla.train(&graphs);
     println!("vanilla gnn:  {:.3}s", t.elapsed().as_secs_f64());
 

@@ -2,27 +2,39 @@
 //!
 //! Runs the fault-injection campaign for a slice of the suite three ways
 //! — the serial in-process [`Campaign`], then the `glaive-campaign`
-//! fabric with 1, 2 and 4 in-process workers — timing each and
+//! fabric with 1, 2 and 4 **worker processes** — timing each and
 //! **hard-asserting bit-identity**: every distributed `GroundTruth` must
 //! serialise to exactly the serial campaign's bytes, worker count
 //! notwithstanding. The run fails (non-zero exit) on any divergence.
 //!
+//! Workers are real OS processes (`glaive-cli campaign worker` siblings of
+//! this binary) rather than in-process threads, so the fleet competes for
+//! CPUs exactly like a production deployment and the scaling numbers mean
+//! what they claim. When the CLI binary cannot be found next to this one
+//! (e.g. a bench-only build), the run falls back to in-process worker
+//! threads and records `"worker_mode": "threads"` in the JSON.
+//!
 //! Speedup is reported as 1-worker fabric time over N-worker fabric time
 //! (isolating sharding from protocol overhead; the serial baseline is
-//! also recorded). The ≥1.6× four-worker expectation is asserted only
-//! when the machine actually has ≥4 CPUs — on smaller hosts the numbers
-//! are still recorded, with `cpus` in the JSON so readers can judge them.
+//! also recorded). The ≥1.6× four-worker expectation is asserted on any
+//! machine with ≥2 CPUs — four single-threaded worker processes on two
+//! cores still finish ≈2× faster than one — with `cpus` in the JSON so
+//! readers can judge the numbers.
 //!
 //! Flags: `--out PATH` (default `BENCH_5.json`), `--quick` (or
 //! `GLAIVE_QUICK=1`) for a subsampled smoke run.
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use glaive_bench::{quick_requested, EXPERIMENT_SEED};
-use glaive_bench_suite::suite;
-use glaive_campaign::{run_distributed, FabricConfig};
-use glaive_faultsim::{Campaign, GroundTruth, RunControl};
+use glaive_bench_suite::{suite, Benchmark};
+use glaive_campaign::{run_distributed, Coordinator, FabricConfig};
+use glaive_faultsim::{Campaign, CampaignConfig, GroundTruth, RunControl};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -45,6 +57,98 @@ fn parse_args() -> Args {
     args
 }
 
+/// Locates the `glaive-cli` binary built alongside this bench binary
+/// (cargo places both in `target/<profile>/`; test/bench binaries live one
+/// level deeper in `deps/`).
+fn find_cli() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    let cli = dir.join(format!("glaive-cli{}", std::env::consts::EXE_SUFFIX));
+    cli.is_file().then_some(cli)
+}
+
+/// A fleet of real `glaive-cli campaign worker` processes attached to a
+/// coordinator listener; killed (not just waited on) if the coordinator
+/// fails, so a panicking run cannot leak children.
+struct WorkerFleet {
+    children: Vec<Child>,
+}
+
+impl WorkerFleet {
+    fn spawn(cli: &PathBuf, addr: &str, workers: usize) -> WorkerFleet {
+        let children = (0..workers)
+            .map(|i| {
+                Command::new(cli)
+                    .args([
+                        "campaign",
+                        "worker",
+                        "--connect",
+                        addr,
+                        "--name",
+                        &format!("proc-{i}"),
+                    ])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::piped())
+                    .spawn()
+                    .expect("spawn glaive-cli campaign worker")
+            })
+            .collect();
+        WorkerFleet { children }
+    }
+
+    /// Waits for every worker to exit cleanly, surfacing its stderr if not.
+    fn join(mut self) {
+        for mut child in self.children.drain(..) {
+            let status = child.wait().expect("wait for worker process");
+            if !status.success() {
+                let mut err = String::new();
+                if let Some(stderr) = child.stderr.take() {
+                    for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+                        err.push_str(&line);
+                        err.push('\n');
+                    }
+                }
+                panic!("worker process failed ({status}): {err}");
+            }
+        }
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// One distributed campaign with `workers` real worker processes.
+fn run_with_processes(
+    cli: &PathBuf,
+    bench: &Benchmark,
+    config: CampaignConfig,
+    fabric: FabricConfig,
+    workers: usize,
+) -> GroundTruth {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind coordinator listener");
+    let addr = listener
+        .local_addr()
+        .expect("coordinator listener address")
+        .to_string();
+    let fleet = WorkerFleet::spawn(cli, &addr, workers);
+    let truth = Coordinator::try_new(bench.program(), &bench.init_mem, config, fabric)
+        .expect("valid fabric config")
+        .run(listener, &RunControl::new())
+        .expect("fabric completes");
+    fleet.join();
+    truth
+}
+
 struct BenchRow {
     name: &'static str,
     injections: usize,
@@ -60,6 +164,18 @@ fn main() {
         ..FabricConfig::default()
     };
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cli = find_cli();
+    let worker_mode = if cli.is_some() {
+        "processes"
+    } else {
+        "threads"
+    };
+    if cli.is_none() {
+        eprintln!(
+            "note: glaive-cli not found next to this binary; falling back to worker threads \
+             (build it with `cargo build --release -p glaive-cli` for process workers)"
+        );
+    }
     let names: &[&str] = if quick_requested() {
         &["dijkstra", "sobel"]
     } else {
@@ -74,23 +190,28 @@ fn main() {
     for b in &benches {
         eprintln!("{}: serial campaign...", b.name);
         let t0 = Instant::now();
-        let serial: GroundTruth = Campaign::new(b.program(), &b.init_mem, campaign_config).run();
+        let serial: GroundTruth = Campaign::try_new(b.program(), &b.init_mem, campaign_config)
+            .expect("valid config")
+            .run();
         let serial_time = t0.elapsed();
         let serial_bytes = serial.to_bytes();
 
         let mut fabric_times = [Duration::ZERO; WORKER_COUNTS.len()];
         for (slot, &workers) in WORKER_COUNTS.iter().enumerate() {
-            eprintln!("{}: fabric with {workers} worker(s)...", b.name);
+            eprintln!("{}: fabric with {workers} {worker_mode}...", b.name);
             let t0 = Instant::now();
-            let distributed = run_distributed(
-                b.program(),
-                &b.init_mem,
-                campaign_config,
-                fabric,
-                workers,
-                &RunControl::new(),
-            )
-            .expect("fabric completes");
+            let distributed = match &cli {
+                Some(cli) => run_with_processes(cli, b, campaign_config, fabric, workers),
+                None => run_distributed(
+                    b.program(),
+                    &b.init_mem,
+                    campaign_config,
+                    fabric,
+                    workers,
+                    &RunControl::new(),
+                )
+                .expect("fabric completes"),
+            };
             fabric_times[slot] = t0.elapsed();
             assert_eq!(
                 distributed.to_bytes(),
@@ -126,6 +247,7 @@ fn main() {
         );
     }
     println!("cpus\t{cpus}");
+    println!("worker_mode\t{worker_mode}");
     println!("speedup_2w\t{speedup_2:.2}");
     println!("speedup_4w\t{speedup_4:.2}");
 
@@ -146,7 +268,8 @@ fn main() {
         .expect("write to string");
     }
     let json = format!(
-        "{{\n  \"cpus\": {cpus},\n  \"chunk_size\": {},\n  \"bit_identical\": true,\n  \
+        "{{\n  \"cpus\": {cpus},\n  \"worker_mode\": \"{worker_mode}\",\n  \"chunk_size\": {},\n  \
+         \"bit_identical\": true,\n  \
          \"speedup_2w\": {speedup_2:.3},\n  \"speedup_4w\": {speedup_4:.3},\n  \
          \"benchmarks\": [\n{bench_json}  ]\n}}\n",
         fabric.chunk_size
@@ -155,15 +278,16 @@ fn main() {
     eprintln!("wrote {}", args.out);
 
     // Scaling is a property of the machine as much as the fabric: on a
-    // single-core host the 4-worker fleet time-slices one CPU and no
-    // speedup is physically possible, so the expectation only binds where
-    // the hardware can express it.
-    if cpus >= 4 {
+    // single-core host the fleet time-slices one CPU and no speedup is
+    // physically possible. With real worker processes, two cores already
+    // suffice for the 4-worker fleet to beat one worker by well over 1.6×,
+    // so the expectation binds on any multi-core host.
+    if cpus >= 2 {
         assert!(
             speedup_4 >= 1.6,
             "4-worker speedup {speedup_4:.2} below 1.6x on a {cpus}-CPU host"
         );
     } else {
-        eprintln!("note: {cpus} CPU(s) available; speedup assertion requires >= 4");
+        eprintln!("note: {cpus} CPU(s) available; speedup assertion requires >= 2");
     }
 }

@@ -1,0 +1,168 @@
+//! Cross-ISA transfer experiment (`BENCH_6.json`).
+//!
+//! Trains a GLAIVE GraphSAGE on the ISA-A train/test benchmarks, then
+//! scores the ISA-B kernel suite — programs of a different machine, with a
+//! different encoding, register discipline and branch vocabulary — using
+//! nothing but the shared portable CDFG feature space. Each ISA-B kernel
+//! also gets its own exhaustive-ish FI campaign as ground truth, and the
+//! experiment reports how well the *transferred* model ranks ISA-B
+//! instructions: Spearman ρ between predicted and FI instruction
+//! vulnerability, plus top-10%/top-20% overlap of the protection sets.
+//!
+//! This goes beyond the paper's unseen-*program* transfer (Table III's
+//! validation column) to unseen-*machine* transfer; there is no paper
+//! number to match, so the JSON records the measurement rather than
+//! asserting a threshold — only sanity floors (finite metrics, non-empty
+//! campaigns) are enforced.
+//!
+//! Flags: `--out PATH` (default `BENCH_6.json`), `--quick` (or
+//! `GLAIVE_QUICK=1`) for a subsampled smoke run.
+
+use std::fmt::Write as _;
+
+use glaive::metrics::{spearman, top_k_overlap};
+use glaive::{aggregate_bit_probs, train_models, PipelineConfig};
+use glaive_bench::EXPERIMENT_SEED;
+use glaive_bench_suite::{rv_suite, RvKernel, Split};
+use glaive_cdfg::{Cdfg, FEATURE_DIM};
+use glaive_faultsim::Campaign;
+use glaive_nn::Matrix;
+
+struct Args {
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_6.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--quick" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+struct KernelRow {
+    name: &'static str,
+    instrs: usize,
+    covered: usize,
+    injections: usize,
+    spearman: f64,
+    top10: f64,
+    top20: f64,
+}
+
+/// Scores one ISA-B kernel with the ISA-A-trained model against its own FI
+/// ground truth, over the instructions the campaign covered.
+fn evaluate_kernel(
+    kernel: &RvKernel,
+    model: &glaive_gnn::GraphSage,
+    config: &PipelineConfig,
+) -> KernelRow {
+    let truth = Campaign::try_new(&kernel.program, &kernel.init_mem, config.campaign())
+        .expect("experiment campaign config is validated")
+        .run();
+    let fi = truth
+        .try_instruction_vulnerability()
+        .expect("campaign produced records");
+
+    let cdfg = Cdfg::build(&kernel.program, &config.cdfg());
+    let features = Matrix::from_vec(cdfg.node_count(), FEATURE_DIM, cdfg.feature_matrix());
+    let probs = model.predict_proba(&features, cdfg.preds_csr());
+    let predicted = aggregate_bit_probs(&cdfg, kernel.program.len(), &probs);
+
+    // Pair up scores over FI-covered instructions the model also scored
+    // (operand-less instructions have no graph nodes on either side).
+    let mut truth_scores = Vec::with_capacity(fi.len());
+    let mut pred_scores = Vec::with_capacity(fi.len());
+    for iv in &fi {
+        if let Some(Some(p)) = predicted.get(iv.pc) {
+            truth_scores.push(iv.tuple.ranking_key());
+            pred_scores.push(p.ranking_key());
+        }
+    }
+    let n = truth_scores.len();
+    let k10 = (n as f64 * 0.10).ceil() as usize;
+    let k20 = (n as f64 * 0.20).ceil() as usize;
+    KernelRow {
+        name: kernel.name,
+        instrs: kernel.program.len(),
+        covered: n,
+        injections: truth.total_injections(),
+        spearman: spearman(&truth_scores, &pred_scores),
+        top10: top_k_overlap(&truth_scores, &pred_scores, k10),
+        top20: top_k_overlap(&truth_scores, &pred_scores, k20),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let config = glaive_bench::experiment_config();
+
+    eprintln!(
+        "preparing ISA-A suite (seed {EXPERIMENT_SEED}, bit stride {}, {} instances/site)...",
+        config.bit_stride, config.instances_per_site
+    );
+    let suite = glaive::prepare_suite(EXPERIMENT_SEED, &config);
+    let train: Vec<_> = suite
+        .iter()
+        .filter(|d| d.bench.split == Split::TrainTest)
+        .collect();
+    eprintln!("training GLAIVE on {} ISA-A benchmarks...", train.len());
+    let models = train_models(&train, &config);
+    let model = models.glaive_model();
+
+    let kernels = rv_suite(EXPERIMENT_SEED);
+    let mut rows = Vec::new();
+    for k in &kernels {
+        eprintln!("{}: ISA-B campaign + transfer scoring...", k.name);
+        let row = evaluate_kernel(k, model, &config);
+        assert!(row.covered > 0, "{}: campaign covered nothing", row.name);
+        assert!(
+            row.spearman.is_finite() && row.top10.is_finite() && row.top20.is_finite(),
+            "{}: non-finite ranking metrics",
+            row.name
+        );
+        rows.push(row);
+    }
+
+    let n = rows.len() as f64;
+    let mean_rho: f64 = rows.iter().map(|r| r.spearman).sum::<f64>() / n;
+    let mean_top10: f64 = rows.iter().map(|r| r.top10).sum::<f64>() / n;
+    let mean_top20: f64 = rows.iter().map(|r| r.top20).sum::<f64>() / n;
+
+    println!("kernel\tinstrs\tcovered\tinjections\tspearman\ttop10\ttop20");
+    for r in &rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}",
+            r.name, r.instrs, r.covered, r.injections, r.spearman, r.top10, r.top20
+        );
+    }
+    println!("mean\t-\t-\t-\t{mean_rho:.3}\t{mean_top10:.3}\t{mean_top20:.3}");
+
+    let mut kernel_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            kernel_json,
+            "    {{\"name\": \"{}\", \"instrs\": {}, \"covered\": {}, \"injections\": {}, \
+             \"spearman\": {:.6}, \"top10_overlap\": {:.6}, \"top20_overlap\": {:.6}}}{sep}",
+            r.name, r.instrs, r.covered, r.injections, r.spearman, r.top10, r.top20
+        )
+        .expect("write to string");
+    }
+    let json = format!(
+        "{{\n  \"train_isa\": \"glaive\",\n  \"eval_isa\": \"rv\",\n  \"seed\": {EXPERIMENT_SEED},\n  \
+         \"bit_stride\": {},\n  \"instances_per_site\": {},\n  \
+         \"mean_spearman\": {mean_rho:.6},\n  \"mean_top10_overlap\": {mean_top10:.6},\n  \
+         \"mean_top20_overlap\": {mean_top20:.6},\n  \"kernels\": [\n{kernel_json}  ]\n}}\n",
+        config.bit_stride, config.instances_per_site
+    );
+    std::fs::write(&args.out, json).expect("write results");
+    eprintln!("wrote {}", args.out);
+}

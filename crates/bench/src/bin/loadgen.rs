@@ -84,7 +84,8 @@ fn main() {
     // load test, but the forward-pass cost matches a trained model of the
     // same architecture, and determinism is what the bit-identity check
     // needs.
-    let model = GraphSage::new(FEATURE_DIM, &SageConfig::default());
+    let model =
+        GraphSage::try_new(FEATURE_DIM, &SageConfig::default()).expect("valid model config");
 
     eprintln!("computing serial references for the suite...");
     let references: Vec<Reference> = suite(EXPERIMENT_SEED)

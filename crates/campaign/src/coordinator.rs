@@ -116,8 +116,9 @@ impl Scheduler {
 
 /// A distributed fault-injection campaign coordinator.
 ///
-/// Construction mirrors [`Campaign::new`]; [`Coordinator::run`] drives the
-/// campaign over a listener instead of an in-process thread pool.
+/// Construction mirrors [`Campaign::try_new`]; [`Coordinator::run`]
+/// drives the campaign over a listener instead of an in-process thread
+/// pool.
 pub struct Coordinator<'p> {
     program: &'p Program,
     init_mem: &'p [u64],
@@ -128,19 +129,35 @@ pub struct Coordinator<'p> {
 impl<'p> Coordinator<'p> {
     /// Creates a coordinator for `program` with the given input image.
     /// `config.threads` is ignored — parallelism comes from the fleet.
-    pub fn new(
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InvalidConfig`] for a zero `chunk_size` or
+    /// `retry_ms`, or a zero-length lease (which would instantly expire
+    /// every assignment).
+    pub fn try_new(
         program: &'p Program,
         init_mem: &'p [u64],
         config: CampaignConfig,
         fabric: FabricConfig,
-    ) -> Self {
-        assert!(fabric.chunk_size >= 1, "chunk_size must be at least 1");
-        Coordinator {
+    ) -> Result<Self, FabricError> {
+        if fabric.chunk_size < 1 {
+            return Err(FabricError::InvalidConfig {
+                field: "chunk_size",
+            });
+        }
+        if fabric.lease.is_zero() {
+            return Err(FabricError::InvalidConfig { field: "lease" });
+        }
+        if fabric.retry_ms < 1 {
+            return Err(FabricError::InvalidConfig { field: "retry_ms" });
+        }
+        Ok(Coordinator {
             program,
             init_mem,
             config,
             fabric,
-        }
+        })
     }
 
     /// Runs the distributed campaign over `listener` until every chunk is
@@ -163,8 +180,8 @@ impl<'p> Coordinator<'p> {
         ctrl: &RunControl<'_>,
     ) -> Result<GroundTruth, FabricError> {
         let name = self.program.name().to_string();
-        let plan = Campaign::new(self.program, self.init_mem, self.config)
-            .plan()
+        let plan = Campaign::try_new(self.program, self.init_mem, self.config)
+            .and_then(|campaign| campaign.plan())
             .map_err(FabricError::Campaign)?;
         let total = plan.specs.len();
         let n_chunks = total.div_ceil(self.fabric.chunk_size.max(1));
@@ -342,7 +359,7 @@ fn handle_connection(
     finished: &AtomicBool,
     interrupt: &Mutex<Option<InterruptReason>>,
     plan: &CampaignPlan,
-    welcome: &[u8],
+    welcome: &glaive_wire::Frame,
     fabric: FabricConfig,
     total: usize,
     ctrl: &RunControl<'_>,

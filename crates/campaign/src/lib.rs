@@ -33,7 +33,7 @@
 //! let p = asm.finish()?;
 //!
 //! let config = CampaignConfig::quick();
-//! let serial = Campaign::new(&p, &[], config).run();
+//! let serial = Campaign::try_new(&p, &[], config)?.run();
 //! let distributed = run_distributed(
 //!     &p,
 //!     &[],
@@ -44,7 +44,7 @@
 //! )
 //! .expect("fabric completes");
 //! assert_eq!(serial.to_bytes(), distributed.to_bytes());
-//! # Ok::<(), glaive_isa::AsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use std::fmt;
@@ -69,6 +69,11 @@ pub use worker::{run_worker, run_worker_on, WorkerReport};
 /// end's transport.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FabricError {
+    /// A [`FabricConfig`] field or fleet parameter is out of range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+    },
     /// The underlying campaign failed or was interrupted (checkpoint
     /// already saved where configured).
     Campaign(CampaignError),
@@ -96,6 +101,9 @@ pub enum FabricError {
 impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FabricError::InvalidConfig { field } => {
+                write!(f, "invalid fabric config: `{field}` must be at least 1")
+            }
             FabricError::Campaign(e) => write!(f, "campaign failed: {e}"),
             FabricError::Protocol(e) => write!(f, "protocol violation: {e}"),
             FabricError::Io(e) => write!(f, "fabric transport error: {e}"),
@@ -144,7 +152,10 @@ pub fn run_distributed(
     workers: usize,
     ctrl: &RunControl<'_>,
 ) -> Result<GroundTruth, FabricError> {
-    assert!(workers >= 1, "a fabric needs at least one worker");
+    if workers < 1 {
+        return Err(FabricError::InvalidConfig { field: "workers" });
+    }
+    let coordinator = Coordinator::try_new(program, init_mem, config, fabric)?;
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| FabricError::Io(e.to_string()))?;
     let addr = listener
         .local_addr()
@@ -159,6 +170,6 @@ pub fn run_distributed(
                 let _ = run_worker(&addr, &format!("inproc-{i}"), None);
             });
         }
-        Coordinator::new(program, init_mem, config, fabric).run(listener, ctrl)
+        coordinator.run(listener, ctrl)
     })
 }

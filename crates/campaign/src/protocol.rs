@@ -30,9 +30,11 @@
 use glaive_faultsim::{BitSite, CampaignConfig, InjectionRecord};
 use glaive_isa::{Instr, Program, INSTR_ENCODING_LEN};
 use glaive_sim::{OperandSlot, Outcome};
-use glaive_wire::{put_str, put_u32, put_u64, seal, Reader};
+use glaive_wire::Reader;
 
-pub use glaive_wire::{fnv1a, read_frame, write_frame, ProtocolError, MAX_FRAME_LEN};
+pub use glaive_wire::{
+    fnv1a, read_frame, write_frame, Frame, FrameBuilder, ProtocolError, MAX_FRAME_LEN,
+};
 
 /// Magic + format version of every campaign-fabric frame.
 pub const MAGIC: &[u8; 8] = b"GLVCMP01";
@@ -175,21 +177,15 @@ fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
     glaive_wire::open(payload, MAGIC)
 }
 
-fn put_record(out: &mut Vec<u8>, rec: &InjectionRecord) {
-    put_u64(out, rec.site.pc as u64);
+fn put_record(b: &mut FrameBuilder, rec: &InjectionRecord) {
+    b.u64(rec.site.pc as u64);
     match rec.site.slot {
-        OperandSlot::Use(i) => {
-            out.push(0);
-            put_u64(out, i as u64);
-        }
-        OperandSlot::Def(i) => {
-            out.push(1);
-            put_u64(out, i as u64);
-        }
-    }
-    out.push(rec.site.bit);
-    put_u64(out, rec.instance);
-    out.push(rec.outcome.label() as u8);
+        OperandSlot::Use(i) => b.u8(0).u64(i as u64),
+        OperandSlot::Def(i) => b.u8(1).u64(i as u64),
+    };
+    b.u8(rec.site.bit)
+        .u64(rec.instance)
+        .u8(rec.outcome.label() as u8);
 }
 
 fn read_record(r: &mut Reader<'_>) -> Result<InjectionRecord, ProtocolError> {
@@ -214,36 +210,35 @@ fn read_record(r: &mut Reader<'_>) -> Result<InjectionRecord, ProtocolError> {
 }
 
 impl ToCoordinator {
-    /// Serialises into a sealed payload ([`write_frame`] adds the length
-    /// prefix).
-    pub fn to_frame(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(MAGIC);
+    /// Serialises into a sealed [`Frame`] ([`write_frame`] adds the
+    /// length prefix).
+    pub fn to_frame(&self) -> Frame {
+        let mut b = FrameBuilder::new(MAGIC);
         match self {
             ToCoordinator::Hello { worker } => {
-                out.push(OP_HELLO);
-                put_str(&mut out, worker);
+                b.u8(OP_HELLO).str(worker);
             }
-            ToCoordinator::Fetch => out.push(OP_FETCH),
+            ToCoordinator::Fetch => {
+                b.u8(OP_FETCH);
+            }
             ToCoordinator::Heartbeat { chunk } => {
-                out.push(OP_HEARTBEAT);
-                put_u64(&mut out, *chunk);
+                b.u8(OP_HEARTBEAT).u64(*chunk);
             }
             ToCoordinator::Complete {
                 chunk,
                 sub_seed,
                 records,
             } => {
-                out.push(OP_COMPLETE);
-                put_u64(&mut out, *chunk);
-                put_u64(&mut out, *sub_seed);
-                put_u32(&mut out, records.len() as u32);
+                b.u8(OP_COMPLETE)
+                    .u64(*chunk)
+                    .u64(*sub_seed)
+                    .u32(records.len() as u32);
                 for rec in records {
-                    put_record(&mut out, rec);
+                    put_record(&mut b, rec);
                 }
             }
         }
-        seal(out)
+        b.seal()
     }
 
     /// Decodes a sealed worker→coordinator payload.
@@ -285,51 +280,52 @@ impl ToCoordinator {
 }
 
 impl ToWorker {
-    /// Serialises into a sealed payload ([`write_frame`] adds the length
-    /// prefix).
-    pub fn to_frame(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(MAGIC);
+    /// Serialises into a sealed [`Frame`] ([`write_frame`] adds the
+    /// length prefix).
+    pub fn to_frame(&self) -> Frame {
+        let mut b = FrameBuilder::new(MAGIC);
         match self {
             ToWorker::Welcome(job) => {
-                out.push(OP_R_WELCOME);
-                put_u64(&mut out, job.fingerprint);
-                put_u64(&mut out, job.total);
-                put_u64(&mut out, job.bit_stride);
-                put_u64(&mut out, job.instances_per_site);
-                put_u64(&mut out, job.hang_factor);
-                out.push(job.predict_dead_defs as u8);
-                put_str(&mut out, job.program.name());
-                put_u64(&mut out, job.program.mem_words() as u64);
-                put_u32(&mut out, job.program.len() as u32);
+                b.u8(OP_R_WELCOME)
+                    .u64(job.fingerprint)
+                    .u64(job.total)
+                    .u64(job.bit_stride)
+                    .u64(job.instances_per_site)
+                    .u64(job.hang_factor)
+                    .u8(job.predict_dead_defs as u8)
+                    .str(job.program.name())
+                    .u64(job.program.mem_words() as u64)
+                    .u32(job.program.len() as u32);
                 for instr in job.program.instrs() {
-                    out.extend_from_slice(&instr.encode());
+                    b.raw(&instr.encode());
                 }
-                put_u32(&mut out, job.init_mem.len() as u32);
+                b.u32(job.init_mem.len() as u32);
                 for &w in &job.init_mem {
-                    put_u64(&mut out, w);
+                    b.u64(w);
                 }
             }
             ToWorker::Assign(a) => {
-                out.push(OP_R_ASSIGN);
-                put_u64(&mut out, a.chunk);
-                put_u64(&mut out, a.start);
-                put_u64(&mut out, a.len);
-                put_u64(&mut out, a.sub_seed);
-                put_u64(&mut out, a.lease_ms);
+                b.u8(OP_R_ASSIGN)
+                    .u64(a.chunk)
+                    .u64(a.start)
+                    .u64(a.len)
+                    .u64(a.sub_seed)
+                    .u64(a.lease_ms);
             }
             ToWorker::Wait { retry_ms } => {
-                out.push(OP_R_WAIT);
-                put_u64(&mut out, *retry_ms);
+                b.u8(OP_R_WAIT).u64(*retry_ms);
             }
-            ToWorker::Done => out.push(OP_R_DONE),
-            ToWorker::Ack => out.push(OP_R_ACK),
+            ToWorker::Done => {
+                b.u8(OP_R_DONE);
+            }
+            ToWorker::Ack => {
+                b.u8(OP_R_ACK);
+            }
             ToWorker::Error { message } => {
-                out.push(OP_R_ERROR);
-                put_str(&mut out, message);
+                b.u8(OP_R_ERROR).str(message);
             }
         }
-        seal(out)
+        b.seal()
     }
 
     /// Decodes a sealed coordinator→worker payload.
@@ -516,7 +512,10 @@ mod tests {
     fn worker_frames_roundtrip() {
         for msg in sample_to_coordinator() {
             let frame = msg.to_frame();
-            assert_eq!(ToCoordinator::from_frame(&frame).expect("roundtrip"), msg);
+            assert_eq!(
+                ToCoordinator::from_frame(frame.bytes()).expect("roundtrip"),
+                msg
+            );
         }
     }
 
@@ -524,7 +523,7 @@ mod tests {
     fn coordinator_frames_roundtrip() {
         for msg in sample_to_worker() {
             let frame = msg.to_frame();
-            assert_eq!(ToWorker::from_frame(&frame).expect("roundtrip"), msg);
+            assert_eq!(ToWorker::from_frame(frame.bytes()).expect("roundtrip"), msg);
         }
     }
 
@@ -532,11 +531,11 @@ mod tests {
     fn foreign_magic_is_rejected() {
         let frame = ToCoordinator::Fetch.to_frame();
         assert_eq!(
-            ToWorker::from_frame(&frame[..7]),
+            ToWorker::from_frame(&frame.bytes()[..7]),
             Err(ProtocolError::Truncated)
         );
         // A GLVSRV01-style prefix is a different protocol, not garbage.
-        let mut other = frame.clone();
+        let mut other = frame.into_bytes();
         other[..8].copy_from_slice(b"GLVSRV01");
         assert_eq!(
             ToCoordinator::from_frame(&other),
@@ -546,21 +545,20 @@ mod tests {
 
     #[test]
     fn dangling_branch_target_in_welcome_is_typed_error() {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(OP_R_WELCOME);
+        let mut b = FrameBuilder::new(MAGIC);
+        b.u8(OP_R_WELCOME);
         for v in [1u64, 128, 8, 1, 4] {
-            put_u64(&mut out, v);
+            b.u64(v);
         }
-        out.push(1); // predict_dead_defs
-        put_str(&mut out, "evil");
-        put_u64(&mut out, 4); // mem_words
-        put_u32(&mut out, 1); // instruction count
-        out.extend_from_slice(&Instr::Jump { target: 1000 }.encode());
-        put_u32(&mut out, 0); // init_mem
-        let frame = seal(out);
+        b.u8(1) // predict_dead_defs
+            .str("evil")
+            .u64(4) // mem_words
+            .u32(1) // instruction count
+            .raw(&Instr::Jump { target: 1000 }.encode())
+            .u32(0); // init_mem
+        let frame = b.seal();
         assert_eq!(
-            ToWorker::from_frame(&frame),
+            ToWorker::from_frame(frame.bytes()),
             Err(ProtocolError::Corrupt("branch/jump target out of range"))
         );
     }

@@ -85,7 +85,8 @@ pub fn run_worker_on(
 
     // Rebuild the plan independently and cross-check it. A worker that
     // would disagree about what spec index `i` means must refuse the job.
-    let campaign = Campaign::new(&job.program, &job.init_mem, job.config());
+    let campaign = Campaign::try_new(&job.program, &job.init_mem, job.config())
+        .map_err(FabricError::Campaign)?;
     let plan = campaign.plan().map_err(FabricError::Campaign)?;
     if plan.fingerprint != job.fingerprint || plan.specs.len() as u64 != job.total {
         return Err(FabricError::PlanMismatch {

@@ -129,7 +129,9 @@ where
                 deadline: Some(std::time::Instant::now() + Duration::from_secs(120)),
                 ..RunControl::new()
             };
-            Coordinator::new(program, &[], config, fabric).run(listener, &ctrl)
+            Coordinator::try_new(program, &[], config, fabric)
+                .expect("valid fabric config")
+                .run(listener, &ctrl)
         });
         scenario(&addr);
         coord.join().expect("coordinator thread")
@@ -139,7 +141,9 @@ where
 #[test]
 fn two_workers_match_serial_bit_for_bit() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
     let distributed = run_distributed(&p, &[], config(), fabric(), 2, &RunControl::new())
         .expect("fabric completes");
     assert_eq!(serial.to_bytes(), distributed.to_bytes());
@@ -152,7 +156,9 @@ fn two_workers_match_serial_bit_for_bit() {
 #[test]
 fn worker_death_mid_chunk_reroutes_and_stays_bit_identical() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
     let truth = with_coordinator(&p, config(), fabric(), |addr| {
         // A worker takes a chunk and dies holding the lease: the dropped
         // connection must release the chunk immediately.
@@ -173,8 +179,10 @@ fn worker_death_mid_chunk_reroutes_and_stays_bit_identical() {
 #[test]
 fn lease_expiry_reassigns_the_chunk_to_the_same_connection() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
-    let campaign = Campaign::new(&p, &[], config());
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let plan = campaign.plan().expect("plan");
     let short_lease = FabricConfig {
         lease: Duration::from_millis(50),
@@ -225,8 +233,10 @@ fn lease_expiry_reassigns_the_chunk_to_the_same_connection() {
 #[test]
 fn duplicate_completion_is_acknowledged_and_merged_once() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
-    let campaign = Campaign::new(&p, &[], config());
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let plan = campaign.plan().expect("plan");
     let truth = with_coordinator(&p, config(), fabric(), |addr| {
         let mut w = HandWorker::connect(addr);
@@ -255,8 +265,10 @@ fn duplicate_completion_is_acknowledged_and_merged_once() {
 #[test]
 fn malformed_completions_are_rejected_with_typed_errors_not_panics() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
-    let campaign = Campaign::new(&p, &[], config());
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let plan = campaign.plan().expect("plan");
     let truth = with_coordinator(&p, config(), fabric(), |addr| {
         // Wrong sub-seed: a completion from some other campaign.
@@ -346,7 +358,7 @@ impl CampaignProgress for CancelAt<'_> {
 #[test]
 fn interrupted_distributed_campaign_resumes_serially_bit_identically() {
     let p = sum_program();
-    let campaign = Campaign::new(&p, &[], config());
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let uninterrupted = campaign.run();
     let total = uninterrupted.total_injections();
     assert!(total > 256, "need enough work to interrupt mid-way");
@@ -396,7 +408,7 @@ fn interrupted_distributed_campaign_resumes_serially_bit_identically() {
 #[test]
 fn interrupted_serial_campaign_resumes_distributed_bit_identically() {
     let p = sum_program();
-    let campaign = Campaign::new(&p, &[], config());
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let uninterrupted = campaign.run();
     let total = uninterrupted.total_injections();
 
@@ -435,7 +447,9 @@ fn interrupted_serial_campaign_resumes_distributed_bit_identically() {
 #[test]
 fn four_workers_match_serial_bit_for_bit() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
     let distributed = run_distributed(
         &p,
         &[],
@@ -454,8 +468,10 @@ fn four_workers_match_serial_bit_for_bit() {
 #[test]
 fn heartbeat_keeps_a_slow_chunk_leased() {
     let p = sum_program();
-    let serial = Campaign::new(&p, &[], config()).run();
-    let campaign = Campaign::new(&p, &[], config());
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
     let plan = campaign.plan().expect("plan");
     let lease = Duration::from_millis(300);
     let truth = with_coordinator(&p, config(), FabricConfig { lease, ..fabric() }, |addr| {
@@ -515,8 +531,11 @@ fn heartbeat_keeps_a_slow_chunk_leased() {
 #[test]
 fn sub_seeds_are_bound_to_the_campaign_fingerprint() {
     let p = sum_program();
-    let plan = Campaign::new(&p, &[], config()).plan().expect("plan");
-    let other = Campaign::new(
+    let plan = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .plan()
+        .expect("plan");
+    let other = Campaign::try_new(
         &p,
         &[],
         CampaignConfig {
@@ -524,6 +543,7 @@ fn sub_seeds_are_bound_to_the_campaign_fingerprint() {
             ..config()
         },
     )
+    .expect("valid config")
     .plan()
     .expect("plan");
     assert_ne!(plan.fingerprint, other.fingerprint);

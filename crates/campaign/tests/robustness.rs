@@ -59,7 +59,7 @@ fn sample_records() -> Vec<InjectionRecord> {
 }
 
 fn worker_frames() -> Vec<Vec<u8>> {
-    vec![
+    let frames = vec![
         ToCoordinator::Hello {
             worker: "robustness".into(),
         }
@@ -72,11 +72,15 @@ fn worker_frames() -> Vec<Vec<u8>> {
             records: sample_records(),
         }
         .to_frame(),
-    ]
+    ];
+    frames
+        .into_iter()
+        .map(glaive_wire::Frame::into_bytes)
+        .collect()
 }
 
 fn coordinator_frames() -> Vec<Vec<u8>> {
-    vec![
+    let frames = vec![
         ToWorker::Welcome(CampaignJob {
             fingerprint: 0xfeed_f00d_dead_beef,
             total: 4096,
@@ -103,7 +107,11 @@ fn coordinator_frames() -> Vec<Vec<u8>> {
             message: "sub-seed mismatch for chunk 12".into(),
         }
         .to_frame(),
-    ]
+    ];
+    frames
+        .into_iter()
+        .map(glaive_wire::Frame::into_bytes)
+        .collect()
 }
 
 /// Any single flipped byte — magic, opcode, body, or checksum — must yield
@@ -171,12 +179,14 @@ fn every_truncation_is_rejected() {
 /// decoder (and vice versa) is a `BadMagic`, not a misparse.
 #[test]
 fn cross_protocol_frames_are_bad_magic() {
-    let mut frame = ToCoordinator::Fetch.to_frame();
-    frame[..8].copy_from_slice(b"GLVSRV01");
-    frame.truncate(frame.len() - 8);
-    let reframed = glaive_wire::seal(frame);
+    // Build a *validly sealed* frame under the foreign magic — the sealed
+    // builder API happily signs for other protocols; what it cannot do is
+    // emit an unchecksummed payload.
+    let mut b = glaive_wire::FrameBuilder::new(b"GLVSRV01");
+    b.u8(0x02);
+    let reframed = b.seal();
     assert_eq!(
-        ToCoordinator::from_frame(&reframed),
+        ToCoordinator::from_frame(reframed.bytes()),
         Err(glaive_wire::ProtocolError::BadMagic)
     );
 }

@@ -9,7 +9,7 @@
 //! Instruction-level features (for RF-INST and SVM-INST): the opcode and
 //! opcode-type one-hots only, as in the paper.
 
-use glaive_isa::{Opcode, OpcodeClass, Program, NUM_REGS, WORD_BITS};
+use glaive_isa::{Isa, Opcode, OpcodeClass, Program, NUM_REGS, WORD_BITS};
 
 use crate::graph::{BitNode, Cdfg};
 
@@ -30,9 +30,9 @@ impl Cdfg {
         assert_eq!(out.len(), FEATURE_DIM, "feature buffer has wrong length");
         out.fill(0.0);
         let mut base = 0;
-        out[base + node.opcode.index()] = 1.0;
+        out[base + node.opcode_index as usize] = 1.0;
         base += Opcode::COUNT;
-        out[base + node.opcode.class().index()] = 1.0;
+        out[base + node.class.index()] = 1.0;
         base += OpcodeClass::ALL.len();
         out[base + node.reg.index()] = 1.0;
         base += NUM_REGS;
@@ -57,14 +57,14 @@ impl Cdfg {
 }
 
 /// Instruction-level feature matrix (`program.len() × INSTR_FEATURE_DIM`),
-/// row-major: opcode one-hot followed by opcode-class one-hot.
-pub fn instruction_features(program: &Program) -> Vec<f32> {
+/// row-major: opcode one-hot followed by opcode-class one-hot, using the
+/// canonical opcode vocabulary for any instruction-set backend.
+pub fn instruction_features<I: Isa>(program: &Program<I>) -> Vec<f32> {
     let mut m = vec![0.0f32; program.len() * INSTR_FEATURE_DIM];
     for (pc, instr) in program.instrs().iter().enumerate() {
         let row = &mut m[pc * INSTR_FEATURE_DIM..(pc + 1) * INSTR_FEATURE_DIM];
-        let op = instr.opcode();
-        row[op.index()] = 1.0;
-        row[Opcode::COUNT + op.class().index()] = 1.0;
+        row[I::opcode_index(instr)] = 1.0;
+        row[Opcode::COUNT + I::opcode_class(instr).index()] = 1.0;
     }
     m
 }

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 
 use glaive_graph::{CsrGraph, EdgeKind};
-use glaive_isa::{Opcode, OperandSlot, Program, Reg, WORD_BITS};
+use glaive_isa::{Isa, OpcodeClass, OperandSlot, Program, Reg, WORD_BITS};
 
 use crate::analysis::{control_deps, def_use_chains, memory_deps};
 
@@ -34,6 +34,12 @@ impl CdfgConfig {
 
 /// One node of the bit-level CDFG: bit `bit` of the register in operand
 /// `slot` of instruction `pc`.
+///
+/// Nodes carry only the *portable* feature vocabulary (canonical opcode
+/// index, opcode class, register, bit, float flag) rather than any
+/// backend's concrete opcode type — a CDFG built from an ISA-B program is
+/// indistinguishable in shape from an ISA-A one, which is what makes
+/// cross-ISA model transfer possible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitNode {
     /// Static instruction index.
@@ -44,8 +50,11 @@ pub struct BitNode {
     pub bit: u8,
     /// The architectural register in that slot.
     pub reg: Reg,
-    /// The instruction's opcode (carried for feature extraction).
-    pub opcode: Opcode,
+    /// Index into the canonical opcode vocabulary
+    /// ([`Isa::opcode_index`]; `< Opcode::COUNT`).
+    pub opcode_index: u16,
+    /// The instruction's coarse class in the shared Table-I taxonomy.
+    pub class: OpcodeClass,
     /// Whether the instruction interprets registers as `f64`.
     pub is_float: bool,
 }
@@ -94,12 +103,14 @@ pub struct Cdfg {
 }
 
 impl Cdfg {
-    /// Builds the bit-level CDFG of `program`.
+    /// Builds the bit-level CDFG of `program`, for any instruction-set
+    /// backend. The resulting graph carries only portable node features —
+    /// the ISA parameter does not survive into the `Cdfg` type.
     ///
     /// # Panics
     ///
     /// Panics if `config.bit_stride` is 0 or greater than the word width.
-    pub fn build(program: &Program, config: &CdfgConfig) -> Cdfg {
+    pub fn build<I: Isa>(program: &Program<I>, config: &CdfgConfig) -> Cdfg {
         assert!(
             (1..=WORD_BITS).contains(&config.bit_stride),
             "bit_stride must be in 1..={WORD_BITS}"
@@ -113,8 +124,9 @@ impl Cdfg {
         let mut nodes = Vec::new();
         let mut index = HashMap::new();
         for (pc, instr) in program.instrs().iter().enumerate() {
-            let opcode = instr.opcode();
-            let is_float = instr.is_float();
+            let opcode_index = I::opcode_index(instr) as u16;
+            let class = I::opcode_class(instr);
+            let is_float = I::is_float(instr);
             let mut push = |slot: OperandSlot, reg: Reg| {
                 for &bit in &bits {
                     index.insert((pc, slot, bit), nodes.len() as u32);
@@ -123,15 +135,16 @@ impl Cdfg {
                         slot,
                         bit,
                         reg,
-                        opcode,
+                        opcode_index,
+                        class,
                         is_float,
                     });
                 }
             };
-            for (i, &reg) in instr.uses().iter().enumerate() {
+            for (i, &reg) in I::uses(instr).iter().enumerate() {
                 push(OperandSlot::Use(i), reg);
             }
-            for (i, &reg) in instr.defs().iter().enumerate() {
+            for (i, &reg) in I::defs(instr).iter().enumerate() {
                 push(OperandSlot::Def(i), reg);
             }
         }
@@ -144,10 +157,10 @@ impl Cdfg {
 
         // 1. Intra-instruction: every source bit → every destination bit.
         for (pc, instr) in program.instrs().iter().enumerate() {
-            if instr.defs().is_empty() {
+            if I::defs(instr).is_empty() {
                 continue;
             }
-            for (si, _) in instr.uses().iter().enumerate() {
+            for (si, _) in I::uses(instr).iter().enumerate() {
                 for &sb in &bits {
                     let from = index[&(pc, OperandSlot::Use(si), sb)];
                     for &db in &bits {
@@ -175,12 +188,12 @@ impl Cdfg {
         for (branch_pc, dep_pc) in control_deps(program) {
             let branch = &program.instrs()[branch_pc];
             let dep = &program.instrs()[dep_pc];
-            let dep_slots: Vec<OperandSlot> = if dep.defs().is_empty() {
-                (0..dep.uses().len()).map(OperandSlot::Use).collect()
+            let dep_slots: Vec<OperandSlot> = if I::defs(dep).is_empty() {
+                (0..I::uses(dep).len()).map(OperandSlot::Use).collect()
             } else {
                 vec![OperandSlot::Def(0)]
             };
-            for (ui, _) in branch.uses().iter().enumerate() {
+            for (ui, _) in I::uses(branch).iter().enumerate() {
                 for &b in &bits {
                     let from = index[&(branch_pc, OperandSlot::Use(ui), b)];
                     for &slot in &dep_slots {
@@ -416,7 +429,8 @@ mod tests {
         let out_use = g.node_id(2, OperandSlot::Use(0), 0).expect("exists");
         let node = g.nodes()[out_use as usize];
         assert_eq!(node.reg, Reg(2));
-        assert_eq!(node.opcode, Opcode::Out);
+        assert_eq!(node.opcode_index, glaive_isa::Opcode::Out.index() as u16);
+        assert_eq!(node.class, OpcodeClass::Output);
         assert!(!node.is_float);
     }
 

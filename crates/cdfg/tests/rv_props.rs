@@ -1,0 +1,217 @@
+//! Property tests for CDFG construction over ISA-B ([`RvIsa`]) programs:
+//! the same invariants `props.rs` checks for ISA-A must hold for the second
+//! backend — every edge justified by the static analyses, adjacency views
+//! mutually consistent, node counts exactly (slots × sampled bits) — both
+//! on randomly generated programs and on the real `rv_suite` kernels the
+//! cross-ISA experiment evaluates.
+
+use glaive_bench_suite::rv_suite;
+use glaive_cdfg::analysis::{control_deps, def_use_chains, memory_deps};
+use glaive_cdfg::{Cdfg, CdfgConfig};
+use glaive_isa::{Isa, OperandSlot, Program, Reg, RvAluOp, RvAsm, RvBranchCond, RvImmOp, RvIsa};
+
+const CASES: u64 = 32;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn body(&mut self, max_len: u64) -> Vec<(u8, u8, u8, u8)> {
+        (0..self.below(max_len))
+            .map(|_| {
+                (
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                    self.next() as u8,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Generates a structurally valid random ISA-B program: a prologue of
+/// constant loads, a body of ALU / memory ops / forward branches, and an
+/// `ecall`/`ebreak` epilogue. All branches jump forward, so dataflow is
+/// single-pass. `x0` is used as the (hardwired-zero) memory base.
+fn build_program(body: &[(u8, u8, u8, u8)]) -> Program<RvIsa> {
+    let mut asm = RvAsm::new("rv_prop");
+    asm.set_mem_words(64);
+    let regs = 6u8;
+    for r in 0..regs {
+        asm.li(Reg(r + 5), i32::from(r) * 3 + 1);
+    }
+    let end = asm.label();
+    for &(kind, a, b, c) in body {
+        let ra = Reg(5 + a % regs);
+        let rb = Reg(5 + b % regs);
+        let rc = Reg(5 + c % regs);
+        match kind % 7 {
+            0 => {
+                asm.alu(RvAluOp::ALL[c as usize % RvAluOp::ALL.len()], ra, rb, rc);
+            }
+            1 => {
+                asm.alu_imm(
+                    RvImmOp::ALL[c as usize % RvImmOp::ALL.len()],
+                    ra,
+                    rb,
+                    i32::from(c % 16),
+                );
+            }
+            2 => {
+                asm.sd(ra, Reg(0), i32::from(c % 32));
+            }
+            3 => {
+                asm.ld(ra, Reg(0), i32::from(c % 32));
+            }
+            4 => {
+                asm.branch(
+                    RvBranchCond::ALL[c as usize % RvBranchCond::ALL.len()],
+                    ra,
+                    rb,
+                    end,
+                );
+            }
+            5 => {
+                asm.mv(ra, rb);
+            }
+            _ => {
+                asm.addi(ra, rb, i32::from(c % 8));
+            }
+        }
+    }
+    asm.bind(end).mv(Reg(10), Reg(5)).ecall().ebreak();
+    asm.finish().expect("labels resolve")
+}
+
+/// Checks the full edge-justification invariant on one built graph.
+fn assert_edges_justified(p: &Program<RvIsa>, g: &Cdfg) {
+    let chains = def_use_chains(p);
+    let cdeps = control_deps(p);
+    let mdeps = memory_deps(p);
+    for to in 0..g.node_count() as u32 {
+        let tn = g.nodes()[to as usize];
+        for &from in g.preds(to) {
+            let fnode = g.nodes()[from as usize];
+            let ok_intra = fnode.pc == tn.pc && fnode.slot.is_use() && tn.slot.is_def();
+            let ok_data = fnode.slot.is_def()
+                && tn.slot.is_use()
+                && fnode.bit == tn.bit
+                && chains.iter().any(|e| {
+                    e.def_pc == fnode.pc
+                        && e.use_pc == tn.pc
+                        && OperandSlot::Use(e.use_slot) == tn.slot
+                });
+            let ok_control = fnode.bit == tn.bit && cdeps.contains(&(fnode.pc, tn.pc));
+            let ok_memory = fnode.bit == tn.bit
+                && fnode.slot == OperandSlot::Use(0)
+                && tn.slot == OperandSlot::Def(0)
+                && mdeps.contains(&(fnode.pc, tn.pc));
+            assert!(
+                ok_intra || ok_data || ok_control || ok_memory,
+                "unjustified edge {fnode:?} -> {tn:?}"
+            );
+        }
+    }
+}
+
+/// Checks that pred/succ adjacency views agree on one built graph.
+fn assert_adjacency_agrees(g: &Cdfg) {
+    for v in 0..g.node_count() as u32 {
+        for &u in g.preds(v) {
+            assert!(g.succs(u).contains(&v));
+        }
+        for &w in g.succs(v) {
+            assert!(g.preds(w).contains(&v));
+        }
+    }
+}
+
+/// Node count is exactly (operand slots × sampled bits) for ISA-B too.
+#[test]
+fn node_count_matches_slots() {
+    let mut rng = Rng(31);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(25));
+        let stride = [8usize, 16, 32, 64][rng.below(4) as usize];
+        let g = Cdfg::build(&p, &CdfgConfig { bit_stride: stride });
+        let slots: usize = p
+            .instrs()
+            .iter()
+            .map(|i| RvIsa::uses(i).len() + RvIsa::defs(i).len())
+            .sum();
+        assert_eq!(g.node_count(), slots * (64 / stride));
+    }
+}
+
+/// Every inter-instruction edge is justified by one of the analyses.
+#[test]
+fn edges_are_justified() {
+    let mut rng = Rng(32);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(20));
+        let g = Cdfg::build(&p, &CdfgConfig { bit_stride: 32 });
+        assert_edges_justified(&p, &g);
+    }
+}
+
+/// pred/succ adjacency views are mutually consistent.
+#[test]
+fn adjacency_views_agree() {
+    let mut rng = Rng(33);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(20));
+        let g = Cdfg::build(&p, &CdfgConfig { bit_stride: 16 });
+        assert_adjacency_agrees(&g);
+    }
+}
+
+/// With only forward branches, def-use chains never flow backwards.
+#[test]
+fn forward_only_programs_have_forward_dataflow() {
+    let mut rng = Rng(34);
+    for _ in 0..CASES {
+        let p = build_program(&rng.body(20));
+        for e in def_use_chains(&p) {
+            assert!(
+                e.def_pc < e.use_pc,
+                "backward chain {} -> {}",
+                e.def_pc,
+                e.use_pc
+            );
+        }
+    }
+}
+
+/// The real cross-ISA evaluation kernels (loops and all) satisfy every
+/// graph invariant at every bit stride the pipeline uses.
+#[test]
+fn rv_suite_kernels_satisfy_all_invariants() {
+    for k in rv_suite(7) {
+        for stride in [8usize, 16] {
+            let g = Cdfg::build(&k.program, &CdfgConfig { bit_stride: stride });
+            let slots: usize = k
+                .program
+                .instrs()
+                .iter()
+                .map(|i| RvIsa::uses(i).len() + RvIsa::defs(i).len())
+                .sum();
+            assert_eq!(g.node_count(), slots * (64 / stride), "{}", k.name);
+            assert!(g.node_count() > 0, "{} produced an empty graph", k.name);
+            assert_edges_justified(&k.program, &g);
+            assert_adjacency_agrees(&g);
+        }
+    }
+}

@@ -295,7 +295,8 @@ fn cmd_campaign(name: &str, flags: &Flags) -> CliResult {
         checkpoint: sink.as_ref().map(|s| s as &dyn CheckpointSink),
         checkpoint_interval: 4096,
     };
-    let campaign = Campaign::new(b.program(), &b.init_mem, config);
+    let campaign = Campaign::try_new(b.program(), &b.init_mem, config)
+        .map_err(|e| format!("invalid campaign parameters: {e}"))?;
     let truth = campaign.run_supervised(&ctrl).map_err(|e| {
         if matches!(e, glaive_faultsim::CampaignError::Interrupted { .. }) {
             let hint = if flags.resume {
@@ -395,7 +396,7 @@ fn cmd_campaign_coordinate(name: &str, flags: &Flags) -> CliResult {
     println!("coordinating on {}", listener.local_addr()?);
     use std::io::Write as _;
     std::io::stdout().flush()?;
-    let truth = Coordinator::new(b.program(), &b.init_mem, config, fabric)
+    let truth = Coordinator::try_new(b.program(), &b.init_mem, config, fabric)?
         .run(listener, &ctrl)
         .map_err(|e| {
             if matches!(

@@ -72,7 +72,9 @@ pub fn prepare_benchmark_with_graph_stride(
     config: &PipelineConfig,
     graph_stride: usize,
 ) -> BenchData {
-    let truth = Campaign::new(bench.program(), &bench.init_mem, config.campaign()).run();
+    let truth = Campaign::try_new(bench.program(), &bench.init_mem, config.campaign())
+        .expect("pipeline campaign config is validated")
+        .run();
     assemble_bench_data(bench, graph_stride, truth)
 }
 
@@ -118,7 +120,10 @@ pub(crate) fn assemble_bench_data(
     );
     let mut fi_tuples = vec![None; bench.program().len()];
     let mut fi_weights = vec![0u64; bench.program().len()];
-    for iv in truth.instruction_vulnerability() {
+    let instr_vuln = truth
+        .try_instruction_vulnerability()
+        .expect("every grouped pc has at least one record");
+    for iv in instr_vuln {
         fi_tuples[iv.pc] = Some(iv.tuple);
         fi_weights[iv.pc] = iv.injections;
     }

@@ -238,7 +238,9 @@ impl Evaluation {
         let models = self.models_for(name)?;
 
         let t0 = Instant::now();
-        let _ = Campaign::new(d.bench.program(), &d.bench.init_mem, config.campaign()).run();
+        let _ = Campaign::try_new(d.bench.program(), &d.bench.init_mem, config.campaign())
+            .expect("pipeline campaign config is validated")
+            .run();
         let fi_seconds = t0.elapsed().as_secs_f64();
 
         let method_seconds = Method::ALL.map(|m| {

@@ -99,7 +99,8 @@ pub(crate) fn train_models_with(
                 mask: &d.mask,
             })
             .collect();
-        let mut glaive = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+        let mut glaive =
+            GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
         glaive.train(&graphs);
         glaive
     });
@@ -115,7 +116,8 @@ pub(crate) fn train_models_with(
                 mask: &d.mask,
             })
             .collect();
-        let mut vanilla = GraphSage::new(glaive_cdfg::FEATURE_DIM, &config.sage);
+        let mut vanilla =
+            GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
         vanilla.train(&vanilla_graphs);
         vanilla
     });
@@ -135,7 +137,8 @@ pub(crate) fn train_models_with(
             }
         }
     }
-    let mut mlp = MlpClassifier::new(glaive_cdfg::FEATURE_DIM, 3, &config.mlp);
+    let mut mlp = MlpClassifier::try_new(glaive_cdfg::FEATURE_DIM, 3, &config.mlp)
+        .expect("valid model config");
     mlp.train(&x, &y, None);
 
     // RF-INST / SVM-INST: instruction features → FI vulnerability tuples.

@@ -78,8 +78,8 @@ impl TruthSource for LocalTruthSource {
         config: CampaignConfig,
         ctrl: &RunControl<'_>,
     ) -> Result<GroundTruth, Error> {
-        Campaign::new(bench.program(), &bench.init_mem, config)
-            .run_supervised(ctrl)
+        Campaign::try_new(bench.program(), &bench.init_mem, config)
+            .and_then(|campaign| campaign.run_supervised(ctrl))
             .map_err(|e| campaign_error_to_pipeline(bench.name, e))
     }
 }

@@ -3,7 +3,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use glaive_isa::Program;
+use glaive_isa::{GlaiveIsa, Isa, Program};
 use glaive_sim::{
     classify, run, run_with_fault, ExecConfig, ExitStatus, FaultSpec, OperandSlot, Simulator,
 };
@@ -108,6 +108,12 @@ impl fmt::Display for InterruptReason {
 /// the same sink resumes where this one stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CampaignError {
+    /// The campaign configuration is out of range (a stride or sample
+    /// count of zero would enumerate no work or divide by zero).
+    InvalidConfig {
+        /// Which [`CampaignConfig`] field is out of range.
+        field: &'static str,
+    },
     /// The benchmark cannot form a runnable machine (e.g. oversized input
     /// image); the message carries the underlying constructor error.
     InvalidBenchmark {
@@ -141,6 +147,9 @@ pub enum CampaignError {
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CampaignError::InvalidConfig { field } => {
+                write!(f, "invalid campaign config: `{field}` must be at least 1")
+            }
             CampaignError::InvalidBenchmark { program, message } => {
                 write!(f, "benchmark `{program}` is malformed: {message}")
             }
@@ -248,26 +257,46 @@ pub struct CampaignPlan {
 }
 
 /// A systematic bit-level fault-injection campaign over one program.
+///
+/// Generic over the instruction-set backend `I` (default: ISA-A); the
+/// injection semantics — flip one bit of one operand register at one
+/// dynamic instance — are ISA-independent, and the checkpoint fingerprint
+/// hashes the backend's own instruction encoding.
 #[derive(Debug)]
-pub struct Campaign<'p> {
-    program: &'p Program,
+pub struct Campaign<'p, I: Isa = GlaiveIsa> {
+    program: &'p Program<I>,
     init_mem: &'p [u64],
     config: CampaignConfig,
 }
 
-impl<'p> Campaign<'p> {
-    /// Creates a campaign for `program` with the given input image.
-    pub fn new(program: &'p Program, init_mem: &'p [u64], config: CampaignConfig) -> Self {
-        assert!(config.bit_stride >= 1, "bit_stride must be at least 1");
-        assert!(
-            config.instances_per_site >= 1,
-            "instances_per_site must be at least 1"
-        );
-        Campaign {
+impl<'p, I: Isa> Campaign<'p, I> {
+    /// Creates a campaign for `program` with the given input image,
+    /// validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidConfig`] when `bit_stride` or
+    /// `instances_per_site` is zero.
+    pub fn try_new(
+        program: &'p Program<I>,
+        init_mem: &'p [u64],
+        config: CampaignConfig,
+    ) -> Result<Self, CampaignError> {
+        if config.bit_stride < 1 {
+            return Err(CampaignError::InvalidConfig {
+                field: "bit_stride",
+            });
+        }
+        if config.instances_per_site < 1 {
+            return Err(CampaignError::InvalidConfig {
+                field: "instances_per_site",
+            });
+        }
+        Ok(Campaign {
             program,
             init_mem,
             config,
-        }
+        })
     }
 
     /// Enumerates the fault specs the campaign will inject, in deterministic
@@ -281,11 +310,11 @@ impl<'p> Campaign<'p> {
                 continue;
             }
             let mut slots: Vec<OperandSlot> = Vec::new();
-            slots.extend((0..instr.uses().len()).map(OperandSlot::Use));
-            slots.extend((0..instr.defs().len()).map(OperandSlot::Def));
+            slots.extend((0..I::uses(instr).len()).map(OperandSlot::Use));
+            slots.extend((0..I::defs(instr).len()).map(OperandSlot::Def));
             let samples = self.instance_samples(count);
             for slot in slots {
-                for bit in (0..glaive_isa::WORD_BITS).step_by(self.config.bit_stride) {
+                for bit in (0..I::WORD_BITS).step_by(self.config.bit_stride) {
                     for &instance in &samples {
                         specs.push(FaultSpec {
                             pc,
@@ -345,7 +374,7 @@ impl<'p> Campaign<'p> {
         }
         bytes.extend_from_slice(self.program.name().as_bytes());
         for instr in self.program.instrs() {
-            bytes.extend_from_slice(&instr.encode());
+            bytes.extend_from_slice(&I::encode(instr));
         }
         for &w in self.init_mem {
             bytes.extend_from_slice(&w.to_le_bytes());
@@ -691,6 +720,45 @@ mod tests {
         }
     }
 
+    fn camp<'p>(p: &'p Program, mem: &'p [u64], cfg: CampaignConfig) -> Campaign<'p> {
+        Campaign::try_new(p, mem, cfg).expect("valid config")
+    }
+
+    #[test]
+    fn try_new_rejects_zero_parameters() {
+        let p = sum_program();
+        let bad = Campaign::try_new(
+            &p,
+            &[],
+            CampaignConfig {
+                bit_stride: 0,
+                ..config()
+            },
+        );
+        assert_eq!(
+            bad.expect_err("zero stride"),
+            CampaignError::InvalidConfig {
+                field: "bit_stride"
+            }
+        );
+        let bad = Campaign::try_new(
+            &p,
+            &[],
+            CampaignConfig {
+                instances_per_site: 0,
+                ..config()
+            },
+        );
+        let err = bad.expect_err("zero instances");
+        assert_eq!(
+            err,
+            CampaignError::InvalidConfig {
+                field: "instances_per_site"
+            }
+        );
+        assert!(err.to_string().contains("instances_per_site"));
+    }
+
     #[test]
     fn site_enumeration_skips_dead_code() {
         let mut asm = Asm::new("dead");
@@ -702,7 +770,7 @@ mod tests {
         asm.out(Reg(1));
         asm.halt();
         let p = asm.finish().expect("resolves");
-        let c = Campaign::new(&p, &[], config());
+        let c = camp(&p, &[], config());
         let golden = run(&p, &[], &ExecConfig::default());
         let specs = c.enumerate_sites(&golden.exec_counts);
         assert!(
@@ -739,7 +807,7 @@ mod tests {
     #[test]
     fn campaign_produces_all_three_outcomes() {
         let p = sum_program();
-        let truth = Campaign::new(&p, &[], config()).run();
+        let truth = camp(&p, &[], config()).run();
         let outcomes: Vec<Outcome> = truth.records().iter().map(|r| r.outcome).collect();
         assert!(outcomes.contains(&Outcome::Masked), "some faults must mask");
         assert!(
@@ -755,7 +823,7 @@ mod tests {
     #[test]
     fn parallel_and_serial_campaigns_agree() {
         let p = sum_program();
-        let serial = Campaign::new(
+        let serial = camp(
             &p,
             &[],
             CampaignConfig {
@@ -764,7 +832,7 @@ mod tests {
             },
         )
         .run();
-        let parallel = Campaign::new(
+        let parallel = camp(
             &p,
             &[],
             CampaignConfig {
@@ -789,7 +857,7 @@ mod tests {
             threads: 1,
             ..CampaignConfig::default()
         };
-        let truth = Campaign::new(&p, &[], cfg).run();
+        let truth = camp(&p, &[], cfg).run();
         // li def slot (64) + out use slot (64) = 128 sites.
         assert_eq!(truth.total_injections(), 128);
         let labels = truth.bit_labels();
@@ -806,7 +874,7 @@ mod tests {
         asm.out(Reg(3));
         asm.halt();
         let p = asm.finish().expect("resolves");
-        let with = Campaign::new(
+        let with = camp(
             &p,
             &[],
             CampaignConfig {
@@ -815,7 +883,7 @@ mod tests {
             },
         )
         .run();
-        let without = Campaign::new(
+        let without = camp(
             &p,
             &[],
             CampaignConfig {
@@ -837,7 +905,7 @@ mod tests {
         asm.alu(AluOp::Div, Reg(2), Reg(1), Reg(1));
         asm.halt();
         let p = asm.finish().expect("resolves");
-        Campaign::new(&p, &[], config()).run();
+        camp(&p, &[], config()).run();
     }
 
     #[test]
@@ -847,7 +915,7 @@ mod tests {
         asm.alu(AluOp::Div, Reg(2), Reg(1), Reg(1));
         asm.halt();
         let p = asm.finish().expect("resolves");
-        let err = Campaign::new(&p, &[], config())
+        let err = camp(&p, &[], config())
             .run_supervised(&RunControl::new())
             .expect_err("dirty golden run");
         assert!(matches!(err, CampaignError::DirtyGolden { .. }));
@@ -872,7 +940,7 @@ mod tests {
     #[test]
     fn interrupted_campaign_checkpoints_and_resumes_bit_identically() {
         let p = sum_program();
-        let campaign = Campaign::new(&p, &[], config());
+        let campaign = camp(&p, &[], config());
         let uninterrupted = campaign.run();
         let total = uninterrupted.total_injections();
         assert!(total > 256, "need enough work to interrupt mid-way");
@@ -920,11 +988,11 @@ mod tests {
     #[test]
     fn mismatched_checkpoint_is_a_cold_start() {
         let p = sum_program();
-        let campaign = Campaign::new(&p, &[], config());
+        let campaign = camp(&p, &[], config());
         let uninterrupted = campaign.run();
         // A snapshot from a *different* campaign configuration: right shape,
         // wrong fingerprint. Resume must ignore it entirely.
-        let other = Campaign::new(
+        let other = camp(
             &p,
             &[],
             CampaignConfig {
@@ -960,7 +1028,7 @@ mod tests {
     fn expired_deadline_interrupts_promptly() {
         let p = sum_program();
         for threads in [1, 4] {
-            let campaign = Campaign::new(
+            let campaign = camp(
                 &p,
                 &[],
                 CampaignConfig {
@@ -995,7 +1063,7 @@ mod tests {
             threads: 4,
             ..config()
         };
-        let campaign = Campaign::new(&p, &[], cfg);
+        let campaign = camp(&p, &[], cfg);
         let uninterrupted = campaign.run();
         let total = uninterrupted.total_injections();
 

@@ -27,12 +27,12 @@
 //! let p = asm.finish()?;
 //!
 //! let config = CampaignConfig { threads: 1, ..CampaignConfig::default() };
-//! let truth = Campaign::new(&p, &[], config).run();
+//! let truth = Campaign::try_new(&p, &[], config)?.run();
 //! assert!(truth.total_injections() > 0);
-//! let pv = truth.program_vulnerability();
+//! let pv = truth.try_program_vulnerability()?;
 //! let sum = pv.crash + pv.sdc + pv.masked;
 //! assert!((sum - 1.0).abs() < 1e-9);
-//! # Ok::<(), glaive_isa::AsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod campaign;

@@ -316,7 +316,7 @@ mod tests {
             threads: 1,
             predict_dead_defs: true,
         };
-        Campaign::new(&p, &[], cfg).run()
+        Campaign::try_new(&p, &[], cfg).expect("valid config").run()
     }
 
     #[test]

@@ -86,17 +86,6 @@ impl VulnTuple {
         masked: 1.0,
     };
 
-    /// Builds a tuple from outcome counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if all counts are zero — use [`VulnTuple::try_from_counts`]
-    /// to get the violation as a value instead.
-    pub fn from_counts(crash: u64, sdc: u64, masked: u64) -> VulnTuple {
-        VulnTuple::try_from_counts(crash, sdc, masked)
-            .expect("vulnerability tuple needs at least one observation")
-    }
-
     /// Builds a tuple from outcome counts, returning a typed error when all
     /// counts are zero.
     ///
@@ -256,17 +245,8 @@ impl GroundTruth {
     }
 
     /// FI-derived instruction vulnerability ⟨I_C, I_S, I_M⟩ for every
-    /// instruction with at least one injection, ordered by PC.
-    ///
-    /// Infallible: every entry is backed by at least one record by
-    /// construction (see [`GroundTruth::try_instruction_vulnerability`]).
-    pub fn instruction_vulnerability(&self) -> Vec<InstrVulnerability> {
-        self.try_instruction_vulnerability()
-            .expect("every grouped pc has at least one record")
-    }
-
-    /// [`GroundTruth::instruction_vulnerability`] with aggregation failures
-    /// surfaced as a typed [`TruthError`] instead of a panic.
+    /// instruction with at least one injection, ordered by PC, with
+    /// aggregation failures surfaced as a typed [`TruthError`].
     pub fn try_instruction_vulnerability(&self) -> Result<Vec<InstrVulnerability>, TruthError> {
         let mut counts: BTreeMap<usize, [u64; 3]> = BTreeMap::new();
         for r in &self.records {
@@ -295,19 +275,6 @@ impl GroundTruth {
     /// Program vulnerability P_v: instruction tuples weighted by their share
     /// of total injections (paper §II-B) — equivalently, the overall outcome
     /// fractions.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the campaign produced no records — use
-    /// [`GroundTruth::try_program_vulnerability`] to get the degenerate case
-    /// as a value instead.
-    pub fn program_vulnerability(&self) -> VulnTuple {
-        self.try_program_vulnerability()
-            .unwrap_or_else(|e| panic!("{e} (at least one observation required)"))
-    }
-
-    /// [`GroundTruth::program_vulnerability`] with the zero-record case
-    /// surfaced as a typed [`TruthError`] instead of a panic.
     ///
     /// # Errors
     ///
@@ -367,9 +334,13 @@ mod tests {
         )
     }
 
+    fn counts(crash: u64, sdc: u64, masked: u64) -> VulnTuple {
+        VulnTuple::try_from_counts(crash, sdc, masked).expect("non-empty counts")
+    }
+
     #[test]
     fn vuln_tuple_from_counts_normalises() {
-        let t = VulnTuple::from_counts(1, 1, 2);
+        let t = counts(1, 1, 2);
         assert!((t.crash - 0.25).abs() < 1e-12);
         assert!((t.sdc - 0.25).abs() < 1e-12);
         assert!((t.masked - 0.5).abs() < 1e-12);
@@ -377,15 +348,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one observation")]
     fn vuln_tuple_rejects_empty() {
-        VulnTuple::from_counts(0, 0, 0);
+        let err = VulnTuple::try_from_counts(0, 0, 0).expect_err("no observations");
+        assert!(err.to_string().contains("at least one observation"));
     }
 
     #[test]
     fn abs_error_is_symmetric_l1() {
-        let a = VulnTuple::from_counts(1, 0, 1);
-        let b = VulnTuple::from_counts(0, 1, 1);
+        let a = counts(1, 0, 1);
+        let b = counts(0, 1, 1);
         assert!((a.abs_error(&b) - 1.0).abs() < 1e-12);
         assert_eq!(a.abs_error(&b), b.abs_error(&a));
         assert_eq!(a.abs_error(&a), 0.0);
@@ -443,7 +414,7 @@ mod tests {
             record(0, 1, Outcome::Crash),
             record(3, 0, Outcome::Sdc),
         ]);
-        let iv = t.instruction_vulnerability();
+        let iv = t.try_instruction_vulnerability().expect("non-empty");
         assert_eq!(iv.len(), 2);
         assert_eq!(iv[0].pc, 0);
         assert_eq!(iv[0].injections, 2);
@@ -461,7 +432,7 @@ mod tests {
             record(2, 0, Outcome::Sdc),
             record(3, 0, Outcome::Sdc),
         ]);
-        let pv = t.program_vulnerability();
+        let pv = t.try_program_vulnerability().expect("non-empty");
         assert!((pv.crash - 0.25).abs() < 1e-12);
         assert!((pv.sdc - 0.5).abs() < 1e-12);
         assert!((pv.masked - 0.25).abs() < 1e-12);
@@ -488,9 +459,9 @@ mod tests {
 
     #[test]
     fn ranking_key_orders_by_severity() {
-        let crashy = VulnTuple::from_counts(9, 0, 1);
-        let sdcy = VulnTuple::from_counts(0, 9, 1);
-        let masked = VulnTuple::from_counts(0, 0, 1);
+        let crashy = counts(9, 0, 1);
+        let sdcy = counts(0, 9, 1);
+        let masked = counts(0, 0, 1);
         assert!(crashy.ranking_key() > sdcy.ranking_key());
         assert!(sdcy.ranking_key() > masked.ranking_key());
     }

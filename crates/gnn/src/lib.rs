@@ -44,7 +44,7 @@
 //!     mask: &mask,
 //! };
 //! let config = SageConfig { hidden: 8, layers: 2, classes: 2, epochs: 60, ..SageConfig::default() };
-//! let mut model = GraphSage::new(2, &config);
+//! let mut model = GraphSage::try_new(2, &config).expect("valid model config");
 //! let stats = model.train(&[graph]);
 //! assert!(stats.final_loss() < stats.epoch_losses[0]);
 //! let pred = model.predict_labels(&features, &preds);
@@ -56,5 +56,5 @@ mod model;
 mod serdes;
 
 pub use kernels::SampledCsr;
-pub use model::{GraphSage, SageConfig, TrainGraph, TrainStats};
+pub use model::{GraphSage, ModelConfigError, SageConfig, TrainGraph, TrainStats};
 pub use serdes::ModelDecodeError;

@@ -70,6 +70,28 @@ impl TrainStats {
     }
 }
 
+/// Rejected model shape: a [`SageConfig`] field (or the feature width)
+/// below its minimum legal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The smallest value the field accepts.
+    pub min: usize,
+}
+
+impl std::fmt::Display for ModelConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid model config: `{}` must be at least {}",
+            self.field, self.min
+        )
+    }
+}
+
+impl std::error::Error for ModelConfigError {}
+
 /// The augmented GraphSAGE model (see crate docs).
 #[derive(Debug, Clone)]
 pub struct GraphSage {
@@ -81,14 +103,22 @@ pub struct GraphSage {
 impl GraphSage {
     /// Creates a model for `in_dim`-dimensional node features.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration has zero layers, classes or hidden width.
-    pub fn new(in_dim: usize, config: &SageConfig) -> GraphSage {
-        assert!(config.layers >= 1, "need at least one layer");
-        assert!(config.classes >= 2, "need at least two classes");
-        assert!(config.hidden >= 1, "hidden dimension must be positive");
-        assert!(config.sample_size >= 1, "sample size must be positive");
+    /// [`ModelConfigError`] if the feature width is zero or the
+    /// configuration has zero layers, hidden width or sample size, or
+    /// fewer than two classes.
+    pub fn try_new(in_dim: usize, config: &SageConfig) -> Result<GraphSage, ModelConfigError> {
+        let floors = [
+            ("in_dim", in_dim, 1),
+            ("layers", config.layers, 1),
+            ("classes", config.classes, 2),
+            ("hidden", config.hidden, 1),
+            ("sample_size", config.sample_size, 1),
+        ];
+        if let Some(&(field, _, min)) = floors.iter().find(|&&(_, value, min)| value < min) {
+            return Err(ModelConfigError { field, min });
+        }
         let mut rng = DetRng::new(config.seed);
         let mut layers = Vec::with_capacity(config.layers);
         let mut d = in_dim;
@@ -102,11 +132,11 @@ impl GraphSage {
             layers.push(Linear::glorot(2 * d, out, &mut rng));
             d = out;
         }
-        GraphSage {
+        Ok(GraphSage {
             layers,
             config: *config,
             rng,
-        }
+        })
     }
 
     /// The configuration the model was built with.
@@ -394,7 +424,7 @@ mod tests {
             labels: &labels,
             mask: &mask,
         };
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         let stats = model.train(&[graph]);
         assert!(stats.final_loss() < 0.2, "loss {}", stats.final_loss());
         let pred = model.predict_labels(&feats, graph.graph);
@@ -418,8 +448,8 @@ mod tests {
             labels: &labels,
             mask: &mask,
         };
-        let mut a = GraphSage::new(2, &small_config());
-        let mut b = GraphSage::new(2, &small_config());
+        let mut a = GraphSage::try_new(2, &small_config()).expect("valid model config");
+        let mut b = GraphSage::try_new(2, &small_config()).expect("valid model config");
         let sa = a.train(&[graph]);
         let sb = b.train(&[graph]);
         assert_eq!(sa.epoch_losses, sb.epoch_losses);
@@ -439,7 +469,7 @@ mod tests {
             labels: &labels,
             mask: &mask,
         };
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         model.train(&[graph]);
 
         // A fresh graph generated with a different seed but the same rule.
@@ -480,7 +510,7 @@ mod tests {
             labels: &labels,
             mask: &mask,
         };
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         model.train(&[graph]);
         let probs = model.predict_proba(&feats, graph.graph);
         for r in 0..probs.rows() {
@@ -502,7 +532,7 @@ mod tests {
             labels: &labels,
             mask: &mask,
         };
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         let stats = model.train(&[graph]);
         assert!(stats.final_loss().is_finite());
         assert_eq!(model.predict_labels(&feats, graph.graph), labels);
@@ -524,7 +554,7 @@ mod tests {
             labels: &l1,
             mask: &m1,
         };
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         let stats = model.train(&[g1, g2]);
         assert!(stats.final_loss() < 0.3);
     }
@@ -532,7 +562,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one graph")]
     fn empty_training_set_panics() {
-        let mut model = GraphSage::new(2, &small_config());
+        let mut model = GraphSage::try_new(2, &small_config()).expect("valid model config");
         model.train(&[]);
     }
 
@@ -565,7 +595,7 @@ mod tests {
             epochs: 1,
             seed: 4,
         };
-        let model = GraphSage::new(2, &config);
+        let model = GraphSage::try_new(2, &config).expect("valid model config");
         let (_, grads) = model.compute_gradients(&graph, csr.view());
 
         let eps = 2e-3f32;
@@ -778,7 +808,7 @@ mod tests {
             epochs: 1,
             seed: 17,
         };
-        let model = GraphSage::new(3, &config);
+        let model = GraphSage::try_new(3, &config).expect("valid model config");
         let graph = TrainGraph {
             features: &feats,
             graph: &csr,
@@ -809,10 +839,10 @@ mod tests {
             seed: 29,
         };
 
-        let mut legacy = GraphSage::new(3, &config);
+        let mut legacy = GraphSage::try_new(3, &config).expect("valid model config");
         let legacy_losses = legacy_train(&mut legacy, &feats, &lists, &labels, &mask);
 
-        let mut fresh = GraphSage::new(3, &config);
+        let mut fresh = GraphSage::try_new(3, &config).expect("valid model config");
         let stats = fresh.train(&[TrainGraph {
             features: &feats,
             graph: &csr,

@@ -172,7 +172,7 @@ mod tests {
             epochs: 10,
             seed: 9,
         };
-        let mut model = GraphSage::new(4, &config);
+        let mut model = GraphSage::try_new(4, &config).expect("valid model config");
         model.train(&[TrainGraph {
             features: &feats,
             graph: &preds,

@@ -2,7 +2,7 @@ use std::fmt;
 
 use crate::instr::Instr;
 use crate::opcode::{AluOp, BranchCond, CvtOp, FpuOp, FpuUnaryOp};
-use crate::program::Program;
+use crate::program::{Program, ProgramError};
 use crate::reg::Reg;
 
 /// A forward-referenceable code label created by [`Asm::label`] and bound to
@@ -219,7 +219,7 @@ impl Asm {
                 *instr = p;
             }
         }
-        Ok(Program::new(self.name, self.instrs, self.mem_words))
+        Program::try_new(self.name, self.instrs, self.mem_words).map_err(AsmError::Program)
     }
 }
 
@@ -233,6 +233,9 @@ pub enum AsmError {
         /// The instruction index of the referencing branch/jump.
         pc: usize,
     },
+    /// The finished instruction sequence failed [`Program::try_new`]
+    /// validation (e.g. a raw `push` with an out-of-range absolute target).
+    Program(ProgramError),
 }
 
 impl fmt::Display for AsmError {
@@ -241,6 +244,7 @@ impl fmt::Display for AsmError {
             AsmError::UnboundLabel { label, pc } => {
                 write!(f, "instruction {pc} references unbound label {label}")
             }
+            AsmError::Program(e) => write!(f, "{e}"),
         }
     }
 }
@@ -275,6 +279,20 @@ mod tests {
         assert_eq!(
             asm.finish(),
             Err(AsmError::UnboundLabel { label: 0, pc: 0 })
+        );
+    }
+
+    #[test]
+    fn raw_push_with_dangling_target_is_an_error() {
+        let mut asm = Asm::new("t");
+        asm.push(Instr::Jump { target: 50 });
+        asm.halt();
+        assert_eq!(
+            asm.finish(),
+            Err(AsmError::Program(ProgramError::DanglingTarget {
+                pc: 0,
+                target: 50
+            }))
         );
     }
 

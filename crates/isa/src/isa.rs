@@ -1,0 +1,537 @@
+//! The machine abstraction: everything the simulator, fault model, and
+//! CDFG extraction need to know about an instruction set, as one trait.
+//!
+//! `Isa` is a *backend marker*: a zero-sized type whose associated items
+//! describe the machine (word size, register-file shape, instruction type)
+//! and whose methods give per-instruction semantics (operand lists, control
+//! flow, memory aliasing, execution). `glaive-sim`, `glaive-faultsim` and
+//! `glaive-cdfg` are generic over it; [`GlaiveIsa`] is the first backend
+//! (the original concrete ISA of this workspace) and [`crate::rv::RvIsa`]
+//! is a RISC-V-like second backend used for cross-ISA transfer experiments.
+//!
+//! # What may vary between backends
+//!
+//! Instruction type, encoding format and length, opcode table, branch
+//! semantics, trap conditions — anything behind the trait methods.
+//!
+//! # What must NOT vary
+//!
+//! The *portable feature vocabulary* (see DESIGN.md §13): every backend
+//! maps its opcodes into the canonical opcode index space of
+//! [`Opcode::index`](crate::Opcode::index) (`opcode_index` must be
+//! `< Opcode::COUNT`), uses at most [`NUM_REGS`](crate::NUM_REGS)
+//! registers and at most [`WORD_BITS`](crate::WORD_BITS)-bit words. That is
+//! what lets a GNN trained on one backend's CDFGs score another backend's
+//! programs without reshaping its input layer.
+
+use std::fmt;
+
+use crate::instr::{DecodeError, Instr, INSTR_ENCODING_LEN};
+use crate::opcode::{AluOp, CvtOp, FpuOp, FpuUnaryOp, OpcodeClass};
+use crate::reg::{Reg, NUM_REGS, WORD_BITS};
+
+/// The original concrete ISA of this workspace — "ISA-A" in cross-ISA
+/// experiments. A zero-sized backend marker; its instruction type is
+/// [`Instr`] and its semantics are exactly the pre-trait simulator's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlaiveIsa;
+
+/// Static control flow of one instruction, as seen by CFG construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to `pc + 1`.
+    Fallthrough,
+    /// Unconditionally transfers to the absolute instruction index.
+    Jump(usize),
+    /// Conditionally transfers to the absolute instruction index, else
+    /// falls through.
+    Branch(usize),
+    /// Stops execution; no successors.
+    Halt,
+}
+
+impl Flow {
+    /// The branch/jump target, if any.
+    pub fn target(self) -> Option<usize> {
+        match self {
+            Flow::Jump(t) | Flow::Branch(t) => Some(t),
+            Flow::Fallthrough | Flow::Halt => None,
+        }
+    }
+}
+
+/// Static memory behaviour of one instruction, as seen by the `D_M`
+/// dependence analysis: whether it stores or loads, and its static alias
+/// class (instructions with equal `alias` may access the same location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// Static alias class — for both current backends, the constant
+    /// address offset.
+    pub alias: i64,
+}
+
+/// The architectural state an instruction executes against: a flat register
+/// file, a flat word-addressed data memory, and the output buffer.
+///
+/// Register-file width and memory size are fixed at construction; backends
+/// interpret the `u64` cells according to their own word width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    /// Register file, indexed by [`Reg::index`].
+    pub regs: Vec<u64>,
+    /// Word-addressed data memory.
+    pub mem: Vec<u64>,
+    /// Values emitted by output instructions, in order.
+    pub output: Vec<u64>,
+    /// Static PC of the instruction being executed — set by the simulator
+    /// before each [`Isa::execute`] call so link-register instructions
+    /// (e.g. ISA-B `jal`) can materialise the return address.
+    pub pc: usize,
+}
+
+impl MachineState {
+    /// A zeroed machine with `num_regs` registers and the given memory
+    /// image.
+    pub fn new(num_regs: usize, mem: Vec<u64>) -> MachineState {
+        MachineState {
+            regs: vec![0; num_regs],
+            mem,
+            output: Vec::new(),
+            pc: 0,
+        }
+    }
+}
+
+/// What the program counter does after an instruction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Advance to `pc + 1`.
+    Next,
+    /// Transfer to the absolute instruction index.
+    Goto(usize),
+    /// Stop execution successfully.
+    Halt,
+}
+
+/// A processor exception raised during execution. Any trap terminates the
+/// program and classifies the run as a Crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Load from an address outside the data memory.
+    OutOfBoundsLoad {
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Store to an address outside the data memory.
+    OutOfBoundsStore {
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Control transferred outside the program text (e.g. fell off the end).
+    InvalidPc {
+        /// The invalid program counter.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBoundsLoad { addr } => write!(f, "out-of-bounds load at {addr:#x}"),
+            Trap::OutOfBoundsStore { addr } => write!(f, "out-of-bounds store at {addr:#x}"),
+            Trap::DivByZero => write!(f, "integer divide by zero"),
+            Trap::InvalidPc { pc } => write!(f, "invalid program counter {pc}"),
+        }
+    }
+}
+
+/// An instruction-set backend: the associated items describe the machine,
+/// the methods give per-instruction semantics.
+///
+/// Implementors are zero-sized markers ([`GlaiveIsa`], [`crate::rv::RvIsa`]);
+/// every generic structure in the workspace defaults its ISA parameter to
+/// [`GlaiveIsa`], so existing ISA-A call sites compile — and behave —
+/// exactly as before the abstraction existed.
+pub trait Isa: Copy + Clone + fmt::Debug + PartialEq + Eq + Send + Sync + 'static {
+    /// The instruction type of this backend.
+    type Instr: Copy + fmt::Debug + fmt::Display + PartialEq + Send + Sync + 'static;
+
+    /// Human-readable backend name (used in experiment reports).
+    const NAME: &'static str;
+    /// Width in bits of an architectural register (≤ canonical
+    /// [`WORD_BITS`]).
+    const WORD_BITS: usize;
+    /// Number of architectural registers (≤ canonical [`NUM_REGS`]).
+    const NUM_REGS: usize;
+    /// Length in bytes of one encoded instruction.
+    const INSTR_ENCODING_LEN: usize;
+
+    /// Registers written by the instruction (destination operands).
+    fn defs(instr: &Self::Instr) -> Vec<Reg>;
+    /// Registers read by the instruction (source operands), in operand
+    /// order; a register in two source slots is listed twice.
+    fn uses(instr: &Self::Instr) -> Vec<Reg>;
+    /// Index into the canonical opcode vocabulary
+    /// (`< `[`Opcode::COUNT`](crate::Opcode::COUNT)): backends map their
+    /// own opcode tables onto the shared one-hot feature space.
+    fn opcode_index(instr: &Self::Instr) -> usize;
+    /// The instruction's coarse class in the shared Table-I taxonomy.
+    fn opcode_class(instr: &Self::Instr) -> OpcodeClass;
+    /// Whether register operands are interpreted as `f64` bit patterns.
+    fn is_float(instr: &Self::Instr) -> bool;
+    /// Static control flow, for CFG and control-dependence analysis.
+    fn flow(instr: &Self::Instr) -> Flow;
+    /// Static memory behaviour, for the `D_M` dependence analysis.
+    fn mem_access(instr: &Self::Instr) -> Option<MemAccess>;
+    /// Fixed-width binary encoding (`INSTR_ENCODING_LEN` bytes); feeds
+    /// campaign fingerprints and wire formats.
+    fn encode(instr: &Self::Instr) -> Vec<u8>;
+    /// Decodes an instruction previously produced by [`Isa::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for truncated buffers, unknown tags/sub-opcodes, or
+    /// out-of-range register indices. Must never panic on any byte pattern.
+    fn decode(bytes: &[u8]) -> Result<Self::Instr, DecodeError>;
+    /// Executes one instruction against the machine state.
+    ///
+    /// # Errors
+    ///
+    /// A [`Trap`] for processor exceptions (the run classifies as Crash).
+    fn execute(instr: &Self::Instr, state: &mut MachineState) -> Result<Step, Trap>;
+}
+
+impl Isa for GlaiveIsa {
+    type Instr = Instr;
+
+    const NAME: &'static str = "glaive";
+    const WORD_BITS: usize = WORD_BITS;
+    const NUM_REGS: usize = NUM_REGS;
+    const INSTR_ENCODING_LEN: usize = INSTR_ENCODING_LEN;
+
+    fn defs(instr: &Instr) -> Vec<Reg> {
+        instr.defs()
+    }
+
+    fn uses(instr: &Instr) -> Vec<Reg> {
+        instr.uses()
+    }
+
+    fn opcode_index(instr: &Instr) -> usize {
+        instr.opcode().index()
+    }
+
+    fn opcode_class(instr: &Instr) -> OpcodeClass {
+        instr.opcode().class()
+    }
+
+    fn is_float(instr: &Instr) -> bool {
+        instr.is_float()
+    }
+
+    fn flow(instr: &Instr) -> Flow {
+        match *instr {
+            Instr::Halt => Flow::Halt,
+            Instr::Jump { target } => Flow::Jump(target),
+            Instr::Branch { target, .. } => Flow::Branch(target),
+            _ => Flow::Fallthrough,
+        }
+    }
+
+    fn mem_access(instr: &Instr) -> Option<MemAccess> {
+        match *instr {
+            Instr::Load { offset, .. } => Some(MemAccess {
+                is_store: false,
+                alias: offset,
+            }),
+            Instr::Store { offset, .. } => Some(MemAccess {
+                is_store: true,
+                alias: offset,
+            }),
+            _ => None,
+        }
+    }
+
+    fn encode(instr: &Instr) -> Vec<u8> {
+        instr.encode().to_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Instr, DecodeError> {
+        let buf: &[u8; INSTR_ENCODING_LEN] =
+            bytes.try_into().map_err(|_| DecodeError::Truncated {
+                len: bytes.len(),
+                want: INSTR_ENCODING_LEN,
+            })?;
+        Instr::decode(buf)
+    }
+
+    fn execute(instr: &Instr, state: &mut MachineState) -> Result<Step, Trap> {
+        let r = |regs: &[u64], reg: Reg| regs[reg.index()];
+        match *instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = alu_eval(op, r(&state.regs, rs1), r(&state.regs, rs2))?;
+                state.regs[rd.index()] = v;
+                Ok(Step::Next)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = alu_eval(op, r(&state.regs, rs1), imm as u64)?;
+                state.regs[rd.index()] = v;
+                Ok(Step::Next)
+            }
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                let a = f64::from_bits(r(&state.regs, rs1));
+                let b = f64::from_bits(r(&state.regs, rs2));
+                state.regs[rd.index()] = fpu_eval(op, a, b);
+                Ok(Step::Next)
+            }
+            Instr::FpuUnary { op, rd, rs1 } => {
+                let a = f64::from_bits(r(&state.regs, rs1));
+                let v = match op {
+                    FpuUnaryOp::FNeg => -a,
+                    FpuUnaryOp::FAbs => a.abs(),
+                    FpuUnaryOp::FSqrt => a.sqrt(),
+                };
+                state.regs[rd.index()] = v.to_bits();
+                Ok(Step::Next)
+            }
+            Instr::Cvt { op, rd, rs1 } => {
+                let x = r(&state.regs, rs1);
+                state.regs[rd.index()] = match op {
+                    CvtOp::IntToFloat => ((x as i64) as f64).to_bits(),
+                    CvtOp::FloatToInt => (f64::from_bits(x) as i64) as u64,
+                };
+                Ok(Step::Next)
+            }
+            Instr::Li { rd, imm } => {
+                state.regs[rd.index()] = imm as u64;
+                Ok(Step::Next)
+            }
+            Instr::Mov { rd, rs1 } => {
+                state.regs[rd.index()] = r(&state.regs, rs1);
+                Ok(Step::Next)
+            }
+            Instr::Load { rd, base, offset } => {
+                let addr = r(&state.regs, base).wrapping_add(offset as u64);
+                let v = *state
+                    .mem
+                    .get(addr as usize)
+                    .ok_or(Trap::OutOfBoundsLoad { addr })?;
+                state.regs[rd.index()] = v;
+                Ok(Step::Next)
+            }
+            Instr::Store { rs, base, offset } => {
+                let addr = r(&state.regs, base).wrapping_add(offset as u64);
+                let v = r(&state.regs, rs);
+                // Large faulty addresses exceed usize on 32-bit hosts too;
+                // the get_mut covers both range checks.
+                let slot = state
+                    .mem
+                    .get_mut(addr as usize)
+                    .ok_or(Trap::OutOfBoundsStore { addr })?;
+                *slot = v;
+                Ok(Step::Next)
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(r(&state.regs, rs1), r(&state.regs, rs2)) {
+                    Ok(Step::Goto(target))
+                } else {
+                    Ok(Step::Next)
+                }
+            }
+            Instr::Jump { target } => Ok(Step::Goto(target)),
+            Instr::Out { rs1 } => {
+                state.output.push(r(&state.regs, rs1));
+                Ok(Step::Next)
+            }
+            Instr::Halt => Ok(Step::Halt),
+        }
+    }
+}
+
+fn alu_eval(op: AluOp, a: u64, b: u64) -> Result<u64, Trap> {
+    let (sa, sb) = (a as i64, b as i64);
+    Ok(match op {
+        AluOp::Add => sa.wrapping_add(sb) as u64,
+        AluOp::Sub => sa.wrapping_sub(sb) as u64,
+        AluOp::Mul => sa.wrapping_mul(sb) as u64,
+        AluOp::Div => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        AluOp::Rem => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Sra => sa.wrapping_shr(b as u32) as u64,
+        AluOp::Slt => u64::from(sa < sb),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Seq => u64::from(a == b),
+    })
+}
+
+fn fpu_eval(op: FpuOp, a: f64, b: f64) -> u64 {
+    match op {
+        FpuOp::FAdd => (a + b).to_bits(),
+        FpuOp::FSub => (a - b).to_bits(),
+        FpuOp::FMul => (a * b).to_bits(),
+        FpuOp::FDiv => (a / b).to_bits(),
+        FpuOp::FMin => a.min(b).to_bits(),
+        FpuOp::FMax => a.max(b).to_bits(),
+        FpuOp::FLt => u64::from(a < b),
+        FpuOp::FLe => u64::from(a <= b),
+        FpuOp::FEq => u64::from(a == b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::BranchCond;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu_eval(AluOp::Add, 2, 3).unwrap(), 5);
+        assert_eq!(alu_eval(AluOp::Sub, 2, 3).unwrap(), (-1i64) as u64);
+        assert_eq!(alu_eval(AluOp::Mul, u64::MAX, 2).unwrap(), (-2i64) as u64);
+        assert_eq!(
+            alu_eval(AluOp::Div, (-7i64) as u64, 2).unwrap(),
+            (-3i64) as u64
+        );
+        assert_eq!(alu_eval(AluOp::Rem, 7, 3).unwrap(), 1);
+        assert_eq!(alu_eval(AluOp::Div, 1, 0), Err(Trap::DivByZero));
+        assert_eq!(alu_eval(AluOp::Rem, 1, 0), Err(Trap::DivByZero));
+        // i64::MIN / -1 wraps instead of trapping on overflow.
+        assert_eq!(
+            alu_eval(AluOp::Div, i64::MIN as u64, (-1i64) as u64).unwrap(),
+            i64::MIN as u64
+        );
+        assert_eq!(alu_eval(AluOp::Slt, (-1i64) as u64, 0).unwrap(), 1);
+        assert_eq!(alu_eval(AluOp::Sltu, (-1i64) as u64, 0).unwrap(), 0);
+        assert_eq!(alu_eval(AluOp::Shl, 1, 4).unwrap(), 16);
+        assert_eq!(
+            alu_eval(AluOp::Sra, (-16i64) as u64, 2).unwrap(),
+            (-4i64) as u64
+        );
+        assert_eq!(alu_eval(AluOp::Shr, (-16i64) as u64, 60).unwrap(), 15);
+        assert_eq!(alu_eval(AluOp::Seq, 4, 4).unwrap(), 1);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let bits = |x: f64| x.to_bits();
+        assert_eq!(fpu_eval(FpuOp::FAdd, 1.5, 2.25), bits(3.75));
+        assert_eq!(fpu_eval(FpuOp::FDiv, 1.0, 0.0), bits(f64::INFINITY));
+        assert_eq!(fpu_eval(FpuOp::FLt, 1.0, 2.0), 1);
+        assert_eq!(fpu_eval(FpuOp::FLe, 2.0, 2.0), 1);
+        assert_eq!(fpu_eval(FpuOp::FEq, f64::NAN, f64::NAN), 0);
+        assert_eq!(fpu_eval(FpuOp::FMin, 1.0, 2.0), bits(1.0));
+        assert_eq!(fpu_eval(FpuOp::FMax, 1.0, 2.0), bits(2.0));
+    }
+
+    #[test]
+    fn flow_classifies_control() {
+        assert_eq!(GlaiveIsa::flow(&Instr::Halt), Flow::Halt);
+        assert_eq!(GlaiveIsa::flow(&Instr::Jump { target: 3 }), Flow::Jump(3));
+        let br = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg(0),
+            rs2: Reg(1),
+            target: 7,
+        };
+        assert_eq!(GlaiveIsa::flow(&br), Flow::Branch(7));
+        assert_eq!(GlaiveIsa::flow(&br).target(), Some(7));
+        assert_eq!(
+            GlaiveIsa::flow(&Instr::Li { rd: Reg(1), imm: 0 }),
+            Flow::Fallthrough
+        );
+    }
+
+    #[test]
+    fn mem_access_classifies_loads_and_stores() {
+        let ld = Instr::Load {
+            rd: Reg(1),
+            base: Reg(2),
+            offset: 5,
+        };
+        let st = Instr::Store {
+            rs: Reg(1),
+            base: Reg(2),
+            offset: 5,
+        };
+        assert_eq!(
+            GlaiveIsa::mem_access(&ld),
+            Some(MemAccess {
+                is_store: false,
+                alias: 5
+            })
+        );
+        assert_eq!(
+            GlaiveIsa::mem_access(&st),
+            Some(MemAccess {
+                is_store: true,
+                alias: 5
+            })
+        );
+        assert_eq!(GlaiveIsa::mem_access(&Instr::Halt), None);
+    }
+
+    #[test]
+    fn trait_encode_matches_inherent_encode() {
+        let i = Instr::AluImm {
+            op: AluOp::Mul,
+            rd: Reg(4),
+            rs1: Reg(5),
+            imm: -17,
+        };
+        assert_eq!(GlaiveIsa::encode(&i), i.encode().to_vec());
+        assert_eq!(GlaiveIsa::decode(&GlaiveIsa::encode(&i)).unwrap(), i);
+        assert!(matches!(
+            GlaiveIsa::decode(&[0u8; 3]),
+            Err(DecodeError::Truncated { len: 3, want: 16 })
+        ));
+    }
+
+    #[test]
+    fn execute_matches_word_machine_expectations() {
+        let mut state = MachineState::new(NUM_REGS, vec![0; 4]);
+        state.regs[1] = 21;
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(2),
+            rs1: Reg(1),
+            rs2: Reg(1),
+        };
+        assert_eq!(GlaiveIsa::execute(&add, &mut state), Ok(Step::Next));
+        assert_eq!(state.regs[2], 42);
+        let out = Instr::Out { rs1: Reg(2) };
+        GlaiveIsa::execute(&out, &mut state).unwrap();
+        assert_eq!(state.output, vec![42]);
+        let bad_load = Instr::Load {
+            rd: Reg(3),
+            base: Reg(2),
+            offset: 0,
+        };
+        assert_eq!(
+            GlaiveIsa::execute(&bad_load, &mut state),
+            Err(Trap::OutOfBoundsLoad { addr: 42 })
+        );
+    }
+}

@@ -34,14 +34,20 @@
 
 mod asm;
 mod instr;
+mod isa;
 mod opcode;
 mod program;
 mod reg;
+pub mod rv;
 mod slot;
 
 pub use asm::{Asm, AsmError, Label};
 pub use instr::{DecodeError, Instr, INSTR_ENCODING_LEN};
+pub use isa::{Flow, GlaiveIsa, Isa, MachineState, MemAccess, Step, Trap};
 pub use opcode::{AluOp, BranchCond, CvtOp, FpuOp, FpuUnaryOp, Opcode, OpcodeClass};
 pub use program::{Program, ProgramError};
 pub use reg::{Reg, NUM_REGS, WORD_BITS};
+pub use rv::{
+    RvAluOp, RvAsm, RvBranchCond, RvImmOp, RvInstr, RvIsa, RvLabel, RV_INSTR_ENCODING_LEN,
+};
 pub use slot::OperandSlot;

@@ -1,10 +1,12 @@
 use std::fmt;
 
-use crate::instr::Instr;
+use crate::isa::{GlaiveIsa, Isa};
 
 /// A complete machine program: a named, fixed sequence of instructions plus
 /// the size of the flat data memory it executes against.
 ///
+/// Generic over the instruction-set backend `I`; the default is
+/// [`GlaiveIsa`] (ISA-A), so pre-trait call sites keep compiling unchanged.
 /// Instruction indices double as "static PC" values (the auxiliary feature of
 /// Table I in the paper); branch/jump targets are instruction indices.
 ///
@@ -12,16 +14,16 @@ use crate::instr::Instr;
 ///
 /// ```
 /// use glaive_isa::{Program, Instr, Reg};
-/// let p = Program::new("tiny", vec![Instr::Li { rd: Reg(1), imm: 42 },
-///                                   Instr::Out { rs1: Reg(1) },
-///                                   Instr::Halt], 16);
+/// let p: Program = Program::try_new("tiny", vec![Instr::Li { rd: Reg(1), imm: 42 },
+///                                               Instr::Out { rs1: Reg(1) },
+///                                               Instr::Halt], 16).unwrap();
 /// assert_eq!(p.len(), 3);
 /// assert_eq!(p.name(), "tiny");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct Program {
+pub struct Program<I: Isa = GlaiveIsa> {
     name: String,
-    instrs: Vec<Instr>,
+    instrs: Vec<I::Instr>,
     mem_words: usize,
 }
 
@@ -50,38 +52,24 @@ impl fmt::Display for ProgramError {
 
 impl std::error::Error for ProgramError {}
 
-impl Program {
+impl<I: Isa> Program<I> {
     /// Creates a program from a name, instruction sequence and data-memory
-    /// size (in 64-bit words).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any branch/jump target is out of range — programs with
-    /// dangling targets cannot be executed or analysed. Use
-    /// [`Program::try_new`] when the instructions come from an untrusted
-    /// source (e.g. decoded wire bytes).
-    pub fn new(name: impl Into<String>, instrs: Vec<Instr>, mem_words: usize) -> Self {
-        match Program::try_new(name, instrs, mem_words) {
-            Ok(program) => program,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible counterpart of [`Program::new`]: validates every
-    /// branch/jump target instead of panicking, so foreign instruction
-    /// streams can be rejected with a typed error.
+    /// size (in words), validating every branch/jump target so foreign
+    /// instruction streams are rejected with a typed error rather than a
+    /// later panic.
     ///
     /// # Errors
     ///
     /// [`ProgramError::DanglingTarget`] when an instruction's target lies
-    /// beyond the instruction sequence.
+    /// beyond the instruction sequence (a target *equal to* the length is
+    /// allowed: it halts by falling off the end).
     pub fn try_new(
         name: impl Into<String>,
-        instrs: Vec<Instr>,
+        instrs: Vec<I::Instr>,
         mem_words: usize,
     ) -> Result<Self, ProgramError> {
         for (pc, instr) in instrs.iter().enumerate() {
-            if let Some(target) = instr.target() {
+            if let Some(target) = I::flow(instr).target() {
                 if target > instrs.len() {
                     return Err(ProgramError::DanglingTarget { pc, target });
                 }
@@ -100,7 +88,7 @@ impl Program {
     }
 
     /// The instruction sequence.
-    pub fn instrs(&self) -> &[Instr] {
+    pub fn instrs(&self) -> &[I::Instr] {
         &self.instrs
     }
 
@@ -114,13 +102,13 @@ impl Program {
         self.instrs.is_empty()
     }
 
-    /// Size of the data memory in 64-bit words.
+    /// Size of the data memory in words.
     pub fn mem_words(&self) -> usize {
         self.mem_words
     }
 
     /// The instruction at `pc`, if in range.
-    pub fn get(&self, pc: usize) -> Option<&Instr> {
+    pub fn get(&self, pc: usize) -> Option<&I::Instr> {
         self.instrs.get(pc)
     }
 
@@ -135,7 +123,7 @@ impl Program {
     }
 }
 
-impl fmt::Display for Program {
+impl<I: Isa> fmt::Display for Program<I> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -150,12 +138,14 @@ impl fmt::Display for Program {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instr::Instr;
     use crate::opcode::BranchCond;
     use crate::reg::Reg;
 
     #[test]
     fn disassembly_lists_every_instruction() {
-        let p = Program::new("t", vec![Instr::Li { rd: Reg(1), imm: 1 }, Instr::Halt], 8);
+        let p: Program =
+            Program::try_new("t", vec![Instr::Li { rd: Reg(1), imm: 1 }, Instr::Halt], 8).unwrap();
         let listing = p.disassemble();
         assert!(listing.contains("0: li r1, 1"));
         assert!(listing.contains("1: halt"));
@@ -163,31 +153,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out-of-range")]
-    fn rejects_dangling_branch_target() {
-        Program::new(
+    fn try_new_reports_dangling_targets_without_panicking() {
+        let bad: Result<Program, _> = Program::try_new(
             "bad",
-            vec![Instr::Branch {
-                cond: BranchCond::Eq,
-                rs1: Reg(0),
-                rs2: Reg(0),
-                target: 100,
-            }],
+            vec![
+                Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: Reg(0),
+                    rs2: Reg(0),
+                    target: 100,
+                },
+                Instr::Halt,
+            ],
             8,
         );
-    }
-
-    #[test]
-    fn try_new_reports_dangling_targets_without_panicking() {
-        let bad = Program::try_new("bad", vec![Instr::Jump { target: 7 }, Instr::Halt], 8);
-        assert_eq!(bad, Err(ProgramError::DanglingTarget { pc: 0, target: 7 }));
-        let ok = Program::try_new("ok", vec![Instr::Jump { target: 2 }, Instr::Halt], 8);
+        assert_eq!(
+            bad,
+            Err(ProgramError::DanglingTarget { pc: 0, target: 100 })
+        );
+        let dangling: Result<Program, _> =
+            Program::try_new("bad", vec![Instr::Jump { target: 7 }, Instr::Halt], 8);
+        assert_eq!(
+            dangling,
+            Err(ProgramError::DanglingTarget { pc: 0, target: 7 })
+        );
+        let ok: Result<Program, _> =
+            Program::try_new("ok", vec![Instr::Jump { target: 2 }, Instr::Halt], 8);
         assert!(ok.is_ok());
     }
 
     #[test]
     fn accessors() {
-        let p = Program::new("t", vec![Instr::Halt], 4);
+        let p: Program = Program::try_new("t", vec![Instr::Halt], 4).unwrap();
         assert_eq!(p.mem_words(), 4);
         assert!(!p.is_empty());
         assert_eq!(p.get(0), Some(&Instr::Halt));

@@ -1,0 +1,162 @@
+//! Property and robustness tests for the ISA-B ([`RvIsa`]) 12-byte
+//! instruction encoding, driven by a deterministic inline RNG so the suite
+//! builds offline with no external crates.
+//!
+//! Beyond the encode/decode round-trip, the decoder is exercised against
+//! *every* single-bit corruption of every generated encoding and every
+//! truncated prefix: it must never panic, and whatever it does accept must
+//! re-encode to a stable fixed point (no decode-normalisation loops).
+
+use glaive_isa::{
+    Isa, Opcode, Reg, RvAluOp, RvBranchCond, RvImmOp, RvInstr, RvIsa, NUM_REGS,
+    RV_INSTR_ENCODING_LEN,
+};
+
+const CASES: u64 = 2048;
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg(self.below(NUM_REGS as u64) as u8)
+    }
+
+    fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
+        pool[self.below(pool.len() as u64) as usize]
+    }
+
+    /// A uniformly chosen well-formed ISA-B instruction.
+    fn instr(&mut self) -> RvInstr {
+        match self.below(9) {
+            0 => RvInstr::Alu {
+                op: self.pick(&RvAluOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            1 => RvInstr::AluImm {
+                op: self.pick(&RvImmOp::ALL),
+                rd: self.reg(),
+                rs1: self.reg(),
+                imm: self.next() as i32,
+            },
+            2 => RvInstr::Lui {
+                rd: self.reg(),
+                imm: self.next() as i32,
+            },
+            3 => RvInstr::Ld {
+                rd: self.reg(),
+                base: self.reg(),
+                offset: self.below(2048) as i32 - 1024,
+            },
+            4 => RvInstr::Sd {
+                rs2: self.reg(),
+                base: self.reg(),
+                offset: self.below(2048) as i32 - 1024,
+            },
+            5 => RvInstr::Branch {
+                cond: self.pick(&RvBranchCond::ALL),
+                rs1: self.reg(),
+                rs2: self.reg(),
+                target: self.below(4096) as usize,
+            },
+            6 => RvInstr::Jal {
+                rd: self.reg(),
+                target: self.below(4096) as usize,
+            },
+            7 => RvInstr::Ecall,
+            _ => RvInstr::Ebreak,
+        }
+    }
+}
+
+/// encode → decode is the identity on all well-formed instructions, and the
+/// encoding always has the fixed ISA-B width.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let instr = rng.instr();
+        let bytes = RvIsa::encode(&instr);
+        assert_eq!(bytes.len(), RV_INSTR_ENCODING_LEN);
+        assert_eq!(RvIsa::decode(&bytes).expect("well-formed"), instr);
+    }
+}
+
+/// Flipping any single bit of any encoding must yield either a typed decode
+/// error or another well-formed instruction — never a panic, and never an
+/// instruction whose own encoding fails to round-trip.
+#[test]
+fn every_single_bit_flip_is_handled() {
+    let mut rng = Rng(12);
+    for _ in 0..512 {
+        let bytes = RvIsa::encode(&rng.instr());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[byte] ^= 1 << bit;
+                if let Ok(mutant) = RvIsa::decode(&evil) {
+                    let reencoded = RvIsa::encode(&mutant);
+                    assert_eq!(
+                        RvIsa::decode(&reencoded).expect("mutant re-encoding decodes"),
+                        mutant,
+                        "accepted mutant is not an encode/decode fixed point"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every strict prefix of a valid encoding is rejected, not misparsed.
+#[test]
+fn every_truncation_is_rejected() {
+    let mut rng = Rng(13);
+    for _ in 0..512 {
+        let bytes = RvIsa::encode(&rng.instr());
+        for len in 0..bytes.len() {
+            assert!(
+                RvIsa::decode(&bytes[..len]).is_err(),
+                "truncated {len}-byte prefix decoded"
+            );
+        }
+    }
+}
+
+/// Register operands reported through the [`Isa`] trait are always valid,
+/// `x0` never appears as a definition or a dataflow use of the `li` pseudo,
+/// and every canonical opcode index stays inside the shared vocabulary.
+#[test]
+fn operands_and_opcodes_respect_isa_b_rules() {
+    let mut rng = Rng(14);
+    for _ in 0..CASES {
+        let instr = rng.instr();
+        for r in RvIsa::defs(&instr).iter().chain(RvIsa::uses(&instr).iter()) {
+            assert!(r.is_valid());
+        }
+        assert!(
+            !RvIsa::defs(&instr).contains(&Reg(0)),
+            "x0 write reported as a definition: {instr}"
+        );
+        if let RvInstr::AluImm { rs1: Reg(0), .. } = instr {
+            assert!(
+                RvIsa::uses(&instr).is_empty(),
+                "hardwired-zero read reported as a use: {instr}"
+            );
+        }
+        assert!(RvIsa::opcode_index(&instr) < Opcode::COUNT);
+    }
+}

@@ -22,7 +22,8 @@
 //! // Two linearly separable blobs.
 //! let x = Matrix::from_vec(4, 2, vec![0.0, 0.1, 0.1, 0.0, 1.0, 0.9, 0.9, 1.0]);
 //! let labels = vec![0usize, 0, 1, 1];
-//! let mut mlp = MlpClassifier::new(2, 2, &MlpConfig { hidden: 16, epochs: 200, ..MlpConfig::default() });
+//! let config = MlpConfig { hidden: 16, epochs: 200, ..MlpConfig::default() };
+//! let mut mlp = MlpClassifier::try_new(2, 2, &config).expect("valid model config");
 //! mlp.train(&x, &labels, None);
 //! assert_eq!(mlp.predict_labels(&x), labels);
 //! ```
@@ -32,5 +33,5 @@ mod mlp;
 mod svr;
 
 pub use forest::{ForestConfig, RandomForest};
-pub use mlp::{MlpClassifier, MlpConfig};
+pub use mlp::{MlpClassifier, MlpConfig, MlpConfigError};
 pub use svr::{SvrConfig, SvrRff};

@@ -37,16 +37,53 @@ pub struct MlpClassifier {
     config: MlpConfig,
 }
 
+/// Rejected classifier shape: a dimension below its minimum legal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The smallest value the field accepts.
+    pub min: usize,
+}
+
+impl std::fmt::Display for MlpConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid MLP config: `{}` must be at least {}",
+            self.field, self.min
+        )
+    }
+}
+
+impl std::error::Error for MlpConfigError {}
+
 impl MlpClassifier {
     /// Creates a classifier mapping `in_dim` features to `classes` logits.
-    pub fn new(in_dim: usize, classes: usize, config: &MlpConfig) -> MlpClassifier {
-        assert!(classes >= 2, "need at least two classes");
+    ///
+    /// # Errors
+    ///
+    /// [`MlpConfigError`] if `in_dim` or the hidden width is zero, or
+    /// `classes` is below two.
+    pub fn try_new(
+        in_dim: usize,
+        classes: usize,
+        config: &MlpConfig,
+    ) -> Result<MlpClassifier, MlpConfigError> {
+        let floors = [
+            ("in_dim", in_dim, 1),
+            ("classes", classes, 2),
+            ("hidden", config.hidden, 1),
+        ];
+        if let Some(&(field, _, min)) = floors.iter().find(|&&(_, value, min)| value < min) {
+            return Err(MlpConfigError { field, min });
+        }
         let mut rng = DetRng::new(config.seed);
-        MlpClassifier {
+        Ok(MlpClassifier {
             l1: Linear::glorot(in_dim, config.hidden, &mut rng),
             l2: Linear::glorot(config.hidden, classes, &mut rng),
             config: *config,
-        }
+        })
     }
 
     /// The configuration the classifier was built with.
@@ -111,7 +148,7 @@ mod tests {
     #[test]
     fn separates_three_blobs() {
         let (x, y) = blobs(30, 5);
-        let mut mlp = MlpClassifier::new(
+        let mut mlp = MlpClassifier::try_new(
             2,
             3,
             &MlpConfig {
@@ -120,7 +157,8 @@ mod tests {
                 epochs: 150,
                 seed: 2,
             },
-        );
+        )
+        .expect("valid model config");
         let losses = mlp.train(&x, &y, None);
         assert!(losses.last().expect("nonempty") < &0.2);
         let pred = mlp.predict_labels(&x);
@@ -132,7 +170,7 @@ mod tests {
     fn generalises_to_fresh_samples() {
         let (xt, yt) = blobs(40, 5);
         let (xv, yv) = blobs(20, 77);
-        let mut mlp = MlpClassifier::new(
+        let mut mlp = MlpClassifier::try_new(
             2,
             3,
             &MlpConfig {
@@ -141,7 +179,8 @@ mod tests {
                 epochs: 150,
                 seed: 2,
             },
-        );
+        )
+        .expect("valid model config");
         mlp.train(&xt, &yt, None);
         let pred = mlp.predict_labels(&xv);
         let acc = pred.iter().zip(&yv).filter(|(p, l)| p == l).count() as f64 / yv.len() as f64;
@@ -158,7 +197,7 @@ mod tests {
                 *label = (*label + 1) % 3;
             }
         }
-        let mut mlp = MlpClassifier::new(
+        let mut mlp = MlpClassifier::try_new(
             2,
             3,
             &MlpConfig {
@@ -167,7 +206,8 @@ mod tests {
                 epochs: 120,
                 seed: 2,
             },
-        );
+        )
+        .expect("valid model config");
         mlp.train(&x, &y, Some(&mask));
         let pred = mlp.predict_labels(&x);
         let correct = pred
@@ -189,8 +229,8 @@ mod tests {
             epochs: 20,
             seed: 42,
         };
-        let mut a = MlpClassifier::new(2, 3, &cfg);
-        let mut b = MlpClassifier::new(2, 3, &cfg);
+        let mut a = MlpClassifier::try_new(2, 3, &cfg).expect("valid model config");
+        let mut b = MlpClassifier::try_new(2, 3, &cfg).expect("valid model config");
         assert_eq!(a.train(&x, &y, None), b.train(&x, &y, None));
     }
 }

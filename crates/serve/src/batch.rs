@@ -278,7 +278,7 @@ mod tests {
     }
 
     fn model() -> GraphSage {
-        GraphSage::new(
+        GraphSage::try_new(
             glaive_cdfg::FEATURE_DIM,
             &SageConfig {
                 hidden: 8,
@@ -286,6 +286,7 @@ mod tests {
                 ..SageConfig::default()
             },
         )
+        .expect("valid model config")
     }
 
     #[test]

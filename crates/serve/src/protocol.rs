@@ -30,9 +30,11 @@
 use std::fmt;
 
 use glaive_isa::{Instr, Program, INSTR_ENCODING_LEN};
-use glaive_wire::{put_f32, put_str, put_u32, put_u64, seal, Reader};
+use glaive_wire::Reader;
 
-pub use glaive_wire::{fnv1a, read_frame, write_frame, ProtocolError, MAX_FRAME_LEN};
+pub use glaive_wire::{
+    fnv1a, read_frame, write_frame, Frame, FrameBuilder, ProtocolError, MAX_FRAME_LEN,
+};
 
 /// Magic + format version of every frame. Bump the trailing digit on any
 /// layout change: decoders reject other versions with
@@ -225,31 +227,28 @@ fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
     glaive_wire::open(payload, MAGIC)
 }
 
-fn encode_spec(out: &mut Vec<u8>, spec: &ProgramSpec) {
+fn encode_spec(b: &mut FrameBuilder, spec: &ProgramSpec) {
     match spec {
         ProgramSpec::Suite { name, seed } => {
-            out.push(0);
-            put_str(out, name);
-            put_u64(out, *seed);
+            b.u8(0).str(name).u64(*seed);
         }
         ProgramSpec::Raw(program) => {
-            out.push(1);
-            put_str(out, program.name());
-            put_u64(out, program.mem_words() as u64);
-            put_u32(out, program.len() as u32);
+            b.u8(1)
+                .str(program.name())
+                .u64(program.mem_words() as u64)
+                .u32(program.len() as u32);
             for instr in program.instrs() {
-                out.extend_from_slice(&instr.encode());
+                b.raw(&instr.encode());
             }
         }
     }
 }
 
 impl Request {
-    /// Serialises the request into a sealed payload (length prefix not
+    /// Serialises the request into a sealed [`Frame`] (length prefix not
     /// included — [`write_frame`] adds it).
-    pub fn to_frame(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(MAGIC);
+    pub fn to_frame(&self) -> Frame {
+        let mut b = FrameBuilder::new(MAGIC);
         match self {
             Request::Predict {
                 spec,
@@ -257,20 +256,26 @@ impl Request {
                 top_k,
                 want_bits,
             } => {
-                out.push(OP_PREDICT);
-                put_u32(&mut out, *stride);
-                put_u32(&mut out, *top_k);
-                out.push(*want_bits as u8);
-                encode_spec(&mut out, spec);
+                b.u8(OP_PREDICT)
+                    .u32(*stride)
+                    .u32(*top_k)
+                    .u8(*want_bits as u8);
+                encode_spec(&mut b, spec);
             }
-            Request::Stats => out.push(OP_STATS),
-            Request::Ping => out.push(OP_PING),
-            Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::Stats => {
+                b.u8(OP_STATS);
+            }
+            Request::Ping => {
+                b.u8(OP_PING);
+            }
+            Request::Shutdown => {
+                b.u8(OP_SHUTDOWN);
+            }
         }
-        seal(out)
+        b.seal()
     }
 
-    /// Decodes a sealed request payload.
+    /// Decodes a sealed request payload (raw wire bytes).
     ///
     /// # Errors
     ///
@@ -344,49 +349,43 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<ProgramSpec, ProtocolError> {
 }
 
 impl Response {
-    /// Serialises the response into a sealed payload.
-    pub fn to_frame(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(MAGIC);
+    /// Serialises the response into a sealed [`Frame`].
+    pub fn to_frame(&self) -> Frame {
+        let mut b = FrameBuilder::new(MAGIC);
         match self {
             Response::Predict(p) => {
-                out.push(OP_R_PREDICT);
-                put_u32(&mut out, p.node_count);
-                put_u32(&mut out, p.batch_size);
-                put_u32(&mut out, p.tuples.len() as u32);
+                b.u8(OP_R_PREDICT)
+                    .u32(p.node_count)
+                    .u32(p.batch_size)
+                    .u32(p.tuples.len() as u32);
                 for t in &p.tuples {
                     match t {
                         Some([c, s, m]) => {
-                            out.push(1);
-                            put_f32(&mut out, *c);
-                            put_f32(&mut out, *s);
-                            put_f32(&mut out, *m);
+                            b.u8(1).f32(*c).f32(*s).f32(*m);
                         }
                         None => {
-                            out.push(0);
-                            out.extend_from_slice(&[0u8; 12]);
+                            b.u8(0).raw(&[0u8; 12]);
                         }
                     }
                 }
-                put_u32(&mut out, p.top_k.len() as u32);
+                b.u32(p.top_k.len() as u32);
                 for &pc in &p.top_k {
-                    put_u32(&mut out, pc);
+                    b.u32(pc);
                 }
                 match &p.bit_probs {
-                    None => out.push(0),
+                    None => {
+                        b.u8(0);
+                    }
                     Some(rows) => {
-                        out.push(1);
-                        put_u32(&mut out, rows.len() as u32);
+                        b.u8(1).u32(rows.len() as u32);
                         for [c, s, m] in rows {
-                            put_f32(&mut out, *c);
-                            put_f32(&mut out, *s);
-                            put_f32(&mut out, *m);
+                            b.f32(*c).f32(*s).f32(*m);
                         }
                     }
                 }
             }
             Response::Stats(s) => {
-                out.push(OP_R_STATS);
+                b.u8(OP_R_STATS);
                 for v in [
                     s.requests,
                     s.predictions,
@@ -396,18 +395,20 @@ impl Response {
                     s.cache_misses,
                     s.errors,
                 ] {
-                    put_u64(&mut out, v);
+                    b.u64(v);
                 }
             }
-            Response::Pong => out.push(OP_R_PONG),
-            Response::ShutdownAck => out.push(OP_R_SHUTDOWN),
+            Response::Pong => {
+                b.u8(OP_R_PONG);
+            }
+            Response::ShutdownAck => {
+                b.u8(OP_R_SHUTDOWN);
+            }
             Response::Error { code, message } => {
-                out.push(OP_R_ERROR);
-                out.push(code.to_byte());
-                put_str(&mut out, message);
+                b.u8(OP_R_ERROR).u8(code.to_byte()).str(message);
             }
         }
-        seal(out)
+        b.seal()
     }
 
     /// Decodes a sealed response payload.
@@ -554,7 +555,7 @@ mod tests {
     fn requests_roundtrip() {
         for req in sample_requests() {
             let frame = req.to_frame();
-            assert_eq!(Request::from_frame(&frame).expect("roundtrip"), req);
+            assert_eq!(Request::from_frame(frame.bytes()).expect("roundtrip"), req);
         }
     }
 
@@ -562,20 +563,23 @@ mod tests {
     fn responses_roundtrip() {
         for resp in sample_responses() {
             let frame = resp.to_frame();
-            assert_eq!(Response::from_frame(&frame).expect("roundtrip"), resp);
+            assert_eq!(
+                Response::from_frame(frame.bytes()).expect("roundtrip"),
+                resp
+            );
         }
     }
 
     #[test]
     fn stream_framing_roundtrips() {
         let mut wire = Vec::new();
-        let frames: Vec<Vec<u8>> = sample_requests().iter().map(Request::to_frame).collect();
+        let frames: Vec<Frame> = sample_requests().iter().map(Request::to_frame).collect();
         for f in &frames {
             write_frame(&mut wire, f).expect("write");
         }
         let mut cursor = &wire[..];
         for f in &frames {
-            assert_eq!(&read_frame(&mut cursor).expect("read"), f);
+            assert_eq!(read_frame(&mut cursor).expect("read"), f.bytes());
         }
         assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
     }
@@ -586,20 +590,19 @@ mod tests {
         // correctly checksummed frame can ship a jump past the program end.
         // Build such a frame by hand (Request::to_frame can't — a Program
         // with a dangling target is unconstructible).
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(OP_PREDICT);
-        put_u32(&mut out, 8); // stride
-        put_u32(&mut out, 4); // top_k
-        out.push(0); // want_bits
-        out.push(1); // ProgramSpec::Raw tag
-        put_str(&mut out, "evil");
-        put_u64(&mut out, 4); // mem_words
-        put_u32(&mut out, 1); // instruction count
-        out.extend_from_slice(&glaive_isa::Instr::Jump { target: 1000 }.encode());
-        let frame = seal(out);
+        let mut b = FrameBuilder::new(MAGIC);
+        b.u8(OP_PREDICT)
+            .u32(8) // stride
+            .u32(4) // top_k
+            .u8(0) // want_bits
+            .u8(1) // ProgramSpec::Raw tag
+            .str("evil")
+            .u64(4) // mem_words
+            .u32(1) // instruction count
+            .raw(&glaive_isa::Instr::Jump { target: 1000 }.encode());
+        let frame = b.seal();
         assert_eq!(
-            Request::from_frame(&frame),
+            Request::from_frame(frame.bytes()),
             Err(ProtocolError::Corrupt("branch/jump target out of range"))
         );
     }
@@ -622,8 +625,7 @@ mod tests {
             Request::from_frame(b"NOTSRV01................"),
             Err(ProtocolError::BadMagic)
         );
-        let frame = Request::Stats.to_frame();
-        let mut wrong = frame.clone();
+        let mut wrong = Request::Stats.to_frame().into_bytes();
         let body_pos = MAGIC.len();
         wrong[body_pos] ^= 0x40;
         assert_eq!(Request::from_frame(&wrong), Err(ProtocolError::Checksum));

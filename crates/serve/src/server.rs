@@ -44,6 +44,12 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Server construction failure.
 #[derive(Debug)]
 pub enum ServeError {
+    /// A [`ServerConfig`] field is out of range (zero workers or cache
+    /// slots).
+    Config {
+        /// The offending field.
+        field: &'static str,
+    },
     /// The model cannot serve CDFG features (wrong input width or class
     /// count) — refusing at bind time beats corrupt answers at runtime.
     Model(String),
@@ -54,6 +60,9 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ServeError::Config { field } => {
+                write!(f, "invalid server config: `{field}` must be at least 1")
+            }
             ServeError::Model(m) => write!(f, "unsuitable model: {m}"),
             ServeError::Io(e) => write!(f, "bind failed: {e}"),
         }
@@ -76,6 +85,35 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Prepared-program LRU capacity.
     pub cache_capacity: usize,
+}
+
+impl ServerConfig {
+    /// Validating constructor: a server needs at least one connection
+    /// worker and one cache slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the zero field.
+    pub fn try_new(workers: usize, cache_capacity: usize) -> Result<ServerConfig, ServeError> {
+        let config = ServerConfig {
+            workers,
+            cache_capacity,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.workers < 1 {
+            return Err(ServeError::Config { field: "workers" });
+        }
+        if self.cache_capacity < 1 {
+            return Err(ServeError::Config {
+                field: "cache_capacity",
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for ServerConfig {
@@ -141,6 +179,7 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Server, ServeError> {
+        config.validate()?;
         if model.input_dim() != glaive_cdfg::FEATURE_DIM {
             return Err(ServeError::Model(format!(
                 "model expects {}-dim node features, CDFG produces {}",

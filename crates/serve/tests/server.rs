@@ -9,15 +9,24 @@ use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
 use glaive_gnn::{GraphSage, SageConfig};
 use glaive_isa::{AluOp, Asm, BranchCond, Program, Reg};
 use glaive_nn::Matrix;
-use glaive_serve::protocol::{read_frame, write_frame, MAGIC};
+use glaive_serve::protocol::{read_frame, MAGIC};
 use glaive_serve::{
     Client, ErrorCode, ProgramSpec, ProtocolError, Request, Response, Server, ServerConfig,
 };
 
 const STRIDE: usize = 16;
 
+/// Writes arbitrary bytes with the wire length prefix, bypassing the
+/// sealed [`glaive_serve::protocol::Frame`] API — production code cannot
+/// do this, which is exactly what the corruption tests need.
+fn write_raw(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
 fn model() -> GraphSage {
-    GraphSage::new(
+    GraphSage::try_new(
         FEATURE_DIM,
         &SageConfig {
             hidden: 8,
@@ -29,6 +38,7 @@ fn model() -> GraphSage {
             seed: 9,
         },
     )
+    .expect("valid model config")
 }
 
 /// Three small, structurally distinct programs so coalesced batches mix
@@ -180,7 +190,7 @@ fn request_frames_reject_every_single_byte_flip_and_truncation() {
         top_k: 4,
         want_bits: true,
     };
-    let payload = request.to_frame();
+    let payload = request.to_frame().into_bytes();
     assert!(payload.len() > MAGIC.len() + 8);
     for pos in 0..payload.len() {
         for flip in [0x01u8, 0xff] {
@@ -211,7 +221,7 @@ fn response_frames_reject_every_single_byte_flip_and_truncation() {
         batch_size: 3,
         bit_probs: Some(vec![[0.5, 0.25, 0.25]; 9]),
     });
-    let payload = response.to_frame();
+    let payload = response.to_frame().into_bytes();
     for pos in 0..payload.len() {
         for flip in [0x01u8, 0xff] {
             let mut tampered = payload.clone();
@@ -239,11 +249,13 @@ fn server_survives_corrupt_frames_on_the_wire() {
     let addr = server.local_addr();
     let handle = server.spawn();
 
-    let mut payload = Request::Ping.to_frame();
+    let mut payload = Request::Ping.to_frame().into_bytes();
     let last = payload.len() - 1;
     payload[last] ^= 0xff; // break the checksum
     let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
-    write_frame(&mut stream, &payload).expect("send corrupt frame");
+    // The sealed-frame API refuses to carry these bytes, so the attacker
+    // frames them by hand: u32 length prefix, then the raw payload.
+    write_raw(&mut stream, &payload).expect("send corrupt frame");
     let reply = read_frame(&mut stream).expect("server answers");
     match Response::from_frame(&reply) {
         Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),

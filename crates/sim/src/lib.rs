@@ -44,28 +44,76 @@ mod machine;
 mod outcome;
 
 pub use fault::{FaultSpec, OperandSlot};
-pub use machine::{ExecConfig, ExitStatus, MachineError, RunResult, Simulator, Trap};
+pub use machine::{
+    ExecConfig, ExecConfigError, ExitStatus, MachineError, RunResult, Simulator, Trap,
+};
 pub use outcome::{classify, Outcome};
 
-use glaive_isa::Program;
+use glaive_isa::{Isa, Program};
 
 /// Runs `program` to completion on a fresh machine whose memory is
-/// initialised from `init_mem` (the remainder is zero-filled).
+/// initialised from `init_mem` (the remainder is zero-filled). Works for any
+/// instruction-set backend; the ISA is inferred from the program.
 ///
 /// This is the *golden* (fault-free) execution used as the reference for
 /// outcome classification.
-pub fn run(program: &Program, init_mem: &[u64], cfg: &ExecConfig) -> RunResult {
-    Simulator::new(program, init_mem, cfg).run()
+///
+/// # Panics
+///
+/// Panics if `init_mem` exceeds the program's declared data memory; use
+/// [`try_run`] to get the violation as a value instead.
+pub fn run<I: Isa>(program: &Program<I>, init_mem: &[u64], cfg: &ExecConfig) -> RunResult {
+    match try_run(program, init_mem, cfg) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible counterpart of [`run`].
+///
+/// # Errors
+///
+/// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
+/// declared data memory.
+pub fn try_run<I: Isa>(
+    program: &Program<I>,
+    init_mem: &[u64],
+    cfg: &ExecConfig,
+) -> Result<RunResult, MachineError> {
+    Ok(Simulator::try_new(program, init_mem, cfg)?.run())
 }
 
 /// Runs `program` with a single-bit upset injected according to `fault`.
-pub fn run_with_fault(
-    program: &Program,
+///
+/// # Panics
+///
+/// Panics if `init_mem` exceeds the program's declared data memory; use
+/// [`try_run_with_fault`] to get the violation as a value instead.
+pub fn run_with_fault<I: Isa>(
+    program: &Program<I>,
     init_mem: &[u64],
     cfg: &ExecConfig,
     fault: &FaultSpec,
 ) -> RunResult {
-    let mut sim = Simulator::new(program, init_mem, cfg);
+    match try_run_with_fault(program, init_mem, cfg, fault) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible counterpart of [`run_with_fault`].
+///
+/// # Errors
+///
+/// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
+/// declared data memory.
+pub fn try_run_with_fault<I: Isa>(
+    program: &Program<I>,
+    init_mem: &[u64],
+    cfg: &ExecConfig,
+    fault: &FaultSpec,
+) -> Result<RunResult, MachineError> {
+    let mut sim = Simulator::try_new(program, init_mem, cfg)?;
     sim.arm_fault(*fault);
-    sim.run()
+    Ok(sim.run())
 }

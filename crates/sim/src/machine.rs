@@ -1,6 +1,8 @@
 use std::fmt;
 
-use glaive_isa::{AluOp, CvtOp, FpuOp, FpuUnaryOp, Instr, Program, Reg, NUM_REGS};
+use glaive_isa::{GlaiveIsa, Isa, MachineState, Program, Reg, Step};
+
+pub use glaive_isa::Trap;
 
 use crate::fault::{FaultSpec, OperandSlot};
 
@@ -20,37 +22,34 @@ impl Default for ExecConfig {
     }
 }
 
-/// A processor exception raised during execution. Any trap terminates the
-/// program and classifies the run as a Crash.
+/// Why an [`ExecConfig`] is invalid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Trap {
-    /// Load from an address outside the data memory.
-    OutOfBoundsLoad {
-        /// The faulting word address.
-        addr: u64,
-    },
-    /// Store to an address outside the data memory.
-    OutOfBoundsStore {
-        /// The faulting word address.
-        addr: u64,
-    },
-    /// Integer division or remainder by zero.
-    DivByZero,
-    /// Control transferred outside the program text (e.g. fell off the end).
-    InvalidPc {
-        /// The invalid program counter.
-        pc: usize,
-    },
+pub enum ExecConfigError {
+    /// A zero instruction budget cannot distinguish a hang from any run.
+    ZeroBudget,
 }
 
-impl fmt::Display for Trap {
+impl fmt::Display for ExecConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::OutOfBoundsLoad { addr } => write!(f, "out-of-bounds load at {addr:#x}"),
-            Trap::OutOfBoundsStore { addr } => write!(f, "out-of-bounds store at {addr:#x}"),
-            Trap::DivByZero => write!(f, "integer divide by zero"),
-            Trap::InvalidPc { pc } => write!(f, "invalid program counter {pc}"),
+            ExecConfigError::ZeroBudget => write!(f, "instruction budget must be at least 1"),
         }
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
+
+impl ExecConfig {
+    /// Creates a validated execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecConfigError::ZeroBudget`] if `max_instrs` is zero.
+    pub fn try_new(max_instrs: u64) -> Result<Self, ExecConfigError> {
+        if max_instrs == 0 {
+            return Err(ExecConfigError::ZeroBudget);
+        }
+        Ok(ExecConfig { max_instrs })
     }
 }
 
@@ -121,18 +120,16 @@ impl fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 /// An interpreter for one program execution, optionally with a single armed
-/// fault.
+/// fault. Generic over the instruction-set backend; defaults to
+/// [`GlaiveIsa`] (ISA-A).
 ///
 /// Most callers use the [`run`](crate::run) / [`run_with_fault`](crate::run_with_fault)
 /// convenience functions; `Simulator` is public for callers that need to
 /// single-step or inspect machine state.
 #[derive(Debug, Clone)]
-pub struct Simulator<'p> {
-    program: &'p Program,
-    regs: [u64; NUM_REGS],
-    mem: Vec<u64>,
-    pc: usize,
-    output: Vec<u64>,
+pub struct Simulator<'p, I: Isa = GlaiveIsa> {
+    program: &'p Program<I>,
+    state: MachineState,
     dyn_instrs: u64,
     exec_counts: Vec<u64>,
     max_instrs: u64,
@@ -140,34 +137,18 @@ pub struct Simulator<'p> {
     fault_fired: bool,
 }
 
-enum Control {
-    Next,
-    Goto(usize),
-    Halt,
-}
-
-impl<'p> Simulator<'p> {
+impl<'p, I: Isa> Simulator<'p, I> {
     /// Creates a simulator with memory initialised from `init_mem` (remaining
-    /// words zeroed) and all registers zeroed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `init_mem` is larger than the program's declared memory —
-    /// use [`Simulator::try_new`] to get the violation as a value instead.
-    pub fn new(program: &'p Program, init_mem: &[u64], cfg: &ExecConfig) -> Self {
-        Simulator::try_new(program, init_mem, cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Like [`Simulator::new`], but a malformed benchmark comes back as a
-    /// typed [`MachineError`] instead of a panic, so supervised pipeline
-    /// workers can fail one benchmark without taking down the pool.
+    /// words zeroed) and all registers zeroed. A malformed benchmark comes
+    /// back as a typed [`MachineError`], so supervised pipeline workers can
+    /// fail one benchmark without taking down the pool.
     ///
     /// # Errors
     ///
     /// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
     /// declared data memory.
     pub fn try_new(
-        program: &'p Program,
+        program: &'p Program<I>,
         init_mem: &[u64],
         cfg: &ExecConfig,
     ) -> Result<Self, MachineError> {
@@ -181,10 +162,7 @@ impl<'p> Simulator<'p> {
         mem[..init_mem.len()].copy_from_slice(init_mem);
         Ok(Simulator {
             program,
-            regs: [0; NUM_REGS],
-            mem,
-            pc: 0,
-            output: Vec::new(),
+            state: MachineState::new(I::NUM_REGS, mem),
             dyn_instrs: 0,
             exec_counts: vec![0; program.len()],
             max_instrs: cfg.max_instrs,
@@ -200,18 +178,18 @@ impl<'p> Simulator<'p> {
     }
 
     /// Current register file contents.
-    pub fn regs(&self) -> &[u64; NUM_REGS] {
-        &self.regs
+    pub fn regs(&self) -> &[u64] {
+        &self.state.regs
     }
 
     /// Current data memory contents.
     pub fn mem(&self) -> &[u64] {
-        &self.mem
+        &self.state.mem
     }
 
     /// Current program counter.
     pub fn pc(&self) -> usize {
-        self.pc
+        self.state.pc
     }
 
     /// Returns `true` once the armed fault has been injected.
@@ -220,7 +198,7 @@ impl<'p> Simulator<'p> {
     }
 
     fn flip(&mut self, reg: Reg, bit: u8) {
-        self.regs[reg.index()] ^= 1u64 << (bit as u32 % 64);
+        self.state.regs[reg.index()] ^= 1u64 << (bit as u32 % 64);
     }
 
     /// Executes until halt, trap, or budget exhaustion and returns the
@@ -229,7 +207,7 @@ impl<'p> Simulator<'p> {
         let status = self.run_inner();
         RunResult {
             status,
-            output: std::mem::take(&mut self.output),
+            output: std::mem::take(&mut self.state.output),
             dyn_instrs: self.dyn_instrs,
             exec_counts: std::mem::take(&mut self.exec_counts),
         }
@@ -240,18 +218,19 @@ impl<'p> Simulator<'p> {
             if self.dyn_instrs >= self.max_instrs {
                 return ExitStatus::BudgetExceeded;
             }
-            let Some(&instr) = self.program.get(self.pc) else {
-                return ExitStatus::Trapped(Trap::InvalidPc { pc: self.pc });
+            let pc = self.state.pc;
+            let Some(&instr) = self.program.get(pc) else {
+                return ExitStatus::Trapped(Trap::InvalidPc { pc });
             };
 
             // Fault injection: fire when this PC reaches the armed dynamic
             // instance. `exec_counts[pc]` counts *completed* prior
             // executions, so it equals the 0-based instance number here.
             let inject_def = if let Some(f) = self.fault {
-                if !self.fault_fired && f.pc == self.pc && self.exec_counts[self.pc] == f.instance {
+                if !self.fault_fired && f.pc == pc && self.exec_counts[pc] == f.instance {
                     match f.slot {
                         OperandSlot::Use(i) => {
-                            if let Some(&reg) = instr.uses().get(i) {
+                            if let Some(&reg) = I::uses(&instr).get(i) {
                                 self.flip(reg, f.bit);
                             }
                             self.fault_fired = true;
@@ -259,7 +238,7 @@ impl<'p> Simulator<'p> {
                         }
                         OperandSlot::Def(i) => {
                             self.fault_fired = true;
-                            instr.defs().get(i).copied().map(|reg| (reg, f.bit))
+                            I::defs(&instr).get(i).copied().map(|reg| (reg, f.bit))
                         }
                     }
                 } else {
@@ -269,163 +248,33 @@ impl<'p> Simulator<'p> {
                 None
             };
 
-            self.exec_counts[self.pc] += 1;
+            self.exec_counts[pc] += 1;
             self.dyn_instrs += 1;
 
-            match self.step(instr) {
-                Ok(control) => {
+            match I::execute(&instr, &mut self.state) {
+                Ok(step) => {
                     // Output faults flip the destination after the write.
                     if let Some((reg, bit)) = inject_def {
                         self.flip(reg, bit);
                     }
-                    match control {
-                        Control::Next => self.pc += 1,
-                        Control::Goto(t) => self.pc = t,
-                        Control::Halt => return ExitStatus::Halted,
+                    match step {
+                        Step::Next => self.state.pc = pc + 1,
+                        Step::Goto(t) => self.state.pc = t,
+                        Step::Halt => return ExitStatus::Halted,
                     }
                 }
                 Err(trap) => return ExitStatus::Trapped(trap),
             }
         }
     }
-
-    fn step(&mut self, instr: Instr) -> Result<Control, Trap> {
-        let r = |regs: &[u64; NUM_REGS], reg: Reg| regs[reg.index()];
-        match instr {
-            Instr::Alu { op, rd, rs1, rs2 } => {
-                let v = alu_eval(op, r(&self.regs, rs1), r(&self.regs, rs2))?;
-                self.regs[rd.index()] = v;
-                Ok(Control::Next)
-            }
-            Instr::AluImm { op, rd, rs1, imm } => {
-                let v = alu_eval(op, r(&self.regs, rs1), imm as u64)?;
-                self.regs[rd.index()] = v;
-                Ok(Control::Next)
-            }
-            Instr::Fpu { op, rd, rs1, rs2 } => {
-                let a = f64::from_bits(r(&self.regs, rs1));
-                let b = f64::from_bits(r(&self.regs, rs2));
-                self.regs[rd.index()] = fpu_eval(op, a, b);
-                Ok(Control::Next)
-            }
-            Instr::FpuUnary { op, rd, rs1 } => {
-                let a = f64::from_bits(r(&self.regs, rs1));
-                let v = match op {
-                    FpuUnaryOp::FNeg => -a,
-                    FpuUnaryOp::FAbs => a.abs(),
-                    FpuUnaryOp::FSqrt => a.sqrt(),
-                };
-                self.regs[rd.index()] = v.to_bits();
-                Ok(Control::Next)
-            }
-            Instr::Cvt { op, rd, rs1 } => {
-                let x = r(&self.regs, rs1);
-                self.regs[rd.index()] = match op {
-                    CvtOp::IntToFloat => ((x as i64) as f64).to_bits(),
-                    CvtOp::FloatToInt => (f64::from_bits(x) as i64) as u64,
-                };
-                Ok(Control::Next)
-            }
-            Instr::Li { rd, imm } => {
-                self.regs[rd.index()] = imm as u64;
-                Ok(Control::Next)
-            }
-            Instr::Mov { rd, rs1 } => {
-                self.regs[rd.index()] = r(&self.regs, rs1);
-                Ok(Control::Next)
-            }
-            Instr::Load { rd, base, offset } => {
-                let addr = r(&self.regs, base).wrapping_add(offset as u64);
-                let v = *self
-                    .mem
-                    .get(addr as usize)
-                    .ok_or(Trap::OutOfBoundsLoad { addr })?;
-                self.regs[rd.index()] = v;
-                Ok(Control::Next)
-            }
-            Instr::Store { rs, base, offset } => {
-                let addr = r(&self.regs, base).wrapping_add(offset as u64);
-                let v = r(&self.regs, rs);
-                // Large faulty addresses exceed usize on 32-bit hosts too;
-                // the get_mut covers both range checks.
-                let slot = self
-                    .mem
-                    .get_mut(addr as usize)
-                    .ok_or(Trap::OutOfBoundsStore { addr })?;
-                *slot = v;
-                Ok(Control::Next)
-            }
-            Instr::Branch {
-                cond,
-                rs1,
-                rs2,
-                target,
-            } => {
-                if cond.eval(r(&self.regs, rs1), r(&self.regs, rs2)) {
-                    Ok(Control::Goto(target))
-                } else {
-                    Ok(Control::Next)
-                }
-            }
-            Instr::Jump { target } => Ok(Control::Goto(target)),
-            Instr::Out { rs1 } => {
-                self.output.push(r(&self.regs, rs1));
-                Ok(Control::Next)
-            }
-            Instr::Halt => Ok(Control::Halt),
-        }
-    }
-}
-
-fn alu_eval(op: AluOp, a: u64, b: u64) -> Result<u64, Trap> {
-    let (sa, sb) = (a as i64, b as i64);
-    Ok(match op {
-        AluOp::Add => sa.wrapping_add(sb) as u64,
-        AluOp::Sub => sa.wrapping_sub(sb) as u64,
-        AluOp::Mul => sa.wrapping_mul(sb) as u64,
-        AluOp::Div => {
-            if sb == 0 {
-                return Err(Trap::DivByZero);
-            }
-            sa.wrapping_div(sb) as u64
-        }
-        AluOp::Rem => {
-            if sb == 0 {
-                return Err(Trap::DivByZero);
-            }
-            sa.wrapping_rem(sb) as u64
-        }
-        AluOp::And => a & b,
-        AluOp::Or => a | b,
-        AluOp::Xor => a ^ b,
-        AluOp::Shl => a.wrapping_shl(b as u32),
-        AluOp::Shr => a.wrapping_shr(b as u32),
-        AluOp::Sra => sa.wrapping_shr(b as u32) as u64,
-        AluOp::Slt => u64::from(sa < sb),
-        AluOp::Sltu => u64::from(a < b),
-        AluOp::Seq => u64::from(a == b),
-    })
-}
-
-fn fpu_eval(op: FpuOp, a: f64, b: f64) -> u64 {
-    match op {
-        FpuOp::FAdd => (a + b).to_bits(),
-        FpuOp::FSub => (a - b).to_bits(),
-        FpuOp::FMul => (a * b).to_bits(),
-        FpuOp::FDiv => (a / b).to_bits(),
-        FpuOp::FMin => a.min(b).to_bits(),
-        FpuOp::FMax => a.max(b).to_bits(),
-        FpuOp::FLt => u64::from(a < b),
-        FpuOp::FLe => u64::from(a <= b),
-        FpuOp::FEq => u64::from(a == b),
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{classify, run, run_with_fault, Outcome};
-    use glaive_isa::{Asm, BranchCond};
+    use crate::{classify, run, run_with_fault, try_run, Outcome};
+    use glaive_isa::rv::{RvAsm, RvBranchCond};
+    use glaive_isa::{AluOp, Asm, BranchCond, CvtOp};
 
     fn cfg() -> ExecConfig {
         ExecConfig { max_instrs: 10_000 }
@@ -455,46 +304,6 @@ mod tests {
         assert_eq!(r.status, ExitStatus::Halted);
         assert_eq!(r.output, vec![55]);
         assert_eq!(r.exec_counts[4], 10); // loop body ran 10 times
-    }
-
-    #[test]
-    fn alu_semantics() {
-        assert_eq!(alu_eval(AluOp::Add, 2, 3).unwrap(), 5);
-        assert_eq!(alu_eval(AluOp::Sub, 2, 3).unwrap(), (-1i64) as u64);
-        assert_eq!(alu_eval(AluOp::Mul, u64::MAX, 2).unwrap(), (-2i64) as u64);
-        assert_eq!(
-            alu_eval(AluOp::Div, (-7i64) as u64, 2).unwrap(),
-            (-3i64) as u64
-        );
-        assert_eq!(alu_eval(AluOp::Rem, 7, 3).unwrap(), 1);
-        assert_eq!(alu_eval(AluOp::Div, 1, 0), Err(Trap::DivByZero));
-        assert_eq!(alu_eval(AluOp::Rem, 1, 0), Err(Trap::DivByZero));
-        // i64::MIN / -1 wraps instead of trapping on overflow.
-        assert_eq!(
-            alu_eval(AluOp::Div, i64::MIN as u64, (-1i64) as u64).unwrap(),
-            i64::MIN as u64
-        );
-        assert_eq!(alu_eval(AluOp::Slt, (-1i64) as u64, 0).unwrap(), 1);
-        assert_eq!(alu_eval(AluOp::Sltu, (-1i64) as u64, 0).unwrap(), 0);
-        assert_eq!(alu_eval(AluOp::Shl, 1, 4).unwrap(), 16);
-        assert_eq!(
-            alu_eval(AluOp::Sra, (-16i64) as u64, 2).unwrap(),
-            (-4i64) as u64
-        );
-        assert_eq!(alu_eval(AluOp::Shr, (-16i64) as u64, 60).unwrap(), 15);
-        assert_eq!(alu_eval(AluOp::Seq, 4, 4).unwrap(), 1);
-    }
-
-    #[test]
-    fn fpu_semantics() {
-        let bits = |x: f64| x.to_bits();
-        assert_eq!(fpu_eval(FpuOp::FAdd, 1.5, 2.25), bits(3.75));
-        assert_eq!(fpu_eval(FpuOp::FDiv, 1.0, 0.0), bits(f64::INFINITY));
-        assert_eq!(fpu_eval(FpuOp::FLt, 1.0, 2.0), 1);
-        assert_eq!(fpu_eval(FpuOp::FLe, 2.0, 2.0), 1);
-        assert_eq!(fpu_eval(FpuOp::FEq, f64::NAN, f64::NAN), 0);
-        assert_eq!(fpu_eval(FpuOp::FMin, 1.0, 2.0), bits(1.0));
-        assert_eq!(fpu_eval(FpuOp::FMax, 1.0, 2.0), bits(2.0));
     }
 
     #[test]
@@ -590,9 +399,14 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("exceeds program memory"));
-        // The panicking convenience constructor preserves the message.
-        let caught = std::panic::catch_unwind(|| Simulator::new(&p, &[1, 2], &cfg()));
-        assert!(caught.is_err());
+        // The fallible free-function entry point reports the same error.
+        assert_eq!(try_run(&p, &[1, 2], &cfg()), Err(err));
+    }
+
+    #[test]
+    fn exec_config_try_new_rejects_zero_budget() {
+        assert_eq!(ExecConfig::try_new(0), Err(ExecConfigError::ZeroBudget));
+        assert_eq!(ExecConfig::try_new(7), Ok(ExecConfig { max_instrs: 7 }));
     }
 
     #[test]
@@ -691,7 +505,7 @@ mod tests {
             bit: 0,
             instance: 10_000,
         };
-        let mut sim = Simulator::new(&p, &[], &cfg());
+        let mut sim = Simulator::try_new(&p, &[], &cfg()).expect("well-formed");
         sim.arm_fault(f);
         let faulty = sim.run();
         assert!(!sim.fault_fired());
@@ -752,7 +566,7 @@ mod tests {
         asm.store(Reg(1), Reg(2), 1);
         asm.halt();
         let p = asm.finish().expect("resolves");
-        let mut sim = Simulator::new(&p, &[], &cfg());
+        let mut sim = Simulator::try_new(&p, &[], &cfg()).expect("well-formed");
         assert_eq!(sim.pc(), 0);
         assert!(!sim.fault_fired());
         let r = sim.run();
@@ -772,5 +586,50 @@ mod tests {
         let p = asm.finish().expect("resolves");
         let r = run(&p, &[], &cfg());
         assert_eq!(r.output, vec![(-42i64) as u64]);
+    }
+
+    /// The same driver (run, fault injection, classification) works on the
+    /// ISA-B backend through the `Isa` trait.
+    #[test]
+    fn rv_backend_runs_and_injects_faults() {
+        let mut asm = RvAsm::new("rv-sum");
+        let (acc, i, lim) = (Reg(5), Reg(6), Reg(7));
+        asm.li(acc, 0);
+        asm.li(i, 1);
+        asm.li(lim, 10);
+        let top = asm.label();
+        asm.bind(top);
+        asm.alu(glaive_isa::rv::RvAluOp::Add, acc, acc, i);
+        asm.addi(i, i, 1);
+        asm.branch(RvBranchCond::Bge, lim, i, top);
+        asm.mv(Reg(10), acc);
+        asm.ecall();
+        asm.ebreak();
+        let p = asm.finish().expect("resolves");
+        let golden = run(&p, &[], &cfg());
+        assert_eq!(golden.status, ExitStatus::Halted);
+        assert_eq!(golden.output, vec![55]);
+
+        // Corrupt the accumulator input of the add at its final iteration:
+        // SDC, exactly like the ISA-A twin of this test.
+        let f = FaultSpec {
+            pc: 3,
+            slot: OperandSlot::Use(0),
+            bit: 3,
+            instance: 9,
+        };
+        let faulty = run_with_fault(&p, &[], &cfg(), &f);
+        assert_eq!(classify(&golden, &faulty), Outcome::Sdc);
+
+        // A fault aimed at x0 (use 0 of `li acc` = addi acc, x0, 0) is
+        // architecturally masked: the hardwired zero reads as zero anyway.
+        let fx0 = FaultSpec {
+            pc: 0,
+            slot: OperandSlot::Use(0),
+            bit: 17,
+            instance: 0,
+        };
+        let masked = run_with_fault(&p, &[], &cfg(), &fx0);
+        assert_eq!(classify(&golden, &masked), Outcome::Masked);
     }
 }

@@ -21,6 +21,11 @@
 //! Decoders never panic on foreign bytes — every malformed frame maps to a
 //! typed [`ProtocolError`].
 //!
+//! Encoding is a sealed pipeline: a [`FrameBuilder`] accumulates the body
+//! and [`FrameBuilder::seal`] produces the only value [`write_frame`]
+//! accepts — a checksummed [`Frame`]. There is no API for putting an
+//! unchecksummed payload on the wire.
+//!
 //! Multi-byte integers are little-endian throughout; strings are
 //! length-prefixed UTF-8; floating-point values travel as bit patterns, so
 //! a decoded value is bit-identical to the encoded one.
@@ -87,33 +92,103 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Appends a `u32` in little-endian order.
-pub fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// A sealed frame payload: protocol magic, body, and the trailing FNV-1a
+/// digest over both.
+///
+/// The only way to obtain a `Frame` is [`FrameBuilder::seal`], and
+/// [`write_frame`] accepts nothing else — so every frame a GLAIVE service
+/// puts on the wire is checksummed *by construction*. (Hostile-input tests
+/// that need malformed bytes must hand-roll the length prefix themselves;
+/// production code cannot.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame(Vec<u8>);
+
+impl Frame {
+    /// The sealed payload bytes (magic + body + digest), without the
+    /// stream-level length prefix.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the frame, returning the sealed payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
 }
 
-/// Appends a `u64` in little-endian order.
-pub fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// Incremental encoder for one frame: starts from the protocol magic,
+/// accumulates body fields in the little-endian wire discipline, and
+/// [`seal`](FrameBuilder::seal)s into a [`Frame`] by appending the FNV-1a
+/// digest of everything written.
+///
+/// ```
+/// use glaive_wire::{open, FrameBuilder};
+///
+/// let mut b = FrameBuilder::new(b"GLVDOC01");
+/// b.u8(0x01).u32(7).str("hi");
+/// let frame = b.seal();
+/// let mut r = open(frame.bytes(), b"GLVDOC01")?;
+/// assert_eq!(r.u8()?, 0x01);
+/// # Ok::<(), glaive_wire::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    buf: Vec<u8>,
 }
 
-/// Appends an `f32` as its little-endian bit pattern.
-pub fn put_f32(out: &mut Vec<u8>, v: f32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
+impl FrameBuilder {
+    /// Starts a frame for the protocol identified by `magic`.
+    pub fn new(magic: &[u8; 8]) -> FrameBuilder {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(magic);
+        FrameBuilder { buf }
+    }
 
-/// Appends a `u32`-length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut FrameBuilder {
+        self.buf.push(v);
+        self
+    }
 
-/// Seals a payload: appends the FNV-1a digest of everything written so
-/// far. The payload must already start with the protocol magic.
-pub fn seal(mut payload: Vec<u8>) -> Vec<u8> {
-    let digest = fnv1a(&payload);
-    payload.extend_from_slice(&digest.to_le_bytes());
-    payload
+    /// Appends a `u32` in little-endian order.
+    pub fn u32(&mut self, v: u32) -> &mut FrameBuilder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn u64(&mut self, v: u64) -> &mut FrameBuilder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f32` as its little-endian bit pattern.
+    pub fn f32(&mut self, v: f32) -> &mut FrameBuilder {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut FrameBuilder {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends raw bytes verbatim (e.g. an encoded instruction).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut FrameBuilder {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Seals the frame: appends the FNV-1a digest of everything written so
+    /// far (magic included) and freezes the bytes.
+    pub fn seal(self) -> Frame {
+        let mut payload = self.buf;
+        let digest = fnv1a(&payload);
+        payload.extend_from_slice(&digest.to_le_bytes());
+        Frame(payload)
+    }
 }
 
 /// Validates magic and checksum, returning a reader over the body (opcode
@@ -250,12 +325,14 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame. Only sealed [`Frame`]s are accepted,
+/// so a caller cannot put an unchecksummed payload on the wire.
 ///
 /// # Errors
 ///
 /// Propagates transport failures.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let payload = frame.bytes();
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -371,21 +448,16 @@ mod tests {
 
     const MAGIC: &[u8; 8] = b"GLVTST01";
 
-    fn sample_frame() -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(0x07);
-        put_u32(&mut out, 0xdead_beef);
-        put_u64(&mut out, 42);
-        put_f32(&mut out, 1.5);
-        put_str(&mut out, "hello");
-        seal(out)
+    fn sample_frame() -> Frame {
+        let mut b = FrameBuilder::new(MAGIC);
+        b.u8(0x07).u32(0xdead_beef).u64(42).f32(1.5).str("hello");
+        b.seal()
     }
 
     #[test]
     fn seal_open_roundtrips() {
         let frame = sample_frame();
-        let mut r = open(&frame, MAGIC).expect("opens");
+        let mut r = open(frame.bytes(), MAGIC).expect("opens");
         assert_eq!(r.u8().expect("opcode"), 0x07);
         assert_eq!(r.u32().expect("u32"), 0xdead_beef);
         assert_eq!(r.u64().expect("u64"), 42);
@@ -396,7 +468,7 @@ mod tests {
 
     #[test]
     fn every_single_byte_flip_is_rejected() {
-        let frame = sample_frame();
+        let frame = sample_frame().into_bytes();
         for pos in 0..frame.len() {
             for mask in [0x01u8, 0xff] {
                 let mut bad = frame.clone();
@@ -414,29 +486,31 @@ mod tests {
     #[test]
     fn every_truncation_is_rejected() {
         let frame = sample_frame();
-        for cut in 0..frame.len() {
-            assert!(open(&frame[..cut], MAGIC).is_err(), "cut at {cut}");
+        let bytes = frame.bytes();
+        for cut in 0..bytes.len() {
+            assert!(open(&bytes[..cut], MAGIC).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
     fn foreign_magic_is_rejected() {
-        let mut frame = sample_frame();
-        frame[..8].copy_from_slice(b"GLVOTHER");
-        // Re-seal so only the magic is wrong, not the checksum.
-        frame.truncate(frame.len() - 8);
-        let frame = seal(frame);
-        assert_eq!(open(&frame, MAGIC).err(), Some(ProtocolError::BadMagic));
+        // A validly sealed frame of a *different* protocol: checksum fine,
+        // magic wrong.
+        let mut b = FrameBuilder::new(b"GLVOTHER");
+        b.u8(0x07);
+        let frame = b.seal();
+        assert_eq!(
+            open(frame.bytes(), MAGIC).err(),
+            Some(ProtocolError::BadMagic)
+        );
     }
 
     #[test]
     fn trailing_garbage_is_corrupt() {
-        let mut inner = Vec::new();
-        inner.extend_from_slice(MAGIC);
-        inner.push(0x01);
-        inner.push(0xaa); // undecoded trailing byte
-        let frame = seal(inner);
-        let mut r = open(&frame, MAGIC).expect("opens");
+        let mut b = FrameBuilder::new(MAGIC);
+        b.u8(0x01).u8(0xaa); // 0xaa: undecoded trailing byte
+        let frame = b.seal();
+        let mut r = open(frame.bytes(), MAGIC).expect("opens");
         assert_eq!(r.u8().expect("opcode"), 0x01);
         assert_eq!(
             r.finish(),
@@ -446,12 +520,10 @@ mod tests {
 
     #[test]
     fn counted_rejects_absurd_counts_before_allocation() {
-        let mut inner = Vec::new();
-        inner.extend_from_slice(MAGIC);
-        inner.push(0x01);
-        put_u32(&mut inner, u32::MAX); // declares 4 billion elements
-        let frame = seal(inner);
-        let mut r = open(&frame, MAGIC).expect("opens");
+        let mut b = FrameBuilder::new(MAGIC);
+        b.u8(0x01).u32(u32::MAX); // declares 4 billion elements
+        let frame = b.seal();
+        let mut r = open(frame.bytes(), MAGIC).expect("opens");
         let _ = r.u8().expect("opcode");
         assert_eq!(r.counted(8), Err(ProtocolError::Truncated));
     }
@@ -466,7 +538,7 @@ mod tests {
         let cancel = AtomicBool::new(false);
         let mut cursor = &wire[..];
         match read_frame_cancellable(&mut cursor, &cancel) {
-            ReadOutcome::Frame(p) => assert_eq!(p, frame),
+            ReadOutcome::Frame(p) => assert_eq!(p, frame.bytes()),
             _ => panic!("expected a frame"),
         }
         assert!(matches!(
@@ -496,7 +568,7 @@ mod tests {
         }
         let mut cursor = &wire[..];
         for f in &frames {
-            assert_eq!(&read_frame(&mut cursor).expect("read"), f);
+            assert_eq!(read_frame(&mut cursor).expect("read"), f.bytes());
         }
         assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
 

@@ -39,7 +39,9 @@ fn main() {
         instances_per_site: 2,
         ..CampaignConfig::default()
     };
-    let truth = Campaign::new(&program, &inputs, config).run();
+    let truth = Campaign::try_new(&program, &inputs, config)
+        .expect("valid config")
+        .run();
 
     println!(
         "campaign: {} injections, golden run {} dynamic instructions",
@@ -47,7 +49,10 @@ fn main() {
         truth.golden().dyn_instrs
     );
     println!("\npc    crash  sdc    masked  injections  instruction");
-    for iv in truth.instruction_vulnerability() {
+    let instr_vuln = truth
+        .try_instruction_vulnerability()
+        .expect("campaign produced records");
+    for iv in instr_vuln {
         println!(
             "{:<5} {:.3}  {:.3}  {:.3}   {:>10}  {}",
             iv.pc,
@@ -58,7 +63,9 @@ fn main() {
             program.instrs()[iv.pc]
         );
     }
-    let pv = truth.program_vulnerability();
+    let pv = truth
+        .try_program_vulnerability()
+        .expect("campaign produced records");
     println!(
         "\nprogram vulnerability: crash={:.3} sdc={:.3} masked={:.3}",
         pv.crash, pv.sdc, pv.masked

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Prints the workspace's public API surface — every `pub` item declaration
+# in every crate — in a stable, diffable form. Pure text processing (no
+# build, no network); the committed snapshot lives at
+# scripts/api_surface.txt and scripts/check.sh fails when they diverge,
+# so public-API changes are always a deliberate, reviewed act:
+#
+#   scripts/api_surface.sh > scripts/api_surface.txt
+#
+# The listing is names-only (truncated at the first `;(){=`), so bodies,
+# fields and where-clauses can change freely; adding, removing or renaming
+# a public item is what trips the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for src in crates/*/src; do
+  crate="$(basename "$(dirname "$src")")"
+  grep -rhoE \
+    '^[[:space:]]*pub (async )?(unsafe )?(fn|struct|enum|trait|const|static|type|mod|use) [^;({=<]*' \
+    "$src" \
+    | sed -E 's/^[[:space:]]+//; s/[[:space:]]+/ /g; s/ $//' \
+    | LC_ALL=C sort -u \
+    | sed "s|^|$crate: |"
+done

@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> public API surface drift gate"
+scripts/api_surface.sh | diff -u scripts/api_surface.txt - || {
+  echo "public API surface drifted from scripts/api_surface.txt;"
+  echo "if the change is intentional, regenerate it with:"
+  echo "  scripts/api_surface.sh > scripts/api_surface.txt"
+  exit 1
+}
+
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -22,6 +30,14 @@ cargo test -q --offline
 echo "==> quick-mode smoke run (fig5b_speedup)"
 GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
   --bin fig5b_speedup >/dev/null
+
+echo "==> cross-ISA smoke run (cross_isa --quick: ISA-B sim -> cdfg -> predict)"
+XISA_OUT="$(mktemp)"
+GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
+  --bin cross_isa -- --out "$XISA_OUT" >/dev/null
+grep -q '"mean_spearman"' "$XISA_OUT" \
+  || { echo "cross_isa wrote no ranking metrics"; exit 1; }
+rm -f "$XISA_OUT"
 
 echo "==> model-server smoke run (train --quick, serve, query, shutdown)"
 SMOKE_DIR="$(mktemp -d)"

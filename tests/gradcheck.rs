@@ -94,7 +94,7 @@ fn analytic_gradients_match_central_differences() {
         mask: &mask,
     };
 
-    let mut model = GraphSage::new(
+    let mut model = GraphSage::try_new(
         FEATURE_DIM,
         &SageConfig {
             hidden: 4,
@@ -105,7 +105,8 @@ fn analytic_gradients_match_central_differences() {
             epochs: 1,
             seed: 3,
         },
-    );
+    )
+    .expect("valid model config");
 
     // Analytic gradients over the *full* (unsampled) neighbourhood view,
     // so the finite-difference forward passes see the identical graph.

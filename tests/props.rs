@@ -309,8 +309,8 @@ fn from_counts_scale_invariant() {
         if c + s + m == 0 {
             continue;
         }
-        let a = VulnTuple::from_counts(c, s, m);
-        let b = VulnTuple::from_counts(c * k, s * k, m * k);
+        let a = VulnTuple::try_from_counts(c, s, m).expect("non-zero counts");
+        let b = VulnTuple::try_from_counts(c * k, s * k, m * k).expect("non-zero counts");
         assert!((a.crash - b.crash).abs() < 1e-12);
         assert!((a.sdc - b.sdc).abs() < 1e-12);
         assert!((a.masked - b.masked).abs() < 1e-12);

@@ -32,7 +32,7 @@ fn tiny_program() -> Program {
 
 fn tiny_truth() -> GroundTruth {
     let program = tiny_program();
-    Campaign::new(
+    Campaign::try_new(
         &program,
         &[],
         CampaignConfig {
@@ -41,6 +41,7 @@ fn tiny_truth() -> GroundTruth {
             ..CampaignConfig::quick()
         },
     )
+    .expect("valid config")
     .run()
 }
 
