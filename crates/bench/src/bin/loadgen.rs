@@ -7,22 +7,29 @@
 //! corrupted frame. The run fails (non-zero exit) on any mismatch.
 //!
 //! Reported metrics: per-request latency (p50 / p99 / mean), aggregate
-//! throughput, and the server's own coalescing counters. Written as flat
-//! JSON to `BENCH_4.json` (override with `--out PATH`) and printed as TSV.
+//! throughput, the server's own coalescing counters, and the robustness
+//! columns (`retries`, `busy_responses`, `reconnects`) — always present,
+//! zero on a clean run. Written as flat JSON to `BENCH_4.json` (override
+//! with `--out PATH`) and printed as TSV.
 //!
 //! Flags: `--clients N` (default 8), `--requests N` per client (default
 //! 25), `--quick` (or `GLAIVE_QUICK=1`) for a subsampled smoke run.
+//! Setting `GLAIVE_CHAOS_SEED` (with `GLAIVE_CHAOS_RATE`) wraps every
+//! load connection in seeded fault injection; the bit-identity check
+//! still must pass — corruption is caught by frame checksums and retried,
+//! never silently served.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use glaive_bench::EXPERIMENT_SEED;
 use glaive_bench_suite::suite;
 use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
 use glaive_gnn::{GraphSage, SageConfig};
 use glaive_nn::Matrix;
-use glaive_serve::{Client, ProgramSpec, Server, ServerConfig};
+use glaive_serve::{Client, ClientReport, ProgramSpec, ResilientClient, Server, ServerConfig};
+use glaive_wire::{ChaosConfig, ChaosPlan, RetryPolicy};
 
 const STRIDE: usize = 8;
 
@@ -117,6 +124,23 @@ fn main() {
         args.clients, args.requests
     );
 
+    // Optional seeded fault injection on every load connection; the
+    // retry budget is patient under chaos so the run always completes
+    // (or times out loudly) instead of failing on an unlucky schedule.
+    let chaos = ChaosConfig::from_env().map(ChaosPlan::new);
+    let policy = if chaos.is_some() {
+        RetryPolicy::patient(Duration::from_secs(60))
+    } else {
+        RetryPolicy::default()
+    };
+    if let Some(plan) = &chaos {
+        eprintln!(
+            "chaos: seed {:#018x}, fault rate {} ppm",
+            plan.config().seed,
+            plan.config().fault_ppm
+        );
+    }
+
     let failures = Arc::new(AtomicU64::new(0));
     let barrier = Arc::new(Barrier::new(args.clients + 1));
     let mut threads = Vec::new();
@@ -124,8 +148,14 @@ fn main() {
         let references = references.clone();
         let failures = failures.clone();
         let barrier = barrier.clone();
-        threads.push(std::thread::spawn(move || -> Vec<u64> {
-            let mut client = Client::connect(addr).expect("connect");
+        let chaos = chaos.clone();
+        threads.push(std::thread::spawn(move || -> (Vec<u64>, ClientReport) {
+            let mut client = ResilientClient::new(addr.to_string(), policy);
+            if let Some(plan) = chaos {
+                // Disjoint stream-id blocks per client: schedules differ
+                // across clients but replay exactly under the same seed.
+                client = client.with_chaos(plan, (client_id as u64) << 32);
+            }
             let mut latencies = Vec::with_capacity(args.requests);
             barrier.wait();
             for r in 0..args.requests {
@@ -135,7 +165,7 @@ fn main() {
                     seed: EXPERIMENT_SEED,
                 };
                 let start = Instant::now();
-                let reply = match client.predict(spec, STRIDE as u32, 10, true) {
+                let reply = match client.predict(&spec, STRIDE as u32, 10, true) {
                     Ok(reply) => reply,
                     Err(e) => {
                         eprintln!("client {client_id} request {r}: {e}");
@@ -166,15 +196,20 @@ fn main() {
                     failures.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            latencies
+            (latencies, client.report())
         }));
     }
 
     barrier.wait();
     let wall_start = Instant::now();
     let mut latencies: Vec<u64> = Vec::new();
+    let mut survived = ClientReport::default();
     for t in threads {
-        latencies.extend(t.join().expect("client thread"));
+        let (client_latencies, report) = t.join().expect("client thread");
+        latencies.extend(client_latencies);
+        survived.retries += report.retries;
+        survived.busy_responses += report.busy_responses;
+        survived.reconnects += report.reconnects;
     }
     let wall = wall_start.elapsed();
 
@@ -207,12 +242,16 @@ fn main() {
     println!("peak_batch\t{}", stats.peak_batch);
     println!("cache_hits\t{}", stats.cache_hits);
     println!("cache_misses\t{}", stats.cache_misses);
+    println!("retries\t{}", survived.retries);
+    println!("busy_responses\t{}", survived.busy_responses);
+    println!("reconnects\t{}", survived.reconnects);
 
     let json = format!(
         "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"failures\": {},\n  \
          \"p50_ms\": {:.6},\n  \"p99_ms\": {:.6},\n  \"mean_ms\": {:.6},\n  \
          \"req_per_s\": {:.3},\n  \"batches\": {},\n  \"peak_batch\": {},\n  \
-         \"cache_hits\": {},\n  \"cache_misses\": {}\n}}\n",
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"retries\": {},\n  \
+         \"busy_responses\": {},\n  \"reconnects\": {}\n}}\n",
         args.clients,
         total,
         failed,
@@ -223,7 +262,10 @@ fn main() {
         stats.batches,
         stats.peak_batch,
         stats.cache_hits,
-        stats.cache_misses
+        stats.cache_misses,
+        survived.retries,
+        survived.busy_responses,
+        survived.reconnects
     );
     std::fs::write(&args.out, json).expect("write results");
     eprintln!("wrote {}", args.out);

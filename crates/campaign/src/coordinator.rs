@@ -57,6 +57,11 @@ pub struct FabricConfig {
     pub lease: Duration,
     /// Backoff suggested to workers when every remaining chunk is leased.
     pub retry_ms: u64,
+    /// Mid-frame progress deadline on every fabric socket: a peer that
+    /// starts a frame must keep bytes flowing, or the read fails with a
+    /// typed error (and writes time out likewise) instead of wedging a
+    /// handler thread forever. Idle connections between frames are exempt.
+    pub stall: Duration,
 }
 
 impl Default for FabricConfig {
@@ -65,6 +70,7 @@ impl Default for FabricConfig {
             chunk_size: 64,
             lease: Duration::from_secs(5),
             retry_ms: 25,
+            stall: Duration::from_secs(5),
         }
     }
 }
@@ -151,6 +157,9 @@ impl<'p> Coordinator<'p> {
         }
         if fabric.retry_ms < 1 {
             return Err(FabricError::InvalidConfig { field: "retry_ms" });
+        }
+        if fabric.stall.is_zero() {
+            return Err(FabricError::InvalidConfig { field: "stall" });
         }
         Ok(Coordinator {
             program,
@@ -366,12 +375,15 @@ fn handle_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // A worker that stops draining its socket mid-reply must not pin this
+    // handler (and its held lease) forever: writes get a hard deadline.
+    let _ = stream.set_write_timeout(Some(fabric.stall));
     // The chunk this connection currently holds a lease on. At most one:
     // the protocol is strict fetch → complete.
     let mut held: Option<usize> = None;
 
     loop {
-        let payload = match read_frame_cancellable(&mut stream, finished) {
+        let payload = match read_frame_cancellable(&mut stream, finished, Some(fabric.stall)) {
             ReadOutcome::Frame(p) => p,
             ReadOutcome::Cancelled => {
                 // Campaign over (complete or interrupted). Tell a worker

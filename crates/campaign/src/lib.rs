@@ -61,7 +61,7 @@ pub mod worker;
 
 pub use coordinator::{Coordinator, FabricConfig};
 pub use source::DistributedTruthSource;
-pub use worker::{run_worker, run_worker_on, WorkerReport};
+pub use worker::{run_worker, run_worker_on, run_worker_with, WorkerOptions, WorkerReport};
 
 /// Typed failure of the campaign fabric. Worker misbehaviour never
 /// surfaces here — a bad completion is rejected over the wire and its
@@ -96,6 +96,31 @@ pub enum FabricError {
         /// The coordinator's stated reason.
         message: String,
     },
+    /// A retry loop gave up: consecutive transient failures outlasted
+    /// the [`glaive_wire::RetryPolicy`] budget. Wraps the last failure.
+    RetriesExhausted {
+        /// Attempts taken before giving up.
+        attempts: u32,
+        /// The transient failure that exhausted the budget.
+        last: Box<FabricError>,
+    },
+}
+
+impl FabricError {
+    /// Whether a retry may succeed: transport failures, corrupted or
+    /// misspoken frames, and coordinator refusals are transient (a redial
+    /// re-handshakes and the coordinator requeues any abandoned lease);
+    /// disagreements about the job itself are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FabricError::Io(_) | FabricError::Protocol(_) | FabricError::Rejected { .. } => true,
+            FabricError::InvalidConfig { .. }
+            | FabricError::Campaign(_)
+            | FabricError::Truth(_)
+            | FabricError::PlanMismatch { .. }
+            | FabricError::RetriesExhausted { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for FabricError {
@@ -113,6 +138,9 @@ impl fmt::Display for FabricError {
                 "plan fingerprint mismatch: coordinator {expected:#018x}, worker {actual:#018x}"
             ),
             FabricError::Rejected { message } => write!(f, "rejected by coordinator: {message}"),
+            FabricError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }

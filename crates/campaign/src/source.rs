@@ -10,6 +10,7 @@ use std::sync::Arc;
 use glaive::{campaign_error_to_pipeline, telemetry::Stage, Error, TruthSource};
 use glaive_bench_suite::Benchmark;
 use glaive_faultsim::{CampaignConfig, GroundTruth, RunControl};
+use glaive_wire::{Backoff, RetryPolicy, Wait};
 
 use crate::coordinator::FabricConfig;
 use crate::{run_distributed, FabricError};
@@ -40,6 +41,11 @@ pub struct DistributedTruthSource {
     pub fabric: FabricConfig,
     /// In-process worker threads per campaign.
     pub workers: usize,
+    /// Retry policy for transient fabric failures (a listener that could
+    /// not bind, a transport-level merge failure): the whole campaign is
+    /// re-run — bit-determinism makes a re-run indistinguishable from a
+    /// first run — before giving up with a typed error.
+    pub retry: RetryPolicy,
 }
 
 impl DistributedTruthSource {
@@ -48,6 +54,10 @@ impl DistributedTruthSource {
         DistributedTruthSource {
             fabric: FabricConfig::default(),
             workers,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
         }
     }
 
@@ -64,15 +74,34 @@ impl TruthSource for DistributedTruthSource {
         config: CampaignConfig,
         ctrl: &RunControl<'_>,
     ) -> Result<GroundTruth, Error> {
-        run_distributed(
-            bench.program(),
-            &bench.init_mem,
-            config,
-            self.fabric,
-            self.workers,
-            ctrl,
-        )
-        .map_err(|e| match e {
+        let mut backoff = Backoff::new(self.retry);
+        let fabric_err = loop {
+            let attempt = run_distributed(
+                bench.program(),
+                &bench.init_mem,
+                config,
+                self.fabric,
+                self.workers,
+                ctrl,
+            );
+            match attempt {
+                Ok(truth) => return Ok(truth),
+                Err(e) if !e.is_transient() => break e,
+                // Transient: the fleet never even formed or the transport
+                // failed outright. Cancellation wins over the retry
+                // budget: the wait goes through the control's cancel flag.
+                Err(e) => match backoff.wait(ctrl.cancel) {
+                    Wait::Waited => {}
+                    Wait::Cancelled | Wait::Exhausted => {
+                        break FabricError::RetriesExhausted {
+                            attempts: backoff.attempts(),
+                            last: Box::new(e),
+                        }
+                    }
+                },
+            }
+        };
+        Err(match fabric_err {
             FabricError::Campaign(ce) => campaign_error_to_pipeline(bench.name, ce),
             other => Error::StageFailed {
                 stage: Stage::Campaign,

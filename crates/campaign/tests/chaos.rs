@@ -1,0 +1,278 @@
+//! Chaos-layer integration tests for the campaign fabric: seeded network
+//! fault injection on every worker connection, coordinator kill+restart
+//! with checkpoint resume, and the typed give-up path. The invariant
+//! throughout is the fabric's defining one — the merged `GroundTruth` is
+//! byte-identical to a serial run no matter what the transport does.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use glaive_campaign::{run_worker_with, Coordinator, FabricConfig, FabricError, WorkerOptions};
+use glaive_faultsim::{
+    Campaign, CampaignConfig, CampaignError, CampaignProgress, CheckpointSink, InterruptReason,
+    MemoryCheckpoint, RunControl,
+};
+use glaive_isa::{AluOp, Asm, BranchCond, Program, Reg};
+use glaive_wire::{ChaosConfig, ChaosPlan, RetryPolicy};
+
+fn sum_program() -> Program {
+    let mut asm = Asm::new("sum");
+    let (acc, i, one, lim) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    asm.li(acc, 0);
+    asm.li(i, 1);
+    asm.li(one, 1);
+    asm.li(lim, 10);
+    let top = asm.label();
+    asm.bind(top);
+    asm.alu(AluOp::Add, acc, acc, i);
+    asm.alu(AluOp::Add, i, i, one);
+    asm.branch(BranchCond::Le, i, lim, top);
+    asm.out(acc);
+    asm.halt();
+    asm.finish().expect("resolves")
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        bit_stride: 4,
+        instances_per_site: 2,
+        hang_factor: 4,
+        threads: 1,
+        predict_dead_defs: true,
+    }
+}
+
+fn fabric() -> FabricConfig {
+    FabricConfig {
+        chunk_size: 16,
+        lease: Duration::from_secs(5),
+        retry_ms: 5,
+        stall: Duration::from_secs(5),
+    }
+}
+
+fn patient_chaos_options(plan: &ChaosPlan, worker: u64) -> WorkerOptions {
+    WorkerOptions {
+        retry: RetryPolicy::patient(Duration::from_secs(60)),
+        chaos: Some(plan.clone()),
+        stream_base: worker << 32,
+        ..WorkerOptions::default()
+    }
+}
+
+#[test]
+fn chaos_fleet_matches_serial_bit_for_bit() {
+    let p = sum_program();
+    let serial = Campaign::try_new(&p, &[], config())
+        .expect("valid config")
+        .run();
+
+    let plan = ChaosPlan::new(ChaosConfig::new(0xC4A0_5EED).with_fault_ppm(2_000));
+    let coordinator =
+        Coordinator::try_new(&p, &[], config(), fabric()).expect("valid fabric config");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let finished = AtomicBool::new(false);
+
+    let (truth, survived) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let options = patient_chaos_options(&plan, i);
+                let finished = &finished;
+                scope.spawn(move || {
+                    run_worker_with(&addr, &format!("chaos-{i}"), Some(finished), options)
+                        .expect("patient worker outlasts the chaos")
+                })
+            })
+            .collect();
+        let truth = coordinator
+            .run(listener, &RunControl::new())
+            .expect("campaign merges under chaos");
+        finished.store(true, Ordering::Relaxed);
+        let mut survived = 0u64;
+        for h in handles {
+            let report = h.join().expect("worker thread");
+            survived += report.retries;
+        }
+        (truth, survived)
+    });
+
+    assert_eq!(serial.to_bytes(), truth.to_bytes());
+    assert!(
+        plan.report().total() > 0,
+        "the schedule must actually inject faults for this test to mean anything"
+    );
+    let _ = survived; // how many is schedule-dependent; zero is legal here
+}
+
+/// Raises a cancellation flag once a threshold of injections completes.
+struct CancelAt<'a> {
+    threshold: usize,
+    cancel: &'a AtomicBool,
+}
+
+impl CampaignProgress for CancelAt<'_> {
+    fn injections(&self, done: usize, _total: usize) {
+        if done >= self.threshold {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[test]
+fn coordinator_restart_mid_fleet_workers_reconnect_and_match_serial() {
+    let p = sum_program();
+    let campaign = Campaign::try_new(&p, &[], config()).expect("valid config");
+    let uninterrupted = campaign.run();
+    let total = uninterrupted.total_injections();
+    assert!(total > 256, "need enough work to interrupt mid-way");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let finished = AtomicBool::new(false);
+    let sink = MemoryCheckpoint::new();
+
+    let (truth, reconnects) = std::thread::scope(|scope| {
+        // A fleet that outlives the coordinator: patient enough to ride
+        // out the restart window on backoff alone.
+        let handles: Vec<_> = (0..2u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let options = WorkerOptions {
+                    retry: RetryPolicy::patient(Duration::from_secs(60)),
+                    stream_base: i << 32,
+                    ..WorkerOptions::default()
+                };
+                let finished = &finished;
+                scope.spawn(move || {
+                    run_worker_with(&addr, &format!("survivor-{i}"), Some(finished), options)
+                        .expect("worker survives the restart")
+                })
+            })
+            .collect();
+
+        // Incarnation one: checkpoints as it goes, then dies mid-fleet
+        // (cancelled once a quarter of the campaign has merged).
+        let cancel = AtomicBool::new(false);
+        let progress = CancelAt {
+            threshold: total / 4,
+            cancel: &cancel,
+        };
+        let ctrl = RunControl {
+            progress: &progress,
+            cancel: Some(&cancel),
+            checkpoint: Some(&sink),
+            checkpoint_interval: 16,
+            ..RunControl::new()
+        };
+        let err = Coordinator::try_new(&p, &[], config(), fabric())
+            .expect("valid fabric config")
+            .run(listener, &ctrl)
+            .expect_err("incarnation one dies mid-fleet");
+        match err {
+            FabricError::Campaign(CampaignError::Interrupted { reason, .. }) => {
+                assert_eq!(reason, InterruptReason::Cancelled)
+            }
+            other => panic!("expected an interruption, got {other}"),
+        }
+        assert!(sink.load().is_some(), "checkpoint saved before death");
+
+        // Incarnation two: rebind the *same* address (the workers only
+        // know that one) and resume from the checkpoint. The OS may hold
+        // the port briefly, so binding retries.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let relisten = loop {
+            match TcpListener::bind(&addr) {
+                Ok(l) => break l,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("could not rebind {addr}: {e}"),
+            }
+        };
+        let truth = Coordinator::try_new(&p, &[], config(), fabric())
+            .expect("valid fabric config")
+            .run(
+                relisten,
+                &RunControl {
+                    checkpoint: Some(&sink),
+                    ..RunControl::new()
+                },
+            )
+            .expect("incarnation two finishes the campaign");
+        finished.store(true, Ordering::Relaxed);
+
+        let mut reconnects = 0u64;
+        for h in handles {
+            reconnects += h.join().expect("worker thread").reconnects;
+        }
+        (truth, reconnects)
+    });
+
+    assert_eq!(uninterrupted.to_bytes(), truth.to_bytes());
+    assert!(
+        reconnects > 0,
+        "at least one worker must have redialled across the restart"
+    );
+}
+
+#[test]
+fn dead_coordinator_yields_typed_retries_exhausted() {
+    // Bind, learn the address, close: nothing listens there afterwards.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let options = WorkerOptions {
+        retry: RetryPolicy {
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        ..WorkerOptions::default()
+    };
+    let err =
+        run_worker_with(&addr, "orphan", None, options).expect_err("no coordinator ever answers");
+    match err {
+        FabricError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 3);
+            assert!(last.is_transient(), "the wrapped failure was transient");
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn cancellation_interrupts_a_worker_blocked_on_a_silent_coordinator() {
+    // A listener that accepts and then never speaks: the worker's Hello
+    // gets no Welcome, so it blocks in the reply read.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let cancel = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let (stream, _) = listener.accept().expect("accept");
+            // Hold the socket open, silently, until the test ends.
+            std::thread::sleep(Duration::from_secs(5));
+            drop(stream);
+        });
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(150));
+            cancel.store(true, Ordering::Relaxed);
+        });
+        let start = Instant::now();
+        let report = run_worker_with(&addr, "cancelled", Some(&cancel), WorkerOptions::default())
+            .expect("cancellation is a clean exit, not an error");
+        assert_eq!(report.chunks, 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "cancellation must cut the reply wait short, took {:?}",
+            start.elapsed()
+        );
+    });
+}

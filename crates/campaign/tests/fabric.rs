@@ -50,6 +50,7 @@ fn fabric() -> FabricConfig {
         chunk_size: 32,
         lease: Duration::from_secs(5),
         retry_ms: 5,
+        stall: Duration::from_secs(5),
     }
 }
 

@@ -8,14 +8,15 @@ use std::time::{Duration, Instant};
 use glaive::telemetry::{Fanout, Observer, StderrProgress, TimingRecorder};
 use glaive::{train_models, truth_key, ArtifactCache, Pipeline, PipelineConfig, QuorumPolicy};
 use glaive_bench_suite::{suite, Benchmark};
-use glaive_campaign::{run_worker, Coordinator, FabricConfig};
+use glaive_campaign::{run_worker_with, Coordinator, FabricConfig, WorkerOptions};
 use glaive_cdfg::{Cdfg, CdfgConfig};
 use glaive_faultsim::{
     Campaign, CampaignConfig, CampaignProgress, CheckpointSink, NoProgress, RunControl, VulnTuple,
 };
 use glaive_gnn::GraphSage;
-use glaive_serve::{Client, ProgramSpec, Server, ServerConfig};
+use glaive_serve::{Client, ProgramSpec, ResilientClient, Server, ServerConfig};
 use glaive_sim::run;
+use glaive_wire::{ChaosConfig, ChaosPlan, RetryPolicy};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -29,6 +30,7 @@ usage:
                       [--out truth.bin] [--seed N] [--stride N] [--instances N]
                       [--top N] [--deadline-secs N] [--resume]
   glaive-cli campaign worker --connect HOST:PORT [--name NAME]
+                      [--patience SECS]
   glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
                       [--deadline-secs N] [--fail-fast] [--quick]
@@ -38,6 +40,9 @@ usage:
   glaive-cli query    <addr> (--stats | --ping | --shutdown)
 
 global flags: --verbose (stage telemetry on stderr)
+              --patience SECS (worker/query: keep retrying transient
+                               network failures for up to SECS before
+                               giving up)
               --no-cache (skip the on-disk artifact cache for train)
               --deadline-secs N (soft wall-clock limit; interrupted work
                                  stops at the next batch boundary)
@@ -76,6 +81,7 @@ struct Flags {
     lease_ms: u64,
     checkpoint_interval: usize,
     out: Option<String>,
+    patience_secs: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -103,6 +109,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         lease_ms: 5000,
         checkpoint_interval: 4096,
         out: None,
+        patience_secs: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -157,6 +164,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
                         .clone(),
                 );
             }
+            "--patience" => flags.patience_secs = Some(value(&mut it)?),
             "--chunk" => flags.chunk = value(&mut it)? as usize,
             "--lease-ms" => flags.lease_ms = value(&mut it)?,
             "--checkpoint-interval" => flags.checkpoint_interval = value(&mut it)? as usize,
@@ -425,6 +433,39 @@ fn cmd_campaign_coordinate(name: &str, flags: &Flags) -> CliResult {
     print_truth_summary(name, &b, &truth, flags.top)
 }
 
+/// Fault injection opted into via `GLAIVE_CHAOS_SEED` /
+/// `GLAIVE_CHAOS_RATE`. The libraries never read the environment
+/// themselves; the CLI is the one place the opt-in is wired through.
+fn chaos_from_env() -> Option<ChaosPlan> {
+    let plan = ChaosConfig::from_env().map(ChaosPlan::new);
+    if let Some(p) = &plan {
+        eprintln!(
+            "chaos: seed {:#018x}, fault rate {} ppm",
+            p.config().seed,
+            p.config().fault_ppm
+        );
+    }
+    plan
+}
+
+/// Retry policy for the network edges: default budget (~0.6 s of
+/// backoff), or `--patience SECS` of persistent redialling for fleets
+/// that must survive a coordinator/server restart.
+fn retry_from_flags(flags: &Flags) -> RetryPolicy {
+    match flags.patience_secs {
+        Some(secs) => RetryPolicy::patient(Duration::from_secs(secs)),
+        None => RetryPolicy::default(),
+    }
+}
+
+fn print_chaos_report(plan: &ChaosPlan) {
+    let r = plan.report();
+    eprintln!(
+        "chaos: injected {} delays, {} short ops, {} corruptions, {} disconnects",
+        r.delays, r.short_ops, r.corruptions, r.disconnects
+    );
+}
+
 /// `campaign worker`: joins a coordinator's fleet and computes leased
 /// chunks until the campaign completes or the coordinator goes away.
 fn cmd_campaign_worker(flags: &Flags) -> CliResult {
@@ -434,11 +475,24 @@ fn cmd_campaign_worker(flags: &Flags) -> CliResult {
         .ok_or("campaign worker needs --connect HOST:PORT")?;
     let default_name = format!("worker-{}", std::process::id());
     let name = flags.name.as_deref().unwrap_or(&default_name);
-    let report = run_worker(addr, name, None)?;
+    let options = WorkerOptions {
+        retry: retry_from_flags(flags),
+        chaos: chaos_from_env(),
+        // Disjoint per process, so co-located workers under the same
+        // seed still draw distinct fault schedules.
+        stream_base: u64::from(std::process::id()) << 32,
+        ..WorkerOptions::default()
+    };
+    let chaos = options.chaos.clone();
+    let report = run_worker_with(addr, name, None, options)?;
     println!(
-        "{name}: {} chunks completed, {} injections simulated",
-        report.chunks, report.simulated
+        "{name}: {} chunks completed, {} injections simulated \
+         ({} retries, {} reconnects)",
+        report.chunks, report.simulated, report.retries, report.reconnects
     );
+    if let Some(plan) = &chaos {
+        print_chaos_report(plan);
+    }
     Ok(())
 }
 
@@ -620,7 +674,38 @@ fn cmd_serve(model_path: &str, flags: &Flags) -> CliResult {
 }
 
 fn cmd_query(addr: &str, name: Option<&str>, flags: &Flags) -> CliResult {
-    let mut client = Client::connect(addr)?;
+    if flags.shutdown {
+        // Shutdown is deliberately *not* retried: a lost ack after the
+        // server accepted it would make a blind re-send ambiguous.
+        let mut client = Client::connect(addr)?;
+        client.shutdown_server()?;
+        println!("server draining");
+        return Ok(());
+    }
+    let mut client = ResilientClient::new(addr, retry_from_flags(flags));
+    let chaos = chaos_from_env();
+    if let Some(plan) = &chaos {
+        client = client.with_chaos(plan.clone(), u64::from(std::process::id()) << 32);
+    }
+    let outcome = cmd_query_resilient(&mut client, name, flags);
+    let report = client.report();
+    if report.retries > 0 {
+        eprintln!(
+            "query survived {} transient failures ({} reconnects, {} busy replies)",
+            report.retries, report.reconnects, report.busy_responses
+        );
+    }
+    if let Some(plan) = &chaos {
+        print_chaos_report(plan);
+    }
+    outcome
+}
+
+fn cmd_query_resilient(
+    client: &mut ResilientClient,
+    name: Option<&str>,
+    flags: &Flags,
+) -> CliResult {
     if flags.ping {
         client.ping()?;
         println!("pong");
@@ -637,16 +722,11 @@ fn cmd_query(addr: &str, name: Option<&str>, flags: &Flags) -> CliResult {
         println!("errors:       {}", s.errors);
         return Ok(());
     }
-    if flags.shutdown {
-        client.shutdown_server()?;
-        println!("server draining");
-        return Ok(());
-    }
     let name = name.ok_or("query needs a benchmark name (or --stats/--ping/--shutdown)")?;
     // Resolve locally too, so the reply's PCs render as instructions.
     let b = find_benchmark(name, flags.seed)?;
     let reply = client.predict(
-        ProgramSpec::Suite {
+        &ProgramSpec::Suite {
             name: name.to_string(),
             seed: flags.seed,
         },

@@ -1,13 +1,34 @@
-//! A blocking client for the `GLVSRV01` protocol: one persistent
-//! connection, synchronous request/response.
+//! Blocking clients for the `GLVSRV01` protocol.
+//!
+//! [`Client`] is the bare connection: one stream, synchronous
+//! request/response, first failure surfaces immediately. It works over
+//! any byte stream ([`Client::over`]), which is how the chaos layer and
+//! in-memory tests slot in beneath it.
+//!
+//! [`ResilientClient`] is the production edge: the same typed operations,
+//! but transient failures — transport errors, corrupted frames (caught by
+//! the frame checksum on either side), a server draining — are retried
+//! under a [`RetryPolicy`] with a fresh connection per attempt, giving up
+//! with [`ClientError::RetriesExhausted`] wrapping the last failure. A
+//! request is only ever *re-sent whole* on a *new* connection, so a
+//! half-written frame on a dead socket can never interleave with its
+//! retry.
 
 use std::fmt;
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use glaive_wire::{sleep_cancellable, Backoff, ChaosPlan, RetryPolicy};
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request,
     Response, StatsReply,
 };
+
+/// Read/write deadline on a bare [`Client`] connection: a server that
+/// stops responding fails the request instead of hanging the caller.
+const CLIENT_DEADLINE: Duration = Duration::from_secs(30);
 
 /// A client-side failure: transport/decoding problems or a server-issued
 /// rejection.
@@ -24,6 +45,33 @@ pub enum ClientError {
     },
     /// The server answered with a frame of the wrong kind.
     UnexpectedReply,
+    /// A retry loop gave up: consecutive transient failures outlasted
+    /// the [`RetryPolicy`] budget. Wraps the last failure.
+    RetriesExhausted {
+        /// Attempts taken before giving up.
+        attempts: u32,
+        /// The transient failure that exhausted the budget.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether retrying on a fresh connection may succeed. Transport and
+    /// decode failures are transient (so is a server-side `BadRequest`:
+    /// under fault injection it means *our* frame got corrupted in
+    /// flight, and the checksum caught it server-side); rejections about
+    /// the request's *content* — unknown benchmark, bad stride, model
+    /// mismatch — are deterministic and final.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Protocol(_) | ClientError::UnexpectedReply => true,
+            ClientError::Server { code, .. } => matches!(
+                code,
+                ErrorCode::BadRequest | ErrorCode::ShuttingDown | ErrorCode::Internal
+            ),
+            ClientError::RetriesExhausted { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -34,6 +82,9 @@ impl fmt::Display for ClientError {
                 write!(f, "server rejected: {code}: {message}")
             }
             ClientError::UnexpectedReply => write!(f, "server sent a mismatched reply kind"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -52,13 +103,20 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A connected client.
+/// A connected client over any byte stream.
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn ClientStream>,
 }
 
+/// The stream bound a [`Client`] needs; blanket-implemented so any
+/// `Read + Write + Send` transport (a `TcpStream`, a chaos wrapper, an
+/// in-memory pipe) qualifies.
+trait ClientStream: Read + Write + Send {}
+impl<S: Read + Write + Send> ClientStream for S {}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server, with nodelay and the default
+    /// read/write deadlines applied.
     ///
     /// # Errors
     ///
@@ -66,7 +124,17 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        stream.set_read_timeout(Some(CLIENT_DEADLINE))?;
+        stream.set_write_timeout(Some(CLIENT_DEADLINE))?;
+        Ok(Client::over(stream))
+    }
+
+    /// A client over an already-established stream (chaos-wrapped socket,
+    /// in-memory pipe…). The caller owns the stream's deadlines.
+    pub fn over(stream: impl Read + Write + Send + 'static) -> Client {
+        Client {
+            stream: Box::new(stream),
+        }
     }
 
     /// Sends one request and reads its reply.
@@ -155,5 +223,155 @@ impl Client {
             Response::ShutdownAck => Some(()),
             _ => None,
         })
+    }
+}
+
+/// What a [`ResilientClient`] survived: the robustness columns the bench
+/// harnesses report next to latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientReport {
+    /// Transient failures retried (each one preceded a backoff wait).
+    pub retries: u64,
+    /// `ShuttingDown` rejections among those (the server was draining).
+    pub busy_responses: u64,
+    /// Fresh connections dialled beyond the first.
+    pub reconnects: u64,
+}
+
+/// A [`Client`] wrapped in reconnect-and-retry: each operation runs under
+/// a fresh [`Backoff`], transient failures drop the connection and redial,
+/// and a [`ClientReport`] tallies what was survived.
+pub struct ResilientClient {
+    addr: String,
+    policy: RetryPolicy,
+    chaos: Option<ChaosPlan>,
+    stream_base: u64,
+    dials: u64,
+    client: Option<Client>,
+    report: ClientReport,
+}
+
+impl ResilientClient {
+    /// A resilient client for the server at `addr`. No connection is made
+    /// until the first operation.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            addr: addr.into(),
+            policy,
+            chaos: None,
+            stream_base: 0,
+            dials: 0,
+            client: None,
+            report: ClientReport::default(),
+        }
+    }
+
+    /// Wraps every connection in a seeded
+    /// [`ChaosTransport`](glaive_wire::ChaosTransport): connection `n`
+    /// uses stream id `stream_base + n`, so retries draw fresh fault
+    /// schedules and concurrent clients can partition the id space.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan, stream_base: u64) -> ResilientClient {
+        self.chaos = Some(plan);
+        self.stream_base = stream_base;
+        self
+    }
+
+    /// The robustness tallies so far.
+    pub fn report(&self) -> ClientReport {
+        self.report
+    }
+
+    fn ensure(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(CLIENT_DEADLINE))?;
+            stream.set_write_timeout(Some(CLIENT_DEADLINE))?;
+            let client = match &self.chaos {
+                Some(plan) => Client::over(plan.wrap(stream, self.stream_base + self.dials)),
+                None => Client::over(stream),
+            };
+            self.dials += 1;
+            if self.dials > 1 {
+                self.report.reconnects += 1;
+            }
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("client just ensured"))
+    }
+
+    fn with_retry<T>(
+        &mut self,
+        op: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut backoff = Backoff::new(self.policy);
+        loop {
+            let attempt = self.ensure().and_then(&op);
+            match attempt {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => {
+                    if matches!(
+                        &e,
+                        ClientError::Server {
+                            code: ErrorCode::ShuttingDown,
+                            ..
+                        }
+                    ) {
+                        self.report.busy_responses += 1;
+                    }
+                    // The connection is suspect after any failure — the
+                    // retry re-sends the whole request on a fresh one.
+                    self.client = None;
+                    self.report.retries += 1;
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            sleep_cancellable(delay, None);
+                        }
+                        None => {
+                            return Err(ClientError::RetriesExhausted {
+                                attempts: backoff.attempts(),
+                                last: Box::new(e),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Client::predict`] with retry-on-transient.
+    ///
+    /// # Errors
+    ///
+    /// Fatal rejections immediately; [`ClientError::RetriesExhausted`]
+    /// once the policy's budget is spent.
+    pub fn predict(
+        &mut self,
+        spec: &ProgramSpec,
+        stride: u32,
+        top_k: u32,
+        want_bits: bool,
+    ) -> Result<PredictReply, ClientError> {
+        self.with_retry(|c| c.predict(spec.clone(), stride, top_k, want_bits))
+    }
+
+    /// [`Client::stats`] with retry-on-transient.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResilientClient::predict`].
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.with_retry(|c| c.stats())
+    }
+
+    /// [`Client::ping`] with retry-on-transient.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResilientClient::predict`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.with_retry(|c| c.ping())
     }
 }

@@ -49,7 +49,7 @@ pub mod server;
 
 pub use batch::{BatchResult, BatchWorkspace, InferenceJob, JobQueue};
 pub use cache::{program_fingerprint, GraphCache, PreparedProgram};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientReport, ResilientClient};
 pub use protocol::{
     ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request, Response, StatsReply, WireTuple,
 };

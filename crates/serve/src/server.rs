@@ -85,6 +85,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Prepared-program LRU capacity.
     pub cache_capacity: usize,
+    /// Mid-frame progress deadline per connection: a client that starts
+    /// a frame and then stalls is cut off (typed error, connection
+    /// closed) instead of pinning a connection worker forever. Idle
+    /// connections between requests are exempt. Writes to a client that
+    /// stops draining its socket time out on the same deadline.
+    pub stall: Duration,
 }
 
 impl ServerConfig {
@@ -98,6 +104,7 @@ impl ServerConfig {
         let config = ServerConfig {
             workers,
             cache_capacity,
+            ..ServerConfig::default()
         };
         config.validate()?;
         Ok(config)
@@ -112,6 +119,9 @@ impl ServerConfig {
                 field: "cache_capacity",
             });
         }
+        if self.stall.is_zero() {
+            return Err(ServeError::Config { field: "stall" });
+        }
         Ok(())
     }
 }
@@ -121,6 +131,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 8,
             cache_capacity: 32,
+            stall: Duration::from_secs(5),
         }
     }
 }
@@ -242,6 +253,7 @@ impl Server {
             cache: GraphCache::new(self.config.cache_capacity),
             batch_queue: JobQueue::new(),
             observer: self.observer.clone(),
+            stall: self.config.stall,
         };
         let conn_queue: JobQueue<TcpStream> = JobQueue::new();
         let model = &self.model;
@@ -369,6 +381,7 @@ struct Shared {
     cache: GraphCache,
     batch_queue: JobQueue<InferenceJob>,
     observer: Arc<dyn Observer>,
+    stall: Duration,
 }
 
 /// Cleanup run when the batcher thread exits for *any* reason. A normal
@@ -393,8 +406,10 @@ impl Drop for BatcherExitGuard<'_> {
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(shared.stall));
     loop {
-        let payload = match read_frame_cancellable(&mut stream, &shared.cancel) {
+        let payload = match read_frame_cancellable(&mut stream, &shared.cancel, Some(shared.stall))
+        {
             ReadOutcome::Frame(p) => p,
             ReadOutcome::Closed | ReadOutcome::Cancelled => return,
             ReadOutcome::Failed(err) => {

@@ -279,3 +279,113 @@ fn read_frame_rejects_oversized_length_prefix() {
         other => panic!("expected FrameTooLarge, got {other:?}"),
     }
 }
+
+/// A resilient client under seeded chaos — corrupted frames, short ops,
+/// delays, hard disconnects on its own connections — still receives
+/// replies bit-identical to serial inference: checksums catch every
+/// mangled frame and the retry loop re-sends on a fresh connection.
+#[test]
+fn resilient_client_under_chaos_is_bit_identical_to_serial() {
+    use glaive_serve::ResilientClient;
+    use glaive_wire::{ChaosConfig, ChaosPlan, RetryPolicy};
+
+    let model = model();
+    let programs = programs();
+    let references: Vec<Matrix> = programs.iter().map(|p| serial_probs(&model, p)).collect();
+
+    let server = Server::bind(model, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let plan = ChaosPlan::new(ChaosConfig::new(0x5E4E_C4A0).with_fault_ppm(3_000));
+    let mut client = ResilientClient::new(
+        addr.to_string(),
+        RetryPolicy::patient(std::time::Duration::from_secs(60)),
+    )
+    .with_chaos(plan.clone(), 0);
+    for r in 0..12 {
+        let which = r % programs.len();
+        let reply = client
+            .predict(
+                &ProgramSpec::Raw(programs[which].clone()),
+                STRIDE as u32,
+                5,
+                true,
+            )
+            .expect("resilient predict survives chaos");
+        let serial = &references[which];
+        let bits = reply.bit_probs.as_deref().expect("requested bit probs");
+        assert_eq!(bits.len(), serial.rows());
+        for (row, got) in bits.iter().enumerate() {
+            for (a, b) in got.iter().zip(serial.row(row)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit divergence at row {row}");
+            }
+        }
+    }
+    assert!(
+        plan.report().total() > 0,
+        "the schedule must actually inject faults for this test to mean anything"
+    );
+
+    let mut control = Client::connect(addr).expect("control");
+    control.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// A peer that opens a frame and then stalls mid-payload is disconnected
+/// once the server's `stall` deadline passes — it cannot pin a connection
+/// worker — and the server keeps serving others.
+#[test]
+fn stalled_peer_is_cut_off_and_cannot_hang_a_worker() {
+    use std::io::{Read as _, Write as _};
+    use std::time::{Duration, Instant};
+
+    let server = Server::bind(
+        model(),
+        "127.0.0.1:0",
+        ServerConfig {
+            stall: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Promise 100 payload bytes, deliver 10, go silent mid-frame.
+    let mut staller = std::net::TcpStream::connect(addr).expect("raw connect");
+    staller
+        .write_all(&100u32.to_le_bytes())
+        .expect("length prefix");
+    staller.write_all(&[0u8; 10]).expect("partial payload");
+    staller.flush().expect("flush");
+
+    // Within the stall deadline (plus poll slack) the server answers
+    // with a typed error frame and hangs up: an error reply, then EOF.
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let start = Instant::now();
+    let reply = read_frame(&mut staller).expect("typed error before hangup");
+    match Response::from_frame(&reply) {
+        Ok(Response::Error { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("stalled"), "unexpected reason: {message}");
+        }
+        other => panic!("expected a stall error, got {other:?}"),
+    }
+    let mut sink = Vec::new();
+    let got = staller.read_to_end(&mut sink).expect("EOF, not a timeout");
+    assert_eq!(got, 0, "connection must be closed after the error");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "stalled peer held its worker for {:?}",
+        start.elapsed()
+    );
+
+    // The worker the staller occupied is free again.
+    let mut client = Client::connect(addr).expect("connect after staller");
+    client.ping().expect("ping after staller");
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}

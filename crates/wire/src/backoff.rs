@@ -1,0 +1,303 @@
+//! The unified retry/backoff policy for every GLAIVE client edge.
+//!
+//! Before this module each client handled transient failure its own way:
+//! campaign workers slept a flat coordinator-suggested interval (ignoring
+//! cancellation), the serve client and CLI `query` gave up on the first
+//! transport hiccup, and nothing could reconnect after a coordinator or
+//! server restart. [`Backoff`] replaces all of that with one typed policy:
+//! deterministic exponential delay growth, seeded jitter (SplitMix64 — no
+//! wall-clock or OS entropy in the schedule, so a retry trace replays
+//! exactly), a max-attempt budget, and an optional deadline that bounds
+//! the total time spent waiting.
+//!
+//! Two invariants matter for the chaos-soak suites:
+//!
+//! - **Determinism**: the delay sequence is a pure function of the policy
+//!   (including its `jitter_seed`) and the number of waits taken so far.
+//!   Two runs that fail at the same points wait the same schedule.
+//! - **Cancellability**: every wait sleeps in short slices and re-checks
+//!   the shared cancellation flag, so a shutdown signal interrupts a
+//!   backoff promptly instead of after a full sleep.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::chaos::SplitMix64;
+
+/// Granularity of cancellable sleeps: the longest a raised cancellation
+/// flag can go unnoticed inside a wait.
+const SLEEP_SLICE: Duration = Duration::from_millis(25);
+
+/// A retry policy: how long to wait between attempts, and when to give
+/// up. Shared by campaign workers, the serve client, the CLI `query`
+/// client and the distributed truth source, so every edge of the system
+/// retries the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry; doubles each attempt.
+    pub base: Duration,
+    /// Ceiling on a single delay (the exponential saturates here).
+    pub max_delay: Duration,
+    /// Retries before giving up with a typed exhaustion error.
+    pub max_attempts: u32,
+    /// Optional budget on the *total* time spent waiting, measured from
+    /// the first failure: a wait that would overrun it gives up instead.
+    pub deadline: Option<Duration>,
+    /// Seed of the deterministic jitter stream (SplitMix64).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            max_attempts: 5,
+            deadline: None,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for clients that must survive a coordinator or server
+    /// restart: many quick attempts under a generous total deadline.
+    pub fn patient(deadline: Duration) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_millis(250),
+            max_attempts: u32::MAX,
+            deadline: Some(deadline),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The same policy with a different jitter seed (so concurrent
+    /// clients sharing a policy don't retry in lockstep).
+    #[must_use]
+    pub fn with_jitter_seed(self, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            jitter_seed: seed,
+            ..self
+        }
+    }
+}
+
+/// Outcome of one [`Backoff::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// The full delay elapsed; retry now.
+    Waited,
+    /// The cancellation flag was raised mid-wait; stop retrying.
+    Cancelled,
+    /// The attempt budget or deadline is spent; give up with a typed
+    /// error.
+    Exhausted,
+}
+
+/// Live retry state for one logical operation: tracks the attempt count,
+/// the jitter stream, and the deadline clock.
+///
+/// Call [`Backoff::wait`] after each transient failure; call
+/// [`Backoff::reset`] after any successful progress so long-lived loops
+/// (a campaign worker surviving many separate disconnects) get their full
+/// budget back each time.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: SplitMix64,
+    first_failure: Option<Instant>,
+}
+
+impl Backoff {
+    /// Fresh retry state under `policy`.
+    pub fn new(policy: RetryPolicy) -> Backoff {
+        Backoff {
+            policy,
+            attempt: 0,
+            rng: SplitMix64::new(policy.jitter_seed),
+            first_failure: None,
+        }
+    }
+
+    /// Attempts taken since construction or the last [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Restores the full attempt/deadline budget after successful
+    /// progress. The jitter stream keeps advancing (never rewinds), so
+    /// the delay sequence stays a pure function of the waits taken.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+        self.first_failure = None;
+    }
+
+    /// The next delay, or `None` when the attempt budget or deadline is
+    /// spent. Advances the attempt counter and jitter stream.
+    ///
+    /// The delay for attempt `n` is `base * 2^n` saturated at
+    /// `max_delay`, jittered by ±1/8 of itself from the seeded stream —
+    /// deterministic, and never dependent on the wall clock (the deadline
+    /// only decides *whether* to wait, never how long).
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.policy.max_attempts {
+            return None;
+        }
+        let exp = self
+            .policy
+            .base
+            .saturating_mul(1u32 << self.attempt.min(20))
+            .min(self.policy.max_delay);
+        // Jitter in [-exp/8, +exp/8], from the deterministic stream. The
+        // draw happens unconditionally so the stream position is a pure
+        // function of the attempt count.
+        let jitter_span = (exp.as_nanos() as u64) / 4;
+        let draw = self.rng.next();
+        let delay = if jitter_span == 0 {
+            exp
+        } else {
+            let offset = draw % (jitter_span + 1);
+            Duration::from_nanos((exp.as_nanos() as u64) - jitter_span / 2 + offset)
+        };
+        let now = Instant::now();
+        let started = *self.first_failure.get_or_insert(now);
+        if let Some(budget) = self.policy.deadline {
+            if now.saturating_duration_since(started) + delay > budget {
+                return None;
+            }
+        }
+        self.attempt += 1;
+        Some(delay)
+    }
+
+    /// Takes the next backoff delay as a cancellable sleep.
+    pub fn wait(&mut self, cancel: Option<&AtomicBool>) -> Wait {
+        match self.next_delay() {
+            None => Wait::Exhausted,
+            Some(delay) => {
+                if sleep_cancellable(delay, cancel) {
+                    Wait::Waited
+                } else {
+                    Wait::Cancelled
+                }
+            }
+        }
+    }
+}
+
+/// Sleeps for `duration` in short slices, re-checking `cancel` between
+/// slices. Returns `true` when the full duration elapsed, `false` when
+/// the cancellation flag cut the sleep short.
+///
+/// This is the cancellable wait every client edge routes through — a
+/// coordinator-suggested `Wait{retry_ms}`, a reconnect backoff, a retry
+/// delay — so a shutdown signal is honoured within one slice (25 ms)
+/// no matter how long the requested sleep.
+pub fn sleep_cancellable(duration: Duration, cancel: Option<&AtomicBool>) -> bool {
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    if cancelled() {
+        return false;
+    }
+    let mut remaining = duration;
+    while !remaining.is_zero() {
+        let slice = remaining.min(SLEEP_SLICE);
+        std::thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+        if cancelled() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_schedule_is_deterministic_and_exponential() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            max_attempts: 6,
+            deadline: None,
+            jitter_seed: 42,
+        };
+        let run = |seed| {
+            let mut b = Backoff::new(policy.with_jitter_seed(seed));
+            std::iter::from_fn(|| b.next_delay()).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 6, "stops at max_attempts");
+        // Exponential growth up to the cap, within the ±1/8 jitter band.
+        for (i, d) in a.iter().enumerate() {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << i)
+                .min(Duration::from_millis(100));
+            assert!(
+                *d >= exp - exp / 8 && *d <= exp + exp / 8,
+                "attempt {i}: {d:?}"
+            );
+        }
+        let c = run(43);
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn reset_restores_the_attempt_budget() {
+        let mut b = Backoff::new(RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        });
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_none(), "budget spent");
+        b.reset();
+        assert!(b.next_delay().is_some(), "reset restores the budget");
+    }
+
+    #[test]
+    fn deadline_bounds_total_waiting() {
+        let mut b = Backoff::new(RetryPolicy {
+            base: Duration::from_millis(50),
+            max_delay: Duration::from_millis(50),
+            max_attempts: u32::MAX,
+            deadline: Some(Duration::from_millis(1)),
+            jitter_seed: 1,
+        });
+        // The first wait alone would overrun the 1 ms budget.
+        assert!(b.next_delay().is_none(), "deadline-aware give-up");
+    }
+
+    #[test]
+    fn cancellation_interrupts_a_long_sleep_promptly() {
+        use std::sync::Arc;
+
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = cancel.clone();
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let start = Instant::now();
+        let slept_fully = sleep_cancellable(Duration::from_secs(30), Some(&cancel));
+        raiser.join().expect("raiser thread");
+        assert!(!slept_fully, "cancellation cuts the sleep short");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a raised flag must interrupt within a slice, not after 30 s"
+        );
+    }
+
+    #[test]
+    fn pre_raised_cancellation_skips_the_sleep_entirely() {
+        let cancel = AtomicBool::new(true);
+        let start = Instant::now();
+        assert!(!sleep_cancellable(Duration::from_secs(30), Some(&cancel)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

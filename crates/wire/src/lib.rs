@@ -32,6 +32,40 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+pub mod backoff;
+pub mod chaos;
+
+pub use backoff::{sleep_cancellable, Backoff, RetryPolicy, Wait};
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosReport, ChaosTransport, SplitMix64};
+
+/// Configures read/write deadlines on a transport, abstracting over
+/// `TcpStream` and wrappers like [`ChaosTransport`] so every GLAIVE
+/// socket — server handler, coordinator connection, worker, client —
+/// can be given explicit deadlines regardless of how it is stacked.
+///
+/// `None` clears a deadline (blocking I/O); `Some(d)` makes reads/writes
+/// fail with `WouldBlock`/`TimedOut` after `d` without progress, which
+/// the cancellable frame reader turns into cancel checks and stall
+/// detection.
+pub trait Timeouts {
+    /// Sets the read and write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's failure to apply a deadline (e.g. a
+    /// zero `Duration` on a socket).
+    fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Timeouts for TcpStream {
+    fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+}
 
 /// Upper bound on a frame payload; larger declared lengths are rejected
 /// before any allocation (a corrupted or hostile length prefix must not
@@ -372,6 +406,14 @@ pub enum ReadOutcome {
 /// timeout, re-checking `cancel` on every timeout so a draining service
 /// never strands a handler in a blocking read.
 ///
+/// `stall` is the mid-frame progress deadline: once any byte of a frame
+/// has arrived, the peer must keep delivering — more than `stall` with
+/// zero progress fails the read with a typed `Io` error, so a peer that
+/// dies (or is chaos-frozen) halfway through a frame can never wedge the
+/// handler thread forever. An *idle* connection at a frame boundary is
+/// not a stall: waiting for the next request indefinitely is normal.
+/// `None` preserves the old unbounded behaviour.
+///
 /// The framing is inlined (instead of calling [`read_frame`]) so the
 /// timeout granularity sits below the frame level: a half-received frame
 /// keeps its progress across cancel checks instead of corrupting the
@@ -379,9 +421,32 @@ pub enum ReadOutcome {
 pub fn read_frame_cancellable<R: Read>(
     stream: &mut R,
     cancel: &std::sync::atomic::AtomicBool,
+    stall: Option<Duration>,
+) -> ReadOutcome {
+    read_frame_bounded(stream, cancel, stall, true)
+}
+
+/// Like [`read_frame_cancellable`], but for strict request/response
+/// clients awaiting a reply just solicited: the no-progress `deadline`
+/// also covers the wait at the frame boundary. A peer that goes silent
+/// after accepting a request is indistinguishable from a dead one, so
+/// the idle exemption does not apply.
+pub fn read_reply_cancellable<R: Read>(
+    stream: &mut R,
+    cancel: &std::sync::atomic::AtomicBool,
+    deadline: Duration,
+) -> ReadOutcome {
+    read_frame_bounded(stream, cancel, Some(deadline), false)
+}
+
+fn read_frame_bounded<R: Read>(
+    stream: &mut R,
+    cancel: &std::sync::atomic::AtomicBool,
+    stall: Option<Duration>,
+    idle_exempt: bool,
 ) -> ReadOutcome {
     let mut header = [0u8; 4];
-    match read_full(stream, &mut header, cancel, true) {
+    match read_full(stream, &mut header, cancel, true, stall, idle_exempt) {
         FillOutcome::Done => {}
         FillOutcome::CleanEof => return ReadOutcome::Closed,
         FillOutcome::Cancelled => return ReadOutcome::Cancelled,
@@ -392,7 +457,7 @@ pub fn read_frame_cancellable<R: Read>(
         return ReadOutcome::Failed(ProtocolError::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
-    match read_full(stream, &mut payload, cancel, false) {
+    match read_full(stream, &mut payload, cancel, false, stall, idle_exempt) {
         FillOutcome::Done => ReadOutcome::Frame(payload),
         FillOutcome::CleanEof => ReadOutcome::Failed(ProtocolError::Truncated),
         FillOutcome::Cancelled => ReadOutcome::Cancelled,
@@ -402,17 +467,22 @@ pub fn read_frame_cancellable<R: Read>(
 
 /// Fills `buf` completely from a timeout-configured stream, checking the
 /// cancellation flag on each timeout. `at_boundary` marks reads that may
-/// legitimately see a clean EOF (the start of a frame header).
+/// legitimately see a clean EOF (the start of a frame header); when
+/// `idle_exempt` is set, a boundary read that has seen no bytes is also
+/// exempt from the `stall` deadline (an idle peer is not a stalled one).
 fn read_full<R: Read>(
     stream: &mut R,
     buf: &mut [u8],
     cancel: &std::sync::atomic::AtomicBool,
     at_boundary: bool,
+    stall: Option<Duration>,
+    idle_exempt: bool,
 ) -> FillOutcome {
     use std::io::ErrorKind;
     use std::sync::atomic::Ordering;
 
     let mut filled = 0;
+    let mut last_progress = Instant::now();
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -422,10 +492,21 @@ fn read_full<R: Read>(
                     FillOutcome::Failed(ProtocolError::Io("connection reset".into()))
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if cancel.load(Ordering::Relaxed) {
                     return FillOutcome::Cancelled;
+                }
+                let stalled_wait = !(idle_exempt && at_boundary && filled == 0);
+                if let Some(limit) = stall {
+                    if stalled_wait && last_progress.elapsed() > limit {
+                        return FillOutcome::Failed(ProtocolError::Io(format!(
+                            "peer stalled mid-frame for over {limit:?}"
+                        )));
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -537,12 +618,12 @@ mod tests {
         write_frame(&mut wire, &frame).expect("write");
         let cancel = AtomicBool::new(false);
         let mut cursor = &wire[..];
-        match read_frame_cancellable(&mut cursor, &cancel) {
+        match read_frame_cancellable(&mut cursor, &cancel, None) {
             ReadOutcome::Frame(p) => assert_eq!(p, frame.bytes()),
             _ => panic!("expected a frame"),
         }
         assert!(matches!(
-            read_frame_cancellable(&mut cursor, &cancel),
+            read_frame_cancellable(&mut cursor, &cancel, None),
             ReadOutcome::Closed
         ));
 
@@ -554,9 +635,72 @@ mod tests {
         }
         let cancel = AtomicBool::new(true);
         assert!(matches!(
-            read_frame_cancellable(&mut Stalled, &cancel),
+            read_frame_cancellable(&mut Stalled, &cancel, None),
             ReadOutcome::Cancelled
         ));
+    }
+
+    #[test]
+    fn mid_frame_stall_fails_but_idle_boundary_does_not() {
+        use std::sync::atomic::AtomicBool;
+
+        /// Delivers `head` bytes, then times out forever: a peer frozen
+        /// mid-frame.
+        struct Frozen {
+            head: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Frozen {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos < self.head.len() {
+                    let n = buf.len().min(self.head.len() - self.pos);
+                    buf[..n].copy_from_slice(&self.head[self.pos..self.pos + n]);
+                    self.pos += n;
+                    Ok(n)
+                } else {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "idle"))
+                }
+            }
+        }
+
+        let cancel = AtomicBool::new(false);
+        let stall = Some(Duration::from_millis(50));
+
+        // A length prefix promising 100 bytes that never arrive: stall
+        // fires with a typed Io error instead of hanging forever.
+        let mut frozen = Frozen {
+            head: 100u32.to_le_bytes().to_vec(),
+            pos: 0,
+        };
+        let start = Instant::now();
+        match read_frame_cancellable(&mut frozen, &cancel, stall) {
+            ReadOutcome::Failed(ProtocolError::Io(msg)) => {
+                assert!(msg.contains("stalled"), "got: {msg}")
+            }
+            _ => panic!("expected a stall failure"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(10));
+
+        // An idle connection at the frame boundary is NOT a stall: the
+        // reader keeps waiting (here until cancel is raised).
+        let idle_cancel = AtomicBool::new(false);
+        let mut idle = Frozen {
+            head: Vec::new(),
+            pos: 0,
+        };
+        let start = Instant::now();
+        let waiter = std::thread::scope(|s| {
+            let handle = s.spawn(|| read_frame_cancellable(&mut idle, &idle_cancel, stall));
+            std::thread::sleep(Duration::from_millis(200));
+            idle_cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+            handle.join().expect("reader thread")
+        });
+        assert!(
+            matches!(waiter, ReadOutcome::Cancelled),
+            "idle boundary waits until cancelled, not until stall"
+        );
+        assert!(start.elapsed() >= Duration::from_millis(150));
     }
 
     #[test]

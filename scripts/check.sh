@@ -59,6 +59,11 @@ done
 [ -n "$ADDR" ] || { echo "server never reported its address"; cat "$SMOKE_LOG"; exit 1; }
 cargo run -q --release --offline -p glaive-cli -- \
   query "$ADDR" lu --stride 16 --top 5 >/dev/null
+# The same query under seeded fault injection: corrupted/short/dropped
+# frames on the client connection must be retried, never mis-served.
+GLAIVE_CHAOS_SEED=0xC4A05EED GLAIVE_CHAOS_RATE=0.0002 \
+  cargo run -q --release --offline -p glaive-cli -- \
+  query "$ADDR" lu --stride 16 --top 5 --patience 60 >/dev/null
 cargo run -q --release --offline -p glaive-cli -- query "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"
 
@@ -114,5 +119,47 @@ wait "$W1" 2>/dev/null || true
 wait "$W2" 2>/dev/null || true
 cmp "$FAB_DIR/serial.bin" "$FAB_DIR/dist.bin" \
   || { echo "distributed ground truth diverged from serial"; exit 1; }
+
+echo "==> chaos smoke run (coordinate + 2 chaos workers, byte-compare vs serial)"
+# A fixed seed makes the fault schedule replayable: delays, short ops,
+# corrupted bytes and hard disconnects on every worker connection, yet
+# the merged ground truth must still equal the serial bytes exactly.
+# The rate is deliberately lower than the in-process soak's: every CLI
+# session re-receives the multi-KB Welcome job frame, so a high per-byte
+# rate would kill most sessions at the handshake and stretch the smoke
+# from seconds to hours (progress keeps resetting the patience budget).
+CHAOS_DIR="$SMOKE_DIR/chaos"
+mkdir -p "$CHAOS_DIR"
+GLAIVE_CACHE_DIR="$CHAOS_DIR" "$GCLI" campaign coordinate blackscholes \
+  --workers-listen 127.0.0.1:0 --chunk 64 --out "$CHAOS_DIR/chaos.bin" \
+  >"$CHAOS_DIR/coord.log" 2>&1 &
+COORD_PID=$!
+CADDR=""
+for _ in $(seq 1 100); do
+  CADDR="$(sed -n 's/^coordinating on //p' "$CHAOS_DIR/coord.log" | head -n1)"
+  [ -n "$CADDR" ] && break
+  kill -0 "$COORD_PID" 2>/dev/null || { cat "$CHAOS_DIR/coord.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$CADDR" ] || { echo "chaos coordinator never reported its address"; exit 1; }
+GLAIVE_CHAOS_SEED=0xC4A05EED GLAIVE_CHAOS_RATE=0.0002 "$GCLI" \
+  campaign worker --connect "$CADDR" --patience 120 >"$CHAOS_DIR/w1.log" 2>&1 &
+W1=$!
+GLAIVE_CHAOS_SEED=0xC4A05EED GLAIVE_CHAOS_RATE=0.0002 "$GCLI" \
+  campaign worker --connect "$CADDR" --patience 120 >"$CHAOS_DIR/w2.log" 2>&1 &
+W2=$!
+wait "$COORD_PID" || { cat "$CHAOS_DIR/coord.log"; exit 1; }
+wait "$W1" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+cmp "$FAB_DIR/serial.bin" "$CHAOS_DIR/chaos.bin" \
+  || { echo "chaos ground truth diverged from serial"; exit 1; }
+grep -q "^chaos: injected" "$CHAOS_DIR/w1.log" "$CHAOS_DIR/w2.log" \
+  || { echo "workers reported no injected faults; chaos smoke is vacuous"; exit 1; }
+
+echo "==> chaos soak (chaos_soak --quick: fleet + serve under seeded faults)"
+GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
+  --bin chaos_soak -- --out "$CHAOS_DIR/BENCH_7.json" >/dev/null
+grep -q '"identical": true' "$CHAOS_DIR/BENCH_7.json" \
+  || { echo "chaos soak reported a divergence"; exit 1; }
 
 echo "All checks passed."
