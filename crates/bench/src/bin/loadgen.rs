@@ -1,23 +1,32 @@
-//! Load generator for the `glaive-serve` model server (`BENCH_4.json`).
+//! Open-loop load generator for the `glaive-serve` model server
+//! (`BENCH_4.json`).
 //!
-//! Spawns an in-process server, fires concurrent clients at it, and
-//! verifies every response end-to-end: each batched result must be
-//! **bit-identical** to single-program inference computed locally with the
-//! same weights, and no request may be dropped or answered with a
-//! corrupted frame. The run fails (non-zero exit) on any mismatch.
+//! Sweeps concurrency steps (default 8/32/128/512 clients) against a
+//! fresh in-process server per step. Each client is **open-loop**: a
+//! sender thread fires requests at fixed arrival times (`--interval-ms`
+//! apart) whether or not earlier replies have come back, pipelining them
+//! on one socket, while a reader thread collects the in-order replies.
+//! Latency is measured from the *scheduled* arrival time, so queueing
+//! delay is charged to the server instead of silently self-throttling
+//! the way a closed loop does (coordinated omission).
 //!
-//! Reported metrics: per-request latency (p50 / p99 / mean), aggregate
-//! throughput, the server's own coalescing counters, and the robustness
-//! columns (`retries`, `busy_responses`, `reconnects`) — always present,
-//! zero on a clean run. Written as flat JSON to `BENCH_4.json` (override
-//! with `--out PATH`) and printed as TSV.
+//! Every non-`Busy` reply is verified **bit-identical** to
+//! single-program serial inference with the same weights; `Busy`
+//! rejections are the admission controller shedding load and are counted
+//! per step, never latency-sampled. The run fails (non-zero exit) on any
+//! mismatch, dropped reply, or protocol error.
 //!
-//! Flags: `--clients N` (default 8), `--requests N` per client (default
-//! 25), `--quick` (or `GLAIVE_QUICK=1`) for a subsampled smoke run.
-//! Setting `GLAIVE_CHAOS_SEED` (with `GLAIVE_CHAOS_RATE`) wraps every
-//! load connection in seeded fault injection; the bit-identity check
-//! still must pass — corruption is caught by frame checksums and retried,
-//! never silently served.
+//! Per step, the JSON records `clients`, latency percentiles over
+//! answered requests, throughput, `busy`, and the server's own counters
+//! (`batches`, `peak_batch`, `queue_depth_max`, `busy_rejections`,
+//! `stall_evictions`). If a committed `BENCH_4.json` with a matching
+//! lowest step exists, a one-line regression note is printed when its
+//! p99 worsens.
+//!
+//! Flags: `--steps 8,32,128,512`, `--requests N` per client,
+//! `--interval-ms MS` between arrivals, `--queue-bound N` (server
+//! admission bound), `--out PATH`. `--quick` (or `GLAIVE_QUICK=1`)
+//! shrinks the sweep to a smoke run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -28,34 +37,44 @@ use glaive_bench_suite::suite;
 use glaive_cdfg::{Cdfg, CdfgConfig, FEATURE_DIM};
 use glaive_gnn::{GraphSage, SageConfig};
 use glaive_nn::Matrix;
-use glaive_serve::{Client, ClientReport, ProgramSpec, ResilientClient, Server, ServerConfig};
-use glaive_wire::{ChaosConfig, ChaosPlan, RetryPolicy};
+use glaive_serve::protocol::{read_frame, write_frame};
+use glaive_serve::{Client, ProgramSpec, Request, Response, Server, ServerConfig, StatsReply};
 
 const STRIDE: usize = 8;
 
 struct Args {
-    clients: usize,
+    steps: Vec<usize>,
     requests: usize,
+    interval_ms: u64,
+    queue_bound: usize,
     out: String,
 }
 
 fn parse_args() -> Args {
+    let quick = glaive_bench::quick_requested();
     let mut args = Args {
-        clients: 8,
-        requests: 25,
+        steps: if quick {
+            vec![8, 32]
+        } else {
+            vec![8, 32, 128, 512]
+        },
+        requests: if quick { 3 } else { 10 },
+        interval_ms: if quick { 200 } else { 1000 },
+        queue_bound: 64,
         out: "BENCH_4.json".to_string(),
     };
-    if glaive_bench::quick_requested() {
-        args.requests = 4;
-    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--clients" => {
-                args.clients = it
+            "--steps" => {
+                args.steps = it
                     .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--clients needs a number");
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse().expect("--steps needs numbers"))
+                            .collect()
+                    })
+                    .expect("--steps needs a comma-separated list");
             }
             "--requests" => {
                 args.requests = it
@@ -63,11 +82,27 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--requests needs a number");
             }
+            "--interval-ms" => {
+                args.interval_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--interval-ms needs a number");
+            }
+            "--queue-bound" => {
+                args.queue_bound = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queue-bound needs a number");
+            }
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--quick" => {}
             other => panic!("unknown flag {other}"),
         }
     }
+    assert!(
+        !args.steps.is_empty(),
+        "--steps must name at least one step"
+    );
     args
 }
 
@@ -77,12 +112,212 @@ struct Reference {
     probs: Matrix,
 }
 
+/// One concurrency step's measurements.
+struct StepResult {
+    clients: usize,
+    sent: usize,
+    answered: usize,
+    busy: usize,
+    failures: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    req_per_s: f64,
+    stats: StatsReply,
+}
+
 fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
     let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
     sorted_ns[idx] as f64 / 1e6
+}
+
+/// Which suite program client `client_id` requests on its `r`-th arrival —
+/// shared by the sender (builds the request) and the reader (checks the
+/// reply), so the two threads never need to communicate.
+fn program_index(client_id: usize, r: usize, len: usize) -> usize {
+    (client_id + r * 7) % len
+}
+
+/// Pulls the committed p99 for a given client count out of a previous
+/// `BENCH_4.json` — tolerant of both the old flat layout and the current
+/// per-step layout, and of neither matching (returns `None`).
+fn committed_p99_ms(json: &str, clients: usize) -> Option<f64> {
+    let at = json.find(&format!("\"clients\": {clients}"))?;
+    let rest = &json[at..];
+    let key = "\"p99_ms\": ";
+    let num = &rest[rest.find(key)? + key.len()..];
+    let end = num
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+/// Runs one concurrency step against a fresh server and returns its
+/// measurements. `failures` accumulates protocol errors and bit-identity
+/// mismatches across the whole sweep.
+fn run_step(
+    model: &GraphSage,
+    references: &Arc<Vec<Reference>>,
+    clients: usize,
+    args: &Args,
+    failures: &Arc<AtomicU64>,
+) -> StepResult {
+    let failures_before = failures.load(Ordering::Relaxed);
+    let server = Server::bind(
+        model.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_bound: args.queue_bound,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let interval = Duration::from_millis(args.interval_ms);
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let requests = args.requests;
+    let mut threads = Vec::with_capacity(clients);
+    for client_id in 0..clients {
+        let references = references.clone();
+        let failures = failures.clone();
+        let barrier = barrier.clone();
+        threads.push(std::thread::spawn(move || -> (Vec<u64>, usize) {
+            let stream = std::net::TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("read timeout");
+            stream
+                .set_write_timeout(Some(Duration::from_secs(60)))
+                .expect("write timeout");
+            let mut reader_stream = stream.try_clone().expect("clone for reader");
+
+            barrier.wait();
+            let start = Instant::now();
+
+            // The reader sees the i-th reply answer the i-th request —
+            // the server's per-connection in-order reply guarantee.
+            let reader = {
+                let references = references.clone();
+                let failures = failures.clone();
+                std::thread::spawn(move || -> (Vec<u64>, usize) {
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut busy = 0usize;
+                    for r in 0..requests {
+                        let scheduled = start + interval * r as u32;
+                        let payload = match read_frame(&mut reader_stream) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                eprintln!("client {client_id} reply {r}: {e}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        };
+                        match Response::from_frame(&payload) {
+                            Ok(Response::Busy { .. }) => busy += 1,
+                            Ok(Response::Predict(reply)) => {
+                                latencies.push(scheduled.elapsed().as_nanos() as u64);
+                                let reference =
+                                    &references[program_index(client_id, r, references.len())];
+                                let bits = reply.bit_probs.as_deref().unwrap_or_default();
+                                let serial = &reference.probs;
+                                let identical = bits.len() == serial.rows()
+                                    && bits.iter().enumerate().all(|(row, got)| {
+                                        got.iter()
+                                            .zip(serial.row(row))
+                                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                                    });
+                                if !identical {
+                                    eprintln!(
+                                        "client {client_id} reply {r}: batched result diverges \
+                                         from serial ({} vs {} rows)",
+                                        bits.len(),
+                                        serial.rows()
+                                    );
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(other) => {
+                                eprintln!("client {client_id} reply {r}: unexpected {other:?}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("client {client_id} reply {r}: {e}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    (latencies, busy)
+                })
+            };
+
+            // Open-loop sender: arrivals at start + r * interval, never
+            // gated on replies.
+            let mut sender_stream = stream;
+            for r in 0..requests {
+                let target = start + interval * r as u32;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                let reference = &references[program_index(client_id, r, references.len())];
+                let request = Request::Predict {
+                    spec: ProgramSpec::Suite {
+                        name: reference.name.to_string(),
+                        seed: EXPERIMENT_SEED,
+                    },
+                    stride: STRIDE as u32,
+                    top_k: 10,
+                    want_bits: true,
+                };
+                if let Err(e) = write_frame(&mut sender_stream, &request.to_frame()) {
+                    eprintln!("client {client_id} request {r}: {e}");
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            reader.join().expect("reader thread")
+        }));
+    }
+
+    barrier.wait();
+    let wall_start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut busy = 0usize;
+    for t in threads {
+        let (client_latencies, client_busy) = t.join().expect("client thread");
+        latencies.extend(client_latencies);
+        busy += client_busy;
+    }
+    let wall = wall_start.elapsed();
+
+    let mut control = Client::connect(addr).expect("connect for stats");
+    control.ping().expect("server healthy after step");
+    control.shutdown_server().expect("shutdown");
+    let stats = handle.join().expect("server run");
+
+    latencies.sort_unstable();
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
+    };
+    StepResult {
+        clients,
+        sent: clients * requests,
+        answered: latencies.len(),
+        busy,
+        failures: failures.load(Ordering::Relaxed) - failures_before,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        mean_ms,
+        req_per_s: latencies.len() as f64 / wall.as_secs_f64(),
+        stats,
+    }
 }
 
 fn main() {
@@ -107,168 +342,94 @@ fn main() {
         })
         .collect();
     let references = Arc::new(references);
-
-    let server = Server::bind(
-        model,
-        "127.0.0.1:0",
-        ServerConfig {
-            workers: args.clients,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind server");
-    let addr = server.local_addr();
-    let handle = server.spawn();
-    eprintln!(
-        "server on {addr}; {} clients x {} requests",
-        args.clients, args.requests
-    );
-
-    // Optional seeded fault injection on every load connection; the
-    // retry budget is patient under chaos so the run always completes
-    // (or times out loudly) instead of failing on an unlucky schedule.
-    let chaos = ChaosConfig::from_env().map(ChaosPlan::new);
-    let policy = if chaos.is_some() {
-        RetryPolicy::patient(Duration::from_secs(60))
-    } else {
-        RetryPolicy::default()
-    };
-    if let Some(plan) = &chaos {
-        eprintln!(
-            "chaos: seed {:#018x}, fault rate {} ppm",
-            plan.config().seed,
-            plan.config().fault_ppm
-        );
-    }
+    let committed = std::fs::read_to_string(&args.out).ok();
 
     let failures = Arc::new(AtomicU64::new(0));
-    let barrier = Arc::new(Barrier::new(args.clients + 1));
-    let mut threads = Vec::new();
-    for client_id in 0..args.clients {
-        let references = references.clone();
-        let failures = failures.clone();
-        let barrier = barrier.clone();
-        let chaos = chaos.clone();
-        threads.push(std::thread::spawn(move || -> (Vec<u64>, ClientReport) {
-            let mut client = ResilientClient::new(addr.to_string(), policy);
-            if let Some(plan) = chaos {
-                // Disjoint stream-id blocks per client: schedules differ
-                // across clients but replay exactly under the same seed.
-                client = client.with_chaos(plan, (client_id as u64) << 32);
-            }
-            let mut latencies = Vec::with_capacity(args.requests);
-            barrier.wait();
-            for r in 0..args.requests {
-                let reference = &references[(client_id + r * 7) % references.len()];
-                let spec = ProgramSpec::Suite {
-                    name: reference.name.to_string(),
-                    seed: EXPERIMENT_SEED,
-                };
-                let start = Instant::now();
-                let reply = match client.predict(&spec, STRIDE as u32, 10, true) {
-                    Ok(reply) => reply,
-                    Err(e) => {
-                        eprintln!("client {client_id} request {r}: {e}");
-                        failures.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                };
-                latencies.push(start.elapsed().as_nanos() as u64);
-
-                // End-to-end differential check: the batched, wire-encoded
-                // per-node probabilities must equal serial inference bit
-                // for bit.
-                let bits = reply.bit_probs.as_deref().unwrap_or_default();
-                let serial = &reference.probs;
-                let identical = bits.len() == serial.rows()
-                    && bits.iter().enumerate().all(|(row, got)| {
-                        got.iter()
-                            .zip(serial.row(row))
-                            .all(|(a, b)| a.to_bits() == b.to_bits())
-                    });
-                if !identical {
-                    eprintln!(
-                        "client {client_id} request {r}: batched result diverges from serial \
-                         ({} vs {} rows)",
-                        bits.len(),
-                        serial.rows()
-                    );
-                    failures.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            (latencies, client.report())
-        }));
-    }
-
-    barrier.wait();
-    let wall_start = Instant::now();
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut survived = ClientReport::default();
-    for t in threads {
-        let (client_latencies, report) = t.join().expect("client thread");
-        latencies.extend(client_latencies);
-        survived.retries += report.retries;
-        survived.busy_responses += report.busy_responses;
-        survived.reconnects += report.reconnects;
-    }
-    let wall = wall_start.elapsed();
-
-    let mut control = Client::connect(addr).expect("connect for stats");
-    let stats = control.stats().expect("stats");
-    control.shutdown_server().expect("shutdown");
-    handle.join().expect("server run");
-
-    latencies.sort_unstable();
-    let total = args.clients * args.requests;
-    let failed = failures.load(Ordering::Relaxed);
-    let p50 = percentile_ms(&latencies, 0.50);
-    let p99 = percentile_ms(&latencies, 0.99);
-    let mean = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
-    };
-    let req_per_s = latencies.len() as f64 / wall.as_secs_f64();
-
-    println!("metric\tvalue");
-    println!("clients\t{}", args.clients);
-    println!("requests\t{total}");
-    println!("failures\t{failed}");
-    println!("p50_ms\t{p50:.3}");
-    println!("p99_ms\t{p99:.3}");
-    println!("mean_ms\t{mean:.3}");
-    println!("req_per_s\t{req_per_s:.1}");
-    println!("batches\t{}", stats.batches);
-    println!("peak_batch\t{}", stats.peak_batch);
-    println!("cache_hits\t{}", stats.cache_hits);
-    println!("cache_misses\t{}", stats.cache_misses);
-    println!("retries\t{}", survived.retries);
-    println!("busy_responses\t{}", survived.busy_responses);
-    println!("reconnects\t{}", survived.reconnects);
-
-    let json = format!(
-        "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"failures\": {},\n  \
-         \"p50_ms\": {:.6},\n  \"p99_ms\": {:.6},\n  \"mean_ms\": {:.6},\n  \
-         \"req_per_s\": {:.3},\n  \"batches\": {},\n  \"peak_batch\": {},\n  \
-         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"retries\": {},\n  \
-         \"busy_responses\": {},\n  \"reconnects\": {}\n}}\n",
-        args.clients,
-        total,
-        failed,
-        p50,
-        p99,
-        mean,
-        req_per_s,
-        stats.batches,
-        stats.peak_batch,
-        stats.cache_hits,
-        stats.cache_misses,
-        survived.retries,
-        survived.busy_responses,
-        survived.reconnects
+    let mut steps: Vec<StepResult> = Vec::with_capacity(args.steps.len());
+    println!(
+        "clients\tsent\tanswered\tbusy\tp50_ms\tp99_ms\tmean_ms\treq_per_s\tpeak_batch\t\
+         queue_depth_max\tstall_evictions"
     );
+    for &clients in &args.steps {
+        eprintln!(
+            "step: {clients} open-loop clients x {} requests, {} ms apart (queue bound {})",
+            args.requests, args.interval_ms, args.queue_bound
+        );
+        let step = run_step(&model, &references, clients, &args, &failures);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.1}\t{}\t{}\t{}",
+            step.clients,
+            step.sent,
+            step.answered,
+            step.busy,
+            step.p50_ms,
+            step.p99_ms,
+            step.mean_ms,
+            step.req_per_s,
+            step.stats.peak_batch,
+            step.stats.queue_depth_max,
+            step.stats.stall_evictions
+        );
+        steps.push(step);
+    }
+
+    let step_json: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\n      \"clients\": {},\n      \"sent\": {},\n      \
+                 \"answered\": {},\n      \"busy\": {},\n      \"failures\": {},\n      \
+                 \"p50_ms\": {:.6},\n      \"p99_ms\": {:.6},\n      \"mean_ms\": {:.6},\n      \
+                 \"req_per_s\": {:.3},\n      \"batches\": {},\n      \"peak_batch\": {},\n      \
+                 \"cache_hits\": {},\n      \"cache_misses\": {},\n      \
+                 \"busy_rejections\": {},\n      \"stall_evictions\": {},\n      \
+                 \"queue_depth_max\": {}\n    }}",
+                s.clients,
+                s.sent,
+                s.answered,
+                s.busy,
+                s.failures,
+                s.p50_ms,
+                s.p99_ms,
+                s.mean_ms,
+                s.req_per_s,
+                s.stats.batches,
+                s.stats.peak_batch,
+                s.stats.cache_hits,
+                s.stats.cache_misses,
+                s.stats.busy_rejections,
+                s.stats.stall_evictions,
+                s.stats.queue_depth_max
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"stride\": {},\n  \"requests_per_client\": {},\n  \"interval_ms\": {},\n  \
+         \"queue_bound\": {},\n  \"steps\": [\n{}\n  ]\n}}\n",
+        STRIDE,
+        args.requests,
+        args.interval_ms,
+        args.queue_bound,
+        step_json.join(",\n")
+    );
+
+    // Satellite visibility: compare the lowest step's p99 against the
+    // committed file before overwriting it.
+    if let (Some(old_json), Some(first)) = (&committed, steps.first()) {
+        if let Some(old_p99) = committed_p99_ms(old_json, first.clients) {
+            if first.p99_ms > old_p99 {
+                eprintln!(
+                    "regression note: p99 at {} clients is {:.3} ms, worse than the committed \
+                     {:.3} ms",
+                    first.clients, first.p99_ms, old_p99
+                );
+            }
+        }
+    }
+
     std::fs::write(&args.out, json).expect("write results");
     eprintln!("wrote {}", args.out);
 
+    let failed = failures.load(Ordering::Relaxed);
     assert_eq!(failed, 0, "{failed} dropped or corrupted responses");
 }

@@ -36,6 +36,7 @@ usage:
                       [--deadline-secs N] [--fail-fast] [--quick]
   glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
   glaive-cli serve    <model> [--addr HOST:PORT] [--workers N] [--stride N]
+                      [--queue-bound N] [--cache-shards N]
   glaive-cli query    <addr> <benchmark> [--seed N] [--stride N] [--top N]
   glaive-cli query    <addr> (--stats | --ping | --shutdown)
 
@@ -70,6 +71,8 @@ struct Flags {
     fail_fast: bool,
     addr: String,
     workers: usize,
+    queue_bound: usize,
+    cache_shards: usize,
     stats: bool,
     ping: bool,
     shutdown: bool,
@@ -98,6 +101,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         fail_fast: false,
         addr: "127.0.0.1:0".to_string(),
         workers: 8,
+        queue_bound: ServerConfig::default().queue_bound,
+        cache_shards: ServerConfig::default().cache_shards,
         stats: false,
         ping: false,
         shutdown: false,
@@ -137,6 +142,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
                     .clone();
             }
             "--workers" => flags.workers = value(&mut it)? as usize,
+            "--queue-bound" => flags.queue_bound = value(&mut it)? as usize,
+            "--cache-shards" => flags.cache_shards = value(&mut it)? as usize,
             "--workers-listen" => {
                 flags.workers_listen = it
                     .next()
@@ -646,6 +653,8 @@ fn cmd_serve(model_path: &str, flags: &Flags) -> CliResult {
         flags.addr.as_str(),
         ServerConfig {
             workers: flags.workers,
+            queue_bound: flags.queue_bound,
+            cache_shards: flags.cache_shards,
             ..ServerConfig::default()
         },
     )?
@@ -658,14 +667,18 @@ fn cmd_serve(model_path: &str, flags: &Flags) -> CliResult {
     let stats = server.run()?;
     println!(
         "served {} requests: {} predictions in {} batches (peak batch {}), \
-         cache {} hits / {} misses, {} errors",
+         cache {} hits / {} misses, {} errors, {} busy rejections, \
+         {} stall evictions, peak queue {}",
         stats.requests,
         stats.predictions,
         stats.batches,
         stats.peak_batch,
         stats.cache_hits,
         stats.cache_misses,
-        stats.errors
+        stats.errors,
+        stats.busy_rejections,
+        stats.stall_evictions,
+        stats.queue_depth_max
     );
     if flags.verbose {
         eprint!("{}", recorder.summary());
@@ -720,6 +733,9 @@ fn cmd_query_resilient(
         println!("cache hits:   {}", s.cache_hits);
         println!("cache misses: {}", s.cache_misses);
         println!("errors:       {}", s.errors);
+        println!("busy:         {}", s.busy_rejections);
+        println!("stalls cut:   {}", s.stall_evictions);
+        println!("peak queue:   {}", s.queue_depth_max);
         return Ok(());
     }
     let name = name.ok_or("query needs a benchmark name (or --stats/--ping/--shutdown)")?;

@@ -156,34 +156,54 @@ impl BatchWorkspace {
     }
 
     /// Runs coalesced forward passes over `jobs` and delivers each job its
-    /// own probability rows. Returns the number of jobs served.
+    /// own probability rows over its reply channel. Returns the number of
+    /// jobs served. A thin adapter over [`BatchWorkspace::run_prepared`]
+    /// for callers that route results through channels.
+    pub fn run_batch(&mut self, model: &GraphSage, jobs: &[InferenceJob]) -> usize {
+        let prepared: Vec<Arc<PreparedProgram>> = jobs.iter().map(|j| j.prepared.clone()).collect();
+        let results = self.run_prepared(model, &prepared);
+        for (job, result) in jobs.iter().zip(results) {
+            // The client may have hung up while queued; its slot in the
+            // batch is already paid for, so just drop the result.
+            let _ = job.reply.send(result);
+        }
+        jobs.len()
+    }
+
+    /// Runs coalesced forward passes over `prepared` and returns one
+    /// [`BatchResult`] per program, in input order.
     ///
     /// The staged union indexes nodes and edges with `u32` (the CSR
     /// discipline), so a drained backlog whose totals exceed `u32::MAX` is
     /// split into consecutive chunks that each fit — the bases can never
     /// wrap. Splitting preserves bit-identical results because every
     /// forward-pass operation is row-local (see the module docs).
-    pub fn run_batch(&mut self, model: &GraphSage, jobs: &[InferenceJob]) -> usize {
-        let mut served = 0;
-        let mut rest = jobs;
+    pub fn run_prepared(
+        &mut self,
+        model: &GraphSage,
+        prepared: &[Arc<PreparedProgram>],
+    ) -> Vec<BatchResult> {
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut rest = prepared;
         while !rest.is_empty() {
             let take = chunk_len(rest);
-            self.run_chunk(model, &rest[..take]);
-            served += take;
+            self.run_chunk(model, &rest[..take], &mut out);
             rest = &rest[take..];
         }
-        served
+        out
     }
 
-    /// One forward pass over `jobs`, whose node/edge totals are already
-    /// known to fit in `u32`.
-    fn run_chunk(&mut self, model: &GraphSage, jobs: &[InferenceJob]) {
-        let batch_size = jobs.len() as u32;
-        let total_nodes: usize = jobs.iter().map(|j| j.prepared.cdfg.node_count()).sum();
-        let total_edges: usize = jobs
-            .iter()
-            .map(|j| j.prepared.cdfg.preds_csr().edge_count())
-            .sum();
+    /// One forward pass over `chunk`, whose node/edge totals are already
+    /// known to fit in `u32`; appends one result per program to `out`.
+    fn run_chunk(
+        &mut self,
+        model: &GraphSage,
+        chunk: &[Arc<PreparedProgram>],
+        out: &mut Vec<BatchResult>,
+    ) {
+        let batch_size = chunk.len() as u32;
+        let total_nodes: usize = chunk.iter().map(|p| p.cdfg.node_count()).sum();
+        let total_edges: usize = chunk.iter().map(|p| p.cdfg.preds_csr().edge_count()).sum();
 
         // Block-diagonal disjoint union of the predecessor graphs, staged
         // into the reusable buffers (same shifting scheme as
@@ -196,13 +216,13 @@ impl BatchWorkspace {
         self.offsets.push(0);
         let mut node_base = 0u32;
         let mut edge_base = 0u32;
-        for job in jobs {
-            let g = job.prepared.cdfg.preds_csr();
+        for p in chunk {
+            let g = p.cdfg.preds_csr();
             self.offsets
                 .extend(g.offsets()[1..].iter().map(|&o| edge_base + o));
             self.targets
                 .extend(g.targets().iter().map(|&t| node_base + t));
-            self.feats.extend_from_slice(job.prepared.features.data());
+            self.feats.extend_from_slice(p.features.data());
             node_base += g.node_count() as u32;
             edge_base += g.edge_count() as u32;
         }
@@ -215,27 +235,24 @@ impl BatchWorkspace {
 
         let classes = probs.cols();
         let mut row = 0usize;
-        for job in jobs {
-            let n = job.prepared.cdfg.node_count();
+        for p in chunk {
+            let n = p.cdfg.node_count();
             let slice = &probs.data()[row * classes..(row + n) * classes];
             row += n;
-            let result = BatchResult {
+            out.push(BatchResult {
                 probs: Matrix::from_vec(n, classes, slice.to_vec()),
                 batch_size,
-            };
-            // The client may have hung up while queued; its slot in the
-            // batch is already paid for, so just drop the result.
-            let _ = job.reply.send(result);
+            });
         }
     }
 }
 
-/// Length of the longest `jobs` prefix whose summed node and edge counts
-/// both fit in `u32` (always ≥ 1: a single program's CSR is `u32`-indexed
-/// by construction, so one job always fits).
-fn chunk_len(jobs: &[InferenceJob]) -> usize {
-    chunk_len_by(jobs.iter().map(|j| {
-        let g = j.prepared.cdfg.preds_csr();
+/// Length of the longest `prepared` prefix whose summed node and edge
+/// counts both fit in `u32` (always ≥ 1: a single program's CSR is
+/// `u32`-indexed by construction, so one program always fits).
+fn chunk_len(prepared: &[Arc<PreparedProgram>]) -> usize {
+    chunk_len_by(prepared.iter().map(|p| {
+        let g = p.cdfg.preds_csr();
         (g.node_count() as u32, g.edge_count() as u32)
     }))
 }

@@ -66,32 +66,71 @@ struct Entry {
     last_used: u64,
 }
 
-/// A bounded LRU of [`PreparedProgram`]s keyed by
-/// [`program_fingerprint`]. Lookups bump recency; inserts beyond capacity
-/// evict the least-recently-used entry. Entries are `Arc`-shared, so an
-/// eviction never invalidates an in-flight batch.
+/// A bounded, sharded LRU of [`PreparedProgram`]s keyed by
+/// [`program_fingerprint`]. Lookups bump recency; inserts beyond a
+/// shard's capacity evict that shard's least-recently-used entry. Entries
+/// are `Arc`-shared, so an eviction never invalidates an in-flight batch.
+///
+/// # Sharding
+///
+/// The cache splits into `shards` independent LRU domains, each behind
+/// its own mutex; a key's shard is selected by its low fingerprint bits
+/// (`key & (shards − 1)`, with `shards` rounded up to a power of two).
+/// FNV-1a avalanches the preimage across all 64 bits, so the low bits
+/// spread keys uniformly, and concurrent requests for *different*
+/// programs contend only when they land in the same shard — the
+/// single-mutex contention wall this replaces. Recency is tracked per
+/// shard; there is no global LRU order, which is exactly the trade that
+/// makes a lookup touch one lock instead of all of them.
 pub struct GraphCache {
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<CacheShard>>,
+    mask: u64,
 }
 
-struct CacheInner {
+struct CacheShard {
     map: HashMap<u64, Entry>,
     capacity: usize,
     tick: u64,
 }
 
 impl GraphCache {
-    /// A cache holding at most `capacity` prepared programs (`capacity` is
-    /// clamped to ≥ 1 — a cache that can hold nothing would rebuild the
-    /// active program on every request).
+    /// A single-shard cache holding at most `capacity` prepared programs
+    /// (`capacity` is clamped to ≥ 1 — a cache that can hold nothing
+    /// would rebuild the active program on every request). One shard
+    /// preserves a global LRU order; servers use
+    /// [`GraphCache::with_shards`].
     pub fn new(capacity: usize) -> GraphCache {
+        GraphCache::with_shards(capacity, 1)
+    }
+
+    /// A cache of `shards` independent LRU domains (rounded up to a power
+    /// of two, clamped to ≥ 1) with a *total* capacity of at least
+    /// `capacity`: each shard holds `ceil(capacity / shards)`, clamped to
+    /// ≥ 1.
+    pub fn with_shards(capacity: usize, shards: usize) -> GraphCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(n).max(1);
         GraphCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                capacity: capacity.max(1),
-                tick: 0,
-            }),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        map: HashMap::new(),
+                        capacity: per_shard,
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            mask: (n - 1) as u64,
         }
+    }
+
+    /// Number of independent LRU shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<CacheShard> {
+        &self.shards[(key & self.mask) as usize]
     }
 
     /// Returns the entry for `key`, building it with `build` on a miss.
@@ -122,10 +161,10 @@ impl GraphCache {
     }
 
     fn lookup(&self, key: u64, program: &Program, stride: usize) -> Option<Arc<PreparedProgram>> {
-        let mut inner = self.inner.lock().expect("graph cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        let entry = inner.map.get_mut(&key)?;
+        let mut shard = self.shard(key).lock().expect("graph cache lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(&key)?;
         if entry.stride != stride || entry.prepared.program != *program {
             return None;
         }
@@ -134,20 +173,20 @@ impl GraphCache {
     }
 
     fn insert(&self, key: u64, stride: usize, prepared: Arc<PreparedProgram>) {
-        let mut inner = self.inner.lock().expect("graph cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
-            if let Some(&lru) = inner
+        let mut shard = self.shard(key).lock().expect("graph cache lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= shard.capacity && !shard.map.contains_key(&key) {
+            if let Some(&lru) = shard
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k)
             {
-                inner.map.remove(&lru);
+                shard.map.remove(&lru);
             }
         }
-        inner.map.insert(
+        shard.map.insert(
             key,
             Entry {
                 prepared,
@@ -157,9 +196,12 @@ impl GraphCache {
         );
     }
 
-    /// Number of cached programs.
+    /// Number of cached programs across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("graph cache lock").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("graph cache lock").map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -236,5 +278,94 @@ mod tests {
         // Same program at a different stride under the same key: also a miss.
         let (_, hit) = cache.get_or_build(42, &p2, 8, || prepared(2));
         assert!(!hit, "stride mismatch must not count as a hit");
+    }
+
+    /// A key pinned to `shard` (low bits) carrying `tag` above the shard
+    /// index, for tests that need to steer keys into specific shards.
+    fn sharded_key(shard: u64, tag: u64, shard_count: u64) -> u64 {
+        shard | (tag * shard_count)
+    }
+
+    #[test]
+    fn shard_count_rounds_up_and_new_is_one_shard() {
+        assert_eq!(GraphCache::new(8).shard_count(), 1);
+        assert_eq!(GraphCache::with_shards(8, 3).shard_count(), 4);
+        assert_eq!(GraphCache::with_shards(8, 8).shard_count(), 8);
+        assert_eq!(GraphCache::with_shards(1, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_tracked_per_shard() {
+        // 4 shards × 2 entries each. Overflowing shard 0 must evict shard
+        // 0's LRU and leave every other shard untouched.
+        let cache = GraphCache::with_shards(8, 4);
+        let key = |shard, tag| sharded_key(shard, tag, 4);
+        let (p1, p2, p3, p4) = (program(1), program(2), program(3), program(4));
+
+        cache.get_or_build(key(0, 1), &p1, 16, || prepared(1));
+        cache.get_or_build(key(0, 2), &p2, 16, || prepared(2));
+        cache.get_or_build(key(1, 1), &p4, 16, || prepared(4));
+        // Touch shard 0's first key so its second is the LRU, then
+        // overflow shard 0.
+        cache.get_or_build(key(0, 1), &p1, 16, || panic!("must not rebuild"));
+        cache.get_or_build(key(0, 3), &p3, 16, || prepared(3));
+
+        let (_, hit) = cache.get_or_build(key(0, 1), &p1, 16, || panic!("was just touched"));
+        assert!(hit, "recently used entry survives its shard's eviction");
+        let (_, hit) = cache.get_or_build(key(0, 2), &p2, 16, || prepared(2));
+        assert!(!hit, "shard 0's LRU entry was evicted");
+        let (_, hit) = cache.get_or_build(key(1, 1), &p4, 16, || panic!("other shard touched"));
+        assert!(hit, "an overflow in shard 0 must never evict from shard 1");
+    }
+
+    #[test]
+    fn collision_check_holds_within_each_shard() {
+        let cache = GraphCache::with_shards(8, 4);
+        let (p1, p2) = (program(1), program(2));
+        for shard in 0..4u64 {
+            let key = sharded_key(shard, 9, 4);
+            let (stored, hit) = cache.get_or_build(key, &p1, 16, || prepared(1));
+            assert!(!hit);
+            let (got, hit) = cache.get_or_build(key, &p2, 16, || prepared(2));
+            assert!(!hit, "shard {shard}: colliding key must miss");
+            assert!(
+                !Arc::ptr_eq(&stored, &got),
+                "shard {shard}: collision served the wrong program"
+            );
+            assert_eq!(got.program, p2);
+        }
+    }
+
+    #[test]
+    fn concurrent_hit_miss_storm_across_shards_stays_consistent() {
+        let cache = GraphCache::with_shards(16, 8);
+        let programs: Vec<Program> = (0..8).map(program).collect();
+        let keys: Vec<u64> = (0..8).map(|i| sharded_key(i % 8, i / 8, 8)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = &cache;
+                let programs = &programs;
+                let keys = &keys;
+                scope.spawn(move || {
+                    for r in 0..64usize {
+                        let i = (t * 13 + r * 7) % programs.len();
+                        let tag = i as i64;
+                        let (got, _) =
+                            cache.get_or_build(keys[i], &programs[i], 16, || prepared(tag));
+                        // Whoever built it, the entry must be *this*
+                        // program's graph.
+                        assert_eq!(got.program, programs[i]);
+                        assert_eq!(got.cdfg.node_count(), got.features.rows());
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 16, "total occupancy within capacity");
+        // After the storm every key must be resident: 8 distinct keys
+        // spread over 8 shards of capacity 2 can never evict each other.
+        for (key, prog) in keys.iter().zip(&programs) {
+            let (_, hit) = cache.get_or_build(*key, prog, 16, || panic!("must be resident"));
+            assert!(hit);
+        }
     }
 }

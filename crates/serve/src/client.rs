@@ -1,4 +1,4 @@
-//! Blocking clients for the `GLVSRV01` protocol.
+//! Blocking clients for the `GLVSRV02` protocol.
 //!
 //! [`Client`] is the bare connection: one stream, synchronous
 //! request/response, first failure surfaces immediately. It works over
@@ -12,7 +12,10 @@
 //! with [`ClientError::RetriesExhausted`] wrapping the last failure. A
 //! request is only ever *re-sent whole* on a *new* connection, so a
 //! half-written frame on a dead socket can never interleave with its
-//! retry.
+//! retry. The one exception is a typed [`ClientError::Busy`] admission
+//! rejection: the connection is provably healthy (the server answered in
+//! an orderly way), so the retry keeps it and waits at least the
+//! server-provided `retry_after_ms` hint.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -43,6 +46,13 @@ pub enum ClientError {
         /// Human-readable detail.
         message: String,
     },
+    /// Admission control turned the request away: the server's bounded
+    /// queue is full. The connection is still healthy — retry the same
+    /// request after the server's hint, without redialling.
+    Busy {
+        /// Server-suggested delay before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The server answered with a frame of the wrong kind.
     UnexpectedReply,
     /// A retry loop gave up: consecutive transient failures outlasted
@@ -64,7 +74,9 @@ impl ClientError {
     /// mismatch — are deterministic and final.
     pub fn is_transient(&self) -> bool {
         match self {
-            ClientError::Protocol(_) | ClientError::UnexpectedReply => true,
+            ClientError::Protocol(_) | ClientError::UnexpectedReply | ClientError::Busy { .. } => {
+                true
+            }
             ClientError::Server { code, .. } => matches!(
                 code,
                 ErrorCode::BadRequest | ErrorCode::ShuttingDown | ErrorCode::Internal
@@ -80,6 +92,9 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server rejected: {code}: {message}")
+            }
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
             }
             ClientError::UnexpectedReply => write!(f, "server sent a mismatched reply kind"),
             ClientError::RetriesExhausted { attempts, last } => {
@@ -156,6 +171,7 @@ impl Client {
     ) -> Result<T, ClientError> {
         match self.request(request)? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
             other => extract(other).ok_or(ClientError::UnexpectedReply),
         }
     }
@@ -232,7 +248,8 @@ impl Client {
 pub struct ClientReport {
     /// Transient failures retried (each one preceded a backoff wait).
     pub retries: u64,
-    /// `ShuttingDown` rejections among those (the server was draining).
+    /// Typed `Busy` admission rejections plus `ShuttingDown` rejections
+    /// among those (the server was saturated or draining).
     pub busy_responses: u64,
     /// Fresh connections dialled beyond the first.
     pub reconnects: u64,
@@ -311,6 +328,30 @@ impl ResilientClient {
             match attempt {
                 Ok(v) => return Ok(v),
                 Err(e) if !e.is_transient() => return Err(e),
+                Err(e @ ClientError::Busy { .. }) => {
+                    let ClientError::Busy { retry_after_ms } = e else {
+                        unreachable!("matched Busy");
+                    };
+                    // An orderly admission rejection: the connection is
+                    // healthy, so keep it and re-send after the server's
+                    // hint (at least — the local backoff schedule still
+                    // sets the floor and spends the attempt budget, so a
+                    // permanently saturated server exhausts retries).
+                    self.report.busy_responses += 1;
+                    self.report.retries += 1;
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            let hint = Duration::from_millis(u64::from(retry_after_ms));
+                            sleep_cancellable(delay.max(hint), None);
+                        }
+                        None => {
+                            return Err(ClientError::RetriesExhausted {
+                                attempts: backoff.attempts(),
+                                last: Box::new(e),
+                            })
+                        }
+                    }
+                }
                 Err(e) => {
                     if matches!(
                         &e,

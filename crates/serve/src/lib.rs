@@ -7,21 +7,25 @@
 //! latency — no fault injection, no retraining, graph extraction amortised
 //! across requests.
 //!
-//! Architecture (see `DESIGN.md` §11):
+//! Architecture (see `DESIGN.md` §11 and §15):
 //!
-//! - [`protocol`] — the `GLVSRV01` length-prefixed, checksummed wire
+//! - [`protocol`] — the `GLVSRV02` length-prefixed, checksummed wire
 //!   format; every malformed frame decodes to a typed
 //!   [`ProtocolError`], never a panic.
-//! - [`cache`] — a content-addressed LRU of prepared programs
+//! - [`cache`] — a content-addressed, sharded LRU of prepared programs
 //!   (CDFG + features), keyed by [`program_fingerprint`].
 //! - [`batch`] — request coalescing: concurrent requests merge into one
 //!   block-diagonal forward pass that is bit-identical to serial
 //!   inference (every GraphSAGE op is row-local).
-//! - [`server`] — the accept loop, connection worker pool and batcher
-//!   thread, with `RunControl`-style cooperative shutdown and
+//! - [`server`] — a readiness-driven event loop (one poll thread owns
+//!   every socket, requests pipeline per connection, a bounded admission
+//!   queue sheds overload as typed `Busy` replies), the
+//!   graph-preparation worker pool and the batcher thread, with
+//!   `RunControl`-style cooperative shutdown and
 //!   [`Stage::Inference`](glaive::telemetry::Stage) telemetry.
-//! - [`client`] — a blocking client used by the CLI `query` subcommand,
-//!   the load generator and the differential tests.
+//! - [`client`] — a blocking client used by the CLI `query` subcommand
+//!   and the differential tests, plus a retrying [`ResilientClient`]
+//!   that honors `Busy` backoff hints.
 //!
 //! # Example
 //!

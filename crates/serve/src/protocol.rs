@@ -1,11 +1,15 @@
-//! The `GLVSRV01` wire protocol: length-prefixed, checksummed binary
+//! The `GLVSRV02` wire protocol: length-prefixed, checksummed binary
 //! frames, in the same little-endian magic/version discipline as the
-//! `GLVFIT01` ground-truth and `GLVCKPT1` checkpoint formats.
+//! `GLVFIT01` ground-truth and `GLVCKPT1` checkpoint formats. (Version 02
+//! added the typed [`Response::Busy`] admission-control rejection and the
+//! serving-pressure stats counters; per the versioning discipline the
+//! magic's trailing digit was bumped, so 01 peers are rejected with
+//! [`ProtocolError::BadMagic`] instead of mis-decoding.)
 //!
 //! The framing itself — length prefix, trailing FNV-1a checksum, typed
 //! [`ProtocolError`] decode failures — lives in the shared [`glaive_wire`]
 //! codec (also used by the `GLVCMP01` campaign-fabric protocol); this
-//! module owns the `GLVSRV01` magic, opcodes and body layouts. The
+//! module owns the `GLVSRV02` magic, opcodes and body layouts. The
 //! framing-layer names ([`ProtocolError`], [`fnv1a`], [`read_frame`],
 //! [`write_frame`], [`MAX_FRAME_LEN`]) are re-exported here so existing
 //! callers are unaffected by the split.
@@ -14,7 +18,7 @@
 //! payload. A payload is
 //!
 //! ```text
-//! magic "GLVSRV01" (8) | opcode (1) | body (…) | FNV-1a over all prior bytes (8)
+//! magic "GLVSRV02" (8) | opcode (1) | body (…) | FNV-1a over all prior bytes (8)
 //! ```
 //!
 //! The trailing checksum covers the magic, opcode and body, so *any*
@@ -39,7 +43,7 @@ pub use glaive_wire::{
 /// Magic + format version of every frame. Bump the trailing digit on any
 /// layout change: decoders reject other versions with
 /// [`ProtocolError::BadMagic`].
-pub const MAGIC: &[u8; 8] = b"GLVSRV01";
+pub const MAGIC: &[u8; 8] = b"GLVSRV02";
 
 const NAME_CAP: usize = 1 << 12;
 const INSTR_CAP: usize = 1 << 20;
@@ -129,6 +133,14 @@ pub struct StatsReply {
     pub cache_misses: u64,
     /// Requests answered with an error frame.
     pub errors: u64,
+    /// Predict requests turned away with [`Response::Busy`] because the
+    /// admission queue was full.
+    pub busy_rejections: u64,
+    /// Connections cut off for stalling mid-frame or mid-flush past the
+    /// server's stall deadline.
+    pub stall_evictions: u64,
+    /// High-water mark of admitted-but-unanswered predict requests.
+    pub queue_depth_max: u64,
 }
 
 /// Why the server rejected a request.
@@ -198,6 +210,14 @@ pub enum Response {
     Pong,
     /// The server accepted the shutdown and is draining.
     ShutdownAck,
+    /// Admission control turned the predict request away: the bounded
+    /// request queue is full, and queueing further would only grow tail
+    /// latency without bound. Not an error — the request was never
+    /// admitted, and the connection stays healthy. Retry after the hint.
+    Busy {
+        /// Server-suggested delay before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The request was rejected.
     Error {
         /// Machine-readable rejection class.
@@ -219,9 +239,10 @@ const OP_R_PREDICT: u8 = 0x81;
 const OP_R_STATS: u8 = 0x82;
 const OP_R_PONG: u8 = 0x83;
 const OP_R_SHUTDOWN: u8 = 0x84;
+const OP_R_BUSY: u8 = 0x85;
 const OP_R_ERROR: u8 = 0xff;
 
-/// Validates the `GLVSRV01` magic and checksum, returning a reader over
+/// Validates the `GLVSRV02` magic and checksum, returning a reader over
 /// the body (opcode onwards).
 fn open(payload: &[u8]) -> Result<Reader<'_>, ProtocolError> {
     glaive_wire::open(payload, MAGIC)
@@ -394,6 +415,9 @@ impl Response {
                     s.cache_hits,
                     s.cache_misses,
                     s.errors,
+                    s.busy_rejections,
+                    s.stall_evictions,
+                    s.queue_depth_max,
                 ] {
                     b.u64(v);
                 }
@@ -403,6 +427,9 @@ impl Response {
             }
             Response::ShutdownAck => {
                 b.u8(OP_R_SHUTDOWN);
+            }
+            Response::Busy { retry_after_ms } => {
+                b.u8(OP_R_BUSY).u32(*retry_after_ms);
             }
             Response::Error { code, message } => {
                 b.u8(OP_R_ERROR).u8(code.to_byte()).str(message);
@@ -469,9 +496,15 @@ impl Response {
                 cache_hits: r.u64()?,
                 cache_misses: r.u64()?,
                 errors: r.u64()?,
+                busy_rejections: r.u64()?,
+                stall_evictions: r.u64()?,
+                queue_depth_max: r.u64()?,
             }),
             OP_R_PONG => Response::Pong,
             OP_R_SHUTDOWN => Response::ShutdownAck,
+            OP_R_BUSY => Response::Busy {
+                retry_after_ms: r.u32()?,
+            },
             OP_R_ERROR => {
                 let code = ErrorCode::from_byte(r.u8()?)
                     .ok_or(ProtocolError::Corrupt("unknown error code"))?;
@@ -541,9 +574,13 @@ mod tests {
                 cache_hits: 5,
                 cache_misses: 2,
                 errors: 1,
+                busy_rejections: 6,
+                stall_evictions: 1,
+                queue_depth_max: 9,
             }),
             Response::Pong,
             Response::ShutdownAck,
+            Response::Busy { retry_after_ms: 25 },
             Response::Error {
                 code: ErrorCode::UnknownBenchmark,
                 message: "no benchmark `nope`".into(),

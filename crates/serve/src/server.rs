@@ -1,24 +1,35 @@
-//! The long-lived model server: accept loop, connection worker pool, and
-//! the single batching inference thread they feed.
+//! The readiness-driven model server: one poll-thread event loop over
+//! non-blocking sockets, a graph-preparation worker pool, and the single
+//! batching inference thread they feed.
 //!
 //! Threading model:
 //!
-//! - the **accept loop** polls a non-blocking listener and hands sockets
-//!   to the connection queue;
-//! - `workers` **connection workers** each own one socket at a time,
-//!   decode frames, resolve programs through the [`GraphCache`], enqueue
-//!   inference jobs and write replies;
+//! - the **poll thread** (the caller of [`Server::run`]) owns every
+//!   connection: it accepts sockets, pumps each connection's
+//!   [`FrameReader`]/[`FrameWriter`] state machines, answers control
+//!   frames (ping/stats/shutdown) inline, admits predict requests under
+//!   the bounded queue — answering [`Response::Busy`] with a retry hint
+//!   once `queue_bound` requests are in flight — and polices the stall
+//!   deadline. Requests *pipeline*: a client may write many frames before
+//!   reading a reply, and replies are flushed strictly in request order
+//!   per connection;
+//! - `workers` **prep workers** resolve programs and build CDFGs through
+//!   the sharded [`GraphCache`], then queue inference jobs;
 //! - one **batcher** thread owns the model and a [`BatchWorkspace`]; each
 //!   time it wakes it drains *every* pending job into one coalesced
-//!   forward pass, so concurrency turns directly into batch size.
+//!   forward pass, so concurrency turns directly into batch size. Results
+//!   flow back to the poll thread as completions tagged with a
+//!   `(connection, generation, sequence)` token, so a slot reused by a
+//!   new connection can never receive a stale reply.
 //!
 //! Shutdown follows the `RunControl` cancellation contract from the
 //! fault-injection campaigns: a shared `AtomicBool`, checked at every
-//! blocking boundary (accept poll, socket read timeout, queue close).
-//! A `Shutdown` frame — or an external holder of [`Server::cancel_flag`]
-//! — flips it; in-flight requests drain, then the threads unwind in
+//! loop boundary. A `Shutdown` frame — or an external holder of
+//! [`Server::cancel_flag`] — flips it; admitted requests drain and flush
+//! (bounded by the stall deadline), then the threads unwind in
 //! dependency order.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,22 +41,27 @@ use glaive_bench_suite::suite;
 use glaive_cdfg::CdfgConfig;
 use glaive_gnn::GraphSage;
 use glaive_isa::Program;
+use glaive_wire::{FramePoll, FrameReader, FrameWriter};
 
-use crate::batch::{BatchWorkspace, InferenceJob, JobQueue};
+use crate::batch::{BatchResult, BatchWorkspace, JobQueue};
 use crate::cache::{program_fingerprint, GraphCache, PreparedProgram};
 use crate::protocol::{
-    write_frame, ErrorCode, PredictReply, ProgramSpec, Request, Response, StatsReply, WireTuple,
+    ErrorCode, Frame, PredictReply, ProgramSpec, Request, Response, StatsReply, WireTuple,
 };
-use glaive_wire::{read_frame_cancellable, ReadOutcome};
 
-/// How often blocking points re-check the cancellation flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Sleep between poll iterations that made no progress — the latency
+/// floor an idle event loop adds to a new arrival.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Frames decoded per connection per poll iteration, so one firehose
+/// connection cannot starve the rest of the loop.
+const FRAME_BURST: usize = 64;
 
 /// Server construction failure.
 #[derive(Debug)]
 pub enum ServeError {
-    /// A [`ServerConfig`] field is out of range (zero workers or cache
-    /// slots).
+    /// A [`ServerConfig`] field is out of range (zero workers, cache
+    /// slots, queue bound…).
     Config {
         /// The offending field.
         field: &'static str,
@@ -80,22 +96,30 @@ impl From<io::Error> for ServeError {
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connection worker threads (concurrent in-flight requests; also the
-    /// upper bound on coalesced batch size).
+    /// Graph-preparation worker threads (concurrent CDFG builds).
     pub workers: usize,
-    /// Prepared-program LRU capacity.
+    /// Prepared-program LRU capacity (total across shards).
     pub cache_capacity: usize,
-    /// Mid-frame progress deadline per connection: a client that starts
-    /// a frame and then stalls is cut off (typed error, connection
-    /// closed) instead of pinning a connection worker forever. Idle
-    /// connections between requests are exempt. Writes to a client that
-    /// stops draining its socket time out on the same deadline.
+    /// Independent LRU shards in the graph cache (rounded up to a power
+    /// of two).
+    pub cache_shards: usize,
+    /// Admission bound: predict requests in flight (admitted but not yet
+    /// answered) before further ones are turned away with a typed
+    /// [`Response::Busy`] instead of queueing unbounded latency.
+    pub queue_bound: usize,
+    /// The retry hint carried by [`Response::Busy`], in milliseconds.
+    pub busy_retry_ms: u32,
+    /// Per-connection progress deadline: a peer that starts a frame and
+    /// then stalls, or stops draining its replies, is cut off (typed
+    /// error where possible, connection closed) instead of holding
+    /// event-loop state forever. Idle connections between requests are
+    /// exempt. Also bounds the shutdown drain.
     pub stall: Duration,
 }
 
 impl ServerConfig {
-    /// Validating constructor: a server needs at least one connection
-    /// worker and one cache slot.
+    /// Validating constructor over the two most commonly tuned knobs: a
+    /// server needs at least one prep worker and one cache slot.
     ///
     /// # Errors
     ///
@@ -119,6 +143,21 @@ impl ServerConfig {
                 field: "cache_capacity",
             });
         }
+        if self.cache_shards < 1 {
+            return Err(ServeError::Config {
+                field: "cache_shards",
+            });
+        }
+        if self.queue_bound < 1 {
+            return Err(ServeError::Config {
+                field: "queue_bound",
+            });
+        }
+        if self.busy_retry_ms < 1 {
+            return Err(ServeError::Config {
+                field: "busy_retry_ms",
+            });
+        }
         if self.stall.is_zero() {
             return Err(ServeError::Config { field: "stall" });
         }
@@ -131,6 +170,9 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 8,
             cache_capacity: 32,
+            cache_shards: 8,
+            queue_bound: 256,
+            busy_retry_ms: 25,
             stall: Duration::from_secs(5),
         }
     }
@@ -146,6 +188,9 @@ struct ServeStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    stall_evictions: AtomicU64,
+    queue_depth_max: AtomicU64,
 }
 
 impl ServeStats {
@@ -158,6 +203,9 @@ impl ServeStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            stall_evictions: self.stall_evictions.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
         }
     }
 
@@ -250,78 +298,43 @@ impl Server {
         let shared = Shared {
             cancel: self.cancel.clone(),
             stats: stats.clone(),
-            cache: GraphCache::new(self.config.cache_capacity),
+            cache: GraphCache::with_shards(self.config.cache_capacity, self.config.cache_shards),
+            prep_queue: JobQueue::new(),
             batch_queue: JobQueue::new(),
             observer: self.observer.clone(),
+            admitted: AtomicU64::new(0),
+            queue_bound: self.config.queue_bound as u64,
+            busy_retry_ms: self.config.busy_retry_ms,
             stall: self.config.stall,
         };
-        let conn_queue: JobQueue<TcpStream> = JobQueue::new();
+        let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
         let model = &self.model;
         let shared = &shared;
-        let conn_queue = &conn_queue;
 
         std::thread::scope(|scope| -> io::Result<()> {
-            let batcher = scope.spawn(move || {
-                // Runs on every exit — including a panic inside
-                // `run_batch`. Without it, jobs queued behind a dead
-                // batcher keep their reply `Sender`s alive inside the
-                // still-open queue, so workers block in `recv` forever and
-                // the shutdown joins deadlock.
-                let _guard = BatcherExitGuard { shared };
-                let mut workspace = BatchWorkspace::new();
-                while let Some(jobs) = shared.batch_queue.drain_wait() {
-                    let start = Instant::now();
-                    shared.observer.stage_started(Stage::Inference, "batch");
-                    let served = workspace.run_batch(model, &jobs);
-                    shared.stats.record_batch(served as u64);
-                    shared.observer.stage_finished(
-                        Stage::Inference,
-                        "batch",
-                        start.elapsed(),
-                        served as u64,
-                    );
-                }
-            });
-
-            let workers: Vec<_> = (0..self.config.workers.max(1))
+            let batcher = {
+                let tx = completions_tx.clone();
+                scope.spawn(move || batcher_loop(model, shared, &tx))
+            };
+            let preps: Vec<_> = (0..self.config.workers.max(1))
                 .map(|_| {
-                    scope.spawn(move || {
-                        while let Some(stream) = conn_queue.pop_wait() {
-                            handle_connection(stream, shared);
-                        }
-                    })
+                    let tx = completions_tx.clone();
+                    scope.spawn(move || prep_loop(shared, &tx))
                 })
                 .collect();
+            drop(completions_tx);
 
-            // Accept loop: poll the non-blocking listener against the
-            // cancellation flag.
-            while !self.cancel.load(Ordering::Relaxed) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        conn_queue.push(stream);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        self.cancel.store(true, Ordering::Relaxed);
-                        conn_queue.close();
-                        shared.batch_queue.close();
-                        return Err(e);
-                    }
-                }
-            }
+            let result = poll_loop(&self.listener, shared, &completions_rx);
 
-            // Drain order matters: stop feeding workers, let them finish
-            // their in-flight requests, then let the batcher run dry.
-            conn_queue.close();
-            for w in workers {
-                let _ = w.join();
+            // Drain order matters: stop feeding the prep pool, let it
+            // finish building, then let the batcher run dry.
+            shared.prep_queue.close();
+            for p in preps {
+                let _ = p.join();
             }
             shared.batch_queue.close();
             let _ = batcher.join();
-            Ok(())
+            result
         })?;
 
         Ok(stats.snapshot())
@@ -374,109 +387,163 @@ impl ServerHandle {
     }
 }
 
-/// Everything a connection worker needs, shared across the pool.
+/// Everything the server threads share.
 struct Shared {
     cancel: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
     cache: GraphCache,
-    batch_queue: JobQueue<InferenceJob>,
+    prep_queue: JobQueue<PrepTask>,
+    batch_queue: JobQueue<ServeJob>,
     observer: Arc<dyn Observer>,
+    /// Predict requests admitted but not yet answered — the quantity the
+    /// admission bound polices. Only the poll thread increments (it is
+    /// the only admitter); completion paths decrement.
+    admitted: AtomicU64,
+    queue_bound: u64,
+    busy_retry_ms: u32,
     stall: Duration,
 }
 
-/// Cleanup run when the batcher thread exits for *any* reason. A normal
-/// exit (queue closed during shutdown) makes these no-ops; a panic in
-/// `run_batch` turns into an orderly drain: cancellation flips so the
-/// accept loop and workers unwind, and dropping the queued jobs drops
-/// their reply senders so blocked `handle_predict` calls wake immediately.
-struct BatcherExitGuard<'a> {
-    shared: &'a Shared,
+/// Routes a completed reply back to its exact request slot: connection
+/// index, the connection's generation (slot reuse), and the per-connection
+/// request sequence (pipelining order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Token {
+    conn: usize,
+    gen: u64,
+    seq: u64,
 }
 
-impl Drop for BatcherExitGuard<'_> {
-    fn drop(&mut self) {
-        self.shared.cancel.store(true, Ordering::Relaxed);
-        drop(self.shared.batch_queue.close_and_drain());
-    }
-}
-
-/// Outcome of one cancellable frame read.
-/// Serves one client connection until it closes, errors, or the server
-/// drains.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(shared.stall));
-    loop {
-        let payload = match read_frame_cancellable(&mut stream, &shared.cancel, Some(shared.stall))
-        {
-            ReadOutcome::Frame(p) => p,
-            ReadOutcome::Closed | ReadOutcome::Cancelled => return,
-            ReadOutcome::Failed(err) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                let resp = Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: err.to_string(),
-                };
-                let _ = write_frame(&mut stream, &resp.to_frame());
-                return;
-            }
-        };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, hang_up) = match Request::from_frame(&payload) {
-            Ok(Request::Ping) => (Response::Pong, false),
-            Ok(Request::Stats) => (Response::Stats(shared.stats.snapshot()), false),
-            Ok(Request::Shutdown) => {
-                shared.cancel.store(true, Ordering::Relaxed);
-                (Response::ShutdownAck, true)
-            }
-            Ok(Request::Predict {
-                spec,
-                stride,
-                top_k,
-                want_bits,
-            }) => (
-                handle_predict(shared, spec, stride, top_k, want_bits),
-                false,
-            ),
-            Err(err) => (
-                Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: err.to_string(),
-                },
-                false,
-            ),
-        };
-        if matches!(response, Response::Error { .. }) {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        if write_frame(&mut stream, &response.to_frame()).is_err() || hang_up {
-            return;
-        }
-    }
-}
-
-/// Resolves, prepares, batches and aggregates one predict request.
-fn handle_predict(
-    shared: &Shared,
+/// An admitted predict request on its way to the prep pool.
+struct PrepTask {
+    token: Token,
     spec: ProgramSpec,
     stride: u32,
     top_k: u32,
     want_bits: bool,
-) -> Response {
+}
+
+/// A prepared program on its way to the batcher.
+struct ServeJob {
+    token: Token,
+    prepared: Arc<PreparedProgram>,
+    top_k: u32,
+    want_bits: bool,
+}
+
+/// A finished reply travelling back to the poll thread.
+struct Completion {
+    token: Token,
+    frame: Frame,
+}
+
+/// One slot in a connection's in-order reply queue: either still being
+/// computed (identified by its request sequence) or ready to flush.
+enum ReplySlot {
+    Waiting(u64),
+    Ready(Frame),
+}
+
+/// One client connection owned by the poll thread.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Replies in request order; only the `Ready` prefix may flush.
+    replies: VecDeque<ReplySlot>,
+    next_seq: u64,
+    gen: u64,
+    last_progress: Instant,
+    /// Stop reading; close once every pending reply has flushed.
+    hang_up: bool,
+}
+
+enum ConnStatus {
+    Alive { advanced: bool },
+    Kill,
+}
+
+/// Delivers a finished response for an admitted request: the send happens
+/// *before* the in-flight count drops, so the poll thread can never
+/// observe a drained queue while a completion is still in the channel.
+fn complete(shared: &Shared, tx: &mpsc::Sender<Completion>, token: Token, resp: &Response) {
+    if matches!(resp, Response::Error { .. }) {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = tx.send(Completion {
+        token,
+        frame: resp.to_frame(),
+    });
+    shared.admitted.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The graph-preparation worker: stride validation, program resolution,
+/// sharded cache lookup/build, then hand-off to the batcher. A panic in
+/// one build (a hostile program hitting a bug) answers that request with
+/// a typed internal error instead of wedging its reply slot.
+fn prep_loop(shared: &Shared, completions: &mpsc::Sender<Completion>) {
+    while let Some(task) = shared.prep_queue.pop_wait() {
+        let PrepTask {
+            token,
+            spec,
+            stride,
+            top_k,
+            want_bits,
+        } = task;
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prepare(shared, &spec, stride)
+        }));
+        match built {
+            Ok(Ok(prepared)) => {
+                let accepted = shared.batch_queue.push(ServeJob {
+                    token,
+                    prepared,
+                    top_k,
+                    want_bits,
+                });
+                if !accepted {
+                    complete(
+                        shared,
+                        completions,
+                        token,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server drained before the batch ran".into(),
+                        },
+                    );
+                }
+            }
+            Ok(Err(resp)) => complete(shared, completions, token, &resp),
+            Err(_) => complete(
+                shared,
+                completions,
+                token,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "graph preparation failed".into(),
+                },
+            ),
+        }
+    }
+}
+
+/// Resolves and prepares one predict request up to (but not including)
+/// inference.
+fn prepare(
+    shared: &Shared,
+    spec: &ProgramSpec,
+    stride: u32,
+) -> Result<Arc<PreparedProgram>, Response> {
     let Some(cdfg_config) = usize::try_from(stride)
         .ok()
         .and_then(CdfgConfig::try_with_stride)
     else {
-        return Response::Error {
+        return Err(Response::Error {
             code: ErrorCode::BadStride,
             message: format!("stride {stride} outside 1..={}", glaive_isa::WORD_BITS),
-        };
+        });
     };
-    let program = match resolve_program(&spec) {
-        Ok(p) => p,
-        Err(resp) => return resp,
-    };
+    let program = resolve_program(spec)?;
     let name = program.name().to_string();
 
     let key = program_fingerprint(&program, cdfg_config.bit_stride);
@@ -491,42 +558,83 @@ fn handle_predict(
     } else {
         shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
+    Ok(prepared)
+}
 
-    let (tx, rx) = mpsc::channel();
-    let job = InferenceJob {
-        prepared: prepared.clone(),
-        reply: tx,
-    };
-    if !shared.batch_queue.push(job) {
-        return Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server is draining".into(),
-        };
+/// Compiles the requested program (suite lookup or client-shipped raw
+/// instructions).
+fn resolve_program(spec: &ProgramSpec) -> Result<Program, Response> {
+    match spec {
+        ProgramSpec::Suite { name, seed } => suite(*seed)
+            .into_iter()
+            .find(|b| b.name == name.as_str())
+            .map(|b| b.program().clone())
+            .ok_or_else(|| Response::Error {
+                code: ErrorCode::UnknownBenchmark,
+                message: format!("no suite benchmark named `{name}`"),
+            }),
+        ProgramSpec::Raw(program) => Ok(program.clone()),
     }
-    // Wait for the batcher with a timeout rather than a bare `recv`: if
-    // the batcher thread dies, its exit guard closes the queue and drops
-    // queued jobs, so either the disconnect arrives or a timeout observes
-    // the closed queue — a worker never blocks here forever.
-    let result = loop {
-        match rx.recv_timeout(POLL_INTERVAL) {
-            Ok(result) => break result,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.batch_queue.is_closed() {
-                    return Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server drained before the batch ran".into(),
-                    };
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Response::Error {
+}
+
+/// Cleanup run when the batcher thread exits for *any* reason. A normal
+/// exit (queue closed during shutdown) makes these no-ops; a panic in
+/// the forward pass turns into an orderly drain: cancellation flips so
+/// the poll loop unwinds, and the queued jobs are answered with typed
+/// errors so their reply slots and the in-flight count resolve.
+struct BatcherExitGuard<'a> {
+    shared: &'a Shared,
+    completions: &'a mpsc::Sender<Completion>,
+}
+
+impl Drop for BatcherExitGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+        for job in self.shared.batch_queue.close_and_drain() {
+            complete(
+                self.shared,
+                self.completions,
+                job.token,
+                &Response::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server drained before the batch ran".into(),
-                };
-            }
+                },
+            );
         }
-    };
+    }
+}
 
+/// The batching inference thread: drain everything pending, one coalesced
+/// forward pass, one completion per job.
+fn batcher_loop(model: &GraphSage, shared: &Shared, completions: &mpsc::Sender<Completion>) {
+    let _guard = BatcherExitGuard {
+        shared,
+        completions,
+    };
+    let mut workspace = BatchWorkspace::new();
+    while let Some(jobs) = shared.batch_queue.drain_wait() {
+        let start = Instant::now();
+        shared.observer.stage_started(Stage::Inference, "batch");
+        let prepared: Vec<Arc<PreparedProgram>> = jobs.iter().map(|j| j.prepared.clone()).collect();
+        let results = workspace.run_prepared(model, &prepared);
+        shared.stats.record_batch(jobs.len() as u64);
+        shared.observer.stage_finished(
+            Stage::Inference,
+            "batch",
+            start.elapsed(),
+            jobs.len() as u64,
+        );
+        for (job, result) in jobs.iter().zip(results) {
+            let resp = predict_reply(job, &result);
+            shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            complete(shared, completions, job.token, &resp);
+        }
+    }
+}
+
+/// Aggregates one job's slice of a batched result into its wire reply.
+fn predict_reply(job: &ServeJob, result: &BatchResult) -> Response {
+    let prepared = &job.prepared;
     let program_len = prepared.program.len();
     let tuples = glaive::aggregate_bit_probs(&prepared.cdfg, program_len, &result.probs);
     let wire_tuples: Vec<Option<WireTuple>> = tuples
@@ -551,15 +659,14 @@ fn handle_predict(
             .ranking_key();
         kb.total_cmp(&ka).then(a.cmp(&b))
     });
-    ranked.truncate(top_k as usize);
+    ranked.truncate(job.top_k as usize);
 
-    shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
     Response::Predict(PredictReply {
         node_count: prepared.cdfg.node_count() as u32,
         batch_size: result.batch_size,
         tuples: wire_tuples,
         top_k: ranked,
-        bit_probs: want_bits.then(|| {
+        bit_probs: job.want_bits.then(|| {
             (0..result.probs.rows())
                 .map(|r| {
                     let row = result.probs.row(r);
@@ -570,18 +677,287 @@ fn handle_predict(
     })
 }
 
-/// Compiles the requested program (suite lookup or client-shipped raw
-/// instructions).
-fn resolve_program(spec: &ProgramSpec) -> Result<Program, Response> {
-    match spec {
-        ProgramSpec::Suite { name, seed } => suite(*seed)
-            .into_iter()
-            .find(|b| b.name == name.as_str())
-            .map(|b| b.program().clone())
-            .ok_or_else(|| Response::Error {
-                code: ErrorCode::UnknownBenchmark,
-                message: format!("no suite benchmark named `{name}`"),
-            }),
-        ProgramSpec::Raw(program) => Ok(program.clone()),
+/// The event loop proper: accept, route completions, pump every
+/// connection, police stalls, drain on cancellation.
+fn poll_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    completions: &mpsc::Receiver<Completion>,
+) -> io::Result<()> {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let mut progressed = false;
+        let draining = shared.cancel.load(Ordering::Relaxed);
+
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        next_gen += 1;
+                        let conn = Conn {
+                            stream,
+                            reader: FrameReader::new(),
+                            writer: FrameWriter::new(),
+                            replies: VecDeque::new(),
+                            next_seq: 0,
+                            gen: next_gen,
+                            last_progress: Instant::now(),
+                            hang_up: false,
+                        };
+                        match free.pop() {
+                            Some(i) => conns[i] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.cancel.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        while let Ok(done) = completions.try_recv() {
+            progressed = true;
+            let Token {
+                conn: idx,
+                gen,
+                seq,
+            } = done.token;
+            let Some(Some(conn)) = conns.get_mut(idx) else {
+                continue;
+            };
+            if conn.gen != gen {
+                continue; // the slot was reused by a newer connection
+            }
+            if let Some(slot) = conn
+                .replies
+                .iter_mut()
+                .find(|s| matches!(s, ReplySlot::Waiting(q) if *q == seq))
+            {
+                *slot = ReplySlot::Ready(done.frame);
+            }
+        }
+
+        for (idx, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            match service_conn(conn, idx, shared, draining) {
+                ConnStatus::Alive { advanced } => progressed |= advanced,
+                ConnStatus::Kill => {
+                    *slot = None;
+                    free.push(idx);
+                    progressed = true;
+                }
+            }
+        }
+
+        if draining {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + shared.stall);
+            let inflight = shared.admitted.load(Ordering::Relaxed);
+            let flushed = conns
+                .iter()
+                .flatten()
+                .all(|c| c.writer.is_idle() && c.replies.is_empty());
+            let batcher_dead = shared.batch_queue.is_closed();
+            if (inflight == 0 && flushed) || batcher_dead || Instant::now() > deadline {
+                return Ok(());
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One poll-loop visit to one connection: read and dispatch up to a burst
+/// of frames, promote in-order ready replies into the writer, flush, and
+/// police the stall deadline.
+fn service_conn(conn: &mut Conn, idx: usize, shared: &Shared, draining: bool) -> ConnStatus {
+    let mut advanced = false;
+
+    if !conn.hang_up && !draining {
+        let buffered_before = conn.reader.buffered();
+        for _ in 0..FRAME_BURST {
+            match conn.reader.poll(&mut conn.stream) {
+                Ok(FramePoll::Ready) => {
+                    advanced = true;
+                    process_frame(conn, idx, shared);
+                    conn.reader.consume();
+                    if conn.hang_up {
+                        break;
+                    }
+                }
+                Ok(FramePoll::Pending) => break,
+                Ok(FramePoll::Closed) => {
+                    // Clean EOF. If replies are still owed (the peer
+                    // half-closed after pipelining requests), flush them
+                    // first; otherwise the conversation is over.
+                    if conn.replies.is_empty() && conn.writer.is_idle() {
+                        return ConnStatus::Kill;
+                    }
+                    conn.hang_up = true;
+                    break;
+                }
+                Err(err) => {
+                    // Unframeable traffic: answer (after any replies
+                    // already owed, in order) and hang up.
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.replies.push_back(ReplySlot::Ready(
+                        Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: err.to_string(),
+                        }
+                        .to_frame(),
+                    ));
+                    conn.hang_up = true;
+                    break;
+                }
+            }
+        }
+        if conn.reader.buffered() != buffered_before {
+            advanced = true;
+        }
+    }
+
+    while let Some(ReplySlot::Ready(_)) = conn.replies.front() {
+        let Some(ReplySlot::Ready(frame)) = conn.replies.pop_front() else {
+            unreachable!("front just matched Ready");
+        };
+        conn.writer.enqueue(frame);
+        advanced = true;
+    }
+
+    let pending_before = conn.writer.pending_bytes();
+    match conn.writer.poll_write(&mut conn.stream) {
+        Ok(flushed) => {
+            if conn.writer.pending_bytes() != pending_before {
+                advanced = true;
+            }
+            if flushed && conn.hang_up && conn.replies.is_empty() {
+                return ConnStatus::Kill;
+            }
+        }
+        Err(_) => return ConnStatus::Kill,
+    }
+
+    if advanced {
+        conn.last_progress = Instant::now();
+    } else if (conn.reader.mid_frame() || !conn.writer.is_idle())
+        && conn.last_progress.elapsed() > shared.stall
+    {
+        // The peer stalled mid-frame or stopped draining its replies:
+        // cut it off with a best-effort typed error so a frozen client
+        // can never pin event-loop state forever.
+        shared.stats.stall_evictions.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        conn.writer.enqueue(
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("peer stalled mid-frame for over {:?}", shared.stall),
+            }
+            .to_frame(),
+        );
+        let _ = conn.writer.poll_write(&mut conn.stream);
+        return ConnStatus::Kill;
+    }
+    ConnStatus::Alive { advanced }
+}
+
+/// Decodes and dispatches one complete frame sitting in `conn.reader`.
+/// Control frames answer inline on the poll thread; predict requests pass
+/// admission control and leave for the prep pool with a `Waiting` slot
+/// holding their place in the reply order.
+fn process_frame(conn: &mut Conn, idx: usize, shared: &Shared) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    fn ready(shared: &Shared, conn: &mut Conn, resp: Response) {
+        if matches!(resp, Response::Error { .. }) {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        conn.replies.push_back(ReplySlot::Ready(resp.to_frame()));
+    }
+    match Request::from_frame(conn.reader.frame()) {
+        Err(err) => ready(
+            shared,
+            conn,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: err.to_string(),
+            },
+        ),
+        Ok(Request::Ping) => ready(shared, conn, Response::Pong),
+        Ok(Request::Stats) => ready(shared, conn, Response::Stats(shared.stats.snapshot())),
+        Ok(Request::Shutdown) => {
+            shared.cancel.store(true, Ordering::Relaxed);
+            ready(shared, conn, Response::ShutdownAck);
+            conn.hang_up = true;
+        }
+        Ok(Request::Predict {
+            spec,
+            stride,
+            top_k,
+            want_bits,
+        }) => {
+            // Admission control. Only this thread admits, so the
+            // load-then-add pair cannot race another admitter.
+            let inflight = shared.admitted.load(Ordering::Relaxed);
+            if inflight >= shared.queue_bound {
+                shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                ready(
+                    shared,
+                    conn,
+                    Response::Busy {
+                        retry_after_ms: shared.busy_retry_ms,
+                    },
+                );
+                return;
+            }
+            shared.admitted.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .queue_depth_max
+                .fetch_max(inflight + 1, Ordering::Relaxed);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let token = Token {
+                conn: idx,
+                gen: conn.gen,
+                seq,
+            };
+            conn.replies.push_back(ReplySlot::Waiting(seq));
+            let accepted = shared.prep_queue.push(PrepTask {
+                token,
+                spec,
+                stride,
+                top_k,
+                want_bits,
+            });
+            if !accepted {
+                // Draining: undo the admission and answer inline.
+                shared.admitted.fetch_sub(1, Ordering::Relaxed);
+                conn.replies.pop_back();
+                ready(
+                    shared,
+                    conn,
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".into(),
+                    },
+                );
+            }
+        }
     }
 }

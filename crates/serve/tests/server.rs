@@ -332,6 +332,185 @@ fn resilient_client_under_chaos_is_bit_identical_to_serial() {
     handle.join().expect("clean exit");
 }
 
+/// Pipelining: one client writes K predict requests back-to-back on a
+/// single socket before reading anything. The server must answer all K in
+/// request order, each bit-identical to serial inference — the in-order
+/// reply queue cannot reorder or drop slots however the frames coalesce.
+#[test]
+fn pipelined_requests_on_one_socket_reply_in_order_and_bit_identical() {
+    use glaive_serve::protocol::write_frame;
+
+    let model = model();
+    let programs = programs();
+    let references: Vec<Matrix> = programs.iter().map(|p| serial_probs(&model, p)).collect();
+
+    let server = Server::bind(model, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    const K: usize = 12;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    for i in 0..K {
+        let request = Request::Predict {
+            spec: ProgramSpec::Raw(programs[i % programs.len()].clone()),
+            stride: STRIDE as u32,
+            top_k: 5,
+            want_bits: true,
+        };
+        write_frame(&mut stream, &request.to_frame()).expect("send pipelined request");
+    }
+
+    for i in 0..K {
+        let payload = read_frame(&mut stream).expect("reply arrives");
+        let reply = match Response::from_frame(&payload).expect("reply decodes") {
+            Response::Predict(reply) => reply,
+            other => panic!("reply {i} was not a prediction: {other:?}"),
+        };
+        let serial = &references[i % references.len()];
+        assert_eq!(
+            reply.node_count as usize,
+            serial.rows(),
+            "reply {i} answers the wrong request — ordering broke"
+        );
+        let bits = reply.bit_probs.as_deref().expect("requested bit probs");
+        assert_eq!(bits.len(), serial.rows());
+        for (row, got) in bits.iter().enumerate() {
+            for (a, b) in got.iter().zip(serial.row(row)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "reply {i} diverged at row {row}");
+            }
+        }
+    }
+    drop(stream);
+
+    let mut control = Client::connect(addr).expect("control");
+    control.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// Admission control: with the in-flight bound pinned to 1, a pipelined
+/// burst must see typed `Busy` rejections (carrying the configured retry
+/// hint), every accepted request still answers bit-identically, reply
+/// order is preserved across the Busy/Predict mix, and the rejection
+/// counters surface in stats.
+#[test]
+fn saturated_server_sheds_load_with_typed_busy_replies() {
+    use glaive_serve::protocol::write_frame;
+
+    let model = model();
+    let program = programs().remove(0);
+    let serial = serial_probs(&model, &program);
+
+    let server = Server::bind(
+        model,
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_bound: 1,
+            busy_retry_ms: 7,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    const K: usize = 16;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    for _ in 0..K {
+        let request = Request::Predict {
+            spec: ProgramSpec::Raw(program.clone()),
+            stride: STRIDE as u32,
+            top_k: 5,
+            want_bits: true,
+        };
+        write_frame(&mut stream, &request.to_frame()).expect("send burst request");
+    }
+
+    let (mut answered, mut busy) = (0usize, 0usize);
+    for i in 0..K {
+        let payload = read_frame(&mut stream).expect("reply arrives");
+        match Response::from_frame(&payload).expect("reply decodes") {
+            Response::Predict(reply) => {
+                answered += 1;
+                let bits = reply.bit_probs.as_deref().expect("requested bit probs");
+                assert_eq!(bits.len(), serial.rows());
+                for (row, got) in bits.iter().enumerate() {
+                    for (a, b) in got.iter().zip(serial.row(row)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "reply {i} diverged at row {row}");
+                    }
+                }
+            }
+            Response::Busy { retry_after_ms } => {
+                busy += 1;
+                assert_eq!(retry_after_ms, 7, "Busy must carry the configured hint");
+            }
+            other => panic!("reply {i} was neither Predict nor Busy: {other:?}"),
+        }
+    }
+    assert_eq!(answered + busy, K);
+    assert!(answered >= 1, "at least the first request must be admitted");
+    assert!(
+        busy >= 1,
+        "a burst of {K} against queue_bound=1 must shed load"
+    );
+    drop(stream);
+
+    let mut control = Client::connect(addr).expect("control");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.busy_rejections, busy as u64);
+    assert!(stats.queue_depth_max >= 1);
+    assert_eq!(stats.errors, 0, "Busy is not an error");
+    control.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// `ResilientClient` treats `Busy` as transient backpressure: it keeps the
+/// connection, sleeps at least the server's hint, and retries on the SAME
+/// socket — proven by a scripted server that answers Busy twice and then
+/// Pong without ever accepting a second connection.
+#[test]
+fn resilient_client_retries_busy_on_the_same_connection() {
+    use glaive_serve::protocol::write_frame;
+    use glaive_serve::ResilientClient;
+    use glaive_wire::RetryPolicy;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind scripted server");
+    let addr = listener.local_addr().expect("addr");
+    let script = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("single accept");
+        for reply in [
+            Response::Busy { retry_after_ms: 5 },
+            Response::Busy { retry_after_ms: 5 },
+            Response::Pong,
+        ] {
+            let payload = read_frame(&mut stream).expect("request arrives");
+            match Request::from_frame(&payload).expect("request decodes") {
+                Request::Ping => {}
+                other => panic!("scripted server expected Ping, got {other:?}"),
+            }
+            write_frame(&mut stream, &reply.to_frame()).expect("scripted reply");
+        }
+        // A second accept would mean the client dropped the connection on
+        // Busy; the listener is closed here, so that would surface as a
+        // client-side connect error and fail the test.
+    });
+
+    let mut client = ResilientClient::new(
+        addr.to_string(),
+        RetryPolicy::patient(std::time::Duration::from_secs(30)),
+    );
+    client.ping().expect("ping succeeds after two Busy replies");
+    let report = client.report();
+    assert_eq!(report.busy_responses, 2, "both Busy replies counted");
+    assert!(report.retries >= 2, "each Busy consumed a retry");
+    script.join().expect("scripted server");
+}
+
 /// A peer that opens a frame and then stalls mid-payload is disconnected
 /// once the server's `stall` deadline passes — it cannot pin a connection
 /// worker — and the server keeps serving others.

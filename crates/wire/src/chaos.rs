@@ -394,12 +394,29 @@ impl<S: Write> Write for ChaosTransport<S> {
         if dies_now {
             return Err(self.die());
         }
+        // Corrupt into the scratch buffer *silently* — no counters, no
+        // sleeps — so a `WouldBlock` from the inner stream propagates with
+        // zero schedule state consumed: the retry re-corrupts the same
+        // offsets to the same bytes (the flip is a pure function of the
+        // offset) and only then tallies them.
         self.scratch.clear();
         self.scratch.extend_from_slice(&buf[..limit]);
         for k in 0..limit {
-            match self.fault(self.write_base, self.wpos + k as u64) {
-                Some(Fault::Corrupt { bit }) => {
-                    self.scratch[k] ^= 1 << bit;
+            if let Some(Fault::Corrupt { bit }) = self.fault(self.write_base, self.wpos + k as u64)
+            {
+                self.scratch[k] ^= 1 << bit;
+            }
+        }
+        let n = self.inner.write(&self.scratch[..limit])?;
+        if n == 0 {
+            return Ok(0);
+        }
+        // Only bytes the inner stream actually accepted tally faults and
+        // sleep their delays; a partial write leaves the rest for the
+        // retry at the same offsets.
+        for k in 0..n as u64 {
+            match self.fault(self.write_base, self.wpos + k) {
+                Some(Fault::Corrupt { .. }) => {
                     self.counters.corruptions.fetch_add(1, Ordering::Relaxed);
                 }
                 Some(Fault::Delay { ms }) => {
@@ -409,7 +426,6 @@ impl<S: Write> Write for ChaosTransport<S> {
                 _ => {}
             }
         }
-        let n = self.inner.write(&self.scratch[..limit])?;
         if shortened && n == limit {
             self.counters.short_ops.fetch_add(1, Ordering::Relaxed);
         }
@@ -554,6 +570,93 @@ mod tests {
             }
         }
         panic!("at 20% fault rate, some stream of 64 must disconnect");
+    }
+
+    /// Returns `WouldBlock` before every other operation in each
+    /// direction — a non-blocking socket whose readiness flaps constantly.
+    struct Flaky {
+        inner: Mem,
+        read_ready: bool,
+        write_ready: bool,
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.read_ready {
+                self.read_ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.read_ready = false;
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for Flaky {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if !self.write_ready {
+                self.write_ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.write_ready = false;
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn wouldblock_consumes_no_schedule_state() {
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i * 31) as u8).collect();
+        let cfg = ChaosConfig::new(7).with_fault_ppm(30_000);
+
+        let smooth = ChaosPlan::new(cfg);
+        let (want_read, want_write) = drive(&smooth, 1, &payload, 64);
+        let want_report = smooth.report();
+        assert!(want_report.total() > 0, "chaos must fire for a real test");
+
+        // The same schedule through a stream that WouldBlocks before
+        // every single operation: each retry must neither burn schedule
+        // entries nor double-count faults.
+        let flaky_plan = ChaosPlan::new(cfg);
+        let mut t = flaky_plan.wrap(
+            Flaky {
+                inner: Mem {
+                    rx: Cursor::new(payload.clone()),
+                    tx: Vec::new(),
+                },
+                read_ready: false,
+                write_ready: false,
+            },
+            1,
+        );
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match t.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(_) => break, // injected disconnect
+            }
+        }
+        let mut written = 0;
+        while written < payload.len() {
+            match t.write(&payload[written..]) {
+                Ok(0) => break,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(_) => break,
+            }
+        }
+        let tx = t.into_inner().inner.tx;
+        assert_eq!(seen, want_read, "read bytes identical under WouldBlock");
+        assert_eq!(tx, want_write, "written bytes identical under WouldBlock");
+        assert_eq!(
+            flaky_plan.report(),
+            want_report,
+            "polling retries must not inflate any fault counter"
+        );
     }
 
     #[test]

@@ -67,6 +67,18 @@ GLAIVE_CHAOS_SEED=0xC4A05EED GLAIVE_CHAOS_RATE=0.0002 \
 cargo run -q --release --offline -p glaive-cli -- query "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"
 
+echo "==> open-loop load smoke (64 pipelined clients, bit-identity enforced)"
+# The loadgen process itself asserts zero protocol errors and that every
+# non-Busy reply is bit-identical to serial inference — a non-zero exit
+# here IS the failure signal. The tiny queue bound forces the admission
+# path (Busy replies) to actually run.
+LOAD_OUT="$SMOKE_DIR/bench4_smoke.json"
+GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
+  --bin loadgen -- --steps 64 --requests 3 --interval-ms 200 \
+  --queue-bound 16 --out "$LOAD_OUT" >/dev/null
+grep -q '"failures": 0' "$LOAD_OUT" \
+  || { echo "load smoke recorded failures"; cat "$LOAD_OUT"; exit 1; }
+
 echo "==> campaign fabric smoke run (coordinate + 2 workers, kill, --resume)"
 # The coordinator is run from the prebuilt binary (not `cargo run`) so that
 # SIGKILL hits the coordinator itself rather than a cargo wrapper.
