@@ -1,0 +1,242 @@
+//! Throughput microbench for the dense training kernels, plus the
+//! thread-count bit-identity check that guards the data-parallel trainer.
+//!
+//! Measures GFLOP/s for each `glaive-nn` matrix kernel (`matmul`,
+//! `transpose_matmul`, `matmul_transpose`, and the fused `matmul_concat`)
+//! over training-representative shapes, trains a small multi-graph task at
+//! 1/2/4/8 threads and byte-compares the resulting models, and — unless
+//! `--smoke` — runs the standard evaluation to record the wall-clock
+//! training time of the full 12-split round-robin.
+//!
+//! Output is a JSON record (`--out <path>`, else stdout):
+//!
+//! ```json
+//! {
+//!   "kernels": [{"kernel": "matmul", "m": 3160, "k": 298, "n": 16,
+//!                "gflops": 3.1}, ...],
+//!   "threads_checked": [1, 2, 4, 8],
+//!   "identical": true,
+//!   "train_s": 4.2
+//! }
+//! ```
+//!
+//! `--smoke` shrinks shapes and budgets and skips the evaluation run, for
+//! CI gates; `--quick`/`GLAIVE_QUICK` and `--no-cache`/`GLAIVE_NO_CACHE`
+//! select the evaluation configuration as in every experiment binary.
+//! A committed snapshot lives in `BENCH_8.json` at the repo root.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use glaive::telemetry::Stage;
+use glaive_bench::timing::{bench, Settings};
+use glaive_gnn::{GraphSage, SageConfig, TrainGraph};
+use glaive_graph::{CsrGraph, EdgeKind};
+use glaive_nn::{DetRng, Matrix};
+
+/// One measured kernel invocation.
+struct KernelRun {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    gflops: f64,
+}
+
+fn random_matrix(rng: &mut DetRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
+}
+
+/// Benchmarks all four kernels at `m x k x n`, appending to `runs`.
+fn bench_shape(runs: &mut Vec<KernelRun>, settings: Settings, m: usize, k: usize, n: usize) {
+    let mut rng = DetRng::new(0x6b65726e);
+    let a = random_matrix(&mut rng, m, k);
+    let b = random_matrix(&mut rng, k, n);
+    let bt = random_matrix(&mut rng, n, k);
+    let c = random_matrix(&mut rng, m, n);
+    let half = k / 2;
+    let (al, ar) = (
+        random_matrix(&mut rng, m, half),
+        random_matrix(&mut rng, m, k - half),
+    );
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let mut record = |kernel, min_s: f64| {
+        runs.push(KernelRun {
+            kernel,
+            m,
+            k,
+            n,
+            gflops: flops / min_s.max(1e-12) / 1e9,
+        });
+    };
+    let mm = bench("matmul", settings, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    record("matmul", mm.min_s);
+    let tmm = bench("transpose_matmul", settings, || {
+        std::hint::black_box(a.transpose_matmul(&c));
+    });
+    record("transpose_matmul", tmm.min_s);
+    let mmt = bench("matmul_transpose", settings, || {
+        std::hint::black_box(a.matmul_transpose(&bt));
+    });
+    record("matmul_transpose", mmt.min_s);
+    let fused = bench("matmul_concat", settings, || {
+        std::hint::black_box(al.matmul_concat(&ar, &b));
+    });
+    record("matmul_concat", fused.min_s);
+}
+
+/// Builds a small synthetic labelled graph (mirrors the trainer's own
+/// determinism tests) for the thread-identity check.
+fn synthetic_task(seed: u64) -> (Matrix, CsrGraph, Vec<usize>, Vec<bool>) {
+    let n = 40usize;
+    let mut rng = DetRng::new(seed);
+    let feats = Matrix::from_fn(n, 5, |_, _| rng.uniform(-1.0, 1.0));
+    let mut edges = Vec::new();
+    for v in 1..n {
+        let mut preds: Vec<u32> = (0..1 + rng.next_below(7.min(v)))
+            .map(|_| rng.next_below(v) as u32)
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        edges.extend(preds.into_iter().map(|p| (v as u32, p, EdgeKind::Data)));
+    }
+    let graph = CsrGraph::from_edges(n, edges);
+    let labels = (0..n).map(|v| v % 2).collect();
+    let mask = (0..n).map(|v| v % 4 != 0).collect();
+    (feats, graph, labels, mask)
+}
+
+/// Trains a 4-graph task at each thread count and returns whether every
+/// run produced byte-identical weights and bit-identical losses.
+fn threads_identical(counts: &[usize]) -> bool {
+    let tasks: Vec<_> = (0..4u64).map(|s| synthetic_task(97 + s)).collect();
+    let graphs: Vec<TrainGraph<'_>> = tasks
+        .iter()
+        .map(|(f, g, l, m)| TrainGraph {
+            features: f,
+            graph: g,
+            labels: l,
+            mask: m,
+        })
+        .collect();
+    let config = SageConfig {
+        hidden: 8,
+        layers: 2,
+        classes: 2,
+        sample_size: 4,
+        lr: 0.02,
+        epochs: 6,
+        seed: 13,
+    };
+    let mut reference: Option<(Vec<u32>, Vec<u8>)> = None;
+    for &threads in counts {
+        let mut model = GraphSage::try_new(5, &config).expect("valid model config");
+        let stats = model.train_with_threads(&graphs, threads);
+        let losses: Vec<u32> = stats.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        let bytes = model.to_bytes();
+        match &reference {
+            None => reference = Some((losses, bytes)),
+            Some((want_losses, want_bytes)) => {
+                if &losses != want_losses || &bytes != want_bytes {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn to_json(runs: &[KernelRun], counts: &[usize], identical: bool, train_s: Option<f64>) -> String {
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"gflops\": {:.3}}}{comma}",
+            r.kernel, r.m, r.k, r.n, r.gflops
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n");
+    let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    writeln!(out, "  \"threads_checked\": [{}],", list.join(", ")).unwrap();
+    write!(out, "  \"identical\": {identical}").unwrap();
+    if let Some(s) = train_s {
+        write!(out, ",\n  \"train_s\": {s:.3}").unwrap();
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() -> std::process::ExitCode {
+    glaive_bench::run_experiment(|| {
+        let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let out_path = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned());
+
+        // Training-representative shapes: the GNN forward/backward on the
+        // largest quick-mode graph (n=3160, concat dim 2*149, hidden 16),
+        // the MLP on the stacked bit dataset (8252x149, hidden 24), a
+        // larger batch at hidden 64, and a square reference point.
+        let shapes: &[(usize, usize, usize)] = if smoke {
+            &[(64, 37, 8), (33, 17, 5)]
+        } else {
+            &[
+                (3160, 298, 16),
+                (8252, 149, 24),
+                (15000, 294, 64),
+                (512, 512, 512),
+            ]
+        };
+        let settings = if smoke {
+            Settings {
+                budget: Duration::from_millis(40),
+                max_iters: 3,
+            }
+        } else {
+            Settings {
+                budget: Duration::from_millis(600),
+                max_iters: 200,
+            }
+        };
+        let mut runs = Vec::new();
+        for &(m, k, n) in shapes {
+            eprintln!("benchmarking {m}x{k}x{n}...");
+            bench_shape(&mut runs, settings, m, k, n);
+        }
+
+        let counts = [1usize, 2, 4, 8];
+        eprintln!("checking thread-count bit-identity at {counts:?}...");
+        let identical = threads_identical(&counts);
+
+        let train_s = if smoke {
+            None
+        } else {
+            eprintln!("timing round-robin training...");
+            let (_eval, _config, recorder) = glaive_bench::standard_evaluation_timed()?;
+            Some(recorder.stage_total(Stage::Training).as_secs_f64())
+        };
+
+        let json = to_json(&runs, &counts, identical, train_s);
+        match out_path {
+            Some(path) => {
+                std::fs::write(&path, &json)
+                    .map_err(|e| glaive::Error::Cache(format!("writing {path}: {e}")))?;
+                eprintln!("wrote {path}");
+            }
+            None => print!("{json}"),
+        }
+        if identical {
+            Ok(())
+        } else {
+            Err(glaive::Error::Cache(
+                "thread-count identity check failed".into(),
+            ))
+        }
+    })
+}

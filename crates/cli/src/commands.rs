@@ -34,6 +34,7 @@ usage:
   glaive-cli graph    <benchmark> [--seed N] [--stride N] [--dot]
   glaive-cli train    <out.model> <bench1,bench2,...> [--seed N] [--stride N]
                       [--deadline-secs N] [--fail-fast] [--quick]
+                      [--train-threads N]
   glaive-cli apply    <model> <benchmark> [--seed N] [--top N]
   glaive-cli serve    <model> [--addr HOST:PORT] [--workers N] [--stride N]
                       [--queue-bound N] [--cache-shards N]
@@ -51,6 +52,9 @@ global flags: --verbose (stage telemetry on stderr)
                         cache and resume a previously interrupted run)
               --fail-fast (train: abort the whole suite on the first
                            benchmark failure instead of degrading)
+              --train-threads N (train: data-parallel gradient workers;
+                                 0 = all cores; any value trains a
+                                 bit-identical model)
 
 benchmarks: dijkstra astar streamcluster jmeint sobel inversek2j
             blackscholes swaptions fft radix ctaes lu";
@@ -85,6 +89,7 @@ struct Flags {
     checkpoint_interval: usize,
     out: Option<String>,
     patience_secs: Option<u64>,
+    train_threads: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -115,6 +120,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         checkpoint_interval: 4096,
         out: None,
         patience_secs: None,
+        train_threads: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,6 +184,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--seed" => flags.seed = value(&mut it)?,
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
+            "--train-threads" => flags.train_threads = value(&mut it)? as usize,
             "--top" => flags.top = value(&mut it)? as usize,
             other => return Err(format!("unknown flag {other}").into()),
         }
@@ -546,6 +553,7 @@ fn pipeline_config(flags: &Flags) -> PipelineConfig {
     PipelineConfig {
         bit_stride: flags.stride,
         instances_per_site: flags.instances,
+        train_threads: flags.train_threads,
         suite_deadline: flags.deadline_secs.map(Duration::from_secs),
         // Training degrades gracefully by default: one surviving benchmark
         // is enough to fit a model; --fail-fast restores strictness.

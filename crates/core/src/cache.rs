@@ -88,8 +88,11 @@ pub fn truth_key(bench: &Benchmark, campaign: &CampaignConfig) -> CacheKey {
 /// `config`. Covers the model hyperparameters, the graph stride, the
 /// campaign parameters that shape the labels, and each training
 /// benchmark's content, in training order (order affects the weights).
+/// `train_threads` is deliberately absent: any thread count produces
+/// bit-identical weights. The `v2` version tag invalidates models trained
+/// before multi-graph epochs switched to one merged-gradient step.
 pub fn model_key(train: &[&BenchData], config: &PipelineConfig) -> CacheKey {
-    let mut h = Fnv::new("glaive-model-v1");
+    let mut h = Fnv::new("glaive-model-v2");
     let s = &config.sage;
     for v in [s.hidden, s.layers, s.classes, s.sample_size, s.epochs] {
         h.u64(v as u64);

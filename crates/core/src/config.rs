@@ -41,6 +41,12 @@ pub struct PipelineConfig {
     pub instances_per_site: usize,
     /// FI worker threads (0 = available parallelism).
     pub threads: usize,
+    /// GNN training worker threads for data-parallel gradient computation
+    /// across the per-benchmark splits (0 = available parallelism). Any
+    /// value yields bit-identical models — the gradient merge uses a fixed
+    /// reduction tree (see DESIGN.md §16) — so this knob never enters the
+    /// model cache key.
+    pub train_threads: usize,
     /// GLAIVE model hyperparameters.
     pub sage: SageConfig,
     /// MLP-BIT hyperparameters.
@@ -80,6 +86,7 @@ impl Default for PipelineConfig {
             graph_stride: None,
             instances_per_site: 2,
             threads: 0,
+            train_threads: 0,
             sage: SageConfig {
                 hidden: 64,
                 layers: 3,
@@ -116,6 +123,7 @@ impl PipelineConfig {
             graph_stride: None,
             instances_per_site: 1,
             threads: 0,
+            train_threads: 0,
             sage: SageConfig {
                 hidden: 16,
                 layers: 2,
@@ -258,6 +266,13 @@ impl PipelineConfigBuilder {
     /// FI worker threads (0 = available parallelism).
     pub fn threads(mut self, n: usize) -> Self {
         self.config.threads = n;
+        self
+    }
+
+    /// GNN training worker threads (0 = available parallelism); any value
+    /// trains to bit-identical models.
+    pub fn train_threads(mut self, n: usize) -> Self {
+        self.config.train_threads = n;
         self
     }
 

@@ -101,7 +101,7 @@ pub(crate) fn train_models_with(
             .collect();
         let mut glaive =
             GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
-        glaive.train(&graphs);
+        glaive.train_with_threads(&graphs, config.train_threads);
         glaive
     });
 
@@ -118,7 +118,7 @@ pub(crate) fn train_models_with(
             .collect();
         let mut vanilla =
             GraphSage::try_new(glaive_cdfg::FEATURE_DIM, &config.sage).expect("valid model config");
-        vanilla.train(&vanilla_graphs);
+        vanilla.train_with_threads(&vanilla_graphs, config.train_threads);
         vanilla
     });
 

@@ -1012,6 +1012,72 @@ mod tests {
         );
     }
 
+    /// The `train_threads` knob must never perturb persisted artifacts:
+    /// a 4-threaded pipeline interrupted mid-campaign leaves a GLVCKPT1
+    /// checkpoint a 1-threaded pipeline resumes to byte-identical truth,
+    /// and models trained at 4 threads serialise to the same GLVFIT01
+    /// bytes as at 1 thread.
+    #[test]
+    fn train_threads_do_not_perturb_models_or_checkpoint_resume() {
+        let mut serial_cfg = PipelineConfig::quick_test();
+        serial_cfg.train_threads = 1;
+        let mut threaded_cfg = serial_cfg;
+        threaded_cfg.train_threads = 4;
+
+        // Reference: uninterrupted serial preparation + serial training.
+        let prepared = [
+            crate::data::prepare_benchmark(dijkstra::build(1), &serial_cfg),
+            crate::data::prepare_benchmark(sobel::build(1), &serial_cfg),
+        ];
+        let refs: Vec<&BenchData> = prepared.iter().collect();
+        let serial_model = crate::models::train_models(&refs, &serial_cfg)
+            .glaive_model()
+            .to_bytes();
+
+        // Train 4-threaded on a pipeline cancelled mid-campaign: the
+        // interruption leaves a checkpoint behind...
+        let cache = temp_cache("train-threads");
+        let key = truth_key(&dijkstra::build(1), &threaded_cfg.campaign());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let err = Pipeline::builder(threaded_cfg)
+            .cache(cache.clone())
+            .observer(Arc::new(CancelOnProgress {
+                flag: cancel.clone(),
+            }))
+            .cancel_flag(cancel)
+            .build()
+            .expect("valid")
+            .prepare_benchmark(dijkstra::build(1))
+            .expect_err("cancelled mid-campaign");
+        assert!(matches!(err, Error::Interrupted { .. }), "{err}");
+        let checkpoint = cache
+            .checkpoint_sink(key)
+            .load()
+            .expect("interruption leaves a checkpoint behind");
+
+        // ...that a 1-threaded pipeline resumes to the same truth bytes.
+        let resumed = Pipeline::builder(serial_cfg)
+            .cache(cache.clone())
+            .build()
+            .expect("valid")
+            .prepare_benchmark(dijkstra::build(1))
+            .expect("resume completes");
+        assert_eq!(resumed.truth.to_bytes(), prepared[0].truth.to_bytes());
+        assert!(!checkpoint.is_empty(), "checkpoint bytes were persisted");
+
+        // And 4-threaded training on the resumed data reproduces the
+        // serial model bytes exactly.
+        let threaded_prepared = [resumed, prepared[1].clone()];
+        let threaded_refs: Vec<&BenchData> = threaded_prepared.iter().collect();
+        let threaded_model = crate::models::train_models(&threaded_refs, &threaded_cfg)
+            .glaive_model()
+            .to_bytes();
+        assert_eq!(
+            threaded_model, serial_model,
+            "4-thread training diverged from serial"
+        );
+    }
+
     #[test]
     fn corrupt_cache_artifacts_fall_back_to_recompute() {
         let config = PipelineConfig::quick_test();

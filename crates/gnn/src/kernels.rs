@@ -10,7 +10,7 @@
 //! reproducibility contract.
 
 use glaive_graph::{CsrGraph, CsrView};
-use glaive_nn::{DetRng, Matrix};
+use glaive_nn::{DetRng, Linear, LinearGrads, Matrix};
 
 /// Below this many multiply-adds the scoped-thread fan-out costs more than
 /// it saves and the serial path runs instead.
@@ -100,6 +100,40 @@ pub fn scatter_mean_backward(d_agg: &Matrix, graph: CsrView<'_>, d_h: &mut Matri
             }
         }
     }
+}
+
+/// Fused GraphSAGE layer forward: aggregate → concat → linear without ever
+/// materialising the concatenated `[h ‖ agg]` matrix (the linear layer
+/// reads both halves in place via [`Linear::forward_concat`]). Returns
+/// `(agg, pre_activation)` — both are needed by the backward pass.
+///
+/// Bit-identical to `layer.forward(&h.hconcat(&mean_aggregate(h, neigh)))`:
+/// the fused matmul walks the virtual concatenation in the same
+/// element order.
+pub fn sage_forward_fused(layer: &Linear, h: &Matrix, neigh: CsrView<'_>) -> (Matrix, Matrix) {
+    let agg = mean_aggregate(h, neigh);
+    let pre = layer.forward_concat(h, &agg);
+    (agg, pre)
+}
+
+/// Fused GraphSAGE layer backward: splits the pre-activation gradient into
+/// its self/aggregate halves inside the matmul (no materialised `d_z`, no
+/// `hsplit` copy) and scatters the aggregate half back through the mean
+/// onto the neighbours. Returns `(d_h, parameter_grads)` where `d_h`
+/// already contains both the direct and the scattered contribution.
+///
+/// Bit-identical to the unfused `backward` + `hsplit` +
+/// [`scatter_mean_backward`] sequence.
+pub fn sage_backward_fused(
+    layer: &Linear,
+    h: &Matrix,
+    agg: &Matrix,
+    neigh: CsrView<'_>,
+    d_pre: &Matrix,
+) -> (Matrix, LinearGrads) {
+    let (mut d_h, d_agg, grads) = layer.backward_concat(h, agg, d_pre);
+    scatter_mean_backward(&d_agg, neigh, &mut d_h);
+    (d_h, grads)
 }
 
 /// A reusable neighbour-sampling workspace: the sampled neighbourhood of a
@@ -283,6 +317,40 @@ mod tests {
         for v in 0..8 {
             assert_eq!(ws.view().neighbors(v), g.neighbors(v));
         }
+    }
+
+    #[test]
+    fn fused_sage_kernels_match_unfused_bitwise() {
+        let mut rng = DetRng::new(13);
+        let g = CsrGraph::from_edges(
+            9,
+            (0..20u32).map(|i| (i % 9, (i * 7 + 2) % 9, EdgeKind::Data)),
+        );
+        let h = Matrix::from_fn(9, 5, |_, _| rng.uniform(-1.0, 1.0));
+        let layer = Linear::glorot(10, 4, &mut rng);
+        let d_pre = Matrix::from_fn(9, 4, |_, _| rng.uniform(-1.0, 1.0));
+
+        let (agg, pre) = sage_forward_fused(&layer, &h, g.view());
+        let agg_ref = mean_aggregate(&h, g.view());
+        let z = h.hconcat(&agg_ref);
+        let pre_ref = layer.forward(&z);
+        assert_eq!(agg.data(), agg_ref.data());
+        for (a, b) in pre.data().iter().zip(pre_ref.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let (d_h, grads) = sage_backward_fused(&layer, &h, &agg, g.view(), &d_pre);
+        let (d_z, grads_ref) = layer.backward(&z, &d_pre);
+        let (d_self, d_agg) = d_z.hsplit(5);
+        let mut d_h_ref = d_self;
+        scatter_mean_backward(&d_agg, g.view(), &mut d_h_ref);
+        for (a, b) in d_h.data().iter().zip(d_h_ref.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in grads.w.data().iter().zip(grads_ref.w.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(grads.b, grads_ref.b);
     }
 
     #[test]

@@ -3,7 +3,7 @@ use glaive_nn::{
     relu, relu_backward, softmax_cross_entropy, softmax_rows, Adam, DetRng, Linear, Matrix,
 };
 
-use crate::kernels::{mean_aggregate, scatter_mean_backward, SampledCsr};
+use crate::kernels::{sage_backward_fused, sage_forward_fused, SampledCsr};
 
 /// Hyperparameters of the augmented GraphSAGE model. Defaults follow the
 /// paper (§IV): 3 layers, hidden dimension 128, learning rate 1e-3,
@@ -210,27 +210,34 @@ impl GraphSage {
         })
     }
 
-    /// Full forward pass over the given neighbourhood view; returns
-    /// per-layer caches for backprop: `(inputs z_k, pre-activations,
-    /// final logits)`.
-    fn forward(&self, features: &Matrix, neigh: CsrView<'_>) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
+    /// Full forward pass over the given neighbourhood view through the
+    /// fused aggregate→concat→linear kernel (the concatenated `[h ‖ agg]`
+    /// matrix is never materialised); returns per-layer caches for
+    /// backprop: `(layer inputs h_k, aggregates, pre-activations, final
+    /// logits)`.
+    #[allow(clippy::type_complexity)]
+    fn forward(
+        &self,
+        features: &Matrix,
+        neigh: CsrView<'_>,
+    ) -> (Vec<Matrix>, Vec<Matrix>, Vec<Matrix>, Matrix) {
         let mut h = features.clone();
-        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut hs = Vec::with_capacity(self.layers.len());
+        let mut aggs = Vec::with_capacity(self.layers.len());
         let mut pres = Vec::with_capacity(self.layers.len());
         for (l, layer) in self.layers.iter().enumerate() {
-            let agg = mean_aggregate(&h, neigh);
-            let z = h.hconcat(&agg);
-            let pre = layer.forward(&z);
+            let (agg, pre) = sage_forward_fused(layer, &h, neigh);
             let out = if l + 1 == self.layers.len() {
                 pre.clone()
             } else {
                 relu(&pre)
             };
-            inputs.push(z);
+            hs.push(h);
+            aggs.push(agg);
             pres.push(pre);
             h = out;
         }
-        (inputs, pres, h)
+        (hs, aggs, pres, h)
     }
 
     /// Loss and per-layer gradients for one graph under the given sampled
@@ -242,10 +249,12 @@ impl GraphSage {
         graph: &TrainGraph<'_>,
         neigh: CsrView<'_>,
     ) -> (f32, Vec<glaive_nn::LinearGrads>) {
-        let (inputs, pres, logits) = self.forward(graph.features, neigh);
+        let (hs, aggs, pres, logits) = self.forward(graph.features, neigh);
         let (loss, mut grad) = softmax_cross_entropy(&logits, graph.labels, Some(graph.mask));
 
-        // Backwards through the layers.
+        // Backwards through the layers, fused: the [h ‖ agg] gradient is
+        // split inside the matmul and the aggregate half scattered back
+        // through the mean, with no concatenated intermediate.
         let mut all_grads = Vec::with_capacity(self.layers.len());
         for l in (0..self.layers.len()).rev() {
             let is_last = l + 1 == self.layers.len();
@@ -254,17 +263,15 @@ impl GraphSage {
             } else {
                 relu_backward(&pres[l], &grad)
             };
-            let (d_z, grads) = self.layers[l].backward(&inputs[l], &d_pre);
-            all_grads.push(grads);
             if l > 0 {
-                // Split [h ‖ agg] gradient and push the aggregate part back
-                // through the mean onto the predecessors.
-                let d_in = inputs[l].cols() / 2;
-                let (d_self, d_agg) = d_z.hsplit(d_in);
-                let mut d_h = d_self;
-                scatter_mean_backward(&d_agg, neigh, &mut d_h);
+                let (d_h, grads) =
+                    sage_backward_fused(&self.layers[l], &hs[l], &aggs[l], neigh, &d_pre);
+                all_grads.push(grads);
                 grad = d_h;
             } else {
+                // The raw features are not differentiated: skip the input
+                // gradient entirely (the old path computed and dropped it).
+                all_grads.push(self.layers[0].grads_concat(&hs[0], &aggs[0], &d_pre));
                 grad = Matrix::zeros(0, 0);
             }
         }
@@ -272,23 +279,36 @@ impl GraphSage {
         (loss, all_grads)
     }
 
-    /// One full-batch gradient step on one graph; returns the masked loss.
-    fn step(&mut self, graph: &TrainGraph<'_>, neigh: CsrView<'_>, opt: &mut [Adam]) -> f32 {
-        let (loss, all_grads) = self.compute_gradients(graph, neigh);
-        for ((layer, grads), o) in self.layers.iter_mut().zip(&all_grads).zip(opt.iter_mut()) {
-            layer.apply(o, grads);
-        }
-        loss
-    }
-
-    /// Trains on the given graphs for the configured number of epochs,
-    /// resampling neighbourhoods each epoch into one reused workspace
-    /// (steady-state epochs allocate no adjacency memory).
+    /// Trains on the given graphs for the configured number of epochs with
+    /// automatic data parallelism — equivalent to
+    /// [`GraphSage::train_with_threads`] with `threads = 0`.
     ///
     /// # Panics
     ///
     /// Panics if `graphs` is empty or a graph's shapes are inconsistent.
     pub fn train(&mut self, graphs: &[TrainGraph<'_>]) -> TrainStats {
+        self.train_with_threads(graphs, 0)
+    }
+
+    /// Trains on the given graphs for the configured number of epochs,
+    /// computing per-graph gradients data-parallel across up to `threads`
+    /// worker threads (`0` = the machine's available parallelism).
+    ///
+    /// The result is **bit-identical at every thread count**: per epoch,
+    /// all neighbourhoods are resampled serially from the shared RNG
+    /// stream (one reused workspace per graph, so steady-state epochs
+    /// allocate no adjacency memory), the per-graph gradients — whose
+    /// computation is read-only and embarrassingly parallel — are merged
+    /// by a reduction tree whose shape depends only on the graph count,
+    /// and one optimizer step is taken on the mean gradient. Threads only
+    /// change *which worker* computes a gradient, never any accumulation
+    /// order. With a single graph the loop degenerates to exactly the
+    /// serial resample→step sequence of earlier releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or a graph's shapes are inconsistent.
+    pub fn train_with_threads(&mut self, graphs: &[TrainGraph<'_>], threads: usize) -> TrainStats {
         assert!(!graphs.is_empty(), "training needs at least one graph");
         for g in graphs {
             assert_eq!(
@@ -307,21 +327,74 @@ impl GraphSage {
                 "feature/mask count mismatch"
             );
         }
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(graphs.len())
+        .max(1);
         let mut opts: Vec<Adam> = self
             .layers
             .iter()
             .map(|l| Adam::new(self.config.lr, l.param_count()))
             .collect();
-        let mut sampled = SampledCsr::new();
+        let mut workspaces: Vec<SampledCsr> = graphs.iter().map(|_| SampledCsr::new()).collect();
         let k = self.config.sample_size;
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         for _ in 0..self.config.epochs {
-            let mut total = 0.0;
-            for graph in graphs {
-                sampled.resample(graph.graph, k, &mut self.rng);
-                total += self.step(graph, sampled.view(), &mut opts);
+            // Serial resample in graph order: the RNG stream is shared, so
+            // this phase is identical regardless of worker count.
+            for (graph, ws) in graphs.iter().zip(&mut workspaces) {
+                ws.resample(graph.graph, k, &mut self.rng);
             }
-            epoch_losses.push(total / graphs.len() as f32);
+            // Read-only per-graph gradient computation, fanned out over
+            // contiguous graph chunks.
+            let mut results: Vec<Option<(f32, Vec<glaive_nn::LinearGrads>)>> =
+                graphs.iter().map(|_| None).collect();
+            if workers <= 1 {
+                for ((graph, ws), slot) in graphs.iter().zip(&workspaces).zip(&mut results) {
+                    *slot = Some(self.compute_gradients(graph, ws.view()));
+                }
+            } else {
+                let per = graphs.len().div_ceil(workers);
+                let model = &*self;
+                std::thread::scope(|scope| {
+                    for ((gs, wss), slots) in graphs
+                        .chunks(per)
+                        .zip(workspaces.chunks(per))
+                        .zip(results.chunks_mut(per))
+                    {
+                        scope.spawn(move || {
+                            for ((graph, ws), slot) in gs.iter().zip(wss).zip(slots) {
+                                *slot = Some(model.compute_gradients(graph, ws.view()));
+                            }
+                        });
+                    }
+                });
+            }
+            let mut results: Vec<(f32, Vec<glaive_nn::LinearGrads>)> = results
+                .into_iter()
+                .map(|r| r.expect("worker ran"))
+                .collect();
+            reduce_into_first(&mut results);
+            let (mut total, mut grads) = results.swap_remove(0);
+            if graphs.len() > 1 {
+                let inv = 1.0 / graphs.len() as f32;
+                for g in &mut grads {
+                    g.w.scale(inv);
+                    for b in &mut g.b {
+                        *b *= inv;
+                    }
+                }
+                total *= inv;
+            }
+            for ((layer, grads), o) in self.layers.iter_mut().zip(&grads).zip(opts.iter_mut()) {
+                layer.apply(o, grads);
+            }
+            epoch_losses.push(total);
         }
         TrainStats { epoch_losses }
     }
@@ -345,7 +418,7 @@ impl GraphSage {
             graph.node_count(),
             "feature/neighbour count mismatch"
         );
-        let (_, _, logits) = self.forward(features, graph);
+        let (_, _, _, logits) = self.forward(features, graph);
         softmax_rows(&logits)
     }
 
@@ -359,6 +432,31 @@ impl GraphSage {
     /// Hard label predictions (argmax of [`GraphSage::predict_proba`]).
     pub fn predict_labels(&self, features: &Matrix, graph: &CsrGraph) -> Vec<usize> {
         self.predict_proba(features, graph).argmax_rows()
+    }
+}
+
+/// Merges all per-graph `(loss, gradients)` results into `results[0]` via
+/// a fixed binary reduction tree: the slice splits at `len.div_ceil(2)`,
+/// each half reduces recursively, and the right half's root adds into the
+/// left's. The tree shape — and therefore every floating-point addition
+/// order — depends only on the number of graphs, never on which thread
+/// produced which result, which is what makes data-parallel training
+/// bit-identical to serial.
+fn reduce_into_first(results: &mut [(f32, Vec<glaive_nn::LinearGrads>)]) {
+    if results.len() <= 1 {
+        return;
+    }
+    let mid = results.len().div_ceil(2);
+    let (left, right) = results.split_at_mut(mid);
+    reduce_into_first(left);
+    reduce_into_first(right);
+    let (l, r) = (&mut left[0], &right[0]);
+    l.0 += r.0;
+    for (gl, gr) in l.1.iter_mut().zip(&r.1) {
+        gl.w.add_assign(&gr.w);
+        for (a, b) in gl.b.iter_mut().zip(&gr.b) {
+            *a += b;
+        }
     }
 }
 
@@ -600,7 +698,7 @@ mod tests {
 
         let eps = 2e-3f32;
         let loss_of = |m: &GraphSage| {
-            let (_, _, logits) = m.forward(&feats, csr.view());
+            let (_, _, _, logits) = m.forward(&feats, csr.view());
             softmax_cross_entropy(&logits, &labels, Some(&mask)).0
         };
         // Probe several entries in every layer (including the aggregate
@@ -778,8 +876,12 @@ mod tests {
     /// sampler's RNG stream matters, with sorted de-duplicated neighbour
     /// lists (the invariant the legacy builder guaranteed).
     fn dense_task() -> (Matrix, Vec<Vec<u32>>, Vec<usize>, Vec<bool>) {
+        dense_task_seeded(21)
+    }
+
+    fn dense_task_seeded(seed: u64) -> (Matrix, Vec<Vec<u32>>, Vec<usize>, Vec<bool>) {
         let n = 50;
-        let mut rng = DetRng::new(21);
+        let mut rng = DetRng::new(seed);
         let feats = Matrix::from_fn(n, 3, |_, _| rng.uniform(-1.0, 1.0));
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (v, list) in lists.iter_mut().enumerate().skip(1) {
@@ -793,6 +895,125 @@ mod tests {
         let labels: Vec<usize> = (0..n).map(|v| v % 2).collect();
         let mask: Vec<bool> = (0..n).map(|v| v % 3 != 0).collect();
         (feats, lists, labels, mask)
+    }
+
+    // ------------------------------------------------------------------
+    // Reduction determinism: data-parallel training must be bit-identical
+    // to serial at every thread count.
+    // ------------------------------------------------------------------
+
+    /// Five distinct labelled graphs (different seeds) for multi-graph
+    /// training, so the chunk boundaries differ at every thread count.
+    fn five_tasks() -> Vec<(Matrix, CsrGraph, Vec<usize>, Vec<bool>)> {
+        (0..5u64)
+            .map(|s| {
+                let (f, lists, l, m) = dense_task_seeded(31 + s);
+                (f, csr_from_lists(&lists), l, m)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_is_bit_identical_at_any_thread_count() {
+        let tasks = five_tasks();
+        let graphs: Vec<TrainGraph<'_>> = tasks
+            .iter()
+            .map(|(f, g, l, m)| TrainGraph {
+                features: f,
+                graph: g,
+                labels: l,
+                mask: m,
+            })
+            .collect();
+        let config = SageConfig {
+            hidden: 6,
+            layers: 2,
+            classes: 2,
+            sample_size: 3,
+            lr: 0.02,
+            epochs: 5,
+            seed: 29,
+        };
+        let mut reference: Option<(Vec<u32>, Vec<u8>)> = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut model = GraphSage::try_new(3, &config).expect("valid model config");
+            let stats = model.train_with_threads(&graphs, threads);
+            let loss_bits: Vec<u32> = stats.epoch_losses.iter().map(|l| l.to_bits()).collect();
+            let model_bytes = model.to_bytes();
+            match &reference {
+                None => reference = Some((loss_bits, model_bytes)),
+                Some((want_losses, want_bytes)) => {
+                    assert_eq!(&loss_bits, want_losses, "{threads}-thread losses diverged");
+                    assert_eq!(
+                        &model_bytes, want_bytes,
+                        "{threads}-thread model bytes diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_graph_gradients_are_thread_invariant_and_merge_deterministically() {
+        let tasks = five_tasks();
+        let graphs: Vec<TrainGraph<'_>> = tasks
+            .iter()
+            .map(|(f, g, l, m)| TrainGraph {
+                features: f,
+                graph: g,
+                labels: l,
+                mask: m,
+            })
+            .collect();
+        let config = SageConfig {
+            hidden: 5,
+            layers: 3,
+            classes: 2,
+            sample_size: 4,
+            lr: 0.01,
+            epochs: 1,
+            seed: 43,
+        };
+        let model = GraphSage::try_new(3, &config).expect("valid model config");
+
+        // Serial per-graph gradients over full neighbourhoods.
+        let serial: Vec<(f32, Vec<glaive_nn::LinearGrads>)> = graphs
+            .iter()
+            .map(|g| model.compute_gradients(g, g.graph.view()))
+            .collect();
+
+        // The same gradients computed concurrently, one thread per graph:
+        // compute_gradients is a pure read-only function, so every
+        // per-graph result must be bitwise the one serial produced.
+        let mut threaded: Vec<Option<(f32, Vec<glaive_nn::LinearGrads>)>> =
+            graphs.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (g, slot) in graphs.iter().zip(&mut threaded) {
+                let model = &model;
+                scope.spawn(move || *slot = Some(model.compute_gradients(g, g.graph.view())));
+            }
+        });
+        let mut threaded: Vec<(f32, Vec<glaive_nn::LinearGrads>)> = threaded
+            .into_iter()
+            .map(|r| r.expect("worker ran"))
+            .collect();
+        for (i, (s, t)) in serial.iter().zip(&threaded).enumerate() {
+            assert_eq!(s.0.to_bits(), t.0.to_bits(), "graph {i} loss");
+            for (gs, gt) in s.1.iter().zip(&t.1) {
+                assert_eq!(gs.w.data(), gt.w.data(), "graph {i} weight grads");
+                assert_eq!(gs.b, gt.b, "graph {i} bias grads");
+            }
+        }
+
+        // And the fixed tree merges them identically however they arrived.
+        let mut serial = serial;
+        reduce_into_first(&mut serial);
+        reduce_into_first(&mut threaded);
+        assert_eq!(serial[0].0.to_bits(), threaded[0].0.to_bits());
+        for (gs, gt) in serial[0].1.iter().zip(&threaded[0].1) {
+            assert_eq!(gs.w.data(), gt.w.data());
+            assert_eq!(gs.b, gt.b);
+        }
     }
 
     #[test]

@@ -95,6 +95,55 @@ impl Linear {
         )
     }
 
+    /// Fused forward pass `[left ‖ right]·W + b` without materialising
+    /// the concatenated input — bit-identical to
+    /// `self.forward(&left.hconcat(right))`.
+    pub fn forward_concat(&self, left: &Matrix, right: &Matrix) -> Matrix {
+        let mut y = left.matmul_concat(right, &self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Parameter gradients of the fused concat forward — the
+    /// [`Linear::backward_concat`] weight/bias terms without the input
+    /// gradients, for layers whose inputs are not differentiated (the
+    /// first GraphSAGE layer's raw features).
+    pub fn grads_concat(&self, left: &Matrix, right: &Matrix, grad_out: &Matrix) -> LinearGrads {
+        let grad_w = left.transpose_matmul_concat(right, grad_out);
+        let mut grad_b = vec![0.0f32; self.b.len()];
+        for r in 0..grad_out.rows() {
+            for (gb, g) in grad_b.iter_mut().zip(grad_out.row(r)) {
+                *gb += g;
+            }
+        }
+        LinearGrads {
+            w: grad_w,
+            b: grad_b,
+        }
+    }
+
+    /// Backward of the fused concat forward: returns the input gradients
+    /// for each half plus the parameter gradients, bit-identical to
+    /// running [`Linear::backward`] on the materialised concatenation and
+    /// splitting `∂L/∂x` afterwards.
+    pub fn backward_concat(
+        &self,
+        left: &Matrix,
+        right: &Matrix,
+        grad_out: &Matrix,
+    ) -> (Matrix, Matrix, LinearGrads) {
+        let grads = self.grads_concat(left, right, grad_out);
+        let dl = left.cols();
+        let grad_left = grad_out.matmul(&self.w.transpose_rows(0, dl));
+        let grad_right = grad_out.matmul(&self.w.transpose_rows(dl, self.w.rows()));
+        (grad_left, grad_right, grads)
+    }
+
     /// Applies gradients through an optimizer whose state covers
     /// [`Linear::param_count`] parameters (weights first, then bias).
     pub fn apply(&mut self, opt: &mut Adam, grads: &LinearGrads) {
@@ -282,6 +331,46 @@ mod tests {
         let (loss_m, _) = softmax_cross_entropy(&lm.forward(&x), &labels, None);
         let numeric = (loss_p - loss_m) / (2.0 * eps);
         assert!((numeric - grads.b[0]).abs() < 1e-2);
+    }
+
+    /// The fused concat forward/backward is bit-identical to materialising
+    /// the concatenation (forward, input gradients via `hsplit`, and
+    /// parameter gradients alike).
+    #[test]
+    fn concat_paths_match_materialised_concat_bitwise() {
+        let mut rng = DetRng::new(11);
+        for &(n, dl, dr, h) in &[(5usize, 3usize, 4usize, 2usize), (1, 1, 7, 3), (8, 6, 1, 5)] {
+            let layer = Linear::glorot(dl + dr, h, &mut rng);
+            let left = Matrix::from_fn(n, dl, |_, _| rng.uniform(-1.0, 1.0));
+            let right = Matrix::from_fn(n, dr, |_, _| rng.uniform(-1.0, 1.0));
+            let grad_out = Matrix::from_fn(n, h, |_, _| rng.uniform(-1.0, 1.0));
+            let z = left.hconcat(&right);
+
+            let fused = layer.forward_concat(&left, &right);
+            let unfused = layer.forward(&z);
+            assert_eq!(fused.data(), unfused.data(), "forward {n}x[{dl}|{dr}]");
+            for (a, b) in fused.data().iter().zip(unfused.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+
+            let (dz, grads) = layer.backward(&z, &grad_out);
+            let (want_l, want_r) = dz.hsplit(dl);
+            let (got_l, got_r, got_grads) = layer.backward_concat(&left, &right, &grad_out);
+            for (a, b) in got_l.data().iter().zip(want_l.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "d_left {n}x[{dl}|{dr}]");
+            }
+            for (a, b) in got_r.data().iter().zip(want_r.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "d_right {n}x[{dl}|{dr}]");
+            }
+            for (a, b) in got_grads.w.data().iter().zip(grads.w.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dW {n}x[{dl}|{dr}]");
+            }
+            assert_eq!(got_grads.b, grads.b);
+
+            let grads_only = layer.grads_concat(&left, &right, &grad_out);
+            assert_eq!(grads_only.w.data(), got_grads.w.data());
+            assert_eq!(grads_only.b, got_grads.b);
+        }
     }
 
     #[test]

@@ -1,12 +1,60 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::OnceLock;
 
 /// A dense row-major `f32` matrix.
+///
+/// The multiply kernels ([`Matrix::matmul`], [`Matrix::transpose_matmul`],
+/// [`Matrix::matmul_transpose`] and the fused `*_concat` variants) are
+/// cache-blocked and register-tiled but keep a **fixed accumulation order
+/// per output element** — `k`-ascending for `matmul`, input-row-ascending
+/// for `transpose_matmul` — so their results are bit-identical to the
+/// straightforward scalar loops at any block size and any thread count
+/// (see DESIGN.md §16).
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// Output rows sharing one streamed `b` row in the register-tiled kernels.
+/// Grouping rows amortises the `b` traffic without touching the per-element
+/// accumulation order, so it is a pure tuning constant.
+const MR: usize = 4;
+
+/// The `k`-panel length of the blocked kernels: `matmul` accumulates one
+/// panel of `b` rows across all output rows before moving to the next, and
+/// `transpose_matmul` processes its output in panels of this many rows.
+/// Panels partition work without reordering any per-element accumulation,
+/// so the value (env `GLAIVE_MATMUL_KC`, default 512) only affects speed.
+fn k_block() -> usize {
+    static KC: OnceLock<usize> = OnceLock::new();
+    *KC.get_or_init(|| {
+        std::env::var("GLAIVE_MATMUL_KC")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&v| v >= MR)
+            .unwrap_or(512)
+    })
+}
+
+/// Thread budget for the row-partitioned kernels: `GLAIVE_NN_THREADS` if
+/// set (useful to exercise or pin the fan-out on any machine), otherwise
+/// the available parallelism.
+fn tuned_threads() -> usize {
+    static T: OnceLock<usize> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("GLAIVE_NN_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 impl Matrix {
@@ -19,15 +67,16 @@ impl Matrix {
         }
     }
 
-    /// Builds a matrix from a generator `f(row, col)`.
+    /// Builds a matrix from a generator `f(row, col)` in a single pass —
+    /// each element is written exactly once, with no zero-fill prepass.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
-        let mut m = Matrix::zeros(rows, cols);
+        let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                m[(r, c)] = f(r, c);
+                data.push(f(r, c));
             }
         }
-        m
+        Matrix { rows, cols, data }
     }
 
     /// Wraps an existing row-major buffer.
@@ -80,83 +129,111 @@ impl Matrix {
 
     /// `self · other` (`n×d · d×h → n×h`).
     ///
+    /// Each output element accumulates over ascending `k` regardless of
+    /// blocking or threading, so the result is bit-identical to the naive
+    /// `i k j` triple loop.
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions differ");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let kernel = |i: usize, out_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (j, &b) in b_row.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        };
-        parallel_rows(self.rows, other.cols, self.cols, &mut out.data, kernel);
-        out
+        matmul_impl(self, None, other)
     }
 
-    /// The transpose `selfᵀ` (`n×d → d×n`).
+    /// Fused `[self ‖ right] · other` without materialising the
+    /// concatenation (`n×dₗ ‖ n×dᵣ · (dₗ+dᵣ)×h → n×h`).
+    ///
+    /// The virtual `k` dimension runs over `self`'s columns then `right`'s,
+    /// the same order [`Matrix::hconcat`] lays them out in, so the result
+    /// is bit-identical to `self.hconcat(right).matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or the combined width does not
+    /// match `other`'s row count.
+    pub fn matmul_concat(&self, right: &Matrix, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, right.rows, "row counts differ");
+        assert_eq!(
+            self.cols + right.cols,
+            other.rows,
+            "inner dimensions differ"
+        );
+        matmul_impl(self, Some(right), other)
+    }
+
+    /// The transpose `selfᵀ` (`n×d → d×n`), built in a single pass.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for (c, &v) in self.row(r).iter().enumerate() {
-                out.data[c * self.rows + r] = v;
+        self.transpose_rows(0, self.rows)
+    }
+
+    /// The transpose of the row block `self[r0..r1]`
+    /// (`(r1−r0)×d → d×(r1−r0)`) — lets a caller multiply against a
+    /// contiguous slice of a weight matrix without copying the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn transpose_rows(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        let n = r1 - r0;
+        let mut data = Vec::with_capacity(self.cols * n);
+        for c in 0..self.cols {
+            for r in r0..r1 {
+                data.push(self.data[r * self.cols + c]);
             }
         }
-        out
+        Matrix {
+            rows: self.cols,
+            cols: n,
+            data,
+        }
     }
 
     /// `selfᵀ · other` (`n×d ᵀ · n×h → d×h`), used for weight gradients.
     ///
     /// Output element `(k, j)` accumulates `self[i, k] · other[i, j]` over
-    /// ascending `i` in both code paths below, so serial and parallel runs
-    /// are bit-identical.
+    /// ascending `i` in every code path — panels split the *output* rows
+    /// and the register tile adds its `MR` input rows sequentially — so
+    /// blocked, serial and threaded runs are all bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts differ");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        if !should_parallelise(self.cols, other.cols, self.rows) {
-            // Single pass over the input rows: each row `i` of `self` adds
-            // the rank-1 update `self[i]ᵀ ⊗ other[i]` into the (small)
-            // output, with contiguous reads and a vectorisable inner loop —
-            // unlike a per-output-row kernel, which walks a strided column
-            // of `self` once per output row.
-            for i in 0..self.rows {
-                let b_row = other.row(i);
-                for (k, &a) in self.row(i).iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+        let (d, h) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(d, h);
+        if d == 0 || h == 0 || self.rows == 0 {
             return out;
         }
-        // Parallelised over output rows k: each thread owns a k-range and
-        // scans every input row, so no accumulation races.
-        let kernel = |k: usize, out_row: &mut [f32]| {
-            for i in 0..self.rows {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
-        parallel_rows(self.cols, other.cols, self.rows, &mut out.data, kernel);
+        parallel_row_chunks(d, h, self.rows, &mut out.data, |k0, chunk| {
+            tmm_chunk(self, other, k0, chunk);
+        });
         out
+    }
+
+    /// Fused `[self ‖ right]ᵀ · other` without materialising the
+    /// concatenation: rows `0..dₗ` of the result are `selfᵀ·other`, rows
+    /// `dₗ..` are `rightᵀ·other`, each accumulated in the same ascending
+    /// input-row order as the unfused kernel — bit-identical to
+    /// `self.hconcat(right).transpose_matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row count differs from `other`'s.
+    pub fn transpose_matmul_concat(&self, right: &Matrix, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts differ");
+        assert_eq!(right.rows, other.rows, "row counts differ");
+        let top = self.transpose_matmul(other);
+        let bottom = right.transpose_matmul(other);
+        let mut data = top.data;
+        data.extend_from_slice(&bottom.data);
+        Matrix {
+            rows: self.cols + right.cols,
+            cols: other.cols,
+            data,
+        }
     }
 
     /// `self · otherᵀ` (`n×h · d×h ᵀ → n×d`), used for input gradients.
@@ -238,49 +315,270 @@ impl Matrix {
     }
 }
 
-/// Runs `kernel(row_index, output_row)` for every output row, fanning out
-/// over threads when the work is large enough to amortise spawning. Each
-/// output row is written by exactly one thread with the same inner loop
-/// order as the serial code, so results are bit-identical either way.
-/// Whether a kernel of this shape is worth fanning out over threads — the
-/// same gate [`parallel_rows`] applies, exposed so callers can pick a
-/// different serial algorithm when the answer is no.
+/// Whether a row-partitioned kernel is worth fanning out over threads —
+/// exposed to the kernels so they can pick a different serial strategy
+/// when the answer is no.
 fn should_parallelise(rows: usize, cols: usize, inner: usize) -> bool {
     const PARALLEL_THRESHOLD: usize = 1 << 22;
     let work = rows.saturating_mul(cols).saturating_mul(inner.max(1));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    work >= PARALLEL_THRESHOLD && threads > 1 && rows >= 2
+    work >= PARALLEL_THRESHOLD && tuned_threads() > 1 && rows >= 2
 }
 
-fn parallel_rows(
+/// Runs `f(first_row, chunk)` over contiguous row blocks of `out`, fanning
+/// out over scoped threads when the work is large enough to amortise
+/// spawning. Each output row is owned by exactly one invocation and every
+/// kernel accumulates with a chunk-independent per-element order, so the
+/// results are bit-identical for any thread count (including one).
+fn parallel_row_chunks(
     rows: usize,
     cols: usize,
     inner: usize,
     out: &mut [f32],
-    kernel: impl Fn(usize, &mut [f32]) + Sync,
+    f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
     if !should_parallelise(rows, cols, inner) {
-        for (i, out_row) in out.chunks_mut(cols).enumerate() {
-            kernel(i, out_row);
-        }
+        f(0, out);
         return;
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let per_chunk = rows.div_ceil(threads);
+    let per = rows.div_ceil(tuned_threads());
     std::thread::scope(|scope| {
-        for (c, chunk) in out.chunks_mut(per_chunk * cols).enumerate() {
-            let kernel = &kernel;
-            scope.spawn(move || {
-                for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
-                    kernel(c * per_chunk + r, out_row);
-                }
-            });
+        for (c, chunk) in out.chunks_mut(per * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(c * per, chunk));
         }
     });
+}
+
+/// `[left ‖ right?] · b` into a fresh matrix, row-partitioned over threads.
+fn matmul_impl(left: &Matrix, right: Option<&Matrix>, b: &Matrix) -> Matrix {
+    let (rows, h) = (left.rows, b.cols);
+    let mut out = Matrix::zeros(rows, h);
+    if rows == 0 || h == 0 || b.rows == 0 {
+        return out;
+    }
+    parallel_row_chunks(rows, h, b.rows, &mut out.data, |start, chunk| {
+        matmul_chunk(left, right, b, start, chunk);
+    });
+    out
+}
+
+/// The blocked `matmul` kernel over output rows `start..start+chunk/h`.
+///
+/// Loop order is k-panel → MR-row tile → k → j: panels of `b` rows stay
+/// cache-hot while the tile amortises each `b` row across `MR` outputs.
+/// For a fixed output element the `k` updates arrive panel-ascending and
+/// in-panel-ascending — i.e. plain ascending `k` — with the left source's
+/// columns before the right's, exactly like a materialised concatenation.
+fn matmul_chunk(
+    left: &Matrix,
+    right: Option<&Matrix>,
+    b: &Matrix,
+    start: usize,
+    chunk: &mut [f32],
+) {
+    let h = b.cols;
+    let dl = left.cols;
+    let d = b.rows;
+    let kc = k_block();
+    let mut kb = 0;
+    while kb < d {
+        let ke = (kb + kc).min(d);
+        let mut tiles = chunk.chunks_exact_mut(MR * h);
+        let mut i = start;
+        for tile in tiles.by_ref() {
+            let (r0, rest) = tile.split_at_mut(h);
+            let (r1, rest) = rest.split_at_mut(h);
+            let (r2, r3) = rest.split_at_mut(h);
+            if kb < dl {
+                let e = ke.min(dl);
+                tile_segment(
+                    r0,
+                    r1,
+                    r2,
+                    r3,
+                    &left.row(i)[kb..e],
+                    &left.row(i + 1)[kb..e],
+                    &left.row(i + 2)[kb..e],
+                    &left.row(i + 3)[kb..e],
+                    b,
+                    kb,
+                );
+            }
+            if let Some(rm) = right {
+                if ke > dl {
+                    let s = kb.max(dl);
+                    tile_segment(
+                        r0,
+                        r1,
+                        r2,
+                        r3,
+                        &rm.row(i)[s - dl..ke - dl],
+                        &rm.row(i + 1)[s - dl..ke - dl],
+                        &rm.row(i + 2)[s - dl..ke - dl],
+                        &rm.row(i + 3)[s - dl..ke - dl],
+                        b,
+                        s,
+                    );
+                }
+            }
+            i += MR;
+        }
+        for row_out in tiles.into_remainder().chunks_mut(h) {
+            if kb < dl {
+                row_segment(row_out, &left.row(i)[kb..ke.min(dl)], b, kb);
+            }
+            if let Some(rm) = right {
+                if ke > dl {
+                    let s = kb.max(dl);
+                    row_segment(row_out, &rm.row(i)[s - dl..ke - dl], b, s);
+                }
+            }
+            i += 1;
+        }
+        kb = ke;
+    }
+}
+
+/// One `MR`-row tile over one contiguous `k` segment: `a0..a3` hold the
+/// tile rows' `a` values for `k = k0..k0+len`, `b` supplies rows
+/// `k0..k0+len`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn tile_segment(
+    r0: &mut [f32],
+    r1: &mut [f32],
+    r2: &mut [f32],
+    r3: &mut [f32],
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    b: &Matrix,
+    k0: usize,
+) {
+    for (t, (((&a0v, &a1v), &a2v), &a3v)) in a0.iter().zip(a1).zip(a2).zip(a3).enumerate() {
+        // Zero `a` values skip their row (features are sparse); the skip
+        // cannot change bits because a `+0.0` accumulator never turns
+        // negative-zero under addition. One-hot feature blocks make the
+        // all-four-zero case by far the most common, so test it first with
+        // a single sign-stripped bit test.
+        if (a0v.to_bits() | a1v.to_bits() | a2v.to_bits() | a3v.to_bits()) << 1 == 0 {
+            continue;
+        }
+        let bv = b.row(k0 + t);
+        if a0v != 0.0 && a1v != 0.0 && a2v != 0.0 && a3v != 0.0 {
+            let n = bv.len();
+            let (r0, r1, r2, r3) = (&mut r0[..n], &mut r1[..n], &mut r2[..n], &mut r3[..n]);
+            for j in 0..n {
+                r0[j] += a0v * bv[j];
+                r1[j] += a1v * bv[j];
+                r2[j] += a2v * bv[j];
+                r3[j] += a3v * bv[j];
+            }
+        } else {
+            axpy(r0, a0v, bv);
+            axpy(r1, a1v, bv);
+            axpy(r2, a2v, bv);
+            axpy(r3, a3v, bv);
+        }
+    }
+}
+
+/// Single-row tail of [`tile_segment`].
+#[inline]
+fn row_segment(out: &mut [f32], a: &[f32], b: &Matrix, k0: usize) {
+    for (t, &av) in a.iter().enumerate() {
+        axpy(out, av, b.row(k0 + t));
+    }
+}
+
+/// `out += a · b`, skipping the no-op when `a` is zero.
+#[inline]
+fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
+    if a == 0.0 {
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(b) {
+        *o += a * v;
+    }
+}
+
+/// The blocked `transpose_matmul` kernel for output rows (i.e. `a`
+/// columns) `k0..k0+chunk/h`: panels of output rows stay cache-hot while
+/// register tiles of `MR` input rows are added **sequentially in ascending
+/// input order**, preserving the rank-1-update accumulation order of the
+/// scalar kernel.
+fn tmm_chunk(a: &Matrix, b: &Matrix, k0: usize, chunk: &mut [f32]) {
+    let h = b.cols;
+    let kc = k_block();
+    let rows = chunk.len() / h;
+    let n = a.rows;
+    let mut p = 0;
+    while p < rows {
+        let pe = (p + kc).min(rows);
+        let panel = &mut chunk[p * h..pe * h];
+        let ks = k0 + p;
+        let mut i = 0;
+        while i + MR <= n {
+            let (a0, a1, a2, a3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
+            let (b0, b1, b2, b3) = (b.row(i), b.row(i + 1), b.row(i + 2), b.row(i + 3));
+            for (t, out_row) in panel.chunks_mut(h).enumerate() {
+                let k = ks + t;
+                axpy4_seq(out_row, a0[k], b0, a1[k], b1, a2[k], b2, a3[k], b3);
+            }
+            i += MR;
+        }
+        while i < n {
+            let ar = a.row(i);
+            let br = b.row(i);
+            for (t, out_row) in panel.chunks_mut(h).enumerate() {
+                axpy(out_row, ar[ks + t], br);
+            }
+            i += 1;
+        }
+        p = pe;
+    }
+}
+
+/// Four sequential rank-1 contributions into one output row, in argument
+/// order — `out[j]` receives `a0·b0[j]`, then `a1·b1[j]`, … as four
+/// separate additions, never a reassociated sum.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn axpy4_seq(
+    out: &mut [f32],
+    a0: f32,
+    b0: &[f32],
+    a1: f32,
+    b1: &[f32],
+    a2: f32,
+    b2: &[f32],
+    a3: f32,
+    b3: &[f32],
+) {
+    // Sparse tiles (one-hot feature columns) are usually all zero: strip
+    // the sign bits and skip the whole tile with one test. Bit-exact for
+    // the same reason the per-value skips below are.
+    if (a0.to_bits() | a1.to_bits() | a2.to_bits() | a3.to_bits()) << 1 == 0 {
+        return;
+    }
+    if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+        let n = out.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        for j in 0..n {
+            let mut v = out[j];
+            v += a0 * b0[j];
+            v += a1 * b1[j];
+            v += a2 * b2[j];
+            v += a3 * b3[j];
+            out[j] = v;
+        }
+    } else {
+        axpy(out, a0, b0);
+        axpy(out, a1, b1);
+        axpy(out, a2, b2);
+        axpy(out, a3, b3);
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -306,6 +604,279 @@ impl fmt::Debug for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // ------------------------------------------------------------------
+    // Differential oracles: the pre-rewrite scalar kernels, kept verbatim.
+    // The blocked kernels promise *exact* (bitwise) equality with these —
+    // their accumulation order per output element is identical, so no ULP
+    // bound is needed anywhere in this suite.
+    // ------------------------------------------------------------------
+
+    /// The scalar `i k j` kernel this crate shipped before the blocked
+    /// rewrite (including the zero-`a` skip).
+    #[allow(clippy::needless_range_loop)] // kept verbatim as the oracle
+    fn oracle_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows);
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for (k, &av) in a.row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                for j in 0..b.cols {
+                    out.data[i * b.cols + j] += av * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// The scalar rank-1-update `transpose_matmul` (ascending input rows).
+    fn oracle_transpose_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows);
+        let mut out = Matrix::zeros(a.cols, b.cols);
+        for i in 0..a.rows {
+            let brow = b.row(i);
+            for (k, &av) in a.row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out.data[k * b.cols..(k + 1) * b.cols].iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn oracle_transpose(a: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols, a.rows);
+        for r in 0..a.rows {
+            for c in 0..a.cols {
+                out.data[c * a.rows + r] = a.data[r * a.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Deterministic awkward test values: small integers with exact zeros
+    /// and a sprinkling of negative zeros, so the suite would catch a
+    /// kernel that mishandles the zero-skip's sign semantics.
+    fn probe(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = ((r * 31 + c * 17 + salt * 7) % 7) as f32 - 3.0;
+            if (r + c + salt).is_multiple_of(11) {
+                -0.0
+            } else {
+                v
+            }
+        })
+    }
+
+    /// Bitwise equality — `==` on floats would treat `-0.0` and `0.0` as
+    /// equal and hide sign regressions.
+    fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
+        assert_eq!((got.rows, got.cols), (want.rows, want.cols), "{what}");
+        for (i, (g, w)) in got.data.iter().zip(&want.data).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{what}: element {i} {g:?} vs {w:?}"
+            );
+        }
+    }
+
+    /// Shapes chosen to straddle every blocking boundary: degenerate rows
+    /// and columns, 1×N and N×1, primes, and dims around the MR=4 tile.
+    const DIMS: [usize; 8] = [0, 1, 2, 3, 5, 8, 13, 31];
+
+    #[test]
+    fn blocked_kernels_match_scalar_oracles_bitwise() {
+        for &m in &DIMS {
+            for &k in &DIMS {
+                for &n in &DIMS {
+                    let a = probe(m, k, 1);
+                    let b = probe(k, n, 2);
+                    assert_bits_eq(
+                        &a.matmul(&b),
+                        &oracle_matmul(&a, &b),
+                        &format!("matmul {m}x{k}x{n}"),
+                    );
+                    let c = probe(m, n, 3);
+                    assert_bits_eq(
+                        &a.transpose_matmul(&c),
+                        &oracle_transpose_matmul(&a, &c),
+                        &format!("transpose_matmul {m}x{k}x{n}"),
+                    );
+                    let d = probe(n, k, 4);
+                    assert_bits_eq(
+                        &a.matmul_transpose(&d),
+                        &oracle_matmul(&a, &oracle_transpose(&d)),
+                        &format!("matmul_transpose {m}x{k}x{n}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inner dims straddling the k-panel size, so at least one panel
+    /// boundary falls strictly inside the accumulation.
+    #[test]
+    fn kernels_are_bitwise_stable_across_k_panel_boundaries() {
+        let kc = k_block();
+        for k in [kc - 1, kc, kc + 1, 2 * kc + 3] {
+            let a = probe(5, k, 5);
+            let b = probe(k, 9, 6);
+            assert_bits_eq(&a.matmul(&b), &oracle_matmul(&a, &b), &format!("k={k}"));
+            let big = probe(k, 5, 7);
+            let c = probe(k, 9, 8);
+            assert_bits_eq(
+                &big.transpose_matmul(&c),
+                &oracle_transpose_matmul(&big, &c),
+                &format!("tmm rows={k}"),
+            );
+        }
+    }
+
+    /// The fused concat kernels are bitwise equal to materialising the
+    /// concatenation first — including degenerate halves.
+    #[test]
+    fn fused_concat_kernels_match_unfused_bitwise() {
+        for &m in &DIMS {
+            for &dl in &[0usize, 1, 3, 8, 13] {
+                for &dr in &[0usize, 1, 2, 5, 31] {
+                    let left = probe(m, dl, 9);
+                    let right = probe(m, dr, 10);
+                    let z = left.hconcat(&right);
+                    let w = probe(dl + dr, 7, 11);
+                    assert_bits_eq(
+                        &left.matmul_concat(&right, &w),
+                        &z.matmul(&w),
+                        &format!("matmul_concat {m}x[{dl}|{dr}]"),
+                    );
+                    let g = probe(m, 7, 12);
+                    assert_bits_eq(
+                        &left.transpose_matmul_concat(&right, &g),
+                        &z.transpose_matmul(&g),
+                        &format!("transpose_matmul_concat {m}x[{dl}|{dr}]"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Row-chunked execution (what each worker thread runs) is bitwise
+    /// identical to the single-chunk call for any chunk boundary — the
+    /// property the thread fan-out relies on, tested directly so it holds
+    /// even on single-core machines where the fan-out never engages.
+    #[test]
+    fn chunked_execution_matches_serial_at_any_boundary() {
+        let a = probe(23, 37, 13);
+        let b = probe(37, 19, 14);
+        let whole = a.matmul(&b);
+        for chunk_rows in [1usize, 2, 3, 5, 8, 23] {
+            let mut out = Matrix::zeros(23, 19);
+            let cols = 19;
+            for (c, chunk) in out.data.chunks_mut(chunk_rows * cols).enumerate() {
+                matmul_chunk(&a, None, &b, c * chunk_rows, chunk);
+            }
+            assert_bits_eq(&out, &whole, &format!("matmul chunks of {chunk_rows}"));
+        }
+        let g = probe(23, 19, 15);
+        let tm_whole = a.transpose_matmul(&g);
+        for chunk_rows in [1usize, 2, 4, 7, 37] {
+            let mut out = Matrix::zeros(37, 19);
+            let cols = 19;
+            for (c, chunk) in out.data.chunks_mut(chunk_rows * cols).enumerate() {
+                tmm_chunk(&a, &g, c * chunk_rows, chunk);
+            }
+            assert_bits_eq(&out, &tm_whole, &format!("tmm chunks of {chunk_rows}"));
+        }
+    }
+
+    /// Regression coverage for 0-row/0-col shapes across every op (the old
+    /// `parallel_rows` helper panicked on zero-width outputs).
+    #[test]
+    fn zero_dimension_shapes_are_handled_everywhere() {
+        let empty_rows = Matrix::from_fn(0, 3, |_, _| unreachable!());
+        let empty_cols = Matrix::from_fn(3, 0, |_, _| unreachable!());
+        assert_eq!(empty_rows.data().len(), 0);
+        assert_eq!(empty_cols.data().len(), 0);
+
+        // n×0 · 0×h, 0×d · d×h, n×d · d×0.
+        let out = empty_cols.matmul(&Matrix::zeros(0, 4));
+        assert_eq!((out.rows(), out.cols()), (3, 4));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        let out = empty_rows.matmul(&Matrix::zeros(3, 4));
+        assert_eq!((out.rows(), out.cols()), (0, 4));
+        let a = probe(3, 4, 16);
+        let out = a.matmul(&Matrix::zeros(4, 0));
+        assert_eq!((out.rows(), out.cols()), (3, 0));
+
+        // Transpose-variants on the same degenerate shapes.
+        assert_eq!(empty_cols.transpose_matmul(&a).rows(), 0);
+        assert_eq!(empty_rows.transpose_matmul(&Matrix::zeros(0, 2)).rows(), 3);
+        assert_eq!(a.matmul_transpose(&Matrix::zeros(0, 4)).cols(), 0);
+
+        // Concats, splits, transpose, reductions.
+        let cat = empty_cols.hconcat(&probe(3, 2, 17));
+        assert_eq!((cat.rows(), cat.cols()), (3, 2));
+        let (l, r) = cat.hsplit(0);
+        assert_eq!((l.cols(), r.cols()), (0, 2));
+        assert_eq!(empty_rows.transpose().cols(), 0);
+        assert_eq!(empty_cols.transpose().rows(), 0);
+        let mut e = Matrix::zeros(0, 5);
+        e.add_assign(&Matrix::zeros(0, 5));
+        e.scale(2.0);
+        assert_eq!(e.argmax_rows().len(), 0);
+        assert_eq!(empty_rows.argmax_rows().len(), 0);
+
+        // Fused kernels with one empty half.
+        let left = probe(3, 0, 18);
+        let right = probe(3, 4, 19);
+        let w = probe(4, 2, 20);
+        assert_bits_eq(
+            &left.matmul_concat(&right, &w),
+            &right.matmul(&w),
+            "empty left half",
+        );
+        assert_bits_eq(
+            &right.matmul_concat(&left, &probe(4, 2, 20)),
+            &right.matmul(&w),
+            "empty right half",
+        );
+    }
+
+    /// `from_fn` visits elements in row-major order exactly once.
+    #[test]
+    fn from_fn_is_single_pass_row_major() {
+        let mut calls = Vec::new();
+        let m = Matrix::from_fn(2, 3, |r, c| {
+            calls.push((r, c));
+            (r * 3 + c) as f32
+        });
+        assert_eq!(calls, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(m.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_rows_takes_a_row_slice() {
+        let a = probe(5, 3, 21);
+        let t = a.transpose_rows(1, 4);
+        assert_eq!((t.rows(), t.cols()), (3, 3));
+        for r in 1..4 {
+            for c in 0..3 {
+                assert_eq!(t[(c, r - 1)].to_bits(), a[(r, c)].to_bits());
+            }
+        }
+        assert_bits_eq(&a.transpose_rows(0, 5), &oracle_transpose(&a), "full");
+        assert_eq!(a.transpose_rows(2, 2).cols(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-existing behaviour tests.
+    // ------------------------------------------------------------------
 
     #[test]
     fn matmul_small_known_answer() {
@@ -391,8 +962,8 @@ mod tests {
                 }
             }
         }
-        // transpose_matmul parallel kernel iterates i innermost per k, which
-        // matches this accumulation order per output row.
+        // transpose_matmul accumulates ascending input rows per element,
+        // which matches this accumulation order per output row.
         assert_eq!(tm.data(), naive_tm.data());
 
         let mt = got.matmul_transpose(&got);

@@ -174,4 +174,28 @@ GLAIVE_QUICK=1 cargo run -q --release --offline -p glaive-bench \
 grep -q '"identical": true' "$CHAOS_DIR/BENCH_7.json" \
   || { echo "chaos soak reported a divergence"; exit 1; }
 
+echo "==> kernel microbench smoke (kernel_bench --smoke: GFLOP/s + thread identity)"
+KB_OUT="$SMOKE_DIR/kernel_bench.json"
+cargo run -q --release --offline -p glaive-bench \
+  --bin kernel_bench -- --smoke --out "$KB_OUT" >/dev/null
+grep -q '"gflops"' "$KB_OUT" \
+  || { echo "kernel_bench wrote no throughput records"; cat "$KB_OUT"; exit 1; }
+grep -q '"identical": true' "$KB_OUT" \
+  || { echo "thread-count identity check failed"; cat "$KB_OUT"; exit 1; }
+if grep -q '"gflops": 0\.000' "$KB_OUT"; then
+  echo "kernel_bench measured 0 GFLOP/s; the microbench is vacuous"
+  cat "$KB_OUT"
+  exit 1
+fi
+
+echo "==> data-parallel training determinism smoke (2 threads vs serial, byte-compare)"
+# --no-cache so the second run cannot satisfy itself from the model cache:
+# both models must really be trained, then match byte-for-byte.
+"$GCLI" train "$SMOKE_DIR/serial.model" lu --quick --stride 16 --instances 1 \
+  --train-threads 1 --no-cache >/dev/null
+"$GCLI" train "$SMOKE_DIR/threaded.model" lu --quick --stride 16 --instances 1 \
+  --train-threads 2 --no-cache >/dev/null
+cmp "$SMOKE_DIR/serial.model" "$SMOKE_DIR/threaded.model" \
+  || { echo "2-thread training diverged from serial"; exit 1; }
+
 echo "All checks passed."

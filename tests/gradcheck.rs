@@ -191,3 +191,130 @@ fn analytic_gradients_match_central_differences() {
         worst.0, worst.1, worst.2
     );
 }
+
+/// The data-parallel trainer applies one Adam step per epoch from the
+/// *merged* gradient: per-graph gradients summed in fixed order, scaled by
+/// `1/n`, with the epoch loss scaled the same way. This pins that merged
+/// gradient against central differences of the merged loss, so the
+/// reduction (not just each per-graph backward) is what gets
+/// finite-difference-checked.
+#[test]
+fn merged_multi_graph_gradients_match_central_differences() {
+    let program = tiny_program();
+    let cdfg = Cdfg::build(&program, &CdfgConfig { bit_stride: 16 });
+    let n = cdfg.node_count();
+    let features = Matrix::from_vec(n, FEATURE_DIM, cdfg.feature_matrix());
+    let graph = cdfg.preds_csr();
+    let view = graph.view();
+
+    // Three training graphs sharing the CDFG but with independent label
+    // and mask draws — three distinct per-graph losses and gradients.
+    let mut rng = Rng(0xAB1E);
+    let tasks: Vec<(Vec<usize>, Vec<bool>)> = (0..3)
+        .map(|_| {
+            let labels = (0..n).map(|_| (rng.next() % 3) as usize).collect();
+            let mut mask: Vec<bool> = (0..n).map(|_| !rng.next().is_multiple_of(3)).collect();
+            mask[0] = true;
+            (labels, mask)
+        })
+        .collect();
+    let graphs: Vec<TrainGraph<'_>> = tasks
+        .iter()
+        .map(|(labels, mask)| TrainGraph {
+            features: &features,
+            graph,
+            labels,
+            mask,
+        })
+        .collect();
+
+    let mut model = GraphSage::try_new(
+        FEATURE_DIM,
+        &SageConfig {
+            hidden: 3,
+            layers: 2,
+            classes: 3,
+            sample_size: 1,
+            lr: 1e-2,
+            epochs: 1,
+            seed: 5,
+        },
+    )
+    .expect("valid model config");
+
+    // Off-kink nudge, as in the single-graph check.
+    let counts = layer_param_counts(&model.compute_gradients(&graphs[0], view).1);
+    for (layer, &count) in counts.iter().enumerate() {
+        for index in 0..count {
+            model = model.nudged(layer, index, 0.02 + 0.06 * rng.unit());
+        }
+    }
+
+    // Merged loss and gradient exactly as the trainer computes them: sum
+    // per-graph results in graph order, then scale by 1/n.
+    let inv = 1.0 / graphs.len() as f32;
+    let merged = |model: &GraphSage| -> (f32, Vec<glaive_nn::LinearGrads>) {
+        let mut acc: Option<(f32, Vec<glaive_nn::LinearGrads>)> = None;
+        for g in &graphs {
+            let (loss, grads) = model.compute_gradients(g, view);
+            match &mut acc {
+                None => acc = Some((loss, grads)),
+                Some((total, merged)) => {
+                    *total += loss;
+                    for (m, g) in merged.iter_mut().zip(&grads) {
+                        m.w.add_assign(&g.w);
+                        for (mb, gb) in m.b.iter_mut().zip(&g.b) {
+                            *mb += gb;
+                        }
+                    }
+                }
+            }
+        }
+        let (mut loss, mut grads) = acc.expect("non-empty graph set");
+        loss *= inv;
+        for g in &mut grads {
+            g.w.scale(inv);
+            for b in &mut g.b {
+                *b *= inv;
+            }
+        }
+        (loss, grads)
+    };
+
+    const ABS_TOL: f32 = 1e-3;
+    const REL_TOL: f32 = 0.05;
+    const EPSILONS: [f32; 3] = [1e-3, 5e-4, 2.5e-4];
+
+    let (_, grads) = merged(&model);
+    let mut checked = 0usize;
+    for (layer, layer_grads) in grads.iter().enumerate() {
+        let flat: Vec<f32> = layer_grads
+            .w
+            .data()
+            .iter()
+            .chain(layer_grads.b.iter())
+            .copied()
+            .collect();
+        for (index, &analytic) in flat.iter().enumerate() {
+            let mut passed = false;
+            let mut last_fd = f32::NAN;
+            for &eps in &EPSILONS {
+                let plus = merged(&model.nudged(layer, index, eps)).0;
+                let minus = merged(&model.nudged(layer, index, -eps)).0;
+                last_fd = (plus - minus) / (2.0 * eps);
+                let diff = (last_fd - analytic).abs();
+                let scale = last_fd.abs().max(analytic.abs());
+                if diff <= ABS_TOL + REL_TOL * scale {
+                    passed = true;
+                    break;
+                }
+            }
+            assert!(
+                passed,
+                "merged layer {layer} param {index}: analytic {analytic:.6e} vs FD {last_fd:.6e}"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, model.param_count(), "probed every parameter");
+}
