@@ -1,0 +1,215 @@
+//! Timing-feature ablation experiment (`BENCH_9.json`).
+//!
+//! Trains GLAIVE twice on the Table-II train/test benchmarks — once on the
+//! static CDFG feature matrix, once with the three dynamic timing columns
+//! (normalised issue cycle, residency share, stall share) appended behind
+//! `PipelineConfig::timing_features` — and scores both models' instruction
+//! vulnerability rankings on the held-out validation programs (inversek2j,
+//! lu): Spearman ρ against the FI ground truth plus top-10%/top-20%
+//! protection-set overlap.
+//!
+//! Each validation benchmark is also scored against the
+//! *residency-weighted* FI ranking (`ranking_key × mean residency /
+//! total cycles`, see `GroundTruth::try_residency_weighted_vulnerability`)
+//! — the AVF-style view where long-lived corrupt values matter more. There
+//! is no paper number to match, so the JSON records the measurement; only
+//! sanity floors (finite metrics, non-empty campaigns) are enforced.
+//!
+//! Flags: `--out PATH` (default `BENCH_9.json`), `--quick` (or
+//! `GLAIVE_QUICK=1`) for a subsampled smoke run, `--no-cache` to bypass
+//! the artifact cache.
+
+use std::fmt::Write as _;
+
+use glaive::metrics::{spearman, top_k_overlap};
+use glaive::{
+    golden_timing_profile, residency_from_profile, train_models, BenchData, Error, Method,
+    Pipeline, PipelineConfig,
+};
+use glaive_bench::{cache_disabled, run_experiment, EXPERIMENT_SEED};
+use glaive_bench_suite::Split;
+
+struct Args {
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_9.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--quick" | "--no-cache" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+struct BenchRow {
+    name: &'static str,
+    covered: usize,
+    spearman: f64,
+    top10: f64,
+    top20: f64,
+    /// Spearman ρ against the residency-weighted FI ranking.
+    weighted_spearman: f64,
+}
+
+/// Prepares the suite under `config` (sharing the FI artifact cache with
+/// the other variant — timing features are an observer, not a campaign
+/// parameter, so both variants join onto identical ground truth).
+fn prepared_suite(config: PipelineConfig) -> Result<Vec<BenchData>, Error> {
+    let mut builder = Pipeline::builder(config);
+    if !cache_disabled() {
+        builder = builder.default_cache();
+    }
+    let pipeline = builder.build()?;
+    let mut report = pipeline.prepare_suite_supervised(EXPERIMENT_SEED);
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
+    report.check_quorum(config.quorum)?;
+    Ok(report.take_prepared())
+}
+
+/// Trains GLAIVE on the train/test split and scores its ranking on every
+/// validation benchmark.
+fn evaluate_variant(config: PipelineConfig, label: &str) -> Result<Vec<BenchRow>, Error> {
+    eprintln!(
+        "[{label}] preparing suite (seed {EXPERIMENT_SEED}, bit stride {}, timing features {})...",
+        config.bit_stride, config.timing_features
+    );
+    let suite = prepared_suite(config)?;
+    let train: Vec<&BenchData> = suite
+        .iter()
+        .filter(|d| d.bench.split == Split::TrainTest)
+        .collect();
+    eprintln!("[{label}] training GLAIVE on {} benchmarks...", train.len());
+    let models = train_models(&train, &config);
+
+    let mut rows = Vec::new();
+    for d in suite.iter().filter(|d| d.bench.split == Split::Validation) {
+        let predicted = models.estimate(Method::Glaive, d);
+        // The residency-weighted FI ranking, from the validation program's
+        // own golden-run profile.
+        let profile = golden_timing_profile(&d.bench);
+        let weighted = d
+            .truth
+            .clone()
+            .with_residency(residency_from_profile(&profile))
+            .expect("profile is shaped like the program")
+            .try_residency_weighted_vulnerability()
+            .expect("residency attached");
+
+        let mut truth_scores = Vec::new();
+        let mut weighted_scores = Vec::new();
+        let mut pred_scores = Vec::new();
+        for (i, pc) in d.covered_pcs().into_iter().enumerate() {
+            if let Some(p) = predicted[pc] {
+                truth_scores.push(d.fi_tuples[pc].expect("covered").ranking_key());
+                debug_assert_eq!(weighted[i].0, pc);
+                weighted_scores.push(weighted[i].1);
+                pred_scores.push(p.ranking_key());
+            }
+        }
+        let n = truth_scores.len();
+        assert!(n > 0, "{}: campaign covered nothing", d.bench.name);
+        let k10 = (n as f64 * 0.10).ceil() as usize;
+        let k20 = (n as f64 * 0.20).ceil() as usize;
+        let row = BenchRow {
+            name: d.bench.name,
+            covered: n,
+            spearman: spearman(&truth_scores, &pred_scores),
+            top10: top_k_overlap(&truth_scores, &pred_scores, k10),
+            top20: top_k_overlap(&truth_scores, &pred_scores, k20),
+            weighted_spearman: spearman(&weighted_scores, &pred_scores),
+        };
+        assert!(
+            row.spearman.is_finite()
+                && row.top10.is_finite()
+                && row.top20.is_finite()
+                && row.weighted_spearman.is_finite(),
+            "{}: non-finite ranking metrics",
+            row.name
+        );
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn mean(rows: &[BenchRow], f: impl Fn(&BenchRow) -> f64) -> f64 {
+    rows.iter().map(f).sum::<f64>() / rows.len() as f64
+}
+
+fn rows_json(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "      {{\"name\": \"{}\", \"covered\": {}, \"spearman\": {:.6}, \
+             \"top10_overlap\": {:.6}, \"top20_overlap\": {:.6}, \
+             \"weighted_spearman\": {:.6}}}{sep}",
+            r.name, r.covered, r.spearman, r.top10, r.top20, r.weighted_spearman
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+fn main() -> std::process::ExitCode {
+    run_experiment(|| {
+        let args = parse_args();
+        let base = glaive_bench::experiment_config();
+        let timed_config = base
+            .to_builder()
+            .timing_features(true)
+            .build()
+            .expect("base config stays valid");
+
+        let static_rows = evaluate_variant(base, "static")?;
+        let timed_rows = evaluate_variant(timed_config, "timing")?;
+
+        println!("variant\tbench\tcovered\tspearman\ttop10\ttop20\tweighted_rho");
+        for (label, rows) in [("static", &static_rows), ("timing", &timed_rows)] {
+            for r in rows {
+                println!(
+                    "{label}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                    r.name, r.covered, r.spearman, r.top10, r.top20, r.weighted_spearman
+                );
+            }
+        }
+        let delta = mean(&timed_rows, |r| r.spearman) - mean(&static_rows, |r| r.spearman);
+        println!("delta_mean_spearman\t{delta:.3}");
+
+        let json = format!(
+            "{{\n  \"seed\": {EXPERIMENT_SEED},\n  \"bit_stride\": {},\n  \
+             \"instances_per_site\": {},\n  \"eval_split\": \"validation\",\n  \
+             \"delta_mean_spearman\": {delta:.6},\n  \"variants\": {{\n    \
+             \"static\": {{\n      \"mean_spearman\": {:.6},\n      \
+             \"mean_top10_overlap\": {:.6},\n      \"mean_top20_overlap\": {:.6},\n      \
+             \"mean_weighted_spearman\": {:.6},\n      \"benchmarks\": [\n{}    ]\n    }},\n    \
+             \"timing\": {{\n      \"mean_spearman\": {:.6},\n      \
+             \"mean_top10_overlap\": {:.6},\n      \"mean_top20_overlap\": {:.6},\n      \
+             \"mean_weighted_spearman\": {:.6},\n      \"benchmarks\": [\n{}    ]\n    }}\n  }}\n}}\n",
+            base.bit_stride,
+            base.instances_per_site,
+            mean(&static_rows, |r| r.spearman),
+            mean(&static_rows, |r| r.top10),
+            mean(&static_rows, |r| r.top20),
+            mean(&static_rows, |r| r.weighted_spearman),
+            rows_json(&static_rows),
+            mean(&timed_rows, |r| r.spearman),
+            mean(&timed_rows, |r| r.top10),
+            mean(&timed_rows, |r| r.top20),
+            mean(&timed_rows, |r| r.weighted_spearman),
+            rows_json(&timed_rows),
+        );
+        std::fs::write(&args.out, json).expect("write results");
+        eprintln!("wrote {}", args.out);
+        Ok(())
+    })
+}

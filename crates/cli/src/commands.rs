@@ -40,6 +40,8 @@ usage:
                       [--queue-bound N] [--cache-shards N]
   glaive-cli query    <addr> <benchmark> [--seed N] [--stride N] [--top N]
   glaive-cli query    <addr> (--stats | --ping | --shutdown)
+  glaive-cli budget   <addr> <benchmark> [--seed N] [--stride N]
+                      [--overhead-pct N]
 
 global flags: --verbose (stage telemetry on stderr)
               --patience SECS (worker/query: keep retrying transient
@@ -90,6 +92,7 @@ struct Flags {
     out: Option<String>,
     patience_secs: Option<u64>,
     train_threads: usize,
+    overhead_pct: u32,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
@@ -121,6 +124,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
         out: None,
         patience_secs: None,
         train_threads: 0,
+        overhead_pct: 5,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -185,6 +189,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
             "--stride" => flags.stride = value(&mut it)? as usize,
             "--instances" => flags.instances = value(&mut it)? as usize,
             "--train-threads" => flags.train_threads = value(&mut it)? as usize,
+            "--overhead-pct" => flags.overhead_pct = value(&mut it)? as u32,
             "--top" => flags.top = value(&mut it)? as usize,
             other => return Err(format!("unknown flag {other}").into()),
         }
@@ -244,6 +249,11 @@ pub fn dispatch(args: &[String]) -> CliResult {
                 _ => (None, &args[2..]),
             };
             cmd_query(addr, name, &parse_flags(rest)?)
+        }
+        Some("budget") => {
+            let addr = args.get(1).ok_or("budget needs a server address")?;
+            let name = args.get(2).ok_or("budget needs a benchmark name")?;
+            cmd_budget(addr, name, &parse_flags(&args[3..])?)
         }
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("no command given".into()),
@@ -780,6 +790,58 @@ fn cmd_query_resilient(
     Ok(())
 }
 
+/// `budget`: asks a running server for a protection set under a cycle
+/// budget (`--overhead-pct`% of the benchmark's golden-run cycles) and
+/// renders the chosen instructions with their costs and scores.
+fn cmd_budget(addr: &str, name: &str, flags: &Flags) -> CliResult {
+    // Resolve locally too, so the reply's PCs render as instructions.
+    let b = find_benchmark(name, flags.seed)?;
+    let mut client = ResilientClient::new(addr, retry_from_flags(flags));
+    let chaos = chaos_from_env();
+    if let Some(plan) = &chaos {
+        client = client.with_chaos(plan.clone(), u64::from(std::process::id()) << 32);
+    }
+    let reply = client.budget(
+        &ProgramSpec::Suite {
+            name: name.to_string(),
+            seed: flags.seed,
+        },
+        flags.stride as u32,
+        flags.overhead_pct,
+    )?;
+    let report = client.report();
+    if report.retries > 0 {
+        eprintln!(
+            "budget survived {} transient failures ({} reconnects, {} busy replies)",
+            report.retries, report.reconnects, report.busy_responses
+        );
+    }
+    if let Some(plan) = &chaos {
+        print_chaos_report(plan);
+    }
+    println!(
+        "{name}: protect {} instructions within {}% overhead \
+         ({} of {} budget cycles spent, golden run {} cycles)",
+        reply.items.len(),
+        flags.overhead_pct,
+        reply.spent_cycles,
+        reply.budget_cycles,
+        reply.total_cycles
+    );
+    println!("{:<6} {:>8} {:>7}  instruction", "pc", "cycles", "score");
+    for item in &reply.items {
+        println!(
+            "{:<6} {:>8} {:>7.3}  {}",
+            item.pc,
+            item.cycles,
+            item.score,
+            b.program().instrs()[item.pc as usize]
+        );
+    }
+    println!("covered vulnerability: {:.3}", reply.covered);
+    Ok(())
+}
+
 /// Builds the node feature matrix of a graph as an owned `Matrix`.
 fn glaive_nn_matrix(g: &Cdfg) -> glaive_nn::Matrix {
     glaive_nn::Matrix::from_vec(g.node_count(), glaive_cdfg::FEATURE_DIM, g.feature_matrix())
@@ -908,6 +970,26 @@ mod tests {
             pipeline_config(&full).sage.epochs,
             PipelineConfig::default().sage.epochs
         );
+    }
+
+    #[test]
+    fn budget_argument_errors_and_flags() {
+        assert!(
+            dispatch(&argv(&["budget"])).is_err(),
+            "budget needs an address"
+        );
+        assert!(
+            dispatch(&argv(&["budget", "127.0.0.1:6"])).is_err(),
+            "budget needs a benchmark"
+        );
+        // An unknown benchmark is rejected before any connection attempt.
+        assert!(dispatch(&argv(&["budget", "127.0.0.1:6", "nonexistent"])).is_err());
+        let f = parse_flags(&argv(&["--overhead-pct", "12"])).expect("parses");
+        assert_eq!(f.overhead_pct, 12);
+        let defaults = parse_flags(&[]).expect("parses");
+        assert_eq!(defaults.overhead_pct, 5);
+        assert!(parse_flags(&argv(&["--overhead-pct"])).is_err());
+        assert!(parse_flags(&argv(&["--overhead-pct", "lots"])).is_err());
     }
 
     #[test]

@@ -63,7 +63,8 @@ mod truth_source;
 pub use cache::{model_key, truth_key, ArtifactCache, CacheKey};
 pub use config::{PipelineConfig, PipelineConfigBuilder, QuorumPolicy};
 pub use data::{
-    prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite, train_set, BenchData,
+    golden_timing_profile, prepare_benchmark, prepare_benchmark_with_graph_stride, prepare_suite,
+    residency_from_profile, train_set, BenchData,
 };
 pub use error::Error;
 pub use models::{aggregate_bit_probs, train_models, Method, Models};

@@ -47,4 +47,7 @@ pub use campaign::{
 };
 pub use checkpoint::{CampaignCheckpoint, CheckpointSink, FileCheckpoint, MemoryCheckpoint};
 pub use serdes::TruthDecodeError;
-pub use truth::{BitSite, GroundTruth, InjectionRecord, InstrVulnerability, TruthError, VulnTuple};
+pub use truth::{
+    BitSite, GroundTruth, InjectionRecord, InstrVulnerability, PcResidency, Residency, TruthError,
+    VulnTuple,
+};

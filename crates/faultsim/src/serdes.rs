@@ -13,11 +13,19 @@ use std::fmt;
 
 use glaive_sim::{ExitStatus, OperandSlot, Outcome, RunResult, Trap};
 
-use crate::truth::{BitSite, GroundTruth, InjectionRecord};
+use crate::truth::{BitSite, GroundTruth, InjectionRecord, PcResidency, Residency};
 
 /// Magic + format version. Bump the trailing digits on any layout change:
 /// decoders reject other versions (the cache recomputes instead).
 const MAGIC: &[u8; 8] = b"GLVFIT01";
+
+/// Marker opening the optional residency extension section, appended after
+/// the `predicted` count for truths carrying timing data. Artifacts without
+/// residency stay byte-identical to the pre-extension layout, so the
+/// default campaign path (and everything downstream of it — the artifact
+/// cache, the distributed fabric's byte-compare) is unaffected by the
+/// timing subsystem existing.
+const RESIDENCY_MARKER: &[u8; 4] = b"RSDY";
 
 /// Error returned when decoding serialised ground truth.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,6 +216,17 @@ impl GroundTruth {
         }
         put_usize(&mut out, self.predicted_injections());
 
+        // Optional residency extension (timing-layer campaigns only).
+        if let Some(res) = self.residency() {
+            out.extend_from_slice(RESIDENCY_MARKER);
+            out.extend_from_slice(&res.total_cycles().to_le_bytes());
+            put_usize(&mut out, res.per_pc().len());
+            for p in res.per_pc() {
+                out.extend_from_slice(&p.sum.to_le_bytes());
+                out.extend_from_slice(&p.count.to_le_bytes());
+            }
+        }
+
         let checksum = fnv1a(&out[MAGIC.len()..]);
         out.extend_from_slice(&checksum.to_le_bytes());
         out
@@ -263,18 +282,43 @@ impl GroundTruth {
         let output = (0..output_len).map(|_| r.u64()).collect::<Result<_, _>>()?;
         let dyn_instrs = r.u64()?;
         let exec_len = r.count(8)?;
-        let exec_counts = (0..exec_len).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let exec_counts: Vec<u64> = (0..exec_len).map(|_| r.u64()).collect::<Result<_, _>>()?;
         let predicted = r.usize()?;
         if predicted > records.len() {
             return Err(TruthDecodeError::Corrupt(
                 "predicted count exceeds record count",
             ));
         }
+
+        // Optional residency extension: pre-extension artifacts end here
+        // and decode with no residency attached; extended artifacts carry
+        // a marker-prefixed section before the checksum.
+        let residency = if r.pos != head.len() {
+            if r.take(RESIDENCY_MARKER.len())? != RESIDENCY_MARKER {
+                return Err(TruthDecodeError::Corrupt("unknown extension marker"));
+            }
+            let total_cycles = r.u64()?;
+            let len = r.count(16)?;
+            if len != exec_counts.len() {
+                return Err(TruthDecodeError::Corrupt("residency table length mismatch"));
+            }
+            let per_pc = (0..len)
+                .map(|_| {
+                    Ok(PcResidency {
+                        sum: r.u64()?,
+                        count: r.u64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, TruthDecodeError>>()?;
+            Some(Residency::new(total_cycles, per_pc))
+        } else {
+            None
+        };
         if r.pos != head.len() {
             return Err(TruthDecodeError::Corrupt("trailing bytes after payload"));
         }
 
-        Ok(GroundTruth::new(
+        let truth = GroundTruth::new(
             name,
             records,
             RunResult {
@@ -284,7 +328,13 @@ impl GroundTruth {
                 exec_counts,
             },
             predicted,
-        ))
+        );
+        match residency {
+            Some(res) => truth
+                .with_residency(res)
+                .map_err(|_| TruthDecodeError::Corrupt("residency table length mismatch")),
+            None => Ok(truth),
+        }
     }
 }
 
@@ -362,6 +412,96 @@ mod tests {
             assert!(
                 GroundTruth::from_bytes(&tampered).is_err(),
                 "flip at {pos} must fail"
+            );
+        }
+    }
+
+    /// `sample_truth` with a synthetic residency table attached.
+    fn extended_truth() -> GroundTruth {
+        let truth = sample_truth();
+        let per_pc: Vec<PcResidency> = (0..truth.golden().exec_counts.len())
+            .map(|pc| PcResidency {
+                sum: (pc as u64) * 3 + 1,
+                count: (pc as u64 % 2) + 1,
+            })
+            .collect();
+        truth
+            .with_residency(Residency::new(12_345, per_pc))
+            .expect("table covers program")
+    }
+
+    #[test]
+    fn residency_extension_roundtrips() {
+        let truth = extended_truth();
+        let restored = GroundTruth::from_bytes(&truth.to_bytes()).expect("roundtrip");
+        assert_eq!(restored.records(), truth.records());
+        assert_eq!(restored.residency(), truth.residency());
+        assert_eq!(
+            restored
+                .try_residency_weighted_vulnerability()
+                .expect("residency attached"),
+            truth
+                .try_residency_weighted_vulnerability()
+                .expect("residency attached"),
+        );
+    }
+
+    #[test]
+    fn new_reader_opens_pre_extension_files_with_residency_absent() {
+        // A truth without residency serialises to the pre-extension layout
+        // byte-for-byte (no marker anywhere), which is exactly what an
+        // old-format file on disk looks like.
+        let plain = sample_truth().to_bytes();
+        assert!(
+            !plain.windows(4).any(|w| w == RESIDENCY_MARKER),
+            "default artifact must not carry the extension"
+        );
+        let restored = GroundTruth::from_bytes(&plain).expect("old layout decodes");
+        assert!(restored.residency().is_none());
+        assert!(matches!(
+            restored.try_residency_weighted_vulnerability(),
+            Err(crate::TruthError::ResidencyUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn stripping_the_extension_recovers_the_old_layout_exactly() {
+        // The extension occupies exactly the span between `predicted` and
+        // the checksum: removing it and re-sealing the checksum must yield
+        // the plain serialisation byte-for-byte. This pins the layout — an
+        // old-format reader sees extended files as "payload + extra bytes"
+        // and rejects them cleanly (typed error, never a misparse), while
+        // every artifact the default campaign path writes stays readable
+        // by pre-extension code.
+        let plain = sample_truth().to_bytes();
+        let extended = extended_truth().to_bytes();
+        assert!(extended.len() > plain.len());
+        let mut stripped = extended[..plain.len() - 8].to_vec();
+        let checksum = fnv1a(&stripped[MAGIC.len()..]);
+        stripped.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn extended_artifact_rejects_every_byte_flip() {
+        let bytes = extended_truth().to_bytes();
+        for pos in 0..bytes.len() {
+            let mut tampered = bytes.clone();
+            tampered[pos] ^= 0x40;
+            assert!(
+                GroundTruth::from_bytes(&tampered).is_err(),
+                "flip at {pos} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_artifact_rejects_every_truncation() {
+        let bytes = extended_truth().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                GroundTruth::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
             );
         }
     }

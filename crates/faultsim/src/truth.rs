@@ -16,6 +16,20 @@ pub enum TruthError {
         /// What was being aggregated (e.g. the program name).
         subject: String,
     },
+    /// A residency-weighted statistic was requested but the campaign was
+    /// run without the timing layer attached.
+    ResidencyUnavailable {
+        /// The program whose truth lacks residency data.
+        subject: String,
+    },
+    /// Residency data does not cover the program (per-PC table length
+    /// differs from the golden run's instruction count).
+    ResidencyMismatch {
+        /// Instructions in the golden run.
+        expected: usize,
+        /// Entries in the offered residency table.
+        got: usize,
+    },
 }
 
 impl fmt::Display for TruthError {
@@ -26,6 +40,20 @@ impl fmt::Display for TruthError {
                     f,
                     "`{subject}` has no fault-injection observations; vulnerability \
                      statistics need at least one observation"
+                )
+            }
+            TruthError::ResidencyUnavailable { subject } => {
+                write!(
+                    f,
+                    "`{subject}` carries no residency data; re-run the campaign with \
+                     the timing layer to weight vulnerability by residency"
+                )
+            }
+            TruthError::ResidencyMismatch { expected, got } => {
+                write!(
+                    f,
+                    "residency table covers {got} instructions but the program has \
+                     {expected}"
                 )
             }
         }
@@ -126,6 +154,62 @@ impl VulnTuple {
     }
 }
 
+/// Residency accounting for one static instruction: how long the values it
+/// defines stay live (cycles from definition to last use before overwrite),
+/// summed over all closed definition intervals of a golden run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcResidency {
+    /// Summed residency cycles over all definitions at this PC.
+    pub sum: u64,
+    /// Number of definition intervals behind `sum`.
+    pub count: u64,
+}
+
+impl PcResidency {
+    /// Mean cycles a value defined here stayed live, or `None` when the
+    /// instruction defined nothing.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Timing-derived residency data for one golden run, produced by the
+/// `glaive-timing` observer and attachable to a [`GroundTruth`] via
+/// [`GroundTruth::with_residency`].
+///
+/// Stored as exact integers (cycle sums and interval counts, not means) so
+/// the GLVFIT01 extension serialises without rounding and two campaigns
+/// over the same inputs produce byte-identical artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Residency {
+    total_cycles: u64,
+    per_pc: Vec<PcResidency>,
+}
+
+impl Residency {
+    /// Assembles residency data: the run's total cycle count and one
+    /// [`PcResidency`] per static instruction (indexed by PC).
+    pub fn new(total_cycles: u64, per_pc: Vec<PcResidency>) -> Self {
+        Residency {
+            total_cycles,
+            per_pc,
+        }
+    }
+
+    /// Total cycles of the profiled golden run.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Per-instruction residency table, indexed by PC.
+    pub fn per_pc(&self) -> &[PcResidency] {
+        &self.per_pc
+    }
+}
+
 /// Per-instruction FI result: the tuple plus the number of injections that
 /// produced it (used as the program-vulnerability weight).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +229,7 @@ pub struct GroundTruth {
     records: Vec<InjectionRecord>,
     golden: RunResult,
     predicted: usize,
+    residency: Option<Residency>,
 }
 
 impl GroundTruth {
@@ -159,6 +244,7 @@ impl GroundTruth {
             records,
             golden,
             predicted,
+            residency: None,
         }
     }
 
@@ -292,6 +378,72 @@ impl GroundTruth {
         .map_err(|_| TruthError::NoObservations {
             subject: self.program_name.clone(),
         })
+    }
+
+    /// Timing-derived residency data, when the campaign was run with the
+    /// timing layer attached.
+    pub fn residency(&self) -> Option<&Residency> {
+        self.residency.as_ref()
+    }
+
+    /// Attaches residency data from an observed golden run, enabling
+    /// [`GroundTruth::try_residency_weighted_vulnerability`] and the
+    /// optional GLVFIT01 extension section. Attaching nothing keeps the
+    /// serialised artifact byte-identical to the pre-timing layout.
+    ///
+    /// # Errors
+    ///
+    /// [`TruthError::ResidencyMismatch`] when the residency table does not
+    /// have exactly one entry per static instruction of the golden run.
+    pub fn with_residency(mut self, residency: Residency) -> Result<GroundTruth, TruthError> {
+        if residency.per_pc().len() != self.golden.exec_counts.len() {
+            return Err(TruthError::ResidencyMismatch {
+                expected: self.golden.exec_counts.len(),
+                got: residency.per_pc().len(),
+            });
+        }
+        self.residency = Some(residency);
+        Ok(self)
+    }
+
+    /// Residency-weighted vulnerability, the AVF-style refinement of
+    /// [`GroundTruth::try_instruction_vulnerability`]: each instruction's
+    /// severity key (`2·I_C + I_S`) is scaled by the fraction of the run
+    /// its defined values stay live (`mean residency / total cycles`).
+    ///
+    /// An instruction whose corrupt result is overwritten immediately
+    /// scores near zero even if individual injections misbehaved badly; an
+    /// instruction feeding a long-lived value keeps its full severity.
+    /// Instructions that define nothing (stores, branches, output) score
+    /// zero — this metric ranks *definition sites* for protection.
+    ///
+    /// Returns `(pc, weighted score)` pairs ordered by PC, for every
+    /// instruction with at least one injection.
+    ///
+    /// # Errors
+    ///
+    /// [`TruthError::ResidencyUnavailable`] when no residency data is
+    /// attached, and any error of the unweighted aggregation.
+    pub fn try_residency_weighted_vulnerability(&self) -> Result<Vec<(usize, f64)>, TruthError> {
+        let residency =
+            self.residency
+                .as_ref()
+                .ok_or_else(|| TruthError::ResidencyUnavailable {
+                    subject: self.program_name.clone(),
+                })?;
+        let total = residency.total_cycles().max(1) as f64;
+        Ok(self
+            .try_instruction_vulnerability()?
+            .into_iter()
+            .map(|iv| {
+                let mean = residency
+                    .per_pc()
+                    .get(iv.pc)
+                    .and_then(PcResidency::mean)
+                    .unwrap_or(0.0);
+                (iv.pc, iv.tuple.ranking_key() * (mean / total))
+            })
+            .collect())
     }
 
     /// Number of instructions that received at least one injection.
@@ -455,6 +607,55 @@ mod tests {
             .expect_err("empty")
             .to_string();
         assert!(msg.contains("at least one observation"), "{msg}");
+    }
+
+    #[test]
+    fn residency_weighting_scales_severity_by_liveness() {
+        let t = truth(vec![record(0, 0, Outcome::Crash)]);
+        // No residency attached: typed error, not a panic.
+        assert!(matches!(
+            t.try_residency_weighted_vulnerability(),
+            Err(TruthError::ResidencyUnavailable { subject }) if subject == "t"
+        ));
+
+        // The helper's golden run has one instruction; a value live for
+        // half the run halves the pure-crash severity key (2.0 -> 1.0).
+        let res = Residency::new(100, vec![PcResidency { sum: 50, count: 1 }]);
+        let t = t.with_residency(res.clone()).expect("table covers program");
+        assert_eq!(t.residency(), Some(&res));
+        let weighted = t
+            .try_residency_weighted_vulnerability()
+            .expect("residency attached");
+        assert_eq!(weighted.len(), 1);
+        assert_eq!(weighted[0].0, 0);
+        assert!((weighted[0].1 - 1.0).abs() < 1e-12, "{weighted:?}");
+    }
+
+    #[test]
+    fn residency_with_no_definitions_scores_zero() {
+        let t = truth(vec![record(0, 0, Outcome::Crash)]);
+        let res = Residency::new(100, vec![PcResidency::default()]);
+        let t = t.with_residency(res).expect("table covers program");
+        let weighted = t
+            .try_residency_weighted_vulnerability()
+            .expect("residency attached");
+        assert_eq!(weighted, vec![(0, 0.0)]);
+        assert_eq!(PcResidency::default().mean(), None);
+    }
+
+    #[test]
+    fn mismatched_residency_table_is_rejected() {
+        let t = truth(vec![record(0, 0, Outcome::Sdc)]);
+        let res = Residency::new(10, vec![PcResidency::default(); 3]);
+        let err = t.with_residency(res).expect_err("wrong length");
+        assert_eq!(
+            err,
+            TruthError::ResidencyMismatch {
+                expected: 1,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("covers 3 instructions"));
     }
 
     #[test]

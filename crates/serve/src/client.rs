@@ -25,8 +25,8 @@ use std::time::Duration;
 use glaive_wire::{sleep_cancellable, Backoff, ChaosPlan, RetryPolicy};
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request,
-    Response, StatsReply,
+    read_frame, write_frame, BudgetReply, ErrorCode, PredictReply, ProgramSpec, ProtocolError,
+    Request, Response, StatsReply,
 };
 
 /// Read/write deadline on a bare [`Client`] connection: a server that
@@ -199,6 +199,33 @@ impl Client {
             },
             |r| match r {
                 Response::Predict(p) => Some(p),
+                _ => None,
+            },
+        )
+    }
+
+    /// Asks the server to pick a protection set for `spec` under a cycle
+    /// budget of `overhead_pct`% of the program's golden-run runtime.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::predict`]; additionally a typed `BadRequest` when
+    /// the golden run of `spec` does not halt cleanly (the budget is
+    /// undefined without a finished baseline).
+    pub fn budget(
+        &mut self,
+        spec: ProgramSpec,
+        stride: u32,
+        overhead_pct: u32,
+    ) -> Result<BudgetReply, ClientError> {
+        self.expect(
+            &Request::Budget {
+                spec,
+                stride,
+                overhead_pct,
+            },
+            |r| match r {
+                Response::Budget(b) => Some(b),
                 _ => None,
             },
         )
@@ -396,6 +423,20 @@ impl ResilientClient {
         want_bits: bool,
     ) -> Result<PredictReply, ClientError> {
         self.with_retry(|c| c.predict(spec.clone(), stride, top_k, want_bits))
+    }
+
+    /// [`Client::budget`] with retry-on-transient.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResilientClient::predict`].
+    pub fn budget(
+        &mut self,
+        spec: &ProgramSpec,
+        stride: u32,
+        overhead_pct: u32,
+    ) -> Result<BudgetReply, ClientError> {
+        self.with_retry(|c| c.budget(spec.clone(), stride, overhead_pct))
     }
 
     /// [`Client::stats`] with retry-on-transient.

@@ -55,6 +55,7 @@ pub use batch::{BatchResult, BatchWorkspace, InferenceJob, JobQueue};
 pub use cache::{program_fingerprint, GraphCache, PreparedProgram};
 pub use client::{Client, ClientError, ClientReport, ResilientClient};
 pub use protocol::{
-    ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request, Response, StatsReply, WireTuple,
+    BudgetItem, BudgetReply, ErrorCode, PredictReply, ProgramSpec, ProtocolError, Request,
+    Response, StatsReply, WireTuple,
 };
 pub use server::{ServeError, Server, ServerConfig, ServerHandle};

@@ -89,6 +89,21 @@ pub enum Request {
         /// differential tests; larger frames).
         want_bits: bool,
     },
+    /// Select a protection set under a cycle-overhead budget: rank the
+    /// program's instructions by estimated vulnerability, cost each by its
+    /// golden-run cycle share under the in-order timing model, and greedily
+    /// maximise covered vulnerability subject to the budget (deterministic
+    /// density order, ties broken by ascending PC).
+    Budget {
+        /// The program to protect.
+        spec: ProgramSpec,
+        /// CDFG bit stride, as for [`Request::Predict`].
+        stride: u32,
+        /// Protection budget as a percentage of the program's golden-run
+        /// cycles (e.g. 5 ⇒ the selected instructions' cycles may total up
+        /// to 5% of total cycles).
+        overhead_pct: u32,
+    },
     /// Read the server's counters.
     Stats,
     /// Liveness probe.
@@ -114,6 +129,38 @@ pub struct PredictReply {
     pub batch_size: u32,
     /// Per-node class probability rows, when the request set `want_bits`.
     pub bit_probs: Option<Vec<WireTuple>>,
+}
+
+/// One instruction picked (or considered) by the budgeted selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetItem {
+    /// Program counter of the protected instruction.
+    pub pc: u32,
+    /// Its protection cost: golden-run cycles spent at this PC under the
+    /// in-order timing model.
+    pub cycles: u64,
+    /// Its estimated vulnerability score (the model ranking key
+    /// `2·crash + sdc`).
+    pub score: f32,
+}
+
+/// The body of a successful budget response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetReply {
+    /// The selected protection set, in pick (descending density) order.
+    pub items: Vec<BudgetItem>,
+    /// Bit-level CDFG nodes the estimate aggregated over.
+    pub node_count: u32,
+    /// How many coalesced requests shared this forward pass (≥ 1).
+    pub batch_size: u32,
+    /// Golden-run total cycles of the program.
+    pub total_cycles: u64,
+    /// The cycle budget derived from the requested overhead percentage.
+    pub budget_cycles: u64,
+    /// Cycles actually spent by the selected set (≤ `budget_cycles`).
+    pub spent_cycles: u64,
+    /// Summed vulnerability score covered by the selection.
+    pub covered: f32,
 }
 
 /// Server counters, as returned by [`Request::Stats`].
@@ -204,6 +251,8 @@ impl fmt::Display for ErrorCode {
 pub enum Response {
     /// A successful prediction.
     Predict(PredictReply),
+    /// A successful budgeted protection-set selection.
+    Budget(BudgetReply),
     /// Server counters.
     Stats(StatsReply),
     /// Reply to [`Request::Ping`].
@@ -235,11 +284,13 @@ const OP_PREDICT: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_PING: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_BUDGET: u8 = 0x05;
 const OP_R_PREDICT: u8 = 0x81;
 const OP_R_STATS: u8 = 0x82;
 const OP_R_PONG: u8 = 0x83;
 const OP_R_SHUTDOWN: u8 = 0x84;
 const OP_R_BUSY: u8 = 0x85;
+const OP_R_BUDGET: u8 = 0x86;
 const OP_R_ERROR: u8 = 0xff;
 
 /// Validates the `GLVSRV02` magic and checksum, returning a reader over
@@ -283,6 +334,14 @@ impl Request {
                     .u8(*want_bits as u8);
                 encode_spec(&mut b, spec);
             }
+            Request::Budget {
+                spec,
+                stride,
+                overhead_pct,
+            } => {
+                b.u8(OP_BUDGET).u32(*stride).u32(*overhead_pct);
+                encode_spec(&mut b, spec);
+            }
             Request::Stats => {
                 b.u8(OP_STATS);
             }
@@ -319,6 +378,16 @@ impl Request {
                     stride,
                     top_k,
                     want_bits,
+                }
+            }
+            OP_BUDGET => {
+                let stride = r.u32()?;
+                let overhead_pct = r.u32()?;
+                let spec = decode_spec(&mut r)?;
+                Request::Budget {
+                    spec,
+                    stride,
+                    overhead_pct,
                 }
             }
             OP_STATS => Request::Stats,
@@ -405,6 +474,19 @@ impl Response {
                     }
                 }
             }
+            Response::Budget(p) => {
+                b.u8(OP_R_BUDGET)
+                    .u32(p.node_count)
+                    .u32(p.batch_size)
+                    .u64(p.total_cycles)
+                    .u64(p.budget_cycles)
+                    .u64(p.spent_cycles)
+                    .f32(p.covered)
+                    .u32(p.items.len() as u32);
+                for item in &p.items {
+                    b.u32(item.pc).u64(item.cycles).f32(item.score);
+                }
+            }
             Response::Stats(s) => {
                 b.u8(OP_R_STATS);
                 for v in [
@@ -488,6 +570,32 @@ impl Response {
                     bit_probs,
                 })
             }
+            OP_R_BUDGET => {
+                let node_count = r.u32()?;
+                let batch_size = r.u32()?;
+                let total_cycles = r.u64()?;
+                let budget_cycles = r.u64()?;
+                let spent_cycles = r.u64()?;
+                let covered = r.f32()?;
+                let n = r.counted(16)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(BudgetItem {
+                        pc: r.u32()?,
+                        cycles: r.u64()?,
+                        score: r.f32()?,
+                    });
+                }
+                Response::Budget(BudgetReply {
+                    items,
+                    node_count,
+                    batch_size,
+                    total_cycles,
+                    budget_cycles,
+                    spent_cycles,
+                    covered,
+                })
+            }
             OP_R_STATS => Response::Stats(StatsReply {
                 requests: r.u64()?,
                 predictions: r.u64()?,
@@ -551,6 +659,19 @@ mod tests {
                 top_k: 3,
                 want_bits: true,
             },
+            Request::Budget {
+                spec: ProgramSpec::Suite {
+                    name: "lu".into(),
+                    seed: 7,
+                },
+                stride: 8,
+                overhead_pct: 5,
+            },
+            Request::Budget {
+                spec: ProgramSpec::Raw(tiny_program()),
+                stride: 16,
+                overhead_pct: 50,
+            },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -565,6 +686,35 @@ mod tests {
                 node_count: 40,
                 batch_size: 3,
                 bit_probs: Some(vec![[0.1, 0.2, 0.7], [0.9, 0.05, 0.05]]),
+            }),
+            Response::Budget(BudgetReply {
+                items: vec![
+                    BudgetItem {
+                        pc: 3,
+                        cycles: 40,
+                        score: 1.5,
+                    },
+                    BudgetItem {
+                        pc: 0,
+                        cycles: 12,
+                        score: 0.25,
+                    },
+                ],
+                node_count: 40,
+                batch_size: 1,
+                total_cycles: 1000,
+                budget_cycles: 50,
+                spent_cycles: 48,
+                covered: 1.75,
+            }),
+            Response::Budget(BudgetReply {
+                items: Vec::new(),
+                node_count: 7,
+                batch_size: 2,
+                total_cycles: 64,
+                budget_cycles: 0,
+                spent_cycles: 0,
+                covered: 0.0,
             }),
             Response::Stats(StatsReply {
                 requests: 10,

@@ -41,16 +41,26 @@ use glaive_bench_suite::suite;
 use glaive_cdfg::CdfgConfig;
 use glaive_gnn::GraphSage;
 use glaive_isa::Program;
+use glaive_sim::ExecConfig;
+use glaive_timing::{try_profile, InOrderCost, ProtectionItem, ProtectionSelector, TimingProfile};
 use glaive_wire::{FramePoll, FrameReader, FrameWriter};
 
 use crate::batch::{BatchResult, BatchWorkspace, JobQueue};
 use crate::cache::{program_fingerprint, GraphCache, PreparedProgram};
 use crate::protocol::{
-    ErrorCode, Frame, PredictReply, ProgramSpec, Request, Response, StatsReply, WireTuple,
+    BudgetItem, BudgetReply, ErrorCode, Frame, PredictReply, ProgramSpec, Request, Response,
+    StatsReply, WireTuple,
 };
 
-/// Sleep between poll iterations that made no progress — the latency
-/// floor an idle event loop adds to a new arrival.
+/// Idle-backoff schedule for poll iterations that made no progress: spin
+/// (cheapest wake-up) for the first burst of idle iterations, then yield
+/// the CPU in 50 µs naps, and only fall back to the old 1 ms sleep once
+/// the loop has been idle long enough that latency no longer matters.
+/// This takes the idle event loop's added latency floor for a new arrival
+/// from ~1 ms to effectively zero under bursty load.
+const IDLE_SPIN_ITERS: u32 = 64;
+const IDLE_NAP_ITERS: u32 = 256;
+const IDLE_NAP: Duration = Duration::from_micros(50);
 const IDLE_SLEEP: Duration = Duration::from_millis(1);
 
 /// Frames decoded per connection per poll iteration, so one firehose
@@ -414,21 +424,41 @@ struct Token {
     seq: u64,
 }
 
-/// An admitted predict request on its way to the prep pool.
+/// What an admitted inference request asks the server to compute.
+enum TaskKind {
+    /// Per-instruction vulnerability estimates (the original opcode).
+    Predict { top_k: u32, want_bits: bool },
+    /// A budgeted protection-set selection over those estimates.
+    Budget { overhead_pct: u32 },
+}
+
+/// An admitted inference request on its way to the prep pool.
 struct PrepTask {
     token: Token,
     spec: ProgramSpec,
     stride: u32,
-    top_k: u32,
-    want_bits: bool,
+    kind: TaskKind,
+}
+
+/// What the batcher must do with a prepared program's forward pass.
+enum JobKind {
+    Predict {
+        top_k: u32,
+        want_bits: bool,
+    },
+    /// Budget selection carries the golden-run timing profile the prep
+    /// worker collected (the cost side of the knapsack).
+    Budget {
+        overhead_pct: u32,
+        profile: TimingProfile,
+    },
 }
 
 /// A prepared program on its way to the batcher.
 struct ServeJob {
     token: Token,
     prepared: Arc<PreparedProgram>,
-    top_k: u32,
-    want_bits: bool,
+    kind: JobKind,
 }
 
 /// A finished reply travelling back to the poll thread.
@@ -487,19 +517,25 @@ fn prep_loop(shared: &Shared, completions: &mpsc::Sender<Completion>) {
             token,
             spec,
             stride,
-            top_k,
-            want_bits,
+            kind,
         } = task;
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            prepare(shared, &spec, stride)
+            let (prepared, init_mem) = prepare(shared, &spec, stride)?;
+            let kind = match kind {
+                TaskKind::Predict { top_k, want_bits } => JobKind::Predict { top_k, want_bits },
+                TaskKind::Budget { overhead_pct } => JobKind::Budget {
+                    overhead_pct,
+                    profile: golden_profile(&prepared.program, &init_mem)?,
+                },
+            };
+            Ok::<_, Response>((prepared, kind))
         }));
         match built {
-            Ok(Ok(prepared)) => {
+            Ok(Ok((prepared, kind))) => {
                 let accepted = shared.batch_queue.push(ServeJob {
                     token,
                     prepared,
-                    top_k,
-                    want_bits,
+                    kind,
                 });
                 if !accepted {
                     complete(
@@ -527,13 +563,14 @@ fn prep_loop(shared: &Shared, completions: &mpsc::Sender<Completion>) {
     }
 }
 
-/// Resolves and prepares one predict request up to (but not including)
-/// inference.
+/// Resolves and prepares one inference request up to (but not including)
+/// inference, also handing back the program's input image (budget tasks
+/// profile the golden run on it).
 fn prepare(
     shared: &Shared,
     spec: &ProgramSpec,
     stride: u32,
-) -> Result<Arc<PreparedProgram>, Response> {
+) -> Result<(Arc<PreparedProgram>, Vec<u64>), Response> {
     let Some(cdfg_config) = usize::try_from(stride)
         .ok()
         .and_then(CdfgConfig::try_with_stride)
@@ -543,7 +580,7 @@ fn prepare(
             message: format!("stride {stride} outside 1..={}", glaive_isa::WORD_BITS),
         });
     };
-    let program = resolve_program(spec)?;
+    let (program, init_mem) = resolve_program(spec)?;
     let name = program.name().to_string();
 
     let key = program_fingerprint(&program, cdfg_config.bit_stride);
@@ -558,22 +595,49 @@ fn prepare(
     } else {
         shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
-    Ok(prepared)
+    Ok((prepared, init_mem))
 }
 
 /// Compiles the requested program (suite lookup or client-shipped raw
-/// instructions).
-fn resolve_program(spec: &ProgramSpec) -> Result<Program, Response> {
+/// instructions) together with its input memory image (empty for raw
+/// programs — the client shipped no inputs).
+fn resolve_program(spec: &ProgramSpec) -> Result<(Program, Vec<u64>), Response> {
     match spec {
         ProgramSpec::Suite { name, seed } => suite(*seed)
             .into_iter()
             .find(|b| b.name == name.as_str())
-            .map(|b| b.program().clone())
+            .map(|b| (b.program().clone(), b.init_mem))
             .ok_or_else(|| Response::Error {
                 code: ErrorCode::UnknownBenchmark,
                 message: format!("no suite benchmark named `{name}`"),
             }),
-        ProgramSpec::Raw(program) => Ok(program.clone()),
+        ProgramSpec::Raw(program) => Ok((program.clone(), Vec::new())),
+    }
+}
+
+/// Collects the golden-run timing profile a budget selection prices
+/// against. A program that traps, hangs past the execution budget, or
+/// ships an oversized input image cannot be priced — that is a typed
+/// rejection, not a server fault.
+fn golden_profile(program: &Program, init_mem: &[u64]) -> Result<TimingProfile, Response> {
+    match try_profile(
+        program,
+        init_mem,
+        &ExecConfig::default(),
+        InOrderCost::default(),
+    ) {
+        Ok((result, profile)) if result.status.is_clean() => Ok(profile),
+        Ok((result, _)) => Err(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "golden run did not halt cleanly ({:?}): cycle costs are undefined",
+                result.status
+            ),
+        }),
+        Err(e) => Err(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("golden run failed: {e}"),
+        }),
     }
 }
 
@@ -625,7 +689,15 @@ fn batcher_loop(model: &GraphSage, shared: &Shared, completions: &mpsc::Sender<C
             jobs.len() as u64,
         );
         for (job, result) in jobs.iter().zip(results) {
-            let resp = predict_reply(job, &result);
+            let resp = match &job.kind {
+                JobKind::Predict { top_k, want_bits } => {
+                    predict_reply(job, *top_k, *want_bits, &result)
+                }
+                JobKind::Budget {
+                    overhead_pct,
+                    profile,
+                } => budget_reply(job, *overhead_pct, profile, &result),
+            };
             shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
             complete(shared, completions, job.token, &resp);
         }
@@ -633,7 +705,7 @@ fn batcher_loop(model: &GraphSage, shared: &Shared, completions: &mpsc::Sender<C
 }
 
 /// Aggregates one job's slice of a batched result into its wire reply.
-fn predict_reply(job: &ServeJob, result: &BatchResult) -> Response {
+fn predict_reply(job: &ServeJob, top_k: u32, want_bits: bool, result: &BatchResult) -> Response {
     let prepared = &job.prepared;
     let program_len = prepared.program.len();
     let tuples = glaive::aggregate_bit_probs(&prepared.cdfg, program_len, &result.probs);
@@ -659,14 +731,14 @@ fn predict_reply(job: &ServeJob, result: &BatchResult) -> Response {
             .ranking_key();
         kb.total_cmp(&ka).then(a.cmp(&b))
     });
-    ranked.truncate(job.top_k as usize);
+    ranked.truncate(top_k as usize);
 
     Response::Predict(PredictReply {
         node_count: prepared.cdfg.node_count() as u32,
         batch_size: result.batch_size,
         tuples: wire_tuples,
         top_k: ranked,
-        bit_probs: job.want_bits.then(|| {
+        bit_probs: want_bits.then(|| {
             (0..result.probs.rows())
                 .map(|r| {
                     let row = result.probs.row(r);
@@ -674,6 +746,62 @@ fn predict_reply(job: &ServeJob, result: &BatchResult) -> Response {
                 })
                 .collect()
         }),
+    })
+}
+
+/// Turns one job's forward pass plus its golden-run profile into a
+/// budgeted protection set: instructions the model scored (value: the
+/// `2·crash + sdc` ranking key) that actually executed (cost: their
+/// golden-run cycles under the in-order model), greedily selected under a
+/// `overhead_pct`% cycle budget by [`ProtectionSelector`]. Fully
+/// deterministic: density order with cross-multiplied exact comparison,
+/// ties broken by ascending PC.
+fn budget_reply(
+    job: &ServeJob,
+    overhead_pct: u32,
+    profile: &TimingProfile,
+    result: &BatchResult,
+) -> Response {
+    let prepared = &job.prepared;
+    let program_len = prepared.program.len();
+    let tuples = glaive::aggregate_bit_probs(&prepared.cdfg, program_len, &result.probs);
+
+    let items: Vec<ProtectionItem> = tuples
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, t)| {
+            let t = (*t)?;
+            let timing = profile.per_pc.get(pc)?;
+            if timing.executions == 0 {
+                return None; // never executed: protecting it covers nothing
+            }
+            Some(ProtectionItem {
+                pc,
+                value: t.ranking_key(),
+                cost: timing.cycles,
+            })
+        })
+        .collect();
+
+    let selector = ProtectionSelector::with_overhead_pct(profile.total_cycles, overhead_pct);
+    let selection = selector.select(&items);
+
+    Response::Budget(BudgetReply {
+        items: selection
+            .chosen
+            .iter()
+            .map(|item| BudgetItem {
+                pc: item.pc as u32,
+                cycles: item.cost,
+                score: item.value as f32,
+            })
+            .collect(),
+        node_count: prepared.cdfg.node_count() as u32,
+        batch_size: result.batch_size,
+        total_cycles: profile.total_cycles,
+        budget_cycles: selection.budget,
+        spent_cycles: selection.spent,
+        covered: selection.covered as f32,
     })
 }
 
@@ -688,6 +816,8 @@ fn poll_loop(
     let mut free: Vec<usize> = Vec::new();
     let mut next_gen: u64 = 0;
     let mut drain_deadline: Option<Instant> = None;
+    // Consecutive no-progress iterations, driving the idle backoff.
+    let mut idle_iters: u32 = 0;
 
     loop {
         let mut progressed = false;
@@ -778,7 +908,16 @@ fn poll_loop(
         }
 
         if !progressed {
-            std::thread::sleep(IDLE_SLEEP);
+            idle_iters = idle_iters.saturating_add(1);
+            if idle_iters <= IDLE_SPIN_ITERS {
+                std::hint::spin_loop();
+            } else if idle_iters <= IDLE_NAP_ITERS {
+                std::thread::sleep(IDLE_NAP);
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        } else {
+            idle_iters = 0;
         }
     }
 }
@@ -910,54 +1049,88 @@ fn process_frame(conn: &mut Conn, idx: usize, shared: &Shared) {
             stride,
             top_k,
             want_bits,
-        }) => {
-            // Admission control. Only this thread admits, so the
-            // load-then-add pair cannot race another admitter.
-            let inflight = shared.admitted.load(Ordering::Relaxed);
-            if inflight >= shared.queue_bound {
-                shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                ready(
-                    shared,
-                    conn,
-                    Response::Busy {
-                        retry_after_ms: shared.busy_retry_ms,
-                    },
-                );
-                return;
-            }
-            shared.admitted.fetch_add(1, Ordering::Relaxed);
-            shared
-                .stats
-                .queue_depth_max
-                .fetch_max(inflight + 1, Ordering::Relaxed);
-            let seq = conn.next_seq;
-            conn.next_seq += 1;
-            let token = Token {
-                conn: idx,
-                gen: conn.gen,
-                seq,
-            };
-            conn.replies.push_back(ReplySlot::Waiting(seq));
-            let accepted = shared.prep_queue.push(PrepTask {
-                token,
-                spec,
-                stride,
-                top_k,
-                want_bits,
-            });
-            if !accepted {
-                // Draining: undo the admission and answer inline.
-                shared.admitted.fetch_sub(1, Ordering::Relaxed);
-                conn.replies.pop_back();
-                ready(
-                    shared,
-                    conn,
-                    Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server is draining".into(),
-                    },
-                );
-            }
+        }) => admit(
+            conn,
+            idx,
+            shared,
+            spec,
+            stride,
+            TaskKind::Predict { top_k, want_bits },
+        ),
+        Ok(Request::Budget {
+            spec,
+            stride,
+            overhead_pct,
+        }) => admit(
+            conn,
+            idx,
+            shared,
+            spec,
+            stride,
+            TaskKind::Budget { overhead_pct },
+        ),
+    }
+}
+
+/// Admission control for inference requests (predict and budget alike).
+/// Only the poll thread admits, so the load-then-add pair cannot race
+/// another admitter.
+fn admit(
+    conn: &mut Conn,
+    idx: usize,
+    shared: &Shared,
+    spec: ProgramSpec,
+    stride: u32,
+    kind: TaskKind,
+) {
+    fn ready(shared: &Shared, conn: &mut Conn, resp: Response) {
+        if matches!(resp, Response::Error { .. }) {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
+        conn.replies.push_back(ReplySlot::Ready(resp.to_frame()));
+    }
+    let inflight = shared.admitted.load(Ordering::Relaxed);
+    if inflight >= shared.queue_bound {
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        ready(
+            shared,
+            conn,
+            Response::Busy {
+                retry_after_ms: shared.busy_retry_ms,
+            },
+        );
+        return;
+    }
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .queue_depth_max
+        .fetch_max(inflight + 1, Ordering::Relaxed);
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let token = Token {
+        conn: idx,
+        gen: conn.gen,
+        seq,
+    };
+    conn.replies.push_back(ReplySlot::Waiting(seq));
+    let accepted = shared.prep_queue.push(PrepTask {
+        token,
+        spec,
+        stride,
+        kind,
+    });
+    if !accepted {
+        // Draining: undo the admission and answer inline.
+        shared.admitted.fetch_sub(1, Ordering::Relaxed);
+        conn.replies.pop_back();
+        ready(
+            shared,
+            conn,
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+            },
+        );
     }
 }

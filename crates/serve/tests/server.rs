@@ -240,6 +240,159 @@ fn response_frames_reject_every_single_byte_flip_and_truncation() {
     }
 }
 
+/// The flip/truncation property extends to the budget opcode pair: a
+/// tampered `BudgetQuery` request or reply never decodes.
+#[test]
+fn budget_frames_reject_every_single_byte_flip_and_truncation() {
+    let request = Request::Budget {
+        spec: ProgramSpec::Raw(programs().remove(1)),
+        stride: STRIDE as u32,
+        overhead_pct: 5,
+    };
+    let response = Response::Budget(glaive_serve::BudgetReply {
+        items: vec![
+            glaive_serve::BudgetItem {
+                pc: 2,
+                cycles: 31,
+                score: 1.5,
+            },
+            glaive_serve::BudgetItem {
+                pc: 5,
+                cycles: 9,
+                score: 0.25,
+            },
+        ],
+        node_count: 40,
+        batch_size: 1,
+        total_cycles: 800,
+        budget_cycles: 40,
+        spent_cycles: 40,
+        covered: 1.75,
+    });
+    let req_payload = request.to_frame().into_bytes();
+    let resp_payload = response.to_frame().into_bytes();
+    for (what, payload) in [("request", req_payload), ("response", resp_payload)] {
+        for pos in 0..payload.len() {
+            for flip in [0x01u8, 0xff] {
+                let mut tampered = payload.clone();
+                tampered[pos] ^= flip;
+                let rejected = if what == "request" {
+                    Request::from_frame(&tampered).is_err()
+                } else {
+                    Response::from_frame(&tampered).is_err()
+                };
+                assert!(
+                    rejected,
+                    "budget {what} flip {flip:#04x} at byte {pos} was not rejected"
+                );
+            }
+        }
+        for len in 0..payload.len() {
+            let rejected = if what == "request" {
+                Request::from_frame(&payload[..len]).is_err()
+            } else {
+                Response::from_frame(&payload[..len]).is_err()
+            };
+            assert!(
+                rejected,
+                "budget {what} truncation to {len} bytes was not rejected"
+            );
+        }
+    }
+}
+
+/// The budget opcode end-to-end: the same query twice against a live
+/// server returns identical replies (greedy selection is deterministic),
+/// the selection honors its own arithmetic (`budget = total·pct/100`,
+/// `spent ≤ budget`, `spent = Σ chosen cycles`, `covered = Σ chosen
+/// scores`), and chosen PCs are real instructions that executed.
+#[test]
+fn budget_query_is_deterministic_and_honors_the_cycle_budget() {
+    let program = programs().remove(1); // the looped kernel: uneven residency
+    let n_pcs = program.len();
+    let server = Server::bind(model(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = ProgramSpec::Raw(program);
+    let first = client
+        .budget(spec.clone(), STRIDE as u32, 50)
+        .expect("budget");
+    let second = client
+        .budget(spec.clone(), STRIDE as u32, 50)
+        .expect("budget again");
+    assert_eq!(first, second, "budget selection must be deterministic");
+
+    assert!(first.total_cycles > 0, "the golden run executed something");
+    assert_eq!(
+        first.budget_cycles,
+        first.total_cycles * 50 / 100,
+        "budget is the requested share of golden cycles"
+    );
+    assert!(first.spent_cycles <= first.budget_cycles, "over budget");
+    assert!(
+        !first.items.is_empty(),
+        "50% budget on a tiny kernel picks something"
+    );
+    assert_eq!(
+        first.spent_cycles,
+        first.items.iter().map(|i| i.cycles).sum::<u64>(),
+        "spent is the sum of chosen costs"
+    );
+    let score_sum: f32 = first.items.iter().map(|i| i.score).sum();
+    assert!(
+        (first.covered - score_sum).abs() < 1e-4,
+        "covered ≠ Σ scores"
+    );
+    for item in &first.items {
+        assert!((item.pc as usize) < n_pcs, "chosen PC outside the program");
+        assert!(item.cycles > 0, "a chosen PC must have executed");
+    }
+
+    // A zero budget picks nothing but still answers.
+    let zero = client.budget(spec, STRIDE as u32, 0).expect("zero budget");
+    assert!(zero.items.is_empty());
+    assert_eq!(zero.spent_cycles, 0);
+
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// A program whose golden run cannot finish (an infinite loop trips the
+/// instruction ceiling) is rejected with a typed `BadRequest` — the cycle
+/// budget is undefined without a finished baseline — and the server keeps
+/// serving.
+#[test]
+fn budget_query_rejects_programs_whose_golden_run_never_halts() {
+    let mut a = Asm::new("spinner");
+    let top = a.label();
+    a.bind(top)
+        .alu_imm(AluOp::Add, Reg(1), Reg(1), 1)
+        .branch(BranchCond::Eq, Reg(0), Reg(0), top)
+        .halt();
+    let spinner = a.finish().expect("assembles");
+
+    let server = Server::bind(model(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    match client.budget(ProgramSpec::Raw(spinner), STRIDE as u32, 5) {
+        Err(glaive_serve::ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(
+                message.contains("golden run"),
+                "unexpected rejection reason: {message}"
+            );
+        }
+        other => panic!("expected a typed BadRequest, got {other:?}"),
+    }
+    client.ping().expect("server healthy after rejection");
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
 /// A live server answers a corrupted frame with a typed `BadRequest`
 /// error — it neither dies nor hangs — and keeps serving well-formed
 /// requests afterwards.

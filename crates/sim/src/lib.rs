@@ -45,7 +45,7 @@ mod outcome;
 
 pub use fault::{FaultSpec, OperandSlot};
 pub use machine::{
-    ExecConfig, ExecConfigError, ExitStatus, MachineError, RunResult, Simulator, Trap,
+    ExecConfig, ExecConfigError, ExitStatus, MachineError, RunResult, Simulator, StepObserver, Trap,
 };
 pub use outcome::{classify, Outcome};
 
@@ -116,4 +116,42 @@ pub fn try_run_with_fault<I: Isa>(
     let mut sim = Simulator::try_new(program, init_mem, cfg)?;
     sim.arm_fault(*fault);
     Ok(sim.run())
+}
+
+/// Like [`try_run`], reporting every retired instruction to `observer` —
+/// the entry point of timing layers that watch execution without touching
+/// it. The returned [`RunResult`] is identical to an unobserved run.
+///
+/// # Errors
+///
+/// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
+/// declared data memory.
+pub fn try_run_observed<I: Isa, O: StepObserver<I>>(
+    program: &Program<I>,
+    init_mem: &[u64],
+    cfg: &ExecConfig,
+    observer: &mut O,
+) -> Result<RunResult, MachineError> {
+    Ok(Simulator::try_new(program, init_mem, cfg)?.run_observed(observer))
+}
+
+/// Like [`try_run_with_fault`], reporting every retired instruction to
+/// `observer`. Fault semantics are unaffected by observation: the timing
+/// layer's differential tests compare this against the unobserved run
+/// byte-for-byte.
+///
+/// # Errors
+///
+/// [`MachineError::InitMemTooLarge`] if `init_mem` exceeds the program's
+/// declared data memory.
+pub fn try_run_with_fault_observed<I: Isa, O: StepObserver<I>>(
+    program: &Program<I>,
+    init_mem: &[u64],
+    cfg: &ExecConfig,
+    fault: &FaultSpec,
+    observer: &mut O,
+) -> Result<RunResult, MachineError> {
+    let mut sim = Simulator::try_new(program, init_mem, cfg)?;
+    sim.arm_fault(*fault);
+    Ok(sim.run_observed(observer))
 }

@@ -119,6 +119,29 @@ impl fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+/// A typed observer over the retire stream of a simulation run.
+///
+/// `on_retire` is called once per dynamic instruction, *after* the
+/// instruction has executed successfully (architectural state already
+/// updated, any armed output fault already applied) and before control
+/// transfers to the next PC. Trapped instructions and budget exhaustion do
+/// not retire and are not observed.
+///
+/// Observers are strictly read-only with respect to the machine: the
+/// simulator hands out only the PC and the instruction, so an observer —
+/// the timing layer being the canonical one — cannot perturb architectural
+/// state or fault semantics. The no-op impl for `()` makes the unobserved
+/// [`Simulator::run`] path zero-cost after monomorphisation.
+pub trait StepObserver<I: Isa> {
+    /// Witnesses the retirement of `instr` at static index `pc`.
+    fn on_retire(&mut self, pc: usize, instr: &I::Instr);
+}
+
+impl<I: Isa> StepObserver<I> for () {
+    #[inline]
+    fn on_retire(&mut self, _pc: usize, _instr: &I::Instr) {}
+}
+
 /// An interpreter for one program execution, optionally with a single armed
 /// fault. Generic over the instruction-set backend; defaults to
 /// [`GlaiveIsa`] (ISA-A).
@@ -204,7 +227,16 @@ impl<'p, I: Isa> Simulator<'p, I> {
     /// Executes until halt, trap, or budget exhaustion and returns the
     /// observable result.
     pub fn run(&mut self) -> RunResult {
-        let status = self.run_inner();
+        self.run_observed(&mut ())
+    }
+
+    /// Like [`Simulator::run`], reporting every retired instruction to
+    /// `observer`. The observer sees the retire stream only; it cannot
+    /// influence execution, so the returned [`RunResult`] is identical to
+    /// an unobserved run (the timing layer's differential tests enforce
+    /// this bit-for-bit).
+    pub fn run_observed<O: StepObserver<I>>(&mut self, observer: &mut O) -> RunResult {
+        let status = self.run_inner(observer);
         RunResult {
             status,
             output: std::mem::take(&mut self.state.output),
@@ -213,7 +245,7 @@ impl<'p, I: Isa> Simulator<'p, I> {
         }
     }
 
-    fn run_inner(&mut self) -> ExitStatus {
+    fn run_inner<O: StepObserver<I>>(&mut self, observer: &mut O) -> ExitStatus {
         loop {
             if self.dyn_instrs >= self.max_instrs {
                 return ExitStatus::BudgetExceeded;
@@ -257,6 +289,7 @@ impl<'p, I: Isa> Simulator<'p, I> {
                     if let Some((reg, bit)) = inject_def {
                         self.flip(reg, bit);
                     }
+                    observer.on_retire(pc, &instr);
                     match step {
                         Step::Next => self.state.pc = pc + 1,
                         Step::Goto(t) => self.state.pc = t,
@@ -586,6 +619,66 @@ mod tests {
         let p = asm.finish().expect("resolves");
         let r = run(&p, &[], &cfg());
         assert_eq!(r.output, vec![(-42i64) as u64]);
+    }
+
+    /// A retire counter: the simplest useful [`StepObserver`].
+    struct RetireLog {
+        n: u64,
+        pcs: Vec<usize>,
+    }
+
+    impl<I: Isa> StepObserver<I> for RetireLog {
+        fn on_retire(&mut self, pc: usize, _instr: &I::Instr) {
+            self.n += 1;
+            self.pcs.push(pc);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_retire_without_perturbing_the_run() {
+        let p = sum_program();
+        let golden = run(&p, &[], &cfg());
+        let mut log = RetireLog { n: 0, pcs: vec![] };
+        let observed = crate::try_run_observed(&p, &[], &cfg(), &mut log).expect("well-formed");
+        // Observation is invisible to the architectural result…
+        assert_eq!(observed, golden);
+        // …and complete: every dynamic instruction of a clean run retires.
+        assert_eq!(log.n, golden.dyn_instrs);
+        assert_eq!(log.pcs[0], 0);
+        assert_eq!(*log.pcs.last().expect("non-empty"), p.len() - 1);
+    }
+
+    #[test]
+    fn trapped_instruction_does_not_retire() {
+        let mut asm = Asm::new("oob");
+        asm.set_mem_words(4);
+        asm.li(Reg(1), 9);
+        asm.load(Reg(2), Reg(1), 0);
+        asm.halt();
+        let p = asm.finish().expect("resolves");
+        let mut log = RetireLog { n: 0, pcs: vec![] };
+        let r = crate::try_run_observed(&p, &[], &cfg(), &mut log).expect("well-formed");
+        assert!(matches!(r.status, ExitStatus::Trapped(_)));
+        // The li retires; the trapping load is counted but never observed.
+        assert_eq!(r.dyn_instrs, 2);
+        assert_eq!(log.n, 1);
+    }
+
+    #[test]
+    fn observed_fault_run_matches_unobserved() {
+        let p = sum_program();
+        let f = FaultSpec {
+            pc: 4,
+            slot: OperandSlot::Use(0),
+            bit: 3,
+            instance: 9,
+        };
+        let plain = run_with_fault(&p, &[], &cfg(), &f);
+        let mut log = RetireLog { n: 0, pcs: vec![] };
+        let observed =
+            crate::try_run_with_fault_observed(&p, &[], &cfg(), &f, &mut log).expect("well-formed");
+        assert_eq!(observed, plain);
+        assert_eq!(log.n, plain.dyn_instrs);
     }
 
     /// The same driver (run, fault injection, classification) works on the

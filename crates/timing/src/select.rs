@@ -1,0 +1,179 @@
+//! Budgeted protection-set selection: given per-instruction vulnerability
+//! values and per-instruction protection costs in cycles, choose the set
+//! that covers the most vulnerability without exceeding a cycle-overhead
+//! budget — the knapsack refinement of the paper's top-K ranking.
+
+/// One candidate instruction for protection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtectionItem {
+    /// Static instruction index.
+    pub pc: usize,
+    /// Vulnerability covered by protecting this instruction (the severity
+    /// ranking key `2·I_C + I_S`, optionally residency-weighted).
+    pub value: f64,
+    /// Protection overhead in cycles (e.g. the re-execution cost of a
+    /// duplicate-and-compare harden, i.e. the cycles the instruction
+    /// contributed to the profile).
+    pub cost: u64,
+}
+
+/// The outcome of one [`ProtectionSelector::select`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Cycle budget the selection was made under.
+    pub budget: u64,
+    /// Cycles spent by the chosen set (≤ `budget`).
+    pub spent: u64,
+    /// Summed vulnerability value of the chosen set.
+    pub covered: f64,
+    /// Chosen items in pick order (densest first, ties by ascending PC).
+    pub chosen: Vec<ProtectionItem>,
+}
+
+/// A greedy density-ordered knapsack selector.
+///
+/// Items are considered in descending `value / cost` density; an item that
+/// does not fit in the remaining budget is skipped and the scan continues
+/// (the classic greedy heuristic — within a factor of two of optimal, and
+/// exact in the common case of many small items). Zero-cost items with
+/// positive value are free coverage and always chosen first.
+///
+/// Determinism: density ties — and the zero-cost group — break by
+/// ascending PC via exact integer cross-multiplication, so two runs over
+/// the same inputs always return the identical `Selection`. Items with
+/// non-positive value are never chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionSelector {
+    budget: u64,
+}
+
+impl ProtectionSelector {
+    /// Creates a selector with an absolute cycle budget.
+    pub fn new(budget_cycles: u64) -> Self {
+        ProtectionSelector {
+            budget: budget_cycles,
+        }
+    }
+
+    /// Derives the budget as `overhead_pct` percent of `total_cycles`
+    /// (integer arithmetic, truncating), the form served by the
+    /// `BudgetQuery` protocol request.
+    pub fn with_overhead_pct(total_cycles: u64, overhead_pct: u32) -> Self {
+        let budget = total_cycles
+            .saturating_mul(u64::from(overhead_pct))
+            .saturating_div(100);
+        ProtectionSelector { budget }
+    }
+
+    /// The absolute cycle budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Chooses the protection set from `items` under the budget.
+    pub fn select(&self, items: &[ProtectionItem]) -> Selection {
+        let mut ranked: Vec<ProtectionItem> =
+            items.iter().copied().filter(|it| it.value > 0.0).collect();
+        // Descending density value/cost; cost 0 sorts as infinitely dense.
+        // Cross-multiplication keeps the comparison exact in f64 (cost is
+        // a u64 well inside the 2^53 mantissa for any real profile).
+        ranked.sort_by(|a, b| {
+            let da = a.value * b.cost as f64;
+            let db = b.value * a.cost as f64;
+            db.total_cmp(&da).then_with(|| a.pc.cmp(&b.pc))
+        });
+
+        let mut selection = Selection {
+            budget: self.budget,
+            spent: 0,
+            covered: 0.0,
+            chosen: Vec::new(),
+        };
+        for item in ranked {
+            match selection.spent.checked_add(item.cost) {
+                Some(spent) if spent <= self.budget => {
+                    selection.spent = spent;
+                    selection.covered += item.value;
+                    selection.chosen.push(item);
+                }
+                _ => {}
+            }
+        }
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(pc: usize, value: f64, cost: u64) -> ProtectionItem {
+        ProtectionItem { pc, value, cost }
+    }
+
+    #[test]
+    fn picks_densest_items_first_and_skips_what_does_not_fit() {
+        let items = [
+            item(0, 1.0, 10), // density 0.1
+            item(1, 2.0, 2),  // density 1.0
+            item(2, 3.0, 30), // density 0.1
+            item(3, 0.5, 1),  // density 0.5
+        ];
+        let sel = ProtectionSelector::new(13).select(&items);
+        // Order: pc1 (1.0), pc3 (0.5), then the 0.1 tie pc0 before pc2;
+        // pc2 (30 cycles) does not fit and is skipped.
+        let pcs: Vec<usize> = sel.chosen.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![1, 3, 0]);
+        assert_eq!(sel.spent, 13);
+        assert!((sel.covered - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_items_are_free_coverage() {
+        let items = [item(5, 0.1, 0), item(2, 0.2, 0), item(0, 9.0, 4)];
+        let sel = ProtectionSelector::new(0).select(&items);
+        // No budget at all: only the free items, in ascending-pc order
+        // (equal infinite density).
+        let pcs: Vec<usize> = sel.chosen.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![2, 5]);
+        assert_eq!(sel.spent, 0);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_pc() {
+        let items = [item(7, 1.0, 2), item(3, 1.0, 2), item(5, 1.0, 2)];
+        let sel = ProtectionSelector::new(4).select(&items);
+        let pcs: Vec<usize> = sel.chosen.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![3, 5]);
+    }
+
+    #[test]
+    fn worthless_items_are_never_chosen() {
+        let items = [item(0, 0.0, 0), item(1, -1.0, 0), item(2, 1.0, 1)];
+        let sel = ProtectionSelector::new(10).select(&items);
+        let pcs: Vec<usize> = sel.chosen.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![2]);
+    }
+
+    #[test]
+    fn overhead_pct_budget_is_integer_exact() {
+        assert_eq!(ProtectionSelector::with_overhead_pct(1000, 5).budget(), 50);
+        assert_eq!(ProtectionSelector::with_overhead_pct(999, 5).budget(), 49);
+        assert_eq!(ProtectionSelector::with_overhead_pct(0, 100).budget(), 0);
+        // An absurd product saturates instead of wrapping.
+        assert_eq!(
+            ProtectionSelector::with_overhead_pct(u64::MAX, 200).budget(),
+            u64::MAX / 100,
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let items: Vec<ProtectionItem> = (0..64)
+            .map(|i| item(i, ((i * 37) % 11) as f64 / 7.0, ((i * 13) % 9) as u64))
+            .collect();
+        let a = ProtectionSelector::new(20).select(&items);
+        let b = ProtectionSelector::new(20).select(&items);
+        assert_eq!(a, b);
+    }
+}

@@ -64,6 +64,17 @@ cargo run -q --release --offline -p glaive-cli -- \
 GLAIVE_CHAOS_SEED=0xC4A05EED GLAIVE_CHAOS_RATE=0.0002 \
   cargo run -q --release --offline -p glaive-cli -- \
   query "$ADDR" lu --stride 16 --top 5 --patience 60 >/dev/null
+# Budgeted protection set: the same query twice must render the same
+# bytes — the greedy selector and the golden timing profile are both
+# deterministic end to end.
+cargo run -q --release --offline -p glaive-cli -- \
+  budget "$ADDR" lu --stride 16 --overhead-pct 5 >"$SMOKE_DIR/budget1.txt"
+cargo run -q --release --offline -p glaive-cli -- \
+  budget "$ADDR" lu --stride 16 --overhead-pct 5 >"$SMOKE_DIR/budget2.txt"
+cmp "$SMOKE_DIR/budget1.txt" "$SMOKE_DIR/budget2.txt" \
+  || { echo "budget query was not deterministic"; exit 1; }
+grep -q "protect " "$SMOKE_DIR/budget1.txt" \
+  || { echo "budget query rendered no selection"; cat "$SMOKE_DIR/budget1.txt"; exit 1; }
 cargo run -q --release --offline -p glaive-cli -- query "$ADDR" --shutdown >/dev/null
 wait "$SERVE_PID"
 
